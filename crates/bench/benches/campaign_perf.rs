@@ -1,0 +1,72 @@
+//! End-to-end fault-injection trial cost: golden runs of each workload and
+//! single injected trials, the quantities that dominate a campaign's wall
+//! time (§V-B argues the ML phase is negligible against these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastfit::prelude::*;
+use fastfit_bench::{lammps_workload, npb_workload};
+use simmpi::hook::ParamId;
+use simmpi::runtime::run_job;
+use std::time::Duration;
+
+fn quick_cfg() -> CampaignConfig {
+    CampaignConfig {
+        trials_per_point: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_golden_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_run");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for name in ["IS", "FT", "MG", "LU"] {
+        let w = npb_workload(name);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = simmpi::runtime::JobSpec {
+                    nranks: w.nranks,
+                    seed: w.seed,
+                    timeout: Duration::from_secs(30),
+                    ..Default::default()
+                };
+                run_job(&spec, w.app.clone())
+            })
+        });
+    }
+    let w = lammps_workload(10);
+    g.bench_function("LAMMPS", |b| {
+        b.iter(|| {
+            let spec = simmpi::runtime::JobSpec {
+                nranks: w.nranks,
+                seed: w.seed,
+                timeout: Duration::from_secs(30),
+                ..Default::default()
+            };
+            run_job(&spec, w.app.clone())
+        })
+    });
+    g.finish();
+}
+
+fn bench_injected_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("injected_trial");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let campaign = Campaign::prepare(npb_workload("LU"), quick_cfg());
+    let sendbuf_point = campaign
+        .points()
+        .iter()
+        .find(|p| p.param == ParamId::SendBuf)
+        .copied()
+        .expect("LU has a data-buffer point");
+    g.bench_function("LU_sendbuf_flip", |b| {
+        let mut bit = 0u64;
+        b.iter(|| {
+            bit = bit.wrapping_add(17);
+            campaign.run_trial(&sendbuf_point, bit)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_golden_runs, bench_injected_trial);
+criterion_main!(benches);

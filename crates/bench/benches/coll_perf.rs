@@ -1,0 +1,183 @@
+//! Collective-latency benchmarks for the simulated runtime: each bench
+//! runs a full job whose ranks perform a fixed number of collectives, so
+//! the reported time is (job spawn + N collectives) — the unit cost that
+//! every fault-injection trial pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simmpi::op::ReduceOp;
+use simmpi::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const REPS: usize = 8;
+
+fn job(nranks: usize) -> JobSpec {
+    JobSpec {
+        nranks,
+        timeout: Duration::from_secs(20),
+        ..Default::default()
+    }
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_job");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nranks in [4usize, 8, 16] {
+        for count in [1usize, 1024] {
+            let id = BenchmarkId::from_parameter(format!("r{}x{}", nranks, count));
+            g.bench_function(id, |b| {
+                b.iter(|| {
+                    let app: AppFn = Arc::new(move |ctx| {
+                        let send = vec![1.0f64; count];
+                        let mut recv = vec![0.0f64; count];
+                        for _ in 0..REPS {
+                            ctx.allreduce(&send, &mut recv, ReduceOp::Sum, ctx.world());
+                        }
+                        RankOutput::new()
+                    });
+                    let r = run_job(&job(nranks), app);
+                    assert!(matches!(r.outcome, JobOutcome::Completed { .. }));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_bcast_vs_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coll_kinds_job");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let nranks = 8;
+    g.bench_function("bcast_4k", |b| {
+        b.iter(|| {
+            let app: AppFn = Arc::new(move |ctx| {
+                let mut buf = vec![7u8; 4096];
+                for _ in 0..REPS {
+                    ctx.bcast(&mut buf, 0, ctx.world());
+                }
+                RankOutput::new()
+            });
+            run_job(&job(nranks), app)
+        })
+    });
+    g.bench_function("alltoall_4k", |b| {
+        b.iter(|| {
+            let app: AppFn = Arc::new(move |ctx| {
+                let n = ctx.size();
+                let send = vec![1u8; 4096 * n];
+                let mut recv = vec![0u8; 4096 * n];
+                for _ in 0..REPS {
+                    ctx.alltoall(&send, &mut recv, ctx.world());
+                }
+                RankOutput::new()
+            });
+            run_job(&job(nranks), app)
+        })
+    });
+    g.bench_function("barrier", |b| {
+        b.iter(|| {
+            let app: AppFn = Arc::new(move |ctx| {
+                for _ in 0..REPS {
+                    ctx.barrier(ctx.world());
+                }
+                RankOutput::new()
+            });
+            run_job(&job(nranks), app)
+        })
+    });
+    g.finish();
+}
+
+/// Basic vs size-tuned algorithms at a large payload: the binomial tree
+/// moves `len·log2(n)` bytes over the root's links, scatter+allgather and
+/// Rabenseifner move `~2·len` — the design rationale for the automatic
+/// selection thresholds in `simmpi::ctx`.
+fn bench_algorithm_variants(c: &mut Criterion) {
+    use simmpi::coll::{allreduce, bcast};
+    use simmpi::comm::{CommRegistry, WORLD};
+    use simmpi::control::JobControl;
+    use simmpi::coll::CollEnv;
+    use simmpi::datatype::Datatype;
+    use simmpi::transport::Fabric;
+
+    // Drive the algorithms directly on raw rank threads (no job runner)
+    // so the measurement isolates the algorithm.
+    fn run_algo(
+        n: usize,
+        payload: usize,
+        algo: impl Fn(&CollEnv<'_>, usize, Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
+    ) {
+        let fabric = Fabric::new(n);
+        let ctl = Arc::new(JobControl::new(n, Duration::from_secs(20)));
+        let algo = Arc::new(algo);
+        let handles: Vec<_> = (0..n)
+            .map(|me| {
+                let fabric = fabric.clone();
+                let ctl = ctl.clone();
+                let algo = algo.clone();
+                std::thread::spawn(move || {
+                    let reg = CommRegistry::new_world(n, me);
+                    let comm = reg.get(WORLD).unwrap();
+                    let env = CollEnv {
+                        fabric: &fabric,
+                        ctl: &ctl,
+                        comm,
+                        seq: 0,
+                        round_off: 0,
+                        dtype: Datatype::Float64,
+                    };
+                    let data = if me == 0 { vec![7u8; payload] } else { Vec::new() };
+                    algo(&env, me, data)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    let mut g = c.benchmark_group("algorithm_variants_256KiB");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    const PAYLOAD: usize = 256 * 1024;
+    let payload = PAYLOAD;
+    let n = 8;
+    g.bench_function("bcast_binomial", |b| {
+        b.iter(|| {
+            run_algo(n, payload, |env, me, data| {
+                let d = if me == 0 { data } else { Vec::new() };
+                bcast::bcast(env, 0, d)
+            })
+        })
+    });
+    g.bench_function("bcast_scatter_allgather", |b| {
+        b.iter(|| {
+            run_algo(n, payload, |env, me, data| {
+                let d = if me == 0 { data } else { Vec::new() };
+                bcast::bcast_large(env, 0, d)
+            })
+        })
+    });
+    g.bench_function("allreduce_recursive_doubling", |b| {
+        b.iter(|| {
+            run_algo(n, PAYLOAD, |env, _me, _data| {
+                allreduce::allreduce(env, simmpi::op::ReduceOp::Sum, vec![1u8; PAYLOAD])
+            })
+        })
+    });
+    g.bench_function("allreduce_rabenseifner", |b| {
+        b.iter(|| {
+            run_algo(n, PAYLOAD, |env, _me, _data| {
+                allreduce::rabenseifner(env, simmpi::op::ReduceOp::Sum, vec![1u8; PAYLOAD])
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_bcast_vs_alltoall,
+    bench_algorithm_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Random-forest training/prediction throughput. The paper notes the
+//! learning phase "takes only several seconds ... negligible compared to
+//! the fault injection tests"; these benches quantify that for our
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use randomforest::{ForestParams, RandomForest};
+use std::time::Duration;
+
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let label = usize::from(row[0] + row[1 % d] > 10.0);
+        x.push(row);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forest_fit");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [100usize, 1000] {
+        let (x, y) = dataset(n, 6);
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                RandomForest::fit(
+                    &x,
+                    &y,
+                    2,
+                    &ForestParams {
+                        n_trees: 50,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = dataset(1000, 6);
+    let model = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+    c.bench_function("forest_predict_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in &x {
+                acc += model.predict(row);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Pruning ablation: how much work each §III technique saves, measured as
+//! (a) the time the analysis itself costs and (b) the surviving point
+//! counts (printed once; the counts are the paper's Table III story).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastfit::prelude::*;
+use fastfit_bench::{lammps_workload, npb_workload};
+use std::time::Duration;
+
+fn bench_pruning_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pruning_analysis");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // One recorded profile, reused across iterations.
+    let campaign = Campaign::prepare(
+        lammps_workload(10),
+        CampaignConfig {
+            trials_per_point: 1,
+            ..Default::default()
+        },
+    );
+    let profile = campaign.profile.clone();
+
+    g.bench_function("semantic_prune", |b| {
+        b.iter(|| semantic_prune(&profile))
+    });
+    let sem = semantic_prune(&profile);
+    g.bench_function("context_prune", |b| {
+        b.iter(|| context_prune(&profile, &sem, &ParamsMode::DataBuffer))
+    });
+    g.bench_function("full_space_enumeration", |b| {
+        b.iter(|| full_space_count(&profile, &ParamsMode::DataBuffer))
+    });
+    g.finish();
+
+    // Print the ablation table once (picked up by bench_output.txt).
+    println!("\n--- pruning ablation: surviving injection points ---");
+    println!(
+        "{:<8} {:>10} {:>12} {:>16}",
+        "app", "full", "semantic", "semantic+ctx"
+    );
+    for name in ["IS", "FT", "MG", "LU"] {
+        let c = Campaign::prepare(
+            npb_workload(name),
+            CampaignConfig {
+                trials_per_point: 1,
+                ..Default::default()
+            },
+        );
+        let after_semantic: u64 = c
+            .semantic
+            .representatives
+            .iter()
+            .flat_map(|&r| c.profile.site_stats(r))
+            .map(|st| st.n_inv * ParamsMode::DataBuffer.params_for(st.kind).len() as u64)
+            .sum();
+        println!(
+            "{:<8} {:>10} {:>12} {:>16}",
+            name,
+            c.full_points,
+            after_semantic,
+            c.points().len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_pruning_analysis);
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! fastfit-cli — run FastFIT campaigns on the built-in workloads from the
+//! command line.
+//!
+//! ```text
+//! fastfit-cli profile  --workload <IS|FT|MG|LU|CG|LAMMPS>
+//! fastfit-cli campaign --workload <...> [--trials N] [--params data|all]
+//!                      [--ranks N] [--ml [--threshold 0.65]] [--csv DIR]
+//! fastfit-cli point    --workload <...> --site <file.rs:LINE> --param <p>
+//!                      [--rank R] [--invocation I] [--trials N]
+//! ```
+//!
+//! `profile` prints the communication profile and pruning inventory;
+//! `campaign` runs the full injection study and prints the sensitivity
+//! tables; `point` drills into one injection point.
+
+use fastfit::prelude::*;
+use fastfit_bench::{lammps_workload, npb_workload};
+use simmpi::hook::{CallSite, ParamId};
+use std::collections::HashMap;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            map.insert(key.to_string(), value);
+        } else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    map
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fastfit-cli <profile|campaign|point> --workload <IS|FT|MG|LU|CG|LAMMPS> [flags]\n\
+         flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
+                --csv DIR  --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
+                --rank R  --invocation I  --steps N (LAMMPS run length)"
+    );
+    std::process::exit(2)
+}
+
+fn build_workload(flags: &HashMap<String, String>) -> Workload {
+    let name = flags.get("workload").cloned().unwrap_or_else(|| usage());
+    let mut w = if name.eq_ignore_ascii_case("lammps") {
+        let steps = flags
+            .get("steps")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        lammps_workload(steps)
+    } else {
+        npb_workload(&name)
+    };
+    if let Some(r) = flags.get("ranks").and_then(|s| s.parse::<usize>().ok()) {
+        w.nranks = r;
+    }
+    w
+}
+
+fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
+    let mut cfg = CampaignConfig::from_env();
+    if let Some(t) = flags.get("trials").and_then(|s| s.parse().ok()) {
+        cfg.trials_per_point = t;
+    }
+    cfg.params = match flags.get("params").map(String::as_str) {
+        Some("all") => ParamsMode::All,
+        _ => ParamsMode::DataBuffer,
+    };
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "profile" => cmd_profile(&flags),
+        "campaign" => cmd_campaign(&flags),
+        "point" => cmd_point(&flags),
+        _ => usage(),
+    }
+}
+
+fn cmd_profile(flags: &HashMap<String, String>) {
+    let w = build_workload(flags);
+    let name = w.name.clone();
+    let c = Campaign::prepare(w, build_config(flags));
+    print!("{}", mpiprof::communication_report(&c.profile));
+    println!(
+        "\nrank equivalence classes: {:?}\nfull injection space: {} points; after semantic+context pruning: {} ({:.2}% reduction)",
+        c.semantic.classes,
+        c.full_points,
+        c.points().len(),
+        100.0 * c.total_reduction()
+    );
+    println!("golden run of {}: {:?}", name, c.golden_wall);
+}
+
+fn cmd_campaign(flags: &HashMap<String, String>) {
+    let w = build_workload(flags);
+    let cfg = build_config(flags);
+    let csv = flags.get("csv").cloned();
+    let c = Campaign::prepare(w, cfg);
+    println!(
+        "{}: {} -> {} injection points ({:.2}% pruned), {} trials/point",
+        c.workload.name,
+        c.full_points,
+        c.points().len(),
+        100.0 * c.total_reduction(),
+        c.cfg.trials_per_point
+    );
+
+    if flags.contains_key("ml") {
+        let threshold = flags
+            .get("threshold")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.65);
+        let points = c.invocation_points();
+        let features: Vec<Vec<f64>> = points.iter().map(|p| c.extractor.features(p)).collect();
+        let levels = Levels::even(3);
+        let mut measured = Vec::new();
+        let out = ml_driven(
+            &features,
+            MlTarget::RateLevels(3),
+            |i| {
+                let pr = c.measure_point(&points[i], c.cfg.trials_per_point, 0xC11 + i as u64);
+                let l = levels.of(pr.error_rate());
+                measured.push(pr);
+                l
+            },
+            &MlConfig {
+                accuracy_threshold: threshold,
+                ..Default::default()
+            },
+        );
+        println!(
+            "ML feedback loop: measured {} of {} points in {} rounds (accuracy {:.1}%, threshold {:.0}%); {:.1}% of tests saved",
+            out.measured.len(),
+            points.len(),
+            out.rounds,
+            100.0 * out.final_accuracy,
+            100.0 * threshold,
+            100.0 * out.tests_saved
+        );
+        let names = levels.names();
+        for (idx, label) in out.predicted.iter().take(10) {
+            println!(
+                "  predicted {:<8} {} {} inv{}",
+                names[*label],
+                points[*idx].kind.name(),
+                points[*idx].site,
+                points[*idx].invocation
+            );
+        }
+        maybe_write(&csv, "cli_measured.csv", &points_csv(&measured));
+        return;
+    }
+
+    let r = c.run_all();
+    let by_kind = per_kind_histograms(&r.results);
+    let rows: Vec<(&str, &ResponseHistogram)> =
+        by_kind.iter().map(|(k, h)| (k.name(), h)).collect();
+    println!("{}", render_histogram_table("per-collective responses", &rows));
+    let levels = per_kind_levels(&r.results);
+    println!("{}", render_level_table("per-collective error-rate levels", &levels));
+    println!("{}", fastfit::report::campaign_summary(&c, &r));
+    maybe_write(&csv, "cli_points.csv", &points_csv(&r.results));
+}
+
+fn cmd_point(flags: &HashMap<String, String>) {
+    let w = build_workload(flags);
+    let c = Campaign::prepare(w, build_config(flags));
+    let site_arg = flags.get("site").cloned().unwrap_or_else(|| usage());
+    let (file_part, line_part) = site_arg.rsplit_once(':').unwrap_or_else(|| usage());
+    let line: u32 = line_part.parse().unwrap_or_else(|_| usage());
+    let site: CallSite = c
+        .profile
+        .sites()
+        .into_iter()
+        .find(|s| s.line == line && s.file.ends_with(file_part))
+        .unwrap_or_else(|| {
+            eprintln!("site {site_arg} not found; known sites:");
+            for s in c.profile.sites() {
+                eprintln!("  {}", s);
+            }
+            std::process::exit(2);
+        });
+    let param = match flags.get("param").map(String::as_str) {
+        Some("sendbuf") | None => ParamId::SendBuf,
+        Some("recvbuf") => ParamId::RecvBuf,
+        Some("count") => ParamId::Count,
+        Some("datatype") => ParamId::Datatype,
+        Some("op") => ParamId::Op,
+        Some("root") => ParamId::Root,
+        Some("comm") => ParamId::Comm,
+        Some(other) => {
+            eprintln!("unknown parameter {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let rank = flags
+        .get("rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(c.semantic.representatives[0]);
+    let invocation = flags
+        .get("invocation")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let kind = c
+        .profile
+        .site_records(rank, site)
+        .first()
+        .map(|r| r.kind)
+        .unwrap_or_else(|| {
+            eprintln!("no records for site {} on rank {}", site, rank);
+            std::process::exit(2);
+        });
+    let point = InjectionPoint {
+        site,
+        kind,
+        rank,
+        invocation,
+        param,
+    };
+    let pr = c.measure_point(&point, c.cfg.trials_per_point, 0xD01);
+    println!(
+        "{} {} {} rank{} inv{}: {} trials, fault fired in {}",
+        kind.name(),
+        site,
+        param.name(),
+        rank,
+        invocation,
+        pr.hist.total(),
+        pr.fired
+    );
+    println!("{}", fastfit::report::histogram_row(&pr.hist));
+    let errors = pr.hist.total() - pr.hist.count(Response::Success);
+    let (lo, hi) = wilson_95(errors, pr.hist.total());
+    println!(
+        "error rate {:.1}% (95% interval [{:.1}%, {:.1}%])",
+        100.0 * pr.error_rate(),
+        100.0 * lo,
+        100.0 * hi
+    );
+    if let Some(remote) = pr.remote_detection_fraction() {
+        println!(
+            "fatal events detected on the injected rank {:.0}% of the time, remotely {:.0}%",
+            100.0 * (1.0 - remote),
+            100.0 * remote
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! # fastfit-bench — experiment harness for the FastFIT reproduction
+//!
+//! Builders that wire the workload crates (`npb`, `minimd`) into
+//! [`fastfit::campaign::Workload`]s with the right rank counts and
+//! comparison tolerances, shared by the `experiments` binary (which
+//! regenerates every table and figure of the paper) and the criterion
+//! benches.
+//!
+//! Scale knobs (all environment variables):
+//! - `FASTFIT_RANKS` — simulated ranks per job (default 16; paper: 32)
+//! - `FASTFIT_TRIALS` — fault-injection tests per point (default 24;
+//!   paper: ≥ 100)
+//! - `FASTFIT_CLASS` — `mini` / `small` / `standard` problem sizes
+
+use fastfit::prelude::*;
+use minimd::{md_app, MdConfig};
+use npb::{kernel_by_name, Class};
+
+/// Ranks used by the experiments, honouring `FASTFIT_RANKS` and the
+/// divisibility constraints of the kernels (power of two required by FT's
+/// slab layout at mini scale; non-pow2 values are rounded down).
+pub fn experiment_ranks() -> usize {
+    let n = ranks_from_env();
+    // FT (n=16 grid) and MG need the rank count to divide the grid edge.
+    let mut p = 1usize;
+    while p * 2 <= n && p * 2 <= 16 {
+        p *= 2;
+    }
+    p.max(2)
+}
+
+/// Build one of the NPB workloads at the environment's class and rank
+/// count.
+pub fn npb_workload(name: &str) -> Workload {
+    let class = Class::from_env();
+    let (app, tol) = kernel_by_name(name, class);
+    Workload::new(name, app, tol, experiment_ranks())
+}
+
+/// Build the LAMMPS-analog workload. `steps` tunes the run length (more
+/// steps = more invocations per call site, which Figure 3 needs).
+pub fn lammps_workload(steps: usize) -> Workload {
+    let app = md_app(MdConfig {
+        steps,
+        ..Default::default()
+    });
+    Workload::new("LAMMPS", app, minimd::OUTPUT_TOLERANCE, experiment_ranks())
+}
+
+/// The campaign configuration used by the experiments (trials from
+/// `FASTFIT_TRIALS`).
+pub fn experiment_campaign_config(params: ParamsMode) -> CampaignConfig {
+    let mut cfg = CampaignConfig::from_env();
+    cfg.params = params;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_resolve() {
+        for k in npb::KERNELS {
+            let w = npb_workload(k);
+            assert_eq!(w.name, k);
+            assert!(w.nranks >= 2);
+        }
+        let l = lammps_workload(6);
+        assert_eq!(l.name, "LAMMPS");
+        assert!(l.tolerance > 0.0);
+    }
+
+    #[test]
+    fn ranks_are_pow2_capped() {
+        let r = experiment_ranks();
+        assert!(r.is_power_of_two() && (2..=16).contains(&r));
+    }
+}

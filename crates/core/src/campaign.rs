@@ -1,0 +1,527 @@
+//! Campaign orchestration — FastFIT's three-phase architecture (§IV):
+//! profiling, injection, and learning.
+//!
+//! [`Campaign::prepare`] runs the profiling phase (one recorded clean run)
+//! and applies semantic + context pruning. [`Campaign::run_all`] measures
+//! every surviving point with `trials_per_point` random single-bit faults.
+//! [`Campaign::run_with_ml`] instead drives the §III-C feedback loop,
+//! measuring points until the model is accurate enough and predicting the
+//! rest.
+
+use crate::fault::{FaultSpec, InjectorHook};
+use crate::features::FeatureExtractor;
+use crate::prune::{context_prune, ml_driven, semantic_prune, ContextPrune, MlConfig, MlOutcome, MlTarget, SemanticPrune};
+use crate::response::{classify, Response, ResponseHistogram};
+use crate::space::{full_space_count, InjectionPoint, ParamsMode};
+use mpiprof::{profile_app, ApplicationProfile};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use simmpi::ctx::RankOutput;
+use simmpi::runtime::{run_job, AppFn, JobSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A workload under study: the application plus the comparison tolerance
+/// for `WRONG_ANS` detection.
+#[derive(Clone)]
+pub struct Workload {
+    /// Display name ("IS", "LAMMPS", ...).
+    pub name: String,
+    /// The application entry point.
+    pub app: AppFn,
+    /// Relative tolerance when comparing outputs to the golden run (0 =
+    /// exact; statistical codes like minimd use a loose tolerance).
+    pub tolerance: f64,
+    /// Ranks per job.
+    pub nranks: usize,
+    /// Application seed (identical for golden and injected runs).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Construct a workload.
+    pub fn new(name: impl Into<String>, app: AppFn, tolerance: f64, nranks: usize) -> Self {
+        Workload {
+            name: name.into(),
+            app,
+            tolerance,
+            nranks,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("tolerance", &self.tolerance)
+            .field("nranks", &self.nranks)
+            .finish()
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Fault-injection tests per injection point (the paper uses ≥ 100;
+    /// scaled down by default for the 1-core host, override with
+    /// `FASTFIT_TRIALS`).
+    pub trials_per_point: usize,
+    /// Which parameters to inject (§V-C default: the data buffer).
+    pub params: ParamsMode,
+    /// Watchdog budget = `max(golden_wall × timeout_mult, min_timeout)`.
+    pub timeout_mult: u32,
+    /// Lower bound on the watchdog budget.
+    pub min_timeout: Duration,
+    /// Measure points in parallel with rayon.
+    pub parallel: bool,
+    /// Seed for fault-bit selection.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials_per_point: 24,
+            params: ParamsMode::DataBuffer,
+            timeout_mult: 30,
+            min_timeout: Duration::from_millis(400),
+            parallel: false,
+            seed: 0xFA57,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Default configuration with `FASTFIT_TRIALS` applied.
+    pub fn from_env() -> Self {
+        let mut cfg = CampaignConfig::default();
+        if let Ok(t) = std::env::var("FASTFIT_TRIALS") {
+            if let Ok(t) = t.parse::<usize>() {
+                cfg.trials_per_point = t.max(1);
+            }
+        }
+        cfg
+    }
+}
+
+/// Rank count shared by the experiments, honouring `FASTFIT_RANKS`
+/// (default 16; the paper uses 32).
+pub fn ranks_from_env() -> usize {
+    std::env::var("FASTFIT_RANKS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| (1..=256).contains(&n))
+        .unwrap_or(16)
+}
+
+/// Measurements for one injection point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The point.
+    pub point: InjectionPoint,
+    /// Response histogram over the trials.
+    pub hist: ResponseHistogram,
+    /// Trials in which the fault actually fired.
+    pub fired: u64,
+    /// For trials that ended in a fatal event (`APP_DETECTED`, `MPI_ERR`,
+    /// `SEG_FAULT`): the rank the event fired on. Together with
+    /// `point.rank` this measures *error propagation between processes* —
+    /// whether a fault injected at one rank is detected locally or
+    /// surfaces somewhere else first (the unexplored question the paper's
+    /// introduction raises).
+    pub fatal_ranks: Vec<usize>,
+}
+
+impl PointResult {
+    /// Fraction of fatal trials whose first fatal event fired on a rank
+    /// *other* than the injected one (`None` if no trial was fatal).
+    pub fn remote_detection_fraction(&self) -> Option<f64> {
+        if self.fatal_ranks.is_empty() {
+            return None;
+        }
+        let remote = self
+            .fatal_ranks
+            .iter()
+            .filter(|&&r| r != self.point.rank)
+            .count();
+        Some(remote as f64 / self.fatal_ranks.len() as f64)
+    }
+}
+
+impl PointResult {
+    /// Error rate at this point (§II).
+    pub fn error_rate(&self) -> f64 {
+        self.hist.error_rate()
+    }
+}
+
+/// Everything observed in one fault-injection test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Table-I classification.
+    pub response: Response,
+    /// Whether the fault actually fired.
+    pub fired: bool,
+    /// Rank of the first fatal event, for fatal responses.
+    pub fatal_rank: Option<usize>,
+}
+
+/// Result of a measurement campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Per-point measurements.
+    pub results: Vec<PointResult>,
+    /// Total fault-injection tests executed.
+    pub total_trials: u64,
+    /// Wall time of the injection phase.
+    pub wall: Duration,
+}
+
+impl CampaignResult {
+    /// Aggregate histogram across all points.
+    pub fn aggregate(&self) -> ResponseHistogram {
+        let mut h = ResponseHistogram::new();
+        for r in &self.results {
+            h.merge(&r.hist);
+        }
+        h
+    }
+}
+
+/// A prepared campaign: profile + pruning products.
+pub struct Campaign {
+    /// The workload under study.
+    pub workload: Workload,
+    /// Configuration.
+    pub cfg: CampaignConfig,
+    /// The profiling-phase output.
+    pub profile: ApplicationProfile,
+    /// Golden (fault-free) outputs.
+    pub golden: Vec<RankOutput>,
+    /// Wall time of the golden run.
+    pub golden_wall: Duration,
+    /// §III-A result.
+    pub semantic: SemanticPrune,
+    /// §III-B result (the surviving points).
+    pub context: ContextPrune,
+    /// Size of the unpruned space.
+    pub full_points: u64,
+    /// Feature lookup for §III-C.
+    pub extractor: FeatureExtractor,
+}
+
+impl Campaign {
+    /// Profiling phase: one clean recorded run, then semantic and context
+    /// pruning.
+    pub fn prepare(workload: Workload, cfg: CampaignConfig) -> Campaign {
+        let spec = JobSpec {
+            nranks: workload.nranks,
+            seed: workload.seed,
+            timeout: Duration::from_secs(60),
+            record: true,
+            hook: None,
+        };
+        let t0 = Instant::now();
+        let (profile, golden) = profile_app(&spec, workload.app.clone());
+        let golden_wall = t0.elapsed();
+        let semantic = semantic_prune(&profile);
+        let context = context_prune(&profile, &semantic, &cfg.params);
+        let full_points = full_space_count(&profile, &cfg.params);
+        let extractor = FeatureExtractor::new(&profile);
+        Campaign {
+            workload,
+            cfg,
+            profile,
+            golden,
+            golden_wall,
+            semantic,
+            context,
+            full_points,
+            extractor,
+        }
+    }
+
+    /// The injection points that survived pruning.
+    pub fn points(&self) -> &[InjectionPoint] {
+        &self.context.points
+    }
+
+    /// Overall point reduction versus the full space (Table III "Total").
+    pub fn total_reduction(&self) -> f64 {
+        if self.full_points == 0 {
+            return 0.0;
+        }
+        1.0 - self.points().len() as f64 / self.full_points as f64
+    }
+
+    fn trial_spec(&self, hook: Arc<InjectorHook>) -> JobSpec {
+        JobSpec {
+            nranks: self.workload.nranks,
+            seed: self.workload.seed,
+            timeout: (self.golden_wall * self.cfg.timeout_mult).max(self.cfg.min_timeout),
+            record: false,
+            hook: Some(hook),
+        }
+    }
+
+    /// Execute one fault-injection test: flip `bit` at `point`, run the
+    /// job, classify against the golden outputs. Also reports whether the
+    /// fault fired.
+    pub fn run_trial(&self, point: &InjectionPoint, bit: u64) -> (Response, bool) {
+        let t = self.run_trial_detailed(point, bit);
+        (t.response, t.fired)
+    }
+
+    /// As [`Campaign::run_trial`], additionally reporting the rank of the
+    /// first fatal event (error-propagation information).
+    pub fn run_trial_detailed(&self, point: &InjectionPoint, bit: u64) -> TrialOutcome {
+        let hook = Arc::new(InjectorHook::new(FaultSpec {
+            point: *point,
+            bit,
+        }));
+        let spec = self.trial_spec(hook.clone());
+        let result = run_job(&spec, self.workload.app.clone());
+        let response = classify(&result.outcome, &self.golden, self.workload.tolerance);
+        let fatal_rank = match &result.outcome {
+            simmpi::runtime::JobOutcome::Fatal { rank, .. } => Some(*rank),
+            _ => None,
+        };
+        TrialOutcome {
+            response,
+            fired: hook.fired(),
+            fatal_rank,
+        }
+    }
+
+    /// Measure one point with `trials` random single-bit faults.
+    pub fn measure_point(&self, point: &InjectionPoint, trials: usize, seed: u64) -> PointResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut hist = ResponseHistogram::new();
+        let mut fired = 0u64;
+        let mut fatal_ranks = Vec::new();
+        for _ in 0..trials {
+            let bit: u64 = rng.gen();
+            let t = self.run_trial_detailed(point, bit);
+            hist.add(t.response);
+            fired += u64::from(t.fired);
+            if let Some(r) = t.fatal_rank {
+                fatal_ranks.push(r);
+            }
+        }
+        PointResult {
+            point: *point,
+            hist,
+            fired,
+            fatal_ranks,
+        }
+    }
+
+    fn point_seed(&self, idx: usize) -> u64 {
+        self.cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(idx as u64)
+    }
+
+    /// Injection phase without ML: measure every surviving point.
+    pub fn run_all(&self) -> CampaignResult {
+        let points = self.points().to_vec();
+        self.run_points(&points)
+    }
+
+    /// Measure an explicit set of points (used for ablations and for
+    /// studies that bypass one of the pruning stages).
+    pub fn run_points(&self, points: &[InjectionPoint]) -> CampaignResult {
+        let t0 = Instant::now();
+        let trials = self.cfg.trials_per_point;
+        let results: Vec<PointResult> = if self.cfg.parallel {
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(i, p)| self.measure_point(p, trials, self.point_seed(i)))
+                .collect()
+        } else {
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| self.measure_point(p, trials, self.point_seed(i)))
+                .collect()
+        };
+        let total_trials = results.iter().map(|r| r.hist.total()).sum();
+        CampaignResult {
+            results,
+            total_trials,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Injection points after semantic pruning only (every invocation of
+    /// every site on the representative ranks). This is the population the
+    /// ML stage works through at paper scale; the context-pruned
+    /// [`Campaign::points`] set is its deduplicated form.
+    pub fn invocation_points(&self) -> Vec<InjectionPoint> {
+        let mut points = Vec::new();
+        for &rank in &self.semantic.representatives {
+            for st in self.profile.site_stats(rank) {
+                for inv in 0..st.n_inv {
+                    for param in self.cfg.params.params_for(st.kind) {
+                        points.push(InjectionPoint {
+                            site: st.site,
+                            kind: st.kind,
+                            rank,
+                            invocation: inv,
+                            param,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Injection + learning phases: the §III-C feedback loop. Returns the
+    /// measured point results and the ML outcome (model, predictions,
+    /// savings).
+    pub fn run_with_ml(&self, target: MlTarget, ml: &MlConfig) -> (CampaignResult, MlOutcome) {
+        let t0 = Instant::now();
+        let features: Vec<Vec<f64>> = self
+            .points()
+            .iter()
+            .map(|p| self.extractor.features(p))
+            .collect();
+        let mut measured_results: Vec<PointResult> = Vec::new();
+        let trials = self.cfg.trials_per_point;
+        let outcome = ml_driven(
+            &features,
+            target,
+            |i| {
+                let pr = self.measure_point(&self.points()[i], trials, self.point_seed(i));
+                let label = match target {
+                    MlTarget::ErrorType => pr.hist.dominant().index(),
+                    MlTarget::RateLevels(k) => {
+                        crate::response::Levels::even(k).of(pr.error_rate())
+                    }
+                };
+                measured_results.push(pr);
+                label
+            },
+            ml,
+        );
+        let total_trials = measured_results.iter().map(|r| r.hist.total()).sum();
+        (
+            CampaignResult {
+                results: measured_results,
+                total_trials,
+                wall: t0.elapsed(),
+            },
+            outcome,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::ctx::RankCtx;
+    use simmpi::hook::ParamId;
+    use simmpi::op::ReduceOp;
+    use simmpi::record::Phase;
+
+    /// A small app with one allreduce in a loop and a verifying end phase.
+    fn tiny_workload(nranks: usize) -> Workload {
+        let app: AppFn = Arc::new(|ctx: &mut RankCtx| {
+            ctx.set_phase(Phase::Compute);
+            let mut acc = 0.0f64;
+            ctx.frame("loop", |ctx| {
+                for _ in 0..3 {
+                    acc = ctx.allreduce_one(1.0 + acc / 10.0, ReduceOp::Sum, ctx.world());
+                }
+            });
+            ctx.set_phase(Phase::End);
+            ctx.barrier(ctx.world());
+            let mut out = RankOutput::new();
+            out.push("acc", acc);
+            out
+        });
+        Workload::new("tiny", app, 1e-9, nranks)
+    }
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig {
+            trials_per_point: 6,
+            min_timeout: Duration::from_millis(300),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn prepare_prunes_space() {
+        let c = Campaign::prepare(tiny_workload(8), quick_cfg());
+        // Full space: (3 allreduce invocations x 1 param + 1 barrier x 1
+        // param) x 8 ranks = 32.
+        assert_eq!(c.full_points, 32);
+        // Semantic: all ranks equivalent -> 1 rep. Context: one stack per
+        // site -> 1 invocation each -> 2 points (allreduce + barrier).
+        assert_eq!(c.semantic.representatives, vec![0]);
+        assert_eq!(c.points().len(), 2);
+        assert!(c.total_reduction() > 0.9);
+    }
+
+    #[test]
+    fn sendbuf_faults_mostly_benign_or_wrong_ans() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let point = c
+            .points()
+            .iter()
+            .find(|p| p.param == ParamId::SendBuf)
+            .copied()
+            .expect("allreduce point has a sendbuf");
+        let pr = c.measure_point(&point, 8, 42);
+        assert_eq!(pr.hist.total(), 8);
+        assert_eq!(pr.fired, 8, "every trial reaches invocation 0");
+        // A single f64's bit flips either vanish in tolerance, change the
+        // answer, or (rarely) nothing else — never an MPI error.
+        assert_eq!(pr.hist.count(Response::MpiErr), 0);
+        assert_eq!(pr.hist.count(Response::SegFault), 0);
+    }
+
+    #[test]
+    fn comm_faults_on_barrier_raise_mpi_err() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let point = c
+            .points()
+            .iter()
+            .find(|p| p.param == ParamId::Comm)
+            .copied()
+            .expect("barrier point injects comm");
+        let pr = c.measure_point(&point, 8, 43);
+        // A bit-flipped communicator handle is (almost) always invalid.
+        assert!(
+            pr.hist.count(Response::MpiErr) >= 6,
+            "histogram: {:?}",
+            pr.hist
+        );
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let p = c.points()[0];
+        let a = c.measure_point(&p, 5, 7);
+        let b = c.measure_point(&p, 5, 7);
+        assert_eq!(a.hist, b.hist);
+    }
+
+    #[test]
+    fn run_all_covers_every_point() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let res = c.run_all();
+        assert_eq!(res.results.len(), c.points().len());
+        assert_eq!(res.total_trials, (c.points().len() * 6) as u64);
+        let agg = res.aggregate();
+        assert_eq!(agg.total(), res.total_trials);
+    }
+}

@@ -1,0 +1,145 @@
+//! CSV export of campaign data, so the regenerated figures can be plotted
+//! externally (the `experiments` binary writes these next to its text
+//! output when `FASTFIT_CSV_DIR` is set).
+
+use crate::campaign::PointResult;
+use crate::response::{wilson_95, ResponseHistogram, ALL_RESPONSES};
+use std::fmt::Write as _;
+
+/// Per-point results as CSV: one row per injection point with the full
+/// response histogram, error rate and its 95% Wilson interval.
+pub fn points_csv(results: &[PointResult]) -> String {
+    let mut out = String::from(
+        "site,kind,rank,invocation,param,trials,fired,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop,error_rate,wilson_lo,wilson_hi\n",
+    );
+    for r in results {
+        let errors = r.hist.total() - r.hist.count(crate::response::Response::Success);
+        let (lo, hi) = wilson_95(errors, r.hist.total());
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            r.point.site,
+            r.point.kind.name(),
+            r.point.rank,
+            r.point.invocation,
+            r.point.param.name(),
+            r.hist.total(),
+            r.fired,
+            r.hist.count(ALL_RESPONSES[0]),
+            r.hist.count(ALL_RESPONSES[1]),
+            r.hist.count(ALL_RESPONSES[2]),
+            r.hist.count(ALL_RESPONSES[3]),
+            r.hist.count(ALL_RESPONSES[4]),
+            r.hist.count(ALL_RESPONSES[5]),
+            r.error_rate(),
+            lo,
+            hi
+        );
+    }
+    out
+}
+
+/// Labelled histograms as CSV (one row per label; fractions per response).
+pub fn histograms_csv<L: std::fmt::Display>(rows: &[(L, ResponseHistogram)]) -> String {
+    let mut out = String::from(
+        "label,total,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop\n",
+    );
+    for (label, h) in rows {
+        let _ = write!(out, "{},{}", label, h.total());
+        for r in ALL_RESPONSES {
+            let _ = write!(out, ",{:.6}", h.fraction(r));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A generic two-column series as CSV.
+pub fn series_csv(x_name: &str, y_name: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", x_name, y_name);
+    for (x, y) in series {
+        let _ = writeln!(out, "{:.6},{:.6}", x, y);
+    }
+    out
+}
+
+/// Write `content` to `dir/name` if `dir` is `Some`, creating the
+/// directory. Errors are reported, not fatal (the text output is the
+/// primary artifact).
+pub fn maybe_write(dir: &Option<String>, name: &str, content: &str) {
+    if let Some(dir) = dir {
+        let path = std::path::Path::new(dir).join(name);
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, content)) {
+            eprintln!("csv export to {} failed: {}", path.display(), e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{Response, ResponseHistogram};
+    use crate::space::InjectionPoint;
+    use simmpi::hook::{CallSite, CollKind, ParamId};
+
+    fn sample_result() -> PointResult {
+        let mut hist = ResponseHistogram::new();
+        for _ in 0..7 {
+            hist.add(Response::Success);
+        }
+        for _ in 0..3 {
+            hist.add(Response::SegFault);
+        }
+        PointResult {
+            point: InjectionPoint {
+                site: CallSite {
+                    file: "a.rs",
+                    line: 12,
+                },
+                kind: CollKind::Allreduce,
+                rank: 1,
+                invocation: 4,
+                param: ParamId::Count,
+            },
+            hist,
+            fired: 10,
+            fatal_ranks: vec![1, 1, 2],
+        }
+    }
+
+    #[test]
+    fn points_csv_shape() {
+        let csv = points_csv(&[sample_result()]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        assert!(lines[1].contains("MPI_Allreduce"));
+        assert!(lines[1].contains("count"));
+        assert!(lines[1].contains("0.3000"), "error rate column: {}", lines[1]);
+    }
+
+    #[test]
+    fn histograms_csv_fractions_sum_to_one() {
+        let r = sample_result();
+        let csv = histograms_csv(&[("row1", r.hist.clone())]);
+        let line = csv.trim().lines().nth(1).unwrap();
+        let fields: Vec<f64> = line
+            .split(',')
+            .skip(2)
+            .map(|f| f.parse().unwrap())
+            .collect();
+        assert!((fields.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_csv_roundtrip() {
+        let csv = series_csv("threshold", "reduction", &[(0.45, 0.85), (0.65, 0.55)]);
+        assert!(csv.starts_with("threshold,reduction\n"));
+        assert_eq!(csv.trim().lines().count(), 3);
+    }
+
+    #[test]
+    fn maybe_write_none_is_noop() {
+        maybe_write(&None, "x.csv", "a,b\n");
+    }
+}

@@ -1,0 +1,225 @@
+//! The fault model: one single-bit flip in one input parameter of one
+//! collective invocation on one rank (§II of the paper).
+//!
+//! The injector is a [`CollHook`] — the PMPI-interposition seam of the
+//! simulated runtime. When the targeted `(rank, site, invocation)` executes,
+//! the hook flips the requested bit in the requested parameter and records
+//! that it fired.
+
+use crate::space::InjectionPoint;
+use simmpi::hook::{CollCall, CollHook, ParamId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One concrete fault: a bit position within the target parameter.
+///
+/// `bit` is reduced modulo the parameter's width at injection time (for
+/// buffers: modulo the buffer's bit length), so callers can draw it
+/// uniformly from a wide range without knowing buffer sizes up front.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Where to inject.
+    pub point: InjectionPoint,
+    /// Which bit to flip.
+    pub bit: u64,
+}
+
+/// The interposition hook that performs the injection.
+pub struct InjectorHook {
+    spec: FaultSpec,
+    fired: AtomicBool,
+}
+
+impl InjectorHook {
+    /// Create a hook for one fault.
+    pub fn new(spec: FaultSpec) -> Self {
+        InjectorHook {
+            spec,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the fault was actually injected during the run (the target
+    /// invocation was reached and had a non-empty target parameter).
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+fn flip_buf(buf: &mut [u8], bit: u64) -> bool {
+    if buf.is_empty() {
+        return false;
+    }
+    let b = (bit % (buf.len() as u64 * 8)) as usize;
+    buf[b / 8] ^= 1 << (b % 8);
+    true
+}
+
+fn flip_u32(v: &mut u32, bit: u64) -> bool {
+    *v ^= 1 << (bit % 32);
+    true
+}
+
+fn flip_i32(v: &mut i32, bit: u64) -> bool {
+    *v ^= 1 << (bit % 32);
+    true
+}
+
+impl CollHook for InjectorHook {
+    fn before(&self, call: &mut CollCall<'_>) {
+        let p = &self.spec.point;
+        if call.rank != p.rank || call.site != p.site || call.invocation != p.invocation {
+            return;
+        }
+        let bit = self.spec.bit;
+        let fired = match p.param {
+            ParamId::SendBuf => call.sendbuf.as_deref_mut().map(|b| flip_buf(b, bit)).unwrap_or(false),
+            ParamId::RecvBuf => call.recvbuf.as_deref_mut().map(|b| flip_buf(b, bit)).unwrap_or(false),
+            ParamId::Count => {
+                // For v-collectives, flip a bit in one entry of the send
+                // counts vector; otherwise the scalar count.
+                if let Some(counts) = call.params.send_counts.as_mut() {
+                    if counts.is_empty() {
+                        false
+                    } else {
+                        let idx = ((bit / 32) as usize) % counts.len();
+                        flip_i32(&mut counts[idx], bit)
+                    }
+                } else {
+                    flip_i32(&mut call.params.count, bit)
+                }
+            }
+            ParamId::Datatype => flip_u32(&mut call.params.dtype, bit),
+            ParamId::Op => flip_u32(&mut call.params.op, bit),
+            ParamId::Root => flip_i32(&mut call.params.root, bit),
+            ParamId::Comm => flip_u32(&mut call.params.comm, bit),
+        };
+        if fired {
+            self.fired.store(true, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::datatype::Datatype;
+    use simmpi::hook::{CallSite, CollKind, CollParams};
+    use simmpi::op::ReduceOp;
+
+    fn point(param: ParamId) -> InjectionPoint {
+        InjectionPoint {
+            site: CallSite {
+                file: "k.rs",
+                line: 5,
+            },
+            kind: CollKind::Allreduce,
+            rank: 2,
+            invocation: 1,
+            param,
+        }
+    }
+
+    fn call_at<'a>(
+        rank: usize,
+        invocation: u64,
+        params: &'a mut CollParams,
+        sendbuf: Option<&'a mut Vec<u8>>,
+    ) -> CollCall<'a> {
+        CollCall {
+            kind: CollKind::Allreduce,
+            site: CallSite {
+                file: "k.rs",
+                line: 5,
+            },
+            invocation,
+            rank,
+            params,
+            sendbuf,
+            recvbuf: None,
+        }
+    }
+
+    #[test]
+    fn fires_only_on_exact_target() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::Count),
+            bit: 3,
+        });
+        let mut params = CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        // Wrong rank.
+        hook.before(&mut call_at(0, 1, &mut params, None));
+        assert!(!hook.fired());
+        assert_eq!(params.count, 8);
+        // Wrong invocation.
+        hook.before(&mut call_at(2, 0, &mut params, None));
+        assert!(!hook.fired());
+        // Exact target.
+        hook.before(&mut call_at(2, 1, &mut params, None));
+        assert!(hook.fired());
+        assert_eq!(params.count, 8 ^ (1 << 3));
+    }
+
+    #[test]
+    fn buffer_flip_changes_exactly_one_bit() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::SendBuf),
+            bit: 8 * 5 + 2, // byte 5, bit 2
+        });
+        let mut params = CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut buf = vec![0u8; 16];
+        hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
+        assert!(hook.fired());
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_eq!(buf[5], 1 << 2);
+    }
+
+    #[test]
+    fn buffer_bit_wraps_modulo_length() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::SendBuf),
+            bit: 16 * 8 + 1, // wraps to bit 1 of byte 0
+        });
+        let mut params = CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut buf = vec![0u8; 16];
+        hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
+        assert_eq!(buf[0], 1 << 1);
+    }
+
+    #[test]
+    fn empty_buffer_does_not_fire() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::SendBuf),
+            bit: 0,
+        });
+        let mut params = CollParams::simple(0, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut buf = Vec::new();
+        hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
+        assert!(!hook.fired());
+    }
+
+    #[test]
+    fn comm_flip_corrupts_handle() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::Comm),
+            bit: 40, // 40 % 32 = bit 8
+        });
+        let mut params = CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let before = params.comm;
+        hook.before(&mut call_at(2, 1, &mut params, None));
+        assert_eq!(params.comm, before ^ (1 << 8));
+    }
+
+    #[test]
+    fn alltoallv_count_flip_hits_vector_entry() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::Count),
+            bit: 32 * 3 + 1, // entry 3, bit 1
+        });
+        let mut params = CollParams::simple(4, Datatype::Int32, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        params.send_counts = Some(vec![4, 4, 4, 4, 4]);
+        hook.before(&mut call_at(2, 1, &mut params, None));
+        assert_eq!(params.send_counts.as_ref().unwrap()[3], 4 ^ 2);
+        assert_eq!(params.count, 4, "scalar count untouched for v-collectives");
+    }
+}

@@ -1,0 +1,9 @@
+//! The three pruning stages of §III.
+
+pub mod context;
+pub mod ml;
+pub mod semantic;
+
+pub use context::{context_prune, ContextPrune};
+pub use ml::{ml_driven, MlConfig, MlOutcome, MlTarget};
+pub use semantic::{semantic_prune, SemanticPrune};

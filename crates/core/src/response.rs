@@ -1,0 +1,404 @@
+//! Application-response classification — Table I of the paper.
+
+use simmpi::control::FatalKind;
+use simmpi::ctx::RankOutput;
+use simmpi::runtime::JobOutcome;
+
+/// The six application responses of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Response {
+    /// Exits without error, same result as the fault-free run.
+    Success,
+    /// Exits with an error reported by the program itself.
+    AppDetected,
+    /// Exits with an error reported by the MPI environment.
+    MpiErr,
+    /// Exits with a segmentation fault.
+    SegFault,
+    /// Exits but the result differs from the fault-free run.
+    WrongAns,
+    /// Does not exit; killed by timeout.
+    InfLoop,
+}
+
+/// All responses in Table I order.
+pub const ALL_RESPONSES: [Response; 6] = [
+    Response::Success,
+    Response::AppDetected,
+    Response::MpiErr,
+    Response::SegFault,
+    Response::WrongAns,
+    Response::InfLoop,
+];
+
+impl Response {
+    /// The paper's abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Response::Success => "SUCCESS",
+            Response::AppDetected => "APP_DETECTED",
+            Response::MpiErr => "MPI_ERR",
+            Response::SegFault => "SEG_FAULT",
+            Response::WrongAns => "WRONG_ANS",
+            Response::InfLoop => "INF_LOOP",
+        }
+    }
+
+    /// Stable index into [`ALL_RESPONSES`].
+    pub fn index(self) -> usize {
+        ALL_RESPONSES.iter().position(|r| *r == self).unwrap()
+    }
+
+    /// Everything except `SUCCESS` counts as an error (§II: the error rate
+    /// counts the other five responses).
+    pub fn is_error(self) -> bool {
+        self != Response::Success
+    }
+}
+
+impl std::fmt::Display for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compare two scalar outputs under a relative tolerance. Near-zero values
+/// fall back to an absolute comparison at the same tolerance.
+fn scalar_close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true; // covers exact match including tol = 0
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Whether an injected run's outputs match the golden outputs within `tol`.
+pub fn outputs_match(golden: &[RankOutput], got: &[RankOutput], tol: f64) -> bool {
+    if golden.len() != got.len() {
+        return false;
+    }
+    for (g, o) in golden.iter().zip(got) {
+        if g.scalars.len() != o.scalars.len() {
+            return false;
+        }
+        for ((gn, gv), (on, ov)) in g.scalars.iter().zip(&o.scalars) {
+            if gn != on || !scalar_close(*gv, *ov, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Classify a job outcome against the golden outputs (Table I).
+pub fn classify(outcome: &JobOutcome, golden: &[RankOutput], tol: f64) -> Response {
+    match outcome {
+        JobOutcome::Completed { outputs } => {
+            if outputs_match(golden, outputs, tol) {
+                Response::Success
+            } else {
+                Response::WrongAns
+            }
+        }
+        JobOutcome::Fatal { kind, .. } => match kind {
+            FatalKind::AppAbort { .. } => Response::AppDetected,
+            FatalKind::Mpi(_) => Response::MpiErr,
+            FatalKind::SegFault { .. } => Response::SegFault,
+        },
+        JobOutcome::TimedOut => Response::InfLoop,
+    }
+}
+
+/// A histogram over the six responses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResponseHistogram {
+    counts: [u64; 6],
+}
+
+impl ResponseHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one response.
+    pub fn add(&mut self, r: Response) {
+        self.counts[r.index()] += 1;
+    }
+
+    /// Merge another histogram in.
+    pub fn merge(&mut self, other: &ResponseHistogram) {
+        for i in 0..6 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Count for one response.
+    pub fn count(&self, r: Response) -> u64 {
+        self.counts[r.index()]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction for one response (0 when empty).
+    pub fn fraction(&self, r: Response) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(r) as f64 / t as f64
+        }
+    }
+
+    /// Error rate: fraction of non-`SUCCESS` responses (§II).
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.fraction(Response::Success)
+    }
+
+    /// The most frequent response (ties break in Table I order).
+    pub fn dominant(&self) -> Response {
+        ALL_RESPONSES
+            .iter()
+            .copied()
+            .max_by_key(|r| self.count(*r))
+            .unwrap_or(Response::Success)
+    }
+}
+
+/// Discretized error-rate level. The paper uses 2, 3 (15%/85% in Figure 8)
+/// and 4 (25% steps, Figure 4) level schemes; `Levels` generalizes to any
+/// `k` as §III-C promises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Levels {
+    /// Number of levels.
+    pub k: usize,
+}
+
+impl Levels {
+    /// Evenly divided levels (Figure 13: "divide the error rate range
+    /// evenly into 2 or 3 levels").
+    pub fn even(k: usize) -> Self {
+        assert!(k >= 2);
+        Levels { k }
+    }
+
+    /// Level of an error rate in `[0, 1]`.
+    pub fn of(&self, rate: f64) -> usize {
+        let r = rate.clamp(0.0, 1.0);
+        ((r * self.k as f64) as usize).min(self.k - 1)
+    }
+
+    /// Level names for reports (`low`..`high` schemes used in the paper).
+    pub fn names(&self) -> Vec<String> {
+        match self.k {
+            2 => vec!["low".into(), "high".into()],
+            3 => vec!["low".into(), "med".into(), "high".into()],
+            4 => vec![
+                "low".into(),
+                "med-low".into(),
+                "med-high".into(),
+                "high".into(),
+            ],
+            k => (0..k).map(|i| format!("L{}", i)).collect(),
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion (here: the error rate
+/// estimated from `errors` failures in `trials` fault-injection tests).
+///
+/// This is the statistics behind the paper's "at least 100 fault injection
+/// tests at each fault injection point to ensure statistical significance"
+/// (§II): at 100 trials the 95% interval half-width is at most ~±10% and
+/// shrinks with the rate's distance from 50%.
+pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = errors as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The 95% Wilson interval (z = 1.96).
+pub fn wilson_95(errors: u64, trials: u64) -> (f64, f64) {
+    wilson_interval(errors, trials, 1.96)
+}
+
+/// Number of trials needed for the 95% Wilson half-width to drop below
+/// `half_width` in the worst case (p = 0.5). Answers "how many tests per
+/// point are enough?" for a target precision.
+pub fn trials_for_half_width(half_width: f64) -> u64 {
+    let mut n = 1u64;
+    loop {
+        let (lo, hi) = wilson_95(n / 2, n);
+        if (hi - lo) / 2.0 <= half_width || n > 1_000_000 {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+/// The paper's Figure 8/11 scheme: `low` ≤ 15%, `high` ≥ 85%, `med`
+/// in between.
+pub fn level_15_85(rate: f64) -> usize {
+    if rate <= 0.15 {
+        0
+    } else if rate < 0.85 {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::error::MpiError;
+
+    fn out(v: f64) -> Vec<RankOutput> {
+        vec![RankOutput::from_scalars(&[("x", v)])]
+    }
+
+    #[test]
+    fn classification_covers_table_one() {
+        let golden = out(1.0);
+        assert_eq!(
+            classify(&JobOutcome::Completed { outputs: out(1.0) }, &golden, 0.0),
+            Response::Success
+        );
+        assert_eq!(
+            classify(&JobOutcome::Completed { outputs: out(2.0) }, &golden, 0.0),
+            Response::WrongAns
+        );
+        assert_eq!(
+            classify(
+                &JobOutcome::Fatal {
+                    rank: 0,
+                    kind: FatalKind::AppAbort {
+                        code: 1,
+                        msg: "x".into()
+                    }
+                },
+                &golden,
+                0.0
+            ),
+            Response::AppDetected
+        );
+        assert_eq!(
+            classify(
+                &JobOutcome::Fatal {
+                    rank: 0,
+                    kind: FatalKind::Mpi(MpiError::Comm)
+                },
+                &golden,
+                0.0
+            ),
+            Response::MpiErr
+        );
+        assert_eq!(
+            classify(
+                &JobOutcome::Fatal {
+                    rank: 0,
+                    kind: FatalKind::SegFault { detail: "d".into() }
+                },
+                &golden,
+                0.0
+            ),
+            Response::SegFault
+        );
+        assert_eq!(classify(&JobOutcome::TimedOut, &golden, 0.0), Response::InfLoop);
+    }
+
+    #[test]
+    fn tolerance_allows_statistical_outputs() {
+        let golden = out(100.0);
+        let near = JobOutcome::Completed { outputs: out(101.0) };
+        assert_eq!(classify(&near, &golden, 0.05), Response::Success);
+        assert_eq!(classify(&near, &golden, 1e-6), Response::WrongAns);
+    }
+
+    #[test]
+    fn nan_output_is_wrong_answer() {
+        let golden = out(1.0);
+        let bad = JobOutcome::Completed {
+            outputs: out(f64::NAN),
+        };
+        assert_eq!(classify(&bad, &golden, 0.5), Response::WrongAns);
+    }
+
+    #[test]
+    fn histogram_rates() {
+        let mut h = ResponseHistogram::new();
+        for _ in 0..6 {
+            h.add(Response::Success);
+        }
+        h.add(Response::SegFault);
+        h.add(Response::SegFault);
+        h.add(Response::MpiErr);
+        h.add(Response::InfLoop);
+        assert_eq!(h.total(), 10);
+        assert!((h.error_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(h.dominant(), Response::Success);
+        assert!((h.fraction(Response::SegFault) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_schemes() {
+        assert_eq!(level_15_85(0.0), 0);
+        assert_eq!(level_15_85(0.15), 0);
+        assert_eq!(level_15_85(0.5), 1);
+        assert_eq!(level_15_85(0.9), 2);
+        let l4 = Levels::even(4);
+        assert_eq!(l4.of(0.0), 0);
+        assert_eq!(l4.of(0.26), 1);
+        assert_eq!(l4.of(0.74), 2);
+        assert_eq!(l4.of(1.0), 3);
+        assert_eq!(Levels::even(3).names(), vec!["low", "med", "high"]);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Contains the point estimate.
+        let (lo, hi) = wilson_95(30, 100);
+        assert!(lo < 0.3 && 0.3 < hi);
+        // Shrinks with more trials.
+        let (lo2, hi2) = wilson_95(300, 1000);
+        assert!(hi2 - lo2 < hi - lo);
+        // Degenerate cases stay in [0, 1].
+        assert_eq!(wilson_95(0, 0), (0.0, 1.0));
+        let (lo, hi) = wilson_95(0, 50);
+        assert!(lo == 0.0 && hi > 0.0 && hi < 0.2);
+        let (lo, hi) = wilson_95(50, 50);
+        assert!(hi == 1.0 && lo > 0.8);
+    }
+
+    #[test]
+    fn hundred_trials_gives_about_ten_percent_precision() {
+        // The paper's 100-trials rule: worst-case 95% half-width ~±10%.
+        let (lo, hi) = wilson_95(50, 100);
+        let half = (hi - lo) / 2.0;
+        assert!(half < 0.105, "half width {half}");
+        assert!(half > 0.08);
+        // And the inverse query agrees.
+        let n = trials_for_half_width(0.10);
+        assert!((80..=110).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn mismatched_names_fail_match() {
+        let a = vec![RankOutput::from_scalars(&[("x", 1.0)])];
+        let b = vec![RankOutput::from_scalars(&[("y", 1.0)])];
+        assert!(!outputs_match(&a, &b, 1.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Injection-point enumeration.
+//!
+//! A fault injection point is a tuple `(call site, invocation, rank,
+//! parameter)` — §II. The full space is the cross product over all sites,
+//! all their invocations, all ranks, and all injectable parameters of the
+//! collective; the pruning stages of §III carve it down.
+
+use mpiprof::ApplicationProfile;
+use simmpi::hook::{CallSite, CollKind, ParamId};
+
+/// One fault injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InjectionPoint {
+    /// Application call site.
+    pub site: CallSite,
+    /// Collective type at the site.
+    pub kind: CollKind,
+    /// Target global rank.
+    pub rank: usize,
+    /// Target invocation index (per rank, per site).
+    pub invocation: u64,
+    /// Target parameter.
+    pub param: ParamId,
+}
+
+/// Which parameters a campaign injects into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsMode {
+    /// The paper's campaign default (§V-C): the data buffer where one
+    /// exists, otherwise the communicator (`MPI_Barrier` has no buffer).
+    DataBuffer,
+    /// Every injectable parameter of the collective (Figure 9's study).
+    All,
+    /// An explicit list (intersected with the collective's parameter set).
+    Only(Vec<ParamId>),
+}
+
+impl ParamsMode {
+    /// The parameters to inject for a collective of this kind.
+    pub fn params_for(&self, kind: CollKind) -> Vec<ParamId> {
+        let available = kind.params();
+        match self {
+            ParamsMode::DataBuffer => {
+                if available.contains(&ParamId::SendBuf) {
+                    vec![ParamId::SendBuf]
+                } else {
+                    vec![ParamId::Comm]
+                }
+            }
+            ParamsMode::All => available.to_vec(),
+            ParamsMode::Only(list) => available
+                .iter()
+                .copied()
+                .filter(|p| list.contains(p))
+                .collect(),
+        }
+    }
+}
+
+/// Size of the *full* (unpruned) injection space: for every site, its
+/// per-rank invocation count summed over all ranks, times the parameter
+/// count for the campaign mode. This is the paper's baseline (e.g. 618,496
+/// points for 1024-rank LAMMPS).
+pub fn full_space_count(profile: &ApplicationProfile, mode: &ParamsMode) -> u64 {
+    let mut total = 0u64;
+    for rank in 0..profile.nranks {
+        for st in profile.site_stats(rank) {
+            total += st.n_inv * mode.params_for(st.kind).len() as u64;
+        }
+    }
+    total
+}
+
+/// Enumerate the full space for a (small) profiled run. Mostly used by
+/// tests and the exhaustive-baseline ablation; campaigns use the pruned
+/// enumeration in [`crate::prune`].
+pub fn full_space(profile: &ApplicationProfile, mode: &ParamsMode) -> Vec<InjectionPoint> {
+    let mut points = Vec::new();
+    for rank in 0..profile.nranks {
+        for st in profile.site_stats(rank) {
+            for inv in 0..st.n_inv {
+                for param in mode.params_for(st.kind) {
+                    points.push(InjectionPoint {
+                        site: st.site,
+                        kind: st.kind,
+                        rank,
+                        invocation: inv,
+                        param,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::record::{CallRecord, Phase};
+
+    fn rec(line: u32, kind: CollKind, inv: u64) -> CallRecord {
+        CallRecord {
+            site: CallSite {
+                file: "app.rs",
+                line,
+            },
+            kind,
+            invocation: inv,
+            comm_code: 1,
+            comm_size: 2,
+            count: 1,
+            root: 0,
+            is_root: false,
+            phase: Phase::Compute,
+            errhdl: false,
+            stack: vec!["main"],
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn params_mode_selection() {
+        assert_eq!(
+            ParamsMode::DataBuffer.params_for(CollKind::Allreduce),
+            vec![ParamId::SendBuf]
+        );
+        assert_eq!(
+            ParamsMode::DataBuffer.params_for(CollKind::Barrier),
+            vec![ParamId::Comm]
+        );
+        assert_eq!(ParamsMode::All.params_for(CollKind::Allreduce).len(), 6);
+        assert_eq!(
+            ParamsMode::Only(vec![ParamId::Op, ParamId::Root]).params_for(CollKind::Allreduce),
+            vec![ParamId::Op]
+        );
+    }
+
+    #[test]
+    fn full_space_counts_cross_product() {
+        // 2 ranks, one allreduce site with 3 invocations, one barrier site
+        // with 1 invocation.
+        let per_rank = vec![
+            rec(1, CollKind::Allreduce, 0),
+            rec(1, CollKind::Allreduce, 1),
+            rec(1, CollKind::Allreduce, 2),
+            rec(9, CollKind::Barrier, 0),
+        ];
+        let p = ApplicationProfile::new(vec![per_rank.clone(), per_rank]);
+        // DataBuffer mode: (3 inv * 1 param + 1 inv * 1 param) * 2 ranks.
+        assert_eq!(full_space_count(&p, &ParamsMode::DataBuffer), 8);
+        // All params: (3 * 6 + 1 * 1) * 2.
+        assert_eq!(full_space_count(&p, &ParamsMode::All), 38);
+        let pts = full_space(&p, &ParamsMode::All);
+        assert_eq!(pts.len(), 38);
+        // Enumeration and counting agree by construction.
+        let distinct: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(distinct.len(), pts.len());
+    }
+}

@@ -1,0 +1,537 @@
+//! The Lennard-Jones MD simulation.
+//!
+//! Geometry: an elongated periodic box, lattice `4·nranks × 4 × 4`, slab
+//! decomposed along x so each slab is wider than the force cutoff and only
+//! adjacent ranks exchange atoms and ghosts — the standard spatial
+//! decomposition LAMMPS uses, at miniature scale.
+
+use rand::Rng;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// MD configuration.
+#[derive(Debug, Clone)]
+pub struct MdConfig {
+    /// Lattice cells along y and z (atoms per rank = `cells_x_per_rank *
+    /// cells_yz^2`).
+    pub cells_yz: usize,
+    /// Lattice cells along x per rank.
+    pub cells_x_per_rank: usize,
+    /// Lattice spacing.
+    pub spacing: f64,
+    /// Force cutoff.
+    pub cutoff: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Number of steps.
+    pub steps: usize,
+    /// Target temperature for the stochastic thermostat.
+    pub target_temp: f64,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        MdConfig {
+            cells_yz: 4,
+            cells_x_per_rank: 4,
+            spacing: 1.1,
+            cutoff: 2.0,
+            dt: 0.004,
+            steps: 10,
+            target_temp: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Atom {
+    pos: [f64; 3],
+    vel: [f64; 3],
+}
+
+impl Atom {
+    fn to_f64s(self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.pos);
+        out.extend_from_slice(&self.vel);
+    }
+
+    fn from_f64s(v: &[f64]) -> Atom {
+        Atom {
+            pos: [v[0], v[1], v[2]],
+            vel: [v[3], v[4], v[5]],
+        }
+    }
+}
+
+/// Build the minimd application closure.
+pub fn md_app(cfg: MdConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_md(ctx, &cfg))
+}
+
+struct Box3 {
+    lx: f64,
+    lyz: f64,
+    /// My slab is `[x0, x1)`.
+    x0: f64,
+    x1: f64,
+}
+
+impl Box3 {
+    #[allow(clippy::needless_range_loop)] // the axis index is the semantics
+    fn min_image(&self, mut d: [f64; 3]) -> [f64; 3] {
+        // x is handled by slab adjacency (ghosts carry shifted coords); y/z
+        // are periodic with minimum image.
+        for k in 1..3 {
+            if d[k] > self.lyz / 2.0 {
+                d[k] -= self.lyz;
+            } else if d[k] < -self.lyz / 2.0 {
+                d[k] += self.lyz;
+            }
+        }
+        if d[0] > self.lx / 2.0 {
+            d[0] -= self.lx;
+        } else if d[0] < -self.lx / 2.0 {
+            d[0] += self.lx;
+        }
+        d
+    }
+}
+
+/// Lennard-Jones force magnitude / potential with a soft inner core and
+/// cutoff. Returns `(f_over_r, potential)`.
+fn lj(r2: f64, rc2: f64) -> (f64, f64) {
+    if r2 >= rc2 {
+        return (0.0, 0.0);
+    }
+    let r2 = r2.max(0.64); // soft core: clamp below r = 0.8
+    let inv2 = 1.0 / r2;
+    let inv6 = inv2 * inv2 * inv2;
+    let f = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+    let pe = 4.0 * inv6 * (inv6 - 1.0);
+    (f, pe)
+}
+
+fn run_md(ctx: &mut RankCtx, cfg: &MdConfig) -> RankOutput {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+
+    // --- Input: rank 0 broadcasts the run parameters ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0.0f64; 6];
+    if me == 0 {
+        params = [
+            cfg.spacing,
+            cfg.cutoff,
+            cfg.dt,
+            cfg.steps as f64,
+            cfg.target_temp,
+            cfg.cells_x_per_rank as f64,
+        ];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    // LAMMPS-style input validation: error->all on nonsense parameters.
+    if !params.iter().all(|v| v.is_finite())
+        || params[0] <= 0.0
+        || params[0] > 1e3
+        || params[1] <= 0.0
+        || params[1] > 1e3
+        || params[2] <= 0.0
+        || params[2] > 1.0
+        || params[3] < 0.0
+        || params[3] > 1e6
+        || params[4] < 0.0
+        || params[4] > 1e6
+        || params[5] < 1.0
+        || params[5] > 1e4
+    {
+        ctx.errhdl(|_| ());
+        ctx.abort(12, "minimd: invalid input parameters");
+    }
+    let (spacing, cutoff, dt, steps, target_temp, cx) = (
+        params[0],
+        params[1],
+        params[2],
+        params[3] as usize,
+        params[4],
+        params[5] as usize,
+    );
+    let cyz = cfg.cells_yz;
+    let b = {
+        let lx = spacing * (cx * nranks) as f64;
+        let lyz = spacing * cyz as f64;
+        let x0 = me as f64 * spacing * cx as f64;
+        Box3 {
+            lx,
+            lyz,
+            x0,
+            x1: x0 + spacing * cx as f64,
+        }
+    };
+
+    // --- Init: lattice + Maxwell-ish velocities ---
+    ctx.set_phase(Phase::Init);
+    let mut atoms: Vec<Atom> = Vec::new();
+    ctx.frame("create_atoms", |ctx| {
+        for i in 0..cx {
+            for j in 0..cyz {
+                for k in 0..cyz {
+                    let jitter = 0.05 * spacing;
+                    let mut a = Atom {
+                        pos: [
+                            b.x0 + (i as f64 + 0.5) * spacing,
+                            (j as f64 + 0.5) * spacing,
+                            (k as f64 + 0.5) * spacing,
+                        ],
+                        vel: [0.0; 3],
+                    };
+                    for d in 0..3 {
+                        a.pos[d] += jitter * (ctx.rng().gen::<f64>() - 0.5);
+                        a.vel[d] = (target_temp).sqrt() * (ctx.rng().gen::<f64>() - 0.5) * 2.0;
+                    }
+                    atoms.push(a);
+                }
+            }
+        }
+    });
+    let natoms_expected = (cx * cyz * cyz * nranks) as i64;
+    // Initial census of atoms per rank (MPI_Allgather, as in domain setup).
+    let mut census = vec![0i64; nranks];
+    ctx.frame("initial_census", |ctx| {
+        ctx.allgather(&[atoms.len() as i64], &mut census, world)
+    });
+    // Pre-size the exchange buffers from the census (LAMMPS-style).
+    let cap: i64 = census.iter().map(|&c| c.max(0)).sum();
+    drop(simmpi::ctx::guarded_vec::<f64>(cap as usize * 6));
+    ctx.barrier(world);
+
+    // --- Compute: the MD loop ---
+    ctx.set_phase(Phase::Compute);
+    let rc2 = cutoff * cutoff;
+    let right = (me + 1) % nranks;
+    let left = (me + nranks - 1) % nranks;
+    let mut temp_series = Vec::new();
+    let mut pe_series = Vec::new();
+
+    for step in 0..steps {
+        // Migrate atoms that crossed slab borders (adjacent ranks only).
+        ctx.frame("comm_atoms", |ctx| {
+            let mut stay = Vec::with_capacity(atoms.len());
+            let (mut go_left, mut go_right) = (Vec::new(), Vec::new());
+            for a in atoms.drain(..) {
+                let mut a = a;
+                // Global periodic wrap in x.
+                if a.pos[0] < 0.0 {
+                    a.pos[0] += b.lx;
+                } else if a.pos[0] >= b.lx {
+                    a.pos[0] -= b.lx;
+                }
+                for d in 1..3 {
+                    if a.pos[d] < 0.0 {
+                        a.pos[d] += b.lyz;
+                    } else if a.pos[d] >= b.lyz {
+                        a.pos[d] -= b.lyz;
+                    }
+                }
+                let wrapped_left = me == 0 && a.pos[0] >= b.lx - (b.x1 - b.x0);
+                let wrapped_right = me == nranks - 1 && a.pos[0] < (b.x1 - b.x0);
+                if (a.pos[0] < b.x0 && !wrapped_right) || wrapped_left {
+                    go_left.push(a);
+                } else if (a.pos[0] >= b.x1 && !wrapped_left) || wrapped_right {
+                    go_right.push(a);
+                } else {
+                    stay.push(a);
+                }
+            }
+            atoms = stay;
+            if nranks > 1 {
+                for (dir_peer_send, dir_peer_recv, outgoing, tag) in [
+                    (right, left, &go_right, 41),
+                    (left, right, &go_left, 42),
+                ] {
+                    let mut payload = Vec::with_capacity(outgoing.len() * 6);
+                    for a in outgoing {
+                        a.to_f64s(&mut payload);
+                    }
+                    let mut count_in = [0i64; 1];
+                    ctx.sendrecv(
+                        &[outgoing.len() as i64],
+                        dir_peer_send,
+                        &mut count_in,
+                        dir_peer_recv,
+                        tag,
+                        world,
+                    );
+                    let mut incoming =
+                        simmpi::ctx::guarded_vec::<f64>((count_in[0].max(0) as usize) * 6);
+                    ctx.sendrecv(
+                        &payload,
+                        dir_peer_send,
+                        &mut incoming,
+                        dir_peer_recv,
+                        tag + 2,
+                        world,
+                    );
+                    for c in incoming.chunks_exact(6) {
+                        atoms.push(Atom::from_f64s(c));
+                    }
+                }
+            } else {
+                atoms.extend(go_left);
+                atoms.extend(go_right);
+            }
+        });
+
+        // Ghost exchange: copies of atoms within the cutoff of a border.
+        let ghosts: Vec<Atom> = ctx.frame("comm_ghosts", |ctx| {
+            let mut ghosts = Vec::new();
+            if nranks > 1 {
+                let near_right: Vec<&Atom> =
+                    atoms.iter().filter(|a| a.pos[0] >= b.x1 - cutoff).collect();
+                let near_left: Vec<&Atom> =
+                    atoms.iter().filter(|a| a.pos[0] < b.x0 + cutoff).collect();
+                for (peer_send, peer_recv, set, tag) in
+                    [(right, left, near_right, 45), (left, right, near_left, 46)]
+                {
+                    let mut payload = Vec::with_capacity(set.len() * 6);
+                    for a in &set {
+                        a.to_f64s(&mut payload);
+                    }
+                    let mut count_in = [0i64; 1];
+                    ctx.sendrecv(
+                        &[set.len() as i64],
+                        peer_send,
+                        &mut count_in,
+                        peer_recv,
+                        tag,
+                        world,
+                    );
+                    let mut incoming =
+                        simmpi::ctx::guarded_vec::<f64>((count_in[0].max(0) as usize) * 6);
+                    ctx.sendrecv(&payload, peer_send, &mut incoming, peer_recv, tag + 2, world);
+                    for c in incoming.chunks_exact(6) {
+                        ghosts.push(Atom::from_f64s(c));
+                    }
+                }
+            }
+            ghosts
+        });
+
+        // Forces and potential energy.
+        let mut forces = vec![[0.0f64; 3]; atoms.len()];
+        let mut pe_local = 0.0;
+        #[allow(clippy::needless_range_loop)]
+        ctx.frame("compute_forces", |ctx| {
+            let _ = ctx;
+            for i in 0..atoms.len() {
+                for j in (i + 1)..atoms.len() {
+                    let mut d = [0.0; 3];
+                    for k in 0..3 {
+                        d[k] = atoms[i].pos[k] - atoms[j].pos[k];
+                    }
+                    let d = b.min_image(d);
+                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    let (f, pe) = lj(r2, rc2);
+                    for k in 0..3 {
+                        forces[i][k] += f * d[k];
+                        forces[j][k] -= f * d[k];
+                    }
+                    pe_local += pe;
+                }
+                for g in &ghosts {
+                    let mut d = [0.0; 3];
+                    for k in 0..3 {
+                        d[k] = atoms[i].pos[k] - g.pos[k];
+                    }
+                    let d = b.min_image(d);
+                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    let (f, pe) = lj(r2, rc2);
+                    for k in 0..3 {
+                        forces[i][k] += f * d[k];
+                    }
+                    pe_local += 0.5 * pe;
+                }
+            }
+        });
+
+        // Integration.
+        #[allow(clippy::needless_range_loop)]
+        ctx.frame("integrate", |ctx| {
+            let _ = ctx;
+            for (a, f) in atoms.iter_mut().zip(&forces) {
+                for k in 0..3 {
+                    a.vel[k] += dt * f[k];
+                    a.pos[k] += dt * a.vel[k];
+                }
+            }
+        });
+
+        // Thermodynamics: kinetic + potential energy reductions.
+        let (temp, pe_total) = ctx.frame("thermo", |ctx| {
+            let ke_local: f64 = atoms
+                .iter()
+                .map(|a| 0.5 * (a.vel[0].powi(2) + a.vel[1].powi(2) + a.vel[2].powi(2)))
+                .sum();
+            let ke = ctx.allreduce_one(ke_local, ReduceOp::Sum, world);
+            let pe = ctx.allreduce_one(pe_local, ReduceOp::Sum, world);
+            let temp = 2.0 * ke / (3.0 * natoms_expected as f64);
+            (temp, pe)
+        });
+        temp_series.push(temp);
+        pe_series.push(pe_total);
+
+        // Error handling (the paper's ErrHal collectives, LAMMPS
+        // error->all analog): anomaly flag every step, count conservation
+        // every other step.
+        ctx.frame("check_errors", |ctx| {
+            let anomaly = atoms.iter().any(|a| {
+                a.pos.iter().chain(a.vel.iter()).any(|v| !v.is_finite())
+                    || a.vel.iter().any(|v| v.abs() > 1e3)
+            });
+            let bad = ctx.errhdl(|ctx| {
+                ctx.allreduce_one(i32::from(anomaly), ReduceOp::Max, ctx.world())
+            });
+            if bad != 0 {
+                ctx.abort(10, "minimd: atom state anomaly detected");
+            }
+            if step % 2 == 0 {
+                let total = ctx.errhdl(|ctx| {
+                    ctx.allreduce_one(atoms.len() as i64, ReduceOp::Sum, ctx.world())
+                });
+                if total != natoms_expected {
+                    ctx.abort(11, "minimd: atom count not conserved");
+                }
+            }
+        });
+
+        // Stochastic (Monte-Carlo-style) velocity rescale thermostat.
+        if step % 3 == 2 {
+            ctx.frame("thermostat", |ctx| {
+                let noise = 1.0 + 0.05 * (ctx.rng().gen::<f64>() - 0.5);
+                let lambda = if temp > 1e-12 {
+                    (target_temp / temp).sqrt() * noise
+                } else {
+                    1.0
+                };
+                let lambda = lambda.clamp(0.8, 1.25);
+                for a in atoms.iter_mut() {
+                    for v in a.vel.iter_mut() {
+                        *v *= lambda;
+                    }
+                }
+            });
+        }
+
+        // Periodic load-balance census + step fence. As in LAMMPS, the
+        // neighbour counts size the communication buffers — so a corrupted
+        // census drives an oversized allocation (a crash in real life).
+        if step % 5 == 4 {
+            ctx.frame("census", |ctx| {
+                ctx.allgather(&[atoms.len() as i64], &mut census, world)
+            });
+            let cap = census[right].max(0) as usize + census[left].max(0) as usize;
+            let ghost_buf = simmpi::ctx::guarded_vec::<f64>(cap * 6);
+            drop(ghost_buf);
+            ctx.barrier(world);
+        }
+    }
+
+    // --- End: final statistics ---
+    ctx.set_phase(Phase::End);
+    let half = temp_series.len() / 2;
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let mut out = RankOutput::new();
+    out.push("md.mean_temp", mean(&temp_series[half..]));
+    out.push("md.mean_pe", mean(&pe_series[half..]));
+    out.push("md.final_atoms", natoms_expected as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn md_completes_with_sane_thermo() {
+        let res = run_job(&spec(8), md_app(MdConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let t = outputs[0].scalars[0].1;
+                assert!(t.is_finite() && t > 0.0 && t < 50.0, "temp {}", t);
+                assert_eq!(outputs[0].scalars[2].1, (4 * 4 * 4 * 8) as f64);
+                // Reductions agree across ranks.
+                assert_eq!(outputs[0].scalars[0].1, outputs[7].scalars[0].1);
+            }
+            other => panic!("minimd failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn md_deterministic() {
+        let a = run_job(&spec(4), md_app(MdConfig::default()));
+        let b = run_job(&spec(4), md_app(MdConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("minimd must complete"),
+        }
+    }
+
+    #[test]
+    fn md_single_rank() {
+        let res = run_job(&spec(1), md_app(MdConfig { steps: 6, ..Default::default() }));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn md_errhdl_fraction_is_large() {
+        // The paper reports 40.32% of LAMMPS allreduces are error handling.
+        let mut s = spec(4);
+        s.record = true;
+        let res = run_job(&s, md_app(MdConfig::default()));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+        let recs = &res.records[0];
+        let allreduces: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == simmpi::hook::CollKind::Allreduce)
+            .collect();
+        let errhdl = allreduces.iter().filter(|r| r.errhdl).count();
+        let frac = errhdl as f64 / allreduces.len() as f64;
+        assert!(
+            (0.25..=0.6).contains(&frac),
+            "errhdl fraction {} of {} allreduces",
+            frac,
+            allreduces.len()
+        );
+    }
+
+    #[test]
+    fn md_uses_the_lammps_collective_mix() {
+        let mut s = spec(4);
+        s.record = true;
+        let res = run_job(&s, md_app(MdConfig::default()));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+        use simmpi::hook::CollKind::*;
+        let kinds: std::collections::HashSet<_> =
+            res.records[0].iter().map(|r| r.kind).collect();
+        for k in [Allreduce, Bcast, Barrier, Allgather] {
+            assert!(kinds.contains(&k), "missing {:?}", k);
+        }
+        // Allreduce dominates, as in LAMMPS (>84% there; here a majority).
+        let n_all = res.records[0].iter().filter(|r| r.kind == Allreduce).count();
+        assert!(n_all * 2 > res.records[0].len());
+    }
+}

@@ -1,0 +1,258 @@
+//! CG — conjugate gradient on a sparse SPD matrix (extension workload).
+//!
+//! The paper evaluates IS/FT/MG/LU; CG is the remaining communication-
+//! intensive NPB kernel and exercises the collectives the others do not
+//! stress: `MPI_Allgather` (assembling the distributed vector for the
+//! matvec) and a dense stream of `MPI_Allreduce` dot products — two per CG
+//! iteration — which makes it a natural subject for the paper's
+//! "future work: other program elements" direction.
+//!
+//! The matrix is the 2-D five-point Laplacian plus a diagonal shift
+//! (guaranteed SPD), row-block distributed.
+
+use crate::common::{global_ok, Class};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// CG configuration: the matrix is `(grid² × grid²)`; `iters` CG steps.
+/// `nranks` must divide `grid²`.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Grid edge of the underlying 2-D Laplacian.
+    pub grid: usize,
+    /// CG iterations.
+    pub iters: usize,
+    /// Diagonal shift (conditioning).
+    pub shift: f64,
+}
+
+impl CgConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => CgConfig {
+                grid: 16,
+                iters: 8,
+                shift: 4.0,
+            },
+            Class::Small => CgConfig {
+                grid: 32,
+                iters: 15,
+                shift: 4.0,
+            },
+            Class::Standard => CgConfig {
+                grid: 64,
+                iters: 25,
+                shift: 4.0,
+            },
+        }
+    }
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig::for_class(Class::Mini)
+    }
+}
+
+/// Build the CG application closure.
+pub fn cg_app(cfg: CgConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_cg(ctx, &cfg))
+}
+
+/// `y_local = A x_full` for the shifted 2-D Laplacian, rows
+/// `[row0, row0+lr)`.
+fn matvec(grid: usize, shift: f64, row0: usize, _lr: usize, x: &[f64], y: &mut [f64]) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = row0 + i;
+        let (r, c) = (row / grid, row % grid);
+        let mut acc = (4.0 + shift) * x[row];
+        if r > 0 {
+            acc -= x[row - grid];
+        }
+        if r + 1 < grid {
+            acc -= x[row + grid];
+        }
+        if c > 0 {
+            acc -= x[row - 1];
+        }
+        if c + 1 < grid {
+            acc -= x[row + 1];
+        }
+        *yi = acc;
+    }
+}
+
+fn run_cg(ctx: &mut RankCtx, cfg: &CgConfig) -> RankOutput {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+
+    // --- Input ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0.0f64; 3];
+    if me == 0 {
+        params = [cfg.grid as f64, cfg.iters as f64, cfg.shift];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    if !params.iter().all(|v| v.is_finite())
+        || params[0] < 2.0
+        || params[0] > 4096.0
+        || !((params[0] * params[0]) as usize).is_multiple_of(nranks)
+        || params[1] < 0.0
+        || params[1] > 100_000.0
+        || params[2] < 0.0
+        || params[2] > 1e6
+    {
+        ctx.abort(5, "CG: invalid input parameters");
+    }
+    let grid = params[0] as usize;
+    let iters = params[1] as usize;
+    let shift = params[2];
+    let nrows = grid * grid;
+    let lr = nrows / nranks;
+    let row0 = me * lr;
+
+    // --- Init: b = normalized multi-mode vector, x = 0 ---
+    ctx.set_phase(Phase::Init);
+    let mut b_local = vec![0.0f64; lr];
+    ctx.frame("setup", |ctx| {
+        let _ = ctx;
+        for (i, v) in b_local.iter_mut().enumerate() {
+            let row = row0 + i;
+            *v = 1.0 + ((row * 7 + 3) % 13) as f64 * 0.1;
+        }
+    });
+    ctx.barrier(world);
+
+    // --- Compute: CG iterations ---
+    ctx.set_phase(Phase::Compute);
+    let dot = |ctx: &mut RankCtx, a: &[f64], b: &[f64]| -> f64 {
+        let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        ctx.allreduce_one(local, ReduceOp::Sum, ctx.world())
+    };
+    let mut x_local = vec![0.0f64; lr];
+    let mut r_local = b_local.clone();
+    let mut p_local = r_local.clone();
+    let mut p_full = vec![0.0f64; nrows];
+    let mut rr = ctx.frame("dot_r0", |ctx| dot(ctx, &r_local, &r_local));
+    let rr0 = rr;
+    let mut norms = vec![rr.sqrt()];
+
+    for _ in 0..iters {
+        ctx.frame("cg_iter", |ctx| {
+            // Assemble the full search direction (MPI_Allgather).
+            ctx.frame("gather_p", |ctx| {
+                ctx.allgather(&p_local, &mut p_full, world)
+            });
+            let mut ap = vec![0.0f64; lr];
+            ctx.frame("matvec", |ctx| {
+                let _ = ctx;
+                matvec(grid, shift, row0, lr, &p_full, &mut ap);
+            });
+            let pap = ctx.frame("dot_pap", |ctx| dot(ctx, &p_local, &ap));
+            if pap.abs() < 1e-300 {
+                return; // direction collapsed; keep previous iterate
+            }
+            let alpha = rr / pap;
+            for i in 0..lr {
+                x_local[i] += alpha * p_local[i];
+                r_local[i] -= alpha * ap[i];
+            }
+            let rr_new = ctx.frame("dot_rr", |ctx| dot(ctx, &r_local, &r_local));
+            let beta = rr_new / rr;
+            for i in 0..lr {
+                p_local[i] = r_local[i] + beta * p_local[i];
+            }
+            rr = rr_new;
+        });
+        norms.push(rr.sqrt());
+    }
+
+    // --- End: verification ---
+    ctx.set_phase(Phase::End);
+    let ok = ctx.frame("verify", |ctx| {
+        let finite = x_local.iter().all(|v| v.is_finite()) && rr.is_finite();
+        // CG on an SPD system must contract the residual substantially.
+        let contracted = rr.sqrt() < 0.5 * rr0.sqrt();
+        global_ok(ctx, finite && contracted)
+    });
+    if !ok {
+        ctx.abort(5, "CG: verification failed (residual not contracting)");
+    }
+
+    let mut out = RankOutput::new();
+    out.push("cg.final_rnorm", *norms.last().unwrap());
+    out.push("cg.x_sum", x_local.iter().sum::<f64>());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cg_converges() {
+        let res = run_job(&spec(8), cg_app(CgConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let rnorm = outputs[0].scalars[0].1;
+                assert!(rnorm.is_finite() && rnorm >= 0.0);
+                assert!(outputs[0].scalars[1].1.abs() > 0.0);
+                // All ranks agree on the allreduced norm.
+                assert_eq!(outputs[0].scalars[0].1, outputs[7].scalars[0].1);
+            }
+            other => panic!("CG failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn cg_matches_serial_reference() {
+        // The distributed solve on 4 ranks equals the 1-rank solve.
+        let a = run_job(&spec(1), cg_app(CgConfig { grid: 8, iters: 6, shift: 4.0 }));
+        let b = run_job(&spec(4), cg_app(CgConfig { grid: 8, iters: 6, shift: 4.0 }));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                let ra = oa[0].scalars[0].1;
+                let rb = ob[0].scalars[0].1;
+                assert!(
+                    (ra - rb).abs() <= 1e-9 * ra.abs().max(1.0),
+                    "{} vs {}",
+                    ra,
+                    rb
+                );
+            }
+            _ => panic!("CG must complete"),
+        }
+    }
+
+    #[test]
+    fn cg_residual_decreases_strictly_at_start() {
+        let res = run_job(&spec(4), cg_app(CgConfig { grid: 8, iters: 4, shift: 4.0 }));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn cg_deterministic() {
+        let a = run_job(&spec(4), cg_app(CgConfig::default()));
+        let b = run_job(&spec(4), cg_app(CgConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("CG must complete"),
+        }
+    }
+}

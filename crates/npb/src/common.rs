@@ -1,0 +1,90 @@
+//! Shared helpers for the mini-NPB kernels.
+
+use simmpi::ctx::RankCtx;
+use simmpi::op::ReduceOp;
+
+/// Scaled-down problem classes, by analogy with NPB's S/W/A/B classes. The
+/// paper runs class B; the simulated host runs the mini classes by default
+/// and can be pushed up via `FASTFIT_CLASS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Tiny — fast enough for tens of thousands of fault trials.
+    Mini,
+    /// Small — an order of magnitude more work.
+    Small,
+    /// Standard — closest to the paper's setup in structure (still far
+    /// smaller than a real class B, which would need minutes per trial).
+    Standard,
+}
+
+impl Class {
+    /// Parse from `FASTFIT_CLASS` (`mini` / `small` / `standard`, aliases
+    /// `s`/`w`/`b` accepted); defaults to `Mini`.
+    pub fn from_env() -> Class {
+        match std::env::var("FASTFIT_CLASS")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
+            "small" | "w" => Class::Small,
+            "standard" | "b" => Class::Standard,
+            _ => Class::Mini,
+        }
+    }
+}
+
+/// Distributed consistency check used in verification code: every rank
+/// passes its local pass/fail; returns the global conjunction. Runs inside
+/// the error-handling annotation (the paper's `ErrHal` feature).
+pub fn global_ok(ctx: &mut RankCtx, local_ok: bool) -> bool {
+    ctx.errhdl(|ctx| {
+        let flag = if local_ok { 1i32 } else { 0i32 };
+        ctx.allreduce_one(flag, ReduceOp::Min, ctx.world()) == 1
+    })
+}
+
+/// Global L2 norm of a distributed vector (sum-of-squares allreduce).
+pub fn global_norm2(ctx: &mut RankCtx, local: &[f64]) -> f64 {
+    let ss: f64 = local.iter().map(|v| v * v).sum();
+    ctx.allreduce_one(ss, ReduceOp::Sum, ctx.world()).sqrt()
+}
+
+/// Partition `n` items over `size` ranks; returns `(offset, len)` of
+/// `rank`'s block (earlier ranks get the remainder).
+pub fn block(n: usize, size: usize, rank: usize) -> (usize, usize) {
+    let base = n / size;
+    let rem = n % size;
+    let len = base + usize::from(rank < rem);
+    let offset = rank * base + rank.min(rem);
+    (offset, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partitions_exactly() {
+        for n in [1usize, 7, 16, 100] {
+            for size in [1usize, 3, 4, 16] {
+                let mut total = 0;
+                let mut next = 0;
+                for r in 0..size {
+                    let (off, len) = block(n, size, r);
+                    assert_eq!(off, next, "n={} size={} r={}", n, size, r);
+                    next = off + len;
+                    total += len;
+                }
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn class_default_is_mini() {
+        // Unless FASTFIT_CLASS is set in the environment of the test runner.
+        if std::env::var("FASTFIT_CLASS").is_err() {
+            assert_eq!(Class::from_env(), Class::Mini);
+        }
+    }
+}

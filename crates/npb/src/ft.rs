@@ -1,0 +1,430 @@
+//! FT — 3-D FFT with spectral evolution, slab-decomposed.
+//!
+//! Structure mirrors NPB FT: broadcast of the problem parameters, a
+//! forward 3-D FFT (local x/y transforms, `MPI_Alltoall` transpose, local
+//! z transforms), per-iteration spectral evolution with an inverse
+//! transform and a complex checksum reduced to rank 0 with `MPI_Reduce`
+//! (the paper's Figure 2 injects exactly this call), and a final
+//! verification step using an error-handling `MPI_Allreduce`.
+
+use crate::common::{global_ok, Class};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::datatype::Complex64;
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// FT configuration. `nx = ny = nz = n`, which must be a power of two and
+/// divisible by the rank count.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Grid edge (power of two).
+    pub n: usize,
+    /// Evolution iterations.
+    pub iters: usize,
+    /// Spectral diffusion coefficient.
+    pub alpha: f64,
+}
+
+impl FtConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => FtConfig {
+                n: 16,
+                iters: 3,
+                alpha: 1e-4,
+            },
+            Class::Small => FtConfig {
+                n: 32,
+                iters: 5,
+                alpha: 1e-4,
+            },
+            Class::Standard => FtConfig {
+                n: 64,
+                iters: 10,
+                alpha: 1e-4,
+            },
+        }
+    }
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig::for_class(Class::Mini)
+    }
+}
+
+/// In-place radix-2 Cooley-Tukey FFT. `inverse` applies the conjugate
+/// transform and the 1/n scaling.
+pub fn fft1d(buf: &mut [Complex64], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = buf[i + j];
+                let v = buf[i + j + len / 2] * w;
+                buf[i + j] = u + v;
+                buf[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            v.re *= inv;
+            v.im *= inv;
+        }
+    }
+}
+
+/// Frequency index of grid coordinate `i` on an `n`-point axis.
+fn freq(i: usize, n: usize) -> f64 {
+    if i <= n / 2 {
+        i as f64
+    } else {
+        i as f64 - n as f64
+    }
+}
+
+struct Slab {
+    n: usize,
+    /// Planes per rank.
+    lp: usize,
+}
+
+impl Slab {
+    fn idx(&self, p: usize, y: usize, x: usize) -> usize {
+        (p * self.n + y) * self.n + x
+    }
+}
+
+/// Build the FT application closure.
+pub fn ft_app(cfg: FtConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_ft(ctx, &cfg))
+}
+
+fn run_ft(ctx: &mut RankCtx, cfg: &FtConfig) -> RankOutput {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+    assert!(
+        cfg.n.is_multiple_of(nranks),
+        "FT: rank count {} must divide n {}",
+        nranks,
+        cfg.n
+    );
+
+    // --- Input: broadcast parameters ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0i64; 2];
+    if me == 0 {
+        params = [cfg.n as i64, cfg.iters as i64];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    if params[0] <= 0
+        || params[0] > 4096
+        || !(params[0] as usize).is_power_of_two()
+        || !(params[0] as usize).is_multiple_of(nranks)
+        || params[1] < 0
+        || params[1] > 10_000
+    {
+        ctx.abort(2, "FT: invalid input parameters");
+    }
+    let n = params[0] as usize;
+    let iters = params[1] as usize;
+    let lp = n / nranks;
+    let slab = Slab { n, lp };
+
+    // --- Init: pseudo-random initial field, decomposition-independent ---
+    ctx.set_phase(Phase::Init);
+    let mut u: Vec<Complex64> = Vec::with_capacity(lp * n * n);
+    ctx.frame("init_field", |ctx| {
+        let _ = ctx; // deterministic closed form, no RNG needed
+        for p in 0..lp {
+            let z = me * lp + p;
+            for y in 0..n {
+                for x in 0..n {
+                    // A smooth multi-mode field: cheap, deterministic, and
+                    // identical for any rank layout.
+                    let (fx, fy, fz) = (x as f64 / n as f64, y as f64 / n as f64, z as f64 / n as f64);
+                    let re = (2.0 * std::f64::consts::PI * (fx + 2.0 * fy)).sin()
+                        + 0.5 * (2.0 * std::f64::consts::PI * (3.0 * fz)).cos();
+                    let im = (2.0 * std::f64::consts::PI * (fy + fz)).cos() * 0.25;
+                    u.push(Complex64::new(re, im));
+                }
+            }
+        }
+    });
+    ctx.barrier(world);
+
+    // --- Compute ---
+    ctx.set_phase(Phase::Compute);
+    // Forward transform: x and y locally, transpose, z locally.
+    let mut v = u.clone();
+    ctx.frame("fft_forward", |ctx| {
+        fft_xy(&slab, &mut v, false);
+        v = transpose(ctx, &slab, &v, nranks);
+        fft_last_dim(&slab, &mut v, false);
+    });
+
+    let mut checksums: Vec<Complex64> = Vec::new();
+    let mut w_spec: Vec<Complex64> = Vec::new();
+    let mut last_real: Vec<Complex64> = Vec::new();
+    for it in 1..=iters {
+        ctx.frame("evolve", |ctx| {
+            // Spectral decay: w = v * exp(-alpha * k^2 * t).
+            w_spec = v.clone();
+            for xl in 0..lp {
+                let xg = me * lp + xl;
+                for y in 0..n {
+                    for z in 0..n {
+                        let k2 = freq(xg, n).powi(2) + freq(y, n).powi(2) + freq(z, n).powi(2);
+                        let f = (-cfg.alpha * k2 * it as f64).exp();
+                        let i = slab.idx(xl, y, z);
+                        w_spec[i].re *= f;
+                        w_spec[i].im *= f;
+                    }
+                }
+            }
+            // Inverse transform back to real space (z-slab layout).
+            let mut w = w_spec.clone();
+            fft_last_dim(&slab, &mut w, true);
+            w = transpose(ctx, &slab, &w, nranks);
+            fft_xy(&slab, &mut w, true);
+            last_real = w;
+        });
+        // Complex checksum reduced onto rank 0 (MPI_Reduce — Figure 2).
+        ctx.frame("checksum", |ctx| {
+            let mut local = Complex64::default();
+            for (i, val) in last_real.iter().enumerate() {
+                // Strided sample, NPB-style, to make the checksum sensitive
+                // to individual elements.
+                if i % 7 == 0 {
+                    local = local + *val;
+                }
+            }
+            let send = [local];
+            let mut recv = [Complex64::default()];
+            ctx.reduce(&send, &mut recv, ReduceOp::Sum, 0, world);
+            if me == 0 {
+                checksums.push(recv[0]);
+            }
+        });
+    }
+
+    // --- End: verification (roundtrip consistency) ---
+    ctx.set_phase(Phase::End);
+    let ok = ctx.frame("verify", |ctx| {
+        // Forward-transform the last real-space field; it must match the
+        // evolved spectrum we built it from.
+        let mut check = last_real.clone();
+        fft_xy(&slab, &mut check, false);
+        check = transpose(ctx, &slab, &check, nranks);
+        fft_last_dim(&slab, &mut check, false);
+        let mut max_err = 0.0f64;
+        for (a, b) in check.iter().zip(&w_spec) {
+            max_err = max_err.max((*a - *b).abs());
+        }
+        let finite = last_real.iter().all(|c| c.re.is_finite() && c.im.is_finite());
+        let gmax = ctx.errhdl(|ctx| ctx.allreduce_one(max_err, ReduceOp::Max, ctx.world()));
+        finite && gmax < 1e-6 * n as f64
+    });
+    if !global_ok(ctx, ok) {
+        ctx.abort(2, "FT: verification failed (spectral roundtrip)");
+    }
+
+    let mut out = RankOutput::new();
+    for (i, c) in checksums.iter().enumerate() {
+        out.push(format!("ft.checksum{}.re", i + 1), c.re);
+        out.push(format!("ft.checksum{}.im", i + 1), c.im);
+    }
+    out
+}
+
+/// FFT along x (contiguous) and y (strided) for every local plane.
+fn fft_xy(slab: &Slab, data: &mut [Complex64], inverse: bool) {
+    let n = slab.n;
+    for p in 0..slab.lp {
+        for y in 0..n {
+            let base = slab.idx(p, y, 0);
+            fft1d(&mut data[base..base + n], inverse);
+        }
+        let mut col = vec![Complex64::default(); n];
+        for x in 0..n {
+            for y in 0..n {
+                col[y] = data[slab.idx(p, y, x)];
+            }
+            fft1d(&mut col, inverse);
+            for y in 0..n {
+                data[slab.idx(p, y, x)] = col[y];
+            }
+        }
+    }
+}
+
+/// FFT along the last (contiguous) dimension of the transposed layout.
+fn fft_last_dim(slab: &Slab, data: &mut [Complex64], inverse: bool) {
+    let n = slab.n;
+    for p in 0..slab.lp {
+        for y in 0..n {
+            let base = slab.idx(p, y, 0);
+            fft1d(&mut data[base..base + n], inverse);
+        }
+    }
+}
+
+/// Global transpose between z-slab layout `[lz][y][x]` and x-slab layout
+/// `[lx][y][z]` via `MPI_Alltoall`. The operation is an involution: calling
+/// it twice restores the original layout.
+#[track_caller]
+fn transpose(
+    ctx: &mut RankCtx,
+    slab: &Slab,
+    data: &[Complex64],
+    nranks: usize,
+) -> Vec<Complex64> {
+    let n = slab.n;
+    let lp = slab.lp;
+    let me = ctx.rank();
+    let _ = me;
+    // Pack: block for destination rank d = my planes, all y, x in d's slab.
+    let mut send = Vec::with_capacity(data.len());
+    for d in 0..nranks {
+        for p in 0..lp {
+            for y in 0..n {
+                for xl in 0..lp {
+                    send.push(data[slab.idx(p, y, d * lp + xl)]);
+                }
+            }
+        }
+    }
+    let mut recv = vec![Complex64::default(); data.len()];
+    ctx.alltoall(&send, &mut recv, ctx.world());
+    // Unpack: the block from source s holds s's planes (global z) for my
+    // x-slab.
+    let mut out = vec![Complex64::default(); data.len()];
+    let block = lp * n * lp;
+    for s in 0..nranks {
+        let mut k = s * block;
+        for zp in 0..lp {
+            let zg = s * lp + zp;
+            for y in 0..n {
+                for xl in 0..lp {
+                    out[slab.idx(xl, y, zg)] = recv[k];
+                    k += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    #[test]
+    fn fft1d_roundtrip() {
+        let mut data: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let orig = data.clone();
+        fft1d(&mut data, false);
+        fft1d(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft1d_delta_is_flat() {
+        let mut data = vec![Complex64::default(); 8];
+        data[0] = Complex64::new(1.0, 0.0);
+        fft1d(&mut data, false);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft1d_parseval() {
+        let mut data: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let e_time: f64 = data.iter().map(|c| c.abs() * c.abs()).sum();
+        fft1d(&mut data, false);
+        let e_freq: f64 = data.iter().map(|c| c.abs() * c.abs()).sum();
+        assert!((e_freq - e_time * 16.0).abs() < 1e-6 * e_freq.max(1.0));
+    }
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ft_completes_and_checksums_nonzero() {
+        let res = run_job(&spec(8), ft_app(FtConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let cs: Vec<f64> = outputs[0].scalars.iter().map(|s| s.1).collect();
+                assert_eq!(cs.len(), 6, "3 iterations x (re, im)");
+                assert!(cs.iter().any(|v| v.abs() > 1e-9), "checksums: {:?}", cs);
+            }
+            other => panic!("FT failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ft_deterministic() {
+        let a = run_job(&spec(4), ft_app(FtConfig::default()));
+        let b = run_job(&spec(4), ft_app(FtConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("FT must complete"),
+        }
+    }
+
+    #[test]
+    fn ft_checksums_decay_with_evolution() {
+        let res = run_job(&spec(4), ft_app(FtConfig { n: 16, iters: 3, alpha: 1e-2 }));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let s = &outputs[0].scalars;
+                let mag = |i: usize| (s[2 * i].1.powi(2) + s[2 * i + 1].1.powi(2)).sqrt();
+                assert!(mag(2) <= mag(0) + 1e-9, "diffusion shrinks the field");
+            }
+            other => panic!("FT failed: {:?}", other),
+        }
+    }
+}

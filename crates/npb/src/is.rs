@@ -1,0 +1,227 @@
+//! IS — parallel integer (bucket) sort.
+//!
+//! Structure mirrors NPB IS: each iteration ranks the keys by histogram,
+//! exchanges bucket sizes with `MPI_Alltoall`, redistributes the keys with
+//! `MPI_Alltoallv`, and tracks key extrema with `MPI_Allreduce`. The final
+//! verification checks global sorted order with neighbour exchanges and a
+//! count-conservation allreduce, aborting on failure (`APP_DETECTED`).
+
+use crate::common::{global_ok, Class};
+use rand::Rng;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// IS configuration.
+#[derive(Debug, Clone)]
+pub struct IsConfig {
+    /// Keys generated per rank.
+    pub keys_per_rank: usize,
+    /// Keys are uniform in `[0, max_key)`.
+    pub max_key: i32,
+    /// Ranking iterations.
+    pub iters: usize,
+}
+
+impl IsConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => IsConfig {
+                keys_per_rank: 512,
+                max_key: 1 << 12,
+                iters: 3,
+            },
+            Class::Small => IsConfig {
+                keys_per_rank: 4096,
+                max_key: 1 << 16,
+                iters: 5,
+            },
+            Class::Standard => IsConfig {
+                keys_per_rank: 32_768,
+                max_key: 1 << 19,
+                iters: 10,
+            },
+        }
+    }
+}
+
+impl Default for IsConfig {
+    fn default() -> Self {
+        IsConfig::for_class(Class::Mini)
+    }
+}
+
+/// Build the IS application closure.
+pub fn is_app(cfg: IsConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_is(ctx, &cfg))
+}
+
+fn run_is(ctx: &mut RankCtx, cfg: &IsConfig) -> RankOutput {
+    let n = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+
+    // --- Init: generate keys ---
+    ctx.set_phase(Phase::Init);
+    let mut keys: Vec<i32> = Vec::with_capacity(cfg.keys_per_rank);
+    for _ in 0..cfg.keys_per_rank {
+        keys.push(ctx.rng().gen_range(0..cfg.max_key));
+    }
+
+    // --- Input: agree on problem parameters ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0i32; 3];
+    if me == 0 {
+        params = [cfg.keys_per_rank as i32, cfg.max_key, cfg.iters as i32];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    // Input validation (real benchmarks reject nonsense parameters; a
+    // corrupted broadcast must not drive unbounded loops or allocations).
+    if params[0] < 0 || params[0] > 10_000_000 || params[1] <= 0 || params[1] > (1 << 30)
+        || params[2] < 0 || params[2] > 10_000
+    {
+        ctx.abort(1, "IS: invalid input parameters");
+    }
+    let max_key = params[1];
+    let iters = params[2] as usize;
+    let bucket_width = (max_key as usize).div_ceil(n).max(1);
+
+    // --- Compute: iterative ranking ---
+    ctx.set_phase(Phase::Compute);
+    for _ in 0..iters {
+        ctx.frame("rank_keys", |ctx| {
+            // Track key extrema across ranks, as NPB IS does.
+            let local_max = keys.iter().copied().max().unwrap_or(0);
+            let local_min = keys.iter().copied().min().unwrap_or(max_key);
+            let _gmax = ctx.allreduce_one(local_max, ReduceOp::Max, world);
+            let _gmin = ctx.allreduce_one(local_min, ReduceOp::Min, world);
+
+            // Histogram keys into one bucket per rank.
+            let mut send_counts = vec![0i32; n];
+            for &k in &keys {
+                let b = ((k.max(0) as usize) / bucket_width).min(n - 1);
+                send_counts[b] += 1;
+            }
+            // Stable bucket order: sort keys by bucket.
+            keys.sort_unstable();
+            let mut send_displs = vec![0i32; n];
+            for i in 1..n {
+                send_displs[i] = send_displs[i - 1] + send_counts[i - 1];
+            }
+
+            // Exchange bucket sizes, then the keys themselves.
+            let mut recv_counts = vec![0i32; n];
+            ctx.frame("exchange_sizes", |ctx| {
+                ctx.alltoall(&send_counts, &mut recv_counts, world)
+            });
+            let total_recv: i32 = recv_counts.iter().sum();
+            let mut recv_displs = vec![0i32; n];
+            for i in 1..n {
+                recv_displs[i] = recv_displs[i - 1] + recv_counts[i - 1];
+            }
+            let mut incoming =
+                simmpi::ctx::guarded_vec::<i32>(total_recv.max(0) as usize);
+            ctx.frame("exchange_keys", |ctx| {
+                ctx.alltoallv(
+                    &keys,
+                    &send_counts,
+                    &send_displs,
+                    &mut incoming,
+                    &recv_counts,
+                    &recv_displs,
+                    world,
+                )
+            });
+            incoming.sort_unstable();
+            keys = incoming;
+        });
+    }
+    ctx.barrier(world);
+
+    // --- End: full verification ---
+    ctx.set_phase(Phase::End);
+    let (checksum, count) = ctx.frame("verify", |ctx| {
+        let sorted_locally = keys.windows(2).all(|w| w[0] <= w[1]);
+        // Boundary order check with the right neighbour.
+        let my_max = keys.last().copied().unwrap_or(i32::MIN);
+        let mut left_max = [i32::MIN; 1];
+        let boundary_ok = if n > 1 {
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            ctx.sendrecv(&[my_max], right, &mut left_max, left, 11, world);
+            // Wrap-around pair (n-1 -> 0) is exempt from ordering.
+            me == 0 || left_max[0] <= keys.first().copied().unwrap_or(i32::MAX)
+        } else {
+            true
+        };
+        // Count conservation (error-handling collective).
+        let total = ctx.errhdl(|ctx| {
+            ctx.allreduce_one(keys.len() as i64, ReduceOp::Sum, ctx.world())
+        });
+        let count_ok = total == (cfg.keys_per_rank * n) as i64;
+        if !global_ok(ctx, sorted_locally && boundary_ok && count_ok) {
+            ctx.abort(1, "IS: verification failed (order or count)");
+        }
+        // Partial verification, NPB-style: the output digest is the global
+        // key sum — order-independent and compared under a loose relative
+        // tolerance, so low-order key corruption passes silently (NPB IS's
+        // partial verification similarly checks only a handful of ranks).
+        let checksum: i64 = keys.iter().map(|&k| k as i64).sum();
+        (checksum, keys.len())
+    });
+
+    let mut out = RankOutput::new();
+    out.push("is.checksum", checksum as f64);
+    out.push("is.local_count", count as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(20),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn is_completes_and_verifies() {
+        let res = run_job(&spec(8), is_app(IsConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                // Checksum of all keys is conserved by sorting: compare the
+                // global sum against a direct computation is not possible
+                // here, but local counts must sum to the total.
+                let total: f64 = outputs.iter().map(|o| o.scalars[1].1).sum();
+                assert_eq!(total, (512 * 8) as f64);
+            }
+            other => panic!("IS failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = run_job(&spec(4), is_app(IsConfig::default()));
+        let b = run_job(&spec(4), is_app(IsConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("IS must complete"),
+        }
+    }
+
+    #[test]
+    fn is_works_on_nonpow2_ranks() {
+        let res = run_job(&spec(5), is_app(IsConfig::default()));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+}

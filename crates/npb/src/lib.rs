@@ -1,0 +1,79 @@
+//! # npb — mini NAS Parallel Benchmark kernels
+//!
+//! Scaled-down reimplementations of the four NPB kernels the FastFIT paper
+//! evaluates (IS, FT, MG, LU), written against the simulated MPI runtime.
+//! Each kernel preserves the original's *collective structure* — which
+//! collectives are called, from which phases and call stacks, with or
+//! without verification — because that structure, not the flop count, is
+//! what drives fault sensitivity:
+//!
+//! | Kernel | Collectives | Verification |
+//! |--------|-------------|--------------|
+//! | [`is`] | Allreduce (extrema, counts), Alltoall, Alltoallv, Bcast, Barrier | global order + count, aborts |
+//! | [`ft`] | Bcast, Alltoall (transpose), Reduce (checksums), Allreduce, Barrier | spectral roundtrip, aborts |
+//! | [`mg`] | Bcast, Allreduce (norms), Barrier | residual decrease, aborts |
+//! | [`lu`] | Bcast, Allreduce (norms), Barrier | residual contraction, aborts |
+//! | [`cg`] (extension) | Bcast, Allgather (vector assembly), Allreduce (dot products), Barrier | residual contraction, aborts |
+//!
+//! Problem sizes are governed by [`common::Class`] (`FASTFIT_CLASS`).
+
+pub mod cg;
+pub mod common;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+
+pub use cg::{cg_app, CgConfig};
+pub use common::Class;
+pub use ft::{ft_app, FtConfig};
+pub use is::{is_app, IsConfig};
+pub use lu::{lu_app, LuConfig};
+pub use mg::{mg_app, MgConfig};
+
+use simmpi::runtime::AppFn;
+
+/// The four kernels by name, at a given class. Returns `(app, relative
+/// tolerance for WRONG_ANS comparison)`. Panics on an unknown name.
+pub fn kernel_by_name(name: &str, class: Class) -> (AppFn, f64) {
+    match name.to_uppercase().as_str() {
+        "IS" => (is_app(IsConfig::for_class(class)), 1e-3),
+        "FT" => (ft_app(FtConfig::for_class(class)), 1e-7),
+        "MG" => (mg_app(MgConfig::for_class(class)), 1e-7),
+        "LU" => (lu_app(LuConfig::for_class(class)), 1e-7),
+        "CG" => (cg_app(CgConfig::for_class(class)), 1e-7),
+        other => panic!("unknown NPB kernel {other:?} (expected IS/FT/MG/LU/CG)"),
+    }
+}
+
+/// The kernel names in paper order (the paper's evaluation set).
+pub const KERNELS: [&str; 4] = ["IS", "FT", "MG", "LU"];
+
+/// All kernels including the CG extension (not part of the paper's
+/// evaluation; used by the extension experiments).
+pub const ALL_KERNELS: [&str; 5] = ["IS", "FT", "MG", "LU", "CG"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_all_kernels() {
+        for k in KERNELS {
+            let (_, tol) = kernel_by_name(k, Class::Mini);
+            assert!(tol >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown NPB kernel")]
+    fn registry_rejects_unknown() {
+        let _ = kernel_by_name("EP", Class::Mini);
+    }
+
+    #[test]
+    fn registry_resolves_cg_extension() {
+        let (_, tol) = kernel_by_name("CG", Class::Mini);
+        assert!(tol > 0.0);
+    }
+}

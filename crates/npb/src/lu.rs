@@ -1,0 +1,279 @@
+//! LU — SSOR-style iterative solver on a 2-D grid, row-block decomposed.
+//!
+//! Structure mirrors NPB LU: a parameter broadcast, SSOR sweeps with halo
+//! exchanges, and — the part the paper's Figure 1 instruments — an
+//! `MPI_Allreduce` of the residual norm every iteration. All ranks are
+//! symmetric for that allreduce, which is exactly the equivalence Figure 1
+//! demonstrates. Verification checks that the iteration contracted the
+//! residual and aborts otherwise.
+
+use crate::common::{global_ok, Class};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// LU configuration: `n × n` grid, `iters` SSOR iterations with relaxation
+/// `omega`. `nranks` must divide `n`.
+#[derive(Debug, Clone)]
+pub struct LuConfig {
+    /// Grid edge.
+    pub n: usize,
+    /// SSOR iterations.
+    pub iters: usize,
+    /// Relaxation factor.
+    pub omega: f64,
+}
+
+impl LuConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => LuConfig {
+                n: 32,
+                iters: 8,
+                omega: 1.2,
+            },
+            Class::Small => LuConfig {
+                n: 64,
+                iters: 12,
+                omega: 1.2,
+            },
+            Class::Standard => LuConfig {
+                n: 128,
+                iters: 20,
+                omega: 1.2,
+            },
+        }
+    }
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        LuConfig::for_class(Class::Mini)
+    }
+}
+
+/// Build the LU application closure.
+pub fn lu_app(cfg: LuConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_lu(ctx, &cfg))
+}
+
+struct Grid {
+    n: usize,
+    /// Local rows (excluding the two halo rows).
+    lr: usize,
+}
+
+impl Grid {
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.n + c
+    }
+
+    fn len(&self) -> usize {
+        (self.lr + 2) * self.n
+    }
+}
+
+/// Exchange boundary rows with up/down neighbours (non-periodic; edge
+/// ranks keep Dirichlet zeros in their outer halo).
+fn halo(ctx: &mut RankCtx, g: &Grid, v: &mut [f64]) {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+    let n = g.n;
+    if nranks == 1 {
+        return;
+    }
+    // Downward pass: send my last interior row to the rank below, receive
+    // my top halo from the rank above.
+    let last: Vec<f64> = v[g.idx(g.lr, 0)..g.idx(g.lr, 0) + n].to_vec();
+    if me + 1 < nranks {
+        ctx.send(&last, me + 1, 31, world);
+    }
+    if me > 0 {
+        let mut top = vec![0.0f64; n];
+        ctx.recv_into(&mut top, me - 1, 31, world);
+        v[..n].copy_from_slice(&top);
+    }
+    // Upward pass.
+    let first: Vec<f64> = v[g.idx(1, 0)..g.idx(1, 0) + n].to_vec();
+    if me > 0 {
+        ctx.send(&first, me - 1, 32, world);
+    }
+    if me + 1 < nranks {
+        let mut bot = vec![0.0f64; n];
+        ctx.recv_into(&mut bot, me + 1, 32, world);
+        let b0 = g.idx(g.lr + 1, 0);
+        v[b0..b0 + n].copy_from_slice(&bot);
+    }
+}
+
+fn run_lu(ctx: &mut RankCtx, cfg: &LuConfig) -> RankOutput {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+    assert!(cfg.n.is_multiple_of(nranks), "LU: ranks must divide n");
+
+    // --- Input ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0.0f64; 3];
+    if me == 0 {
+        params = [cfg.n as f64, cfg.iters as f64, cfg.omega];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    if !params.iter().all(|v| v.is_finite())
+        || params[0] < 2.0
+        || params[0] > 65536.0
+        || !(params[0] as usize).is_multiple_of(nranks)
+        || params[1] < 0.0
+        || params[1] > 100_000.0
+        || params[2] <= 0.0
+        || params[2] >= 2.0
+    {
+        ctx.abort(4, "LU: invalid input parameters");
+    }
+    let n = params[0] as usize;
+    let iters = params[1] as usize;
+    let omega = params[2];
+    let lr = n / nranks;
+    let g = Grid { n, lr };
+
+    // --- Init ---
+    ctx.set_phase(Phase::Init);
+    let mut u = vec![0.0f64; g.len()];
+    let mut rhs = vec![0.0f64; g.len()];
+    ctx.frame("setup", |ctx| {
+        let _ = ctx;
+        for r in 1..=lr {
+            let rg = me * lr + (r - 1);
+            for c in 0..n {
+                let (x, y) = (c as f64 / n as f64, rg as f64 / n as f64);
+                rhs[g.idx(r, c)] =
+                    (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+            }
+        }
+    });
+    ctx.barrier(world);
+
+    // --- Compute: SSOR iterations ---
+    ctx.set_phase(Phase::Compute);
+    let h2 = 1.0 / (n as f64 * n as f64);
+    let mut norms = Vec::new();
+    for _ in 0..iters {
+        ctx.frame("ssor", |ctx| {
+            halo(ctx, &g, &mut u);
+            // Forward sweep (Gauss-Seidel order within the rank block).
+            for r in 1..=lr {
+                for c in 1..n - 1 {
+                    let gs = (u[g.idx(r - 1, c)]
+                        + u[g.idx(r + 1, c)]
+                        + u[g.idx(r, c - 1)]
+                        + u[g.idx(r, c + 1)]
+                        + h2 * rhs[g.idx(r, c)])
+                        / 4.0;
+                    let i = g.idx(r, c);
+                    u[i] += omega * (gs - u[i]);
+                }
+            }
+            halo(ctx, &g, &mut u);
+            // Backward sweep.
+            for r in (1..=lr).rev() {
+                for c in (1..n - 1).rev() {
+                    let gs = (u[g.idx(r - 1, c)]
+                        + u[g.idx(r + 1, c)]
+                        + u[g.idx(r, c - 1)]
+                        + u[g.idx(r, c + 1)]
+                        + h2 * rhs[g.idx(r, c)])
+                        / 4.0;
+                    let i = g.idx(r, c);
+                    u[i] += omega * (gs - u[i]);
+                }
+            }
+        });
+        // Residual norm — the LU allreduce of Figure 1.
+        let norm = ctx.frame("l2norm", |ctx| {
+            halo(ctx, &g, &mut u);
+            let mut ss = 0.0;
+            for r in 1..=lr {
+                for c in 1..n - 1 {
+                    let res = (u[g.idx(r - 1, c)]
+                        + u[g.idx(r + 1, c)]
+                        + u[g.idx(r, c - 1)]
+                        + u[g.idx(r, c + 1)]
+                        - 4.0 * u[g.idx(r, c)])
+                        / h2
+                        + rhs[g.idx(r, c)];
+                    ss += res * res;
+                }
+            }
+            ctx.allreduce_one(ss, ReduceOp::Sum, ctx.world()).sqrt()
+        });
+        norms.push(norm);
+    }
+
+    // --- End: verification ---
+    ctx.set_phase(Phase::End);
+    let ok = ctx.frame("verify", |ctx| {
+        let finite = u.iter().all(|v| v.is_finite());
+        let contracted = norms.last().copied().unwrap_or(f64::INFINITY)
+            < norms.first().copied().unwrap_or(0.0);
+        global_ok(ctx, finite && contracted)
+    });
+    if !ok {
+        ctx.abort(4, "LU: verification failed (residual not contracting)");
+    }
+
+    let mut out = RankOutput::new();
+    out.push("lu.final_norm", *norms.last().unwrap_or(&0.0));
+    out.push(
+        "lu.solution_sum",
+        u.iter().skip(g.n).take(g.lr * g.n).sum::<f64>(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn lu_contracts_residual() {
+        let res = run_job(&spec(8), lu_app(LuConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                assert!(outputs[0].scalars[0].1.is_finite());
+                assert!(outputs[0].scalars[1].1.abs() > 0.0, "solution is nonzero");
+            }
+            other => panic!("LU failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lu_deterministic_and_rank0_equals_rankk() {
+        let res = run_job(&spec(4), lu_app(LuConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                // The allreduced norm is identical on all ranks.
+                assert_eq!(outputs[0].scalars[0].1, outputs[3].scalars[0].1);
+            }
+            other => panic!("LU failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lu_single_rank() {
+        let res = run_job(&spec(1), lu_app(LuConfig { n: 16, iters: 4, omega: 1.1 }));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+}

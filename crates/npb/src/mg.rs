@@ -1,0 +1,347 @@
+//! MG — multigrid V-cycle Poisson solver, z-slab decomposed.
+//!
+//! Structure mirrors NPB MG: parameter broadcast, V-cycles of Jacobi
+//! smoothing with halo exchange, restriction/prolongation across grid
+//! levels, residual-norm `MPI_Allreduce` per cycle, `MPI_Barrier` between
+//! cycles, and a convergence verification that aborts on failure.
+
+use crate::common::{global_ok, Class};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// MG configuration. The grid is `n × n × n`, z-slab decomposed; `n` must
+/// be a power of two with `n / nranks >= 1`.
+#[derive(Debug, Clone)]
+pub struct MgConfig {
+    /// Grid edge (power of two).
+    pub n: usize,
+    /// V-cycles.
+    pub cycles: usize,
+    /// Jacobi sweeps per level per leg.
+    pub sweeps: usize,
+}
+
+impl MgConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => MgConfig {
+                n: 16,
+                cycles: 4,
+                sweeps: 2,
+            },
+            Class::Small => MgConfig {
+                n: 32,
+                cycles: 4,
+                sweeps: 2,
+            },
+            Class::Standard => MgConfig {
+                n: 64,
+                cycles: 6,
+                sweeps: 3,
+            },
+        }
+    }
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        MgConfig::for_class(Class::Mini)
+    }
+}
+
+/// One grid level: `lz` local planes of an `n × n` plane grid, plus one
+/// halo plane on each side (periodic).
+struct Level {
+    n: usize,
+    lz: usize,
+}
+
+impl Level {
+    /// Index including halo: `z` in `0..lz+2`, `y`,`x` in `0..n`.
+    fn idx(&self, z: usize, y: usize, x: usize) -> usize {
+        (z * self.n + y) * self.n + x
+    }
+
+    fn len(&self) -> usize {
+        (self.lz + 2) * self.n * self.n
+    }
+}
+
+/// Build the MG application closure.
+pub fn mg_app(cfg: MgConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_mg(ctx, &cfg))
+}
+
+/// Exchange halo planes with the two z-neighbours (periodic).
+fn halo_exchange(ctx: &mut RankCtx, lvl: &Level, v: &mut [f64]) {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+    let plane = lvl.n * lvl.n;
+    if nranks == 1 {
+        // Periodic wrap within the local slab.
+        let (top_src, bot_src) = (lvl.idx(lvl.lz, 0, 0), lvl.idx(1, 0, 0));
+        v.copy_within(top_src..top_src + plane, 0);
+        v.copy_within(bot_src..bot_src + plane, lvl.idx(lvl.lz + 1, 0, 0));
+        return;
+    }
+    let up = (me + 1) % nranks;
+    let down = (me + nranks - 1) % nranks;
+    // Send top plane up, receive bottom halo from below.
+    let top: Vec<f64> = v[lvl.idx(lvl.lz, 0, 0)..lvl.idx(lvl.lz, 0, 0) + plane].to_vec();
+    let mut bottom_halo = vec![0.0f64; plane];
+    ctx.sendrecv(&top, up, &mut bottom_halo, down, 21, world);
+    v[..plane].copy_from_slice(&bottom_halo);
+    // Send bottom plane down, receive top halo from above.
+    let bottom: Vec<f64> = v[lvl.idx(1, 0, 0)..lvl.idx(1, 0, 0) + plane].to_vec();
+    let mut top_halo = vec![0.0f64; plane];
+    ctx.sendrecv(&bottom, down, &mut top_halo, up, 22, world);
+    let t0 = lvl.idx(lvl.lz + 1, 0, 0);
+    v[t0..t0 + plane].copy_from_slice(&top_halo);
+}
+
+/// Weighted-Jacobi sweeps for the periodic Poisson problem `-∆u = f`.
+fn smooth(ctx: &mut RankCtx, lvl: &Level, u: &mut Vec<f64>, f: &[f64], sweeps: usize) {
+    let n = lvl.n;
+    let h2 = 1.0 / (n as f64 * n as f64);
+    for _ in 0..sweeps {
+        halo_exchange(ctx, lvl, u);
+        let mut next = u.clone();
+        for z in 1..=lvl.lz {
+            for y in 0..n {
+                let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
+                for x in 0..n {
+                    let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
+                    let nbr = u[lvl.idx(z + 1, y, x)]
+                        + u[lvl.idx(z - 1, y, x)]
+                        + u[lvl.idx(z, yp, x)]
+                        + u[lvl.idx(z, ym, x)]
+                        + u[lvl.idx(z, y, xp)]
+                        + u[lvl.idx(z, y, xm)];
+                    let jac = (nbr + h2 * f[lvl.idx(z, y, x)]) / 6.0;
+                    let i = lvl.idx(z, y, x);
+                    next[i] = 0.8 * jac + 0.2 * u[i];
+                }
+            }
+        }
+        *u = next;
+    }
+}
+
+/// Residual `r = f + ∆u` on the interior.
+fn residual(ctx: &mut RankCtx, lvl: &Level, u: &mut [f64], f: &[f64]) -> Vec<f64> {
+    let n = lvl.n;
+    let h2inv = n as f64 * n as f64;
+    halo_exchange(ctx, lvl, u);
+    let mut r = vec![0.0f64; lvl.len()];
+    for z in 1..=lvl.lz {
+        for y in 0..n {
+            let (yp, ym) = ((y + 1) % n, (y + n - 1) % n);
+            for x in 0..n {
+                let (xp, xm) = ((x + 1) % n, (x + n - 1) % n);
+                let lap = (u[lvl.idx(z + 1, y, x)]
+                    + u[lvl.idx(z - 1, y, x)]
+                    + u[lvl.idx(z, yp, x)]
+                    + u[lvl.idx(z, ym, x)]
+                    + u[lvl.idx(z, y, xp)]
+                    + u[lvl.idx(z, y, xm)]
+                    - 6.0 * u[lvl.idx(z, y, x)])
+                    * h2inv;
+                r[lvl.idx(z, y, x)] = f[lvl.idx(z, y, x)] + lap;
+            }
+        }
+    }
+    r
+}
+
+/// Interior L2 norm of a level vector (error-free collective).
+fn level_norm(ctx: &mut RankCtx, lvl: &Level, v: &[f64]) -> f64 {
+    let mut ss = 0.0;
+    for z in 1..=lvl.lz {
+        for y in 0..lvl.n {
+            for x in 0..lvl.n {
+                let val = v[lvl.idx(z, y, x)];
+                ss += val * val;
+            }
+        }
+    }
+    ctx.allreduce_one(ss, ReduceOp::Sum, ctx.world()).sqrt()
+}
+
+/// Restrict a fine-level field to the next coarser level (2:1 injection
+/// with neighbour averaging in-plane; fine `lz` must be even).
+fn restrict(fine: &Level, coarse: &Level, r: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; coarse.len()];
+    for z in 1..=coarse.lz {
+        let fz = 2 * z - 1;
+        for y in 0..coarse.n {
+            for x in 0..coarse.n {
+                let (fy, fx) = (2 * y, 2 * x);
+                out[coarse.idx(z, y, x)] = 0.5 * r[fine.idx(fz, fy, fx)]
+                    + 0.125
+                        * (r[fine.idx(fz, (fy + 1) % fine.n, fx)]
+                            + r[fine.idx(fz, fy, (fx + 1) % fine.n)]
+                            + r[fine.idx(fz + 1, fy, fx)]
+                            + r[fine.idx(fz.max(1) - 1, fy, fx)]);
+            }
+        }
+    }
+    out
+}
+
+/// Prolongate a coarse correction onto the fine level (piecewise-constant).
+fn prolongate(fine: &Level, coarse: &Level, e: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; fine.len()];
+    for z in 1..=fine.lz {
+        let cz = z.div_ceil(2);
+        for y in 0..fine.n {
+            for x in 0..fine.n {
+                out[fine.idx(z, y, x)] = e[coarse.idx(cz, y / 2, x / 2)];
+            }
+        }
+    }
+    out
+}
+
+fn run_mg(ctx: &mut RankCtx, cfg: &MgConfig) -> RankOutput {
+    let nranks = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+    assert!(cfg.n.is_power_of_two() && cfg.n >= nranks && cfg.n.is_multiple_of(nranks));
+
+    // --- Input ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0i64; 3];
+    if me == 0 {
+        params = [cfg.n as i64, cfg.cycles as i64, cfg.sweeps as i64];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    if params[0] <= 0
+        || params[0] > 4096
+        || !(params[0] as usize).is_power_of_two()
+        || !(params[0] as usize).is_multiple_of(nranks)
+        || !(0..=10_000).contains(&params[1])
+        || !(1..=1_000).contains(&params[2])
+    {
+        ctx.abort(3, "MG: invalid input parameters");
+    }
+    let (n, cycles, sweeps) = (params[0] as usize, params[1] as usize, params[2] as usize);
+    let lz = n / nranks;
+    let fine = Level { n, lz };
+
+    // --- Init: zero guess, multi-mode right-hand side with zero mean ---
+    ctx.set_phase(Phase::Init);
+    let mut u = vec![0.0f64; fine.len()];
+    let mut f = vec![0.0f64; fine.len()];
+    ctx.frame("setup_rhs", |ctx| {
+        let _ = ctx;
+        for z in 1..=lz {
+            let zg = me * lz + (z - 1);
+            for y in 0..n {
+                for x in 0..n {
+                    let (fx, fy, fz) =
+                        (x as f64 / n as f64, y as f64 / n as f64, zg as f64 / n as f64);
+                    f[fine.idx(z, y, x)] = (2.0 * std::f64::consts::PI * fx).sin()
+                        * (2.0 * std::f64::consts::PI * fy).cos()
+                        + 0.3 * (2.0 * std::f64::consts::PI * 2.0 * fz).sin();
+                }
+            }
+        }
+    });
+    ctx.barrier(world);
+
+    // --- Compute: V-cycles ---
+    ctx.set_phase(Phase::Compute);
+    let mut norms = Vec::new();
+    let two_level = lz >= 2 && n >= 2;
+    for _cycle in 0..cycles {
+        ctx.frame("vcycle", |ctx| {
+            ctx.frame("smooth_fine", |ctx| smooth(ctx, &fine, &mut u, &f, sweeps));
+            if two_level {
+                let r = ctx.frame("residual", |ctx| residual(ctx, &fine, &mut u, &f));
+                let coarse = Level { n: n / 2, lz: lz / 2 };
+                let rc = restrict(&fine, &coarse, &r);
+                let mut ec = vec![0.0f64; coarse.len()];
+                ctx.frame("smooth_coarse", |ctx| {
+                    smooth(ctx, &coarse, &mut ec, &rc, sweeps * 2)
+                });
+                let e = prolongate(&fine, &coarse, &ec);
+                for i in 0..u.len() {
+                    u[i] += e[i];
+                }
+            }
+            ctx.frame("smooth_fine", |ctx| smooth(ctx, &fine, &mut u, &f, sweeps));
+        });
+        let r = ctx.frame("residual", |ctx| residual(ctx, &fine, &mut u, &f));
+        let norm = ctx.frame("norm", |ctx| level_norm(ctx, &fine, &r));
+        norms.push(norm);
+        ctx.barrier(world);
+    }
+
+    // --- End: verification ---
+    ctx.set_phase(Phase::End);
+    let ok = ctx.frame("verify", |ctx| {
+        let finite = u.iter().all(|v| v.is_finite());
+        let converging = norms.last().copied().unwrap_or(f64::INFINITY)
+            <= norms.first().copied().unwrap_or(0.0) * 1.01;
+        global_ok(ctx, finite && converging)
+    });
+    if !ok {
+        ctx.abort(3, "MG: verification failed (residual not decreasing)");
+    }
+
+    let mut out = RankOutput::new();
+    out.push("mg.final_norm", *norms.last().unwrap_or(&0.0));
+    out.push("mg.first_norm", *norms.first().unwrap_or(&0.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mg_converges() {
+        let res = run_job(&spec(8), mg_app(MgConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let last = outputs[0].scalars[0].1;
+                let first = outputs[0].scalars[1].1;
+                assert!(last < first, "residual must decrease: {} vs {}", last, first);
+                assert!(last.is_finite() && first > 0.0);
+            }
+            other => panic!("MG failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn mg_deterministic() {
+        let a = run_job(&spec(4), mg_app(MgConfig::default()));
+        let b = run_job(&spec(4), mg_app(MgConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("MG must complete"),
+        }
+    }
+
+    #[test]
+    fn mg_single_rank_matches_structure() {
+        let res = run_job(&spec(1), mg_app(MgConfig { n: 8, cycles: 2, sweeps: 2 }));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+}

@@ -1,0 +1,309 @@
+//! Random forest: bootstrap bagging over CART trees with per-split feature
+//! subsampling and majority-vote prediction (§III-C of the paper).
+
+use crate::tree::{DecisionTree, TreeParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters for the forest.
+#[derive(Debug, Clone)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters. If `tree.n_features` is `None` the forest uses
+    /// `ceil(sqrt(d))` features per split, the standard default.
+    pub tree: TreeParams,
+    /// Draw bootstrap samples (with replacement) per tree.
+    pub bootstrap: bool,
+    /// RNG seed (the forest is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 50,
+            tree: TreeParams::default(),
+            bootstrap: true,
+            seed: 0xF0_5E5D,
+        }
+    }
+}
+
+/// A trained random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+    /// Out-of-bag accuracy estimate (`None` without bootstrapping or when
+    /// no sample was ever out of bag).
+    oob_accuracy: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fit a forest on rows `x` with labels `y ∈ 0..n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &ForestParams) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "cannot fit a forest on zero samples");
+        let d = x[0].len();
+        let mut tree_params = params.tree.clone();
+        if tree_params.n_features.is_none() {
+            tree_params.n_features = Some((d as f64).sqrt().ceil() as usize);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        // Per-sample votes from trees whose bootstrap missed the sample.
+        let mut oob_votes = vec![vec![0usize; n_classes]; x.len()];
+        for _ in 0..params.n_trees {
+            let (bx, by): (Vec<Vec<f64>>, Vec<usize>) = if params.bootstrap {
+                let mut in_bag = vec![false; x.len()];
+                let mut bx = Vec::with_capacity(x.len());
+                let mut by = Vec::with_capacity(x.len());
+                for _ in 0..x.len() {
+                    let i = rng.gen_range(0..x.len());
+                    in_bag[i] = true;
+                    bx.push(x[i].clone());
+                    by.push(y[i]);
+                }
+                let tree = DecisionTree::fit(&bx, &by, n_classes, &tree_params, &mut rng);
+                for (i, bagged) in in_bag.iter().enumerate() {
+                    if !bagged {
+                        oob_votes[i][tree.predict(&x[i])] += 1;
+                    }
+                }
+                trees.push(tree);
+                continue;
+            } else {
+                (x.to_vec(), y.to_vec())
+            };
+            trees.push(DecisionTree::fit(&bx, &by, n_classes, &tree_params, &mut rng));
+        }
+        let oob_accuracy = if params.bootstrap {
+            let mut correct = 0usize;
+            let mut voted = 0usize;
+            for (votes, &label) in oob_votes.iter().zip(y) {
+                let total: usize = votes.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                voted += 1;
+                let pred = votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                correct += usize::from(pred == label);
+            }
+            (voted > 0).then(|| correct as f64 / voted as f64)
+        } else {
+            None
+        };
+        RandomForest {
+            trees,
+            n_classes,
+            n_features: d,
+            oob_accuracy,
+        }
+    }
+
+    /// Out-of-bag accuracy estimate: each sample is judged only by trees
+    /// whose bootstrap did not contain it — a free cross-validation.
+    pub fn oob_accuracy(&self) -> Option<f64> {
+        self.oob_accuracy
+    }
+
+    /// Majority-vote prediction for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(row)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Per-class vote fractions for one row.
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(row)] += 1.0;
+        }
+        let n = self.trees.len().max(1) as f64;
+        votes.iter_mut().for_each(|v| *v /= n);
+        votes
+    }
+
+    /// Overall accuracy on a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+
+    /// Per-class recall: of the samples whose true label is `c`, the
+    /// fraction predicted `c`. Classes absent from `y` report `None`.
+    /// This is what the paper's Figures 12/13 plot per error type / level.
+    pub fn per_class_accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> Vec<Option<f64>> {
+        let mut correct = vec![0usize; self.n_classes];
+        let mut total = vec![0usize; self.n_classes];
+        for (row, &label) in x.iter().zip(y) {
+            total[label] += 1;
+            if self.predict(row) == label {
+                correct[label] += 1;
+            }
+        }
+        correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| if t == 0 { None } else { Some(c as f64 / t as f64) })
+            .collect()
+    }
+
+    /// Confusion matrix `m[true][pred]`.
+    pub fn confusion(&self, x: &[Vec<f64>], y: &[usize]) -> Vec<Vec<usize>> {
+        let mut m = vec![vec![0usize; self.n_classes]; self.n_classes];
+        for (row, &label) in x.iter().zip(y) {
+            m[label][self.predict(row)] += 1;
+        }
+        m
+    }
+
+    /// Mean impurity-decrease feature importance, normalized to sum to 1
+    /// (all-zero if no split ever used any feature).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (i, v) in t.importances().iter().enumerate() {
+                imp[i] += v;
+            }
+        }
+        let s: f64 = imp.iter().sum();
+        if s > 0.0 {
+            imp.iter_mut().for_each(|v| *v /= s);
+        }
+        imp
+    }
+
+    /// The trained trees (for rendering a Figure-4-style example).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two interleaved Gaussian-ish blobs, separable on feature 0.
+    fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = i as f64 / n as f64;
+            let label = usize::from(i % 2 == 0);
+            let center = if label == 1 { 2.0 } else { -2.0 };
+            x.push(vec![center + (t - 0.5), t]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_learns_separable_data() {
+        let (x, y) = blobs(200);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        assert!(f.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(100);
+        let p = ForestParams {
+            n_trees: 10,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&x, &y, 2, &p);
+        let b = RandomForest::fit(&x, &y, 2, &p);
+        for row in &x {
+            assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (x, y) = blobs(60);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let p = f.predict_proba(&x[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_accuracy_and_confusion_consistent() {
+        let (x, y) = blobs(100);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let pca = f.per_class_accuracy(&x, &y);
+        let m = f.confusion(&x, &y);
+        for c in 0..2 {
+            let total: usize = m[c].iter().sum();
+            let acc = m[c][c] as f64 / total as f64;
+            assert!((pca[c].unwrap() - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn importances_normalized_and_point_at_signal() {
+        let (x, y) = blobs(200);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let imp = f.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "feature 0 carries the signal: {:?}", imp);
+    }
+
+    #[test]
+    fn oob_estimate_tracks_true_accuracy() {
+        let (x, y) = blobs(300);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let oob = f.oob_accuracy().expect("bootstrap gives OOB");
+        // Separable data: both true accuracy and the OOB estimate are high.
+        assert!(oob > 0.9, "oob {}", oob);
+        assert!((oob - f.accuracy(&x, &y)).abs() < 0.1);
+        // Without bootstrapping there is no OOB estimate.
+        let f2 = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            &ForestParams {
+                bootstrap: false,
+                ..Default::default()
+            },
+        );
+        assert!(f2.oob_accuracy().is_none());
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            x.push(vec![c as f64 * 10.0 + (i % 5) as f64 * 0.1]);
+            y.push(c);
+        }
+        let f = RandomForest::fit(&x, &y, 3, &ForestParams::default());
+        assert!(f.accuracy(&x, &y) > 0.98);
+        let missing = f.per_class_accuracy(&[vec![0.0]], &[0]);
+        assert!(missing[1].is_none() && missing[2].is_none());
+    }
+}

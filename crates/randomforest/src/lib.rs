@@ -1,0 +1,42 @@
+//! # randomforest — ML substrate for the FastFIT reproduction
+//!
+//! A from-scratch implementation of the supervised learning machinery
+//! §III-C of the paper relies on:
+//!
+//! - [`tree::DecisionTree`] — CART classification trees (Gini impurity,
+//!   depth/size limits, per-split feature subsampling, text rendering in
+//!   the style of the paper's Figure 4);
+//! - [`forest::RandomForest`] — bootstrap bagging + majority vote, with
+//!   per-class accuracy (Figures 12/13) and mean-impurity-decrease feature
+//!   importance;
+//! - [`stats`] — Equation 1's feature/sensitivity correlation (Table IV)
+//!   in both the corrected Pearson form and the literal printed form, plus
+//!   Gaussian fitting and histograms (Figure 3).
+//!
+//! Everything is deterministic given a seed, which the reproducibility of
+//! the experiment harness depends on.
+//!
+//! ```
+//! use randomforest::{ForestParams, RandomForest, correlation_eq1};
+//!
+//! // Class = x0 > 0.5 over a toy grid.
+//! let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 0.0]).collect();
+//! let y: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+//! let forest = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+//! assert!(forest.accuracy(&x, &y) > 0.95);
+//! assert!(forest.oob_accuracy().unwrap() > 0.9);
+//!
+//! // Eq. 1 of the paper: feature 0 correlates with the label, feature 1
+//! // does not.
+//! let f0: Vec<f64> = x.iter().map(|r| r[0]).collect();
+//! let labels: Vec<f64> = y.iter().map(|&l| l as f64).collect();
+//! assert!(correlation_eq1(&f0, &labels) > 0.9);
+//! ```
+
+pub mod forest;
+pub mod stats;
+pub mod tree;
+
+pub use forest::{ForestParams, RandomForest};
+pub use stats::{correlation_eq1, correlation_literal, gaussian_fit, histogram, mean, pearson, stddev, GaussianFit};
+pub use tree::{DecisionTree, TreeParams};

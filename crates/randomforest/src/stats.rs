@@ -1,0 +1,206 @@
+//! Statistics used by the paper: the feature/sensitivity correlation of
+//! Equation 1 (Table IV) and the Gaussian summary of error-rate
+//! distributions (Figure 3).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either
+/// series is constant (no co-variation to measure).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        num += (a - mx) * (b - my);
+        dx += (a - mx) * (a - mx);
+        dy += (b - my) * (b - my);
+    }
+    let den = (dx * dy).sqrt();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Equation 1 of the paper, with the denominator read as the Pearson
+/// denominator `sqrt(Σ(x-x̄)² · Σ(y-ȳ)²)` (the printed form is almost
+/// certainly a typesetting slip — see DESIGN.md). Maps Pearson's r into
+/// [0, 1]: 1 = vary together, 0 = vary oppositely, 0.5 = unrelated.
+pub fn correlation_eq1(x: &[f64], y: &[f64]) -> f64 {
+    0.5 * (pearson(x, y) + 1.0)
+}
+
+/// Equation 1 exactly as printed: denominator `sqrt(Σ (x-x̄)²(y-ȳ)²)`
+/// (element-wise product inside one sum). Provided for comparison with the
+/// corrected form; not bounded in \[0,1\] in general.
+pub fn correlation_literal(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.len() < 2 {
+        return 0.5;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        num += (a - mx) * (b - my);
+        den += (a - mx) * (a - mx) * (b - my) * (b - my);
+    }
+    let den = den.sqrt();
+    if den == 0.0 {
+        0.5
+    } else {
+        0.5 * (num / den + 1.0)
+    }
+}
+
+/// Summary of a Gaussian fit (Figure 3 fits the error-rate histogram of
+/// same-stack invocations with mean ≈ 29.6 and σ ≈ 7.7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianFit {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation.
+    pub sigma: f64,
+}
+
+/// Fit a Gaussian to samples by the method of moments.
+pub fn gaussian_fit(xs: &[f64]) -> GaussianFit {
+    GaussianFit {
+        mu: mean(xs),
+        sigma: stddev(xs),
+    }
+}
+
+/// Bucket samples into a histogram of `nbins` equal bins over
+/// `[lo, hi)`; values outside clamp into the edge bins.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, nbins: usize) -> Vec<usize> {
+    let mut bins = vec![0usize; nbins];
+    if nbins == 0 || hi <= lo {
+        return bins;
+    }
+    let w = (hi - lo) / nbins as f64;
+    for &x in xs {
+        let mut b = ((x - lo) / w).floor() as isize;
+        b = b.clamp(0, nbins as isize - 1);
+        bins[b as usize] += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn eq1_mapping() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((correlation_eq1(&x, &x) - 1.0).abs() < 1e-12);
+        let y = [3.0, 2.0, 1.0];
+        assert!(correlation_eq1(&x, &y).abs() < 1e-12);
+        // 0.5 means unrelated (the paper's reading).
+        let flat = [7.0, 7.0, 7.0];
+        assert!((correlation_eq1(&x, &flat) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literal_form_exceeds_one_on_perfect_correlation() {
+        // For y = a·x the literal denominator sqrt(Σ d²·e²) is smaller than
+        // Pearson's sqrt(Σd²·Σe²), so the printed formula exceeds 1 — the
+        // evidence that Eq. 1 as typeset is a slip (see DESIGN.md).
+        let x = [1.0, 2.0, 3.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        assert!(correlation_literal(&x, &y) >= 1.0 - 1e-9);
+        assert!(correlation_literal(&x, &y) > correlation_eq1(&x, &y));
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_moments() {
+        let xs: Vec<f64> = (0..1000).map(|i| 10.0 + (i % 7) as f64).collect();
+        let g = gaussian_fit(&xs);
+        assert!((g.mu - mean(&xs)).abs() < 1e-12);
+        assert!((g.sigma - stddev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let bins = histogram(&[-1.0, 0.0, 0.5, 0.99, 5.0], 0.0, 1.0, 2);
+        assert_eq!(bins, vec![2, 3]);
+        assert_eq!(histogram(&[1.0], 0.0, 0.0, 4), vec![0, 0, 0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_bounded(xs in proptest::collection::vec(-1e6..1e6f64, 2..64),
+                           ys in proptest::collection::vec(-1e6..1e6f64, 2..64)) {
+            let n = xs.len().min(ys.len());
+            let r = pearson(&xs[..n], &ys[..n]);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let c = correlation_eq1(&xs[..n], &ys[..n]);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c));
+        }
+
+        #[test]
+        fn pearson_symmetric(xs in proptest::collection::vec(-1e3..1e3f64, 2..32),
+                             ys in proptest::collection::vec(-1e3..1e3f64, 2..32)) {
+            let n = xs.len().min(ys.len());
+            let a = pearson(&xs[..n], &ys[..n]);
+            let b = pearson(&ys[..n], &xs[..n]);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn pearson_shift_scale_invariant(xs in proptest::collection::vec(-1e3..1e3f64, 3..32)) {
+            let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+            if stddev(&xs) > 1e-6 {
+                prop_assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn histogram_total_conserved(xs in proptest::collection::vec(-10.0..10.0f64, 0..100)) {
+            let bins = histogram(&xs, 0.0, 1.0, 8);
+            prop_assert_eq!(bins.iter().sum::<usize>(), xs.len());
+        }
+    }
+}

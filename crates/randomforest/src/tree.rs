@@ -1,0 +1,407 @@
+//! CART decision trees with Gini impurity.
+//!
+//! The paper's Figure 4 shows such a tree mapping application features
+//! (`Type`, `Phase`, `ErrHal`, `nInv`, `StackDep`, `nDiffStack`) to a
+//! sensitivity level; [`DecisionTree::render`] prints trained trees in the
+//! same spirit.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for a single tree.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per split (`None` = all; the
+    /// forest sets this to √d for decorrelation).
+    pub n_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            n_features: None,
+        }
+    }
+}
+
+/// A node of the tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Majority class.
+        class: usize,
+        /// Class histogram at the leaf.
+        counts: Vec<usize>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `<= threshold` child.
+        left: usize,
+        /// Index of the `> threshold` child.
+        right: usize,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+    /// Total impurity decrease attributed to each feature (for importance).
+    importance: Vec<f64>,
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn class_counts(y: &[usize], idx: &[usize], k: usize) -> Vec<usize> {
+    let mut c = vec![0usize; k];
+    for &i in idx {
+        c[y[i]] += 1;
+    }
+    c
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Fit a tree on rows `x` (each of equal length) with labels
+    /// `y ∈ 0..n_classes`. `rng` drives per-split feature subsampling.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "rows and labels must align");
+        assert!(!x.is_empty(), "cannot fit a tree on zero samples");
+        let n_features = x[0].len();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features,
+            n_classes,
+            importance: vec![0.0; n_features],
+        };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, idx, 0, params, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let counts = class_counts(y, &idx, self.n_classes);
+        let node_gini = gini(&counts);
+        let make_leaf = depth >= params.max_depth
+            || idx.len() < params.min_samples_split
+            || node_gini == 0.0;
+        if !make_leaf {
+            if let Some((feature, threshold, gain, left_idx, right_idx)) =
+                self.best_split(x, y, &idx, params, rng)
+            {
+                self.importance[feature] += gain * idx.len() as f64;
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    class: 0,
+                    counts: Vec::new(),
+                }); // leaf slot, overwritten below once children exist
+                let left = self.grow(x, y, left_idx, depth + 1, params, rng);
+                let right = self.grow(x, y, right_idx, depth + 1, params, rng);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                return slot;
+            }
+        }
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            class: majority(&counts),
+            counts,
+        });
+        slot
+    }
+
+    /// Find the impurity-minimizing (feature, threshold) split, examining a
+    /// random subset of features if configured. Returns `None` when no
+    /// split improves impurity.
+    #[allow(clippy::type_complexity)]
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64, f64, Vec<usize>, Vec<usize>)> {
+        let parent_counts = class_counts(y, idx, self.n_classes);
+        let parent_gini = gini(&parent_counts);
+        let n = idx.len() as f64;
+
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(m) = params.n_features {
+            features.shuffle(rng);
+            features.truncate(m.max(1).min(self.n_features));
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &features {
+            // Sort sample indices by the feature value and scan thresholds.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = parent_counts.clone();
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                left_counts[y[i]] += 1;
+                right_counts[y[i]] -= 1;
+                let v = x[i][f];
+                let v_next = x[order[w + 1]][f];
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let nl = (w + 1) as f64;
+                let nr = n - nl;
+                let g = (nl / n) * gini(&left_counts) + (nr / n) * gini(&right_counts);
+                let gain = parent_gini - g;
+                if gain > 1e-12 && best.map(|(_, _, bg)| gain > bg).unwrap_or(true) {
+                    best = Some((f, (v + v_next) / 2.0, gain));
+                }
+            }
+        }
+        best.map(|(f, t, gain)| {
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][f] <= t {
+                    l.push(i);
+                } else {
+                    r.push(i);
+                }
+            }
+            (f, t, gain, l, r)
+        })
+    }
+
+    /// Predict the class of one feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Unnormalized impurity-decrease importance per feature.
+    pub fn importances(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Render the tree as indented text (the paper's Figure 4 analog).
+    /// `feature_names[f]` labels splits; `class_names[c]` labels leaves.
+    pub fn render(&self, feature_names: &[&str], class_names: &[&str]) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, feature_names, class_names, &mut out, "");
+        out
+    }
+
+    fn render_node(
+        &self,
+        at: usize,
+        depth: usize,
+        fnames: &[&str],
+        cnames: &[&str],
+        out: &mut String,
+        edge: &str,
+    ) {
+        let pad = "  ".repeat(depth);
+        match &self.nodes[at] {
+            Node::Leaf { class, counts } => {
+                out.push_str(&format!(
+                    "{}{}[{}] (n={})\n",
+                    pad,
+                    edge,
+                    cnames.get(*class).copied().unwrap_or("?"),
+                    counts.iter().sum::<usize>()
+                ));
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                out.push_str(&format!(
+                    "{}{}{} <= {:.3}?\n",
+                    pad,
+                    edge,
+                    fnames.get(*feature).copied().unwrap_or("?"),
+                    threshold
+                ));
+                self.render_node(*left, depth + 1, fnames, cnames, out, "yes: ");
+                self.render_node(*right, depth + 1, fnames, cnames, out, "no:  ");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[4, 0]), 0.0);
+        assert!((gini(&[2, 2]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn fits_axis_aligned_split() {
+        // Class = x0 > 0.5.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, 0.0])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i as f64 / 40.0 > 0.5)).collect();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        for (row, label) in x.iter().zip(&y) {
+            assert_eq!(t.predict(row), *label);
+        }
+        assert!(t.depth() >= 1);
+        assert!(t.importances()[0] > 0.0);
+        assert_eq!(t.importances()[1], 0.0);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn conjunction_needs_depth_two() {
+        // Class = (x0 > 0.5) && (x1 > 0.5): requires a nested split.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let (a, b) = (i as f64 / 5.0, j as f64 / 5.0);
+                xs.push(vec![a, b]);
+                ys.push(usize::from(a > 0.5 && b > 0.5));
+            }
+        }
+        let t = DecisionTree::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng());
+        for (row, label) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(row), *label, "row {:?}", row);
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_respected() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let params = TreeParams {
+            max_depth: 3,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&x, &y, 2, &params, &mut rng());
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn render_mentions_features_and_classes() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        let s = t.render(&["nDiffStack"], &["low", "high"]);
+        assert!(s.contains("nDiffStack"));
+        assert!(s.contains("low") && s.contains("high"));
+    }
+
+    #[test]
+    fn constant_features_give_single_leaf() {
+        let x = vec![vec![1.0, 1.0]; 10];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
+        assert_eq!(t.size(), 1, "no valid split between equal values");
+    }
+}

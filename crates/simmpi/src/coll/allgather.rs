@@ -1,0 +1,76 @@
+//! Ring allgather.
+//!
+//! In step `s`, each rank forwards the block it received in step `s-1` to
+//! its right neighbour; after `n-1` steps everyone holds all blocks in rank
+//! order.
+
+use super::CollEnv;
+
+/// All-gather `contrib` from every rank; returns the concatenation of all
+/// contributions in communicator-rank order. All ranks must contribute the
+/// same number of bytes; mismatches surface as truncation/protocol errors
+/// at the neighbour.
+pub fn allgather(env: &CollEnv<'_>, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    let chunk = contrib.len();
+    let mut all = vec![0u8; chunk * n];
+    all[me * chunk..(me + 1) * chunk].copy_from_slice(&contrib);
+    if n <= 1 {
+        return all;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    // Block we hold and will forward next: starts as our own.
+    let mut have = me;
+    for step in 0..n - 1 {
+        env.poll();
+        let block = all[have * chunk..(have + 1) * chunk].to_vec();
+        env.send_to(right, step as u32, block);
+        let incoming_owner = (me + n - 1 - step) % n;
+        let data = env.recv_exact(left, step as u32, chunk);
+        all[incoming_owner * chunk..(incoming_owner + 1) * chunk].copy_from_slice(&data);
+        have = incoming_owner;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks;
+
+    #[test]
+    fn allgather_all_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 16] {
+            let outs = run_ranks(n, move |env, me| allgather(env, vec![me as u8; 2]));
+            let expect: Vec<u8> = (0..n).flat_map(|r| [r as u8, r as u8]).collect();
+            for o in outs {
+                assert_eq!(o, expect, "n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_empty_contrib() {
+        let outs = run_ranks(4, |env, _me| allgather(env, Vec::new()));
+        for o in outs {
+            assert!(o.is_empty());
+        }
+    }
+
+    #[test]
+    fn allgather_large_blocks() {
+        let outs = run_ranks(4, |env, me| {
+            let block: Vec<u8> = (0..4096u32).map(|i| ((i as usize + me) % 256) as u8).collect();
+            allgather(env, block)
+        });
+        for (me, o) in outs.iter().enumerate() {
+            assert_eq!(o.len(), 4 * 4096);
+            // Spot-check one byte of every block.
+            for r in 0..4 {
+                assert_eq!(o[r * 4096 + 100], ((100 + r) % 256) as u8, "rank {}", me);
+            }
+        }
+    }
+}

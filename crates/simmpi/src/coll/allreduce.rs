@@ -1,0 +1,285 @@
+//! Allreduce: recursive doubling for power-of-two communicators,
+//! reduce-then-broadcast otherwise.
+
+use super::{bcast::bcast, fatal, reduce::reduce, CollEnv};
+use crate::op::{apply_op, ReduceOp};
+
+/// Round-number offsets so the fallback's reduce and bcast stages never
+/// collide with each other in the tag space.
+const ROUND_REDUCE: u32 = 0x20;
+const ROUND_BCAST: u32 = 0x40;
+
+/// All-reduce `contrib` element-wise with `op`; every rank receives the
+/// reduced result.
+pub fn allreduce(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    if n <= 1 {
+        return contrib;
+    }
+    if n.is_power_of_two() {
+        recursive_doubling(env, op, contrib)
+    } else {
+        // Reduce to rank 0, then broadcast. Rounds are offset to keep the
+        // two stages distinct in the tag space.
+        let reduced = reduce(&stage_env(env, ROUND_REDUCE), op, 0, contrib);
+        bcast(&stage_env(env, ROUND_BCAST), 0, reduced.unwrap_or_default())
+    }
+}
+
+/// Copy of `env` whose rounds live in a disjoint tag range.
+fn stage_env<'a>(env: &CollEnv<'a>, off: u32) -> CollEnv<'a> {
+    CollEnv {
+        fabric: env.fabric,
+        ctl: env.ctl,
+        comm: env.comm,
+        seq: env.seq,
+        round_off: env.round_off + off,
+        dtype: env.dtype,
+    }
+}
+
+/// Rabenseifner's algorithm: recursive-halving reduce-scatter followed by
+/// recursive-doubling allgather. Moves `2·(n-1)/n` of the vector instead
+/// of `log2(n)` copies, the classic choice for large payloads
+/// (Rabenseifner 2004 — cited by the paper as its reference \[2\]).
+///
+/// Requires a power-of-two communicator and an element count divisible by
+/// `n`; [`allreduce_large`] falls back to recursive doubling otherwise.
+pub fn rabenseifner(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    let elem = env.dtype.size();
+    debug_assert!(n.is_power_of_two() && elem > 0 && contrib.len().is_multiple_of(n * elem));
+    let mut buf = contrib;
+    let total_elems = buf.len() / elem;
+
+    // Phase 1: recursive halving. Track (parent_lo, parent_hi, kept_lower)
+    // per level so phase 2 can unwind.
+    let mut lo = 0usize;
+    let mut hi = total_elems;
+    let mut levels: Vec<(usize, usize, bool)> = Vec::new();
+    let mut step = n / 2;
+    let mut round = 0u32;
+    while step >= 1 {
+        env.poll();
+        let partner = me ^ step;
+        let mid = lo + (hi - lo) / 2;
+        let keep_lower = me & step == 0;
+        let (keep, send) = if keep_lower {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        env.send_to(partner, round, buf[send.0 * elem..send.1 * elem].to_vec());
+        let incoming = env.recv_exact(partner, round, (keep.1 - keep.0) * elem);
+        if let Err(e) = apply_op(
+            op,
+            env.dtype,
+            &mut buf[keep.0 * elem..keep.1 * elem],
+            &incoming,
+        ) {
+            fatal(e);
+        }
+        levels.push((lo, hi, keep_lower));
+        lo = keep.0;
+        hi = keep.1;
+        if step == 1 {
+            break;
+        }
+        step /= 2;
+        round += 1;
+    }
+
+    // Phase 2: recursive doubling allgather, unwinding the levels.
+    let mut step = 1usize;
+    for (parent_lo, parent_hi, kept_lower) in levels.into_iter().rev() {
+        env.poll();
+        let partner = me ^ step;
+        let mid = parent_lo + (parent_hi - parent_lo) / 2;
+        let (mine, theirs) = if kept_lower {
+            ((parent_lo, mid), (mid, parent_hi))
+        } else {
+            ((mid, parent_hi), (parent_lo, mid))
+        };
+        env.send_to(
+            partner,
+            0x40 + round,
+            buf[mine.0 * elem..mine.1 * elem].to_vec(),
+        );
+        let incoming = env.recv_exact(partner, 0x40 + round, (theirs.1 - theirs.0) * elem);
+        buf[theirs.0 * elem..theirs.1 * elem].copy_from_slice(&incoming);
+        round = round.wrapping_sub(1);
+        step *= 2;
+    }
+    buf
+}
+
+/// Size-aware allreduce: Rabenseifner when the layout permits, recursive
+/// doubling (or the reduce+bcast fallback) otherwise.
+pub fn allreduce_large(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let elem = env.dtype.size();
+    if n > 1 && n.is_power_of_two() && elem > 0 && !contrib.is_empty() && contrib.len().is_multiple_of(n * elem)
+    {
+        rabenseifner(env, op, contrib)
+    } else {
+        allreduce(env, op, contrib)
+    }
+}
+
+fn recursive_doubling(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    let mut acc = contrib;
+    let mut mask = 1usize;
+    while mask < n {
+        env.poll();
+        let partner = me ^ mask;
+        env.send_to(partner, mask.trailing_zeros(), acc.clone());
+        let other = env.recv_exact(partner, mask.trailing_zeros(), acc.len());
+        if let Err(e) = apply_op(op, env.dtype, &mut acc, &other) {
+            fatal(e);
+        }
+        mask <<= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks_dtype;
+    use crate::datatype::{Datatype, MpiType};
+
+    fn bytes(v: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        f64::write_bytes(v, &mut out);
+        out
+    }
+
+    fn f64s(b: &[u8]) -> Vec<f64> {
+        let mut out = vec![0.0; b.len() / 8];
+        f64::read_bytes(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn allreduce_sum_pow2_and_not() {
+        for n in [1usize, 2, 3, 4, 5, 8, 12, 16] {
+            let outs = run_ranks_dtype(n, Datatype::Float64, move |env, me| {
+                allreduce(env, ReduceOp::Sum, bytes(&[me as f64, 2.0]))
+            });
+            let total = (0..n).sum::<usize>() as f64;
+            for o in outs {
+                assert_eq!(f64s(&o), vec![total, 2.0 * n as f64], "n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min() {
+        let outs = run_ranks_dtype(8, Datatype::Float64, |env, me| {
+            allreduce(env, ReduceOp::Min, bytes(&[10.0 - me as f64]))
+        });
+        for o in outs {
+            assert_eq!(f64s(&o), vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn all_ranks_get_bitwise_identical_floats() {
+        let outs = run_ranks_dtype(16, Datatype::Float64, |env, me| {
+            allreduce(env, ReduceOp::Sum, bytes(&[0.1 * (me as f64 + 1.0)]))
+        });
+        let first = outs[0].clone();
+        for o in &outs {
+            assert_eq!(*o, first);
+        }
+    }
+
+    #[test]
+    fn rabenseifner_matches_recursive_doubling() {
+        for n in [2usize, 4, 8, 16] {
+            let outs = run_ranks_dtype(n, Datatype::Float64, move |env, me| {
+                let contrib: Vec<f64> = (0..2 * n).map(|j| 0.25 * (me * 7 + j) as f64).collect();
+                let mut data = Vec::new();
+                f64::write_bytes(&contrib, &mut data);
+                let a = allreduce_large(env, ReduceOp::Sum, data.clone());
+                let env2 = CollEnv {
+                    fabric: env.fabric,
+                    ctl: env.ctl,
+                    comm: env.comm,
+                    seq: 1,
+                    round_off: 0,
+                    dtype: env.dtype,
+                };
+                let b = allreduce(&env2, ReduceOp::Sum, data);
+                (f64s(&a), f64s(&b))
+            });
+            for (me, (a, b)) in outs.into_iter().enumerate() {
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+                        "n={} me={} {} vs {}",
+                        n,
+                        me,
+                        x,
+                        y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_all_ranks_agree_bitwise() {
+        let outs = run_ranks_dtype(8, Datatype::Float64, |env, me| {
+            let contrib: Vec<f64> = (0..16).map(|j| 0.1 * (me + j) as f64).collect();
+            let mut data = Vec::new();
+            f64::write_bytes(&contrib, &mut data);
+            allreduce_large(env, ReduceOp::Sum, data)
+        });
+        for o in &outs {
+            assert_eq!(*o, outs[0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_large_falls_back_on_odd_layouts() {
+        // 3 ranks (non-pow2) and a count not divisible by n both fall back.
+        let outs = run_ranks_dtype(3, Datatype::Float64, |env, me| {
+            let mut data = Vec::new();
+            f64::write_bytes(&[me as f64], &mut data);
+            f64s(&allreduce_large(env, ReduceOp::Sum, data))
+        });
+        for o in outs {
+            assert_eq!(o, vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn consecutive_allreduces_do_not_cross_match() {
+        let outs = run_ranks_dtype(4, Datatype::Float64, |env, me| {
+            let mut results = Vec::new();
+            for s in 0..4u64 {
+                let env2 = CollEnv {
+                    fabric: env.fabric,
+                    ctl: env.ctl,
+                    comm: env.comm,
+                    seq: s,
+                    round_off: 0,
+                    dtype: env.dtype,
+                };
+                results.push(f64s(&allreduce(
+                    &env2,
+                    ReduceOp::Sum,
+                    bytes(&[(me + s as usize) as f64]),
+                ))[0]);
+            }
+            results
+        });
+        for o in outs {
+            assert_eq!(o, vec![6.0, 10.0, 14.0, 18.0]);
+        }
+    }
+}

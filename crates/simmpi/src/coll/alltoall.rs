@@ -1,0 +1,173 @@
+//! Pairwise-exchange alltoall and alltoallv.
+
+use super::{fatal, CollEnv};
+use crate::error::MpiError;
+
+/// All-to-all personalized exchange: `data` holds `n` equal blocks of
+/// `chunk_bytes`; block `i` goes to rank `i`. Returns the `n` blocks
+/// received, in rank order.
+pub fn alltoall(env: &CollEnv<'_>, data: Vec<u8>, chunk_bytes: usize) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    let mut out = vec![0u8; chunk_bytes * n];
+    let read_block = |i: usize| -> Vec<u8> {
+        let lo = (i * chunk_bytes).min(data.len());
+        let hi = ((i + 1) * chunk_bytes).min(data.len());
+        data[lo..hi].to_vec()
+    };
+    out[me * chunk_bytes..(me + 1) * chunk_bytes].copy_from_slice(&read_block(me));
+    for step in 1..n {
+        env.poll();
+        let dst = (me + step) % n;
+        let src = (me + n - step) % n;
+        env.send_to(dst, step as u32, read_block(dst));
+        let incoming = env.recv_exact(src, step as u32, chunk_bytes);
+        out[src * chunk_bytes..(src + 1) * chunk_bytes].copy_from_slice(&incoming);
+    }
+    out
+}
+
+/// Vector all-to-all. Counts and displacements are in *bytes* here (the
+/// caller has already multiplied by the element size from its — possibly
+/// corrupted — datatype). Negative entries have been validated away by the
+/// caller; out-of-range `displ+count` windows against the actual image are
+/// the caller's page-slack model's job, so this function only slices what
+/// exists and pads the rest: a real implementation reading past the user
+/// buffer reads garbage.
+pub fn alltoallv(
+    env: &CollEnv<'_>,
+    data: Vec<u8>,
+    send_counts: &[usize],
+    send_displs: &[usize],
+    recv_counts: &[usize],
+    recv_displs: &[usize],
+) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    if send_counts.len() != n
+        || send_displs.len() != n
+        || recv_counts.len() != n
+        || recv_displs.len() != n
+    {
+        fatal(MpiError::Arg);
+    }
+    let total_recv = recv_displs
+        .iter()
+        .zip(recv_counts)
+        .map(|(d, c)| d + c)
+        .max()
+        .unwrap_or(0);
+    let mut out = vec![0u8; total_recv];
+
+    let read_block = |i: usize| -> Vec<u8> {
+        let lo = send_displs[i].min(data.len());
+        let hi = (send_displs[i] + send_counts[i]).min(data.len());
+        let mut chunk = data[lo..hi].to_vec();
+        // Pad reads that ran past the image (garbage in real memory).
+        chunk.resize(send_counts[i], 0xAA);
+        chunk
+    };
+    let write_block = |out: &mut Vec<u8>, i: usize, chunk: &[u8]| {
+        let lo = recv_displs[i];
+        let hi = lo + chunk.len();
+        if hi > out.len() {
+            out.resize(hi, 0);
+        }
+        out[lo..hi].copy_from_slice(chunk);
+    };
+
+    let own = read_block(me);
+    if own.len() != recv_counts[me] {
+        fatal(MpiError::Truncate);
+    }
+    write_block(&mut out, me, &own);
+    for step in 1..n {
+        env.poll();
+        let dst = (me + step) % n;
+        let src = (me + n - step) % n;
+        env.send_to(dst, step as u32, read_block(dst));
+        let incoming = env.recv_exact(src, step as u32, recv_counts[src]);
+        write_block(&mut out, src, &incoming);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks;
+
+    #[test]
+    fn alltoall_transposes() {
+        for n in [1usize, 2, 4, 5, 8] {
+            let outs = run_ranks(n, move |env, me| {
+                // Block for rank j contains byte me*16+j.
+                let data: Vec<u8> = (0..n).map(|j| (me * 16 + j) as u8).collect();
+                alltoall(env, data, 1)
+            });
+            for (me, o) in outs.into_iter().enumerate() {
+                let expect: Vec<u8> = (0..n).map(|j| (j * 16 + me) as u8).collect();
+                assert_eq!(o, expect, "n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_empty_chunks() {
+        let outs = run_ranks(4, |env, _me| alltoall(env, Vec::new(), 0));
+        for o in outs {
+            assert!(o.is_empty());
+        }
+    }
+
+    #[test]
+    fn alltoallv_uneven() {
+        // Rank r sends r+1 copies of its id to every peer.
+        let n = 4;
+        let outs = run_ranks(n, move |env, me| {
+            let per_peer = me + 1;
+            let data: Vec<u8> = vec![me as u8; per_peer * n];
+            let send_counts: Vec<usize> = vec![per_peer; n];
+            let send_displs: Vec<usize> = (0..n).map(|i| i * per_peer).collect();
+            let recv_counts: Vec<usize> = (0..n).map(|r| r + 1).collect();
+            let recv_displs: Vec<usize> = {
+                let mut d = vec![0usize; n];
+                for i in 1..n {
+                    d[i] = d[i - 1] + recv_counts[i - 1];
+                }
+                d
+            };
+            alltoallv(
+                env,
+                data,
+                &send_counts,
+                &send_displs,
+                &recv_counts,
+                &recv_displs,
+            )
+        });
+        for o in outs {
+            let expect: Vec<u8> = (0..n).flat_map(|r| vec![r as u8; r + 1]).collect();
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_count_mismatch_detected() {
+        // Rank 0 claims to send 2 bytes to everyone but receivers expect 1.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ranks(2, |env, me| {
+                let (sc, rc) = if me == 0 {
+                    (vec![2usize, 2], vec![1usize, 1])
+                } else {
+                    (vec![1usize, 1], vec![1usize, 1])
+                };
+                let data = vec![me as u8; 4];
+                let sd = vec![0usize, 2];
+                let rd = vec![0usize, 1];
+                alltoallv(env, data, &sc, &sd, &rc, &rd)
+            })
+        }));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Linear (rooted star) scatter and gather.
+//!
+//! Scatter: the root slices its send image into `n` equal chunks and sends
+//! chunk `i` to rank `i`. Gather: every rank sends its chunk to the root,
+//! which concatenates them in rank order.
+
+use super::CollEnv;
+
+/// Scatter `chunk_bytes`-sized slices of `data` (root only) to every rank.
+/// Returns this rank's chunk.
+///
+/// If the root's (possibly corrupted) send image is too short for `n`
+/// chunks the trailing sends carry short payloads and the receivers raise
+/// protocol errors — the same observable as a count mismatch in real MPI.
+pub fn scatter(
+    env: &CollEnv<'_>,
+    root: usize,
+    data: Option<Vec<u8>>,
+    chunk_bytes: usize,
+) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    if me == root {
+        let data = data.unwrap_or_default();
+        let mut own = Vec::new();
+        for peer in 0..n {
+            env.poll();
+            let lo = (peer * chunk_bytes).min(data.len());
+            let hi = ((peer + 1) * chunk_bytes).min(data.len());
+            let chunk = data[lo..hi].to_vec();
+            if peer == me {
+                own = chunk;
+            } else {
+                env.send_to(peer, 0, chunk);
+            }
+        }
+        own
+    } else {
+        env.recv_exact(root, 0, chunk_bytes)
+    }
+}
+
+/// Gather every rank's `contrib` onto `root`, concatenated in rank order.
+/// Returns `Some(all)` at the root, `None` elsewhere.
+///
+/// The root expects each contribution to be exactly `contrib.len()` bytes
+/// (i.e. all ranks agree on the count); a corrupted rank's mismatched chunk
+/// raises a truncation/protocol error at the root.
+pub fn gather(env: &CollEnv<'_>, root: usize, contrib: Vec<u8>) -> Option<Vec<u8>> {
+    let n = env.n();
+    let me = env.me();
+    let chunk = contrib.len();
+    if me == root {
+        let mut all = vec![0u8; chunk * n];
+        all[me * chunk..(me + 1) * chunk].copy_from_slice(&contrib);
+        for peer in 0..n {
+            if peer == me {
+                continue;
+            }
+            env.poll();
+            let data = env.recv_exact(peer, 0, chunk);
+            all[peer * chunk..(peer + 1) * chunk].copy_from_slice(&data);
+        }
+        Some(all)
+    } else {
+        env.send_to(root, 0, contrib);
+        None
+    }
+}
+
+/// Variable-count scatter (`MPI_Scatterv`). Counts/displacements are in
+/// bytes, already scaled by the (possibly corrupted) element size. The
+/// root slices `[displs[i], displs[i]+counts[i])` for rank `i`, padding
+/// reads past the image with garbage; each receiver expects exactly its
+/// own count.
+pub fn scatterv(
+    env: &CollEnv<'_>,
+    root: usize,
+    data: Option<Vec<u8>>,
+    counts: &[usize],
+    displs: &[usize],
+    my_count: usize,
+) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    if me == root {
+        let data = data.unwrap_or_default();
+        let mut own = Vec::new();
+        for peer in 0..n {
+            env.poll();
+            let lo = displs[peer].min(data.len());
+            let hi = (displs[peer] + counts[peer]).min(data.len());
+            let mut chunk = data[lo..hi].to_vec();
+            chunk.resize(counts[peer], 0xAA);
+            if peer == me {
+                own = chunk;
+            } else {
+                env.send_to(peer, 0, chunk);
+            }
+        }
+        own
+    } else {
+        env.recv_exact(root, 0, my_count)
+    }
+}
+
+/// Variable-count gather (`MPI_Gatherv`): the root places rank `i`'s
+/// contribution at `displs[i]`, expecting `counts[i]` bytes from each.
+pub fn gatherv(
+    env: &CollEnv<'_>,
+    root: usize,
+    contrib: Vec<u8>,
+    counts: &[usize],
+    displs: &[usize],
+) -> Option<Vec<u8>> {
+    let n = env.n();
+    let me = env.me();
+    if me == root {
+        let total = displs
+            .iter()
+            .zip(counts)
+            .map(|(d, c)| d + c)
+            .max()
+            .unwrap_or(0);
+        let mut all = vec![0u8; total];
+        let place = |all: &mut Vec<u8>, i: usize, chunk: &[u8]| {
+            let lo = displs[i];
+            let hi = lo + chunk.len();
+            if hi > all.len() {
+                all.resize(hi, 0);
+            }
+            all[lo..hi].copy_from_slice(chunk);
+        };
+        if contrib.len() != counts[me] {
+            super::fatal(crate::error::MpiError::Truncate);
+        }
+        place(&mut all, me, &contrib);
+        for peer in 0..n {
+            if peer == me {
+                continue;
+            }
+            env.poll();
+            let data = env.recv_exact(peer, 0, counts[peer]);
+            place(&mut all, peer, &data);
+        }
+        Some(all)
+    } else {
+        env.send_to(root, 0, contrib);
+        None
+    }
+}
+
+/// Variable-count allgather (`MPI_Allgatherv`): gatherv to rank 0 plus a
+/// broadcast of the assembled vector (rounds offset to stay distinct).
+pub fn allgatherv(
+    env: &CollEnv<'_>,
+    contrib: Vec<u8>,
+    counts: &[usize],
+    displs: &[usize],
+) -> Vec<u8> {
+    let stage = |off: u32| CollEnv {
+        fabric: env.fabric,
+        ctl: env.ctl,
+        comm: env.comm,
+        seq: env.seq,
+        round_off: env.round_off + off,
+        dtype: env.dtype,
+    };
+    let gathered = gatherv(&stage(0x20), 0, contrib, counts, displs);
+    super::bcast::bcast(&stage(0x40), 0, gathered.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks;
+
+    #[test]
+    fn scatterv_uneven_chunks() {
+        // Rank i receives i+1 bytes.
+        let n = 4;
+        let outs = run_ranks(n, move |env, me| {
+            let counts: Vec<usize> = (1..=n).collect();
+            let displs: Vec<usize> = {
+                let mut d = vec![0usize; n];
+                for i in 1..n {
+                    d[i] = d[i - 1] + counts[i - 1];
+                }
+                d
+            };
+            let data = if me == 0 {
+                Some((0..10u8).collect::<Vec<u8>>())
+            } else {
+                None
+            };
+            scatterv(env, 0, data, &counts, &displs, me + 1)
+        });
+        assert_eq!(outs[0], vec![0]);
+        assert_eq!(outs[1], vec![1, 2]);
+        assert_eq!(outs[2], vec![3, 4, 5]);
+        assert_eq!(outs[3], vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn gatherv_places_at_displacements() {
+        let n = 3;
+        let outs = run_ranks(n, move |env, me| {
+            let counts = [1usize, 2, 3];
+            let displs = [0usize, 2, 5];
+            gatherv(env, 0, vec![me as u8 + 1; me + 1], &counts, &displs)
+        });
+        let root = outs[0].clone().unwrap();
+        assert_eq!(root, vec![1, 0, 2, 2, 0, 3, 3, 3]);
+        assert!(outs[1].is_none() && outs[2].is_none());
+    }
+
+    #[test]
+    fn allgatherv_everyone_gets_everything() {
+        let n = 4;
+        let outs = run_ranks(n, move |env, me| {
+            let counts: Vec<usize> = (1..=n).collect();
+            let displs: Vec<usize> = {
+                let mut d = vec![0usize; n];
+                for i in 1..n {
+                    d[i] = d[i - 1] + counts[i - 1];
+                }
+                d
+            };
+            allgatherv(env, vec![me as u8 * 2; me + 1], &counts, &displs)
+        });
+        let expect: Vec<u8> = (0..n).flat_map(|r| vec![r as u8 * 2; r + 1]).collect();
+        for o in outs {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        for n in [1usize, 2, 4, 7] {
+            for root in [0, n - 1] {
+                let outs = run_ranks(n, move |env, me| {
+                    let data = if me == root {
+                        Some((0..n as u8 * 3).collect::<Vec<u8>>())
+                    } else {
+                        None
+                    };
+                    scatter(env, root, data, 3)
+                });
+                for (me, o) in outs.into_iter().enumerate() {
+                    let base = me as u8 * 3;
+                    assert_eq!(o, vec![base, base + 1, base + 2], "n={} root={}", n, root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        for n in [1usize, 3, 8] {
+            let outs = run_ranks(n, move |env, me| {
+                gather(env, 0, vec![me as u8; 2])
+            });
+            let root_out = outs[0].clone().unwrap();
+            let expect: Vec<u8> = (0..n).flat_map(|r| [r as u8, r as u8]).collect();
+            assert_eq!(root_out, expect);
+            for o in &outs[1..] {
+                assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let outs = run_ranks(4, |env, me| {
+            let gathered = gather(env, 2, vec![me as u8 + 10]);
+            let env2 = CollEnv {
+                fabric: env.fabric,
+                ctl: env.ctl,
+                comm: env.comm,
+                seq: 1,
+                round_off: 0,
+                dtype: env.dtype,
+            };
+            scatter(&env2, 2, gathered, 1)
+        });
+        assert_eq!(
+            outs,
+            vec![vec![10u8], vec![11u8], vec![12u8], vec![13u8]]
+        );
+    }
+
+    #[test]
+    fn short_root_image_is_detected() {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ranks(4, |env, me| {
+                // Root has only 2 bytes for 4 chunks of 4 bytes: ranks get
+                // short messages and raise protocol errors.
+                let data = if me == 0 { Some(vec![1, 2]) } else { None };
+                scatter(env, 0, data, 4)
+            })
+        }));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Binomial-tree reduction.
+
+use super::{fatal, CollEnv};
+use crate::op::{apply_op, ReduceOp};
+
+/// Reduce `contrib` element-wise with `op` onto communicator rank `root`.
+///
+/// Returns `Some(result)` on the root and `None` elsewhere. Children are
+/// combined in a fixed (mask) order, so floating-point results are
+/// bit-deterministic across runs.
+pub fn reduce(env: &CollEnv<'_>, op: ReduceOp, root: usize, contrib: Vec<u8>) -> Option<Vec<u8>> {
+    let n = env.n();
+    let me = env.me();
+    if n <= 1 {
+        return Some(contrib);
+    }
+    let vrank = (me + n - root) % n;
+    let to_abs = |v: usize| (v + root) % n;
+
+    let mut acc = contrib;
+    let mut mask = 1usize;
+    while mask < n {
+        env.poll();
+        if vrank & mask == 0 {
+            let child = vrank | mask;
+            if child < n {
+                let other = env.recv_exact(to_abs(child), mask.trailing_zeros(), acc.len());
+                if let Err(e) = apply_op(op, env.dtype, &mut acc, &other) {
+                    fatal(e);
+                }
+            }
+        } else {
+            let parent = vrank & !mask;
+            env.send_to(to_abs(parent), mask.trailing_zeros(), acc);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks_dtype;
+    use crate::datatype::{Datatype, MpiType};
+
+    fn f64s(bytes: &[u8]) -> Vec<f64> {
+        let mut out = vec![0.0; bytes.len() / 8];
+        f64::read_bytes(bytes, &mut out);
+        out
+    }
+
+    fn bytes(v: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        f64::write_bytes(v, &mut out);
+        out
+    }
+
+    #[test]
+    fn sum_to_each_root_all_sizes() {
+        for n in [1usize, 2, 3, 4, 6, 8, 9, 16] {
+            for root in [0, n - 1, n / 2] {
+                let outs = run_ranks_dtype(n, Datatype::Float64, move |env, me| {
+                    reduce(env, ReduceOp::Sum, root, bytes(&[me as f64, 1.0]))
+                });
+                let expected_sum = (0..n).sum::<usize>() as f64;
+                for (me, o) in outs.into_iter().enumerate() {
+                    if me == root {
+                        let v = f64s(&o.expect("root must get a result"));
+                        assert_eq!(v, vec![expected_sum, n as f64], "n={} root={}", n, root);
+                    } else {
+                        assert!(o.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_reduce_i32() {
+        let outs = run_ranks_dtype(8, Datatype::Int32, |env, me| {
+            let mut b = Vec::new();
+            i32::write_bytes(&[(me as i32) * ((-1i32).pow(me as u32))], &mut b);
+            reduce(env, ReduceOp::Max, 0, b)
+        });
+        let root_out = outs[0].as_ref().unwrap();
+        let mut v = [0i32; 1];
+        i32::read_bytes(root_out, &mut v);
+        assert_eq!(v[0], 6); // max over {0,-1,2,-3,4,-5,6,-7}
+    }
+
+    #[test]
+    fn float_sum_is_deterministic_across_runs() {
+        let run = || {
+            run_ranks_dtype(7, Datatype::Float64, |env, me| {
+                let x = 0.1 * (me as f64 + 1.0);
+                reduce(env, ReduceOp::Sum, 0, bytes(&[x]))
+            })
+        };
+        let a = run()[0].clone().unwrap();
+        let b = run()[0].clone().unwrap();
+        assert_eq!(a, b, "bitwise deterministic reduction order");
+    }
+}

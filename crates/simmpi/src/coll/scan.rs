@@ -1,0 +1,113 @@
+//! Inclusive and exclusive prefix scans.
+//!
+//! Linear-chain implementation: rank `i` receives the prefix from `i-1`,
+//! combines, and forwards to `i+1`. Deterministic combine order by
+//! construction.
+
+use super::{fatal, CollEnv};
+use crate::op::{apply_op, ReduceOp};
+
+/// Inclusive scan: rank `i` receives `op(contrib_0, ..., contrib_i)`.
+pub fn scan(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    let mut acc = contrib;
+    if me > 0 {
+        env.poll();
+        let prefix = env.recv_exact(me - 1, 0, acc.len());
+        // acc = op(prefix, contrib): combine in rank order for
+        // non-commutative safety.
+        let mut combined = prefix;
+        if let Err(e) = apply_op(op, env.dtype, &mut combined, &acc) {
+            fatal(e);
+        }
+        acc = combined;
+    }
+    if me + 1 < n {
+        env.send_to(me + 1, 0, acc.clone());
+    }
+    acc
+}
+
+/// Exclusive scan: rank `i` receives `op(contrib_0, ..., contrib_{i-1})`;
+/// rank 0 receives its input unchanged (MPI leaves it undefined; returning
+/// the identity-free input is the common practical behaviour).
+pub fn exscan(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
+    let n = env.n();
+    let me = env.me();
+    // Each rank forwards op(prefix, own) but *returns* the prefix.
+    let mut prefix: Option<Vec<u8>> = None;
+    if me > 0 {
+        env.poll();
+        prefix = Some(env.recv_exact(me - 1, 0, contrib.len()));
+    }
+    if me + 1 < n {
+        let mut fwd = match &prefix {
+            Some(p) => {
+                let mut c = p.clone();
+                if let Err(e) = apply_op(op, env.dtype, &mut c, &contrib) {
+                    fatal(e);
+                }
+                c
+            }
+            None => contrib.clone(),
+        };
+        env.send_to(me + 1, 0, std::mem::take(&mut fwd));
+    }
+    prefix.unwrap_or(contrib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coll::testutil::run_ranks_dtype;
+    use crate::datatype::{Datatype, MpiType};
+
+    fn bytes(v: &[i64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        i64::write_bytes(v, &mut out);
+        out
+    }
+
+    fn vals(b: &[u8]) -> Vec<i64> {
+        let mut out = vec![0i64; b.len() / 8];
+        i64::read_bytes(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn inclusive_scan_sums_prefixes() {
+        for n in [1usize, 2, 5, 8] {
+            let outs = run_ranks_dtype(n, Datatype::Int64, move |env, me| {
+                scan(env, ReduceOp::Sum, bytes(&[me as i64 + 1]))
+            });
+            for (me, o) in outs.into_iter().enumerate() {
+                let expect: i64 = (1..=me as i64 + 1).sum();
+                assert_eq!(vals(&o), vec![expect], "n={} me={}", n, me);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_by_one() {
+        let n = 6;
+        let outs = run_ranks_dtype(n, Datatype::Int64, move |env, me| {
+            exscan(env, ReduceOp::Sum, bytes(&[me as i64 + 1]))
+        });
+        for (me, o) in outs.into_iter().enumerate().skip(1) {
+            let expect: i64 = (1..=me as i64).sum();
+            assert_eq!(vals(&o), vec![expect], "me={}", me);
+        }
+    }
+
+    #[test]
+    fn scan_max_monotone() {
+        let outs = run_ranks_dtype(8, Datatype::Int64, |env, me| {
+            // Values bounce around; the scan of Max must be monotone.
+            let v = [7, 3, 9, 1, 4, 9, 2, 8][me] as i64;
+            scan(env, ReduceOp::Max, bytes(&[v]))
+        });
+        let series: Vec<i64> = outs.iter().map(|o| vals(o)[0]).collect();
+        assert_eq!(series, vec![7, 7, 9, 9, 9, 9, 9, 9]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Communicators and tag construction.
+//!
+//! Communicator handles are sparse 32-bit codes (opaque handles), validated
+//! on every call. A bit flip in a communicator argument therefore almost
+//! always raises `MPI_ERR_COMM`; in the rare case it lands on another
+//! *valid* communicator the rank participates in the wrong collective and
+//! the job deadlocks — both behaviours the paper observes for `comm`
+//! faults.
+
+use crate::error::MpiError;
+use std::collections::HashMap;
+
+/// Opaque communicator handle, as passed through the collective interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommHandle(pub u32);
+
+const COMM_HANDLE_BASE: u32 = 0x7A30_1150;
+const COMM_HANDLE_STRIDE: u32 = 0x29;
+
+/// Handle of `MPI_COMM_WORLD`.
+pub const WORLD: CommHandle = CommHandle(COMM_HANDLE_BASE);
+
+/// Compute the handle for the `gen`-th communicator created in the job
+/// (generation 0 is the world communicator). All ranks create derived
+/// communicators in the same collective order, so generations — and hence
+/// handles — agree across ranks.
+pub fn handle_for_generation(gen: u32) -> CommHandle {
+    CommHandle(COMM_HANDLE_BASE + gen * COMM_HANDLE_STRIDE)
+}
+
+/// One rank's view of a communicator.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    /// Opaque handle.
+    pub handle: CommHandle,
+    /// Global ranks of the members, in communicator rank order.
+    pub ranks: Vec<usize>,
+    /// This process's rank *within* the communicator.
+    pub my_index: usize,
+    /// Per-communicator collective sequence number (local view).
+    pub seq: u64,
+}
+
+impl Comm {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Translate a communicator rank to a global (fabric) rank.
+    pub fn global(&self, comm_rank: usize) -> Result<usize, MpiError> {
+        self.ranks.get(comm_rank).copied().ok_or(MpiError::Rank)
+    }
+}
+
+/// Per-rank registry of the communicators this rank belongs to.
+#[derive(Debug)]
+pub struct CommRegistry {
+    comms: HashMap<u32, Comm>,
+    next_gen: u32,
+}
+
+impl CommRegistry {
+    /// Create a registry holding only the world communicator for a job of
+    /// `nranks` ranks, from the perspective of global rank `me`.
+    pub fn new_world(nranks: usize, me: usize) -> Self {
+        let mut comms = HashMap::new();
+        comms.insert(
+            WORLD.0,
+            Comm {
+                handle: WORLD,
+                ranks: (0..nranks).collect(),
+                my_index: me,
+                seq: 0,
+            },
+        );
+        CommRegistry { comms, next_gen: 1 }
+    }
+
+    /// Validate and fetch a communicator by handle.
+    pub fn get(&self, h: CommHandle) -> Result<&Comm, MpiError> {
+        self.comms.get(&h.0).ok_or(MpiError::Comm)
+    }
+
+    /// Validate and fetch mutably (to bump the collective sequence).
+    pub fn get_mut(&mut self, h: CommHandle) -> Result<&mut Comm, MpiError> {
+        self.comms.get_mut(&h.0).ok_or(MpiError::Comm)
+    }
+
+    /// Register a derived communicator built from `members` (global ranks in
+    /// communicator order). Returns its handle. `me` is this process's
+    /// global rank; pass `None` for `me_global` membership lookups by value.
+    pub fn register(&mut self, members: Vec<usize>, me_global: usize) -> CommHandle {
+        let handle = handle_for_generation(self.next_gen);
+        self.next_gen += 1;
+        let my_index = members
+            .iter()
+            .position(|&g| g == me_global)
+            .expect("registering a communicator this rank is not a member of");
+        self.comms.insert(
+            handle.0,
+            Comm {
+                handle,
+                ranks: members,
+                my_index,
+                seq: 0,
+            },
+        );
+        handle
+    }
+
+    /// Bump a generation counter without registering (for ranks whose split
+    /// color excluded them — keeps generations aligned across ranks).
+    pub fn skip_generation(&mut self) -> CommHandle {
+        let h = handle_for_generation(self.next_gen);
+        self.next_gen += 1;
+        h
+    }
+
+    /// Handles of all registered communicators (sorted, deterministic).
+    pub fn handles(&self) -> Vec<CommHandle> {
+        let mut v: Vec<u32> = self.comms.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(CommHandle).collect()
+    }
+}
+
+/// Kinds of traffic multiplexed over the fabric; part of the match tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagKind {
+    /// Internal collective round.
+    Collective = 0x1,
+    /// User point-to-point message.
+    P2p = 0xF,
+}
+
+/// Build the 64-bit match tag for a collective round.
+///
+/// Layout: `[comm:32][kind:4][round:8][seq:20]`. Including the communicator
+/// code means traffic from a rank using a different (corrupted)
+/// communicator can never match — it deadlocks instead, like real MPI.
+pub fn coll_tag(comm_code: u32, seq: u64, round: u32) -> u64 {
+    ((comm_code as u64) << 32)
+        | ((TagKind::Collective as u64) << 28)
+        | (((round as u64) & 0xFF) << 20)
+        | (seq & 0xF_FFFF)
+}
+
+/// Build the 64-bit match tag for a user point-to-point message.
+pub fn p2p_tag(comm_code: u32, user_tag: i32) -> u64 {
+    ((comm_code as u64) << 32)
+        | ((TagKind::P2p as u64) << 28)
+        | ((user_tag as u64) & 0xF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_registry() {
+        let reg = CommRegistry::new_world(8, 3);
+        let w = reg.get(WORLD).unwrap();
+        assert_eq!(w.size(), 8);
+        assert_eq!(w.my_index, 3);
+        assert_eq!(w.global(5).unwrap(), 5);
+        assert_eq!(w.global(8), Err(MpiError::Rank));
+    }
+
+    #[test]
+    fn invalid_handle_rejected() {
+        let reg = CommRegistry::new_world(4, 0);
+        assert!(reg.get(CommHandle(WORLD.0 ^ 1)).is_err());
+        assert!(reg.get(CommHandle(0)).is_err());
+    }
+
+    #[test]
+    fn register_derived() {
+        let mut reg = CommRegistry::new_world(8, 5);
+        let h = reg.register(vec![1, 5, 7], 5);
+        let c = reg.get(h).unwrap();
+        assert_eq!(c.my_index, 1);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.global(2).unwrap(), 7);
+        assert_eq!(h, handle_for_generation(1));
+    }
+
+    #[test]
+    fn generations_align_across_skip() {
+        let mut a = CommRegistry::new_world(4, 0);
+        let mut b = CommRegistry::new_world(4, 1);
+        let ha = a.register(vec![0], 0);
+        let hb = b.skip_generation();
+        assert_eq!(ha, hb);
+        let ha2 = a.register(vec![0, 1], 0);
+        let hb2 = b.register(vec![0, 1], 1);
+        assert_eq!(ha2, hb2);
+    }
+
+    #[test]
+    fn tags_disambiguate() {
+        let t1 = coll_tag(WORLD.0, 1, 0);
+        let t2 = coll_tag(WORLD.0, 1, 1);
+        let t3 = coll_tag(WORLD.0, 2, 0);
+        let t4 = coll_tag(WORLD.0 + 1, 1, 0);
+        let t5 = p2p_tag(WORLD.0, 1);
+        let all = [t1, t2, t3, t4, t5];
+        for i in 0..all.len() {
+            for j in 0..all.len() {
+                if i != j {
+                    assert_ne!(all[i], all[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_comm_handles_one_bit_apart() {
+        for g1 in 0..8u32 {
+            for g2 in 0..8u32 {
+                if g1 != g2 {
+                    let x = handle_for_generation(g1).0 ^ handle_for_generation(g2).0;
+                    assert!(x.count_ones() > 1);
+                }
+            }
+        }
+    }
+}

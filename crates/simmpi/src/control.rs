@@ -1,0 +1,198 @@
+//! Job-wide control state: kill flag, deadline, first-fatal-event record.
+//!
+//! Every blocking wait inside the runtime polls this state so that a job
+//! whose ranks are deadlocked (the paper's `INF_LOOP` outcome) can be torn
+//! down by the watchdog without leaking threads, and so that a fatal event
+//! on one rank (MPI error, simulated segfault, application abort) brings
+//! the whole job down like `MPI_ERRORS_ARE_FATAL` / `MPI_Abort` would.
+
+use crate::error::MpiError;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The first fatal event observed in a job. Ordering matters for
+/// classification: the *first* fatal event decides the job outcome, exactly
+/// as the first `MPI_Abort`/signal decides the exit of a real `mpirun`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FatalKind {
+    /// The application itself detected a problem and aborted
+    /// (`MPI_Abort` analog) — classified `APP_DETECTED`.
+    AppAbort {
+        /// Exit code passed to the abort call.
+        code: i32,
+        /// Human-readable message from the application.
+        msg: String,
+    },
+    /// The simulated MPI library raised a fatal error — classified `MPI_ERR`.
+    Mpi(MpiError),
+    /// A memory violation (out-of-bounds access) — classified `SEG_FAULT`.
+    SegFault {
+        /// Description of the violated access.
+        detail: String,
+    },
+}
+
+/// Panic payloads used for structured unwinding of rank threads.
+///
+/// The job runner downcasts panic payloads to this type; any *other* panic
+/// (e.g. a genuine slice bounds failure in application code) is treated as a
+/// memory violation, the closest analog of a segmentation fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankPanic {
+    /// Fatal MPI library error on this rank.
+    Mpi(MpiError),
+    /// Simulated memory violation on this rank.
+    SegFault(String),
+    /// This rank called [`abort`](crate::ctx::RankCtx::abort).
+    AppAbort {
+        /// Exit code.
+        code: i32,
+        /// Message.
+        msg: String,
+    },
+    /// This rank was stopped because the job was killed (watchdog timeout
+    /// or fatal event on a peer rank).
+    Killed,
+}
+
+/// Shared control block for one job.
+#[derive(Debug)]
+pub struct JobControl {
+    killed: AtomicBool,
+    deadline: Instant,
+    fatal: Mutex<Option<(usize, FatalKind)>>,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    nranks: usize,
+}
+
+impl JobControl {
+    /// Create a control block for `nranks` ranks with the given wall-clock
+    /// timeout.
+    pub fn new(nranks: usize, timeout: Duration) -> Self {
+        JobControl {
+            killed: AtomicBool::new(false),
+            deadline: Instant::now() + timeout,
+            fatal: Mutex::new(None),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            nranks,
+        }
+    }
+
+    /// Absolute deadline of the job.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Ask every rank to stop at its next poll point.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Release);
+    }
+
+    /// Whether the job has been killed or has passed its deadline.
+    pub fn should_die(&self) -> bool {
+        self.killed.load(Ordering::Acquire) || Instant::now() >= self.deadline
+    }
+
+    /// Record a fatal event from `rank` (first event wins) and kill the job.
+    pub fn record_fatal(&self, rank: usize, kind: FatalKind) {
+        {
+            let mut slot = self.fatal.lock();
+            if slot.is_none() {
+                *slot = Some((rank, kind));
+            }
+        }
+        self.kill();
+    }
+
+    /// The first fatal event, if any.
+    pub fn fatal(&self) -> Option<(usize, FatalKind)> {
+        self.fatal.lock().clone()
+    }
+
+    /// Poll point used by blocking waits and collective entries. Panics with
+    /// [`RankPanic::Killed`] once the job is being torn down.
+    pub fn check(&self) {
+        if self.should_die() {
+            std::panic::panic_any(RankPanic::Killed);
+        }
+    }
+
+    /// Mark one rank as finished and wake the waiter.
+    pub fn rank_done(&self) {
+        let mut d = self.done.lock();
+        *d += 1;
+        self.done_cv.notify_all();
+    }
+
+    /// Block until all ranks finished or the deadline passed. Returns `true`
+    /// if all ranks finished in time.
+    pub fn wait_all_done(&self) -> bool {
+        let mut d = self.done.lock();
+        while *d < self.nranks {
+            let now = Instant::now();
+            if now >= self.deadline || self.killed.load(Ordering::Acquire) {
+                return *d >= self.nranks;
+            }
+            let budget = self.deadline - now;
+            self.done_cv
+                .wait_for(&mut d, budget.min(Duration::from_millis(20)));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_fatal_wins() {
+        let ctl = JobControl::new(2, Duration::from_secs(1));
+        ctl.record_fatal(1, FatalKind::Mpi(MpiError::Comm));
+        ctl.record_fatal(0, FatalKind::SegFault { detail: "x".into() });
+        let (rank, kind) = ctl.fatal().unwrap();
+        assert_eq!(rank, 1);
+        assert_eq!(kind, FatalKind::Mpi(MpiError::Comm));
+        assert!(ctl.should_die());
+    }
+
+    #[test]
+    fn deadline_expiry_sets_should_die() {
+        let ctl = JobControl::new(1, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(ctl.should_die());
+    }
+
+    #[test]
+    fn check_panics_with_killed() {
+        let ctl = JobControl::new(1, Duration::from_secs(5));
+        ctl.kill();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctl.check())).unwrap_err();
+        let rp = err.downcast_ref::<RankPanic>().unwrap();
+        assert_eq!(*rp, RankPanic::Killed);
+    }
+
+    #[test]
+    fn wait_all_done_completes() {
+        let ctl = Arc::new(JobControl::new(3, Duration::from_secs(5)));
+        let mut handles = vec![];
+        for _ in 0..3 {
+            let c = ctl.clone();
+            handles.push(std::thread::spawn(move || c.rank_done()));
+        }
+        assert!(ctl.wait_all_done());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_all_done_times_out() {
+        let ctl = JobControl::new(1, Duration::from_millis(10));
+        assert!(!ctl.wait_all_done());
+    }
+}

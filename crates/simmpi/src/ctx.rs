@@ -1,0 +1,1199 @@
+//! Per-rank execution context — the API surface application code programs
+//! against (the `MPI_*` analog).
+//!
+//! Every collective goes through the same pipeline:
+//!
+//! 1. serialize the user buffers to byte images,
+//! 2. build the raw [`CollParams`] descriptor and record the call (profiling),
+//! 3. hand the descriptor to the interposition hook (fault injection seam),
+//! 4. validate and decode the — possibly corrupted — raw parameters exactly
+//!    as an error-checking MPI build would (`MPI_ERRORS_ARE_FATAL`),
+//! 5. execute the collective algorithm on the byte images, and
+//! 6. write the result image back into the user buffer.
+//!
+//! Out-of-bounds effects of corrupted counts follow a page-granularity
+//! model: reads that stay within [`PAGE_SLACK`] bytes past the buffer
+//! succeed and return garbage (`0xAA`), reads beyond it — and any write
+//! overflow — raise a simulated segmentation fault.
+
+use crate::coll::{
+    allgather::allgather as alg_allgather,
+    allreduce::{allreduce as alg_allreduce, allreduce_large as alg_allreduce_large},
+    alltoall::{alltoall as alg_alltoall, alltoallv as alg_alltoallv},
+    barrier::barrier as alg_barrier,
+    bcast::{bcast as alg_bcast, bcast_large as alg_bcast_large},
+    gather_scatter::{
+        allgatherv as alg_allgatherv, gather as alg_gather, gatherv as alg_gatherv,
+        scatter as alg_scatter, scatterv as alg_scatterv,
+    },
+    reduce_scatter::reduce_scatter_block as alg_reduce_scatter,
+    scan::{exscan as alg_exscan, scan as alg_scan},
+    CollEnv,
+};
+use crate::comm::{p2p_tag, Comm, CommHandle, CommRegistry, WORLD};
+use crate::control::{JobControl, RankPanic};
+use crate::datatype::{Datatype, MpiType};
+use crate::error::MpiError;
+use crate::hook::{CallSite, CollCall, CollHook, CollKind, CollParams};
+use crate::op::ReduceOp;
+use crate::record::{CallRecord, Phase};
+use crate::transport::Fabric;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::Arc;
+
+/// Bytes past the end of a buffer that a read may stray into before the
+/// simulated MMU declares a segmentation fault (one page).
+pub const PAGE_SLACK: usize = 4096;
+
+/// Payload size (bytes) above which `bcast` switches from the binomial
+/// tree to the scatter+allgather algorithm.
+pub const BCAST_LARGE_THRESHOLD: usize = 1 << 15;
+
+/// Payload size (bytes) above which `allreduce` tries Rabenseifner's
+/// reduce-scatter + allgather algorithm.
+pub const ALLREDUCE_LARGE_THRESHOLD: usize = 1 << 14;
+
+/// Simulated per-rank memory budget. An application allocation sized from
+/// (possibly corrupted) communicated data that exceeds this budget behaves
+/// like a failed `malloc`/OOM kill: a simulated segmentation fault. This
+/// keeps a bit-flipped count from turning into a real multi-gigabyte
+/// allocation on the host.
+pub const SIM_ALLOC_LIMIT_BYTES: usize = 1 << 26;
+
+/// Allocate a zeroed vector of `n` elements inside the simulated memory
+/// budget; raises a simulated segmentation fault if the request exceeds
+/// [`SIM_ALLOC_LIMIT_BYTES`]. Applications should use this for any buffer
+/// whose size derives from received data.
+pub fn guarded_vec<T: Default + Clone>(n: usize) -> Vec<T> {
+    let bytes = n.saturating_mul(std::mem::size_of::<T>());
+    if bytes > SIM_ALLOC_LIMIT_BYTES {
+        RankCtx::segfault(format!(
+            "allocation of {} bytes exceeds the simulated memory budget",
+            bytes
+        ));
+    }
+    vec![T::default(); n]
+}
+
+/// Final per-rank scientific output, compared between golden and injected
+/// runs to detect `WRONG_ANS`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankOutput {
+    /// Named scalar results (energies, checksums, residuals ...).
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl RankOutput {
+    /// Empty output.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named scalar.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.scalars.push((name.into(), value));
+    }
+
+    /// Convenience: build from a list.
+    pub fn from_scalars(scalars: &[(&str, f64)]) -> Self {
+        RankOutput {
+            scalars: scalars.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// The per-rank context handed to application code.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    fabric: Arc<Fabric>,
+    ctl: Arc<JobControl>,
+    comms: CommRegistry,
+    hook: Option<Arc<dyn CollHook>>,
+    recording: bool,
+    records: Vec<CallRecord>,
+    frames: Vec<&'static str>,
+    phase: Phase,
+    errhdl_depth: u32,
+    site_counts: HashMap<CallSite, u64>,
+    rng: ChaCha8Rng,
+}
+
+impl RankCtx {
+    /// Construct a context (used by the job runner).
+    pub(crate) fn new(
+        rank: usize,
+        nranks: usize,
+        fabric: Arc<Fabric>,
+        ctl: Arc<JobControl>,
+        hook: Option<Arc<dyn CollHook>>,
+        recording: bool,
+        seed: u64,
+    ) -> Self {
+        RankCtx {
+            rank,
+            nranks,
+            fabric,
+            ctl,
+            comms: CommRegistry::new_world(nranks, rank),
+            hook,
+            recording,
+            records: Vec::new(),
+            frames: vec!["main"],
+            phase: Phase::Init,
+            errhdl_depth: 0,
+            site_counts: HashMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// This process's rank in the world communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// The world communicator handle.
+    pub fn world(&self) -> CommHandle {
+        WORLD
+    }
+
+    /// Deterministic per-rank random number generator for application use.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// Take the recorded calls (job runner use).
+    pub(crate) fn take_records(&mut self) -> Vec<CallRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    // ----- annotations (profiling substrate) -----
+
+    /// Enter a named application function (call-stack annotation).
+    pub fn enter_frame(&mut self, name: &'static str) {
+        self.frames.push(name);
+    }
+
+    /// Leave the innermost annotated function.
+    pub fn exit_frame(&mut self) {
+        if self.frames.len() > 1 {
+            self.frames.pop();
+        }
+    }
+
+    /// Run `f` inside an annotated frame.
+    pub fn frame<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.enter_frame(name);
+        let r = f(self);
+        self.exit_frame();
+        r
+    }
+
+    /// Current annotated call-stack depth (including `main`).
+    pub fn stack_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Set the current execution phase.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current execution phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Run `f` with the error-handling-code flag set (the paper's `ErrHal`
+    /// feature: collectives used to agree on error conditions).
+    pub fn errhdl<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.errhdl_depth += 1;
+        let r = f(self);
+        self.errhdl_depth -= 1;
+        r
+    }
+
+    /// Whether we are currently inside error-handling code.
+    pub fn in_errhdl(&self) -> bool {
+        self.errhdl_depth > 0
+    }
+
+    /// Abort the job from application code (`MPI_Abort` analog). The whole
+    /// job is classified `APP_DETECTED`.
+    pub fn abort(&mut self, code: i32, msg: impl Into<String>) -> ! {
+        std::panic::panic_any(RankPanic::AppAbort {
+            code,
+            msg: msg.into(),
+        })
+    }
+
+    /// Raise a simulated segmentation fault (used by the library's memory
+    /// model; applications normally never call this).
+    pub fn segfault(detail: impl Into<String>) -> ! {
+        std::panic::panic_any(RankPanic::SegFault(detail.into()))
+    }
+
+    fn fatal(&self, e: MpiError) -> ! {
+        std::panic::panic_any(RankPanic::Mpi(e))
+    }
+
+    // ----- communicator management -----
+
+    /// Size of a communicator.
+    pub fn comm_size(&self, comm: CommHandle) -> usize {
+        match self.comms.get(comm) {
+            Ok(c) => c.size(),
+            Err(e) => self.fatal(e),
+        }
+    }
+
+    /// This process's rank within a communicator.
+    pub fn comm_rank(&self, comm: CommHandle) -> usize {
+        match self.comms.get(comm) {
+            Ok(c) => c.my_index,
+            Err(e) => self.fatal(e),
+        }
+    }
+
+    /// Split `parent` by `color` (negative color = not a member of any new
+    /// communicator); members are ordered by `(key, rank)`. Collective over
+    /// `parent`. Returns the new handle, or `None` for negative color.
+    #[track_caller]
+    pub fn comm_split(
+        &mut self,
+        parent: CommHandle,
+        color: i32,
+        key: i32,
+    ) -> Option<CommHandle> {
+        // Exchange (color, key) with everyone via an internal allgather.
+        let me_global = self.rank;
+        let mut contrib = Vec::new();
+        i32::write_bytes(&[color, key, me_global as i32], &mut contrib);
+        let (comm_clone, seq) = self.bump_seq(parent);
+        let env = CollEnv {
+            fabric: &self.fabric,
+            ctl: &self.ctl,
+            comm: &comm_clone,
+            seq,
+            round_off: 0,
+            dtype: Datatype::Int32,
+        };
+        let all = alg_allgather(&env, contrib);
+        let mut triples = vec![0i32; all.len() / 4];
+        i32::read_bytes(&all, &mut triples);
+        if color < 0 {
+            self.comms.skip_generation();
+            return None;
+        }
+        let mut members: Vec<(i32, i32)> = triples
+            .chunks(3)
+            .filter(|t| t[0] == color)
+            .map(|t| (t[1], t[2]))
+            .collect();
+        members.sort_unstable();
+        let globals: Vec<usize> = members.into_iter().map(|(_, g)| g as usize).collect();
+        Some(self.comms.register(globals, me_global))
+    }
+
+    /// Duplicate a communicator (same members, fresh handle & sequence).
+    pub fn comm_dup(&mut self, parent: CommHandle) -> CommHandle {
+        let ranks = match self.comms.get(parent) {
+            Ok(c) => c.ranks.clone(),
+            Err(e) => self.fatal(e),
+        };
+        self.comms.register(ranks, self.rank)
+    }
+
+    /// Validate a handle and clone the communicator, bumping its collective
+    /// sequence number.
+    fn bump_seq(&mut self, comm: CommHandle) -> (Comm, u64) {
+        match self.comms.get_mut(comm) {
+            Ok(c) => {
+                let seq = c.seq;
+                c.seq += 1;
+                (c.clone(), seq)
+            }
+            Err(e) => self.fatal(e),
+        }
+    }
+
+    // ----- point-to-point -----
+
+    /// Send `buf` to communicator rank `dst` with `tag`.
+    pub fn send<T: MpiType>(&mut self, buf: &[T], dst: usize, tag: i32, comm: CommHandle) {
+        self.ctl.check();
+        if tag < 0 {
+            self.fatal(MpiError::Tag);
+        }
+        let c = match self.comms.get(comm) {
+            Ok(c) => c,
+            Err(e) => self.fatal(e),
+        };
+        let g = match c.global(dst) {
+            Ok(g) => g,
+            Err(e) => self.fatal(e),
+        };
+        let mut data = Vec::new();
+        T::write_bytes(buf, &mut data);
+        if let Err(e) = self
+            .fabric
+            .send(self.rank, g, p2p_tag(c.handle.0, tag), data)
+        {
+            self.fatal(e);
+        }
+    }
+
+    /// Receive into `buf` from communicator rank `src` with `tag`. Returns
+    /// the number of elements received. A message longer than `buf` is a
+    /// fatal truncation error, as in MPI.
+    pub fn recv_into<T: MpiType>(
+        &mut self,
+        buf: &mut [T],
+        src: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> usize {
+        self.ctl.check();
+        if tag < 0 {
+            self.fatal(MpiError::Tag);
+        }
+        let c = match self.comms.get(comm) {
+            Ok(c) => c.clone(),
+            Err(e) => self.fatal(e),
+        };
+        let g = match c.global(src) {
+            Ok(g) => g,
+            Err(e) => self.fatal(e),
+        };
+        let data = self
+            .fabric
+            .recv(self.rank, g, p2p_tag(c.handle.0, tag), &self.ctl);
+        let w = T::DTYPE.size();
+        if data.len() > buf.len() * w {
+            self.fatal(MpiError::Truncate);
+        }
+        let n = data.len() / w;
+        T::read_bytes(&data, &mut buf[..n]);
+        n
+    }
+
+    /// Post a non-blocking receive. Matching is deferred until
+    /// [`RankCtx::wait_into`]; [`RankCtx::test`] probes without blocking.
+    /// (Sends are eager, so `isend` is just [`RankCtx::send`].)
+    pub fn irecv<T: MpiType>(
+        &mut self,
+        src: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RecvRequest<T> {
+        if tag < 0 {
+            self.fatal(MpiError::Tag);
+        }
+        let c = match self.comms.get(comm) {
+            Ok(c) => c,
+            Err(e) => self.fatal(e),
+        };
+        let g = match c.global(src) {
+            Ok(g) => g,
+            Err(e) => self.fatal(e),
+        };
+        RecvRequest {
+            src_global: g,
+            tag: p2p_tag(c.handle.0, tag),
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Non-blocking completion probe for a posted receive.
+    pub fn test<T: MpiType>(&self, req: &RecvRequest<T>) -> bool {
+        self.fabric.probe(self.rank, req.src_global, req.tag)
+    }
+
+    /// Complete a posted receive into `buf`; returns the element count.
+    /// Fatal truncation error if the message exceeds `buf`.
+    pub fn wait_into<T: MpiType>(&mut self, req: RecvRequest<T>, buf: &mut [T]) -> usize {
+        self.ctl.check();
+        let data = self
+            .fabric
+            .recv(self.rank, req.src_global, req.tag, &self.ctl);
+        let w = T::DTYPE.size();
+        if data.len() > buf.len() * w {
+            self.fatal(MpiError::Truncate);
+        }
+        let n = data.len() / w;
+        T::read_bytes(&data, &mut buf[..n]);
+        n
+    }
+
+    /// Combined send+receive (halo-exchange helper; deadlock-free because
+    /// sends are eager).
+    pub fn sendrecv<T: MpiType>(
+        &mut self,
+        sbuf: &[T],
+        dst: usize,
+        rbuf: &mut [T],
+        src: usize,
+        tag: i32,
+        comm: CommHandle,
+    ) -> usize {
+        self.send(sbuf, dst, tag, comm);
+        self.recv_into(rbuf, src, tag, comm)
+    }
+
+    // ----- collectives (the interposed surface) -----
+
+    /// `MPI_Barrier`.
+    #[track_caller]
+    pub fn barrier(&mut self, comm: CommHandle) {
+        let site = caller_site();
+        let mut params = CollParams::simple(0, Datatype::Byte, ReduceOp::Sum, 0, comm);
+        let d = self.pre_coll(CollKind::Barrier, site, &mut params, None, None);
+        let env = self.env(&d);
+        alg_barrier(&env);
+    }
+
+    /// `MPI_Bcast`: broadcast `buf` from `root` (in place).
+    #[track_caller]
+    pub fn bcast<T: MpiType>(&mut self, buf: &mut [T], root: usize, comm: CommHandle) {
+        let site = caller_site();
+        let mut image = Vec::new();
+        T::write_bytes(buf, &mut image);
+        let mut params = CollParams::simple(buf.len(), T::DTYPE, ReduceOp::Sum, root, comm);
+        let d = self.pre_coll(
+            CollKind::Bcast,
+            site,
+            &mut params,
+            Some(&mut image),
+            None,
+        );
+        let nbytes = self.nbytes(&d, 1);
+        let env = self.env(&d);
+        let me = env.me();
+        let large = nbytes >= BCAST_LARGE_THRESHOLD;
+        let payload = if me == d.root {
+            let data = self.effective_read(&image, nbytes);
+            if large {
+                alg_bcast_large(&env, d.root, data)
+            } else {
+                alg_bcast(&env, d.root, data)
+            }
+        } else {
+            let got = if large {
+                alg_bcast_large(&env, d.root, Vec::new())
+            } else {
+                alg_bcast(&env, d.root, Vec::new())
+            };
+            if got.len() > nbytes {
+                self.fatal(MpiError::Truncate);
+            }
+            if got.len() < nbytes {
+                self.fatal(MpiError::Protocol);
+            }
+            got
+        };
+        self.writeback(buf, image, payload);
+    }
+
+    /// `MPI_Reduce`: element-wise reduce `send` onto `recv` at `root`.
+    /// `recv` is only meaningful at the root (as in MPI) but must be the
+    /// same length everywhere.
+    #[track_caller]
+    pub fn reduce<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+        root: usize,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, op, root, comm);
+        let d = self.pre_coll(
+            CollKind::Reduce,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let nbytes = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, nbytes);
+        let env = self.env(&d);
+        let result = alg_reduce_entry(&env, d.op, d.root, contrib);
+        match result {
+            Some(res) => self.writeback(recv, rimg, res),
+            None => self.writeback(recv, rimg, Vec::new()),
+        }
+    }
+
+    /// `MPI_Allreduce`.
+    #[track_caller]
+    pub fn allreduce<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, op, 0, comm);
+        let d = self.pre_coll(
+            CollKind::Allreduce,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let nbytes = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, nbytes);
+        let env = self.env(&d);
+        let res = if nbytes >= ALLREDUCE_LARGE_THRESHOLD {
+            alg_allreduce_large(&env, d.op, contrib)
+        } else {
+            alg_allreduce(&env, d.op, contrib)
+        };
+        self.writeback(recv, rimg, res);
+    }
+
+    /// Scalar-convenience allreduce.
+    #[track_caller]
+    pub fn allreduce_one<T: MpiType>(&mut self, value: T, op: ReduceOp, comm: CommHandle) -> T {
+        let send = [value];
+        let mut recv = [T::default()];
+        // Forward the *caller's* site so convenience wrappers don't collapse
+        // all call sites into this line.
+        self.allreduce(&send, &mut recv, op, comm);
+        recv[0]
+    }
+
+    /// `MPI_Scatter`: root distributes equal chunks of `send` (length
+    /// `count * comm_size` at the root); every rank receives `recv.len()`
+    /// elements.
+    #[track_caller]
+    pub fn scatter<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        root: usize,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(recv.len(), T::DTYPE, ReduceOp::Sum, root, comm);
+        let d = self.pre_coll(
+            CollKind::Scatter,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let chunk = self.nbytes(&d, 1);
+        let env = self.env(&d);
+        let me = env.me();
+        let data = if me == d.root {
+            Some(self.effective_read(&simg, chunk * env.n()))
+        } else {
+            None
+        };
+        let mine = alg_scatter(&env, d.root, data, chunk);
+        self.writeback(recv, rimg, mine);
+    }
+
+    /// `MPI_Gather`: every rank contributes `send`; the root's `recv` must
+    /// hold `send.len() * comm_size` elements.
+    #[track_caller]
+    pub fn gather<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        root: usize,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, ReduceOp::Sum, root, comm);
+        let d = self.pre_coll(
+            CollKind::Gather,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let chunk = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, chunk);
+        let env = self.env(&d);
+        match alg_gather(&env, d.root, contrib) {
+            Some(all) => self.writeback(recv, rimg, all),
+            None => self.writeback(recv, rimg, Vec::new()),
+        }
+    }
+
+    /// `MPI_Allgather`: all ranks receive every rank's `send`, concatenated.
+    #[track_caller]
+    pub fn allgather<T: MpiType>(&mut self, send: &[T], recv: &mut [T], comm: CommHandle) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, ReduceOp::Sum, 0, comm);
+        let d = self.pre_coll(
+            CollKind::Allgather,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let chunk = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, chunk);
+        let env = self.env(&d);
+        let all = alg_allgather(&env, contrib);
+        self.writeback(recv, rimg, all);
+    }
+
+    /// `MPI_Alltoall`: `send` holds one `count`-element block per rank;
+    /// block `i` is delivered to rank `i`.
+    #[track_caller]
+    pub fn alltoall<T: MpiType>(&mut self, send: &[T], recv: &mut [T], comm: CommHandle) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let n0 = self.comm_size(comm).max(1);
+        let count = send.len() / n0;
+        let mut params = CollParams::simple(count, T::DTYPE, ReduceOp::Sum, 0, comm);
+        let d = self.pre_coll(
+            CollKind::Alltoall,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let chunk = self.nbytes(&d, 1);
+        let env = self.env(&d);
+        let data = self.effective_read(&simg, chunk * env.n());
+        let out = alg_alltoall(&env, data, chunk);
+        self.writeback(recv, rimg, out);
+    }
+
+    /// `MPI_Alltoallv` with per-peer counts/displacements in elements.
+    #[allow(clippy::too_many_arguments)]
+    #[track_caller]
+    pub fn alltoallv<T: MpiType>(
+        &mut self,
+        send: &[T],
+        send_counts: &[i32],
+        send_displs: &[i32],
+        recv: &mut [T],
+        recv_counts: &[i32],
+        recv_displs: &[i32],
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let avg = if send_counts.is_empty() {
+            0
+        } else {
+            send_counts.iter().map(|&c| c as i64).sum::<i64>() / send_counts.len() as i64
+        };
+        let mut params = CollParams {
+            count: avg as i32,
+            dtype: T::DTYPE.handle(),
+            op: ReduceOp::Sum.handle(),
+            root: 0,
+            comm: comm.0,
+            send_counts: Some(send_counts.to_vec()),
+            send_displs: Some(send_displs.to_vec()),
+            recv_counts: Some(recv_counts.to_vec()),
+            recv_displs: Some(recv_displs.to_vec()),
+        };
+        let d = self.pre_coll(
+            CollKind::Alltoallv,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let w = d.dtype.size();
+        let to_bytes = |v: &Option<Vec<i32>>| -> Vec<usize> {
+            v.as_ref()
+                .map(|v| {
+                    v.iter()
+                        .map(|&c| {
+                            if c < 0 {
+                                self.fatal(MpiError::Count)
+                            } else {
+                                c as usize * w
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let sc = to_bytes(&d.params.send_counts);
+        let sd = to_bytes(&d.params.send_displs);
+        let rc = to_bytes(&d.params.recv_counts);
+        let rd = to_bytes(&d.params.recv_displs);
+        // Page-slack check on the furthest read the counts imply.
+        let max_read = sc
+            .iter()
+            .zip(&sd)
+            .map(|(c, disp)| c + disp)
+            .max()
+            .unwrap_or(0);
+        if max_read > simg.len() + PAGE_SLACK {
+            Self::segfault(format!(
+                "alltoallv read of {} bytes past a {}-byte buffer",
+                max_read - simg.len(),
+                simg.len()
+            ));
+        }
+        // And on the furthest write: a receive window beyond the user's
+        // buffer is a write overflow (checked up front so the intermediate
+        // buffer can never be absurdly large either).
+        let max_write = rc
+            .iter()
+            .zip(&rd)
+            .map(|(c, disp)| c + disp)
+            .max()
+            .unwrap_or(0);
+        if max_write > rimg.len() + PAGE_SLACK {
+            Self::segfault(format!(
+                "alltoallv write of {} bytes past a {}-byte buffer",
+                max_write - rimg.len(),
+                rimg.len()
+            ));
+        }
+        let env = self.env(&d);
+        let out = alg_alltoallv(&env, simg.clone(), &sc, &sd, &rc, &rd);
+        self.writeback(recv, rimg, out);
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction; rank `i` receives
+    /// `op(send_0, ..., send_i)`.
+    #[track_caller]
+    pub fn scan<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, op, 0, comm);
+        let d = self.pre_coll(
+            CollKind::Scan,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let nbytes = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, nbytes);
+        let env = self.env(&d);
+        let res = alg_scan(&env, d.op, contrib);
+        self.writeback(recv, rimg, res);
+    }
+
+    /// `MPI_Exscan`: exclusive prefix reduction; rank 0's receive buffer
+    /// keeps its input.
+    #[track_caller]
+    pub fn exscan<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, op, 0, comm);
+        let d = self.pre_coll(
+            CollKind::Exscan,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let nbytes = self.nbytes(&d, 1);
+        let contrib = self.effective_read(&simg, nbytes);
+        let env = self.env(&d);
+        let res = alg_exscan(&env, d.op, contrib);
+        self.writeback(recv, rimg, res);
+    }
+
+    /// `MPI_Reduce_scatter_block`: reduce an `n·count`-element vector and
+    /// scatter `count`-element blocks; `recv.len()` is the block size.
+    #[track_caller]
+    pub fn reduce_scatter_block<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(recv.len(), T::DTYPE, op, 0, comm);
+        let d = self.pre_coll(
+            CollKind::ReduceScatter,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let block = self.nbytes(&d, 1);
+        let env = self.env(&d);
+        let data = self.effective_read(&simg, block * env.n());
+        let res = alg_reduce_scatter(&env, d.op, data, block);
+        self.writeback(recv, rimg, res);
+    }
+
+    /// `MPI_Scatterv`: the root distributes `counts[i]` elements starting
+    /// at `displs[i]` to rank `i`; `recv.len()` must equal `counts[me]`.
+    #[track_caller]
+    pub fn scatterv<T: MpiType>(
+        &mut self,
+        send: &[T],
+        counts: &[i32],
+        displs: &[i32],
+        recv: &mut [T],
+        root: usize,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(recv.len(), T::DTYPE, ReduceOp::Sum, root, comm);
+        params.send_counts = Some(counts.to_vec());
+        params.send_displs = Some(displs.to_vec());
+        let d = self.pre_coll(
+            CollKind::Scatterv,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let (vc, vd) = self.decode_vbytes(&d, simg.len());
+        let env = self.env(&d);
+        let me = env.me();
+        let my_count = vc.get(me).copied().unwrap_or(0);
+        if my_count > rimg.len() + PAGE_SLACK {
+            Self::segfault("scatterv receive window past the buffer");
+        }
+        let data = if me == d.root { Some(simg.clone()) } else { None };
+        let mine = alg_scatterv(&env, d.root, data, &vc, &vd, my_count);
+        self.writeback(recv, rimg, mine);
+    }
+
+    /// `MPI_Gatherv`: the root places rank `i`'s `counts[i]` elements at
+    /// `displs[i]` in `recv`.
+    #[track_caller]
+    pub fn gatherv<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[i32],
+        displs: &[i32],
+        root: usize,
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, ReduceOp::Sum, root, comm);
+        params.send_counts = Some(counts.to_vec());
+        params.send_displs = Some(displs.to_vec());
+        let d = self.pre_coll(
+            CollKind::Gatherv,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let (vc, vd) = self.decode_vbytes(&d, simg.len());
+        let env = self.env(&d);
+        let me = env.me();
+        if me == d.root {
+            let max_write = vc.iter().zip(&vd).map(|(c, dd)| c + dd).max().unwrap_or(0);
+            if max_write > rimg.len() + PAGE_SLACK {
+                Self::segfault("gatherv write window past the buffer");
+            }
+        }
+        let contrib = self.effective_read(&simg, vc.get(me).copied().unwrap_or(0));
+        match alg_gatherv(&env, d.root, contrib, &vc, &vd) {
+            Some(all) => self.writeback(recv, rimg, all),
+            None => self.writeback(recv, rimg, Vec::new()),
+        }
+    }
+
+    /// `MPI_Allgatherv`: every rank receives every rank's `counts[i]`
+    /// elements at `displs[i]`.
+    #[track_caller]
+    pub fn allgatherv<T: MpiType>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[i32],
+        displs: &[i32],
+        comm: CommHandle,
+    ) {
+        let site = caller_site();
+        let (mut simg, mut rimg) = (Vec::new(), Vec::new());
+        T::write_bytes(send, &mut simg);
+        T::write_bytes(recv, &mut rimg);
+        let mut params = CollParams::simple(send.len(), T::DTYPE, ReduceOp::Sum, 0, comm);
+        params.send_counts = Some(counts.to_vec());
+        params.send_displs = Some(displs.to_vec());
+        let d = self.pre_coll(
+            CollKind::Allgatherv,
+            site,
+            &mut params,
+            Some(&mut simg),
+            Some(&mut rimg),
+        );
+        let (vc, vd) = self.decode_vbytes(&d, simg.len());
+        let env = self.env(&d);
+        let me = env.me();
+        let max_write = vc.iter().zip(&vd).map(|(c, dd)| c + dd).max().unwrap_or(0);
+        if max_write > rimg.len() + PAGE_SLACK {
+            Self::segfault("allgatherv write window past the buffer");
+        }
+        let contrib = self.effective_read(&simg, vc.get(me).copied().unwrap_or(0));
+        let all = alg_allgatherv(&env, contrib, &vc, &vd);
+        self.writeback(recv, rimg, all);
+    }
+
+    /// Decode the (possibly corrupted) per-peer count/displacement vectors
+    /// of a v-collective into byte units, with MPI-style validation and a
+    /// page-slack read check against the send image.
+    fn decode_vbytes(&self, d: &Decoded, simg_len: usize) -> (Vec<usize>, Vec<usize>) {
+        let w = d.dtype.size();
+        let to_bytes = |v: &Option<Vec<i32>>| -> Vec<usize> {
+            v.as_ref()
+                .map(|v| {
+                    v.iter()
+                        .map(|&c| {
+                            if c < 0 {
+                                self.fatal(MpiError::Count)
+                            } else {
+                                c as usize * w
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let vc = to_bytes(&d.params.send_counts);
+        let vd = to_bytes(&d.params.send_displs);
+        if vc.len() != d.comm.size() || vd.len() != d.comm.size() {
+            self.fatal(MpiError::Arg);
+        }
+        let max_read = vc.iter().zip(&vd).map(|(c, dd)| c + dd).max().unwrap_or(0);
+        if max_read > simg_len + PAGE_SLACK && d.comm.my_index == d.root {
+            Self::segfault("v-collective read window past the buffer");
+        }
+        (vc, vd)
+    }
+
+    // ----- internals -----
+
+    /// Steps 2–4 of the pipeline: record, hook, validate, decode.
+    fn pre_coll(
+        &mut self,
+        kind: CollKind,
+        site: CallSite,
+        params: &mut CollParams,
+        sendbuf: Option<&mut Vec<u8>>,
+        recvbuf: Option<&mut Vec<u8>>,
+    ) -> Decoded {
+        self.ctl.check();
+        let bytes = sendbuf.as_ref().map(|b| b.len()).unwrap_or(0);
+        let invocation = {
+            let e = self.site_counts.entry(site).or_insert(0);
+            let v = *e;
+            *e += 1;
+            v
+        };
+        if self.recording {
+            let (comm_size, is_root) = match self.comms.get(CommHandle(params.comm)) {
+                Ok(c) => (
+                    c.size(),
+                    kind.is_rooted() && c.my_index as i32 == params.root,
+                ),
+                Err(_) => (0, false),
+            };
+            self.records.push(CallRecord {
+                site,
+                kind,
+                invocation,
+                comm_code: params.comm,
+                comm_size,
+                count: params.count,
+                root: params.root,
+                is_root,
+                phase: self.phase,
+                errhdl: self.in_errhdl(),
+                stack: self.frames.clone(),
+                bytes,
+            });
+        }
+        if let Some(hook) = self.hook.clone() {
+            let mut call = CollCall {
+                kind,
+                site,
+                invocation,
+                rank: self.rank,
+                params,
+                sendbuf,
+                recvbuf,
+            };
+            hook.before(&mut call);
+        }
+        self.ctl.check();
+
+        // Validation, in the order an error-checking MPI build performs it.
+        let comm_handle = CommHandle(params.comm);
+        let (comm, seq) = self.bump_seq(comm_handle); // MPI_ERR_COMM
+        if params.count < 0 {
+            self.fatal(MpiError::Count);
+        }
+        let dtype = match Datatype::from_handle(params.dtype) {
+            Ok(d) => d,
+            Err(e) => self.fatal(e),
+        };
+        let op = match ReduceOp::from_handle(params.op) {
+            Ok(o) => o,
+            Err(e) => self.fatal(e),
+        };
+        if params.root < 0 || params.root as usize >= comm.size() {
+            self.fatal(MpiError::Root);
+        }
+        Decoded {
+            comm,
+            seq,
+            dtype,
+            op,
+            root: params.root as usize,
+            count: params.count as usize,
+            params: params.clone(),
+        }
+    }
+
+    fn env<'a>(&'a self, d: &'a Decoded) -> CollEnv<'a> {
+        CollEnv {
+            fabric: &self.fabric,
+            ctl: &self.ctl,
+            comm: &d.comm,
+            seq: d.seq,
+            round_off: 0,
+            dtype: d.dtype,
+        }
+    }
+
+    /// Bytes implied by the decoded count/datatype (`mult` = extra factor,
+    /// e.g. the communicator size for scatter's root image).
+    fn nbytes(&self, d: &Decoded, mult: usize) -> usize {
+        d.count
+            .checked_mul(d.dtype.size())
+            .and_then(|b| b.checked_mul(mult))
+            .unwrap_or_else(|| Self::segfault("count overflow"))
+    }
+
+    /// Read `nbytes` from a user-buffer image under the page-slack model.
+    fn effective_read(&self, image: &[u8], nbytes: usize) -> Vec<u8> {
+        if nbytes <= image.len() {
+            image[..nbytes].to_vec()
+        } else if nbytes <= image.len() + PAGE_SLACK {
+            let mut v = image.to_vec();
+            v.resize(nbytes, 0xAA);
+            v
+        } else {
+            Self::segfault(format!(
+                "read of {} bytes from a {}-byte buffer",
+                nbytes,
+                image.len()
+            ))
+        }
+    }
+
+    /// Overlay `result` onto the (possibly hook-corrupted) receive image
+    /// and deserialize back into the user buffer. A result longer than the
+    /// buffer is a write overflow — a segmentation fault.
+    fn writeback<T: MpiType>(&self, user: &mut [T], mut image: Vec<u8>, result: Vec<u8>) {
+        if result.len() > image.len() {
+            Self::segfault(format!(
+                "write of {} bytes into a {}-byte buffer",
+                result.len(),
+                image.len()
+            ));
+        }
+        image[..result.len()].copy_from_slice(&result);
+        T::read_bytes(&image, user);
+    }
+}
+
+/// A posted non-blocking receive (see [`RankCtx::irecv`]).
+#[derive(Debug)]
+pub struct RecvRequest<T> {
+    src_global: usize,
+    tag: u64,
+    _elem: std::marker::PhantomData<T>,
+}
+
+/// Decoded, validated collective parameters.
+struct Decoded {
+    comm: Comm,
+    seq: u64,
+    dtype: Datatype,
+    op: ReduceOp,
+    root: usize,
+    count: usize,
+    params: CollParams,
+}
+
+/// Capture the application call site.
+#[track_caller]
+fn caller_site() -> CallSite {
+    let loc = Location::caller();
+    CallSite {
+        file: loc.file(),
+        line: loc.line(),
+    }
+}
+
+fn alg_reduce_entry(
+    env: &CollEnv<'_>,
+    op: ReduceOp,
+    root: usize,
+    contrib: Vec<u8>,
+) -> Option<Vec<u8>> {
+    crate::coll::reduce::reduce(env, op, root, contrib)
+}

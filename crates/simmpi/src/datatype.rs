@@ -1,0 +1,312 @@
+//! MPI datatypes and the Rust-type ↔ datatype mapping.
+//!
+//! Datatype *handles* are sparse 32-bit codes (like the opaque handles of a
+//! real MPI implementation), so that a random single-bit flip in a handle is
+//! far more likely to produce an invalid handle than to land on another
+//! valid datatype — the behaviour the paper observes (`datatype` faults are
+//! dominated by `MPI_ERR` and `SEG_FAULT`).
+
+use crate::error::MpiError;
+
+/// Basic datatypes supported by the simulated runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    /// 8-bit opaque byte (`MPI_BYTE`).
+    Byte,
+    /// 32-bit signed integer (`MPI_INT`).
+    Int32,
+    /// 64-bit signed integer (`MPI_LONG_LONG`).
+    Int64,
+    /// 32-bit unsigned integer (`MPI_UNSIGNED`).
+    UInt32,
+    /// 64-bit unsigned integer (`MPI_UNSIGNED_LONG_LONG`).
+    UInt64,
+    /// 32-bit IEEE float (`MPI_FLOAT`).
+    Float32,
+    /// 64-bit IEEE float (`MPI_DOUBLE`).
+    Float64,
+    /// Pair of 64-bit floats (`MPI_DOUBLE_COMPLEX`).
+    Complex128,
+}
+
+/// All datatypes, in handle-code order.
+pub const ALL_DATATYPES: [Datatype; 8] = [
+    Datatype::Byte,
+    Datatype::Int32,
+    Datatype::Int64,
+    Datatype::UInt32,
+    Datatype::UInt64,
+    Datatype::Float32,
+    Datatype::Float64,
+    Datatype::Complex128,
+];
+
+/// Base of the sparse handle space for datatypes.
+const DTYPE_HANDLE_BASE: u32 = 0x4C00_0D10;
+/// Stride between consecutive datatype handles. Chosen so that no two valid
+/// handles differ by a single bit.
+const DTYPE_HANDLE_STRIDE: u32 = 0x13;
+
+impl Datatype {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            Datatype::Byte => 1,
+            Datatype::Int32 | Datatype::UInt32 | Datatype::Float32 => 4,
+            Datatype::Int64 | Datatype::UInt64 | Datatype::Float64 => 8,
+            Datatype::Complex128 => 16,
+        }
+    }
+
+    /// The opaque 32-bit handle for this datatype.
+    pub fn handle(self) -> u32 {
+        let idx = ALL_DATATYPES.iter().position(|d| *d == self).unwrap() as u32;
+        DTYPE_HANDLE_BASE + idx * DTYPE_HANDLE_STRIDE
+    }
+
+    /// Decode an opaque handle back into a datatype, as the library's
+    /// parameter validation does. Returns `MPI_ERR_TYPE` for anything that
+    /// is not a currently valid handle.
+    pub fn from_handle(handle: u32) -> Result<Datatype, MpiError> {
+        if handle < DTYPE_HANDLE_BASE {
+            return Err(MpiError::Type);
+        }
+        let off = handle - DTYPE_HANDLE_BASE;
+        if !off.is_multiple_of(DTYPE_HANDLE_STRIDE) {
+            return Err(MpiError::Type);
+        }
+        let idx = (off / DTYPE_HANDLE_STRIDE) as usize;
+        ALL_DATATYPES.get(idx).copied().ok_or(MpiError::Type)
+    }
+
+    /// True for the integer datatypes (valid operands of bitwise/logical ops).
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            Datatype::Byte
+                | Datatype::Int32
+                | Datatype::Int64
+                | Datatype::UInt32
+                | Datatype::UInt64
+        )
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Datatype::Byte => "byte",
+            Datatype::Int32 => "i32",
+            Datatype::Int64 => "i64",
+            Datatype::UInt32 => "u32",
+            Datatype::UInt64 => "u64",
+            Datatype::Float32 => "f32",
+            Datatype::Float64 => "f64",
+            Datatype::Complex128 => "c128",
+        }
+    }
+}
+
+/// A complex number of two `f64` components, the element type used by the
+/// FT kernel (`MPI_DOUBLE_COMPLEX` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{i·theta}` on the unit circle.
+    pub fn cis(theta: f64) -> Complex64 {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Complex64 {
+    type Output = Complex64;
+
+    fn add(self, other: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex64 {
+    type Output = Complex64;
+
+    fn sub(self, other: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Complex64 {
+    type Output = Complex64;
+
+    fn mul(self, other: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+/// Rust types that map onto a simulated MPI datatype.
+///
+/// The byte representation is little-endian and explicit (no transmutes), so
+/// the fault injector can flip bits in the serialized image exactly as a
+/// memory fault would.
+pub trait MpiType: Copy + Default + Send + Sync + 'static {
+    /// The corresponding MPI datatype.
+    const DTYPE: Datatype;
+
+    /// Append the little-endian byte image of `slice` to `out`.
+    fn write_bytes(slice: &[Self], out: &mut Vec<u8>);
+
+    /// Reconstruct elements from `bytes` into `out`. `bytes` must hold at
+    /// least `out.len() * size` bytes.
+    fn read_bytes(bytes: &[u8], out: &mut [Self]);
+}
+
+macro_rules! impl_mpitype_le {
+    ($ty:ty, $dt:expr, $width:expr) => {
+        impl MpiType for $ty {
+            const DTYPE: Datatype = $dt;
+
+            fn write_bytes(slice: &[Self], out: &mut Vec<u8>) {
+                out.reserve(slice.len() * $width);
+                for v in slice {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+
+            fn read_bytes(bytes: &[u8], out: &mut [Self]) {
+                for (i, v) in out.iter_mut().enumerate() {
+                    let mut b = [0u8; $width];
+                    b.copy_from_slice(&bytes[i * $width..(i + 1) * $width]);
+                    *v = <$ty>::from_le_bytes(b);
+                }
+            }
+        }
+    };
+}
+
+impl_mpitype_le!(u8, Datatype::Byte, 1);
+impl_mpitype_le!(i32, Datatype::Int32, 4);
+impl_mpitype_le!(i64, Datatype::Int64, 8);
+impl_mpitype_le!(u32, Datatype::UInt32, 4);
+impl_mpitype_le!(u64, Datatype::UInt64, 8);
+impl_mpitype_le!(f32, Datatype::Float32, 4);
+impl_mpitype_le!(f64, Datatype::Float64, 8);
+
+impl MpiType for Complex64 {
+    const DTYPE: Datatype = Datatype::Complex128;
+
+    fn write_bytes(slice: &[Self], out: &mut Vec<u8>) {
+        out.reserve(slice.len() * 16);
+        for v in slice {
+            out.extend_from_slice(&v.re.to_le_bytes());
+            out.extend_from_slice(&v.im.to_le_bytes());
+        }
+    }
+
+    fn read_bytes(bytes: &[u8], out: &mut [Self]) {
+        for (i, v) in out.iter_mut().enumerate() {
+            let mut re = [0u8; 8];
+            let mut im = [0u8; 8];
+            re.copy_from_slice(&bytes[i * 16..i * 16 + 8]);
+            im.copy_from_slice(&bytes[i * 16 + 8..i * 16 + 16]);
+            v.re = f64::from_le_bytes(re);
+            v.im = f64::from_le_bytes(im);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip() {
+        for dt in ALL_DATATYPES {
+            assert_eq!(Datatype::from_handle(dt.handle()), Ok(dt));
+        }
+    }
+
+    #[test]
+    fn invalid_handles_rejected() {
+        assert_eq!(Datatype::from_handle(0), Err(MpiError::Type));
+        assert_eq!(Datatype::from_handle(u32::MAX), Err(MpiError::Type));
+        assert_eq!(
+            Datatype::from_handle(DTYPE_HANDLE_BASE + 1),
+            Err(MpiError::Type)
+        );
+    }
+
+    #[test]
+    fn no_two_handles_differ_by_one_bit() {
+        for a in ALL_DATATYPES {
+            for b in ALL_DATATYPES {
+                if a != b {
+                    let xor = a.handle() ^ b.handle();
+                    assert!(xor.count_ones() > 1, "{:?} vs {:?}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_f64() {
+        let data = [1.5f64, -2.25, 0.0, f64::MAX];
+        let mut bytes = Vec::new();
+        f64::write_bytes(&data, &mut bytes);
+        assert_eq!(bytes.len(), 32);
+        let mut back = [0f64; 4];
+        f64::read_bytes(&bytes, &mut back);
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn byte_roundtrip_complex() {
+        let data = [Complex64::new(1.0, -1.0), Complex64::cis(0.5)];
+        let mut bytes = Vec::new();
+        Complex64::write_bytes(&data, &mut bytes);
+        assert_eq!(bytes.len(), 32);
+        let mut back = [Complex64::default(); 2];
+        Complex64::read_bytes(&bytes, &mut back);
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn complex_arith() {
+        let i = Complex64::new(0.0, 1.0);
+        let isq = i * i;
+        assert!((isq.re + 1.0).abs() < 1e-15 && isq.im.abs() < 1e-15);
+        assert!((Complex64::cis(0.0).re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sizes_match_width() {
+        assert_eq!(Datatype::Byte.size(), 1);
+        assert_eq!(Datatype::Float64.size(), 8);
+        assert_eq!(Datatype::Complex128.size(), 16);
+    }
+}

@@ -1,0 +1,125 @@
+//! MPI-style error codes.
+//!
+//! The simulated runtime mirrors the `MPI_ERRORS_ARE_FATAL` default of real
+//! MPI implementations: a parameter that fails validation inside a
+//! communication call aborts the whole job, and the job runner records which
+//! error class fired first. The fault-injection layer classifies such a run
+//! as `MPI_ERR` (Table I of the paper).
+
+use std::fmt;
+
+/// Error classes raised by the simulated MPI library.
+///
+/// The variants are modeled on the `MPI_ERR_*` codes that a real
+/// implementation returns when parameter checking is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MpiError {
+    /// Invalid count argument (negative).
+    Count,
+    /// Invalid datatype handle.
+    Type,
+    /// Invalid reduction-operation handle.
+    Op,
+    /// Invalid communicator handle.
+    Comm,
+    /// Root rank out of range for the communicator.
+    Root,
+    /// Invalid rank used in point-to-point communication.
+    Rank,
+    /// Invalid tag (negative user tag).
+    Tag,
+    /// Message longer than the receive buffer (`MPI_ERR_TRUNCATE`).
+    Truncate,
+    /// Invalid buffer specification (e.g. null-buffer analog).
+    Buffer,
+    /// Mismatched collective protocol detected (size disagreement inside a
+    /// collective exchange). Real implementations usually surface this as a
+    /// truncation or internal error.
+    Protocol,
+    /// Generic invalid-argument error.
+    Arg,
+    /// Internal failure of the simulated library.
+    Internal,
+}
+
+impl MpiError {
+    /// The `MPI_ERR_*`-style symbolic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiError::Count => "MPI_ERR_COUNT",
+            MpiError::Type => "MPI_ERR_TYPE",
+            MpiError::Op => "MPI_ERR_OP",
+            MpiError::Comm => "MPI_ERR_COMM",
+            MpiError::Root => "MPI_ERR_ROOT",
+            MpiError::Rank => "MPI_ERR_RANK",
+            MpiError::Tag => "MPI_ERR_TAG",
+            MpiError::Truncate => "MPI_ERR_TRUNCATE",
+            MpiError::Buffer => "MPI_ERR_BUFFER",
+            MpiError::Protocol => "MPI_ERR_PROTOCOL",
+            MpiError::Arg => "MPI_ERR_ARG",
+            MpiError::Internal => "MPI_ERR_INTERN",
+        }
+    }
+
+    /// Numeric error class, comparable to an MPI error code.
+    pub fn code(self) -> i32 {
+        match self {
+            MpiError::Count => 2,
+            MpiError::Type => 3,
+            MpiError::Op => 9,
+            MpiError::Comm => 5,
+            MpiError::Root => 8,
+            MpiError::Rank => 6,
+            MpiError::Tag => 4,
+            MpiError::Truncate => 15,
+            MpiError::Buffer => 1,
+            MpiError::Protocol => 17,
+            MpiError::Arg => 13,
+            MpiError::Internal => 16,
+        }
+    }
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (code {})", self.name(), self.code())
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_codes_are_distinct() {
+        let all = [
+            MpiError::Count,
+            MpiError::Type,
+            MpiError::Op,
+            MpiError::Comm,
+            MpiError::Root,
+            MpiError::Rank,
+            MpiError::Tag,
+            MpiError::Truncate,
+            MpiError::Buffer,
+            MpiError::Protocol,
+            MpiError::Arg,
+            MpiError::Internal,
+        ];
+        let mut names: Vec<_> = all.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        let mut codes: Vec<_> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn display_contains_symbol() {
+        assert!(format!("{}", MpiError::Truncate).contains("MPI_ERR_TRUNCATE"));
+    }
+}

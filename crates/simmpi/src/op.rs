@@ -1,0 +1,322 @@
+//! Reduction operations (`MPI_Op` analog) applied element-wise on byte
+//! buffers.
+//!
+//! Like datatypes, op handles are sparse 32-bit codes so a bit-flipped
+//! handle almost always fails validation (`MPI_ERR_OP`), and a handle that
+//! happens to land on another valid op silently computes the wrong
+//! reduction — producing `WRONG_ANS`-style outcomes, as in the paper.
+
+use crate::datatype::{Complex64, Datatype, MpiType};
+use crate::error::MpiError;
+
+/// Reduction operations supported by the simulated runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum (`MPI_SUM`).
+    Sum,
+    /// Element-wise product (`MPI_PROD`).
+    Prod,
+    /// Element-wise maximum (`MPI_MAX`).
+    Max,
+    /// Element-wise minimum (`MPI_MIN`).
+    Min,
+    /// Logical AND over integers (`MPI_LAND`).
+    Land,
+    /// Logical OR over integers (`MPI_LOR`).
+    Lor,
+    /// Bitwise AND over integers (`MPI_BAND`).
+    Band,
+    /// Bitwise OR over integers (`MPI_BOR`).
+    Bor,
+}
+
+/// All ops in handle order.
+pub const ALL_OPS: [ReduceOp; 8] = [
+    ReduceOp::Sum,
+    ReduceOp::Prod,
+    ReduceOp::Max,
+    ReduceOp::Min,
+    ReduceOp::Land,
+    ReduceOp::Lor,
+    ReduceOp::Band,
+    ReduceOp::Bor,
+];
+
+const OP_HANDLE_BASE: u32 = 0x9E00_5A20;
+const OP_HANDLE_STRIDE: u32 = 0x15;
+
+impl ReduceOp {
+    /// The opaque handle for this op.
+    pub fn handle(self) -> u32 {
+        let idx = ALL_OPS.iter().position(|o| *o == self).unwrap() as u32;
+        OP_HANDLE_BASE + idx * OP_HANDLE_STRIDE
+    }
+
+    /// Decode a handle, validating it as the library does.
+    pub fn from_handle(handle: u32) -> Result<ReduceOp, MpiError> {
+        if handle < OP_HANDLE_BASE {
+            return Err(MpiError::Op);
+        }
+        let off = handle - OP_HANDLE_BASE;
+        if !off.is_multiple_of(OP_HANDLE_STRIDE) {
+            return Err(MpiError::Op);
+        }
+        let idx = (off / OP_HANDLE_STRIDE) as usize;
+        ALL_OPS.get(idx).copied().ok_or(MpiError::Op)
+    }
+
+    /// Short name (`sum`, `prod`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+            ReduceOp::Land => "land",
+            ReduceOp::Lor => "lor",
+            ReduceOp::Band => "band",
+            ReduceOp::Bor => "bor",
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one slot per op family keeps dispatch flat
+fn combine_scalar<T: MpiType + PartialOrd>(
+    op: ReduceOp,
+    a: T,
+    b: T,
+    add: impl Fn(T, T) -> T,
+    mul: impl Fn(T, T) -> T,
+    to_bool: impl Fn(T) -> bool,
+    from_bool: impl Fn(bool) -> T,
+    band: Option<impl Fn(T, T) -> T>,
+    bor: Option<impl Fn(T, T) -> T>,
+) -> Result<T, MpiError> {
+    Ok(match op {
+        ReduceOp::Sum => add(a, b),
+        ReduceOp::Prod => mul(a, b),
+        ReduceOp::Max => {
+            if b > a {
+                b
+            } else {
+                a
+            }
+        }
+        ReduceOp::Min => {
+            if b < a {
+                b
+            } else {
+                a
+            }
+        }
+        ReduceOp::Land => from_bool(to_bool(a) && to_bool(b)),
+        ReduceOp::Lor => from_bool(to_bool(a) || to_bool(b)),
+        ReduceOp::Band => band.ok_or(MpiError::Op)?(a, b),
+        ReduceOp::Bor => bor.ok_or(MpiError::Op)?(a, b),
+    })
+}
+
+macro_rules! reduce_int {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {{
+        reduce_typed::<$ty>($acc, $other, |a, b| {
+            combine_scalar(
+                $op,
+                a,
+                b,
+                |a, b| a.wrapping_add(b),
+                |a, b| a.wrapping_mul(b),
+                |a| a != 0,
+                |b| b as $ty,
+                Some(|a: $ty, b: $ty| a & b),
+                Some(|a: $ty, b: $ty| a | b),
+            )
+        })
+    }};
+}
+
+macro_rules! reduce_float {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {{
+        reduce_typed::<$ty>($acc, $other, |a, b| {
+            combine_scalar(
+                $op,
+                a,
+                b,
+                |a, b| a + b,
+                |a, b| a * b,
+                |a| a != 0.0,
+                |b| if b { 1.0 } else { 0.0 },
+                None::<fn($ty, $ty) -> $ty>,
+                None::<fn($ty, $ty) -> $ty>,
+            )
+        })
+    }};
+}
+
+fn reduce_typed<T: MpiType>(
+    acc: &mut [u8],
+    other: &[u8],
+    f: impl Fn(T, T) -> Result<T, MpiError>,
+) -> Result<(), MpiError> {
+    let w = T::DTYPE.size();
+    let n = acc.len() / w;
+    let mut a = vec![T::default(); n];
+    let mut b = vec![T::default(); n];
+    T::read_bytes(acc, &mut a);
+    T::read_bytes(other, &mut b);
+    for i in 0..n {
+        a[i] = f(a[i], b[i])?;
+    }
+    let mut out = Vec::with_capacity(acc.len());
+    T::write_bytes(&a, &mut out);
+    acc.copy_from_slice(&out);
+    Ok(())
+}
+
+/// Apply `acc[i] = op(acc[i], other[i])` element-wise, interpreting both
+/// byte buffers as arrays of `dtype`.
+///
+/// The two buffers must have equal length and a length that is a multiple
+/// of the element size; the collective protocol guarantees this when
+/// parameters are healthy, and reports [`MpiError::Protocol`] otherwise.
+/// Bitwise/logical ops on floating types return [`MpiError::Op`], matching
+/// the MPI standard's op/type compatibility rules.
+pub fn apply_op(
+    op: ReduceOp,
+    dtype: Datatype,
+    acc: &mut [u8],
+    other: &[u8],
+) -> Result<(), MpiError> {
+    if acc.len() != other.len() || !acc.len().is_multiple_of(dtype.size()) {
+        return Err(MpiError::Protocol);
+    }
+    match dtype {
+        Datatype::Byte => reduce_int!(u8, op, acc, other),
+        Datatype::Int32 => reduce_int!(i32, op, acc, other),
+        Datatype::Int64 => reduce_int!(i64, op, acc, other),
+        Datatype::UInt32 => reduce_int!(u32, op, acc, other),
+        Datatype::UInt64 => reduce_int!(u64, op, acc, other),
+        Datatype::Float32 => reduce_float!(f32, op, acc, other),
+        Datatype::Float64 => reduce_float!(f64, op, acc, other),
+        Datatype::Complex128 => reduce_complex(op, acc, other),
+    }
+}
+
+fn reduce_complex(op: ReduceOp, acc: &mut [u8], other: &[u8]) -> Result<(), MpiError> {
+    reduce_typed::<Complex64>(acc, other, |a, b| match op {
+        ReduceOp::Sum => Ok(a + b),
+        ReduceOp::Prod => Ok(a * b),
+        // MPI defines only SUM/PROD for complex; anything else is an
+        // op/type mismatch.
+        _ => Err(MpiError::Op),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of_f64(v: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        f64::write_bytes(v, &mut out);
+        out
+    }
+
+    fn f64_of_bytes(b: &[u8]) -> Vec<f64> {
+        let mut out = vec![0.0; b.len() / 8];
+        f64::read_bytes(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn op_handle_roundtrip() {
+        for op in ALL_OPS {
+            assert_eq!(ReduceOp::from_handle(op.handle()), Ok(op));
+        }
+        assert_eq!(ReduceOp::from_handle(7), Err(MpiError::Op));
+    }
+
+    #[test]
+    fn sum_f64() {
+        let mut a = bytes_of_f64(&[1.0, 2.0]);
+        let b = bytes_of_f64(&[0.5, -2.0]);
+        apply_op(ReduceOp::Sum, Datatype::Float64, &mut a, &b).unwrap();
+        assert_eq!(f64_of_bytes(&a), vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn max_min_i32() {
+        let mut a = Vec::new();
+        i32::write_bytes(&[3, -7], &mut a);
+        let mut b = Vec::new();
+        i32::write_bytes(&[1, 5], &mut b);
+        let mut acc = a.clone();
+        apply_op(ReduceOp::Max, Datatype::Int32, &mut acc, &b).unwrap();
+        let mut out = [0i32; 2];
+        i32::read_bytes(&acc, &mut out);
+        assert_eq!(out, [3, 5]);
+        let mut acc = a.clone();
+        apply_op(ReduceOp::Min, Datatype::Int32, &mut acc, &b).unwrap();
+        i32::read_bytes(&acc, &mut out);
+        assert_eq!(out, [1, -7]);
+    }
+
+    #[test]
+    fn logical_ops_i32() {
+        let mut acc = Vec::new();
+        i32::write_bytes(&[1, 0, 7], &mut acc);
+        let mut b = Vec::new();
+        i32::write_bytes(&[1, 1, 0], &mut b);
+        apply_op(ReduceOp::Land, Datatype::Int32, &mut acc, &b).unwrap();
+        let mut out = [0i32; 3];
+        i32::read_bytes(&acc, &mut out);
+        assert_eq!(out, [1, 0, 0]);
+    }
+
+    #[test]
+    fn bitwise_on_float_rejected() {
+        let mut a = bytes_of_f64(&[1.0]);
+        let b = bytes_of_f64(&[2.0]);
+        assert_eq!(
+            apply_op(ReduceOp::Band, Datatype::Float64, &mut a, &b),
+            Err(MpiError::Op)
+        );
+    }
+
+    #[test]
+    fn complex_sum() {
+        let mut a = Vec::new();
+        Complex64::write_bytes(&[Complex64::new(1.0, 2.0)], &mut a);
+        let mut b = Vec::new();
+        Complex64::write_bytes(&[Complex64::new(-1.0, 0.5)], &mut b);
+        apply_op(ReduceOp::Sum, Datatype::Complex128, &mut a, &b).unwrap();
+        let mut out = [Complex64::default(); 1];
+        Complex64::read_bytes(&a, &mut out);
+        assert_eq!(out[0], Complex64::new(0.0, 2.5));
+        assert_eq!(
+            apply_op(ReduceOp::Max, Datatype::Complex128, &mut a, &b),
+            Err(MpiError::Op)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_protocol_error() {
+        let mut a = bytes_of_f64(&[1.0]);
+        let b = bytes_of_f64(&[1.0, 2.0]);
+        assert_eq!(
+            apply_op(ReduceOp::Sum, Datatype::Float64, &mut a, &b),
+            Err(MpiError::Protocol)
+        );
+    }
+
+    #[test]
+    fn integer_sum_wraps_instead_of_panicking() {
+        let mut a = Vec::new();
+        i32::write_bytes(&[i32::MAX], &mut a);
+        let mut b = Vec::new();
+        i32::write_bytes(&[1], &mut b);
+        apply_op(ReduceOp::Sum, Datatype::Int32, &mut a, &b).unwrap();
+        let mut out = [0i32; 1];
+        i32::read_bytes(&a, &mut out);
+        assert_eq!(out[0], i32::MIN);
+    }
+}

@@ -1,0 +1,200 @@
+//! Point-to-point transport between simulated ranks.
+//!
+//! Each rank owns a mailbox (a condvar-protected queue). `send` is
+//! non-blocking (eager protocol); `recv` blocks with a short poll interval
+//! so that the job-control kill flag is honoured promptly — this is what
+//! turns a communication deadlock into a clean `INF_LOOP` classification
+//! instead of a leaked thread.
+//!
+//! Message matching is by `(src, tag)`. Collectives reserve a tag namespace
+//! keyed by communicator id and per-communicator sequence number, so stray
+//! traffic from a rank operating on a bit-flipped communicator never matches
+//! a healthy rank's receives (it deadlocks, as in real MPI).
+
+use crate::control::{JobControl, RankPanic};
+use crate::error::MpiError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Global rank of the sender.
+    pub src: usize,
+    /// Full 64-bit match tag (see [`coll_tag`](crate::comm::coll_tag)).
+    pub tag: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Msg>>,
+    cv: Condvar,
+}
+
+/// The all-to-all wiring between the ranks of one job.
+#[derive(Debug)]
+pub struct Fabric {
+    boxes: Vec<Mailbox>,
+    /// Total bytes ever enqueued, for diagnostics/benchmarks.
+    bytes_sent: std::sync::atomic::AtomicU64,
+}
+
+impl Fabric {
+    /// Create a fabric connecting `n` ranks.
+    pub fn new(n: usize) -> Arc<Fabric> {
+        Arc::new(Fabric {
+            boxes: (0..n).map(|_| Mailbox::default()).collect(),
+            bytes_sent: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Number of ranks wired up.
+    pub fn nranks(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Total payload bytes sent through the fabric so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Deliver `data` to `dst`'s mailbox. Fails with `MPI_ERR_RANK` if
+    /// `dst` does not exist (e.g. a corrupted root produced an out-of-range
+    /// partner).
+    pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), MpiError> {
+        let mbox = self.boxes.get(dst).ok_or(MpiError::Rank)?;
+        self.bytes_sent
+            .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let mut q = mbox.queue.lock();
+        q.push_back(Msg { src, tag, data });
+        mbox.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking receive of the first message matching `(src, tag)`.
+    ///
+    /// Honours the job kill flag: if the job is torn down while waiting,
+    /// unwinds with [`RankPanic::Killed`] so the thread exits promptly.
+    pub fn recv(&self, me: usize, src: usize, tag: u64, ctl: &JobControl) -> Vec<u8> {
+        let mbox = match self.boxes.get(me) {
+            Some(m) => m,
+            None => std::panic::panic_any(RankPanic::Mpi(MpiError::Rank)),
+        };
+        let mut q = mbox.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                return q.remove(pos).expect("position just found").data;
+            }
+            if ctl.should_die() {
+                drop(q);
+                std::panic::panic_any(RankPanic::Killed);
+            }
+            mbox.cv.wait_for(&mut q, Duration::from_millis(2));
+        }
+    }
+
+    /// Non-blocking probe: is a matching message queued?
+    pub fn probe(&self, me: usize, src: usize, tag: u64) -> bool {
+        self.boxes
+            .get(me)
+            .map(|m| m.queue.lock().iter().any(|x| x.src == src && x.tag == tag))
+            .unwrap_or(false)
+    }
+
+    /// Number of messages currently queued at `me` (diagnostics).
+    pub fn queued(&self, me: usize) -> usize {
+        self.boxes.get(me).map(|m| m.queue.lock().len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ctl() -> JobControl {
+        JobControl::new(1, Duration::from_secs(5))
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 42, vec![1, 2, 3]).unwrap();
+        let c = ctl();
+        assert_eq!(f.recv(1, 0, 42, &c), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matching_is_by_src_and_tag() {
+        let f = Fabric::new(3);
+        f.send(0, 2, 7, vec![0xA]).unwrap();
+        f.send(1, 2, 7, vec![0xB]).unwrap();
+        f.send(0, 2, 8, vec![0xC]).unwrap();
+        let c = ctl();
+        assert_eq!(f.recv(2, 1, 7, &c), vec![0xB]);
+        assert_eq!(f.recv(2, 0, 8, &c), vec![0xC]);
+        assert_eq!(f.recv(2, 0, 7, &c), vec![0xA]);
+    }
+
+    #[test]
+    fn out_of_range_dst_is_rank_error() {
+        let f = Fabric::new(2);
+        assert_eq!(f.send(0, 9, 0, vec![]), Err(MpiError::Rank));
+    }
+
+    #[test]
+    fn recv_unwinds_on_kill() {
+        let f = Fabric::new(1);
+        let c = JobControl::new(1, Duration::from_secs(60));
+        c.kill();
+        let f2 = f.clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            f2.recv(0, 0, 1, &c);
+        }))
+        .unwrap_err();
+        assert_eq!(
+            *err.downcast_ref::<RankPanic>().unwrap(),
+            RankPanic::Killed
+        );
+    }
+
+    #[test]
+    fn recv_unwinds_on_deadline() {
+        let f = Fabric::new(1);
+        let c = JobControl::new(1, Duration::from_millis(15));
+        let f2 = f.clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            f2.recv(0, 0, 1, &c);
+        }))
+        .unwrap_err();
+        assert!(err.downcast_ref::<RankPanic>().is_some());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let f = Fabric::new(2);
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            f2.send(0, 1, 5, vec![9; 100]).unwrap();
+        });
+        let c = ctl();
+        let data = f.recv(1, 0, 5, &c);
+        assert_eq!(data.len(), 100);
+        h.join().unwrap();
+        assert!(f.bytes_sent() >= 100);
+    }
+
+    #[test]
+    fn probe_and_queued() {
+        let f = Fabric::new(2);
+        assert!(!f.probe(1, 0, 3));
+        f.send(0, 1, 3, vec![1]).unwrap();
+        assert!(f.probe(1, 0, 3));
+        assert_eq!(f.queued(1), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the collective algorithms: MPI semantics must
+//! hold for arbitrary rank counts, payload shapes, roots and seeds.
+
+use proptest::prelude::*;
+use simmpi::op::ReduceOp;
+use simmpi::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec(n: usize) -> JobSpec {
+    JobSpec {
+        nranks: n,
+        timeout: Duration::from_secs(20),
+        ..Default::default()
+    }
+}
+
+fn completed(res: simmpi::runtime::JobResult) -> Vec<RankOutput> {
+    match res.outcome {
+        JobOutcome::Completed { outputs } => outputs,
+        other => panic!("job failed: {:?}", other),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Allreduce(Sum) equals the arithmetic sum of all contributions for
+    /// any rank count and vector length, identically on every rank.
+    #[test]
+    fn allreduce_sum_correct(n in 1usize..10, len in 1usize..20, scale in -100i64..100) {
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let send: Vec<i64> = (0..len).map(|i| scale * (ctx.rank() as i64 + i as i64)).collect();
+            let mut recv = vec![0i64; len];
+            ctx.allreduce(&send, &mut recv, ReduceOp::Sum, ctx.world());
+            let mut out = RankOutput::new();
+            for (i, v) in recv.iter().enumerate() {
+                out.push(format!("v{}", i), *v as f64);
+            }
+            out
+        })));
+        for (i, (_, v)) in outputs[0].scalars.iter().enumerate() {
+            let expect: i64 = (0..n).map(|r| scale * (r as i64 + i as i64)).sum();
+            prop_assert_eq!(*v, expect as f64);
+        }
+        for o in &outputs {
+            prop_assert_eq!(&o.scalars, &outputs[0].scalars);
+        }
+    }
+
+    /// Bcast delivers the root's payload to every rank for any root.
+    #[test]
+    fn bcast_from_any_root(n in 1usize..10, root_sel in 0usize..10, len in 0usize..32) {
+        let root = root_sel % n;
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let mut buf = vec![0u8; len];
+            if ctx.rank() == root {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(3).wrapping_add(7);
+                }
+            }
+            ctx.bcast(&mut buf, root, ctx.world());
+            let mut out = RankOutput::new();
+            out.push("sum", buf.iter().map(|&b| b as f64).sum());
+            out
+        })));
+        let expect: f64 = (0..len).map(|i| ((i as u8).wrapping_mul(3).wrapping_add(7)) as f64).sum();
+        for o in outputs {
+            prop_assert_eq!(o.scalars[0].1, expect);
+        }
+    }
+
+    /// Gather then scatter with the same root is the identity.
+    #[test]
+    fn gather_scatter_roundtrip(n in 1usize..9, root_sel in 0usize..9, chunk in 1usize..8) {
+        let root = root_sel % n;
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            let nn = ctx.size();
+            let send: Vec<i32> = (0..chunk).map(|i| (ctx.rank() * 1000 + i) as i32).collect();
+            let mut gathered = vec![0i32; chunk * nn];
+            ctx.gather(&send, &mut gathered, root, world);
+            let mut back = vec![0i32; chunk];
+            ctx.scatter(&gathered, &mut back, root, world);
+            let mut out = RankOutput::new();
+            out.push("ok", f64::from(back == send));
+            out
+        })));
+        for o in outputs {
+            prop_assert_eq!(o.scalars[0].1, 1.0);
+        }
+    }
+
+    /// Alltoall is its own inverse (applying it twice restores the data
+    /// when every block is returned to its sender).
+    #[test]
+    fn alltoall_blocks_route_correctly(n in 1usize..9, chunk in 1usize..6) {
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let nn = ctx.size();
+            let me = ctx.rank();
+            // Block j carries value me*64 + j.
+            let send: Vec<i32> = (0..nn)
+                .flat_map(|j| std::iter::repeat_n((me * 64 + j) as i32, chunk))
+                .collect();
+            let mut recv = vec![0i32; chunk * nn];
+            ctx.alltoall(&send, &mut recv, ctx.world());
+            let ok = (0..nn).all(|j| {
+                (0..chunk).all(|k| recv[j * chunk + k] == (j * 64 + me) as i32)
+            });
+            let mut out = RankOutput::new();
+            out.push("ok", f64::from(ok));
+            out
+        })));
+        for o in outputs {
+            prop_assert_eq!(o.scalars[0].1, 1.0);
+        }
+    }
+
+    /// Scan is a prefix of the allreduce: the last rank's inclusive scan
+    /// equals the allreduce result.
+    #[test]
+    fn scan_last_rank_equals_allreduce(n in 1usize..9, v in -50i64..50) {
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            let x = [v + ctx.rank() as i64];
+            let mut s = [0i64];
+            ctx.scan(&x, &mut s, ReduceOp::Sum, world);
+            let a = ctx.allreduce_one(x[0], ReduceOp::Sum, world);
+            let mut out = RankOutput::new();
+            out.push("scan", s[0] as f64);
+            out.push("all", a as f64);
+            out
+        })));
+        let last = &outputs[n - 1];
+        prop_assert_eq!(last.scalars[0].1, last.scalars[1].1);
+    }
+
+    /// Reduce and Allreduce agree with each other for Min/Max/Sum.
+    #[test]
+    fn reduce_agrees_with_allreduce(n in 1usize..9, root_sel in 0usize..9, op_sel in 0usize..3) {
+        let root = root_sel % n;
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_sel];
+        let outputs = completed(run_job(&spec(n), Arc::new(move |ctx: &mut RankCtx| {
+            let world = ctx.world();
+            let x = [((ctx.rank() * 37 + 11) % 23) as i64];
+            let mut r = [0i64];
+            ctx.reduce(&x, &mut r, op, root, world);
+            let a = ctx.allreduce_one(x[0], op, world);
+            let mut out = RankOutput::new();
+            out.push("reduced", r[0] as f64);
+            out.push("all", a as f64);
+            out
+        })));
+        prop_assert_eq!(outputs[root].scalars[0].1, outputs[root].scalars[1].1);
+    }
+}

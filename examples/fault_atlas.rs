@@ -1,0 +1,83 @@
+//! Bit-by-bit fault atlas: sweep every bit position of each parameter of
+//! one collective call and print which Table-I response each bit produces.
+//! This makes the fault model's mechanics visible — which bits of a
+//! `count` are page-slack-tolerated, which corrupt the handle into
+//! another valid one, which mantissa bits vanish into the tolerance.
+//!
+//! Run with: `cargo run --release --example fault_atlas`
+
+use fastfit::prelude::*;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::hook::ParamId;
+use simmpi::op::ReduceOp;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+fn response_glyph(r: Response) -> char {
+    match r {
+        Response::Success => '.',
+        Response::AppDetected => 'A',
+        Response::MpiErr => 'E',
+        Response::SegFault => 'S',
+        Response::WrongAns => 'W',
+        Response::InfLoop => 'L',
+    }
+}
+
+fn main() {
+    let app: AppFn = Arc::new(|ctx: &mut RankCtx| {
+        // One allreduce of four doubles; results feed the output directly.
+        let send: Vec<f64> = (0..4).map(|i| 1.5 * (ctx.rank() + i + 1) as f64).collect();
+        let mut recv = vec![0.0f64; 4];
+        ctx.allreduce(&send, &mut recv, ReduceOp::Sum, ctx.world());
+        let mut out = RankOutput::new();
+        out.push("r0", recv[0]);
+        out.push("r3", recv[3]);
+        out
+    });
+    let campaign = Campaign::prepare(
+        Workload::new("atlas", app, 1e-12, 4),
+        CampaignConfig::default(),
+    );
+    let base = campaign.points()[0];
+
+    println!("fault atlas for {} at {} (rank {}, invocation {})", base.kind.name(), base.site, base.rank, base.invocation);
+    println!("glyphs: . SUCCESS  A APP_DETECTED  E MPI_ERR  S SEG_FAULT  W WRONG_ANS  L INF_LOOP\n");
+
+    for param in [
+        ParamId::SendBuf,
+        ParamId::RecvBuf,
+        ParamId::Count,
+        ParamId::Datatype,
+        ParamId::Op,
+        ParamId::Comm,
+    ] {
+        let width: u64 = match param {
+            ParamId::SendBuf | ParamId::RecvBuf => 4 * 64, // four f64 elements
+            _ => 32,
+        };
+        let mut point = base;
+        point.param = param;
+        let mut row = String::new();
+        for bit in 0..width {
+            let (resp, fired) = campaign.run_trial(&point, bit);
+            row.push(if fired { response_glyph(resp) } else { '?' });
+            if bit % 64 == 63 {
+                row.push(' ');
+            }
+        }
+        println!("{:<9} {}", param.name(), row);
+    }
+
+    println!("\nreading the atlas:");
+    println!("- sendbuf: low mantissa bits vanish into the tolerance, high");
+    println!("  mantissa/exponent/sign bits flip the answer (element-wise).");
+    println!("  Elements 1 and 2 never reach the output, so their faults are");
+    println!("  absorbed entirely — dead data soaks up corruption.");
+    println!("- recvbuf: fully overwritten by the collective result.");
+    println!("- count: low bits stay within the page slack (size-mismatch MPI");
+    println!("  errors), high bits read out of bounds (segfault), the sign bit");
+    println!("  fails validation.");
+    println!("- datatype/op/comm: sparse handles, so almost every bit yields an");
+    println!("  invalid-handle MPI error.");
+}

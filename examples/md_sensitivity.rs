@@ -1,0 +1,92 @@
+//! ML-driven sensitivity prediction on the LAMMPS-like MD workload: train
+//! the random-forest feedback loop, inspect the model, and compare
+//! predicted vs measured labels on the points the loop skipped.
+//!
+//! Run with: `cargo run --release --example md_sensitivity`
+
+use fastfit::features::FEATURE_NAMES;
+use fastfit::prelude::*;
+use minimd::{md_app, MdConfig};
+
+fn main() {
+    let workload = Workload::new(
+        "minimd",
+        md_app(MdConfig {
+            steps: 12,
+            ..Default::default()
+        }),
+        minimd::OUTPUT_TOLERANCE,
+        8,
+    );
+    let cfg = CampaignConfig {
+        trials_per_point: 12,
+        params: ParamsMode::DataBuffer,
+        ..Default::default()
+    };
+    let campaign = Campaign::prepare(workload, cfg);
+
+    // Work on the post-semantic population (every invocation of the
+    // representative ranks) so the model has something to predict.
+    let points = campaign.invocation_points();
+    println!(
+        "{} injection points after semantic pruning (full space {})",
+        points.len(),
+        campaign.full_points
+    );
+
+    // The §III-C feedback loop: measure batches until the 65% accuracy
+    // threshold is met, then predict the rest.
+    let features: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| campaign.extractor.features(p))
+        .collect();
+    let levels = Levels::even(3);
+    let ml = ml_driven(
+        &features,
+        MlTarget::RateLevels(3),
+        |i| {
+            let pr = campaign.measure_point(&points[i], 12, 1000 + i as u64);
+            levels.of(pr.error_rate())
+        },
+        &MlConfig::default(),
+    );
+    println!(
+        "feedback loop: {} rounds, accuracy {:.1}%, measured {} / predicted {} ({:.1}% of tests saved)",
+        ml.rounds,
+        100.0 * ml.final_accuracy,
+        ml.measured.len(),
+        ml.predicted.len(),
+        100.0 * ml.tests_saved
+    );
+
+    // Validate a sample of the predictions against ground truth.
+    let names = levels.names();
+    let sample: Vec<_> = ml.predicted.iter().take(10).collect();
+    println!("\npredicted vs measured (10-point sample):");
+    let mut hits = 0;
+    for (idx, predicted) in &sample {
+        let truth = levels.of(
+            campaign
+                .measure_point(&points[*idx], 12, 9000 + *idx as u64)
+                .error_rate(),
+        );
+        let hit = *predicted == truth;
+        hits += usize::from(hit);
+        println!(
+            "  {} {}: predicted {:<4} measured {:<4} {}",
+            points[*idx].kind.name(),
+            points[*idx].site,
+            names[*predicted],
+            names[truth],
+            if hit { "ok" } else { "miss" }
+        );
+    }
+    println!("sample agreement: {}/{}", hits, sample.len());
+
+    if let Some(model) = &ml.model {
+        println!("\nfeature importances:");
+        for (name, v) in FEATURE_NAMES.iter().zip(model.feature_importances()) {
+            println!("  {:<12} {:.3}", name, v);
+        }
+    }
+}

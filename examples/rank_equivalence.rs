@@ -1,0 +1,49 @@
+//! Inspect the profiling substrate directly: communication report, call
+//! graph, rank-equivalence classes, and call-stack groups for the FT
+//! kernel — the §III-A/§III-B machinery without any fault injection.
+//!
+//! Run with: `cargo run --release --example rank_equivalence`
+
+use mpiprof::{communication_report, profile_app, rank_classes, CallGraph};
+use npb::{ft_app, FtConfig};
+use simmpi::runtime::JobSpec;
+
+fn main() {
+    let spec = JobSpec {
+        nranks: 8,
+        ..Default::default()
+    };
+    let (profile, _outputs) = profile_app(&spec, ft_app(FtConfig::default()));
+
+    // mpiP-style communication report.
+    println!("{}", communication_report(&profile));
+
+    // Call graph of rank 0 (the Callgrind/gprof analog), as DOT.
+    let g = CallGraph::from_records(&profile.records[0]);
+    println!("--- call graph (rank 0, DOT) ---\n{}", g.to_dot());
+
+    // Rank equivalence (§III-A): FT's MPI_Reduce root makes rank 0 its own
+    // class; all other ranks collapse into one.
+    let classes = rank_classes(&profile);
+    println!("--- rank equivalence classes ---");
+    for (i, class) in classes.iter().enumerate() {
+        println!(
+            "class {} (representative rank {}): {:?}",
+            i, class[0], class
+        );
+    }
+
+    // Call-stack groups (§III-B) for every site on the representative.
+    println!("\n--- call-stack groups on rank 0 ---");
+    for site in profile.sites() {
+        for group in profile.stack_groups(0, site) {
+            println!(
+                "{}  stack {:?}  invocations {:?} (representative {})",
+                site,
+                group.stack,
+                group.invocations,
+                group.representative()
+            );
+        }
+    }
+}

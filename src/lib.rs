@@ -1,0 +1,20 @@
+//! Umbrella crate for the FastFIT reproduction workspace.
+//!
+//! This crate exists so that the repository's root-level `examples/` and
+//! `tests/` directories (as laid out in `DESIGN.md`) can pull every member
+//! crate in at once. All functionality lives in the member crates:
+//!
+//! - [`simmpi`] — the simulated MPI runtime (ranks, transport, collectives).
+//! - [`mpiprof`] — the profiling substrate (call stacks, traces, call graph).
+//! - [`randomforest`] — CART trees, random forests, correlation statistics.
+//! - [`npb`] — mini NAS Parallel Benchmark kernels (IS, FT, MG, LU).
+//! - [`minimd`] — the LAMMPS-like molecular-dynamics mini-application.
+//! - [`fastfit`] — the paper's contribution: fault injection, pruning, and
+//!   sensitivity analysis.
+
+pub use fastfit;
+pub use minimd;
+pub use mpiprof;
+pub use npb;
+pub use randomforest;
+pub use simmpi;

@@ -1,0 +1,136 @@
+//! End-to-end campaign tests across crates: profile → prune → inject →
+//! classify on real workloads (kept tiny so they run quickly in debug).
+
+use fastfit::prelude::*;
+use npb::{is_app, lu_app, IsConfig, LuConfig};
+use simmpi::hook::ParamId;
+
+fn quick_cfg(trials: usize) -> CampaignConfig {
+    CampaignConfig {
+        trials_per_point: trials,
+        ..Default::default()
+    }
+}
+
+fn tiny_lu() -> Workload {
+    Workload::new(
+        "LU",
+        lu_app(LuConfig {
+            n: 16,
+            iters: 4,
+            omega: 1.2,
+        }),
+        1e-7,
+        4,
+    )
+}
+
+#[test]
+fn lu_campaign_full_pipeline() {
+    let campaign = Campaign::prepare(tiny_lu(), quick_cfg(4));
+    // Pruning sanity: the full space is sites × invocations × ranks; the
+    // pruned set is much smaller.
+    assert!(campaign.full_points > 0);
+    assert!(!campaign.points().is_empty());
+    assert!(campaign.points().len() < campaign.full_points as usize / 2);
+    assert!(campaign.total_reduction() > 0.5);
+
+    let result = campaign.run_all();
+    assert_eq!(result.results.len(), campaign.points().len());
+    let agg = result.aggregate();
+    assert_eq!(
+        agg.total(),
+        (campaign.points().len() * 4) as u64,
+        "every point measured with every trial"
+    );
+}
+
+#[test]
+fn lu_barrier_comm_faults_are_mpi_errors() {
+    let campaign = Campaign::prepare(tiny_lu(), quick_cfg(6));
+    let barrier_point = campaign
+        .points()
+        .iter()
+        .find(|p| p.param == ParamId::Comm)
+        .copied()
+        .expect("barrier point exists in data-buffer mode");
+    let pr = campaign.measure_point(&barrier_point, 6, 99);
+    // A bit-flipped communicator handle essentially never lands on another
+    // valid handle.
+    assert!(pr.hist.count(Response::MpiErr) >= 5, "{:?}", pr.hist);
+}
+
+#[test]
+fn is_campaign_produces_detected_or_wrong_answers() {
+    let workload = Workload::new(
+        "IS",
+        is_app(IsConfig {
+            keys_per_rank: 128,
+            max_key: 1 << 10,
+            iters: 2,
+        }),
+        0.0,
+        4,
+    );
+    let campaign = Campaign::prepare(workload, quick_cfg(8));
+    let result = campaign.run_all();
+    let agg = result.aggregate();
+    // IS moves its metadata (bucket counts) through collectives, so
+    // data-buffer faults must produce a mix of responses, not just
+    // SUCCESS.
+    assert!(agg.error_rate() > 0.0, "{:?}", agg);
+    assert!(agg.count(Response::Success) > 0, "{:?}", agg);
+}
+
+#[test]
+fn ml_pipeline_runs_on_campaign_labels() {
+    let campaign = Campaign::prepare(tiny_lu(), quick_cfg(4));
+    let points = campaign.invocation_points();
+    assert!(points.len() >= campaign.points().len());
+    let features: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| campaign.extractor.features(p))
+        .collect();
+    let (res, ml) = {
+        // Use the library loop with real measurements on a small budget.
+        let levels = Levels::even(2);
+        let mut measured = Vec::new();
+        let out = ml_driven(
+            &features,
+            MlTarget::RateLevels(2),
+            |i| {
+                let pr = campaign.measure_point(&points[i], 3, 7 + i as u64);
+                let l = levels.of(pr.error_rate());
+                measured.push(pr);
+                l
+            },
+            &MlConfig {
+                accuracy_threshold: 0.55,
+                initial_batch: 6,
+                batch: 3,
+                ..Default::default()
+            },
+        );
+        (measured, out)
+    };
+    assert_eq!(res.len(), ml.measured.len());
+    assert_eq!(ml.measured.len() + ml.predicted.len(), points.len());
+    if ml.reached_threshold {
+        // Savings can legitimately be zero when the threshold is first met
+        // on the final batch; the invariant is consistency, not positivity.
+        assert_eq!(
+            ml.tests_saved,
+            ml.predicted.len() as f64 / points.len() as f64
+        );
+        assert!(ml.model.is_some());
+    }
+}
+
+#[test]
+fn table3_row_from_real_campaign() {
+    let campaign = Campaign::prepare(tiny_lu(), quick_cfg(2));
+    let row = Table3Row::from_campaign(&campaign, Some(0.5));
+    assert!(row.mpi > 0.0 && row.mpi < 1.0);
+    assert!(row.total >= row.mpi);
+    assert!(row.total <= 1.0);
+}

@@ -1,0 +1,131 @@
+//! Determinism guarantees the whole methodology rests on: identical seeds
+//! must give bitwise-identical golden runs, and identical faults must give
+//! identical responses — including property-based checks over fault bits.
+
+use fastfit::prelude::*;
+use npb::{mg_app, MgConfig};
+use proptest::prelude::*;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use std::sync::Arc;
+
+fn noisy_app() -> AppFn {
+    Arc::new(|ctx: &mut RankCtx| {
+        use rand::Rng;
+        let mut acc = 0.0f64;
+        for _ in 0..4 {
+            let x: f64 = ctx.rng().gen();
+            acc += ctx.allreduce_one(x * 3.7, ReduceOp::Sum, ctx.world());
+        }
+        let mut out = RankOutput::new();
+        out.push("acc", acc);
+        out
+    })
+}
+
+#[test]
+fn golden_runs_bitwise_identical() {
+    let spec = JobSpec {
+        nranks: 8,
+        ..Default::default()
+    };
+    let a = run_job(&spec, noisy_app());
+    let b = run_job(&spec, noisy_app());
+    match (a.outcome, b.outcome) {
+        (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+            for (x, y) in oa.iter().zip(&ob) {
+                assert_eq!(x.scalars[0].1.to_bits(), y.scalars[0].1.to_bits());
+            }
+        }
+        _ => panic!("must complete"),
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_job(
+        &JobSpec {
+            nranks: 4,
+            seed: 1,
+            ..Default::default()
+        },
+        noisy_app(),
+    );
+    let b = run_job(
+        &JobSpec {
+            nranks: 4,
+            seed: 2,
+            ..Default::default()
+        },
+        noisy_app(),
+    );
+    match (a.outcome, b.outcome) {
+        (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+            assert_ne!(oa[0].scalars[0].1.to_bits(), ob[0].scalars[0].1.to_bits());
+        }
+        _ => panic!("must complete"),
+    }
+}
+
+#[test]
+fn mg_campaign_point_results_replay() {
+    let w = Workload::new(
+        "MG",
+        mg_app(MgConfig {
+            n: 8,
+            cycles: 2,
+            sweeps: 1,
+        }),
+        1e-7,
+        4,
+    );
+    let c = Campaign::prepare(
+        w,
+        CampaignConfig {
+            trials_per_point: 4,
+            ..Default::default()
+        },
+    );
+    let a = c.run_all();
+    let b = c.run_all();
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.hist, y.hist, "point {:?}", x.point);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, .. ProptestConfig::default()
+    })]
+
+    /// The same (point, bit) pair always classifies identically, whatever
+    /// the bit — determinism is per-fault, not just per-seed.
+    #[test]
+    fn same_fault_same_response(bit in 0u64..10_000) {
+        let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+        let c = Campaign::prepare(w, CampaignConfig::default());
+        let point = c.points()[0];
+        let (r1, f1) = c.run_trial(&point, bit);
+        let (r2, f2) = c.run_trial(&point, bit);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Responses always land in the six Table I classes and unfired faults
+    /// are always SUCCESS (the run is a replay of the golden run).
+    #[test]
+    fn response_taxonomy_is_total(bit in 0u64..1_000, invocation in 0u64..8) {
+        let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+        let c = Campaign::prepare(w, CampaignConfig::default());
+        let mut point = c.points()[0];
+        point.invocation = invocation;
+        let (resp, fired) = c.run_trial(&point, bit);
+        // 4 invocations exist (0..4): beyond that the fault never fires.
+        if invocation >= 4 {
+            prop_assert!(!fired);
+            prop_assert_eq!(resp, Response::Success);
+        }
+        prop_assert!(ALL_RESPONSES.contains(&resp));
+    }
+}

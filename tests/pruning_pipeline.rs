@@ -1,0 +1,137 @@
+//! Cross-crate tests of the §III pruning pipeline against real recorded
+//! profiles (not synthetic records).
+
+use fastfit::prelude::*;
+use minimd::{md_app, MdConfig};
+use npb::{ft_app, lu_app, FtConfig, LuConfig};
+use simmpi::hook::CollKind;
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        trials_per_point: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ft_semantic_classes_are_root_plus_rest() {
+    // FT's only per-rank asymmetry is the MPI_Reduce/Bcast root (rank 0).
+    let w = Workload::new("FT", ft_app(FtConfig { n: 8, iters: 2, alpha: 1e-4 }), 1e-7, 4);
+    let c = Campaign::prepare(w, cfg());
+    assert_eq!(c.semantic.classes.len(), 2);
+    assert_eq!(c.semantic.classes[0], vec![0]);
+    assert_eq!(c.semantic.classes[1], vec![1, 2, 3]);
+    assert_eq!(c.semantic.representatives, vec![0, 1]);
+    assert!((c.semantic.reduction() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn lu_context_prune_collapses_repeated_norm_calls() {
+    // LU calls its norm allreduce every iteration from the same stack:
+    // context pruning keeps exactly one invocation of it.
+    let iters = 6;
+    let w = Workload::new(
+        "LU",
+        lu_app(LuConfig { n: 16, iters, omega: 1.2 }),
+        1e-7,
+        4,
+    );
+    let c = Campaign::prepare(w, cfg());
+    let rep = c.semantic.representatives[0];
+    let norm_site = c
+        .profile
+        .site_stats(rep)
+        .into_iter()
+        .filter(|s| s.kind == CollKind::Allreduce && !s.errhdl)
+        .max_by_key(|s| s.n_inv)
+        .unwrap();
+    assert_eq!(norm_site.n_inv, iters as u64);
+    assert_eq!(norm_site.n_diff_stacks, 1);
+    let groups = c.profile.stack_groups(rep, norm_site.site);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].invocations.len(), iters);
+    // Exactly one surviving point for that site in data-buffer mode.
+    let points_at_site = c
+        .points()
+        .iter()
+        .filter(|p| p.site == norm_site.site)
+        .count();
+    assert_eq!(points_at_site, c.semantic.representatives.len().min(2));
+}
+
+#[test]
+fn reductions_compose_in_campaign() {
+    let w = Workload::new(
+        "minimd",
+        md_app(MdConfig { steps: 6, ..Default::default() }),
+        minimd::OUTPUT_TOLERANCE,
+        8,
+    );
+    let c = Campaign::prepare(w, cfg());
+    let sem = c.semantic.reduction();
+    let app = c.context.reduction();
+    let total = c.total_reduction();
+    assert!(sem > 0.5, "semantic reduction {}", sem);
+    assert!(app > 0.0, "context reduction {}", app);
+    // Multiplicative composition (Table III's totals).
+    let expected = 1.0 - (1.0 - sem) * (1.0 - app);
+    assert!(
+        (total - expected).abs() < 1e-9,
+        "total {} vs composed {}",
+        total,
+        expected
+    );
+    // And the invocation population sits between the two.
+    let inv_points = c.invocation_points().len();
+    assert!(inv_points >= c.points().len());
+    assert!((inv_points as u64) < c.full_points);
+}
+
+#[test]
+fn feature_vectors_align_with_paper_features() {
+    let w = Workload::new(
+        "minimd",
+        md_app(MdConfig { steps: 6, ..Default::default() }),
+        minimd::OUTPUT_TOLERANCE,
+        4,
+    );
+    let c = Campaign::prepare(w, cfg());
+    for p in c.points() {
+        let f = c.extractor.features(p);
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+        // Type is a valid kind index; Phase a valid phase index.
+        assert!(f[0] >= 0.0 && f[0] < simmpi::hook::ALL_COLL_KINDS.len() as f64);
+        assert!(f[1] >= 0.0 && f[1] < 4.0);
+        assert!(f[2] == 0.0 || f[2] == 1.0);
+        assert!(f[3] >= 1.0, "nInv at least one");
+        assert!(f[4] >= 1.0, "stack depth includes main");
+        assert!(f[5] >= 1.0, "at least one distinct stack");
+        let t4 = c.extractor.table4_features(p);
+        assert_eq!(t4.len(), TABLE4_COLUMNS.len());
+        assert_eq!(t4[..4].iter().sum::<f64>(), 1.0, "one-hot phase");
+        assert_eq!(t4[4] + t4[5], 1.0, "errhdl xor non-errhdl");
+    }
+}
+
+#[test]
+fn minimd_errhdl_sites_visible_in_profile() {
+    let w = Workload::new(
+        "minimd",
+        md_app(MdConfig { steps: 6, ..Default::default() }),
+        minimd::OUTPUT_TOLERANCE,
+        4,
+    );
+    let c = Campaign::prepare(w, cfg());
+    let rep = *c.semantic.representatives.last().unwrap();
+    let stats = c.profile.site_stats(rep);
+    let errhdl_allreduces = stats
+        .iter()
+        .filter(|s| s.kind == CollKind::Allreduce && s.errhdl)
+        .count();
+    let all_allreduces = stats
+        .iter()
+        .filter(|s| s.kind == CollKind::Allreduce)
+        .count();
+    assert!(errhdl_allreduces >= 1);
+    assert!(all_allreduces > errhdl_allreduces, "non-errhdl thermo sites exist");
+}
