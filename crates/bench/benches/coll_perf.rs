@@ -93,10 +93,10 @@ fn bench_bcast_vs_alltoall(c: &mut Criterion) {
 /// Rabenseifner move `~2·len` — the design rationale for the automatic
 /// selection thresholds in `simmpi::ctx`.
 fn bench_algorithm_variants(c: &mut Criterion) {
+    use simmpi::coll::CollEnv;
     use simmpi::coll::{allreduce, bcast};
     use simmpi::comm::{CommRegistry, WORLD};
     use simmpi::control::JobControl;
-    use simmpi::coll::CollEnv;
     use simmpi::datatype::Datatype;
     use simmpi::transport::Fabric;
 
@@ -126,7 +126,11 @@ fn bench_algorithm_variants(c: &mut Criterion) {
                         round_off: 0,
                         dtype: Datatype::Float64,
                     };
-                    let data = if me == 0 { vec![7u8; payload] } else { Vec::new() };
+                    let data = if me == 0 {
+                        vec![7u8; payload]
+                    } else {
+                        Vec::new()
+                    };
                     algo(&env, me, data)
                 })
             })

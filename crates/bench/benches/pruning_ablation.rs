@@ -21,9 +21,7 @@ fn bench_pruning_analysis(c: &mut Criterion) {
     );
     let profile = campaign.profile.clone();
 
-    g.bench_function("semantic_prune", |b| {
-        b.iter(|| semantic_prune(&profile))
-    });
+    g.bench_function("semantic_prune", |b| b.iter(|| semantic_prune(&profile)));
     let sem = semantic_prune(&profile);
     g.bench_function("context_prune", |b| {
         b.iter(|| context_prune(&profile, &sem, &ParamsMode::DataBuffer))

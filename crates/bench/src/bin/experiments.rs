@@ -10,9 +10,13 @@
 //! Set FASTFIT_CSV_DIR to also write machine-readable CSVs.
 //!
 //! Scale knobs: FASTFIT_RANKS, FASTFIT_TRIALS, FASTFIT_CLASS (see README).
+//! Set FASTFIT_STORE_DIR to journal the shared campaigns to durable store
+//! directories (one per campaign under that root) — an interrupted
+//! `experiments` run then resumes its campaigns instead of remeasuring.
 
 use fastfit::prelude::*;
 use fastfit_bench::{experiment_campaign_config, experiment_ranks, lammps_workload, npb_workload};
+use fastfit_store::{campaign_meta, CampaignStore};
 use randomforest::{gaussian_fit, histogram, ForestParams, RandomForest};
 use simmpi::hook::{CollKind, ParamId};
 use std::collections::BTreeMap;
@@ -37,6 +41,48 @@ fn trials() -> usize {
 
 fn csv_dir() -> Option<String> {
     std::env::var("FASTFIT_CSV_DIR").ok()
+}
+
+/// Open a campaign store under `$FASTFIT_STORE_DIR/<tag>` for one of the
+/// shared campaigns, if the variable is set. Store failures (a directory
+/// holding a different campaign, say) disable persistence for that
+/// campaign rather than aborting the whole experiments run.
+fn store_for(c: &Campaign, points: &[InjectionPoint], tag: &str) -> Option<CampaignStore> {
+    let base = std::env::var("FASTFIT_STORE_DIR")
+        .ok()
+        .filter(|s| !s.is_empty())?;
+    let dir = std::path::Path::new(&base).join(tag);
+    match CampaignStore::open(&dir, campaign_meta(c, points, None)) {
+        Ok(s) => {
+            if s.replayable_trials() > 0 {
+                eprintln!(
+                    "[{}] resuming from {}: {} journaled trials",
+                    tag,
+                    dir.display(),
+                    s.replayable_trials()
+                );
+            }
+            Some(s)
+        }
+        Err(e) => {
+            eprintln!("[{}] store disabled: {}", tag, e);
+            None
+        }
+    }
+}
+
+/// Run a point set through the campaign, journaled when a store opened.
+fn run_points_stored(c: &Campaign, points: &[InjectionPoint], tag: &str) -> CampaignResult {
+    match store_for(c, points, tag) {
+        Some(s) => {
+            let r = c.run_points_observed(points, &s);
+            if let Err(e) = s.finish() {
+                eprintln!("[{}] final store flush failed: {}", tag, e);
+            }
+            r
+        }
+        None => c.run_points(points),
+    }
 }
 
 fn main() {
@@ -117,11 +163,9 @@ impl ExpContext {
             let mut v = Vec::new();
             for k in npb::KERNELS {
                 let t = Instant::now();
-                let c = Campaign::prepare(
-                    npb_workload(k),
-                    experiment_campaign_config(ParamsMode::All),
-                );
-                let r = c.run_all();
+                let c =
+                    Campaign::prepare(npb_workload(k), experiment_campaign_config(ParamsMode::All));
+                let r = run_points_stored(&c, c.points(), &format!("npb-{}", k));
                 eprintln!(
                     "[{}] {} points, {} trials, {:?}",
                     k,
@@ -143,7 +187,7 @@ impl ExpContext {
                 lammps_workload(10),
                 experiment_campaign_config(ParamsMode::All),
             );
-            let r = c.run_all();
+            let r = run_points_stored(&c, c.points(), "lammps-all");
             eprintln!(
                 "[LAMMPS] {} points, {} trials, {:?}",
                 c.points().len(),
@@ -163,7 +207,7 @@ impl ExpContext {
                 experiment_campaign_config(ParamsMode::DataBuffer),
             );
             let points = c.invocation_points();
-            let r = c.run_points(&points);
+            let r = run_points_stored(&c, &points, "lammps-ml");
             eprintln!(
                 "[LAMMPS-ML] {} invocation points, {} trials, {:?}",
                 points.len(),
@@ -288,7 +332,11 @@ fn fig1() {
         let tv = tv_distance(&h1, &h2);
         rows.push((format!("{}@rand1", p.name()), h1));
         rows.push((format!("{}@rand2", p.name()), h2));
-        println!("param {:<9} total-variation distance between ranks: {:.3}", p.name(), tv);
+        println!(
+            "param {:<9} total-variation distance between ranks: {:.3}",
+            p.name(),
+            tv
+        );
     }
     let view: Vec<(&String, &ResponseHistogram)> = rows.iter().map(|(k, h)| (k, h)).collect();
     println!("{}", render_histogram_table("Figure 1", &view));
@@ -313,8 +361,16 @@ fn fig2() {
         .map(|st| (st.site, 0usize))
         .expect("FT has a reduce site rooted at 0");
     let nonroot = (root + c.workload.nranks / 2).max(1) % c.workload.nranks;
-    println!("site {} | root = rank {}, non-root = rank {}", site, root, nonroot);
-    let params = [ParamId::SendBuf, ParamId::RecvBuf, ParamId::Count, ParamId::Root];
+    println!(
+        "site {} | root = rank {}, non-root = rank {}",
+        site, root, nonroot
+    );
+    let params = [
+        ParamId::SendBuf,
+        ParamId::RecvBuf,
+        ParamId::Count,
+        ParamId::Root,
+    ];
     let mut rows: Vec<(String, ResponseHistogram)> = Vec::new();
     for p in params {
         let hr = measure_at(&c, site, CollKind::Reduce, root, p, trials(), 303);
@@ -322,7 +378,11 @@ fn fig2() {
         let tv = tv_distance(&hr, &hn);
         rows.push((format!("{}@root", p.name()), hr));
         rows.push((format!("{}@nonroot", p.name()), hn));
-        println!("param {:<9} total-variation distance root vs non-root: {:.3}", p.name(), tv);
+        println!(
+            "param {:<9} total-variation distance root vs non-root: {:.3}",
+            p.name(),
+            tv
+        );
     }
     let view: Vec<(&String, &ResponseHistogram)> = rows.iter().map(|(k, h)| (k, h)).collect();
     println!("{}", render_histogram_table("Figure 2", &view));
@@ -357,7 +417,10 @@ fn fig3() {
     let take = (st.n_inv as usize).min(n_inv);
     println!(
         "site {} with {} same-stack invocations; measuring {} with {} trials each",
-        st.site, st.n_inv, take, trials()
+        st.site,
+        st.n_inv,
+        take,
+        trials()
     );
     let mut rates = Vec::new();
     for inv in 0..take {
@@ -385,7 +448,10 @@ fn fig3() {
             );
         }
     }
-    println!("Gaussian fit: mean = {:.2}%, sigma = {:.2}", fit.mu, fit.sigma);
+    println!(
+        "Gaussian fit: mean = {:.2}%, sigma = {:.2}",
+        fit.mu, fit.sigma
+    );
 }
 
 /// Figure 4: print an example decision tree from the LAMMPS campaign.
@@ -397,8 +463,16 @@ fn fig4(ctx: &mut ExpContext) {
     );
     let (c, r) = ctx.lammps_ml();
     let levels = Levels::even(4);
-    let x: Vec<Vec<f64>> = r.results.iter().map(|p| c.extractor.features(&p.point)).collect();
-    let y: Vec<usize> = r.results.iter().map(|p| levels.of(p.error_rate())).collect();
+    let x: Vec<Vec<f64>> = r
+        .results
+        .iter()
+        .map(|p| c.extractor.features(&p.point))
+        .collect();
+    let y: Vec<usize> = r
+        .results
+        .iter()
+        .map(|p| levels.of(p.error_rate()))
+        .collect();
     let forest = RandomForest::fit(
         &x,
         &y,
@@ -438,13 +512,20 @@ fn fig6(ctx: &mut ExpContext) {
     // Labels were measured once; the feedback loop replays against the
     // cache so the sweep costs no extra fault-injection tests.
     let levels = Levels::even(4);
-    let labels: Vec<usize> = r.results.iter().map(|p| levels.of(p.error_rate())).collect();
+    let labels: Vec<usize> = r
+        .results
+        .iter()
+        .map(|p| levels.of(p.error_rate()))
+        .collect();
     let features: Vec<Vec<f64>> = r
         .results
         .iter()
         .map(|p| c.extractor.features(&p.point))
         .collect();
-    println!("{:>10} {:>12} {:>10} {:>9}", "threshold", "reduction", "accuracy", "rounds");
+    println!(
+        "{:>10} {:>12} {:>10} {:>9}",
+        "threshold", "reduction", "accuracy", "rounds"
+    );
     for thr in [0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75] {
         let out = ml_driven(
             &features,
@@ -562,11 +643,7 @@ fn fig11(ctx: &mut ExpContext) {
 
 /// Shared: per-class accuracy over 5 random half splits (the paper's
 /// verification protocol for Figures 12/13).
-fn split_accuracy(
-    x: &[Vec<f64>],
-    y: &[usize],
-    n_classes: usize,
-) -> (Vec<Option<f64>>, f64) {
+fn split_accuracy(x: &[Vec<f64>], y: &[usize], n_classes: usize) -> (Vec<Option<f64>>, f64) {
     use rand::seq::SliceRandom;
     use rand::{rngs::StdRng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(0xF1_65);
@@ -682,8 +759,16 @@ fn fig12(ctx: &mut ExpContext) {
     );
     let (c, r) = ctx.lammps_ml();
     let points: Vec<InjectionPoint> = r.results.iter().map(|p| p.point).collect();
-    let x: Vec<Vec<f64>> = r.results.iter().map(|p| c.extractor.features(&p.point)).collect();
-    let y: Vec<usize> = r.results.iter().map(|p| p.hist.dominant().index()).collect();
+    let x: Vec<Vec<f64>> = r
+        .results
+        .iter()
+        .map(|p| c.extractor.features(&p.point))
+        .collect();
+    let y: Vec<usize> = r
+        .results
+        .iter()
+        .map(|p| p.hist.dominant().index())
+        .collect();
     let (per_class, overall) = split_accuracy(&x, &y, 6);
     let (pc_site, ov_site) = site_split_accuracy(&points, &x, &y, 6);
     println!("{:<14} {:>14} {:>17}", "", "random split", "held-out sites");
@@ -710,10 +795,18 @@ fn fig13(ctx: &mut ExpContext) {
     );
     let (c, r) = ctx.lammps_ml();
     let points: Vec<InjectionPoint> = r.results.iter().map(|p| p.point).collect();
-    let x: Vec<Vec<f64>> = r.results.iter().map(|p| c.extractor.features(&p.point)).collect();
+    let x: Vec<Vec<f64>> = r
+        .results
+        .iter()
+        .map(|p| c.extractor.features(&p.point))
+        .collect();
     for k in [2usize, 3] {
         let levels = Levels::even(k);
-        let y: Vec<usize> = r.results.iter().map(|p| levels.of(p.error_rate())).collect();
+        let y: Vec<usize> = r
+            .results
+            .iter()
+            .map(|p| levels.of(p.error_rate()))
+            .collect();
         let (per_class, overall) = split_accuracy(&x, &y, k);
         let (pc_site, ov_site) = site_split_accuracy(&points, &x, &y, k);
         println!(
@@ -743,14 +836,18 @@ fn tab3(ctx: &mut ExpContext) {
     let mut rows = Vec::new();
     for (name, c, _) in ctx.npb() {
         rows.push(Table3Row::from_campaign(c, None));
-    let _ = name;
+        let _ = name;
     }
     // LAMMPS row: semantic/context reductions from the campaign, ML saving
     // measured on the post-semantic invocation population at the paper's
     // 65% threshold.
     let (cm, rm) = ctx.lammps_ml();
     let levels = Levels::even(3);
-    let labels: Vec<usize> = rm.results.iter().map(|p| levels.of(p.error_rate())).collect();
+    let labels: Vec<usize> = rm
+        .results
+        .iter()
+        .map(|p| levels.of(p.error_rate()))
+        .collect();
     let features: Vec<Vec<f64>> = rm
         .results
         .iter()
@@ -820,9 +917,15 @@ fn ext_cg() {
     let by_kind = per_kind_histograms(&r.results);
     let rows: Vec<(&str, &ResponseHistogram)> =
         by_kind.iter().map(|(k, h)| (k.name(), h)).collect();
-    println!("{}", render_histogram_table("CG error types per collective", &rows));
+    println!(
+        "{}",
+        render_histogram_table("CG error types per collective", &rows)
+    );
     let levels = per_kind_levels(&data_buffer_subset(&r.results));
-    println!("{}", render_level_table("CG error-rate levels (data-buffer faults)", &levels));
+    println!(
+        "{}",
+        render_level_table("CG error-rate levels (data-buffer faults)", &levels)
+    );
     maybe_write(&csv_dir(), "ext_cg_points.csv", &points_csv(&r.results));
 }
 
@@ -862,7 +965,10 @@ fn ext_trials() {
         st.site,
         point.invocation
     );
-    println!("{:>8} {:>11} {:>19}", "trials", "error rate", "wilson 95% interval");
+    println!(
+        "{:>8} {:>11} {:>19}",
+        "trials", "error rate", "wilson 95% interval"
+    );
     let mut series = Vec::new();
     for t in [10usize, 25, 50, 100, 200] {
         let pr = c.measure_point(&point, t, 0xE771);
@@ -883,7 +989,11 @@ fn ext_trials() {
         trials_for_half_width(0.10),
         trials_for_half_width(0.05)
     );
-    maybe_write(&csv_dir(), "ext_trials.csv", &series_csv("trials", "error_rate", &series));
+    maybe_write(
+        &csv_dir(),
+        "ext_trials.csv",
+        &series_csv("trials", "error_rate", &series),
+    );
 }
 
 /// Extension: error propagation between processes — the open question the
@@ -974,7 +1084,10 @@ fn ext_algos() {
     };
     let small_elems = 64;
     let large_elems = (BCAST_LARGE_THRESHOLD.max(ALLREDUCE_LARGE_THRESHOLD) / 8) * 2;
-    for (label, elems) in [("basic (small payload)", small_elems), ("tuned (large payload)", large_elems)] {
+    for (label, elems) in [
+        ("basic (small payload)", small_elems),
+        ("tuned (large payload)", large_elems),
+    ] {
         let c = Campaign::prepare(build(elems), experiment_campaign_config(ParamsMode::All));
         let r = c.run_all();
         let agg = r.aggregate();

@@ -5,18 +5,28 @@
 //! fastfit-cli profile  --workload <IS|FT|MG|LU|CG|LAMMPS>
 //! fastfit-cli campaign --workload <...> [--trials N] [--params data|all]
 //!                      [--ranks N] [--ml [--threshold 0.65]] [--csv DIR]
+//!                      [--store DIR]
 //! fastfit-cli point    --workload <...> --site <file.rs:LINE> --param <p>
 //!                      [--rank R] [--invocation I] [--trials N]
+//! fastfit-cli status   <DIR>
+//! fastfit-cli resume   <DIR> [--steps N] [--threshold 0.65] [--csv DIR]
 //! ```
 //!
 //! `profile` prints the communication profile and pruning inventory;
 //! `campaign` runs the full injection study and prints the sensitivity
-//! tables; `point` drills into one injection point.
+//! tables; `point` drills into one injection point. With `--store DIR`
+//! (or `FASTFIT_STORE_DIR` set) the campaign journals every trial to a
+//! durable store directory; `status` pretty-prints a store's live
+//! `status.json`, and `resume` re-runs an interrupted campaign from its
+//! journal, replaying paid-for trials instead of re-executing them.
 
+use fastfit::observe::ProgressEvent;
 use fastfit::prelude::*;
 use fastfit_bench::{lammps_workload, npb_workload};
+use fastfit_store::{campaign_meta, read_store_meta, CampaignStore, StatusSnapshot};
 use simmpi::hook::{CallSite, ParamId};
 use std::collections::HashMap;
+use std::path::Path;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -42,8 +52,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fastfit-cli <profile|campaign|point> --workload <IS|FT|MG|LU|CG|LAMMPS> [flags]\n\
+         \x20      fastfit-cli status <DIR>\n\
+         \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
-                --csv DIR  --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
+                --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
+                --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
                 --rank R  --invocation I  --steps N (LAMMPS run length)"
     );
     std::process::exit(2)
@@ -83,11 +96,23 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage()
     };
-    let flags = parse_flags(rest);
     match cmd.as_str() {
-        "profile" => cmd_profile(&flags),
-        "campaign" => cmd_campaign(&flags),
-        "point" => cmd_point(&flags),
+        "profile" => cmd_profile(&parse_flags(rest)),
+        "campaign" => cmd_campaign(&parse_flags(rest)),
+        "point" => cmd_point(&parse_flags(rest)),
+        "status" | "resume" => {
+            let Some((dir, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
+            else {
+                eprintln!("{} needs a store directory", cmd);
+                usage()
+            };
+            let flags = parse_flags(flag_args);
+            if cmd == "status" {
+                cmd_status(Path::new(dir));
+            } else {
+                cmd_resume(Path::new(dir), &flags);
+            }
+        }
         _ => usage(),
     }
 }
@@ -105,6 +130,155 @@ fn cmd_profile(flags: &HashMap<String, String>) {
         100.0 * c.total_reduction()
     );
     println!("golden run of {}: {:?}", name, c.golden_wall);
+}
+
+/// The store directory for this invocation: `--store` beats
+/// `FASTFIT_STORE_DIR`; absent both, campaigns run without persistence.
+fn store_dir(flags: &HashMap<String, String>) -> Option<String> {
+    flags
+        .get("store")
+        .cloned()
+        .or_else(|| std::env::var("FASTFIT_STORE_DIR").ok())
+        .filter(|s| !s.is_empty())
+}
+
+/// Open (or resume) the store for a prepared campaign, reporting how much
+/// journaled work it brings. Exits with a diagnostic when the directory
+/// belongs to a different campaign.
+fn open_store(
+    dir: &Path,
+    c: &Campaign,
+    points: &[InjectionPoint],
+    ml: Option<(MlTarget, &MlConfig)>,
+) -> CampaignStore {
+    let meta = campaign_meta(c, points, ml);
+    let store = CampaignStore::open(dir, meta).unwrap_or_else(|e| {
+        eprintln!("cannot open store {}: {}", dir.display(), e);
+        std::process::exit(1);
+    });
+    // The profile phase already ran (store identity needs the pruned
+    // points); backfill its timing so status.json shows it.
+    store.on_event(&ProgressEvent::PhaseFinished {
+        phase: CampaignPhase::Profile,
+        wall: c.golden_wall,
+    });
+    println!(
+        "store {} (campaign {}): {} journaled trials to replay",
+        dir.display(),
+        &store.id()[..16],
+        store.replayable_trials()
+    );
+    store
+}
+
+/// The plain (non-ML) campaign: measure every pruned point, print the
+/// sensitivity tables. One body serves `campaign` and `resume`.
+fn run_plain_campaign(c: &Campaign, csv: &Option<String>, store: Option<&CampaignStore>) {
+    let r = match store {
+        Some(s) => c.run_all_observed(s),
+        None => c.run_all(),
+    };
+    let by_kind = per_kind_histograms(&r.results);
+    let rows: Vec<(&str, &ResponseHistogram)> =
+        by_kind.iter().map(|(k, h)| (k.name(), h)).collect();
+    println!(
+        "{}",
+        render_histogram_table("per-collective responses", &rows)
+    );
+    let levels = per_kind_levels(&r.results);
+    println!(
+        "{}",
+        render_level_table("per-collective error-rate levels", &levels)
+    );
+    println!("{}", fastfit::report::campaign_summary(c, &r));
+    maybe_write(csv, "cli_points.csv", &points_csv(&r.results));
+}
+
+/// The ML feedback-loop campaign over the post-semantic invocation
+/// population, observed so it can journal and resume. One body serves
+/// `campaign --ml` and `resume`; the measurement order, seeds and splits
+/// depend only on the (journaled) configuration, so a resumed loop
+/// replays its own trajectory exactly.
+fn run_ml_campaign(
+    c: &Campaign,
+    target: MlTarget,
+    ml_cfg: &MlConfig,
+    csv: &Option<String>,
+    store: Option<&CampaignStore>,
+) {
+    let observer: &dyn CampaignObserver = match store {
+        Some(s) => s,
+        None => &NullObserver,
+    };
+    let points = c.invocation_points();
+    let features: Vec<Vec<f64>> = points.iter().map(|p| c.extractor.features(p)).collect();
+    let trials = c.cfg.trials_per_point;
+    let t0 = std::time::Instant::now();
+    observer.on_event(&ProgressEvent::MeasureStarted {
+        points_total: points.len(),
+        trials_per_point: trials,
+    });
+    let mut measured = Vec::new();
+    let out = ml_driven_observed(
+        &features,
+        target,
+        |i| {
+            let pr = c.measure_point_observed(&points[i], trials, 0xC11 + i as u64, observer);
+            let label = match target {
+                MlTarget::ErrorType => pr.hist.dominant().index(),
+                MlTarget::RateLevels(k) => Levels::even(k).of(pr.error_rate()),
+            };
+            observer.on_event(&ProgressEvent::PointFinished {
+                point: &points[i],
+                result: &pr,
+            });
+            measured.push(pr);
+            label
+        },
+        ml_cfg,
+        |round, n_measured, accuracy| {
+            observer.on_event(&ProgressEvent::LearnRound {
+                round,
+                measured: n_measured,
+                accuracy,
+            });
+        },
+    );
+    observer.on_event(&ProgressEvent::PhaseFinished {
+        phase: CampaignPhase::Learn,
+        wall: t0.elapsed(),
+    });
+    println!(
+        "ML feedback loop: measured {} of {} points in {} rounds (accuracy {:.1}%, threshold {:.0}%); {:.1}% of tests saved",
+        out.measured.len(),
+        points.len(),
+        out.rounds,
+        100.0 * out.final_accuracy,
+        100.0 * ml_cfg.accuracy_threshold,
+        100.0 * out.tests_saved
+    );
+    let names: Vec<String> = match target {
+        MlTarget::ErrorType => ALL_RESPONSES.iter().map(|r| r.name().to_string()).collect(),
+        MlTarget::RateLevels(k) => Levels::even(k).names(),
+    };
+    for (idx, label) in out.predicted.iter().take(10) {
+        println!(
+            "  predicted {:<8} {} {} inv{}",
+            names[*label],
+            points[*idx].kind.name(),
+            points[*idx].site,
+            points[*idx].invocation
+        );
+    }
+    maybe_write(csv, "cli_measured.csv", &points_csv(&measured));
+}
+
+fn finish_store(store: &CampaignStore) {
+    if let Err(e) = store.finish() {
+        eprintln!("warning: final store flush failed: {}", e);
+    } else {
+        println!("campaign state saved to {}", store.dir().display());
+    }
 }
 
 fn cmd_campaign(flags: &HashMap<String, String>) {
@@ -126,56 +300,133 @@ fn cmd_campaign(flags: &HashMap<String, String>) {
             .get("threshold")
             .and_then(|s| s.parse().ok())
             .unwrap_or(0.65);
-        let points = c.invocation_points();
-        let features: Vec<Vec<f64>> = points.iter().map(|p| c.extractor.features(p)).collect();
-        let levels = Levels::even(3);
-        let mut measured = Vec::new();
-        let out = ml_driven(
-            &features,
-            MlTarget::RateLevels(3),
-            |i| {
-                let pr = c.measure_point(&points[i], c.cfg.trials_per_point, 0xC11 + i as u64);
-                let l = levels.of(pr.error_rate());
-                measured.push(pr);
-                l
-            },
-            &MlConfig {
-                accuracy_threshold: threshold,
-                ..Default::default()
-            },
-        );
-        println!(
-            "ML feedback loop: measured {} of {} points in {} rounds (accuracy {:.1}%, threshold {:.0}%); {:.1}% of tests saved",
-            out.measured.len(),
-            points.len(),
-            out.rounds,
-            100.0 * out.final_accuracy,
-            100.0 * threshold,
-            100.0 * out.tests_saved
-        );
-        let names = levels.names();
-        for (idx, label) in out.predicted.iter().take(10) {
-            println!(
-                "  predicted {:<8} {} {} inv{}",
-                names[*label],
-                points[*idx].kind.name(),
-                points[*idx].site,
-                points[*idx].invocation
-            );
+        let target = MlTarget::RateLevels(3);
+        let ml_cfg = MlConfig {
+            accuracy_threshold: threshold,
+            ..Default::default()
+        };
+        match store_dir(flags) {
+            Some(dir) => {
+                let points = c.invocation_points();
+                let store = open_store(Path::new(&dir), &c, &points, Some((target, &ml_cfg)));
+                run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+                finish_store(&store);
+            }
+            None => run_ml_campaign(&c, target, &ml_cfg, &csv, None),
         }
-        maybe_write(&csv, "cli_measured.csv", &points_csv(&measured));
         return;
     }
 
-    let r = c.run_all();
-    let by_kind = per_kind_histograms(&r.results);
-    let rows: Vec<(&str, &ResponseHistogram)> =
-        by_kind.iter().map(|(k, h)| (k.name(), h)).collect();
-    println!("{}", render_histogram_table("per-collective responses", &rows));
-    let levels = per_kind_levels(&r.results);
-    println!("{}", render_level_table("per-collective error-rate levels", &levels));
-    println!("{}", fastfit::report::campaign_summary(&c, &r));
-    maybe_write(&csv, "cli_points.csv", &points_csv(&r.results));
+    match store_dir(flags) {
+        Some(dir) => {
+            let store = open_store(Path::new(&dir), &c, c.points(), None);
+            run_plain_campaign(&c, &csv, Some(&store));
+            finish_store(&store);
+        }
+        None => run_plain_campaign(&c, &csv, None),
+    }
+}
+
+fn cmd_status(dir: &Path) {
+    match read_store_meta(dir) {
+        Ok((id, meta)) => {
+            println!(
+                "store {}\ncampaign {} — workload {}, {} ranks, {} points × {} trials, params {}{}",
+                dir.display(),
+                &id[..16],
+                meta.workload,
+                meta.nranks,
+                meta.point_keys.len(),
+                meta.trials_per_point,
+                meta.params,
+                meta.ml
+                    .as_ref()
+                    .map(|m| format!(", ml target {}", m.target))
+                    .unwrap_or_default()
+            );
+        }
+        Err(e) => {
+            eprintln!("cannot read journal in {}: {}", dir.display(), e);
+            std::process::exit(1);
+        }
+    }
+    match StatusSnapshot::read_from(dir) {
+        Ok(s) => print!("{}", s.render()),
+        Err(e) => println!("no readable status.json yet ({})", e),
+    }
+}
+
+/// Rebuild the campaign a store directory belongs to and run it to
+/// completion. The journal's metadata supplies workload, ranks, seeds,
+/// trial count and parameter mode; LAMMPS run length (`--steps`) and the
+/// ML threshold (`--threshold`) must be re-given when they differed from
+/// the defaults — a wrong value is caught by the campaign-ID check, not
+/// silently mismeasured.
+fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
+    let (id, meta) = read_store_meta(dir).unwrap_or_else(|e| {
+        eprintln!("cannot read journal in {}: {}", dir.display(), e);
+        std::process::exit(1);
+    });
+    println!(
+        "resuming campaign {} — workload {}, {} points × {} trials",
+        &id[..16],
+        meta.workload,
+        meta.point_keys.len(),
+        meta.trials_per_point
+    );
+    let mut w = if meta.workload.eq_ignore_ascii_case("lammps") {
+        let steps = flags
+            .get("steps")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        lammps_workload(steps)
+    } else {
+        npb_workload(&meta.workload)
+    };
+    w.nranks = meta.nranks;
+    w.seed = meta.app_seed;
+    let mut cfg = CampaignConfig::from_env();
+    cfg.trials_per_point = meta.trials_per_point;
+    cfg.seed = meta.campaign_seed;
+    cfg.params = ParamsMode::from_token(&meta.params).unwrap_or_else(|| {
+        eprintln!("journal has unknown params mode {:?}", meta.params);
+        std::process::exit(1);
+    });
+    let csv = flags.get("csv").cloned();
+    let c = Campaign::prepare(w, cfg);
+    match &meta.ml {
+        Some(ml_meta) => {
+            let target = if ml_meta.target == "error_type" {
+                MlTarget::ErrorType
+            } else if let Some(k) = ml_meta
+                .target
+                .strip_prefix("rate_levels:")
+                .and_then(|k| k.parse().ok())
+            {
+                MlTarget::RateLevels(k)
+            } else {
+                eprintln!("journal has unknown ml target {:?}", ml_meta.target);
+                std::process::exit(1);
+            };
+            let threshold = flags
+                .get("threshold")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.65);
+            let ml_cfg = MlConfig {
+                accuracy_threshold: threshold,
+                ..Default::default()
+            };
+            let points = c.invocation_points();
+            let store = open_store(dir, &c, &points, Some((target, &ml_cfg)));
+            run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+            finish_store(&store);
+        }
+        None => {
+            let store = open_store(dir, &c, c.points(), None);
+            run_plain_campaign(&c, &csv, Some(&store));
+            finish_store(&store);
+        }
+    }
 }
 
 fn cmd_point(flags: &HashMap<String, String>) {

@@ -10,7 +10,11 @@
 
 use crate::fault::{FaultSpec, InjectorHook};
 use crate::features::FeatureExtractor;
-use crate::prune::{context_prune, ml_driven, semantic_prune, ContextPrune, MlConfig, MlOutcome, MlTarget, SemanticPrune};
+use crate::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
+use crate::prune::{
+    context_prune, ml_driven_observed, semantic_prune, ContextPrune, MlConfig, MlOutcome, MlTarget,
+    SemanticPrune,
+};
 use crate::response::{classify, Response, ResponseHistogram};
 use crate::space::{full_space_count, InjectionPoint, ParamsMode};
 use mpiprof::{profile_app, ApplicationProfile};
@@ -217,6 +221,16 @@ impl Campaign {
     /// Profiling phase: one clean recorded run, then semantic and context
     /// pruning.
     pub fn prepare(workload: Workload, cfg: CampaignConfig) -> Campaign {
+        Campaign::prepare_observed(workload, cfg, &NullObserver)
+    }
+
+    /// As [`Campaign::prepare`], reporting profile/prune phase timings to
+    /// `observer`.
+    pub fn prepare_observed(
+        workload: Workload,
+        cfg: CampaignConfig,
+        observer: &dyn CampaignObserver,
+    ) -> Campaign {
         let spec = JobSpec {
             nranks: workload.nranks,
             seed: workload.seed,
@@ -227,10 +241,19 @@ impl Campaign {
         let t0 = Instant::now();
         let (profile, golden) = profile_app(&spec, workload.app.clone());
         let golden_wall = t0.elapsed();
+        observer.on_event(&ProgressEvent::PhaseFinished {
+            phase: CampaignPhase::Profile,
+            wall: golden_wall,
+        });
+        let t1 = Instant::now();
         let semantic = semantic_prune(&profile);
         let context = context_prune(&profile, &semantic, &cfg.params);
         let full_points = full_space_count(&profile, &cfg.params);
         let extractor = FeatureExtractor::new(&profile);
+        observer.on_event(&ProgressEvent::PhaseFinished {
+            phase: CampaignPhase::Prune,
+            wall: t1.elapsed(),
+        });
         Campaign {
             workload,
             cfg,
@@ -278,10 +301,7 @@ impl Campaign {
     /// As [`Campaign::run_trial`], additionally reporting the rank of the
     /// first fatal event (error-propagation information).
     pub fn run_trial_detailed(&self, point: &InjectionPoint, bit: u64) -> TrialOutcome {
-        let hook = Arc::new(InjectorHook::new(FaultSpec {
-            point: *point,
-            bit,
-        }));
+        let hook = Arc::new(InjectorHook::new(FaultSpec { point: *point, bit }));
         let spec = self.trial_spec(hook.clone());
         let result = run_job(&spec, self.workload.app.clone());
         let response = classify(&result.outcome, &self.golden, self.workload.tolerance);
@@ -298,13 +318,40 @@ impl Campaign {
 
     /// Measure one point with `trials` random single-bit faults.
     pub fn measure_point(&self, point: &InjectionPoint, trials: usize, seed: u64) -> PointResult {
+        self.measure_point_observed(point, trials, seed, &NullObserver)
+    }
+
+    /// As [`Campaign::measure_point`], consulting `observer` before every
+    /// trial (checkpoint/resume) and reporting each completed trial.
+    ///
+    /// The fault bit of trial `i` is always the `i`-th draw from the
+    /// point's seeded RNG — replayed trials advance the stream exactly
+    /// like fresh ones — so a resumed point is bit-for-bit the same
+    /// measurement as an uninterrupted one.
+    pub fn measure_point_observed(
+        &self,
+        point: &InjectionPoint,
+        trials: usize,
+        seed: u64,
+        observer: &dyn CampaignObserver,
+    ) -> PointResult {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut hist = ResponseHistogram::new();
         let mut fired = 0u64;
         let mut fatal_ranks = Vec::new();
-        for _ in 0..trials {
+        for trial in 0..trials {
             let bit: u64 = rng.gen();
-            let t = self.run_trial_detailed(point, bit);
+            let (t, replayed) = match observer.replay(point, trial, bit) {
+                Some(t) => (t, true),
+                None => (self.run_trial_detailed(point, bit), false),
+            };
+            observer.on_event(&ProgressEvent::TrialFinished {
+                point,
+                trial,
+                bit,
+                outcome: &t,
+                replayed,
+            });
             hist.add(t.response);
             fired += u64::from(t.fired);
             if let Some(r) = t.fatal_rank {
@@ -332,25 +379,49 @@ impl Campaign {
         self.run_points(&points)
     }
 
+    /// As [`Campaign::run_all`], journaling/reporting through `observer`.
+    pub fn run_all_observed(&self, observer: &dyn CampaignObserver) -> CampaignResult {
+        let points = self.points().to_vec();
+        self.run_points_observed(&points, observer)
+    }
+
     /// Measure an explicit set of points (used for ablations and for
     /// studies that bypass one of the pruning stages).
     pub fn run_points(&self, points: &[InjectionPoint]) -> CampaignResult {
+        self.run_points_observed(points, &NullObserver)
+    }
+
+    /// As [`Campaign::run_points`], consulting `observer` for replayable
+    /// trials and reporting measure-phase progress.
+    pub fn run_points_observed(
+        &self,
+        points: &[InjectionPoint],
+        observer: &dyn CampaignObserver,
+    ) -> CampaignResult {
         let t0 = Instant::now();
         let trials = self.cfg.trials_per_point;
+        observer.on_event(&ProgressEvent::MeasureStarted {
+            points_total: points.len(),
+            trials_per_point: trials,
+        });
+        let measure = |(i, p): (usize, &InjectionPoint)| {
+            let r = self.measure_point_observed(p, trials, self.point_seed(i), observer);
+            observer.on_event(&ProgressEvent::PointFinished {
+                point: p,
+                result: &r,
+            });
+            r
+        };
         let results: Vec<PointResult> = if self.cfg.parallel {
-            points
-                .par_iter()
-                .enumerate()
-                .map(|(i, p)| self.measure_point(p, trials, self.point_seed(i)))
-                .collect()
+            points.par_iter().enumerate().map(measure).collect()
         } else {
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, p)| self.measure_point(p, trials, self.point_seed(i)))
-                .collect()
+            points.iter().enumerate().map(measure).collect()
         };
         let total_trials = results.iter().map(|r| r.hist.total()).sum();
+        observer.on_event(&ProgressEvent::PhaseFinished {
+            phase: CampaignPhase::Measure,
+            wall: t0.elapsed(),
+        });
         CampaignResult {
             results,
             total_trials,
@@ -386,6 +457,21 @@ impl Campaign {
     /// measured point results and the ML outcome (model, predictions,
     /// savings).
     pub fn run_with_ml(&self, target: MlTarget, ml: &MlConfig) -> (CampaignResult, MlOutcome) {
+        self.run_with_ml_observed(target, ml, &NullObserver)
+    }
+
+    /// As [`Campaign::run_with_ml`], consulting `observer` for replayable
+    /// trials and reporting per-round learning progress. Because the
+    /// measurement order and the train/verify splits depend only on
+    /// `ml.seed` and the measured labels, replaying the journaled trials
+    /// reproduces the feedback loop's exact trajectory — a campaign
+    /// interrupted mid-loop resumes at the first unmeasured trial.
+    pub fn run_with_ml_observed(
+        &self,
+        target: MlTarget,
+        ml: &MlConfig,
+        observer: &dyn CampaignObserver,
+    ) -> (CampaignResult, MlOutcome) {
         let t0 = Instant::now();
         let features: Vec<Vec<f64>> = self
             .points()
@@ -394,22 +480,44 @@ impl Campaign {
             .collect();
         let mut measured_results: Vec<PointResult> = Vec::new();
         let trials = self.cfg.trials_per_point;
-        let outcome = ml_driven(
+        observer.on_event(&ProgressEvent::MeasureStarted {
+            points_total: self.points().len(),
+            trials_per_point: trials,
+        });
+        let outcome = ml_driven_observed(
             &features,
             target,
             |i| {
-                let pr = self.measure_point(&self.points()[i], trials, self.point_seed(i));
+                let pr = self.measure_point_observed(
+                    &self.points()[i],
+                    trials,
+                    self.point_seed(i),
+                    observer,
+                );
                 let label = match target {
                     MlTarget::ErrorType => pr.hist.dominant().index(),
-                    MlTarget::RateLevels(k) => {
-                        crate::response::Levels::even(k).of(pr.error_rate())
-                    }
+                    MlTarget::RateLevels(k) => crate::response::Levels::even(k).of(pr.error_rate()),
                 };
+                observer.on_event(&ProgressEvent::PointFinished {
+                    point: &self.points()[i],
+                    result: &pr,
+                });
                 measured_results.push(pr);
                 label
             },
             ml,
+            |round, measured, accuracy| {
+                observer.on_event(&ProgressEvent::LearnRound {
+                    round,
+                    measured,
+                    accuracy,
+                });
+            },
         );
+        observer.on_event(&ProgressEvent::PhaseFinished {
+            phase: CampaignPhase::Learn,
+            wall: t0.elapsed(),
+        });
         let total_trials = measured_results.iter().map(|r| r.hist.total()).sum();
         (
             CampaignResult {

@@ -6,6 +6,18 @@ use crate::campaign::PointResult;
 use crate::response::{wilson_95, ResponseHistogram, ALL_RESPONSES};
 use std::fmt::Write as _;
 
+/// Quote a CSV field per RFC 4180: fields containing commas, quotes or
+/// line breaks are wrapped in double quotes with embedded quotes doubled.
+/// Call sites and histogram labels flow through here — a site path with a
+/// comma (or a future workload label with one) must not shift columns.
+pub fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
 /// Per-point results as CSV: one row per injection point with the full
 /// response histogram, error rate and its 95% Wilson interval.
 pub fn points_csv(results: &[PointResult]) -> String {
@@ -18,7 +30,7 @@ pub fn points_csv(results: &[PointResult]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
-            r.point.site,
+            csv_field(&r.point.site.to_string()),
             r.point.kind.name(),
             r.point.rank,
             r.point.invocation,
@@ -41,11 +53,10 @@ pub fn points_csv(results: &[PointResult]) -> String {
 
 /// Labelled histograms as CSV (one row per label; fractions per response).
 pub fn histograms_csv<L: std::fmt::Display>(rows: &[(L, ResponseHistogram)]) -> String {
-    let mut out = String::from(
-        "label,total,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop\n",
-    );
+    let mut out =
+        String::from("label,total,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop\n");
     for (label, h) in rows {
-        let _ = write!(out, "{},{}", label, h.total());
+        let _ = write!(out, "{},{}", csv_field(&label.to_string()), h.total());
         for r in ALL_RESPONSES {
             let _ = write!(out, ",{:.6}", h.fraction(r));
         }
@@ -115,7 +126,11 @@ mod tests {
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[1].contains("MPI_Allreduce"));
         assert!(lines[1].contains("count"));
-        assert!(lines[1].contains("0.3000"), "error rate column: {}", lines[1]);
+        assert!(
+            lines[1].contains("0.3000"),
+            "error rate column: {}",
+            lines[1]
+        );
     }
 
     #[test]
@@ -141,5 +156,50 @@ mod tests {
     #[test]
     fn maybe_write_none_is_noop() {
         maybe_write(&None, "x.csv", "a,b\n");
+    }
+
+    #[test]
+    fn csv_field_quotes_per_rfc4180() {
+        assert_eq!(csv_field("plain.rs:12"), "plain.rs:12");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn points_csv_quotes_awkward_site() {
+        let mut r = sample_result();
+        r.point.site = CallSite {
+            file: "dir,with\"odd.rs",
+            line: 7,
+        };
+        let csv = points_csv(&[r]);
+        let line = csv.trim().lines().nth(1).unwrap();
+        assert!(
+            line.starts_with("\"dir,with\"\"odd.rs:7\","),
+            "site must be RFC-4180 quoted: {}",
+            line
+        );
+        // The quoted site keeps the column count stable: splitting on commas
+        // outside quotes must still yield the header's 16 columns.
+        let mut cols = 1;
+        let mut in_quotes = false;
+        for ch in line.chars() {
+            match ch {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols, csv.lines().next().unwrap().split(',').count());
+    }
+
+    #[test]
+    fn histograms_csv_quotes_label() {
+        let r = sample_result();
+        let csv = histograms_csv(&[("cfg,a=1", r.hist)]);
+        let line = csv.trim().lines().nth(1).unwrap();
+        assert!(line.starts_with("\"cfg,a=1\","), "label quoted: {}", line);
     }
 }

@@ -72,8 +72,16 @@ impl CollHook for InjectorHook {
         }
         let bit = self.spec.bit;
         let fired = match p.param {
-            ParamId::SendBuf => call.sendbuf.as_deref_mut().map(|b| flip_buf(b, bit)).unwrap_or(false),
-            ParamId::RecvBuf => call.recvbuf.as_deref_mut().map(|b| flip_buf(b, bit)).unwrap_or(false),
+            ParamId::SendBuf => call
+                .sendbuf
+                .as_deref_mut()
+                .map(|b| flip_buf(b, bit))
+                .unwrap_or(false),
+            ParamId::RecvBuf => call
+                .recvbuf
+                .as_deref_mut()
+                .map(|b| flip_buf(b, bit))
+                .unwrap_or(false),
             ParamId::Count => {
                 // For v-collectives, flip a bit in one entry of the send
                 // counts vector; otherwise the scalar count.
@@ -145,7 +153,8 @@ mod tests {
             point: point(ParamId::Count),
             bit: 3,
         });
-        let mut params = CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         // Wrong rank.
         hook.before(&mut call_at(0, 1, &mut params, None));
         assert!(!hook.fired());
@@ -165,7 +174,8 @@ mod tests {
             point: point(ParamId::SendBuf),
             bit: 8 * 5 + 2, // byte 5, bit 2
         });
-        let mut params = CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = vec![0u8; 16];
         hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
         assert!(hook.fired());
@@ -180,7 +190,8 @@ mod tests {
             point: point(ParamId::SendBuf),
             bit: 16 * 8 + 1, // wraps to bit 1 of byte 0
         });
-        let mut params = CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = vec![0u8; 16];
         hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
         assert_eq!(buf[0], 1 << 1);
@@ -192,7 +203,8 @@ mod tests {
             point: point(ParamId::SendBuf),
             bit: 0,
         });
-        let mut params = CollParams::simple(0, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(0, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = Vec::new();
         hook.before(&mut call_at(2, 1, &mut params, Some(&mut buf)));
         assert!(!hook.fired());
@@ -204,7 +216,8 @@ mod tests {
             point: point(ParamId::Comm),
             bit: 40, // 40 % 32 = bit 8
         });
-        let mut params = CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let before = params.comm;
         hook.before(&mut call_at(2, 1, &mut params, None));
         assert_eq!(params.comm, before ^ (1 << 8));
@@ -216,7 +229,8 @@ mod tests {
             point: point(ParamId::Count),
             bit: 32 * 3 + 1, // entry 3, bit 1
         });
-        let mut params = CollParams::simple(4, Datatype::Int32, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut params =
+            CollParams::simple(4, Datatype::Int32, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         params.send_counts = Some(vec![4, 4, 4, 4, 4]);
         hook.before(&mut call_at(2, 1, &mut params, None));
         assert_eq!(params.send_counts.as_ref().unwrap()[3], 4 ^ 2);

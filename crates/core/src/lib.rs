@@ -46,6 +46,7 @@ pub mod campaign;
 pub mod export;
 pub mod fault;
 pub mod features;
+pub mod observe;
 pub mod prune;
 pub mod report;
 pub mod response;
@@ -54,22 +55,26 @@ pub mod space;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::campaign::{
-        ranks_from_env, Campaign, CampaignConfig, CampaignResult, PointResult, Workload,
+        ranks_from_env, Campaign, CampaignConfig, CampaignResult, PointResult, TrialOutcome,
+        Workload,
     };
+    pub use crate::export::{histograms_csv, maybe_write, points_csv, series_csv};
     pub use crate::fault::{FaultSpec, InjectorHook};
     pub use crate::features::{FeatureExtractor, FEATURE_NAMES, TABLE4_COLUMNS};
+    pub use crate::observe::{
+        point_key, CampaignObserver, CampaignPhase, NullObserver, ProgressEvent,
+    };
     pub use crate::prune::{
-        context_prune, ml_driven, semantic_prune, ContextPrune, MlConfig, MlOutcome, MlTarget,
-        SemanticPrune,
+        context_prune, ml_driven, ml_driven_observed, semantic_prune, ContextPrune, MlConfig,
+        MlOutcome, MlTarget, SemanticPrune,
     };
     pub use crate::report::{
         correlation_table, per_kind_histograms, per_kind_levels, per_param_histograms,
         render_histogram_table, render_level_table, render_table3, render_table4, Table3Row,
     };
-    pub use crate::export::{histograms_csv, maybe_write, points_csv, series_csv};
     pub use crate::response::{
-        classify, level_15_85, trials_for_half_width, wilson_95, wilson_interval, Levels,
-        Response, ResponseHistogram, ALL_RESPONSES,
+        classify, level_15_85, trials_for_half_width, wilson_95, wilson_interval, Levels, Response,
+        ResponseHistogram, ALL_RESPONSES,
     };
     pub use crate::space::{full_space, full_space_count, InjectionPoint, ParamsMode};
 }

@@ -5,8 +5,8 @@
 //! in a narrow Gaussian), so one representative invocation per distinct
 //! stack suffices.
 
-use crate::space::{InjectionPoint, ParamsMode};
 use crate::prune::semantic::SemanticPrune;
+use crate::space::{InjectionPoint, ParamsMode};
 use mpiprof::ApplicationProfile;
 
 /// Result of context pruning for a set of representative ranks.

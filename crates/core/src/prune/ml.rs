@@ -123,8 +123,21 @@ fn holdout_accuracy(
 pub fn ml_driven(
     features: &[Vec<f64>],
     target: MlTarget,
+    measure: impl FnMut(usize) -> usize,
+    cfg: &MlConfig,
+) -> MlOutcome {
+    ml_driven_observed(features, target, measure, cfg, |_, _, _| {})
+}
+
+/// As [`ml_driven`], reporting `(round, measured_so_far, accuracy)` after
+/// every train/verify round — the hook live telemetry (and the campaign
+/// observer seam) attach to.
+pub fn ml_driven_observed(
+    features: &[Vec<f64>],
+    target: MlTarget,
     mut measure: impl FnMut(usize) -> usize,
     cfg: &MlConfig,
+    mut on_round: impl FnMut(usize, usize, f64),
 ) -> MlOutcome {
     let n = features.len();
     let n_classes = target.n_classes();
@@ -140,7 +153,11 @@ pub fn ml_driven(
     let mut final_accuracy = 0.0;
 
     while cursor < n {
-        let want = if rounds == 0 { cfg.initial_batch } else { cfg.batch };
+        let want = if rounds == 0 {
+            cfg.initial_batch
+        } else {
+            cfg.batch
+        };
         let take = want.min(n - cursor);
         for _ in 0..take {
             let i = order[cursor];
@@ -150,8 +167,15 @@ pub fn ml_driven(
         }
         rounds += 1;
         let x: Vec<Vec<f64>> = measured.iter().map(|&i| features[i].clone()).collect();
-        final_accuracy =
-            holdout_accuracy(&x, &labels, n_classes, &cfg.forest, cfg.verify_splits, &mut rng);
+        final_accuracy = holdout_accuracy(
+            &x,
+            &labels,
+            n_classes,
+            &cfg.forest,
+            cfg.verify_splits,
+            &mut rng,
+        );
+        on_round(rounds, measured.len(), final_accuracy);
         if final_accuracy >= cfg.accuracy_threshold {
             reached = true;
             break;
@@ -221,11 +245,7 @@ mod tests {
         assert!(out.tests_saved > 0.5, "saved {}", out.tests_saved);
         assert_eq!(out.measured.len() + out.predicted.len(), 200);
         // Predictions on the learnable function are mostly right.
-        let correct = out
-            .predicted
-            .iter()
-            .filter(|(i, l)| *l == y[*i])
-            .count();
+        let correct = out.predicted.iter().filter(|(i, l)| *l == y[*i]).count();
         assert!(correct as f64 / out.predicted.len() as f64 > 0.8);
     }
 

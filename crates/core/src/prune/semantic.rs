@@ -76,8 +76,9 @@ mod tests {
 
     #[test]
     fn symmetric_app_keeps_one_rep() {
-        let recs: Vec<Vec<CallRecord>> =
-            (0..8).map(|_| vec![rec(CollKind::Allreduce, false)]).collect();
+        let recs: Vec<Vec<CallRecord>> = (0..8)
+            .map(|_| vec![rec(CollKind::Allreduce, false)])
+            .collect();
         let p = ApplicationProfile::new(recs);
         let s = semantic_prune(&p);
         assert_eq!(s.representatives, vec![0]);
@@ -100,8 +101,9 @@ mod tests {
     #[test]
     fn paper_scale_reduction_for_32_ranks() {
         // With 32 symmetric ranks the reduction matches Table III's ~96.9%.
-        let recs: Vec<Vec<CallRecord>> =
-            (0..32).map(|_| vec![rec(CollKind::Allreduce, false)]).collect();
+        let recs: Vec<Vec<CallRecord>> = (0..32)
+            .map(|_| vec![rec(CollKind::Allreduce, false)])
+            .collect();
         let s = semantic_prune(&ApplicationProfile::new(recs));
         assert!((s.reduction() - (1.0 - 1.0 / 32.0)).abs() < 1e-12);
     }

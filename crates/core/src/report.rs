@@ -140,7 +140,11 @@ pub fn render_histogram_table<K: std::fmt::Display>(
 /// Render a per-kind level table — the textual form of Figures 8 and 11.
 pub fn render_level_table(title: &str, levels: &BTreeMap<CollKind, [u64; 3]>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "--- {} (error-rate levels, low ≤15% < med < 85% ≤ high) ---", title);
+    let _ = writeln!(
+        out,
+        "--- {} (error-rate levels, low ≤15% < med < 85% ≤ high) ---",
+        title
+    );
     let _ = writeln!(out, "{:<16} {:>6} {:>6} {:>6}", "", "low", "med", "high");
     for (kind, counts) in levels {
         let total: u64 = counts.iter().sum();
@@ -163,13 +167,19 @@ pub fn render_level_table(title: &str, levels: &BTreeMap<CollKind, [u64; 3]>) ->
 /// Render Table III.
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "--- Table III: reduction after the three techniques ---");
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8} {:>8}", "App", "MPI", "App", "ML", "Total");
+    let _ = writeln!(
+        out,
+        "--- Table III: reduction after the three techniques ---"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "App", "MPI", "App", "ML", "Total"
+    );
     for r in rows {
-        let ml = r
-            .ml
-            .map(|v| format!("{:7.2}%", 100.0 * v))
-            .unwrap_or_else(|| "     NA".to_string());
+        let ml =
+            r.ml.map(|v| format!("{:7.2}%", 100.0 * v))
+                .unwrap_or_else(|| "     NA".to_string());
         let _ = writeln!(
             out,
             "{:<10} {:>7.2}% {:>7.2}% {} {:>7.2}%",
@@ -186,7 +196,10 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 /// Render Table IV.
 pub fn render_table4(rows: &[(String, f64)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "--- Table IV: feature ↔ error-rate-level correlation (Eq. 1) ---");
+    let _ = writeln!(
+        out,
+        "--- Table IV: feature ↔ error-rate-level correlation (Eq. 1) ---"
+    );
     for (name, v) in rows {
         let _ = writeln!(out, "{:<16} {:.2}", name, v);
     }
@@ -254,8 +267,16 @@ mod tests {
     #[test]
     fn per_kind_aggregation() {
         let results = vec![
-            pr(CollKind::Allreduce, ParamId::SendBuf, &[(Response::Success, 9), (Response::WrongAns, 1)]),
-            pr(CollKind::Allreduce, ParamId::SendBuf, &[(Response::Success, 8), (Response::SegFault, 2)]),
+            pr(
+                CollKind::Allreduce,
+                ParamId::SendBuf,
+                &[(Response::Success, 9), (Response::WrongAns, 1)],
+            ),
+            pr(
+                CollKind::Allreduce,
+                ParamId::SendBuf,
+                &[(Response::Success, 8), (Response::SegFault, 2)],
+            ),
             pr(CollKind::Barrier, ParamId::Comm, &[(Response::MpiErr, 10)]),
         ];
         let by_kind = per_kind_histograms(&results);
@@ -286,10 +307,8 @@ mod tests {
             &[(Response::MpiErr, 5), (Response::Success, 5)],
         )];
         let by_param = per_param_histograms(&results);
-        let rows: Vec<(&str, &ResponseHistogram)> = by_param
-            .iter()
-            .map(|(p, h)| (p.name(), h))
-            .collect();
+        let rows: Vec<(&str, &ResponseHistogram)> =
+            by_param.iter().map(|(p, h)| (p.name(), h)).collect();
         let table = render_histogram_table("params", &rows);
         assert!(table.contains("op"));
         assert!(table.contains("50.0%"));

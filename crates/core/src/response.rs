@@ -54,6 +54,11 @@ impl Response {
     pub fn is_error(self) -> bool {
         self != Response::Success
     }
+
+    /// Inverse of [`Response::name`] (used when replaying journals).
+    pub fn from_name(name: &str) -> Option<Response> {
+        ALL_RESPONSES.iter().copied().find(|r| r.name() == name)
+    }
 }
 
 impl std::fmt::Display for Response {
@@ -317,13 +322,18 @@ mod tests {
             ),
             Response::SegFault
         );
-        assert_eq!(classify(&JobOutcome::TimedOut, &golden, 0.0), Response::InfLoop);
+        assert_eq!(
+            classify(&JobOutcome::TimedOut, &golden, 0.0),
+            Response::InfLoop
+        );
     }
 
     #[test]
     fn tolerance_allows_statistical_outputs() {
         let golden = out(100.0);
-        let near = JobOutcome::Completed { outputs: out(101.0) };
+        let near = JobOutcome::Completed {
+            outputs: out(101.0),
+        };
         assert_eq!(classify(&near, &golden, 0.05), Response::Success);
         assert_eq!(classify(&near, &golden, 1e-6), Response::WrongAns);
     }

@@ -6,7 +6,7 @@
 //! collective; the pruning stages of §III carve it down.
 
 use mpiprof::ApplicationProfile;
-use simmpi::hook::{CallSite, CollKind, ParamId};
+use simmpi::hook::{CallSite, CollKind, ParamId, ALL_PARAMS};
 
 /// One fault injection point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +36,35 @@ pub enum ParamsMode {
 }
 
 impl ParamsMode {
+    /// Stable textual token for journals and CLIs (`data`, `all`,
+    /// `only:sendbuf+count`).
+    pub fn token(&self) -> String {
+        match self {
+            ParamsMode::DataBuffer => "data".to_string(),
+            ParamsMode::All => "all".to_string(),
+            ParamsMode::Only(list) => {
+                let names: Vec<&str> = list.iter().map(|p| p.name()).collect();
+                format!("only:{}", names.join("+"))
+            }
+        }
+    }
+
+    /// Inverse of [`ParamsMode::token`].
+    pub fn from_token(token: &str) -> Option<ParamsMode> {
+        match token {
+            "data" => Some(ParamsMode::DataBuffer),
+            "all" => Some(ParamsMode::All),
+            _ => {
+                let list = token.strip_prefix("only:")?;
+                let params: Option<Vec<ParamId>> = list
+                    .split('+')
+                    .map(|n| ALL_PARAMS.iter().copied().find(|p| p.name() == n))
+                    .collect();
+                Some(ParamsMode::Only(params?))
+            }
+        }
+    }
+
     /// The parameters to inject for a collective of this kind.
     pub fn params_for(&self, kind: CollKind) -> Vec<ParamId> {
         let available = kind.params();
@@ -117,6 +146,23 @@ mod tests {
             stack: vec!["main"],
             bytes: 8,
         }
+    }
+
+    #[test]
+    fn params_mode_token_roundtrip() {
+        for mode in [
+            ParamsMode::DataBuffer,
+            ParamsMode::All,
+            ParamsMode::Only(vec![ParamId::SendBuf, ParamId::Count]),
+        ] {
+            assert_eq!(ParamsMode::from_token(&mode.token()), Some(mode.clone()));
+        }
+        assert_eq!(
+            ParamsMode::Only(vec![ParamId::SendBuf, ParamId::Count]).token(),
+            "only:sendbuf+count"
+        );
+        assert_eq!(ParamsMode::from_token("only:bogus"), None);
+        assert_eq!(ParamsMode::from_token("bogus"), None);
     }
 
     #[test]

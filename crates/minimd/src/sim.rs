@@ -248,10 +248,9 @@ fn run_md(ctx: &mut RankCtx, cfg: &MdConfig) -> RankOutput {
             }
             atoms = stay;
             if nranks > 1 {
-                for (dir_peer_send, dir_peer_recv, outgoing, tag) in [
-                    (right, left, &go_right, 41),
-                    (left, right, &go_left, 42),
-                ] {
+                for (dir_peer_send, dir_peer_recv, outgoing, tag) in
+                    [(right, left, &go_right, 41), (left, right, &go_left, 42)]
+                {
                     let mut payload = Vec::with_capacity(outgoing.len() * 6);
                     for a in outgoing {
                         a.to_f64s(&mut payload);
@@ -311,7 +310,14 @@ fn run_md(ctx: &mut RankCtx, cfg: &MdConfig) -> RankOutput {
                     );
                     let mut incoming =
                         simmpi::ctx::guarded_vec::<f64>((count_in[0].max(0) as usize) * 6);
-                    ctx.sendrecv(&payload, peer_send, &mut incoming, peer_recv, tag + 2, world);
+                    ctx.sendrecv(
+                        &payload,
+                        peer_send,
+                        &mut incoming,
+                        peer_recv,
+                        tag + 2,
+                        world,
+                    );
                     for c in incoming.chunks_exact(6) {
                         ghosts.push(Atom::from_f64s(c));
                     }
@@ -391,9 +397,8 @@ fn run_md(ctx: &mut RankCtx, cfg: &MdConfig) -> RankOutput {
                 a.pos.iter().chain(a.vel.iter()).any(|v| !v.is_finite())
                     || a.vel.iter().any(|v| v.abs() > 1e3)
             });
-            let bad = ctx.errhdl(|ctx| {
-                ctx.allreduce_one(i32::from(anomaly), ReduceOp::Max, ctx.world())
-            });
+            let bad =
+                ctx.errhdl(|ctx| ctx.allreduce_one(i32::from(anomaly), ReduceOp::Max, ctx.world()));
             if bad != 0 {
                 ctx.abort(10, "minimd: atom state anomaly detected");
             }
@@ -492,7 +497,13 @@ mod tests {
 
     #[test]
     fn md_single_rank() {
-        let res = run_job(&spec(1), md_app(MdConfig { steps: 6, ..Default::default() }));
+        let res = run_job(
+            &spec(1),
+            md_app(MdConfig {
+                steps: 6,
+                ..Default::default()
+            }),
+        );
         assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
     }
 
@@ -525,13 +536,15 @@ mod tests {
         let res = run_job(&s, md_app(MdConfig::default()));
         assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
         use simmpi::hook::CollKind::*;
-        let kinds: std::collections::HashSet<_> =
-            res.records[0].iter().map(|r| r.kind).collect();
+        let kinds: std::collections::HashSet<_> = res.records[0].iter().map(|r| r.kind).collect();
         for k in [Allreduce, Bcast, Barrier, Allgather] {
             assert!(kinds.contains(&k), "missing {:?}", k);
         }
         // Allreduce dominates, as in LAMMPS (>84% there; here a majority).
-        let n_all = res.records[0].iter().filter(|r| r.kind == Allreduce).count();
+        let n_all = res.records[0]
+            .iter()
+            .filter(|r| r.kind == Allreduce)
+            .count();
         assert!(n_all * 2 > res.records[0].len());
     }
 }

@@ -51,7 +51,10 @@ pub fn rank_signature(records: &[CallRecord]) -> (u64, u64) {
 pub fn rank_classes(profile: &ApplicationProfile) -> Vec<Vec<usize>> {
     let mut by_sig: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
     for (rank, records) in profile.records.iter().enumerate() {
-        by_sig.entry(rank_signature(records)).or_default().push(rank);
+        by_sig
+            .entry(rank_signature(records))
+            .or_default()
+            .push(rank);
     }
     let mut classes: Vec<Vec<usize>> = by_sig.into_values().collect();
     classes.sort_by_key(|c| c[0]);

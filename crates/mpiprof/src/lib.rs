@@ -46,7 +46,10 @@ use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
 /// together with the golden outputs. Panics if the clean run does not
 /// complete — a clean run must succeed before any fault injection makes
 /// sense.
-pub fn profile_app(spec: &JobSpec, app: AppFn) -> (ApplicationProfile, Vec<simmpi::ctx::RankOutput>) {
+pub fn profile_app(
+    spec: &JobSpec,
+    app: AppFn,
+) -> (ApplicationProfile, Vec<simmpi::ctx::RankOutput>) {
     let mut spec = spec.clone();
     spec.record = true;
     spec.hook = None;

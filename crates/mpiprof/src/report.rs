@@ -9,7 +9,11 @@ use std::fmt::Write as _;
 pub fn communication_report(profile: &ApplicationProfile) -> String {
     let mut out = String::new();
     let total = profile.total_invocations();
-    let _ = writeln!(out, "--- Communication profile ({} ranks, {} collective invocations) ---", profile.nranks, total);
+    let _ = writeln!(
+        out,
+        "--- Communication profile ({} ranks, {} collective invocations) ---",
+        profile.nranks, total
+    );
     let _ = writeln!(
         out,
         "{:<22} {:<15} {:>6} {:>8} {:>10} {:>7} {:>8} {:>6}",

@@ -3,11 +3,17 @@
 
 use mpiprof::{rank_classes, rank_signature, ApplicationProfile};
 use proptest::prelude::*;
-use simmpi::hook::{CallSite, CollKind, ALL_COLL_KINDS};
-use simmpi::record::{CallRecord, Phase, ALL_PHASES};
+use simmpi::hook::{CallSite, ALL_COLL_KINDS};
+use simmpi::record::{CallRecord, ALL_PHASES};
 
 /// Synthesize a record from small integers (so proptest can shrink).
-fn rec(site_line: u32, kind_idx: usize, inv: u64, stack_idx: usize, phase_idx: usize) -> CallRecord {
+fn rec(
+    site_line: u32,
+    kind_idx: usize,
+    inv: u64,
+    stack_idx: usize,
+    phase_idx: usize,
+) -> CallRecord {
     const STACKS: [&[&str]; 4] = [
         &["main"],
         &["main", "solve"],
@@ -75,7 +81,7 @@ proptest! {
         let mut inv_counter = std::collections::HashMap::new();
         let records: Vec<CallRecord> = events
             .iter()
-            .map(|&(line, kind, stack, phase)| {
+            .map(|&(line, _kind, stack, phase)| {
                 // One kind per site line, as in real code.
                 let site_key = 1 + line % 5;
                 let c = inv_counter.entry(site_key).or_insert(0u64);

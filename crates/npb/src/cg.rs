@@ -221,8 +221,22 @@ mod tests {
     #[test]
     fn cg_matches_serial_reference() {
         // The distributed solve on 4 ranks equals the 1-rank solve.
-        let a = run_job(&spec(1), cg_app(CgConfig { grid: 8, iters: 6, shift: 4.0 }));
-        let b = run_job(&spec(4), cg_app(CgConfig { grid: 8, iters: 6, shift: 4.0 }));
+        let a = run_job(
+            &spec(1),
+            cg_app(CgConfig {
+                grid: 8,
+                iters: 6,
+                shift: 4.0,
+            }),
+        );
+        let b = run_job(
+            &spec(4),
+            cg_app(CgConfig {
+                grid: 8,
+                iters: 6,
+                shift: 4.0,
+            }),
+        );
         match (a.outcome, b.outcome) {
             (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
                 let ra = oa[0].scalars[0].1;
@@ -240,7 +254,14 @@ mod tests {
 
     #[test]
     fn cg_residual_decreases_strictly_at_start() {
-        let res = run_job(&spec(4), cg_app(CgConfig { grid: 8, iters: 4, shift: 4.0 }));
+        let res = run_job(
+            &spec(4),
+            cg_app(CgConfig {
+                grid: 8,
+                iters: 4,
+                shift: 4.0,
+            }),
+        );
         assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
     }
 

@@ -170,7 +170,11 @@ fn run_ft(ctx: &mut RankCtx, cfg: &FtConfig) -> RankOutput {
                 for x in 0..n {
                     // A smooth multi-mode field: cheap, deterministic, and
                     // identical for any rank layout.
-                    let (fx, fy, fz) = (x as f64 / n as f64, y as f64 / n as f64, z as f64 / n as f64);
+                    let (fx, fy, fz) = (
+                        x as f64 / n as f64,
+                        y as f64 / n as f64,
+                        z as f64 / n as f64,
+                    );
                     let re = (2.0 * std::f64::consts::PI * (fx + 2.0 * fy)).sin()
                         + 0.5 * (2.0 * std::f64::consts::PI * (3.0 * fz)).cos();
                     let im = (2.0 * std::f64::consts::PI * (fy + fz)).cos() * 0.25;
@@ -249,7 +253,9 @@ fn run_ft(ctx: &mut RankCtx, cfg: &FtConfig) -> RankOutput {
         for (a, b) in check.iter().zip(&w_spec) {
             max_err = max_err.max((*a - *b).abs());
         }
-        let finite = last_real.iter().all(|c| c.re.is_finite() && c.im.is_finite());
+        let finite = last_real
+            .iter()
+            .all(|c| c.re.is_finite() && c.im.is_finite());
         let gmax = ctx.errhdl(|ctx| ctx.allreduce_one(max_err, ReduceOp::Max, ctx.world()));
         finite && gmax < 1e-6 * n as f64
     });
@@ -301,12 +307,7 @@ fn fft_last_dim(slab: &Slab, data: &mut [Complex64], inverse: bool) {
 /// `[lx][y][z]` via `MPI_Alltoall`. The operation is an involution: calling
 /// it twice restores the original layout.
 #[track_caller]
-fn transpose(
-    ctx: &mut RankCtx,
-    slab: &Slab,
-    data: &[Complex64],
-    nranks: usize,
-) -> Vec<Complex64> {
+fn transpose(ctx: &mut RankCtx, slab: &Slab, data: &[Complex64], nranks: usize) -> Vec<Complex64> {
     let n = slab.n;
     let lp = slab.lp;
     let me = ctx.rank();
@@ -417,7 +418,14 @@ mod tests {
 
     #[test]
     fn ft_checksums_decay_with_evolution() {
-        let res = run_job(&spec(4), ft_app(FtConfig { n: 16, iters: 3, alpha: 1e-2 }));
+        let res = run_job(
+            &spec(4),
+            ft_app(FtConfig {
+                n: 16,
+                iters: 3,
+                alpha: 1e-2,
+            }),
+        );
         match res.outcome {
             JobOutcome::Completed { outputs } => {
                 let s = &outputs[0].scalars;

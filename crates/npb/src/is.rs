@@ -80,8 +80,12 @@ fn run_is(ctx: &mut RankCtx, cfg: &IsConfig) -> RankOutput {
     ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
     // Input validation (real benchmarks reject nonsense parameters; a
     // corrupted broadcast must not drive unbounded loops or allocations).
-    if params[0] < 0 || params[0] > 10_000_000 || params[1] <= 0 || params[1] > (1 << 30)
-        || params[2] < 0 || params[2] > 10_000
+    if params[0] < 0
+        || params[0] > 10_000_000
+        || params[1] <= 0
+        || params[1] > (1 << 30)
+        || params[2] < 0
+        || params[2] > 10_000
     {
         ctx.abort(1, "IS: invalid input parameters");
     }
@@ -122,8 +126,7 @@ fn run_is(ctx: &mut RankCtx, cfg: &IsConfig) -> RankOutput {
             for i in 1..n {
                 recv_displs[i] = recv_displs[i - 1] + recv_counts[i - 1];
             }
-            let mut incoming =
-                simmpi::ctx::guarded_vec::<i32>(total_recv.max(0) as usize);
+            let mut incoming = simmpi::ctx::guarded_vec::<i32>(total_recv.max(0) as usize);
             ctx.frame("exchange_keys", |ctx| {
                 ctx.alltoallv(
                     &keys,
@@ -158,9 +161,8 @@ fn run_is(ctx: &mut RankCtx, cfg: &IsConfig) -> RankOutput {
             true
         };
         // Count conservation (error-handling collective).
-        let total = ctx.errhdl(|ctx| {
-            ctx.allreduce_one(keys.len() as i64, ReduceOp::Sum, ctx.world())
-        });
+        let total =
+            ctx.errhdl(|ctx| ctx.allreduce_one(keys.len() as i64, ReduceOp::Sum, ctx.world()));
         let count_ok = total == (cfg.keys_per_rank * n) as i64;
         if !global_ok(ctx, sorted_locally && boundary_ok && count_ok) {
             ctx.abort(1, "IS: verification failed (order or count)");

@@ -217,8 +217,8 @@ fn run_lu(ctx: &mut RankCtx, cfg: &LuConfig) -> RankOutput {
     ctx.set_phase(Phase::End);
     let ok = ctx.frame("verify", |ctx| {
         let finite = u.iter().all(|v| v.is_finite());
-        let contracted = norms.last().copied().unwrap_or(f64::INFINITY)
-            < norms.first().copied().unwrap_or(0.0);
+        let contracted =
+            norms.last().copied().unwrap_or(f64::INFINITY) < norms.first().copied().unwrap_or(0.0);
         global_ok(ctx, finite && contracted)
     });
     if !ok {
@@ -273,7 +273,14 @@ mod tests {
 
     #[test]
     fn lu_single_rank() {
-        let res = run_job(&spec(1), lu_app(LuConfig { n: 16, iters: 4, omega: 1.1 }));
+        let res = run_job(
+            &spec(1),
+            lu_app(LuConfig {
+                n: 16,
+                iters: 4,
+                omega: 1.1,
+            }),
+        );
         assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
     }
 }

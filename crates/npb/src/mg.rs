@@ -243,8 +243,11 @@ fn run_mg(ctx: &mut RankCtx, cfg: &MgConfig) -> RankOutput {
             let zg = me * lz + (z - 1);
             for y in 0..n {
                 for x in 0..n {
-                    let (fx, fy, fz) =
-                        (x as f64 / n as f64, y as f64 / n as f64, zg as f64 / n as f64);
+                    let (fx, fy, fz) = (
+                        x as f64 / n as f64,
+                        y as f64 / n as f64,
+                        zg as f64 / n as f64,
+                    );
                     f[fine.idx(z, y, x)] = (2.0 * std::f64::consts::PI * fx).sin()
                         * (2.0 * std::f64::consts::PI * fy).cos()
                         + 0.3 * (2.0 * std::f64::consts::PI * 2.0 * fz).sin();
@@ -263,7 +266,10 @@ fn run_mg(ctx: &mut RankCtx, cfg: &MgConfig) -> RankOutput {
             ctx.frame("smooth_fine", |ctx| smooth(ctx, &fine, &mut u, &f, sweeps));
             if two_level {
                 let r = ctx.frame("residual", |ctx| residual(ctx, &fine, &mut u, &f));
-                let coarse = Level { n: n / 2, lz: lz / 2 };
+                let coarse = Level {
+                    n: n / 2,
+                    lz: lz / 2,
+                };
                 let rc = restrict(&fine, &coarse, &r);
                 let mut ec = vec![0.0f64; coarse.len()];
                 ctx.frame("smooth_coarse", |ctx| {
@@ -320,7 +326,12 @@ mod tests {
             JobOutcome::Completed { outputs } => {
                 let last = outputs[0].scalars[0].1;
                 let first = outputs[0].scalars[1].1;
-                assert!(last < first, "residual must decrease: {} vs {}", last, first);
+                assert!(
+                    last < first,
+                    "residual must decrease: {} vs {}",
+                    last,
+                    first
+                );
                 assert!(last.is_finite() && first > 0.0);
             }
             other => panic!("MG failed: {:?}", other),
@@ -341,7 +352,14 @@ mod tests {
 
     #[test]
     fn mg_single_rank_matches_structure() {
-        let res = run_job(&spec(1), mg_app(MgConfig { n: 8, cycles: 2, sweeps: 2 }));
+        let res = run_job(
+            &spec(1),
+            mg_app(MgConfig {
+                n: 8,
+                cycles: 2,
+                sweeps: 2,
+            }),
+        );
         assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
     }
 }

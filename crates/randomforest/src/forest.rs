@@ -77,7 +77,13 @@ impl RandomForest {
             } else {
                 (x.to_vec(), y.to_vec())
             };
-            trees.push(DecisionTree::fit(&bx, &by, n_classes, &tree_params, &mut rng));
+            trees.push(DecisionTree::fit(
+                &bx,
+                &by,
+                n_classes,
+                &tree_params,
+                &mut rng,
+            ));
         }
         let oob_accuracy = if params.bootstrap {
             let mut correct = 0usize;
@@ -167,7 +173,13 @@ impl RandomForest {
         correct
             .iter()
             .zip(&total)
-            .map(|(&c, &t)| if t == 0 { None } else { Some(c as f64 / t as f64) })
+            .map(|(&c, &t)| {
+                if t == 0 {
+                    None
+                } else {
+                    Some(c as f64 / t as f64)
+                }
+            })
             .collect()
     }
 

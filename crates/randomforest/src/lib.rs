@@ -38,5 +38,8 @@ pub mod stats;
 pub mod tree;
 
 pub use forest::{ForestParams, RandomForest};
-pub use stats::{correlation_eq1, correlation_literal, gaussian_fit, histogram, mean, pearson, stddev, GaussianFit};
+pub use stats::{
+    correlation_eq1, correlation_literal, gaussian_fit, histogram, mean, pearson, stddev,
+    GaussianFit,
+};
 pub use tree::{DecisionTree, TreeParams};

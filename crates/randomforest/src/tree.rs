@@ -126,9 +126,8 @@ impl DecisionTree {
     ) -> usize {
         let counts = class_counts(y, &idx, self.n_classes);
         let node_gini = gini(&counts);
-        let make_leaf = depth >= params.max_depth
-            || idx.len() < params.min_samples_split
-            || node_gini == 0.0;
+        let make_leaf =
+            depth >= params.max_depth || idx.len() < params.min_samples_split || node_gini == 0.0;
         if !make_leaf {
             if let Some((feature, threshold, gain, left_idx, right_idx)) =
                 self.best_split(x, y, &idx, params, rng)
@@ -184,7 +183,11 @@ impl DecisionTree {
         for &f in &features {
             // Sort sample indices by the feature value and scan thresholds.
             let mut order: Vec<usize> = idx.to_vec();
-            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let mut left_counts = vec![0usize; self.n_classes];
             let mut right_counts = parent_counts.clone();
             for w in 0..order.len() - 1 {
@@ -334,10 +337,10 @@ mod tests {
     #[test]
     fn fits_axis_aligned_split() {
         // Class = x0 > 0.5.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64 / 40.0, 0.0])
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0, 0.0]).collect();
+        let y: Vec<usize> = (0..40)
+            .map(|i| usize::from(i as f64 / 40.0 > 0.5))
             .collect();
-        let y: Vec<usize> = (0..40).map(|i| usize::from(i as f64 / 40.0 > 0.5)).collect();
         let t = DecisionTree::fit(&x, &y, 2, &TreeParams::default(), &mut rng());
         for (row, label) in x.iter().zip(&y) {
             assert_eq!(t.predict(row), *label);

@@ -62,7 +62,9 @@ mod tests {
     #[test]
     fn allgather_large_blocks() {
         let outs = run_ranks(4, |env, me| {
-            let block: Vec<u8> = (0..4096u32).map(|i| ((i as usize + me) % 256) as u8).collect();
+            let block: Vec<u8> = (0..4096u32)
+                .map(|i| ((i as usize + me) % 256) as u8)
+                .collect();
             allgather(env, block)
         });
         for (me, o) in outs.iter().enumerate() {

@@ -119,7 +119,11 @@ pub fn rabenseifner(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8
 pub fn allreduce_large(env: &CollEnv<'_>, op: ReduceOp, contrib: Vec<u8>) -> Vec<u8> {
     let n = env.n();
     let elem = env.dtype.size();
-    if n > 1 && n.is_power_of_two() && elem > 0 && !contrib.is_empty() && contrib.len().is_multiple_of(n * elem)
+    if n > 1
+        && n.is_power_of_two()
+        && elem > 0
+        && !contrib.is_empty()
+        && contrib.len().is_multiple_of(n * elem)
     {
         rabenseifner(env, op, contrib)
     } else {
@@ -270,11 +274,13 @@ mod tests {
                     round_off: 0,
                     dtype: env.dtype,
                 };
-                results.push(f64s(&allreduce(
-                    &env2,
-                    ReduceOp::Sum,
-                    bytes(&[(me + s as usize) as f64]),
-                ))[0]);
+                results.push(
+                    f64s(&allreduce(
+                        &env2,
+                        ReduceOp::Sum,
+                        bytes(&[(me + s as usize) as f64]),
+                    ))[0],
+                );
             }
             results
         });

@@ -135,12 +135,12 @@ pub fn gatherv(
             super::fatal(crate::error::MpiError::Truncate);
         }
         place(&mut all, me, &contrib);
-        for peer in 0..n {
+        for (peer, &cnt) in counts.iter().enumerate().take(n) {
             if peer == me {
                 continue;
             }
             env.poll();
-            let data = env.recv_exact(peer, 0, counts[peer]);
+            let data = env.recv_exact(peer, 0, cnt);
             place(&mut all, peer, &data);
         }
         Some(all)
@@ -257,9 +257,7 @@ mod tests {
     #[test]
     fn gather_concatenates_in_rank_order() {
         for n in [1usize, 3, 8] {
-            let outs = run_ranks(n, move |env, me| {
-                gather(env, 0, vec![me as u8; 2])
-            });
+            let outs = run_ranks(n, move |env, me| gather(env, 0, vec![me as u8; 2]));
             let root_out = outs[0].clone().unwrap();
             let expect: Vec<u8> = (0..n).flat_map(|r| [r as u8, r as u8]).collect();
             assert_eq!(root_out, expect);
@@ -283,10 +281,7 @@ mod tests {
             };
             scatter(&env2, 2, gathered, 1)
         });
-        assert_eq!(
-            outs,
-            vec![vec![10u8], vec![11u8], vec![12u8], vec![13u8]]
-        );
+        assert_eq!(outs, vec![vec![10u8], vec![11u8], vec![12u8], vec![13u8]]);
     }
 
     #[test]

@@ -148,9 +148,7 @@ pub fn coll_tag(comm_code: u32, seq: u64, round: u32) -> u64 {
 
 /// Build the 64-bit match tag for a user point-to-point message.
 pub fn p2p_tag(comm_code: u32, user_tag: i32) -> u64 {
-    ((comm_code as u64) << 32)
-        | ((TagKind::P2p as u64) << 28)
-        | ((user_tag as u64) & 0xF_FFFF)
+    ((comm_code as u64) << 32) | ((TagKind::P2p as u64) << 28) | ((user_tag as u64) & 0xF_FFFF)
 }
 
 #[cfg(test)]

@@ -171,7 +171,8 @@ mod tests {
     fn check_panics_with_killed() {
         let ctl = JobControl::new(1, Duration::from_secs(5));
         ctl.kill();
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctl.check())).unwrap_err();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctl.check())).unwrap_err();
         let rp = err.downcast_ref::<RankPanic>().unwrap();
         assert_eq!(*rp, RankPanic::Killed);
     }

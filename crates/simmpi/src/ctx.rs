@@ -146,7 +146,9 @@ impl RankCtx {
             phase: Phase::Init,
             errhdl_depth: 0,
             site_counts: HashMap::new(),
-            rng: ChaCha8Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: ChaCha8Rng::seed_from_u64(
+                seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
         }
     }
 
@@ -267,12 +269,7 @@ impl RankCtx {
     /// communicator); members are ordered by `(key, rank)`. Collective over
     /// `parent`. Returns the new handle, or `None` for negative color.
     #[track_caller]
-    pub fn comm_split(
-        &mut self,
-        parent: CommHandle,
-        color: i32,
-        key: i32,
-    ) -> Option<CommHandle> {
+    pub fn comm_split(&mut self, parent: CommHandle, color: i32, key: i32) -> Option<CommHandle> {
         // Exchange (color, key) with everyone via an internal allgather.
         let me_global = self.rank;
         let mut contrib = Vec::new();
@@ -388,12 +385,7 @@ impl RankCtx {
     /// Post a non-blocking receive. Matching is deferred until
     /// [`RankCtx::wait_into`]; [`RankCtx::test`] probes without blocking.
     /// (Sends are eager, so `isend` is just [`RankCtx::send`].)
-    pub fn irecv<T: MpiType>(
-        &mut self,
-        src: usize,
-        tag: i32,
-        comm: CommHandle,
-    ) -> RecvRequest<T> {
+    pub fn irecv<T: MpiType>(&mut self, src: usize, tag: i32, comm: CommHandle) -> RecvRequest<T> {
         if tag < 0 {
             self.fatal(MpiError::Tag);
         }
@@ -467,13 +459,7 @@ impl RankCtx {
         let mut image = Vec::new();
         T::write_bytes(buf, &mut image);
         let mut params = CollParams::simple(buf.len(), T::DTYPE, ReduceOp::Sum, root, comm);
-        let d = self.pre_coll(
-            CollKind::Bcast,
-            site,
-            &mut params,
-            Some(&mut image),
-            None,
-        );
+        let d = self.pre_coll(CollKind::Bcast, site, &mut params, Some(&mut image), None);
         let nbytes = self.nbytes(&d, 1);
         let env = self.env(&d);
         let me = env.me();
@@ -790,13 +776,7 @@ impl RankCtx {
     /// `MPI_Scan`: inclusive prefix reduction; rank `i` receives
     /// `op(send_0, ..., send_i)`.
     #[track_caller]
-    pub fn scan<T: MpiType>(
-        &mut self,
-        send: &[T],
-        recv: &mut [T],
-        op: ReduceOp,
-        comm: CommHandle,
-    ) {
+    pub fn scan<T: MpiType>(&mut self, send: &[T], recv: &mut [T], op: ReduceOp, comm: CommHandle) {
         let site = caller_site();
         let (mut simg, mut rimg) = (Vec::new(), Vec::new());
         T::write_bytes(send, &mut simg);
@@ -907,7 +887,11 @@ impl RankCtx {
         if my_count > rimg.len() + PAGE_SLACK {
             Self::segfault("scatterv receive window past the buffer");
         }
-        let data = if me == d.root { Some(simg.clone()) } else { None };
+        let data = if me == d.root {
+            Some(simg.clone())
+        } else {
+            None
+        };
         let mine = alg_scatterv(&env, d.root, data, &vc, &vd, my_count);
         self.writeback(recv, rimg, mine);
     }

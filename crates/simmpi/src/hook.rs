@@ -306,7 +306,11 @@ mod tests {
             );
         }
         assert_eq!(CollKind::Barrier.params().len(), 1);
-        assert_eq!(CollKind::Allreduce.params().len(), 6, "Figure 9's six params");
+        assert_eq!(
+            CollKind::Allreduce.params().len(),
+            6,
+            "Figure 9's six params"
+        );
     }
 
     #[test]

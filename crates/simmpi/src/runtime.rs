@@ -156,9 +156,7 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
                         let fatal = match payload.downcast::<RankPanic>() {
                             Ok(rp) => match *rp {
                                 RankPanic::Mpi(e) => Some(FatalKind::Mpi(e)),
-                                RankPanic::SegFault(d) => {
-                                    Some(FatalKind::SegFault { detail: d })
-                                }
+                                RankPanic::SegFault(d) => Some(FatalKind::SegFault { detail: d }),
                                 RankPanic::AppAbort { code, msg } => {
                                     Some(FatalKind::AppAbort { code, msg })
                                 }
@@ -193,14 +191,16 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
         let _ = h.join();
     }
 
-    let recs: Vec<Vec<CallRecord>> = records.iter().map(|m| std::mem::take(&mut *m.lock())).collect();
+    let recs: Vec<Vec<CallRecord>> = records
+        .iter()
+        .map(|m| std::mem::take(&mut *m.lock()))
+        .collect();
     let outcome = if let Some((rank, kind)) = ctl.fatal() {
         JobOutcome::Fatal { rank, kind }
     } else if !finished_in_time {
         JobOutcome::TimedOut
     } else {
-        let outs: Option<Vec<RankOutput>> =
-            outputs.iter().map(|m| m.lock().clone()).collect();
+        let outs: Option<Vec<RankOutput>> = outputs.iter().map(|m| m.lock().clone()).collect();
         match outs {
             Some(outputs) => JobOutcome::Completed { outputs },
             // A rank vanished without a fatal record or timeout: treat as
@@ -566,7 +566,7 @@ mod nonblocking_tests {
                     let req = ctx.irecv::<f64>(1, 7, world);
                     assert!(!ctx.test(&req), "nothing sent yet");
                     ctx.barrier(world); // lets rank 1 send
-                    // Poll until the message lands (eager, so promptly).
+                                        // Poll until the message lands (eager, so promptly).
                     while !ctx.test(&req) {
                         std::thread::yield_now();
                     }

@@ -107,7 +107,10 @@ impl Fabric {
 
     /// Number of messages currently queued at `me` (diagnostics).
     pub fn queued(&self, me: usize) -> usize {
-        self.boxes.get(me).map(|m| m.queue.lock().len()).unwrap_or(0)
+        self.boxes
+            .get(me)
+            .map(|m| m.queue.lock().len())
+            .unwrap_or(0)
     }
 }
 
@@ -156,10 +159,7 @@ mod tests {
             f2.recv(0, 0, 1, &c);
         }))
         .unwrap_err();
-        assert_eq!(
-            *err.downcast_ref::<RankPanic>().unwrap(),
-            RankPanic::Killed
-        );
+        assert_eq!(*err.downcast_ref::<RankPanic>().unwrap(), RankPanic::Killed);
     }
 
     #[test]

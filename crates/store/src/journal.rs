@@ -1,0 +1,681 @@
+//! The write-ahead trial journal.
+//!
+//! A campaign directory contains `journal.jsonl`: one JSON object per
+//! line, appended and flushed as the campaign runs. The first record is
+//! always the campaign metadata (with its content-addressed ID); every
+//! record after that is a completed unit of work — a fault-injection
+//! trial, a finished phase, or an ML feedback round. Appending *before*
+//! the campaign moves on makes the journal a write-ahead log: whatever
+//! the journal holds has definitely been paid for, so an interrupted
+//! campaign resumes by replaying it and re-running only the rest.
+//!
+//! The reader is truncation-tolerant: a process killed mid-append leaves
+//! a partial final line, which is detected and dropped (that trial simply
+//! re-runs on resume). Corruption anywhere *else* is an error — a journal
+//! with a damaged middle cannot be trusted. Unknown record types are
+//! skipped so that older readers survive newer writers.
+
+use crate::id::sha256_hex;
+use crate::json::Json;
+use crate::StoreError;
+use fastfit::prelude::{CampaignPhase, Response, TrialOutcome};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Journal format version, bumped on incompatible changes.
+pub const JOURNAL_FORMAT: u64 = 1;
+
+/// Journal file name inside a campaign directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// How the ML feedback loop was configured, for resume validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlMeta {
+    /// Prediction target token (`error_type` or `rate_levels:<k>`).
+    pub target: String,
+    /// SHA-256 digest of the full `MlConfig` debug encoding. An opaque
+    /// fingerprint: resuming under a different ML configuration would
+    /// follow a different measurement trajectory, so it must be refused.
+    pub config_digest: String,
+}
+
+/// Identity of a campaign: everything that determines which trials will
+/// run and what their outcomes mean. Two campaigns with equal metadata
+/// are the same campaign; the content-addressed
+/// [`campaign_id`](CampaignMeta::campaign_id) makes that checkable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignMeta {
+    /// Workload display name.
+    pub workload: String,
+    /// Ranks per job.
+    pub nranks: usize,
+    /// Application seed (golden and injected runs).
+    pub app_seed: u64,
+    /// Output-comparison tolerance.
+    pub tolerance: f64,
+    /// Trials per injection point.
+    pub trials_per_point: usize,
+    /// `ParamsMode` token (`data` / `all` / `only:...`).
+    pub params: String,
+    /// Fault-bit selection seed.
+    pub campaign_seed: u64,
+    /// ML-loop configuration, when the campaign is ML-driven.
+    pub ml: Option<MlMeta>,
+    /// Keys of the points this campaign measures, in measurement order.
+    /// Order matters: the per-point RNG seed is derived from the index.
+    pub point_keys: Vec<String>,
+}
+
+impl CampaignMeta {
+    /// Canonical JSON encoding (sorted keys, lossless integers).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("format", Json::U64(JOURNAL_FORMAT)),
+            ("workload", Json::Str(self.workload.clone())),
+            ("nranks", Json::U64(self.nranks as u64)),
+            ("app_seed", Json::U64(self.app_seed)),
+            ("tolerance", Json::F64(self.tolerance)),
+            ("trials_per_point", Json::U64(self.trials_per_point as u64)),
+            ("params", Json::Str(self.params.clone())),
+            ("campaign_seed", Json::U64(self.campaign_seed)),
+            (
+                "point_keys",
+                Json::Arr(self.point_keys.iter().cloned().map(Json::Str).collect()),
+            ),
+        ];
+        if let Some(ml) = &self.ml {
+            pairs.push((
+                "ml",
+                Json::obj([
+                    ("target", Json::Str(ml.target.clone())),
+                    ("config_digest", Json::Str(ml.config_digest.clone())),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the journal's meta record.
+    pub fn from_json(v: &Json) -> Result<CampaignMeta, StoreError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| StoreError::Corrupt(format!("meta missing field {:?}", k)))
+        };
+        let format = field("format")?.as_u64().unwrap_or(0);
+        if format != JOURNAL_FORMAT {
+            return Err(StoreError::Mismatch(format!(
+                "journal format {} (this build reads format {})",
+                format, JOURNAL_FORMAT
+            )));
+        }
+        let str_field = |k: &str| -> Result<String, StoreError> {
+            Ok(field(k)?
+                .as_str()
+                .ok_or_else(|| StoreError::Corrupt(format!("meta field {:?} not a string", k)))?
+                .to_string())
+        };
+        let u64_field = |k: &str| -> Result<u64, StoreError> {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| StoreError::Corrupt(format!("meta field {:?} not a u64", k)))
+        };
+        let ml = match v.get("ml") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(MlMeta {
+                target: m
+                    .get("target")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("ml.target missing".into()))?
+                    .to_string(),
+                config_digest: m
+                    .get("config_digest")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("ml.config_digest missing".into()))?
+                    .to_string(),
+            }),
+        };
+        let point_keys = field("point_keys")?
+            .as_arr()
+            .ok_or_else(|| StoreError::Corrupt("meta point_keys not an array".into()))?
+            .iter()
+            .map(|k| {
+                k.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| StoreError::Corrupt("point key not a string".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignMeta {
+            workload: str_field("workload")?,
+            nranks: u64_field("nranks")? as usize,
+            app_seed: u64_field("app_seed")?,
+            tolerance: field("tolerance")?
+                .as_f64()
+                .ok_or_else(|| StoreError::Corrupt("meta tolerance not a number".into()))?,
+            trials_per_point: u64_field("trials_per_point")? as usize,
+            params: str_field("params")?,
+            campaign_seed: u64_field("campaign_seed")?,
+            ml,
+            point_keys,
+        })
+    }
+
+    /// The content-addressed campaign ID: SHA-256 of the canonical JSON
+    /// encoding. Any change to the metadata — one more point, a different
+    /// seed, a different trial count — yields a different ID.
+    pub fn campaign_id(&self) -> String {
+        sha256_hex(self.to_json().encode().as_bytes())
+    }
+}
+
+/// One completed fault-injection trial, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Point key (`fastfit::observe::point_key`).
+    pub key: String,
+    /// Trial index within the point.
+    pub trial: usize,
+    /// The injected bit (full-range `u64`, kept lossless).
+    pub bit: u64,
+    /// Classified response.
+    pub response: Response,
+    /// Whether the fault fired.
+    pub fired: bool,
+    /// Rank of the first fatal event, for fatal responses.
+    pub fatal_rank: Option<usize>,
+}
+
+impl TrialRecord {
+    /// Reconstruct the in-memory outcome.
+    pub fn outcome(&self) -> TrialOutcome {
+        TrialOutcome {
+            response: self.response,
+            fired: self.fired,
+            fatal_rank: self.fatal_rank,
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// First record of every journal: identity + full metadata.
+    Meta {
+        /// `meta.campaign_id()`, stored redundantly so readers can check
+        /// identity without re-deriving it.
+        id: String,
+        /// The campaign metadata.
+        meta: CampaignMeta,
+    },
+    /// A completed trial.
+    Trial(TrialRecord),
+    /// A completed phase with its wall time.
+    Phase {
+        /// Which phase.
+        phase: CampaignPhase,
+        /// Wall seconds.
+        secs: f64,
+    },
+    /// A completed ML feedback round.
+    Round {
+        /// 1-based round number.
+        round: usize,
+        /// Points measured so far.
+        measured: usize,
+        /// Held-out accuracy after the round.
+        accuracy: f64,
+    },
+}
+
+impl Record {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            Record::Meta { id, meta } => Json::obj([
+                ("t", Json::Str("meta".into())),
+                ("id", Json::Str(id.clone())),
+                ("meta", meta.to_json()),
+            ]),
+            Record::Trial(t) => Json::obj([
+                ("t", Json::Str("trial".into())),
+                ("k", Json::Str(t.key.clone())),
+                ("n", Json::U64(t.trial as u64)),
+                ("bit", Json::U64(t.bit)),
+                ("resp", Json::Str(t.response.name().into())),
+                ("fired", Json::Bool(t.fired)),
+                (
+                    "fatal",
+                    match t.fatal_rank {
+                        Some(r) => Json::U64(r as u64),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Record::Phase { phase, secs } => Json::obj([
+                ("t", Json::Str("phase".into())),
+                ("phase", Json::Str(phase.name().into())),
+                ("secs", Json::F64(*secs)),
+            ]),
+            Record::Round {
+                round,
+                measured,
+                accuracy,
+            } => Json::obj([
+                ("t", Json::Str("round".into())),
+                ("round", Json::U64(*round as u64)),
+                ("measured", Json::U64(*measured as u64)),
+                ("acc", Json::F64(*accuracy)),
+            ]),
+        };
+        v.encode()
+    }
+
+    /// Decode one journal line. `Ok(None)` means a record type this
+    /// reader does not know (skipped for forward compatibility).
+    pub fn decode(line: &str) -> Result<Option<Record>, StoreError> {
+        let v = Json::parse(line).map_err(StoreError::Json)?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| StoreError::Corrupt("record missing \"t\"".into()))?;
+        match t {
+            "meta" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("meta record missing id".into()))?
+                    .to_string();
+                let meta = CampaignMeta::from_json(
+                    v.get("meta")
+                        .ok_or_else(|| StoreError::Corrupt("meta record missing meta".into()))?,
+                )?;
+                Ok(Some(Record::Meta { id, meta }))
+            }
+            "trial" => {
+                let key = v
+                    .get("k")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("trial missing key".into()))?
+                    .to_string();
+                let trial = v
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| StoreError::Corrupt("trial missing index".into()))?
+                    as usize;
+                let bit = v
+                    .get("bit")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| StoreError::Corrupt("trial missing bit".into()))?;
+                let resp_name = v
+                    .get("resp")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("trial missing resp".into()))?;
+                let response = Response::from_name(resp_name).ok_or_else(|| {
+                    StoreError::Corrupt(format!("unknown response {:?}", resp_name))
+                })?;
+                let fired = v
+                    .get("fired")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| StoreError::Corrupt("trial missing fired".into()))?;
+                let fatal_rank =
+                    match v.get("fatal") {
+                        None | Some(Json::Null) => None,
+                        Some(r) => Some(r.as_u64().ok_or_else(|| {
+                            StoreError::Corrupt("trial fatal rank not a u64".into())
+                        })? as usize),
+                    };
+                Ok(Some(Record::Trial(TrialRecord {
+                    key,
+                    trial,
+                    bit,
+                    response,
+                    fired,
+                    fatal_rank,
+                })))
+            }
+            "phase" => {
+                let name = v
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::Corrupt("phase record missing phase".into()))?;
+                let phase = CampaignPhase::from_name(name)
+                    .ok_or_else(|| StoreError::Corrupt(format!("unknown phase {:?}", name)))?;
+                let secs = v
+                    .get("secs")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| StoreError::Corrupt("phase record missing secs".into()))?;
+                Ok(Some(Record::Phase { phase, secs }))
+            }
+            "round" => {
+                let u = |k: &str| {
+                    v.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| StoreError::Corrupt(format!("round missing {:?}", k)))
+                };
+                Ok(Some(Record::Round {
+                    round: u("round")? as usize,
+                    measured: u("measured")? as usize,
+                    accuracy: v
+                        .get("acc")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| StoreError::Corrupt("round missing acc".into()))?,
+                }))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Everything a journal holds, after a replay read.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// The leading meta record, if the journal has one.
+    pub meta: Option<(String, CampaignMeta)>,
+    /// All journaled trials, in append order.
+    pub trials: Vec<TrialRecord>,
+    /// Phase completions.
+    pub phases: Vec<(CampaignPhase, f64)>,
+    /// ML rounds.
+    pub rounds: Vec<(usize, usize, f64)>,
+    /// `true` when a partial final line was dropped (crash mid-append).
+    pub truncated_tail: bool,
+    /// Byte length of the valid prefix (everything up to and including
+    /// the last readable line). [`repair_journal`] truncates to this.
+    pub valid_len: u64,
+}
+
+/// Read and replay a journal file. Tolerates a truncated final line;
+/// rejects corruption anywhere else.
+pub fn read_journal(path: &Path) -> Result<JournalContents, StoreError> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(StoreError::Io)?;
+    let mut out = JournalContents::default();
+    let lines: Vec<&str> = text.split('\n').collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    let mut offset = 0u64;
+    for (i, raw) in lines.iter().enumerate() {
+        // `split` drops the separators: every line but the last had one.
+        let line_len = raw.len() as u64 + u64::from(i + 1 < lines.len());
+        let line = raw.trim();
+        if line.is_empty() {
+            offset += line_len;
+            out.valid_len = out.valid_len.max(offset);
+            continue;
+        }
+        let decoded = match Record::decode(line) {
+            Ok(d) => d,
+            Err(e) => {
+                // Only the final (possibly unterminated) line may be
+                // damaged — that is the crash-mid-append case.
+                if Some(i) == last_nonempty {
+                    out.truncated_tail = true;
+                    break;
+                }
+                return Err(StoreError::Corrupt(format!(
+                    "journal line {} unreadable: {}",
+                    i + 1,
+                    e
+                )));
+            }
+        };
+        offset += line_len;
+        out.valid_len = out.valid_len.max(offset);
+        match decoded {
+            Some(Record::Meta { id, meta }) => {
+                if out.meta.is_some() {
+                    return Err(StoreError::Corrupt("duplicate meta record".into()));
+                }
+                out.meta = Some((id, meta));
+            }
+            Some(Record::Trial(t)) => out.trials.push(t),
+            Some(Record::Phase { phase, secs }) => out.phases.push((phase, secs)),
+            Some(Record::Round {
+                round,
+                measured,
+                accuracy,
+            }) => out.rounds.push((round, measured, accuracy)),
+            None => {} // unknown record type: skip
+        }
+    }
+    Ok(out)
+}
+
+/// Read a journal and, if it ends in a partial line, truncate the file
+/// back to its valid prefix so that subsequent appends start on a fresh
+/// line. Resume always goes through this — appending after a damaged
+/// tail would otherwise glue new records onto the garbage.
+pub fn repair_journal(path: &Path) -> Result<JournalContents, StoreError> {
+    let contents = read_journal(path)?;
+    if contents.truncated_tail {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(StoreError::Io)?;
+        f.set_len(contents.valid_len).map_err(StoreError::Io)?;
+        f.sync_data().map_err(StoreError::Io)?;
+    }
+    Ok(contents)
+}
+
+/// Appending journal writer. Each record is flushed to the OS as it is
+/// appended (write-ahead semantics); `fsync` runs every
+/// [`SYNC_EVERY`](JournalWriter::SYNC_EVERY) records and on [`sync`]
+/// (JournalWriter::sync) to bound both data loss and syscall cost.
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    appended_since_sync: usize,
+}
+
+impl JournalWriter {
+    /// Records between fsyncs.
+    pub const SYNC_EVERY: usize = 64;
+
+    /// Open (creating or appending) the journal at `path`.
+    pub fn open(path: &Path) -> Result<JournalWriter, StoreError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(StoreError::Io)?;
+        Ok(JournalWriter {
+            file: BufWriter::new(file),
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Append one record (newline-terminated, flushed).
+    pub fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let line = record.encode();
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.write_all(b"\n"))
+            .and_then(|_| self.file.flush())
+            .map_err(StoreError::Io)?;
+        self.appended_since_sync += 1;
+        if self.appended_since_sync >= Self::SYNC_EVERY {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.flush().map_err(StoreError::Io)?;
+        self.file.get_ref().sync_data().map_err(StoreError::Io)?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> CampaignMeta {
+        CampaignMeta {
+            workload: "tiny".into(),
+            nranks: 4,
+            app_seed: 0x5EED,
+            tolerance: 1e-9,
+            trials_per_point: 6,
+            params: "data".into(),
+            campaign_seed: 0xFA57,
+            ml: Some(MlMeta {
+                target: "rate_levels:3".into(),
+                config_digest: "d".repeat(64),
+            }),
+            point_keys: vec!["a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into()],
+        }
+    }
+
+    fn trial(n: usize) -> TrialRecord {
+        TrialRecord {
+            key: "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
+            trial: n,
+            bit: u64::MAX - n as u64,
+            response: Response::MpiErr,
+            fired: true,
+            fatal_rank: Some(3),
+        }
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let records = [
+            Record::Meta {
+                id: meta().campaign_id(),
+                meta: meta(),
+            },
+            Record::Trial(trial(5)),
+            Record::Phase {
+                phase: CampaignPhase::Measure,
+                secs: 1.25,
+            },
+            Record::Round {
+                round: 2,
+                measured: 18,
+                accuracy: 0.75,
+            },
+        ];
+        for r in &records {
+            let line = r.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Record::decode(&line).unwrap().as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn campaign_id_is_content_addressed() {
+        let a = meta();
+        assert_eq!(a.campaign_id(), meta().campaign_id(), "deterministic");
+        assert_eq!(a.campaign_id().len(), 64);
+        for change in [
+            |m: &mut CampaignMeta| m.workload = "other".into(),
+            |m: &mut CampaignMeta| m.campaign_seed += 1,
+            |m: &mut CampaignMeta| m.trials_per_point += 1,
+            |m: &mut CampaignMeta| m.point_keys.push("x".into()),
+            |m: &mut CampaignMeta| m.ml = None,
+        ] {
+            let mut b = meta();
+            change(&mut b);
+            assert_ne!(a.campaign_id(), b.campaign_id());
+        }
+    }
+
+    #[test]
+    fn meta_json_roundtrip() {
+        for m in [meta(), CampaignMeta { ml: None, ..meta() }] {
+            let decoded = CampaignMeta::from_json(&m.to_json()).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(decoded.campaign_id(), m.campaign_id());
+        }
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_and_truncation() {
+        let dir = std::env::temp_dir().join(format!(
+            "fastfit-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        let m = meta();
+        {
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(&Record::Meta {
+                id: m.campaign_id(),
+                meta: m.clone(),
+            })
+            .unwrap();
+            for n in 0..5 {
+                w.append(&Record::Trial(trial(n))).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let full = read_journal(&path).unwrap();
+        assert_eq!(full.meta.as_ref().unwrap().0, m.campaign_id());
+        assert_eq!(full.trials.len(), 5);
+        assert!(!full.truncated_tail);
+
+        // Simulate a crash mid-append: chop the file mid-line.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let cut = read_journal(&path).unwrap();
+        assert_eq!(cut.trials.len(), 4, "partial last trial dropped");
+        assert!(cut.truncated_tail);
+
+        // Resume path: repair truncates the damaged tail, after which
+        // appends land on a fresh line and the journal reads clean.
+        let repaired = repair_journal(&path).unwrap();
+        assert_eq!(repaired.trials.len(), 4);
+        {
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(&Record::Trial(trial(9))).unwrap();
+        }
+        let merged = read_journal(&path).unwrap();
+        assert_eq!(merged.trials.len(), 5);
+        assert!(!merged.truncated_tail);
+        assert_eq!(merged.trials[4], trial(9));
+
+        // Corruption in the *middle* is never forgiven.
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines[2] = "{\"t\":\"trial\",oops".into();
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(matches!(read_journal(&path), Err(StoreError::Corrupt(_))));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_record_types_are_skipped() {
+        let dir = std::env::temp_dir().join(format!(
+            "fastfit-journal-unknown-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{{\"t\":\"future-extension\",\"x\":1}}\n{}\n",
+                Record::Trial(trial(0)).encode(),
+                Record::Trial(trial(1)).encode()
+            ),
+        )
+        .unwrap();
+        let c = read_journal(&path).unwrap();
+        assert_eq!(c.trials.len(), 2);
+        assert!(!c.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

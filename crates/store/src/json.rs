@@ -1,0 +1,449 @@
+//! Minimal JSON encode/decode for the journal and status files.
+//!
+//! The store keeps its on-disk formats to plain JSON Lines so that any
+//! external tool can consume them, but the workspace is `std`-only by
+//! policy — so this module implements the small JSON subset we need
+//! rather than pulling in serde. Integers are kept lossless ([`Json::U64`]
+//! / [`Json::I64`]) because fault bits are full-range `u64`s that do not
+//! survive an `f64` round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (lossless `u64`).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Any number written with a fraction or exponent.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object. Sorted keys (BTreeMap) make encoding canonical, which the
+    /// content-addressed campaign ID relies on.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value (also accepts exact non-negative `I64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array value.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Encode to a compact single-line string. Object keys are emitted in
+    /// sorted order, so equal values encode identically (canonical form).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(v) => {
+                let _ = write!(out, "{}", v);
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{}", v);
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Emit a fraction so the value re-parses as F64.
+                    if *v == v.trunc() && v.abs() < 1e15 {
+                        let _ = write!(out, "{:.1}", v);
+                    } else {
+                        let _ = write!(out, "{}", v);
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON value from `input` (the complete string must be one
+    /// value plus optional whitespace).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn at(pos: usize, msg: impl Into<String>) -> Self {
+        JsonError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, format!("expected {:?}", lit)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => {
+            expect(b, pos, "null")?;
+            Ok(Json::Null)
+        }
+        Some(b't') => {
+            expect(b, pos, "true")?;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') => {
+            expect(b, pos, "false")?;
+            Ok(Json::Bool(false))
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError::at(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+                        // Surrogates are not needed for our own output;
+                        // map unpaired ones to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always well-formed).
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return Err(JsonError::at(start, "expected number"));
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if stripped.parse::<i64>().is_ok() {
+                return Ok(Json::I64(text.parse().unwrap()));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| JsonError::at(start, "bad number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for (v, s) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::U64(u64::MAX), "18446744073709551615"),
+            (Json::I64(-42), "-42"),
+            (Json::Str("a\"b\\c\nd".into()), r#""a\"b\\c\nd""#),
+        ] {
+            assert_eq!(v.encode(), s);
+            assert_eq!(Json::parse(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u64_bits_are_lossless() {
+        // 2^63 + 1 is not representable in f64; the round-trip must hold.
+        let v = Json::U64((1 << 63) + 1);
+        assert_eq!(
+            Json::parse(&v.encode()).unwrap().as_u64(),
+            Some((1 << 63) + 1)
+        );
+    }
+
+    #[test]
+    fn float_roundtrip_keeps_type() {
+        let v = Json::F64(2.0);
+        assert_eq!(v.encode(), "2.0");
+        assert_eq!(Json::parse("2.0").unwrap(), Json::F64(2.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::F64(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn object_encoding_is_canonical() {
+        let a = Json::obj([("b", Json::U64(1)), ("a", Json::U64(2))]);
+        let b = Json::obj([("a", Json::U64(2)), ("b", Json::U64(1))]);
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.encode(), r#"{"a":2,"b":1}"#);
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let text = r#"{"t":"trial","k":"a.rs:4|MPI_Allreduce|r0|i0|sendbuf","n":3,"bit":18446744073709551615,"resp":"MPI_ERR","fired":true,"fatal":null,"xs":[1,2.5,-3]}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("t").and_then(Json::as_str), Some("trial"));
+        assert_eq!(v.get("bit").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("fatal"), Some(&Json::Null));
+        assert_eq!(v.get("xs").and_then(Json::as_arr).map(|a| a.len()), Some(3));
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "nul", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{:?} must not parse", bad);
+        }
+    }
+
+    #[test]
+    fn unicode_and_control_escapes() {
+        let v = Json::Str("héllo \u{1}".into());
+        let enc = v.encode();
+        assert!(enc.contains("\\u0001"));
+        assert_eq!(Json::parse(&enc).unwrap(), v);
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".into()));
+    }
+}

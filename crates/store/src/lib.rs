@@ -1,0 +1,77 @@
+//! # fastfit-store — durable campaign state for FastFIT
+//!
+//! Fault-injection campaigns are long: thousands of application runs,
+//! hours of wall time at paper scale. This crate makes them *restartable*
+//! and *observable* without touching the measurement semantics:
+//!
+//! - [`journal`] — a write-ahead JSONL trial journal. Every completed
+//!   trial is appended (and flushed) before the campaign moves on, so an
+//!   interrupted campaign loses at most the trial in flight.
+//! - [`id`] — content-addressed campaign identity (SHA-256 of the
+//!   canonical metadata encoding). A journal can only be resumed by the
+//!   exact campaign that wrote it.
+//! - [`telemetry`] — lock-free live counters rendered periodically to an
+//!   atomically-replaced `status.json` (progress, response histogram,
+//!   throughput, ETA).
+//! - [`store`] — [`CampaignStore`], the directory-backed
+//!   [`fastfit::observe::CampaignObserver`] tying it together. Plug it
+//!   into `Campaign::run_all_observed` / `run_with_ml_observed` and the
+//!   campaign becomes durable; re-open the same directory and it resumes,
+//!   replaying journaled trials instead of re-running them.
+//!
+//! Resume is exact, not approximate: fault bits are drawn from the same
+//! per-point RNG streams on replay, and the store validates each
+//! journaled bit against the bit the campaign is about to inject. A
+//! resumed campaign therefore produces a `CampaignResult` identical to an
+//! uninterrupted run (`tests/` in this crate and the workspace
+//! determinism suite assert this byte-for-byte).
+
+pub mod id;
+pub mod journal;
+pub mod json;
+pub mod store;
+pub mod telemetry;
+
+pub use journal::{CampaignMeta, MlMeta, Record, TrialRecord};
+pub use store::{campaign_meta, ml_target_token, read_store_meta, CampaignStore};
+pub use telemetry::{CampaignState, StatusSnapshot, Telemetry};
+
+/// Errors from the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A file held syntactically invalid JSON.
+    Json(json::JsonError),
+    /// A file parsed but violated the journal/status schema.
+    Corrupt(String),
+    /// The directory belongs to a different campaign (or journal format).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {}", e),
+            StoreError::Json(e) => write!(f, "store JSON error: {}", e),
+            StoreError::Corrupt(msg) => write!(f, "store corrupt: {}", msg),
+            StoreError::Mismatch(msg) => write!(f, "campaign mismatch: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

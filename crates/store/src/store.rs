@@ -1,0 +1,416 @@
+//! The campaign store: a directory-backed [`CampaignObserver`].
+//!
+//! One store owns one campaign directory:
+//!
+//! ```text
+//! <dir>/journal.jsonl   write-ahead trial journal (append-only)
+//! <dir>/status.json     latest telemetry snapshot (atomic replace)
+//! ```
+//!
+//! [`CampaignStore::open`] either starts a fresh journal (writing the
+//! meta record first) or resumes an existing one — after verifying that
+//! the journal's content-addressed campaign ID matches the campaign
+//! being run. On resume the journaled trials become the replay map the
+//! campaign loop consults before paying for a trial; fresh trials are
+//! appended as they complete. The store is safe to share across rayon
+//! workers: counters are atomic and the journal writer sits behind a
+//! mutex.
+
+use crate::journal::{
+    read_journal, repair_journal, CampaignMeta, JournalWriter, MlMeta, Record, TrialRecord,
+    JOURNAL_FILE,
+};
+use crate::telemetry::{CampaignState, StatusSnapshot, Telemetry};
+use crate::StoreError;
+use fastfit::observe::{point_key, CampaignObserver, ProgressEvent};
+use fastfit::prelude::{Campaign, MlConfig, MlTarget, TrialOutcome};
+use fastfit::space::InjectionPoint;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum interval between `status.json` flushes on the trial path.
+/// Phase boundaries and `finish` flush unconditionally.
+const STATUS_FLUSH_INTERVAL: Duration = Duration::from_millis(250);
+
+struct WriterState {
+    journal: JournalWriter,
+    last_status_flush: Instant,
+}
+
+/// A directory-backed campaign observer: durable journal + live status.
+pub struct CampaignStore {
+    dir: PathBuf,
+    id: String,
+    meta: CampaignMeta,
+    /// `(point key, trial index) → (bit, outcome)` for every journaled
+    /// trial. Consulted (with bit validation) before each fresh trial.
+    replay: HashMap<(String, usize), (u64, TrialOutcome)>,
+    writer: Mutex<WriterState>,
+    telemetry: Telemetry,
+}
+
+impl CampaignStore {
+    /// Open `dir` for `meta`'s campaign. Creates the directory and a
+    /// fresh journal if none exists; otherwise resumes — repairing a
+    /// truncated tail, verifying the campaign ID, and loading the replay
+    /// map. Refuses to touch a journal recorded by a *different*
+    /// campaign (any metadata difference changes the ID).
+    pub fn open(dir: &Path, meta: CampaignMeta) -> Result<CampaignStore, StoreError> {
+        std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        let id = meta.campaign_id();
+        let journal_path = dir.join(JOURNAL_FILE);
+        let mut replay = HashMap::new();
+        let fresh = !journal_path.exists();
+        if !fresh {
+            let contents = repair_journal(&journal_path)?;
+            match &contents.meta {
+                Some((recorded_id, _)) if *recorded_id == id => {}
+                Some((recorded_id, recorded_meta)) => {
+                    return Err(StoreError::Mismatch(format!(
+                        "campaign directory {} holds campaign {} (workload {:?}); \
+                         refusing to resume campaign {} (workload {:?})",
+                        dir.display(),
+                        &recorded_id[..16],
+                        recorded_meta.workload,
+                        &id[..16],
+                        meta.workload,
+                    )));
+                }
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "journal {} has no meta record",
+                        journal_path.display()
+                    )));
+                }
+            }
+            for t in contents.trials {
+                replay.insert((t.key.clone(), t.trial), (t.bit, t.outcome()));
+            }
+        }
+        let mut journal = JournalWriter::open(&journal_path)?;
+        if fresh {
+            journal.append(&Record::Meta {
+                id: id.clone(),
+                meta: meta.clone(),
+            })?;
+            journal.sync()?;
+        }
+        Ok(CampaignStore {
+            dir: dir.to_path_buf(),
+            id,
+            meta,
+            replay,
+            writer: Mutex::new(WriterState {
+                journal,
+                last_status_flush: Instant::now() - STATUS_FLUSH_INTERVAL,
+            }),
+            telemetry: Telemetry::new(),
+        })
+    }
+
+    /// The content-addressed campaign ID.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The campaign metadata this store was opened for.
+    pub fn meta(&self) -> &CampaignMeta {
+        &self.meta
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Trials loaded from the journal at open (the resume head start).
+    pub fn replayable_trials(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Current telemetry snapshot.
+    pub fn snapshot(&self, state: CampaignState) -> StatusSnapshot {
+        self.telemetry
+            .snapshot(&self.id, &self.meta.workload, state)
+    }
+
+    /// Mark the campaign complete: fsync the journal and write the final
+    /// `status.json` with `state: done`.
+    pub fn finish(&self) -> Result<(), StoreError> {
+        self.writer
+            .lock()
+            .expect("store writer lock poisoned")
+            .journal
+            .sync()?;
+        self.snapshot(CampaignState::Done).write_to(&self.dir)
+    }
+
+    fn journal_append(&self, record: &Record) {
+        let mut w = self.writer.lock().expect("store writer lock poisoned");
+        // A campaign that cannot journal has lost its durability
+        // guarantee; aborting loudly beats silently burning trials that
+        // a resume would re-run anyway.
+        w.journal
+            .append(record)
+            .unwrap_or_else(|e| panic!("campaign journal write failed: {}", e));
+    }
+
+    fn flush_status(&self, force: bool) {
+        let mut w = self.writer.lock().expect("store writer lock poisoned");
+        if !force && w.last_status_flush.elapsed() < STATUS_FLUSH_INTERVAL {
+            return;
+        }
+        w.last_status_flush = Instant::now();
+        drop(w); // snapshot/write need no lock; keep the hot path short
+        if let Err(e) = self.snapshot(CampaignState::Running).write_to(&self.dir) {
+            eprintln!("fastfit-store: status flush failed: {}", e);
+        }
+    }
+}
+
+impl CampaignObserver for CampaignStore {
+    fn replay(&self, point: &InjectionPoint, trial: usize, bit: u64) -> Option<TrialOutcome> {
+        let (recorded_bit, outcome) = self.replay.get(&(point_key(point), trial))?;
+        // A bit mismatch means the RNG stream diverged from the recorded
+        // run — the record belongs to a different fault, so re-run. The
+        // campaign-ID check makes this unreachable in practice; it is a
+        // last line of defence, not a recovery path.
+        (*recorded_bit == bit).then(|| outcome.clone())
+    }
+
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        match event {
+            ProgressEvent::MeasureStarted {
+                points_total,
+                trials_per_point,
+            } => {
+                self.telemetry.set_totals(*points_total, *trials_per_point);
+                self.flush_status(true);
+            }
+            ProgressEvent::TrialFinished {
+                point,
+                trial,
+                bit,
+                outcome,
+                replayed,
+            } => {
+                if !replayed {
+                    self.journal_append(&Record::Trial(TrialRecord {
+                        key: point_key(point),
+                        trial: *trial,
+                        bit: *bit,
+                        response: outcome.response,
+                        fired: outcome.fired,
+                        fatal_rank: outcome.fatal_rank,
+                    }));
+                }
+                self.telemetry.trial_finished(outcome.response, *replayed);
+                self.flush_status(false);
+            }
+            ProgressEvent::PointFinished { .. } => {
+                self.telemetry.point_finished();
+            }
+            ProgressEvent::PhaseFinished { phase, wall } => {
+                self.telemetry.phase_finished(*phase, *wall);
+                self.journal_append(&Record::Phase {
+                    phase: *phase,
+                    secs: wall.as_secs_f64(),
+                });
+                self.flush_status(true);
+            }
+            ProgressEvent::LearnRound {
+                round,
+                measured,
+                accuracy,
+            } => {
+                self.telemetry.learn_round(*round, *accuracy);
+                self.journal_append(&Record::Round {
+                    round: *round,
+                    measured: *measured,
+                    accuracy: *accuracy,
+                });
+            }
+        }
+    }
+}
+
+/// Token for an [`MlTarget`], stored in the campaign metadata.
+pub fn ml_target_token(target: MlTarget) -> String {
+    match target {
+        MlTarget::ErrorType => "error_type".to_string(),
+        MlTarget::RateLevels(k) => format!("rate_levels:{}", k),
+    }
+}
+
+/// Build the [`CampaignMeta`] for a prepared campaign over an explicit
+/// point list (`campaign.points()` for the standard loop,
+/// `campaign.invocation_points()` for the CLI's per-invocation ML
+/// study). `ml` must be given exactly when the campaign is ML-driven:
+/// its configuration changes the measurement trajectory, so it is part
+/// of the campaign identity.
+pub fn campaign_meta(
+    campaign: &Campaign,
+    points: &[InjectionPoint],
+    ml: Option<(MlTarget, &MlConfig)>,
+) -> CampaignMeta {
+    CampaignMeta {
+        workload: campaign.workload.name.clone(),
+        nranks: campaign.workload.nranks,
+        app_seed: campaign.workload.seed,
+        tolerance: campaign.workload.tolerance,
+        trials_per_point: campaign.cfg.trials_per_point,
+        params: campaign.cfg.params.token(),
+        campaign_seed: campaign.cfg.seed,
+        ml: ml.map(|(target, cfg)| MlMeta {
+            target: ml_target_token(target),
+            // The debug encoding covers every MlConfig field; hashing it
+            // keeps the metadata schema stable as fields are added.
+            config_digest: crate::id::sha256_hex(format!("{:?}", cfg).as_bytes()),
+        }),
+        point_keys: points.iter().map(point_key).collect(),
+    }
+}
+
+/// Read the campaign identity recorded in a store directory without
+/// opening it for writing (the `status`/`resume` CLI verbs).
+pub fn read_store_meta(dir: &Path) -> Result<(String, CampaignMeta), StoreError> {
+    let contents = read_journal(&dir.join(JOURNAL_FILE))?;
+    contents
+        .meta
+        .ok_or_else(|| StoreError::Corrupt("journal has no meta record".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfit::prelude::Response;
+    use simmpi::hook::{CallSite, CollKind, ParamId};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fastfit-store-{}-{}-{:?}",
+            tag,
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn point() -> InjectionPoint {
+        InjectionPoint {
+            site: CallSite {
+                file: "app.rs",
+                line: 7,
+            },
+            kind: CollKind::Allreduce,
+            rank: 0,
+            invocation: 0,
+            param: ParamId::SendBuf,
+        }
+    }
+
+    fn meta() -> CampaignMeta {
+        CampaignMeta {
+            workload: "unit".into(),
+            nranks: 2,
+            app_seed: 1,
+            tolerance: 0.0,
+            trials_per_point: 3,
+            params: "data".into(),
+            campaign_seed: 9,
+            ml: None,
+            point_keys: vec![point_key(&point())],
+        }
+    }
+
+    fn outcome(resp: Response) -> TrialOutcome {
+        TrialOutcome {
+            response: resp,
+            fired: true,
+            fatal_rank: None,
+        }
+    }
+
+    #[test]
+    fn open_journal_reopen_replays() {
+        let dir = tmp_dir("reopen");
+        let p = point();
+        {
+            let store = CampaignStore::open(&dir, meta()).unwrap();
+            assert_eq!(store.replayable_trials(), 0);
+            let out = outcome(Response::WrongAns);
+            store.on_event(&ProgressEvent::TrialFinished {
+                point: &p,
+                trial: 0,
+                bit: 0xDEAD_BEEF_0BAD_F00D,
+                outcome: &out,
+                replayed: false,
+            });
+            store.finish().unwrap();
+        }
+        let store = CampaignStore::open(&dir, meta()).unwrap();
+        assert_eq!(store.replayable_trials(), 1);
+        // Matching bit replays; a different bit (config drift) does not.
+        assert_eq!(
+            store.replay(&p, 0, 0xDEAD_BEEF_0BAD_F00D),
+            Some(outcome(Response::WrongAns))
+        );
+        assert_eq!(store.replay(&p, 0, 1), None);
+        assert_eq!(store.replay(&p, 1, 0xDEAD_BEEF_0BAD_F00D), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_campaign_is_refused() {
+        let dir = tmp_dir("mismatch");
+        CampaignStore::open(&dir, meta()).unwrap();
+        let other = CampaignMeta {
+            campaign_seed: 10,
+            ..meta()
+        };
+        match CampaignStore::open(&dir, other) {
+            Err(StoreError::Mismatch(msg)) => {
+                assert!(msg.contains("refusing to resume"), "{}", msg)
+            }
+            other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn status_reflects_events() {
+        let dir = tmp_dir("status");
+        let store = CampaignStore::open(&dir, meta()).unwrap();
+        store.on_event(&ProgressEvent::MeasureStarted {
+            points_total: 1,
+            trials_per_point: 3,
+        });
+        let out = outcome(Response::Success);
+        store.on_event(&ProgressEvent::TrialFinished {
+            point: &point(),
+            trial: 0,
+            bit: 1,
+            outcome: &out,
+            replayed: false,
+        });
+        store.finish().unwrap();
+        let s = StatusSnapshot::read_from(&dir).unwrap();
+        assert_eq!(s.state, CampaignState::Done);
+        assert_eq!(s.trials_fresh, 1);
+        assert_eq!(s.trials_total, 3);
+        assert_eq!(s.campaign_id, store.id());
+        let (id, m) = read_store_meta(&dir).unwrap();
+        assert_eq!(id, store.id());
+        assert_eq!(m, meta());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ml_target_tokens() {
+        assert_eq!(ml_target_token(MlTarget::ErrorType), "error_type");
+        assert_eq!(ml_target_token(MlTarget::RateLevels(3)), "rate_levels:3");
+    }
+}

@@ -1,0 +1,458 @@
+//! Live campaign telemetry: lock-free counters flushed to `status.json`.
+//!
+//! The measurement loop can run thousands of trials from rayon workers,
+//! so the hot path is all `AtomicU64` — no locks, no allocation. A
+//! snapshot is periodically rendered to `status.json` in the campaign
+//! directory (atomic tmp + rename, so readers never observe a partial
+//! file); `fastfit-cli status <dir>` is just a pretty-printer over it.
+
+use crate::json::Json;
+use crate::StoreError;
+use fastfit::prelude::{CampaignPhase, ALL_RESPONSES};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use fastfit::observe::ALL_PHASES;
+
+/// Status file name inside a campaign directory.
+pub const STATUS_FILE: &str = "status.json";
+
+/// Campaign lifecycle states recorded in `status.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Measurement in progress (or the process died without finishing —
+    /// a `running` status older than its campaign's process is exactly
+    /// the resume case).
+    Running,
+    /// Campaign finished.
+    Done,
+}
+
+impl CampaignState {
+    fn name(self) -> &'static str {
+        match self {
+            CampaignState::Running => "running",
+            CampaignState::Done => "done",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "running" => Some(CampaignState::Running),
+            "done" => Some(CampaignState::Done),
+            _ => None,
+        }
+    }
+}
+
+/// Live counters for one running campaign. All relaxed atomics: counts
+/// are monotone and a snapshot being a few trials stale is fine.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    points_total: AtomicU64,
+    trials_per_point: AtomicU64,
+    points_done: AtomicU64,
+    trials_fresh: AtomicU64,
+    trials_replayed: AtomicU64,
+    responses: [AtomicU64; 6],
+    /// Per-phase wall micros, `ALL_PHASES` order.
+    phase_us: [AtomicU64; 4],
+    learn_rounds: AtomicU64,
+    /// Latest held-out accuracy, stored as `f64::to_bits`.
+    learn_accuracy_bits: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            started: Instant::now(),
+            points_total: AtomicU64::new(0),
+            trials_per_point: AtomicU64::new(0),
+            points_done: AtomicU64::new(0),
+            trials_fresh: AtomicU64::new(0),
+            trials_replayed: AtomicU64::new(0),
+            responses: Default::default(),
+            phase_us: Default::default(),
+            learn_rounds: AtomicU64::new(0),
+            learn_accuracy_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry; the trials/sec clock starts now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the measurement loop's extent (points × trials).
+    pub fn set_totals(&self, points_total: usize, trials_per_point: usize) {
+        self.points_total
+            .store(points_total as u64, Ordering::Relaxed);
+        self.trials_per_point
+            .store(trials_per_point as u64, Ordering::Relaxed);
+    }
+
+    /// Record one finished trial.
+    pub fn trial_finished(&self, response: fastfit::prelude::Response, replayed: bool) {
+        if replayed {
+            self.trials_replayed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.trials_fresh.fetch_add(1, Ordering::Relaxed);
+        }
+        self.responses[response.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one finished point.
+    pub fn point_finished(&self) {
+        self.points_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished phase's wall time.
+    pub fn phase_finished(&self, phase: CampaignPhase, wall: std::time::Duration) {
+        let idx = ALL_PHASES.iter().position(|p| *p == phase).unwrap();
+        self.phase_us[idx].store(wall.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a finished ML round.
+    pub fn learn_round(&self, round: usize, accuracy: f64) {
+        self.learn_rounds.store(round as u64, Ordering::Relaxed);
+        self.learn_accuracy_bits
+            .store(accuracy.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Total trials observed (fresh + replayed).
+    pub fn trials_done(&self) -> u64 {
+        self.trials_fresh.load(Ordering::Relaxed) + self.trials_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Render the counters into a snapshot.
+    pub fn snapshot(
+        &self,
+        campaign_id: &str,
+        workload: &str,
+        state: CampaignState,
+    ) -> StatusSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let fresh = self.trials_fresh.load(Ordering::Relaxed);
+        let replayed = self.trials_replayed.load(Ordering::Relaxed);
+        let points_total = self.points_total.load(Ordering::Relaxed);
+        let trials_per_point = self.trials_per_point.load(Ordering::Relaxed);
+        let trials_total = points_total * trials_per_point;
+        // Throughput counts only *fresh* trials: replays are free, and
+        // folding them in would make the resumed campaign's ETA absurd.
+        let trials_per_sec = if elapsed > 0.0 {
+            fresh as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = trials_total.saturating_sub(fresh + replayed);
+        let eta_secs = if trials_per_sec > 0.0 && remaining > 0 {
+            Some(remaining as f64 / trials_per_sec)
+        } else {
+            None
+        };
+        let mut responses = [0u64; 6];
+        for (i, c) in self.responses.iter().enumerate() {
+            responses[i] = c.load(Ordering::Relaxed);
+        }
+        let mut phase_secs = [None; 4];
+        for (i, us) in self.phase_us.iter().enumerate() {
+            let v = us.load(Ordering::Relaxed);
+            if v > 0 {
+                phase_secs[i] = Some(v as f64 / 1e6);
+            }
+        }
+        let accuracy = f64::from_bits(self.learn_accuracy_bits.load(Ordering::Relaxed));
+        StatusSnapshot {
+            campaign_id: campaign_id.to_string(),
+            workload: workload.to_string(),
+            state,
+            points_done: self.points_done.load(Ordering::Relaxed),
+            points_total,
+            trials_fresh: fresh,
+            trials_replayed: replayed,
+            trials_total,
+            responses,
+            phase_secs,
+            learn_rounds: self.learn_rounds.load(Ordering::Relaxed),
+            learn_accuracy: if accuracy.is_nan() {
+                None
+            } else {
+                Some(accuracy)
+            },
+            elapsed_secs: elapsed,
+            trials_per_sec,
+            eta_secs,
+        }
+    }
+}
+
+/// One rendered status — the schema of `status.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSnapshot {
+    /// Content-addressed campaign ID.
+    pub campaign_id: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Lifecycle state.
+    pub state: CampaignState,
+    /// Points fully measured this run.
+    pub points_done: u64,
+    /// Points the measurement loop covers.
+    pub points_total: u64,
+    /// Freshly executed trials this run.
+    pub trials_fresh: u64,
+    /// Trials replayed from the journal this run.
+    pub trials_replayed: u64,
+    /// `points_total × trials_per_point`.
+    pub trials_total: u64,
+    /// Response histogram over all observed trials, `ALL_RESPONSES` order.
+    pub responses: [u64; 6],
+    /// Wall seconds of each completed phase, `ALL_PHASES` order.
+    pub phase_secs: [Option<f64>; 4],
+    /// ML rounds completed (0 when not ML-driven).
+    pub learn_rounds: u64,
+    /// Latest held-out accuracy.
+    pub learn_accuracy: Option<f64>,
+    /// Wall seconds since this process started observing.
+    pub elapsed_secs: f64,
+    /// Fresh-trial throughput.
+    pub trials_per_sec: f64,
+    /// Estimated seconds to completion (absent when unknown or done).
+    pub eta_secs: Option<f64>,
+}
+
+impl StatusSnapshot {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut resp_map = std::collections::BTreeMap::new();
+        for (i, r) in ALL_RESPONSES.iter().enumerate() {
+            resp_map.insert(r.name().to_string(), Json::U64(self.responses[i]));
+        }
+        let mut phase_map = std::collections::BTreeMap::new();
+        for (i, p) in ALL_PHASES.iter().enumerate() {
+            if let Some(s) = self.phase_secs[i] {
+                phase_map.insert(p.name().to_string(), Json::F64(s));
+            }
+        }
+        Json::obj([
+            ("campaign_id", Json::Str(self.campaign_id.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("state", Json::Str(self.state.name().into())),
+            ("points_done", Json::U64(self.points_done)),
+            ("points_total", Json::U64(self.points_total)),
+            ("trials_fresh", Json::U64(self.trials_fresh)),
+            ("trials_replayed", Json::U64(self.trials_replayed)),
+            ("trials_total", Json::U64(self.trials_total)),
+            ("responses", Json::Obj(resp_map)),
+            ("phase_secs", Json::Obj(phase_map)),
+            ("learn_rounds", Json::U64(self.learn_rounds)),
+            (
+                "learn_accuracy",
+                self.learn_accuracy.map(Json::F64).unwrap_or(Json::Null),
+            ),
+            ("elapsed_secs", Json::F64(self.elapsed_secs)),
+            ("trials_per_sec", Json::F64(self.trials_per_sec)),
+            (
+                "eta_secs",
+                self.eta_secs.map(Json::F64).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(v: &Json) -> Result<StatusSnapshot, StoreError> {
+        let s = |k: &str| -> Result<String, StoreError> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::Corrupt(format!("status missing {:?}", k)))
+        };
+        let u = |k: &str| -> Result<u64, StoreError> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| StoreError::Corrupt(format!("status missing {:?}", k)))
+        };
+        let f = |k: &str| -> Result<f64, StoreError> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| StoreError::Corrupt(format!("status missing {:?}", k)))
+        };
+        let state_name = s("state")?;
+        let state = CampaignState::from_name(&state_name)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown state {:?}", state_name)))?;
+        let mut responses = [0u64; 6];
+        if let Some(m) = v.get("responses") {
+            for (i, r) in ALL_RESPONSES.iter().enumerate() {
+                responses[i] = m.get(r.name()).and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+        let mut phase_secs = [None; 4];
+        if let Some(m) = v.get("phase_secs") {
+            for (i, p) in ALL_PHASES.iter().enumerate() {
+                phase_secs[i] = m.get(p.name()).and_then(Json::as_f64);
+            }
+        }
+        Ok(StatusSnapshot {
+            campaign_id: s("campaign_id")?,
+            workload: s("workload")?,
+            state,
+            points_done: u("points_done")?,
+            points_total: u("points_total")?,
+            trials_fresh: u("trials_fresh")?,
+            trials_replayed: u("trials_replayed")?,
+            trials_total: u("trials_total")?,
+            responses,
+            phase_secs,
+            learn_rounds: u("learn_rounds").unwrap_or(0),
+            learn_accuracy: v.get("learn_accuracy").and_then(Json::as_f64),
+            elapsed_secs: f("elapsed_secs")?,
+            trials_per_sec: f("trials_per_sec")?,
+            eta_secs: v.get("eta_secs").and_then(Json::as_f64),
+        })
+    }
+
+    /// Write atomically to `dir/status.json` (tmp + rename: a concurrent
+    /// reader sees either the old snapshot or the new one, never a torn
+    /// file).
+    pub fn write_to(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join(".status.json.tmp");
+        let target = dir.join(STATUS_FILE);
+        std::fs::write(&tmp, self.to_json().encode() + "\n").map_err(StoreError::Io)?;
+        std::fs::rename(&tmp, &target).map_err(StoreError::Io)?;
+        Ok(())
+    }
+
+    /// Read `dir/status.json`.
+    pub fn read_from(dir: &Path) -> Result<StatusSnapshot, StoreError> {
+        let text = std::fs::read_to_string(dir.join(STATUS_FILE)).map_err(StoreError::Io)?;
+        StatusSnapshot::from_json(&Json::parse(&text).map_err(StoreError::Json)?)
+    }
+
+    /// Human-readable multi-line rendering (the `status` CLI verb).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign {} ({})\n",
+            &self.campaign_id[..16.min(self.campaign_id.len())],
+            self.workload
+        ));
+        out.push_str(&format!("state:    {}\n", self.state.name()));
+        let pct = if self.trials_total > 0 {
+            100.0 * (self.trials_fresh + self.trials_replayed) as f64 / self.trials_total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "points:   {}/{}\ntrials:   {}/{} ({:.1}%), {} replayed\n",
+            self.points_done,
+            self.points_total,
+            self.trials_fresh + self.trials_replayed,
+            self.trials_total,
+            pct,
+            self.trials_replayed
+        ));
+        out.push_str(&format!(
+            "rate:     {:.1} trials/s, elapsed {:.1}s",
+            self.trials_per_sec, self.elapsed_secs
+        ));
+        match self.eta_secs {
+            Some(eta) => out.push_str(&format!(", ETA {:.0}s\n", eta)),
+            None => out.push('\n'),
+        }
+        out.push_str("responses:");
+        for (i, r) in ALL_RESPONSES.iter().enumerate() {
+            if self.responses[i] > 0 {
+                out.push_str(&format!(" {}={}", r.name(), self.responses[i]));
+            }
+        }
+        out.push('\n');
+        for (i, p) in ALL_PHASES.iter().enumerate() {
+            if let Some(s) = self.phase_secs[i] {
+                out.push_str(&format!("phase {:<8} {:.3}s\n", p.name(), s));
+            }
+        }
+        if self.learn_rounds > 0 {
+            out.push_str(&format!(
+                "learn:    {} rounds, accuracy {}\n",
+                self.learn_rounds,
+                self.learn_accuracy
+                    .map(|a| format!("{:.1}%", 100.0 * a))
+                    .unwrap_or_else(|| "?".into())
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfit::prelude::Response;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::new();
+        t.set_totals(10, 4);
+        for _ in 0..3 {
+            t.trial_finished(Response::Success, false);
+        }
+        t.trial_finished(Response::MpiErr, true);
+        t.point_finished();
+        t.phase_finished(CampaignPhase::Profile, Duration::from_millis(1500));
+        t.learn_round(2, 0.7);
+        let s = t.snapshot("abc123", "tiny", CampaignState::Running);
+        assert_eq!(s.points_done, 1);
+        assert_eq!(s.points_total, 10);
+        assert_eq!(s.trials_fresh, 3);
+        assert_eq!(s.trials_replayed, 1);
+        assert_eq!(s.trials_total, 40);
+        assert_eq!(s.responses[Response::Success.index()], 3);
+        assert_eq!(s.responses[Response::MpiErr.index()], 1);
+        assert!((s.phase_secs[0].unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(s.learn_rounds, 2);
+        assert!((s.learn_accuracy.unwrap() - 0.7).abs() < 1e-12);
+        assert!(s.eta_secs.is_some(), "36 trials remain at nonzero rate");
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_and_atomic_write() {
+        let t = Telemetry::new();
+        t.set_totals(2, 3);
+        t.trial_finished(Response::WrongAns, false);
+        let snap = t.snapshot("deadbeef", "w", CampaignState::Done);
+        let back = StatusSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.campaign_id, snap.campaign_id);
+        assert_eq!(back.state, CampaignState::Done);
+        assert_eq!(back.responses, snap.responses);
+
+        let dir = std::env::temp_dir().join(format!(
+            "fastfit-status-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        snap.write_to(&dir).unwrap();
+        let read = StatusSnapshot::read_from(&dir).unwrap();
+        assert_eq!(read.trials_fresh, 1);
+        assert!(!dir.join(".status.json.tmp").exists());
+        assert!(!read.render().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replayed_trials_do_not_inflate_throughput() {
+        let t = Telemetry::new();
+        t.set_totals(1, 100);
+        for _ in 0..50 {
+            t.trial_finished(Response::Success, true);
+        }
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        assert_eq!(s.trials_per_sec, 0.0, "replays are not throughput");
+        assert!(s.eta_secs.is_none(), "no fresh rate, no ETA");
+    }
+}

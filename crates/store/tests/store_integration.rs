@@ -1,0 +1,208 @@
+//! End-to-end store tests over a real (tiny) campaign: durability,
+//! interruption mid-run, and exact resume — for both the plain
+//! measurement loop and the ML feedback loop.
+
+use fastfit::prelude::*;
+use fastfit_store::telemetry::CampaignState;
+use fastfit_store::{campaign_meta, CampaignStore, StatusSnapshot};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_workload(nranks: usize) -> Workload {
+    let app: AppFn = Arc::new(|ctx: &mut RankCtx| {
+        ctx.set_phase(Phase::Compute);
+        let mut acc = 0.0f64;
+        ctx.frame("loop", |ctx| {
+            for _ in 0..3 {
+                acc = ctx.allreduce_one(1.0 + acc / 10.0, ReduceOp::Sum, ctx.world());
+            }
+        });
+        ctx.set_phase(Phase::End);
+        ctx.barrier(ctx.world());
+        let mut out = RankOutput::new();
+        out.push("acc", acc);
+        out
+    });
+    Workload::new("store-tiny", app, 1e-9, nranks)
+}
+
+fn quick_cfg() -> CampaignConfig {
+    CampaignConfig {
+        trials_per_point: 6,
+        min_timeout: Duration::from_millis(300),
+        ..Default::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fastfit-store-it-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn results_digest(r: &CampaignResult) -> Vec<String> {
+    r.results
+        .iter()
+        .map(|pr| {
+            format!(
+                "{} {:?} fired={} fatal={:?}",
+                point_key(&pr.point),
+                pr.hist,
+                pr.fired,
+                pr.fatal_ranks
+            )
+        })
+        .collect()
+}
+
+/// An observer that forwards to a store but panics after a budget of
+/// fresh trials — simulating a campaign killed mid-measurement.
+struct KillSwitch {
+    store: CampaignStore,
+    fresh_budget: AtomicUsize,
+}
+
+impl CampaignObserver for KillSwitch {
+    fn replay(
+        &self,
+        point: &fastfit::space::InjectionPoint,
+        trial: usize,
+        bit: u64,
+    ) -> Option<TrialOutcome> {
+        self.store.replay(point, trial, bit)
+    }
+
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        self.store.on_event(event);
+        if let ProgressEvent::TrialFinished {
+            replayed: false, ..
+        } = event
+        {
+            if self.fresh_budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+                panic!("kill switch: simulated crash");
+            }
+        }
+    }
+}
+
+#[test]
+fn run_all_is_durable_and_resumes_exactly() {
+    let dir = tmp_dir("run-all");
+
+    // Reference: uninterrupted, storeless run.
+    let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let reference = results_digest(&c.run_all());
+
+    // First attempt: crash after 5 fresh trials.
+    let c1 = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let meta = campaign_meta(&c1, c1.points(), None);
+    let killer = KillSwitch {
+        store: CampaignStore::open(&dir, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(5),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c1.run_all_observed(&killer)
+    }));
+    assert!(crashed.is_err(), "the kill switch must fire");
+
+    // Resume: the journal holds the 5 paid-for trials.
+    let store = CampaignStore::open(&dir, meta).unwrap();
+    assert_eq!(store.replayable_trials(), 5);
+    let c2 = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let resumed = c2.run_all_observed(&store);
+    store.finish().unwrap();
+    assert_eq!(
+        results_digest(&resumed),
+        reference,
+        "resumed campaign must equal the uninterrupted one"
+    );
+
+    // Telemetry separates replays from fresh work and is marked done.
+    let status = StatusSnapshot::read_from(&dir).unwrap();
+    assert_eq!(status.state, CampaignState::Done);
+    assert_eq!(status.trials_replayed, 5);
+    assert_eq!(
+        status.trials_fresh + status.trials_replayed,
+        status.trials_total
+    );
+    assert_eq!(status.points_done, c2.points().len() as u64);
+
+    // A third open replays everything: zero fresh trials re-run.
+    let store3 = CampaignStore::open(&dir, campaign_meta(&c2, c2.points(), None)).unwrap();
+    assert_eq!(
+        store3.replayable_trials(),
+        c2.points().len() * c2.cfg.trials_per_point
+    );
+    let replayed_all = c2.run_all_observed(&store3);
+    assert_eq!(results_digest(&replayed_all), reference);
+    let snap = store3.snapshot(CampaignState::Done);
+    assert_eq!(snap.trials_fresh, 0, "full replay pays for nothing");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ml_campaign_resumes_mid_loop() {
+    let dir = tmp_dir("ml");
+    let ml_cfg = MlConfig {
+        initial_batch: 2,
+        batch: 1,
+        accuracy_threshold: 0.5,
+        ..Default::default()
+    };
+    let target = MlTarget::RateLevels(2);
+
+    // Reference trajectory.
+    let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let (ref_result, ref_outcome) = c.run_with_ml(target, &ml_cfg);
+    let reference = results_digest(&ref_result);
+
+    // Crash partway through the feedback loop.
+    let c1 = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let meta = campaign_meta(&c1, c1.points(), Some((target, &ml_cfg)));
+    let killer = KillSwitch {
+        store: CampaignStore::open(&dir, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(7),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c1.run_with_ml_observed(target, &ml_cfg, &killer)
+    }));
+    assert!(crashed.is_err());
+
+    // Resume: the loop replays its own trajectory (same seed, same
+    // labels) and continues from the first unmeasured trial.
+    let store = CampaignStore::open(&dir, meta).unwrap();
+    assert!(store.replayable_trials() >= 7);
+    let c2 = Campaign::prepare(tiny_workload(4), quick_cfg());
+    let (resumed, outcome) = c2.run_with_ml_observed(target, &ml_cfg, &store);
+    store.finish().unwrap();
+    assert_eq!(results_digest(&resumed), reference);
+    assert_eq!(outcome.measured, ref_outcome.measured);
+    assert_eq!(outcome.rounds, ref_outcome.rounds);
+    assert_eq!(outcome.predicted, ref_outcome.predicted);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_with_changed_config_is_refused() {
+    let dir = tmp_dir("refused");
+    let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+    CampaignStore::open(&dir, campaign_meta(&c, c.points(), None)).unwrap();
+
+    let mut changed = quick_cfg();
+    changed.trials_per_point += 1;
+    let c2 = Campaign::prepare(tiny_workload(4), changed);
+    let err = CampaignStore::open(&dir, campaign_meta(&c2, c2.points(), None));
+    assert!(
+        matches!(err, Err(fastfit_store::StoreError::Mismatch(_))),
+        "a different trial count is a different campaign"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -41,8 +41,16 @@ fn main() {
     );
     let base = campaign.points()[0];
 
-    println!("fault atlas for {} at {} (rank {}, invocation {})", base.kind.name(), base.site, base.rank, base.invocation);
-    println!("glyphs: . SUCCESS  A APP_DETECTED  E MPI_ERR  S SEG_FAULT  W WRONG_ANS  L INF_LOOP\n");
+    println!(
+        "fault atlas for {} at {} (rank {}, invocation {})",
+        base.kind.name(),
+        base.site,
+        base.rank,
+        base.invocation
+    );
+    println!(
+        "glyphs: . SUCCESS  A APP_DETECTED  E MPI_ERR  S SEG_FAULT  W WRONG_ANS  L INF_LOOP\n"
+    );
 
     for param in [
         ParamId::SendBuf,

@@ -65,11 +65,9 @@ fn main() {
     println!("\npredicted vs measured (10-point sample):");
     let mut hits = 0;
     for (idx, predicted) in &sample {
-        let truth = levels.of(
-            campaign
-                .measure_point(&points[*idx], 12, 9000 + *idx as u64)
-                .error_rate(),
-        );
+        let truth = levels.of(campaign
+            .measure_point(&points[*idx], 12, 9000 + *idx as u64)
+            .error_rate());
         let hit = *predicted == truth;
         hits += usize::from(hit);
         println!(

@@ -27,10 +27,7 @@ fn main() {
         campaign.full_points,
         campaign.points().len()
     );
-    println!(
-        "rank equivalence classes: {:?}",
-        campaign.semantic.classes
-    );
+    println!("rank equivalence classes: {:?}", campaign.semantic.classes);
 
     let result = campaign.run_all();
 

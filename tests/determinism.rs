@@ -3,11 +3,13 @@
 //! identical responses — including property-based checks over fault bits.
 
 use fastfit::prelude::*;
+use fastfit_store::{campaign_meta, CampaignStore};
 use npb::{mg_app, MgConfig};
 use proptest::prelude::*;
 use simmpi::ctx::{RankCtx, RankOutput};
 use simmpi::op::ReduceOp;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn noisy_app() -> AppFn {
@@ -92,6 +94,94 @@ fn mg_campaign_point_results_replay() {
     for (x, y) in a.results.iter().zip(&b.results) {
         assert_eq!(x.hist, y.hist, "point {:?}", x.point);
     }
+}
+
+/// Observer that persists to a store but simulates a crash (panics) after
+/// a fixed budget of fresh — journal-backed — trials.
+struct CrashAfter {
+    store: CampaignStore,
+    fresh_budget: AtomicUsize,
+}
+
+impl CampaignObserver for CrashAfter {
+    fn replay(
+        &self,
+        point: &fastfit::space::InjectionPoint,
+        trial: usize,
+        bit: u64,
+    ) -> Option<TrialOutcome> {
+        self.store.replay(point, trial, bit)
+    }
+
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        self.store.on_event(event);
+        if let ProgressEvent::TrialFinished {
+            replayed: false, ..
+        } = event
+        {
+            if self.fresh_budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+                panic!("simulated crash mid-campaign");
+            }
+        }
+    }
+}
+
+/// Determinism must survive a crash: a campaign killed mid-measurement and
+/// resumed from its journal yields the same point histograms — bit for
+/// bit — as one that ran uninterrupted.
+#[test]
+fn mg_campaign_killed_and_resumed_is_identical() {
+    fn mg_campaign() -> Campaign {
+        let w = Workload::new(
+            "MG",
+            mg_app(MgConfig {
+                n: 8,
+                cycles: 2,
+                sweeps: 1,
+            }),
+            1e-7,
+            4,
+        );
+        Campaign::prepare(
+            w,
+            CampaignConfig {
+                trials_per_point: 3,
+                ..Default::default()
+            },
+        )
+    }
+    let dir = std::env::temp_dir().join(format!("fastfit-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reference = mg_campaign().run_all();
+
+    // Kill the campaign partway in; the journal keeps what was paid for.
+    let c1 = mg_campaign();
+    let meta = campaign_meta(&c1, c1.points(), None);
+    let crasher = CrashAfter {
+        store: CampaignStore::open(&dir, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(4),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c1.run_all_observed(&crasher)
+    }));
+    assert!(crashed.is_err(), "crash must interrupt the run");
+
+    // Resume: replay the journal, measure the rest, merge.
+    let store = CampaignStore::open(&dir, meta).unwrap();
+    assert_eq!(store.replayable_trials(), 4);
+    let c2 = mg_campaign();
+    let resumed = c2.run_all_observed(&store);
+    store.finish().unwrap();
+
+    assert_eq!(resumed.results.len(), reference.results.len());
+    for (x, y) in resumed.results.iter().zip(&reference.results) {
+        assert_eq!(x.point, y.point);
+        assert_eq!(x.hist, y.hist, "point {:?}", x.point);
+        assert_eq!(x.fired, y.fired, "point {:?}", x.point);
+        assert_eq!(x.fatal_ranks, y.fatal_ranks, "point {:?}", x.point);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 proptest! {

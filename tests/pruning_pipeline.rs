@@ -16,7 +16,16 @@ fn cfg() -> CampaignConfig {
 #[test]
 fn ft_semantic_classes_are_root_plus_rest() {
     // FT's only per-rank asymmetry is the MPI_Reduce/Bcast root (rank 0).
-    let w = Workload::new("FT", ft_app(FtConfig { n: 8, iters: 2, alpha: 1e-4 }), 1e-7, 4);
+    let w = Workload::new(
+        "FT",
+        ft_app(FtConfig {
+            n: 8,
+            iters: 2,
+            alpha: 1e-4,
+        }),
+        1e-7,
+        4,
+    );
     let c = Campaign::prepare(w, cfg());
     assert_eq!(c.semantic.classes.len(), 2);
     assert_eq!(c.semantic.classes[0], vec![0]);
@@ -32,7 +41,11 @@ fn lu_context_prune_collapses_repeated_norm_calls() {
     let iters = 6;
     let w = Workload::new(
         "LU",
-        lu_app(LuConfig { n: 16, iters, omega: 1.2 }),
+        lu_app(LuConfig {
+            n: 16,
+            iters,
+            omega: 1.2,
+        }),
         1e-7,
         4,
     );
@@ -63,7 +76,10 @@ fn lu_context_prune_collapses_repeated_norm_calls() {
 fn reductions_compose_in_campaign() {
     let w = Workload::new(
         "minimd",
-        md_app(MdConfig { steps: 6, ..Default::default() }),
+        md_app(MdConfig {
+            steps: 6,
+            ..Default::default()
+        }),
         minimd::OUTPUT_TOLERANCE,
         8,
     );
@@ -91,7 +107,10 @@ fn reductions_compose_in_campaign() {
 fn feature_vectors_align_with_paper_features() {
     let w = Workload::new(
         "minimd",
-        md_app(MdConfig { steps: 6, ..Default::default() }),
+        md_app(MdConfig {
+            steps: 6,
+            ..Default::default()
+        }),
         minimd::OUTPUT_TOLERANCE,
         4,
     );
@@ -117,7 +136,10 @@ fn feature_vectors_align_with_paper_features() {
 fn minimd_errhdl_sites_visible_in_profile() {
     let w = Workload::new(
         "minimd",
-        md_app(MdConfig { steps: 6, ..Default::default() }),
+        md_app(MdConfig {
+            steps: 6,
+            ..Default::default()
+        }),
         minimd::OUTPUT_TOLERANCE,
         4,
     );
@@ -133,5 +155,8 @@ fn minimd_errhdl_sites_visible_in_profile() {
         .filter(|s| s.kind == CollKind::Allreduce)
         .count();
     assert!(errhdl_allreduces >= 1);
-    assert!(all_allreduces > errhdl_allreduces, "non-errhdl thermo sites exist");
+    assert!(
+        all_allreduces > errhdl_allreduces,
+        "non-errhdl thermo sites exist"
+    );
 }

@@ -189,7 +189,10 @@ fn injected_runs_share_the_golden_seed() {
     let campaign = Campaign::prepare(w.clone(), CampaignConfig::default());
     let hook = Arc::new(InjectorHook::new(FaultSpec {
         point: InjectionPoint {
-            site: CallSite { file: "nowhere.rs", line: 1 },
+            site: CallSite {
+                file: "nowhere.rs",
+                line: 1,
+            },
             kind: CollKind::Allreduce,
             rank: 0,
             invocation: 0,

@@ -1,0 +1,17 @@
+//! Offline stub of `crossbeam`. The workspace declares the dependency but
+//! currently uses none of its API, so the stub only needs to exist for
+//! dependency resolution. `channel` is provided (over `std::sync::mpsc`)
+//! as the most likely first API to be wanted.
+
+/// Multi-producer channels over `std::sync::mpsc`.
+pub mod channel {
+    /// Sender half.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiver half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

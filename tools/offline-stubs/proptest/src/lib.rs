@@ -1,0 +1,280 @@
+//! Offline stub of `proptest` covering the subset this workspace uses:
+//! the `proptest!` macro with an optional `#![proptest_config(..)]`
+//! attribute, range and tuple strategies, `proptest::collection::vec`,
+//! and `prop_assert!`/`prop_assert_eq!`. Cases are sampled from a
+//! deterministic RNG; there is **no shrinking** — a failure reports the
+//! inputs of the failing case and panics.
+
+/// Strategy: something that can produce values from an RNG.
+pub mod strategy {
+    use crate::test_runner::StubRng;
+
+    /// A value generator. The stub has no shrinking, so a strategy is just
+    /// a sampling function.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value: std::fmt::Debug;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StubRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StubRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Constant strategy (`Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StubRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::StubRng;
+
+    /// Vec strategy: `element` repeated a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size,
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StubRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and RNG.
+pub mod test_runner {
+    /// Deterministic xorshift generator driving case sampling.
+    #[derive(Debug, Clone)]
+    pub struct StubRng {
+        state: u64,
+    }
+
+    impl StubRng {
+        /// Seeded constructor.
+        pub fn new(seed: u64) -> Self {
+            StubRng {
+                state: seed | 1,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Stub of `ProptestConfig` — only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Accepted-and-ignored upstream knob.
+        pub max_shrink_iters: u32,
+        /// Accepted-and-ignored upstream knob.
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+                fork: false,
+            }
+        }
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias matching upstream (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Property-test entry macro. Each `fn name(pat in strategy, ...)` becomes
+/// a `#[test]` running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Per-test deterministic seed from the test name.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x1000_0000_01B3)
+                    });
+                let mut rng = $crate::test_runner::StubRng::new(seed);
+                for case in 0..config.cases {
+                    let result: Result<(), String> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(msg) = result {
+                        panic!("proptest case {}/{} failed: {}", case + 1, config.cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `prop_assert_eq!` — equality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// `prop_assert_ne!` — inequality assertion for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            ));
+        }
+    }};
+}

@@ -1,0 +1,74 @@
+//! Offline stub of `rand_chacha`: a deterministic seedable generator with
+//! the `ChaCha8Rng` name and trait surface the workspace uses. The value
+//! stream is a ChaCha-style ARX permutation but is *not* bit-compatible
+//! with the upstream crate (see `tools/offline-stubs/README.md`).
+
+use rand::{RngCore, SeedableRng};
+
+/// Stub of `rand_chacha::ChaCha8Rng`.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: [u64; 4],
+    buf: [u64; 4],
+    idx: usize,
+    counter: u64,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        // A small ARX mix over (state, counter) — deterministic, seedable,
+        // and statistically decent; not upstream-compatible.
+        let mut x = self.state;
+        x[0] ^= self.counter;
+        self.counter = self.counter.wrapping_add(1);
+        for _ in 0..8 {
+            x[0] = x[0].wrapping_add(x[1]);
+            x[3] = (x[3] ^ x[0]).rotate_left(32);
+            x[2] = x[2].wrapping_add(x[3]);
+            x[1] = (x[1] ^ x[2]).rotate_left(24);
+            x[0] = x[0].wrapping_add(x[1]);
+            x[3] = (x[3] ^ x[0]).rotate_left(16);
+            x[2] = x[2].wrapping_add(x[3]);
+            x[1] = (x[1] ^ x[2]).rotate_left(63);
+        }
+        for i in 0..4 {
+            self.buf[i] = x[i].wrapping_add(self.state[i]);
+        }
+        self.idx = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx >= 4 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            state[i % 4] ^= u64::from_le_bytes(b);
+        }
+        // Avoid the all-zero fixed point.
+        state[0] |= 0x243F_6A88_85A3_08D3;
+        let mut rng = ChaCha8Rng {
+            state,
+            buf: [0; 4],
+            idx: 4,
+            counter: 0,
+        };
+        rng.refill();
+        rng.idx = 4; // force a fresh block on first use
+        rng
+    }
+}
