@@ -56,8 +56,11 @@ fn usage() -> ! {
          \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
                 --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
+                --max-retries N (suspect-trial retries before quarantine)\n\
+                --op-budget-mult N (INF_LOOP op budget, × golden op count)\n\
                 --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
-                --rank R  --invocation I  --steps N (LAMMPS run length)"
+                --rank R  --invocation I  --steps N (LAMMPS run length)\n\
+         env:   FASTFIT_TIMEOUT_MULT  FASTFIT_MAX_RETRIES  FASTFIT_RANKS  FASTFIT_STORE_DIR"
     );
     std::process::exit(2)
 }
@@ -79,6 +82,18 @@ fn build_workload(flags: &HashMap<String, String>) -> Workload {
     w
 }
 
+/// Trial-supervision knobs shared by `campaign`, `point` and `resume`.
+/// These shape *how* trials execute, not *which* trials run, so they are
+/// not part of the campaign identity and may differ across a resume.
+fn apply_supervision_flags(cfg: &mut CampaignConfig, flags: &HashMap<String, String>) {
+    if let Some(r) = flags.get("max-retries").and_then(|s| s.parse().ok()) {
+        cfg.max_retries = r;
+    }
+    if let Some(m) = flags.get("op-budget-mult").and_then(|s| s.parse().ok()) {
+        cfg.op_budget_mult = m;
+    }
+}
+
 fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
     let mut cfg = CampaignConfig::from_env();
     if let Some(t) = flags.get("trials").and_then(|s| s.parse().ok()) {
@@ -88,6 +103,7 @@ fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
         Some("all") => ParamsMode::All,
         _ => ParamsMode::DataBuffer,
     };
+    apply_supervision_flags(&mut cfg, flags);
     cfg
 }
 
@@ -392,6 +408,7 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
         eprintln!("journal has unknown params mode {:?}", meta.params);
         std::process::exit(1);
     });
+    apply_supervision_flags(&mut cfg, flags);
     let csv = flags.get("csv").cloned();
     let c = Campaign::prepare(w, cfg);
     match &meta.ml {
@@ -496,6 +513,12 @@ fn cmd_point(flags: &HashMap<String, String>) {
         pr.fired
     );
     println!("{}", fastfit::report::histogram_row(&pr.hist));
+    if pr.quarantined > 0 {
+        println!(
+            "{} trial(s) quarantined (infrastructure-suspect; excluded from the histogram)",
+            pr.quarantined
+        );
+    }
     let errors = pr.hist.total() - pr.hist.count(Response::Success);
     let (lo, hi) = wilson_95(errors, pr.hist.total());
     println!(

@@ -11,6 +11,11 @@
 //! - `FASTFIT_TRIALS` — fault-injection tests per point (default 24;
 //!   paper: ≥ 100)
 //! - `FASTFIT_CLASS` — `mini` / `small` / `standard` problem sizes
+//! - `FASTFIT_TIMEOUT_MULT` — multiply the derived wall-clock backstop
+//!   (for loaded/slow machines; hang classification itself is logical,
+//!   so results do not change)
+//! - `FASTFIT_MAX_RETRIES` — retries for infrastructure-suspect trials
+//!   before quarantine (default 2)
 
 use fastfit::prelude::*;
 use minimd::{md_app, MdConfig};

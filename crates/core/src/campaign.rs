@@ -17,12 +17,16 @@ use crate::prune::{
 };
 use crate::response::{classify, Response, ResponseHistogram};
 use crate::space::{full_space_count, InjectionPoint, ParamsMode};
-use mpiprof::{profile_app, ApplicationProfile};
+use crate::supervise::{
+    AttemptOutcome, QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
+};
+use mpiprof::{profile_app_run, ApplicationProfile};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use simmpi::control::HangKind;
 use simmpi::ctx::RankOutput;
-use simmpi::runtime::{run_job, AppFn, JobSpec};
+use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,10 +79,24 @@ pub struct CampaignConfig {
     pub trials_per_point: usize,
     /// Which parameters to inject (§V-C default: the data buffer).
     pub params: ParamsMode,
-    /// Watchdog budget = `max(golden_wall × timeout_mult, min_timeout)`.
+    /// Wall-clock backstop = `max(golden_wall × timeout_mult, min_timeout)`.
+    /// With the logical watchdog active this should only fire on
+    /// infrastructure trouble, never decide a classification.
     pub timeout_mult: u32,
-    /// Lower bound on the watchdog budget.
+    /// Lower bound on the wall-clock backstop.
     pub min_timeout: Duration,
+    /// Logical op budget = `max(golden_ops_max × op_budget_mult,
+    /// min_op_budget)` — the deterministic livelock bound, derived from
+    /// the golden run's per-rank op counts.
+    pub op_budget_mult: u32,
+    /// Lower bound on the op budget (tiny workloads need headroom for
+    /// fault-perturbed control flow).
+    pub min_op_budget: u64,
+    /// Retries granted to infrastructure-suspect trials before they are
+    /// quarantined (`FASTFIT_MAX_RETRIES`).
+    pub max_retries: u32,
+    /// Base backoff before a retry; doubles per attempt.
+    pub retry_backoff: Duration,
     /// Measure points in parallel with rayon.
     pub parallel: bool,
     /// Seed for fault-bit selection.
@@ -92,6 +110,10 @@ impl Default for CampaignConfig {
             params: ParamsMode::DataBuffer,
             timeout_mult: 30,
             min_timeout: Duration::from_millis(400),
+            op_budget_mult: 32,
+            min_op_budget: 10_000,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
             parallel: false,
             seed: 0xFA57,
         }
@@ -99,7 +121,10 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// Default configuration with `FASTFIT_TRIALS` applied.
+    /// Default configuration with the environment overrides applied:
+    /// `FASTFIT_TRIALS` (trials per point), `FASTFIT_TIMEOUT_MULT`
+    /// (wall-clock backstop multiplier), `FASTFIT_MAX_RETRIES` (retries
+    /// before quarantine).
     pub fn from_env() -> Self {
         let mut cfg = CampaignConfig::default();
         if let Ok(t) = std::env::var("FASTFIT_TRIALS") {
@@ -107,7 +132,26 @@ impl CampaignConfig {
                 cfg.trials_per_point = t.max(1);
             }
         }
+        if let Ok(m) = std::env::var("FASTFIT_TIMEOUT_MULT") {
+            if let Ok(m) = m.parse::<u32>() {
+                cfg.timeout_mult = m.max(1);
+            }
+        }
+        if let Ok(r) = std::env::var("FASTFIT_MAX_RETRIES") {
+            if let Ok(r) = r.parse::<u32>() {
+                cfg.max_retries = r;
+            }
+        }
         cfg
+    }
+
+    /// The retry policy this configuration implies.
+    pub fn supervisor(&self) -> TrialSupervisor {
+        TrialSupervisor {
+            max_retries: self.max_retries,
+            backoff: self.retry_backoff,
+            ..TrialSupervisor::default()
+        }
     }
 }
 
@@ -137,6 +181,9 @@ pub struct PointResult {
     /// surfaces somewhere else first (the unexplored question the paper's
     /// introduction raises).
     pub fatal_ranks: Vec<usize>,
+    /// Trials quarantined by the supervisor (persistently
+    /// infrastructure-suspect; excluded from `hist`).
+    pub quarantined: u64,
 }
 
 impl PointResult {
@@ -178,8 +225,11 @@ pub struct TrialOutcome {
 pub struct CampaignResult {
     /// Per-point measurements.
     pub results: Vec<PointResult>,
-    /// Total fault-injection tests executed.
+    /// Total fault-injection tests that produced a classification.
     pub total_trials: u64,
+    /// Trials quarantined across all points (graceful degradation: the
+    /// campaign completed, but these trials contribute no response).
+    pub quarantined: u64,
     /// Wall time of the injection phase.
     pub wall: Duration,
 }
@@ -207,6 +257,9 @@ pub struct Campaign {
     pub golden: Vec<RankOutput>,
     /// Wall time of the golden run.
     pub golden_wall: Duration,
+    /// Per-rank logical op counts of the golden run — the baseline the
+    /// deterministic op budget is derived from.
+    pub golden_ops: Vec<u64>,
     /// §III-A result.
     pub semantic: SemanticPrune,
     /// §III-B result (the surviving points).
@@ -237,9 +290,11 @@ impl Campaign {
             timeout: Duration::from_secs(60),
             record: true,
             hook: None,
+            ..Default::default()
         };
         let t0 = Instant::now();
-        let (profile, golden) = profile_app(&spec, workload.app.clone());
+        let run = profile_app_run(&spec, workload.app.clone());
+        let (profile, golden, golden_ops) = (run.profile, run.outputs, run.ops);
         let golden_wall = t0.elapsed();
         observer.on_event(&ProgressEvent::PhaseFinished {
             phase: CampaignPhase::Profile,
@@ -260,6 +315,7 @@ impl Campaign {
             profile,
             golden,
             golden_wall,
+            golden_ops,
             semantic,
             context,
             full_points,
@@ -280,13 +336,30 @@ impl Campaign {
         1.0 - self.points().len() as f64 / self.full_points as f64
     }
 
-    fn trial_spec(&self, hook: Arc<InjectorHook>) -> JobSpec {
+    /// Per-rank logical op budget for fault trials: a generous multiple of
+    /// the golden run's busiest rank. Deterministic — derived from logical
+    /// op counts, not wall time — so exceeding it is a proof of livelock,
+    /// not a symptom of machine load.
+    pub fn op_budget(&self) -> u64 {
+        let golden_max = self.golden_ops.iter().copied().max().unwrap_or(0);
+        golden_max
+            .saturating_mul(u64::from(self.cfg.op_budget_mult))
+            .max(self.cfg.min_op_budget)
+    }
+
+    /// Job spec for one trial attempt at the given escalation level (0 for
+    /// the first attempt; each retry doubles both the wall backstop and
+    /// the op budget so a retried trial gets strictly more room).
+    fn trial_spec(&self, hook: Arc<InjectorHook>, escalation: u32) -> JobSpec {
+        let grow = 1u32 << escalation.min(10);
         JobSpec {
             nranks: self.workload.nranks,
             seed: self.workload.seed,
-            timeout: (self.golden_wall * self.cfg.timeout_mult).max(self.cfg.min_timeout),
+            timeout: (self.golden_wall * self.cfg.timeout_mult).max(self.cfg.min_timeout) * grow,
+            op_budget: Some(self.op_budget().saturating_mul(u64::from(grow))),
             record: false,
             hook: Some(hook),
+            ..Default::default()
         }
     }
 
@@ -300,20 +373,68 @@ impl Campaign {
 
     /// As [`Campaign::run_trial`], additionally reporting the rank of the
     /// first fatal event (error-propagation information).
+    ///
+    /// This is the *unsupervised* single-shot path: a wall-clock backstop
+    /// kill classifies `INF_LOOP` here. Campaign measurement goes through
+    /// [`Campaign::run_trial_supervised`], which retries such suspect
+    /// outcomes instead.
     pub fn run_trial_detailed(&self, point: &InjectionPoint, bit: u64) -> TrialOutcome {
         let hook = Arc::new(InjectorHook::new(FaultSpec { point: *point, bit }));
-        let spec = self.trial_spec(hook.clone());
+        let spec = self.trial_spec(hook.clone(), 0);
         let result = run_job(&spec, self.workload.app.clone());
-        let response = classify(&result.outcome, &self.golden, self.workload.tolerance);
-        let fatal_rank = match &result.outcome {
-            simmpi::runtime::JobOutcome::Fatal { rank, .. } => Some(*rank),
+        self.classify_trial(&result.outcome, hook.fired())
+    }
+
+    fn classify_trial(&self, outcome: &JobOutcome, fired: bool) -> TrialOutcome {
+        let response = classify(outcome, &self.golden, self.workload.tolerance);
+        let fatal_rank = match outcome {
+            JobOutcome::Fatal { rank, .. } => Some(*rank),
             _ => None,
         };
         TrialOutcome {
             response,
-            fired: hook.fired(),
+            fired,
             fatal_rank,
         }
+    }
+
+    /// One supervised trial attempt: deterministic outcomes (completed,
+    /// fatal, proven hang) are trusted; a wall-clock backstop kill or a
+    /// panic escaping the job harness is reported as suspect so the
+    /// supervisor can retry with bigger budgets.
+    fn run_trial_attempt(
+        &self,
+        point: &InjectionPoint,
+        bit: u64,
+        escalation: u32,
+    ) -> AttemptOutcome {
+        let hook = Arc::new(InjectorHook::new(FaultSpec { point: *point, bit }));
+        let spec = self.trial_spec(hook.clone(), escalation);
+        let app = self.workload.app.clone();
+        let result =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&spec, app))) {
+                Ok(r) => r,
+                // Harness trouble (e.g. thread-spawn failure under fd/mem
+                // pressure), not a property of the fault.
+                Err(_) => return AttemptOutcome::Suspect(QuarantineReason::Harness),
+            };
+        match result.outcome {
+            JobOutcome::TimedOut {
+                kind: HangKind::WallClock,
+            } => AttemptOutcome::Suspect(QuarantineReason::WallClock),
+            outcome => AttemptOutcome::Trusted(self.classify_trial(&outcome, hook.fired())),
+        }
+    }
+
+    /// Execute one fault-injection test under the retry/quarantine policy
+    /// of [`CampaignConfig::max_retries`]. Deterministic outcomes pass
+    /// through on the first attempt; infrastructure-suspect ones are
+    /// retried with escalating wall/op budgets; persistent ambiguity is
+    /// quarantined rather than given a fabricated response.
+    pub fn run_trial_supervised(&self, point: &InjectionPoint, bit: u64) -> SupervisedTrial {
+        self.cfg
+            .supervisor()
+            .run(|escalation| self.run_trial_attempt(point, bit, escalation))
     }
 
     /// Measure one point with `trials` random single-bit faults.
@@ -339,23 +460,35 @@ impl Campaign {
         let mut hist = ResponseHistogram::new();
         let mut fired = 0u64;
         let mut fatal_ranks = Vec::new();
+        let mut quarantined = 0u64;
         for trial in 0..trials {
+            // Every trial consumes its bit draw — including quarantined
+            // ones — so the RNG stream stays aligned across resumes.
             let bit: u64 = rng.gen();
-            let (t, replayed) = match observer.replay(point, trial, bit) {
-                Some(t) => (t, true),
-                None => (self.run_trial_detailed(point, bit), false),
+            let (disposition, retries, replayed) = match observer.replay(point, trial, bit) {
+                Some(d) => (d, 0, true),
+                None => {
+                    let s = self.run_trial_supervised(point, bit);
+                    (s.disposition, s.retries, false)
+                }
             };
             observer.on_event(&ProgressEvent::TrialFinished {
                 point,
                 trial,
                 bit,
-                outcome: &t,
+                disposition: &disposition,
+                retries,
                 replayed,
             });
-            hist.add(t.response);
-            fired += u64::from(t.fired);
-            if let Some(r) = t.fatal_rank {
-                fatal_ranks.push(r);
+            match disposition {
+                TrialDisposition::Classified(t) => {
+                    hist.add(t.response);
+                    fired += u64::from(t.fired);
+                    if let Some(r) = t.fatal_rank {
+                        fatal_ranks.push(r);
+                    }
+                }
+                TrialDisposition::Quarantined { .. } => quarantined += 1,
             }
         }
         PointResult {
@@ -363,6 +496,7 @@ impl Campaign {
             hist,
             fired,
             fatal_ranks,
+            quarantined,
         }
     }
 
@@ -418,6 +552,7 @@ impl Campaign {
             points.iter().enumerate().map(measure).collect()
         };
         let total_trials = results.iter().map(|r| r.hist.total()).sum();
+        let quarantined = results.iter().map(|r| r.quarantined).sum();
         observer.on_event(&ProgressEvent::PhaseFinished {
             phase: CampaignPhase::Measure,
             wall: t0.elapsed(),
@@ -425,6 +560,7 @@ impl Campaign {
         CampaignResult {
             results,
             total_trials,
+            quarantined,
             wall: t0.elapsed(),
         }
     }
@@ -519,10 +655,12 @@ impl Campaign {
             wall: t0.elapsed(),
         });
         let total_trials = measured_results.iter().map(|r| r.hist.total()).sum();
+        let quarantined = measured_results.iter().map(|r| r.quarantined).sum();
         (
             CampaignResult {
                 results: measured_results,
                 total_trials,
+                quarantined,
                 wall: t0.elapsed(),
             },
             outcome,

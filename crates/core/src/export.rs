@@ -115,6 +115,7 @@ mod tests {
             hist,
             fired: 10,
             fatal_ranks: vec![1, 1, 2],
+            quarantined: 0,
         }
     }
 

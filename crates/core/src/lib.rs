@@ -51,6 +51,7 @@ pub mod prune;
 pub mod report;
 pub mod response;
 pub mod space;
+pub mod supervise;
 
 /// Convenient re-exports.
 pub mod prelude {
@@ -77,4 +78,7 @@ pub mod prelude {
         ResponseHistogram, ALL_RESPONSES,
     };
     pub use crate::space::{full_space, full_space_count, InjectionPoint, ParamsMode};
+    pub use crate::supervise::{
+        QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
+    };
 }

@@ -13,8 +13,9 @@
 //! defines the seam so that `fastfit` itself stays free of I/O policy.
 //! [`NullObserver`] keeps the non-persistent paths zero-cost.
 
-use crate::campaign::{PointResult, TrialOutcome};
+use crate::campaign::PointResult;
 use crate::space::InjectionPoint;
+use crate::supervise::TrialDisposition;
 use std::time::Duration;
 
 /// Stable textual identity of an injection point, usable as a journal key
@@ -89,10 +90,15 @@ pub enum ProgressEvent<'a> {
         trial: usize,
         /// The injected bit.
         bit: u64,
-        /// What the trial observed.
-        outcome: &'a TrialOutcome,
-        /// `true` when the outcome came from [`CampaignObserver::replay`]
-        /// instead of a fresh execution.
+        /// What the supervised trial contributed: a classification or a
+        /// quarantine marker.
+        disposition: &'a TrialDisposition,
+        /// Extra attempts the supervisor needed before this disposition
+        /// stood (0 = first try). Telemetry only — load-dependent, so it
+        /// is never journaled.
+        retries: u32,
+        /// `true` when the disposition came from
+        /// [`CampaignObserver::replay`] instead of a fresh execution.
         replayed: bool,
     },
     /// All trials of one point finished.
@@ -125,12 +131,19 @@ pub enum ProgressEvent<'a> {
 /// must be thread-safe because `CampaignConfig::parallel` measures points
 /// from rayon workers.
 pub trait CampaignObserver: Send + Sync {
-    /// Return the recorded outcome of `(point, trial)` if this exact trial
-    /// was already measured (checkpoint/resume). `bit` is the fault the
-    /// campaign is about to inject; implementations should treat a bit
-    /// mismatch against their record as "not recorded" — it means the
-    /// configuration changed and the record is for a different fault.
-    fn replay(&self, _point: &InjectionPoint, _trial: usize, _bit: u64) -> Option<TrialOutcome> {
+    /// Return the recorded disposition of `(point, trial)` if this exact
+    /// trial was already measured (checkpoint/resume) — quarantined trials
+    /// replay as quarantined, keeping resumed journals identical to
+    /// uninterrupted ones. `bit` is the fault the campaign is about to
+    /// inject; implementations should treat a bit mismatch against their
+    /// record as "not recorded" — it means the configuration changed and
+    /// the record is for a different fault.
+    fn replay(
+        &self,
+        _point: &InjectionPoint,
+        _trial: usize,
+        _bit: u64,
+    ) -> Option<TrialDisposition> {
         None
     }
 

@@ -261,6 +261,7 @@ mod tests {
             hist,
             fired: 0,
             fatal_ranks: Vec::new(),
+            quarantined: 0,
         }
     }
 

@@ -113,7 +113,10 @@ pub fn classify(outcome: &JobOutcome, golden: &[RankOutput], tol: f64) -> Respon
             FatalKind::Mpi(_) => Response::MpiErr,
             FatalKind::SegFault { .. } => Response::SegFault,
         },
-        JobOutcome::TimedOut => Response::InfLoop,
+        // All hang kinds classify INF_LOOP at this layer; the trial
+        // supervisor decides *before* classification whether a wall-clock
+        // backstop kill deserves a retry or quarantine instead.
+        JobOutcome::TimedOut { .. } => Response::InfLoop,
     }
 }
 
@@ -168,11 +171,15 @@ impl ResponseHistogram {
 
     /// The most frequent response (ties break in Table I order).
     pub fn dominant(&self) -> Response {
-        ALL_RESPONSES
-            .iter()
-            .copied()
-            .max_by_key(|r| self.count(*r))
-            .unwrap_or(Response::Success)
+        // Strict `>` keeps the earliest maximal response; `max_by_key`
+        // would return the last one and break the documented tie order.
+        let mut best = Response::Success;
+        for r in ALL_RESPONSES {
+            if self.count(r) > self.count(best) {
+                best = r;
+            }
+        }
+        best
     }
 }
 
@@ -269,6 +276,7 @@ pub fn level_15_85(rate: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simmpi::control::HangKind;
     use simmpi::error::MpiError;
 
     fn out(v: f64) -> Vec<RankOutput> {
@@ -322,10 +330,12 @@ mod tests {
             ),
             Response::SegFault
         );
-        assert_eq!(
-            classify(&JobOutcome::TimedOut, &golden, 0.0),
-            Response::InfLoop
-        );
+        for kind in [HangKind::OpBudget, HangKind::Stalled, HangKind::WallClock] {
+            assert_eq!(
+                classify(&JobOutcome::TimedOut { kind }, &golden, 0.0),
+                Response::InfLoop
+            );
+        }
     }
 
     #[test]
@@ -361,6 +371,26 @@ mod tests {
         assert!((h.error_rate() - 0.4).abs() < 1e-12);
         assert_eq!(h.dominant(), Response::Success);
         assert!((h.fraction(Response::SegFault) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_ties_break_in_table_one_order() {
+        // AppDetected and WrongAns tie at 2; the documented rule is that
+        // the earlier Table I entry wins.
+        let mut h = ResponseHistogram::new();
+        h.add(Response::AppDetected);
+        h.add(Response::AppDetected);
+        h.add(Response::WrongAns);
+        h.add(Response::WrongAns);
+        h.add(Response::Success);
+        assert_eq!(h.dominant(), Response::AppDetected);
+        // An empty histogram defaults to the first entry.
+        assert_eq!(ResponseHistogram::new().dominant(), Response::Success);
+        // A tie of everything at zero except a single later entry still
+        // picks the populated one.
+        let mut h2 = ResponseHistogram::new();
+        h2.add(Response::InfLoop);
+        assert_eq!(h2.dominant(), Response::InfLoop);
     }
 
     #[test]

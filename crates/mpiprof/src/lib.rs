@@ -41,6 +41,23 @@ pub use profile::{ApplicationProfile, SiteStats, StackGroup};
 pub use report::{communication_report, imbalance_report};
 
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use std::time::Duration;
+
+/// Everything the profiling run produces: the profile, the golden outputs,
+/// and the runtime accounting the campaign layer derives its watchdog
+/// budgets from.
+pub struct ProfiledRun {
+    /// Per-site statistics and stack groups.
+    pub profile: ApplicationProfile,
+    /// Golden (fault-free) outputs, indexed by rank.
+    pub outputs: Vec<simmpi::ctx::RankOutput>,
+    /// Per-rank logical op counts of the clean run (sends, receives,
+    /// collective entries, yield points) — the baseline for the
+    /// deterministic op-budget watchdog.
+    pub ops: Vec<u64>,
+    /// Wall time of the clean run.
+    pub wall: Duration,
+}
 
 /// Run one recorded (profiling) execution of `app` and return its profile
 /// together with the golden outputs. Panics if the clean run does not
@@ -50,12 +67,24 @@ pub fn profile_app(
     spec: &JobSpec,
     app: AppFn,
 ) -> (ApplicationProfile, Vec<simmpi::ctx::RankOutput>) {
+    let run = profile_app_run(spec, app);
+    (run.profile, run.outputs)
+}
+
+/// As [`profile_app`], additionally reporting the clean run's per-rank
+/// logical op counts and wall time.
+pub fn profile_app_run(spec: &JobSpec, app: AppFn) -> ProfiledRun {
     let mut spec = spec.clone();
     spec.record = true;
     spec.hook = None;
     let result = run_job(&spec, app);
     match result.outcome {
-        JobOutcome::Completed { outputs } => (ApplicationProfile::new(result.records), outputs),
+        JobOutcome::Completed { outputs } => ProfiledRun {
+            profile: ApplicationProfile::new(result.records),
+            outputs,
+            ops: result.ops,
+            wall: result.wall,
+        },
         other => panic!(
             "profiling run must complete cleanly, got {:?} (records from {} ranks)",
             other,
@@ -105,5 +134,26 @@ mod tests {
         assert_eq!(classes[1], vec![1, 2, 3, 4, 5]);
         let report = communication_report(&profile);
         assert!(report.contains("MPI_Bcast"));
+    }
+
+    #[test]
+    fn profiled_run_reports_op_baseline() {
+        let spec = JobSpec {
+            nranks: 4,
+            ..Default::default()
+        };
+        let run = profile_app_run(
+            &spec,
+            Arc::new(|ctx: &mut RankCtx| {
+                ctx.allreduce_one(1.0f64, ReduceOp::Sum, ctx.world());
+                RankOutput::new()
+            }),
+        );
+        assert_eq!(run.ops.len(), 4);
+        assert!(
+            run.ops.iter().all(|&o| o > 0),
+            "every rank's collective traffic is accounted: {:?}",
+            run.ops
+        );
     }
 }

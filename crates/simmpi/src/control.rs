@@ -1,14 +1,24 @@
-//! Job-wide control state: kill flag, deadline, first-fatal-event record.
+//! Job-wide control state: kill flag, logical-progress accounting, hang
+//! diagnosis, and first-fatal-event record.
 //!
 //! Every blocking wait inside the runtime polls this state so that a job
 //! whose ranks are deadlocked (the paper's `INF_LOOP` outcome) can be torn
 //! down by the watchdog without leaking threads, and so that a fatal event
 //! on one rank (MPI error, simulated segfault, application abort) brings
 //! the whole job down like `MPI_ERRORS_ARE_FATAL` / `MPI_Abort` would.
+//!
+//! Hang detection is *logical*, not wall-clock: every rank bumps a
+//! monotonic per-rank op counter at sends, receives, collective entries
+//! and explicit yield points ([`JobControl::note_op`]). A job dies
+//! deterministically when a rank exhausts its op budget (livelock) or
+//! when the runner's stall sweep proves every live rank is blocked on a
+//! receive no one will ever satisfy (deadlock). The wall-clock deadline
+//! remains only as an infrastructure backstop; a wall-clock kill while
+//! ranks were still progressing is *suspect*, not a classification.
 
 use crate::error::MpiError;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The first fatal event observed in a job. Ordering matters for
@@ -31,6 +41,44 @@ pub enum FatalKind {
         /// Description of the violated access.
         detail: String,
     },
+}
+
+/// Why the watchdog tore a job down. Distinguishing the deterministic
+/// hang proofs from the wall-clock backstop is what lets the trial
+/// supervisor retry infrastructure-suspect kills instead of recording a
+/// wrong `INF_LOOP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HangKind {
+    /// A rank exceeded its logical op budget: the job executed far more
+    /// sends/receives/collectives than the golden run ever needed
+    /// (livelock). Deterministic — op counts do not depend on machine
+    /// load.
+    OpBudget,
+    /// Every live rank was blocked on a receive with no deliverable
+    /// message across the stall quota (deadlock). Deterministic — the
+    /// sweep proves no rank can ever make progress.
+    Stalled,
+    /// The wall-clock backstop expired while ranks were still making
+    /// logical progress. Infrastructure-suspect: a loaded machine, not
+    /// the fault, may have caused this.
+    WallClock,
+}
+
+impl HangKind {
+    /// Short token used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            HangKind::OpBudget => "op_budget",
+            HangKind::Stalled => "stalled",
+            HangKind::WallClock => "wall_clock",
+        }
+    }
+
+    /// Whether this kind is a deterministic hang proof (`true`) or the
+    /// wall-clock backstop (`false`).
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, HangKind::WallClock)
+    }
 }
 
 /// Panic payloads used for structured unwinding of rank threads.
@@ -61,7 +109,13 @@ pub enum RankPanic {
 pub struct JobControl {
     killed: AtomicBool,
     deadline: Instant,
+    /// Per-rank logical op budget; `None` = unlimited (golden runs).
+    op_budget: Option<u64>,
+    /// Per-rank monotonic op counters, bumped at sends, receives,
+    /// collective entries and yield points.
+    ops: Vec<AtomicU64>,
     fatal: Mutex<Option<(usize, FatalKind)>>,
+    hang: Mutex<Option<HangKind>>,
     done: Mutex<usize>,
     done_cv: Condvar,
     nranks: usize,
@@ -69,12 +123,20 @@ pub struct JobControl {
 
 impl JobControl {
     /// Create a control block for `nranks` ranks with the given wall-clock
-    /// timeout.
+    /// timeout and no op budget.
     pub fn new(nranks: usize, timeout: Duration) -> Self {
+        Self::with_budget(nranks, timeout, None)
+    }
+
+    /// Create a control block with a per-rank logical op budget.
+    pub fn with_budget(nranks: usize, timeout: Duration, op_budget: Option<u64>) -> Self {
         JobControl {
             killed: AtomicBool::new(false),
             deadline: Instant::now() + timeout,
+            op_budget,
+            ops: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             fatal: Mutex::new(None),
+            hang: Mutex::new(None),
             done: Mutex::new(0),
             done_cv: Condvar::new(),
             nranks,
@@ -112,6 +174,47 @@ impl JobControl {
         self.fatal.lock().clone()
     }
 
+    /// Record why the watchdog is tearing the job down (first diagnosis
+    /// wins) and kill the job.
+    pub fn record_hang(&self, kind: HangKind) {
+        {
+            let mut slot = self.hang.lock();
+            if slot.is_none() {
+                *slot = Some(kind);
+            }
+        }
+        self.kill();
+    }
+
+    /// The recorded hang diagnosis, if any.
+    pub fn hang(&self) -> Option<HangKind> {
+        *self.hang.lock()
+    }
+
+    /// Bump `rank`'s logical progress counter. Called at every send,
+    /// receive, collective entry and yield point. Unwinds with
+    /// [`RankPanic::Killed`] once the rank exhausts its op budget — the
+    /// deterministic livelock kill.
+    pub fn note_op(&self, rank: usize) {
+        let n = self.ops[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(budget) = self.op_budget {
+            if n > budget {
+                self.record_hang(HangKind::OpBudget);
+                std::panic::panic_any(RankPanic::Killed);
+            }
+        }
+    }
+
+    /// `rank`'s logical op count so far.
+    pub fn ops(&self, rank: usize) -> u64 {
+        self.ops[rank].load(Ordering::Relaxed)
+    }
+
+    /// Per-rank op counts (indexed by rank).
+    pub fn ops_snapshot(&self) -> Vec<u64> {
+        self.ops.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
     /// Poll point used by blocking waits and collective entries. Panics with
     /// [`RankPanic::Killed`] once the job is being torn down.
     pub fn check(&self) {
@@ -125,6 +228,28 @@ impl JobControl {
         let mut d = self.done.lock();
         *d += 1;
         self.done_cv.notify_all();
+    }
+
+    /// Ranks that have finished (normally or by unwinding).
+    pub fn done_count(&self) -> usize {
+        *self.done.lock()
+    }
+
+    /// Block until all ranks finished or `dur` elapsed. Returns `true`
+    /// once all ranks are done. Unlike [`JobControl::wait_all_done`] this
+    /// does not give up at the deadline — the runner's supervision loop
+    /// owns that policy.
+    pub fn wait_done_for(&self, dur: Duration) -> bool {
+        let mut d = self.done.lock();
+        let until = Instant::now() + dur;
+        while *d < self.nranks {
+            let now = Instant::now();
+            if now >= until {
+                return false;
+            }
+            self.done_cv.wait_for(&mut d, until - now);
+        }
+        true
     }
 
     /// Block until all ranks finished or the deadline passed. Returns `true`
@@ -161,6 +286,15 @@ mod tests {
     }
 
     #[test]
+    fn first_hang_diagnosis_wins() {
+        let ctl = JobControl::new(1, Duration::from_secs(1));
+        ctl.record_hang(HangKind::Stalled);
+        ctl.record_hang(HangKind::WallClock);
+        assert_eq!(ctl.hang(), Some(HangKind::Stalled));
+        assert!(ctl.should_die());
+    }
+
+    #[test]
     fn deadline_expiry_sets_should_die() {
         let ctl = JobControl::new(1, Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(5));
@@ -178,6 +312,33 @@ mod tests {
     }
 
     #[test]
+    fn note_op_counts_and_enforces_budget() {
+        let ctl = JobControl::with_budget(2, Duration::from_secs(5), Some(3));
+        for _ in 0..3 {
+            ctl.note_op(0);
+        }
+        assert_eq!(ctl.ops(0), 3);
+        assert_eq!(ctl.ops(1), 0);
+        assert!(!ctl.should_die(), "budget not yet exceeded");
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctl.note_op(0))).unwrap_err();
+        assert_eq!(*err.downcast_ref::<RankPanic>().unwrap(), RankPanic::Killed);
+        assert_eq!(ctl.hang(), Some(HangKind::OpBudget));
+        assert!(ctl.should_die());
+        assert_eq!(ctl.ops_snapshot(), vec![4, 0]);
+    }
+
+    #[test]
+    fn unlimited_budget_never_kills() {
+        let ctl = JobControl::new(1, Duration::from_secs(5));
+        for _ in 0..100_000 {
+            ctl.note_op(0);
+        }
+        assert!(!ctl.should_die());
+        assert_eq!(ctl.ops(0), 100_000);
+    }
+
+    #[test]
     fn wait_all_done_completes() {
         let ctl = Arc::new(JobControl::new(3, Duration::from_secs(5)));
         let mut handles = vec![];
@@ -189,11 +350,23 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert_eq!(ctl.done_count(), 3);
     }
 
     #[test]
     fn wait_all_done_times_out() {
         let ctl = JobControl::new(1, Duration::from_millis(10));
         assert!(!ctl.wait_all_done());
+    }
+
+    #[test]
+    fn wait_done_for_is_deadline_free() {
+        // A control block whose deadline already passed still waits the
+        // requested slice — supervision policy lives in the runner.
+        let ctl = JobControl::new(1, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(!ctl.wait_done_for(Duration::from_millis(5)));
+        ctl.rank_done();
+        assert!(ctl.wait_done_for(Duration::from_millis(5)));
     }
 }

@@ -228,6 +228,16 @@ impl RankCtx {
         self.errhdl_depth > 0
     }
 
+    /// Cooperative yield point for long compute stretches: bumps this
+    /// rank's logical progress counter and honours job teardown. Call it
+    /// inside compute loops that run between communication calls so the
+    /// watchdog can tell "slow but progressing" from "hung" (and so the
+    /// op budget bounds pure-compute livelocks too).
+    pub fn yield_point(&self) {
+        self.ctl.check();
+        self.ctl.note_op(self.rank);
+    }
+
     /// Abort the job from application code (`MPI_Abort` analog). The whole
     /// job is classified `APP_DETECTED`.
     pub fn abort(&mut self, code: i32, msg: impl Into<String>) -> ! {
@@ -327,6 +337,7 @@ impl RankCtx {
     /// Send `buf` to communicator rank `dst` with `tag`.
     pub fn send<T: MpiType>(&mut self, buf: &[T], dst: usize, tag: i32, comm: CommHandle) {
         self.ctl.check();
+        self.ctl.note_op(self.rank);
         if tag < 0 {
             self.fatal(MpiError::Tag);
         }
@@ -359,6 +370,7 @@ impl RankCtx {
         comm: CommHandle,
     ) -> usize {
         self.ctl.check();
+        self.ctl.note_op(self.rank);
         if tag < 0 {
             self.fatal(MpiError::Tag);
         }
@@ -413,6 +425,7 @@ impl RankCtx {
     /// Fatal truncation error if the message exceeds `buf`.
     pub fn wait_into<T: MpiType>(&mut self, req: RecvRequest<T>, buf: &mut [T]) -> usize {
         self.ctl.check();
+        self.ctl.note_op(self.rank);
         let data = self
             .fabric
             .recv(self.rank, req.src_global, req.tag, &self.ctl);
@@ -1019,6 +1032,7 @@ impl RankCtx {
         recvbuf: Option<&mut Vec<u8>>,
     ) -> Decoded {
         self.ctl.check();
+        self.ctl.note_op(self.rank);
         let bytes = sendbuf.as_ref().map(|b| b.len()).unwrap_or(0);
         let invocation = {
             let e = self.site_counts.entry(site).or_insert(0);

@@ -14,8 +14,15 @@
 //!
 //! (The output comparison lives in the `fastfit` crate, which owns the
 //! golden run.)
+//!
+//! `TimedOut` carries a [`HangKind`] saying *how* the hang was diagnosed:
+//! `OpBudget` (a rank blew its logical op budget — livelock) and `Stalled`
+//! (the stall sweep proved every live rank blocked on an unsatisfiable
+//! receive — deadlock) are deterministic and safe to classify `INF_LOOP`;
+//! `WallClock` means only the infrastructure backstop fired and the trial
+//! is suspect — the supervisor layer above decides whether to retry it.
 
-use crate::control::{FatalKind, JobControl, RankPanic};
+use crate::control::{FatalKind, HangKind, JobControl, RankPanic};
 use crate::ctx::{RankCtx, RankOutput};
 use crate::hook::CollHook;
 use crate::record::CallRecord;
@@ -39,8 +46,16 @@ pub struct JobSpec {
     pub nranks: usize,
     /// Seed for the per-rank application RNGs.
     pub seed: u64,
-    /// Wall-clock budget before the watchdog declares `INF_LOOP`.
+    /// Wall-clock backstop before the watchdog gives up on the job. With
+    /// an op budget and stall detection active this should only ever fire
+    /// on infrastructure trouble, never on a genuine `INF_LOOP`.
     pub timeout: Duration,
+    /// Per-rank logical op budget; `None` = unlimited. Exceeding it is a
+    /// deterministic livelock kill ([`HangKind::OpBudget`]).
+    pub op_budget: Option<u64>,
+    /// Consecutive same-epoch all-stuck sweeps required before the stall
+    /// detector declares a deadlock; `0` disables stall detection.
+    pub stall_quota: u32,
     /// Record per-call profiling data.
     pub record: bool,
     /// Interposition hook (fault injector); `None` = clean run.
@@ -53,6 +68,8 @@ impl Default for JobSpec {
             nranks: 16,
             seed: 0x5EED,
             timeout: Duration::from_secs(10),
+            op_budget: None,
+            stall_quota: 3,
             record: false,
             hook: None,
         }
@@ -65,6 +82,8 @@ impl std::fmt::Debug for JobSpec {
             .field("nranks", &self.nranks)
             .field("seed", &self.seed)
             .field("timeout", &self.timeout)
+            .field("op_budget", &self.op_budget)
+            .field("stall_quota", &self.stall_quota)
             .field("record", &self.record)
             .field("hook", &self.hook.is_some())
             .finish()
@@ -86,8 +105,11 @@ pub enum JobOutcome {
         /// What happened.
         kind: FatalKind,
     },
-    /// The watchdog killed the job (deadlock / infinite loop).
-    TimedOut,
+    /// The watchdog killed the job (deadlock / infinite loop / backstop).
+    TimedOut {
+        /// How the hang was diagnosed; `WallClock` is infrastructure-suspect.
+        kind: HangKind,
+    },
 }
 
 /// Result of one job run.
@@ -97,6 +119,9 @@ pub struct JobResult {
     pub outcome: JobOutcome,
     /// Per-rank call records (empty unless `JobSpec::record`).
     pub records: Vec<Vec<CallRecord>>,
+    /// Per-rank logical op counts at teardown (indexed by rank). For a
+    /// completed golden run these are the op-budget baseline.
+    pub ops: Vec<u64>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -126,7 +151,7 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
     let start = Instant::now();
     let n = spec.nranks;
     let fabric = Fabric::new(n);
-    let ctl = Arc::new(JobControl::new(n, spec.timeout));
+    let ctl = Arc::new(JobControl::with_budget(n, spec.timeout, spec.op_budget));
     let outputs: Arc<Vec<Mutex<Option<RankOutput>>>> =
         Arc::new((0..n).map(|_| Mutex::new(None)).collect());
     let records: Arc<Vec<Mutex<Vec<CallRecord>>>> =
@@ -181,7 +206,49 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
         handles.push(handle);
     }
 
-    let finished_in_time = ctl.wait_all_done();
+    // Supervision loop. Between short waits for completion it runs the
+    // deterministic stall sweep: read the fabric epoch, check that every
+    // rank is finished or provably blocked on an unsatisfiable receive,
+    // re-read the epoch. An unchanged epoch across the sweep means no
+    // message moved anywhere while every live rank was observed blocked —
+    // any real progress would have bumped it, so consecutive same-epoch
+    // candidate sweeps prove a deadlock regardless of machine load. The
+    // wall-clock deadline only fires when neither deterministic detector
+    // claimed the job first.
+    const SWEEP: Duration = Duration::from_millis(5);
+    let mut stall_streak: u32 = 0;
+    let mut streak_epoch: u64 = 0;
+    let finished_in_time = loop {
+        if ctl.wait_done_for(SWEEP) {
+            break true;
+        }
+        if ctl.should_die() {
+            // Killed by a fatal event, a deterministic hang kill, or the
+            // wall-clock deadline. Attribute the backstop only if nothing
+            // deterministic claimed the job.
+            if ctl.fatal().is_none() && ctl.hang().is_none() {
+                ctl.record_hang(HangKind::WallClock);
+            }
+            ctl.kill();
+            break false;
+        }
+        if spec.stall_quota == 0 {
+            continue;
+        }
+        let e0 = fabric.epoch();
+        let stuck = (0..n).filter(|&r| fabric.stuck(r)).count();
+        let candidate = stuck > 0 && stuck + ctl.done_count() >= n && fabric.epoch() == e0;
+        if candidate && (stall_streak == 0 || streak_epoch == e0) {
+            stall_streak += 1;
+            streak_epoch = e0;
+            if stall_streak >= spec.stall_quota {
+                ctl.record_hang(HangKind::Stalled);
+                break false;
+            }
+        } else {
+            stall_streak = 0;
+        }
+    };
     if !finished_in_time {
         ctl.kill();
     }
@@ -197,20 +264,27 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
         .collect();
     let outcome = if let Some((rank, kind)) = ctl.fatal() {
         JobOutcome::Fatal { rank, kind }
+    } else if let Some(kind) = ctl.hang() {
+        JobOutcome::TimedOut { kind }
     } else if !finished_in_time {
-        JobOutcome::TimedOut
+        JobOutcome::TimedOut {
+            kind: HangKind::WallClock,
+        }
     } else {
         let outs: Option<Vec<RankOutput>> = outputs.iter().map(|m| m.lock().clone()).collect();
         match outs {
             Some(outputs) => JobOutcome::Completed { outputs },
             // A rank vanished without a fatal record or timeout: treat as
-            // a hang (should not happen).
-            None => JobOutcome::TimedOut,
+            // a wall-clock-suspect hang (should not happen).
+            None => JobOutcome::TimedOut {
+                kind: HangKind::WallClock,
+            },
         }
     };
     JobResult {
         outcome,
         records: recs,
+        ops: ctl.ops_snapshot(),
         wall: start.elapsed(),
     }
 }
@@ -337,7 +411,9 @@ mod tests {
         let res = run_job(
             &JobSpec {
                 nranks: 3,
-                timeout: Duration::from_millis(300),
+                // Generous wall backstop: the stall sweep, not the clock,
+                // must catch this deadlock.
+                timeout: Duration::from_secs(30),
                 ..Default::default()
             },
             Arc::new(|ctx: &mut RankCtx| {
@@ -351,8 +427,84 @@ mod tests {
                 RankOutput::new()
             }),
         );
-        assert_eq!(res.outcome, JobOutcome::TimedOut);
-        assert!(t0.elapsed() < Duration::from_secs(5), "teardown is prompt");
+        assert_eq!(
+            res.outcome,
+            JobOutcome::TimedOut {
+                kind: HangKind::Stalled
+            }
+        );
+        assert!(t0.elapsed() < Duration::from_secs(10), "teardown is prompt");
+    }
+
+    #[test]
+    fn op_budget_exhaustion_is_deterministic_inf_loop() {
+        let run = || {
+            run_job(
+                &JobSpec {
+                    nranks: 2,
+                    timeout: Duration::from_secs(30),
+                    op_budget: Some(64),
+                    ..Default::default()
+                },
+                Arc::new(|ctx: &mut RankCtx| {
+                    // Livelock: endless collectives, never converging.
+                    loop {
+                        let _ = ctx.allreduce_one(1.0f64, ReduceOp::Sum, ctx.world());
+                    }
+                }),
+            )
+        };
+        let a = run();
+        assert_eq!(
+            a.outcome,
+            JobOutcome::TimedOut {
+                kind: HangKind::OpBudget
+            }
+        );
+        // Op accounting is logical, so the kill point is reproducible.
+        let b = run();
+        assert_eq!(a.outcome, b.outcome);
+        assert!(a.ops.iter().any(|&o| o >= 64), "some rank hit the budget");
+    }
+
+    #[test]
+    fn wall_clock_backstop_is_flagged_suspect() {
+        // A rank that keeps making logical progress but never finishes:
+        // only the wall-clock backstop can stop it, and the outcome must
+        // say so (the supervisor upstream treats it as retryable, not as
+        // a proven INF_LOOP).
+        let res = run_job(
+            &JobSpec {
+                nranks: 1,
+                timeout: Duration::from_millis(100),
+                ..Default::default()
+            },
+            Arc::new(|ctx: &mut RankCtx| loop {
+                ctx.yield_point();
+                std::thread::sleep(Duration::from_millis(1));
+            }),
+        );
+        assert_eq!(
+            res.outcome,
+            JobOutcome::TimedOut {
+                kind: HangKind::WallClock
+            }
+        );
+        assert!(res.ops[0] > 0, "the rank was progressing when killed");
+    }
+
+    #[test]
+    fn completed_run_reports_op_counts() {
+        let res = run_job(
+            &spec(4),
+            Arc::new(|ctx: &mut RankCtx| {
+                let _ = ctx.allreduce_one(1.0f64, ReduceOp::Sum, ctx.world());
+                RankOutput::new()
+            }),
+        );
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+        assert_eq!(res.ops.len(), 4);
+        assert!(res.ops.iter().all(|&o| o > 0), "collectives count as ops");
     }
 
     #[test]

@@ -10,11 +10,20 @@
 //! keyed by communicator id and per-communicator sequence number, so stray
 //! traffic from a rank operating on a bit-flipped communicator never matches
 //! a healthy rank's receives (it deadlocks, as in real MPI).
+//!
+//! The fabric also exposes the state the deterministic stall detector needs:
+//! a global progress [`epoch`](Fabric::epoch) bumped under the mailbox lock
+//! on every send and every message consumption, and a per-rank
+//! [`stuck`](Fabric::stuck) predicate ("blocked in `recv` with no deliverable
+//! message"). Two watchdog sweeps that observe every live rank stuck with an
+//! unchanged epoch in between have *proved* a deadlock: any progress,
+//! however the OS schedules the threads, would have bumped the epoch.
 
 use crate::control::{JobControl, RankPanic};
 use crate::error::MpiError;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,9 +38,18 @@ pub struct Msg {
     pub data: Vec<u8>,
 }
 
+/// Queue plus the blocked-receive descriptor of the owning rank, guarded by
+/// a single lock so the stall detector sees a consistent pair.
+#[derive(Debug, Default)]
+struct MailboxState {
+    queue: VecDeque<Msg>,
+    /// `(src, tag)` the owning rank is currently blocked on, if any.
+    waiting: Option<(usize, u64)>,
+}
+
 #[derive(Debug, Default)]
 struct Mailbox {
-    queue: Mutex<VecDeque<Msg>>,
+    state: Mutex<MailboxState>,
     cv: Condvar,
 }
 
@@ -40,7 +58,11 @@ struct Mailbox {
 pub struct Fabric {
     boxes: Vec<Mailbox>,
     /// Total bytes ever enqueued, for diagnostics/benchmarks.
-    bytes_sent: std::sync::atomic::AtomicU64,
+    bytes_sent: AtomicU64,
+    /// Progress epoch: bumped (under the destination mailbox lock) on every
+    /// enqueue and every consume. An unchanged epoch across a watchdog
+    /// sweep window proves no message moved anywhere in the fabric.
+    epoch: AtomicU64,
 }
 
 impl Fabric {
@@ -48,7 +70,8 @@ impl Fabric {
     pub fn new(n: usize) -> Arc<Fabric> {
         Arc::new(Fabric {
             boxes: (0..n).map(|_| Mailbox::default()).collect(),
-            bytes_sent: std::sync::atomic::AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -59,7 +82,30 @@ impl Fabric {
 
     /// Total payload bytes sent through the fabric so far.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(std::sync::atomic::Ordering::Relaxed)
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Current progress epoch (see the struct docs for the guarantee).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether `rank` is blocked in [`recv`](Fabric::recv) with no
+    /// deliverable message. Checked under the mailbox lock, so a `true`
+    /// cannot race with an in-flight matching send: a send that landed
+    /// first would be visible in the queue, one that lands later bumps the
+    /// epoch and invalidates the sweep.
+    pub fn stuck(&self, rank: usize) -> bool {
+        self.boxes
+            .get(rank)
+            .map(|m| {
+                let st = m.state.lock();
+                match st.waiting {
+                    Some((src, tag)) => !st.queue.iter().any(|x| x.src == src && x.tag == tag),
+                    None => false,
+                }
+            })
+            .unwrap_or(false)
     }
 
     /// Deliver `data` to `dst`'s mailbox. Fails with `MPI_ERR_RANK` if
@@ -68,9 +114,10 @@ impl Fabric {
     pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), MpiError> {
         let mbox = self.boxes.get(dst).ok_or(MpiError::Rank)?;
         self.bytes_sent
-            .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
-        let mut q = mbox.queue.lock();
-        q.push_back(Msg { src, tag, data });
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let mut st = mbox.state.lock();
+        st.queue.push_back(Msg { src, tag, data });
+        self.epoch.fetch_add(1, Ordering::Release);
         mbox.cv.notify_all();
         Ok(())
     }
@@ -84,16 +131,20 @@ impl Fabric {
             Some(m) => m,
             None => std::panic::panic_any(RankPanic::Mpi(MpiError::Rank)),
         };
-        let mut q = mbox.queue.lock();
+        let mut st = mbox.state.lock();
+        st.waiting = Some((src, tag));
         loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos).expect("position just found").data;
+            if let Some(pos) = st.queue.iter().position(|m| m.src == src && m.tag == tag) {
+                st.waiting = None;
+                self.epoch.fetch_add(1, Ordering::Release);
+                return st.queue.remove(pos).expect("position just found").data;
             }
             if ctl.should_die() {
-                drop(q);
+                st.waiting = None;
+                drop(st);
                 std::panic::panic_any(RankPanic::Killed);
             }
-            mbox.cv.wait_for(&mut q, Duration::from_millis(2));
+            mbox.cv.wait_for(&mut st, Duration::from_millis(2));
         }
     }
 
@@ -101,7 +152,13 @@ impl Fabric {
     pub fn probe(&self, me: usize, src: usize, tag: u64) -> bool {
         self.boxes
             .get(me)
-            .map(|m| m.queue.lock().iter().any(|x| x.src == src && x.tag == tag))
+            .map(|m| {
+                m.state
+                    .lock()
+                    .queue
+                    .iter()
+                    .any(|x| x.src == src && x.tag == tag)
+            })
             .unwrap_or(false)
     }
 
@@ -109,7 +166,7 @@ impl Fabric {
     pub fn queued(&self, me: usize) -> usize {
         self.boxes
             .get(me)
-            .map(|m| m.queue.lock().len())
+            .map(|m| m.state.lock().queue.len())
             .unwrap_or(0)
     }
 }
@@ -196,5 +253,42 @@ mod tests {
         f.send(0, 1, 3, vec![1]).unwrap();
         assert!(f.probe(1, 0, 3));
         assert_eq!(f.queued(1), 1);
+    }
+
+    #[test]
+    fn epoch_advances_on_send_and_consume() {
+        let f = Fabric::new(2);
+        let e0 = f.epoch();
+        f.send(0, 1, 3, vec![1]).unwrap();
+        let e1 = f.epoch();
+        assert!(e1 > e0, "send bumps the epoch");
+        let c = ctl();
+        let _ = f.recv(1, 0, 3, &c);
+        assert!(f.epoch() > e1, "consume bumps the epoch");
+    }
+
+    #[test]
+    fn stuck_tracks_blocked_receives() {
+        let f = Fabric::new(2);
+        assert!(!f.stuck(0), "idle rank is not stuck");
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || {
+            let c = JobControl::new(2, Duration::from_secs(60));
+            f2.recv(0, 1, 7, &c)
+        });
+        // Wait for the receiver to block.
+        let t0 = std::time::Instant::now();
+        while !f.stuck(0) && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(f.stuck(0), "rank blocked on an unsatisfiable recv is stuck");
+        // A non-matching message does not unstick it.
+        f.send(1, 0, 99, vec![0]).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(f.stuck(0), "non-matching traffic leaves the rank stuck");
+        // The matching message does.
+        f.send(1, 0, 7, vec![42]).unwrap();
+        assert_eq!(h.join().unwrap(), vec![42]);
+        assert!(!f.stuck(0), "satisfied receiver is no longer stuck");
     }
 }

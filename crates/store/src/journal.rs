@@ -18,13 +18,19 @@
 use crate::id::sha256_hex;
 use crate::json::Json;
 use crate::StoreError;
-use fastfit::prelude::{CampaignPhase, Response, TrialOutcome};
+use fastfit::prelude::{CampaignPhase, QuarantineReason, Response, TrialDisposition, TrialOutcome};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 /// Journal format version, bumped on incompatible changes.
-pub const JOURNAL_FORMAT: u64 = 1;
+///
+/// History: format 1 journaled every trial as a bare classification;
+/// format 2 journals a *disposition* — classified or quarantined — so a
+/// supervised campaign can degrade gracefully without fabricating a
+/// response. Format-1 journals are refused on open (the recorded trials
+/// cannot say whether a timeout was proven or merely wall-clock-suspect).
+pub const JOURNAL_FORMAT: u64 = 2;
 
 /// Journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
@@ -169,6 +175,10 @@ impl CampaignMeta {
 }
 
 /// One completed fault-injection trial, as journaled.
+///
+/// The record deliberately carries only the *disposition* — retry counts
+/// are load-dependent telemetry and journaling them would make a resumed
+/// campaign's journal differ from an uninterrupted one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// Point key (`fastfit::observe::point_key`).
@@ -177,21 +187,19 @@ pub struct TrialRecord {
     pub trial: usize,
     /// The injected bit (full-range `u64`, kept lossless).
     pub bit: u64,
-    /// Classified response.
-    pub response: Response,
-    /// Whether the fault fired.
-    pub fired: bool,
-    /// Rank of the first fatal event, for fatal responses.
-    pub fatal_rank: Option<usize>,
+    /// What the supervised trial contributed: a classification or a
+    /// quarantine marker.
+    pub disposition: TrialDisposition,
 }
 
 impl TrialRecord {
-    /// Reconstruct the in-memory outcome.
-    pub fn outcome(&self) -> TrialOutcome {
-        TrialOutcome {
-            response: self.response,
-            fired: self.fired,
-            fatal_rank: self.fatal_rank,
+    /// Record a classified trial.
+    pub fn classified(key: String, trial: usize, bit: u64, outcome: TrialOutcome) -> TrialRecord {
+        TrialRecord {
+            key,
+            trial,
+            bit,
+            disposition: TrialDisposition::Classified(outcome),
         }
     }
 }
@@ -236,21 +244,33 @@ impl Record {
                 ("id", Json::Str(id.clone())),
                 ("meta", meta.to_json()),
             ]),
-            Record::Trial(t) => Json::obj([
-                ("t", Json::Str("trial".into())),
-                ("k", Json::Str(t.key.clone())),
-                ("n", Json::U64(t.trial as u64)),
-                ("bit", Json::U64(t.bit)),
-                ("resp", Json::Str(t.response.name().into())),
-                ("fired", Json::Bool(t.fired)),
-                (
-                    "fatal",
-                    match t.fatal_rank {
-                        Some(r) => Json::U64(r as u64),
-                        None => Json::Null,
-                    },
-                ),
-            ]),
+            Record::Trial(t) => {
+                let mut pairs = vec![
+                    ("t", Json::Str("trial".into())),
+                    ("k", Json::Str(t.key.clone())),
+                    ("n", Json::U64(t.trial as u64)),
+                    ("bit", Json::U64(t.bit)),
+                ];
+                match &t.disposition {
+                    TrialDisposition::Classified(out) => {
+                        pairs.push(("resp", Json::Str(out.response.name().into())));
+                        pairs.push(("fired", Json::Bool(out.fired)));
+                        pairs.push((
+                            "fatal",
+                            match out.fatal_rank {
+                                Some(r) => Json::U64(r as u64),
+                                None => Json::Null,
+                            },
+                        ));
+                    }
+                    TrialDisposition::Quarantined { attempts, reason } => {
+                        pairs.push(("q", Json::Bool(true)));
+                        pairs.push(("attempts", Json::U64(u64::from(*attempts))));
+                        pairs.push(("reason", Json::Str(reason.token().into())));
+                    }
+                }
+                Json::obj(pairs)
+            }
             Record::Phase { phase, secs } => Json::obj([
                 ("t", Json::Str("phase".into())),
                 ("phase", Json::Str(phase.name().into())),
@@ -306,31 +326,48 @@ impl Record {
                     .get("bit")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| StoreError::Corrupt("trial missing bit".into()))?;
-                let resp_name = v
-                    .get("resp")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| StoreError::Corrupt("trial missing resp".into()))?;
-                let response = Response::from_name(resp_name).ok_or_else(|| {
-                    StoreError::Corrupt(format!("unknown response {:?}", resp_name))
-                })?;
-                let fired = v
-                    .get("fired")
-                    .and_then(Json::as_bool)
-                    .ok_or_else(|| StoreError::Corrupt("trial missing fired".into()))?;
-                let fatal_rank =
-                    match v.get("fatal") {
+                let disposition = if v.get("q").and_then(Json::as_bool) == Some(true) {
+                    let attempts =
+                        v.get("attempts").and_then(Json::as_u64).ok_or_else(|| {
+                            StoreError::Corrupt("quarantine missing attempts".into())
+                        })? as u32;
+                    let tok = v
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| StoreError::Corrupt("quarantine missing reason".into()))?;
+                    let reason = QuarantineReason::from_token(tok).ok_or_else(|| {
+                        StoreError::Corrupt(format!("unknown quarantine reason {:?}", tok))
+                    })?;
+                    TrialDisposition::Quarantined { attempts, reason }
+                } else {
+                    let resp_name = v
+                        .get("resp")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| StoreError::Corrupt("trial missing resp".into()))?;
+                    let response = Response::from_name(resp_name).ok_or_else(|| {
+                        StoreError::Corrupt(format!("unknown response {:?}", resp_name))
+                    })?;
+                    let fired = v
+                        .get("fired")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| StoreError::Corrupt("trial missing fired".into()))?;
+                    let fatal_rank = match v.get("fatal") {
                         None | Some(Json::Null) => None,
                         Some(r) => Some(r.as_u64().ok_or_else(|| {
                             StoreError::Corrupt("trial fatal rank not a u64".into())
                         })? as usize),
                     };
+                    TrialDisposition::Classified(TrialOutcome {
+                        response,
+                        fired,
+                        fatal_rank,
+                    })
+                };
                 Ok(Some(Record::Trial(TrialRecord {
                     key,
                     trial,
                     bit,
-                    response,
-                    fired,
-                    fatal_rank,
+                    disposition,
                 })))
             }
             "phase" => {
@@ -531,13 +568,27 @@ mod tests {
     }
 
     fn trial(n: usize) -> TrialRecord {
+        TrialRecord::classified(
+            "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
+            n,
+            u64::MAX - n as u64,
+            TrialOutcome {
+                response: Response::MpiErr,
+                fired: true,
+                fatal_rank: Some(3),
+            },
+        )
+    }
+
+    fn quarantined(n: usize) -> TrialRecord {
         TrialRecord {
             key: "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
             trial: n,
-            bit: u64::MAX - n as u64,
-            response: Response::MpiErr,
-            fired: true,
-            fatal_rank: Some(3),
+            bit: 77,
+            disposition: TrialDisposition::Quarantined {
+                attempts: 3,
+                reason: QuarantineReason::WallClock,
+            },
         }
     }
 
@@ -549,6 +600,7 @@ mod tests {
                 meta: meta(),
             },
             Record::Trial(trial(5)),
+            Record::Trial(quarantined(6)),
             Record::Phase {
                 phase: CampaignPhase::Measure,
                 secs: 1.25,
@@ -563,6 +615,39 @@ mod tests {
             let line = r.encode();
             assert!(!line.contains('\n'));
             assert_eq!(Record::decode(&line).unwrap().as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn quarantined_trials_carry_no_response() {
+        let line = Record::Trial(quarantined(0)).encode();
+        assert!(!line.contains("resp"), "no fabricated response: {}", line);
+        match Record::decode(&line).unwrap() {
+            Some(Record::Trial(t)) => {
+                assert_eq!(t.disposition.response(), None);
+                assert_eq!(
+                    t.disposition,
+                    TrialDisposition::Quarantined {
+                        attempts: 3,
+                        reason: QuarantineReason::WallClock,
+                    }
+                );
+            }
+            other => panic!("unexpected decode {:?}", other),
+        }
+    }
+
+    #[test]
+    fn format_one_journals_are_refused() {
+        // A format-1 meta record (pre-disposition journals) must be
+        // rejected with Mismatch, not silently misread.
+        let mut m = meta().to_json();
+        if let Json::Obj(map) = &mut m {
+            map.insert("format".into(), Json::U64(1));
+        }
+        match CampaignMeta::from_json(&m) {
+            Err(StoreError::Mismatch(msg)) => assert!(msg.contains("format 1"), "{}", msg),
+            other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
         }
     }
 

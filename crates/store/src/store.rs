@@ -23,7 +23,7 @@ use crate::journal::{
 use crate::telemetry::{CampaignState, StatusSnapshot, Telemetry};
 use crate::StoreError;
 use fastfit::observe::{point_key, CampaignObserver, ProgressEvent};
-use fastfit::prelude::{Campaign, MlConfig, MlTarget, TrialOutcome};
+use fastfit::prelude::{Campaign, MlConfig, MlTarget, TrialDisposition};
 use fastfit::space::InjectionPoint;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -44,9 +44,11 @@ pub struct CampaignStore {
     dir: PathBuf,
     id: String,
     meta: CampaignMeta,
-    /// `(point key, trial index) → (bit, outcome)` for every journaled
-    /// trial. Consulted (with bit validation) before each fresh trial.
-    replay: HashMap<(String, usize), (u64, TrialOutcome)>,
+    /// `(point key, trial index) → (bit, disposition)` for every
+    /// journaled trial — quarantined trials replay as quarantined, so a
+    /// resumed journal matches an uninterrupted one. Consulted (with bit
+    /// validation) before each fresh trial.
+    replay: HashMap<(String, usize), (u64, TrialDisposition)>,
     writer: Mutex<WriterState>,
     telemetry: Telemetry,
 }
@@ -86,7 +88,7 @@ impl CampaignStore {
                 }
             }
             for t in contents.trials {
-                replay.insert((t.key.clone(), t.trial), (t.bit, t.outcome()));
+                replay.insert((t.key.clone(), t.trial), (t.bit, t.disposition));
             }
         }
         let mut journal = JournalWriter::open(&journal_path)?;
@@ -171,13 +173,13 @@ impl CampaignStore {
 }
 
 impl CampaignObserver for CampaignStore {
-    fn replay(&self, point: &InjectionPoint, trial: usize, bit: u64) -> Option<TrialOutcome> {
-        let (recorded_bit, outcome) = self.replay.get(&(point_key(point), trial))?;
+    fn replay(&self, point: &InjectionPoint, trial: usize, bit: u64) -> Option<TrialDisposition> {
+        let (recorded_bit, disposition) = self.replay.get(&(point_key(point), trial))?;
         // A bit mismatch means the RNG stream diverged from the recorded
         // run — the record belongs to a different fault, so re-run. The
         // campaign-ID check makes this unreachable in practice; it is a
         // last line of defence, not a recovery path.
-        (*recorded_bit == bit).then(|| outcome.clone())
+        (*recorded_bit == bit).then(|| disposition.clone())
     }
 
     fn on_event(&self, event: &ProgressEvent<'_>) {
@@ -193,7 +195,8 @@ impl CampaignObserver for CampaignStore {
                 point,
                 trial,
                 bit,
-                outcome,
+                disposition,
+                retries,
                 replayed,
             } => {
                 if !replayed {
@@ -201,12 +204,11 @@ impl CampaignObserver for CampaignStore {
                         key: point_key(point),
                         trial: *trial,
                         bit: *bit,
-                        response: outcome.response,
-                        fired: outcome.fired,
-                        fatal_rank: outcome.fatal_rank,
+                        disposition: (*disposition).clone(),
                     }));
                 }
-                self.telemetry.trial_finished(outcome.response, *replayed);
+                self.telemetry
+                    .trial_finished(disposition.response(), *retries, *replayed);
                 self.flush_status(false);
             }
             ProgressEvent::PointFinished { .. } => {
@@ -285,7 +287,7 @@ pub fn read_store_meta(dir: &Path) -> Result<(String, CampaignMeta), StoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastfit::prelude::Response;
+    use fastfit::prelude::{QuarantineReason, Response, TrialOutcome};
     use simmpi::hook::{CallSite, CollKind, ParamId};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -326,12 +328,12 @@ mod tests {
         }
     }
 
-    fn outcome(resp: Response) -> TrialOutcome {
-        TrialOutcome {
+    fn disp(resp: Response) -> TrialDisposition {
+        TrialDisposition::Classified(TrialOutcome {
             response: resp,
             fired: true,
             fatal_rank: None,
-        }
+        })
     }
 
     #[test]
@@ -341,25 +343,47 @@ mod tests {
         {
             let store = CampaignStore::open(&dir, meta()).unwrap();
             assert_eq!(store.replayable_trials(), 0);
-            let out = outcome(Response::WrongAns);
+            let d = disp(Response::WrongAns);
             store.on_event(&ProgressEvent::TrialFinished {
                 point: &p,
                 trial: 0,
                 bit: 0xDEAD_BEEF_0BAD_F00D,
-                outcome: &out,
+                disposition: &d,
+                retries: 1,
+                replayed: false,
+            });
+            let q = TrialDisposition::Quarantined {
+                attempts: 3,
+                reason: QuarantineReason::WallClock,
+            };
+            store.on_event(&ProgressEvent::TrialFinished {
+                point: &p,
+                trial: 1,
+                bit: 42,
+                disposition: &q,
+                retries: 2,
                 replayed: false,
             });
             store.finish().unwrap();
         }
         let store = CampaignStore::open(&dir, meta()).unwrap();
-        assert_eq!(store.replayable_trials(), 1);
+        assert_eq!(store.replayable_trials(), 2);
         // Matching bit replays; a different bit (config drift) does not.
         assert_eq!(
             store.replay(&p, 0, 0xDEAD_BEEF_0BAD_F00D),
-            Some(outcome(Response::WrongAns))
+            Some(disp(Response::WrongAns))
         );
         assert_eq!(store.replay(&p, 0, 1), None);
-        assert_eq!(store.replay(&p, 1, 0xDEAD_BEEF_0BAD_F00D), None);
+        // Quarantined trials replay as quarantined — a resume never
+        // silently re-runs (or fabricates a response for) one.
+        assert_eq!(
+            store.replay(&p, 1, 42),
+            Some(TrialDisposition::Quarantined {
+                attempts: 3,
+                reason: QuarantineReason::WallClock,
+            })
+        );
+        assert_eq!(store.replay(&p, 2, 0xDEAD_BEEF_0BAD_F00D), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -388,19 +412,34 @@ mod tests {
             points_total: 1,
             trials_per_point: 3,
         });
-        let out = outcome(Response::Success);
+        let d = disp(Response::Success);
         store.on_event(&ProgressEvent::TrialFinished {
             point: &point(),
             trial: 0,
             bit: 1,
-            outcome: &out,
+            disposition: &d,
+            retries: 1,
+            replayed: false,
+        });
+        let q = TrialDisposition::Quarantined {
+            attempts: 3,
+            reason: QuarantineReason::Harness,
+        };
+        store.on_event(&ProgressEvent::TrialFinished {
+            point: &point(),
+            trial: 1,
+            bit: 2,
+            disposition: &q,
+            retries: 2,
             replayed: false,
         });
         store.finish().unwrap();
         let s = StatusSnapshot::read_from(&dir).unwrap();
         assert_eq!(s.state, CampaignState::Done);
-        assert_eq!(s.trials_fresh, 1);
+        assert_eq!(s.trials_fresh, 2);
         assert_eq!(s.trials_total, 3);
+        assert_eq!(s.trials_retried, 3);
+        assert_eq!(s.trials_quarantined, 1);
         assert_eq!(s.campaign_id, store.id());
         let (id, m) = read_store_meta(&dir).unwrap();
         assert_eq!(id, store.id());

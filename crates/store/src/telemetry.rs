@@ -56,6 +56,10 @@ pub struct Telemetry {
     points_done: AtomicU64,
     trials_fresh: AtomicU64,
     trials_replayed: AtomicU64,
+    /// Extra supervised attempts spent on retries (fresh trials only).
+    trials_retried: AtomicU64,
+    /// Trials whose disposition is quarantined (no response classified).
+    trials_quarantined: AtomicU64,
     responses: [AtomicU64; 6],
     /// Per-phase wall micros, `ALL_PHASES` order.
     phase_us: [AtomicU64; 4],
@@ -73,6 +77,8 @@ impl Default for Telemetry {
             points_done: AtomicU64::new(0),
             trials_fresh: AtomicU64::new(0),
             trials_replayed: AtomicU64::new(0),
+            trials_retried: AtomicU64::new(0),
+            trials_quarantined: AtomicU64::new(0),
             responses: Default::default(),
             phase_us: Default::default(),
             learn_rounds: AtomicU64::new(0),
@@ -95,14 +101,30 @@ impl Telemetry {
             .store(trials_per_point as u64, Ordering::Relaxed);
     }
 
-    /// Record one finished trial.
-    pub fn trial_finished(&self, response: fastfit::prelude::Response, replayed: bool) {
+    /// Record one finished trial. `response` is `None` for a quarantined
+    /// disposition; `retries` is the extra supervised attempts the trial
+    /// needed (always 0 for replays).
+    pub fn trial_finished(
+        &self,
+        response: Option<fastfit::prelude::Response>,
+        retries: u32,
+        replayed: bool,
+    ) {
         if replayed {
             self.trials_replayed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.trials_fresh.fetch_add(1, Ordering::Relaxed);
+            self.trials_retried
+                .fetch_add(retries as u64, Ordering::Relaxed);
         }
-        self.responses[response.index()].fetch_add(1, Ordering::Relaxed);
+        match response {
+            Some(r) => {
+                self.responses[r.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.trials_quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Record one finished point.
@@ -138,6 +160,8 @@ impl Telemetry {
         let elapsed = self.started.elapsed().as_secs_f64();
         let fresh = self.trials_fresh.load(Ordering::Relaxed);
         let replayed = self.trials_replayed.load(Ordering::Relaxed);
+        let retried = self.trials_retried.load(Ordering::Relaxed);
+        let quarantined = self.trials_quarantined.load(Ordering::Relaxed);
         let points_total = self.points_total.load(Ordering::Relaxed);
         let trials_per_point = self.trials_per_point.load(Ordering::Relaxed);
         let trials_total = points_total * trials_per_point;
@@ -174,6 +198,8 @@ impl Telemetry {
             points_total,
             trials_fresh: fresh,
             trials_replayed: replayed,
+            trials_retried: retried,
+            trials_quarantined: quarantined,
             trials_total,
             responses,
             phase_secs,
@@ -207,6 +233,11 @@ pub struct StatusSnapshot {
     pub trials_fresh: u64,
     /// Trials replayed from the journal this run.
     pub trials_replayed: u64,
+    /// Extra supervised attempts spent on retries this run (telemetry
+    /// only — retries are load-dependent and never journaled).
+    pub trials_retried: u64,
+    /// Trials observed with a quarantined disposition (fresh + replayed).
+    pub trials_quarantined: u64,
     /// `points_total × trials_per_point`.
     pub trials_total: u64,
     /// Response histogram over all observed trials, `ALL_RESPONSES` order.
@@ -246,6 +277,8 @@ impl StatusSnapshot {
             ("points_total", Json::U64(self.points_total)),
             ("trials_fresh", Json::U64(self.trials_fresh)),
             ("trials_replayed", Json::U64(self.trials_replayed)),
+            ("trials_retried", Json::U64(self.trials_retried)),
+            ("trials_quarantined", Json::U64(self.trials_quarantined)),
             ("trials_total", Json::U64(self.trials_total)),
             ("responses", Json::Obj(resp_map)),
             ("phase_secs", Json::Obj(phase_map)),
@@ -304,6 +337,10 @@ impl StatusSnapshot {
             points_total: u("points_total")?,
             trials_fresh: u("trials_fresh")?,
             trials_replayed: u("trials_replayed")?,
+            // Absent in pre-supervision snapshots; tolerate for rolling
+            // upgrades of `status` readers.
+            trials_retried: u("trials_retried").unwrap_or(0),
+            trials_quarantined: u("trials_quarantined").unwrap_or(0),
             trials_total: u("trials_total")?,
             responses,
             phase_secs,
@@ -355,6 +392,12 @@ impl StatusSnapshot {
             pct,
             self.trials_replayed
         ));
+        if self.trials_retried > 0 || self.trials_quarantined > 0 {
+            out.push_str(&format!(
+                "suspect:  {} retried attempt(s), {} quarantined trial(s)\n",
+                self.trials_retried, self.trials_quarantined
+            ));
+        }
         out.push_str(&format!(
             "rate:     {:.1} trials/s, elapsed {:.1}s",
             self.trials_per_sec, self.elapsed_secs
@@ -399,9 +442,9 @@ mod tests {
         let t = Telemetry::new();
         t.set_totals(10, 4);
         for _ in 0..3 {
-            t.trial_finished(Response::Success, false);
+            t.trial_finished(Some(Response::Success), 0, false);
         }
-        t.trial_finished(Response::MpiErr, true);
+        t.trial_finished(Some(Response::MpiErr), 0, true);
         t.point_finished();
         t.phase_finished(CampaignPhase::Profile, Duration::from_millis(1500));
         t.learn_round(2, 0.7);
@@ -423,7 +466,7 @@ mod tests {
     fn snapshot_json_roundtrip_and_atomic_write() {
         let t = Telemetry::new();
         t.set_totals(2, 3);
-        t.trial_finished(Response::WrongAns, false);
+        t.trial_finished(Some(Response::WrongAns), 0, false);
         let snap = t.snapshot("deadbeef", "w", CampaignState::Done);
         let back = StatusSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back.campaign_id, snap.campaign_id);
@@ -445,11 +488,48 @@ mod tests {
     }
 
     #[test]
+    fn retries_and_quarantines_are_counted() {
+        let t = Telemetry::new();
+        t.set_totals(1, 4);
+        // A classified trial that needed two extra attempts.
+        t.trial_finished(Some(Response::InfLoop), 2, false);
+        // A fresh quarantined trial (no response) after three attempts.
+        t.trial_finished(None, 2, false);
+        // A quarantined record replayed from the journal: counts as
+        // quarantined but contributes no retries.
+        t.trial_finished(None, 0, true);
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        assert_eq!(s.trials_fresh, 2);
+        assert_eq!(s.trials_replayed, 1);
+        assert_eq!(s.trials_retried, 4);
+        assert_eq!(s.trials_quarantined, 2);
+        assert_eq!(s.responses.iter().sum::<u64>(), 1, "quarantine ≠ response");
+        let back = StatusSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.trials_retried, 4);
+        assert_eq!(back.trials_quarantined, 2);
+        assert!(s.render().contains("2 quarantined"), "{}", s.render());
+    }
+
+    #[test]
+    fn snapshots_without_supervision_fields_still_parse() {
+        let t = Telemetry::new();
+        let snap = t.snapshot("id", "w", CampaignState::Running);
+        let mut v = snap.to_json();
+        if let Json::Obj(m) = &mut v {
+            m.remove("trials_retried");
+            m.remove("trials_quarantined");
+        }
+        let back = StatusSnapshot::from_json(&v).unwrap();
+        assert_eq!(back.trials_retried, 0);
+        assert_eq!(back.trials_quarantined, 0);
+    }
+
+    #[test]
     fn replayed_trials_do_not_inflate_throughput() {
         let t = Telemetry::new();
         t.set_totals(1, 100);
         for _ in 0..50 {
-            t.trial_finished(Response::Success, true);
+            t.trial_finished(Some(Response::Success), 0, true);
         }
         let s = t.snapshot("id", "w", CampaignState::Running);
         assert_eq!(s.trials_per_sec, 0.0, "replays are not throughput");

@@ -74,7 +74,7 @@ impl CampaignObserver for KillSwitch {
         point: &fastfit::space::InjectionPoint,
         trial: usize,
         bit: u64,
-    ) -> Option<TrialOutcome> {
+    ) -> Option<TrialDisposition> {
         self.store.replay(point, trial, bit)
     }
 

@@ -109,7 +109,7 @@ impl CampaignObserver for CrashAfter {
         point: &fastfit::space::InjectionPoint,
         trial: usize,
         bit: u64,
-    ) -> Option<TrialOutcome> {
+    ) -> Option<TrialDisposition> {
         self.store.replay(point, trial, bit)
     }
 

@@ -206,6 +206,7 @@ fn injected_runs_share_the_golden_seed() {
         timeout: Duration::from_secs(10),
         record: false,
         hook: Some(hook),
+        ..Default::default()
     };
     let result = run_job(&spec, w.app.clone());
     let resp = classify(&result.outcome, &campaign.golden, 0.0);

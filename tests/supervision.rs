@@ -1,0 +1,278 @@
+//! Trial-supervision guarantees: hang classification must be *logical*
+//! (deterministic under arbitrary CPU load), wall-clock kills of
+//! progressing ranks must be retried rather than misfiled as INF_LOOP,
+//! and journals containing quarantined trials must survive kill/resume
+//! byte-for-byte.
+
+use fastfit::prelude::*;
+use fastfit::supervise::AttemptOutcome;
+use fastfit_store::journal::{read_journal, JOURNAL_FILE};
+use fastfit_store::{CampaignMeta, CampaignStore};
+use simmpi::control::HangKind;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::hook::{CallSite, CollKind, ParamId};
+use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rank 0 waits for a message nobody sends; the rest enter a barrier
+/// rank 0 never joins. A genuine communication deadlock.
+fn deadlocked_app() -> AppFn {
+    Arc::new(|ctx: &mut RankCtx| {
+        if ctx.rank() == 0 {
+            let mut buf = [0u8; 1];
+            ctx.recv_into(&mut buf, 1, 99, ctx.world());
+        } else {
+            ctx.barrier(ctx.world());
+        }
+        RankOutput::new()
+    })
+}
+
+/// Burn every core with spinners while `f` runs, so the deadlock sweep
+/// races real scheduler noise — the situation that made wall-clock hang
+/// detection nondeterministic.
+fn under_cpu_load<T>(f: impl FnOnce() -> T) -> T {
+    let stop = Arc::new(AtomicBool::new(false));
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let spinners: Vec<_> = (0..cores)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    std::hint::black_box(x);
+                }
+            })
+        })
+        .collect();
+    let out = f();
+    stop.store(true, Ordering::Relaxed);
+    for s in spinners {
+        s.join().unwrap();
+    }
+    out
+}
+
+/// A deadlocked workload must classify INF_LOOP via the *logical* stall
+/// detector — identically on every run, regardless of CPU load — never
+/// via the wall clock.
+#[test]
+fn deadlock_classifies_inf_loop_identically_under_load() {
+    under_cpu_load(|| {
+        for i in 0..20 {
+            let res = run_job(
+                &JobSpec {
+                    nranks: 3,
+                    // Wall backstop far beyond the test budget: if the
+                    // clock (not the epoch sweep) caught this, the run
+                    // would blow the suite's time limit long before.
+                    timeout: Duration::from_secs(120),
+                    ..Default::default()
+                },
+                deadlocked_app(),
+            );
+            let kind = match &res.outcome {
+                JobOutcome::TimedOut { kind } => *kind,
+                other => panic!("run {}: deadlock not caught: {:?}", i, other),
+            };
+            assert_eq!(kind, HangKind::Stalled, "run {}", i);
+            assert!(kind.is_deterministic(), "run {}", i);
+            assert_eq!(
+                classify(&res.outcome, &[], 0.0),
+                Response::InfLoop,
+                "run {}",
+                i
+            );
+        }
+    });
+}
+
+/// A rank that keeps making logical progress but outlives the wall clock
+/// is infrastructure-suspect: the supervisor must retry it with a bigger
+/// budget (where it completes) — never stamp INF_LOOP on first strike.
+#[test]
+fn wall_clock_kill_of_progressing_rank_is_retried_not_inf_loop() {
+    let run_attempt = |escalation: u32| {
+        let spec = JobSpec {
+            nranks: 1,
+            timeout: Duration::from_millis(100) * (1u32 << escalation.min(10)),
+            ..Default::default()
+        };
+        // ~300ms of real work in 20ms slices, each announcing progress.
+        let app: AppFn = Arc::new(|ctx: &mut RankCtx| {
+            for _ in 0..15 {
+                ctx.yield_point();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            RankOutput::new()
+        });
+        match run_job(&spec, app).outcome {
+            JobOutcome::TimedOut {
+                kind: HangKind::WallClock,
+            } => AttemptOutcome::Suspect(QuarantineReason::WallClock),
+            JobOutcome::TimedOut { kind } => {
+                panic!("progressing rank misdiagnosed as deterministic {:?}", kind)
+            }
+            JobOutcome::Completed { .. } => AttemptOutcome::Trusted(TrialOutcome {
+                response: Response::Success,
+                fired: true,
+                fatal_rank: None,
+            }),
+            other => panic!("unexpected outcome {:?}", other),
+        }
+    };
+
+    let supervised = TrialSupervisor::with_max_retries(4).run(run_attempt);
+    match supervised.disposition {
+        TrialDisposition::Classified(out) => {
+            assert_eq!(out.response, Response::Success);
+            assert!(
+                supervised.retries >= 1,
+                "the 100ms first attempt cannot fit 300ms of sleeping"
+            );
+        }
+        TrialDisposition::Quarantined { attempts, reason } => panic!(
+            "escalation to 1.6s never fit a 300ms app: quarantined after {} attempts ({:?})",
+            attempts, reason
+        ),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "fastfit-supervision-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn point(invocation: u64) -> fastfit::space::InjectionPoint {
+    fastfit::space::InjectionPoint {
+        site: CallSite {
+            file: "app.rs",
+            line: 3,
+        },
+        kind: CollKind::Allreduce,
+        rank: 0,
+        invocation,
+        param: ParamId::SendBuf,
+    }
+}
+
+/// The deterministic trial script: `(point, trial, bit, disposition)` in
+/// measurement order, with quarantines interleaved among classifications.
+fn trial_script() -> Vec<(fastfit::space::InjectionPoint, usize, u64, TrialDisposition)> {
+    let classified = |r| {
+        TrialDisposition::Classified(TrialOutcome {
+            response: r,
+            fired: true,
+            fatal_rank: None,
+        })
+    };
+    let mut script = Vec::new();
+    for (i, (inv, trial)) in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+        .into_iter()
+        .enumerate()
+    {
+        let disposition = match i % 3 {
+            1 => TrialDisposition::Quarantined {
+                attempts: 3,
+                reason: QuarantineReason::WallClock,
+            },
+            2 => classified(Response::WrongAns),
+            _ => classified(Response::Success),
+        };
+        script.push((point(inv), trial, 1000 + 17 * i as u64, disposition));
+    }
+    script
+}
+
+fn script_meta() -> CampaignMeta {
+    CampaignMeta {
+        workload: "supervision-unit".into(),
+        nranks: 2,
+        app_seed: 1,
+        tolerance: 0.0,
+        trials_per_point: 2,
+        params: "data".into(),
+        campaign_seed: 7,
+        ml: None,
+        point_keys: (0..3).map(|i| point_key(&point(i))).collect(),
+    }
+}
+
+/// Replays what it can, measures the rest (per the script), crashing
+/// after `crash_after_fresh` fresh trials when given. `retry_salt` skews
+/// the reported retry counts — retries are load-dependent telemetry and
+/// must never leak into the journal.
+fn drive_campaign(store: &CampaignStore, crash_after_fresh: Option<usize>, retry_salt: u32) {
+    let mut fresh = 0;
+    for (p, trial, bit, disposition) in trial_script() {
+        let (d, retries, replayed) = match store.replay(&p, trial, bit) {
+            Some(d) => (d, 0, true),
+            None => {
+                if crash_after_fresh == Some(fresh) {
+                    return;
+                }
+                fresh += 1;
+                (disposition, retry_salt + fresh as u32 % 2, false)
+            }
+        };
+        store.on_event(&ProgressEvent::TrialFinished {
+            point: &p,
+            trial,
+            bit,
+            disposition: &d,
+            retries,
+            replayed,
+        });
+    }
+}
+
+fn journal_trials(dir: &Path) -> Vec<fastfit_store::TrialRecord> {
+    read_journal(&dir.join(JOURNAL_FILE)).unwrap().trials
+}
+
+/// A campaign holding retried *and* quarantined trials, killed partway
+/// and resumed, must journal exactly what an uninterrupted run journals:
+/// quarantines replay as quarantines and retry counts stay out of the
+/// record.
+#[test]
+fn killed_and_resumed_journal_with_quarantines_is_identical() {
+    let dir_a = tmp_dir("uninterrupted");
+    let dir_b = tmp_dir("resumed");
+
+    let store_a = CampaignStore::open(&dir_a, script_meta()).unwrap();
+    drive_campaign(&store_a, None, 0);
+    store_a.finish().unwrap();
+
+    // Crash after 3 fresh trials (one of them quarantined)...
+    let store_b = CampaignStore::open(&dir_b, script_meta()).unwrap();
+    drive_campaign(&store_b, Some(3), 0);
+    drop(store_b);
+    // ...then resume with *different* retry luck.
+    let store_b = CampaignStore::open(&dir_b, script_meta()).unwrap();
+    assert_eq!(store_b.replayable_trials(), 3);
+    assert!(
+        store_b
+            .replay(&point(0), 1, 1017)
+            .is_some_and(|d| matches!(d, TrialDisposition::Quarantined { .. })),
+        "the journaled quarantine must replay as a quarantine"
+    );
+    drive_campaign(&store_b, None, 5);
+    store_b.finish().unwrap();
+
+    assert_eq!(
+        journal_trials(&dir_a),
+        journal_trials(&dir_b),
+        "kill/resume with quarantined trials must replay to the same journal"
+    );
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
