@@ -7,6 +7,7 @@
 //! Ids: fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!      tab3 tab4 profile
 //! Extensions beyond the paper: ext-cg ext-trials ext-algos
+//!      ext-propagation ext-transport
 //! Set FASTFIT_CSV_DIR to also write machine-readable CSVs.
 //!
 //! Scale knobs: FASTFIT_RANKS, FASTFIT_TRIALS, FASTFIT_CLASS (see README).
@@ -114,6 +115,7 @@ fn main() {
             "ext-trials" => ext_trials(),
             "ext-algos" => ext_algos(),
             "ext-propagation" => ext_propagation(),
+            "ext-transport" => ext_transport(),
             "all" => {
                 profile_report();
                 fig1();
@@ -134,6 +136,7 @@ fn main() {
                 ext_trials();
                 ext_algos();
                 ext_propagation();
+                ext_transport();
             }
             other => {
                 eprintln!("unknown experiment {other:?}");
@@ -605,7 +608,11 @@ fn fig9(ctx: &mut ExpContext) {
         .map(|(p, h)| (p.name().to_string(), h.clone()))
         .collect();
     maybe_write(&csv_dir(), "fig9.csv", &histograms_csv(&owned));
-    maybe_write(&csv_dir(), "fig9_points.csv", &points_csv(&merged));
+    maybe_write(
+        &csv_dir(),
+        "fig9_points.csv",
+        &points_csv(&merged, FaultChannel::Param),
+    );
 }
 
 /// Figure 10: LAMMPS error-type breakdown per collective.
@@ -626,7 +633,11 @@ fn fig10(ctx: &mut ExpContext) {
     }
     rows.push(("ALL", &overall));
     println!("{}", render_histogram_table("Figure 10", &rows));
-    maybe_write(&csv_dir(), "fig10_points.csv", &points_csv(&subset));
+    maybe_write(
+        &csv_dir(),
+        "fig10_points.csv",
+        &points_csv(&subset, FaultChannel::Param),
+    );
 }
 
 /// Figure 11: LAMMPS per-collective error-rate levels.
@@ -926,7 +937,11 @@ fn ext_cg() {
         "{}",
         render_level_table("CG error-rate levels (data-buffer faults)", &levels)
     );
-    maybe_write(&csv_dir(), "ext_cg_points.csv", &points_csv(&r.results));
+    maybe_write(
+        &csv_dir(),
+        "ext_cg_points.csv",
+        &points_csv(&r.results, FaultChannel::Param),
+    );
 }
 
 /// Extension: how many trials per point are enough? Error-rate estimates
@@ -1100,4 +1115,48 @@ fn ext_algos() {
         );
     }
     println!("(sensitivity shape should be algorithm-independent: the fault model targets the interface, not the wire protocol; differences indicate protocol-level exposure)");
+}
+
+/// Extension: message-level faults in plain vs resilient transport mode.
+/// The same seeded campaign runs twice over wire-message faults (flips,
+/// drops, duplication, delay, truncation); the resilient run adds
+/// checksum/ack/retransmit recovery, so responses that were INF_LOOP or
+/// WRONG_ANS under the plain transport should shift toward SUCCESS, with
+/// the residual being sticky faults surfacing as MPI_ERR.
+fn ext_transport() {
+    banner(
+        "ext-transport",
+        "EXTENSION: message-fault sensitivity, plain vs resilient transport",
+        "n/a — beyond the paper; transport-level fault model (DESIGN.md §11)",
+    );
+    let mut results = Vec::new();
+    for (label, resilient) in [("plain", false), ("resilient", true)] {
+        let mut cfg = experiment_campaign_config(ParamsMode::DataBuffer);
+        cfg.fault_channel = FaultChannel::Message;
+        cfg.resilient = resilient;
+        let c = Campaign::prepare(npb_workload("IS"), cfg);
+        let r = c.run_all();
+        let retransmits: u64 = r.results.iter().map(|p| p.retransmits).sum();
+        let agg = r.aggregate();
+        println!(
+            "{:<10} {} points, {} trials, {} retransmit(s) | {}",
+            label,
+            c.points().len(),
+            r.total_trials,
+            retransmits,
+            fastfit::report::histogram_row(&agg)
+        );
+        maybe_write(
+            &csv_dir(),
+            &format!("ext_transport_{}.csv", label),
+            &points_csv(&r.results, FaultChannel::Message),
+        );
+        results.push((label, agg));
+    }
+    let success = |h: &ResponseHistogram| h.fraction(Response::Success);
+    println!(
+        "recovery effect: SUCCESS {:.1}% (plain) -> {:.1}% (resilient)",
+        100.0 * success(&results[0].1),
+        100.0 * success(&results[1].1),
+    );
 }

@@ -56,11 +56,15 @@ fn usage() -> ! {
          \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
                 --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
+                --fault-channel param|message (inject into call parameters or\n\
+                \x20                             into individual wire messages)\n\
+                --resilient-transport (checksum/ack/retransmit recovery)\n\
                 --max-retries N (suspect-trial retries before quarantine)\n\
                 --op-budget-mult N (INF_LOOP op budget, × golden op count)\n\
                 --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
                 --rank R  --invocation I  --steps N (LAMMPS run length)\n\
-         env:   FASTFIT_TIMEOUT_MULT  FASTFIT_MAX_RETRIES  FASTFIT_RANKS  FASTFIT_STORE_DIR"
+         env:   FASTFIT_TIMEOUT_MULT  FASTFIT_MAX_RETRIES  FASTFIT_RANKS  FASTFIT_STORE_DIR\n\
+                FASTFIT_FAULT_CHANNEL  FASTFIT_RESILIENT"
     );
     std::process::exit(2)
 }
@@ -103,6 +107,15 @@ fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
         Some("all") => ParamsMode::All,
         _ => ParamsMode::DataBuffer,
     };
+    if let Some(tok) = flags.get("fault-channel") {
+        cfg.fault_channel = FaultChannel::from_token(tok).unwrap_or_else(|| {
+            eprintln!("unknown fault channel {:?} (param|message)", tok);
+            std::process::exit(2);
+        });
+    }
+    if flags.contains_key("resilient-transport") {
+        cfg.resilient = true;
+    }
     apply_supervision_flags(&mut cfg, flags);
     cfg
 }
@@ -207,7 +220,11 @@ fn run_plain_campaign(c: &Campaign, csv: &Option<String>, store: Option<&Campaig
         render_level_table("per-collective error-rate levels", &levels)
     );
     println!("{}", fastfit::report::campaign_summary(c, &r));
-    maybe_write(csv, "cli_points.csv", &points_csv(&r.results));
+    maybe_write(
+        csv,
+        "cli_points.csv",
+        &points_csv(&r.results, c.cfg.fault_channel),
+    );
 }
 
 /// The ML feedback-loop campaign over the post-semantic invocation
@@ -286,7 +303,11 @@ fn run_ml_campaign(
             points[*idx].invocation
         );
     }
-    maybe_write(csv, "cli_measured.csv", &points_csv(&measured));
+    maybe_write(
+        csv,
+        "cli_measured.csv",
+        &points_csv(&measured, c.cfg.fault_channel),
+    );
 }
 
 fn finish_store(store: &CampaignStore) {
@@ -347,7 +368,7 @@ fn cmd_status(dir: &Path) {
     match read_store_meta(dir) {
         Ok((id, meta)) => {
             println!(
-                "store {}\ncampaign {} — workload {}, {} ranks, {} points × {} trials, params {}{}",
+                "store {}\ncampaign {} — workload {}, {} ranks, {} points × {} trials, params {}, channel {}{}{}",
                 dir.display(),
                 &id[..16],
                 meta.workload,
@@ -355,6 +376,12 @@ fn cmd_status(dir: &Path) {
                 meta.point_keys.len(),
                 meta.trials_per_point,
                 meta.params,
+                meta.fault_channel.token(),
+                if meta.resilient {
+                    " (resilient transport)"
+                } else {
+                    ""
+                },
                 meta.ml
                     .as_ref()
                     .map(|m| format!(", ml target {}", m.target))
@@ -408,6 +435,10 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
         eprintln!("journal has unknown params mode {:?}", meta.params);
         std::process::exit(1);
     });
+    // The fault channel and transport mode are part of the campaign
+    // identity: a resume must re-inject on the journaled channel.
+    cfg.fault_channel = meta.fault_channel;
+    cfg.resilient = meta.resilient;
     apply_supervision_flags(&mut cfg, flags);
     let csv = flags.get("csv").cloned();
     let c = Campaign::prepare(w, cfg);
@@ -517,6 +548,12 @@ fn cmd_point(flags: &HashMap<String, String>) {
         println!(
             "{} trial(s) quarantined (infrastructure-suspect; excluded from the histogram)",
             pr.quarantined
+        );
+    }
+    if pr.retransmits > 0 {
+        println!(
+            "resilient transport recovered {} delivery/deliveries by retransmit",
+            pr.retransmits
         );
     }
     let errors = pr.hist.total() - pr.hist.count(Response::Success);

@@ -16,7 +16,7 @@ use crate::prune::{
     SemanticPrune,
 };
 use crate::response::{classify, Response, ResponseHistogram};
-use crate::space::{full_space_count, InjectionPoint, ParamsMode};
+use crate::space::{full_space_count, FaultChannel, InjectionPoint, ParamsMode};
 use crate::supervise::{
     AttemptOutcome, QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
 };
@@ -101,6 +101,13 @@ pub struct CampaignConfig {
     pub parallel: bool,
     /// Seed for fault-bit selection.
     pub seed: u64,
+    /// Which layer receives the faults: `Param` (the paper's bit flips in
+    /// collective input parameters) or `Message` (transport-level faults
+    /// on individual in-flight messages).
+    pub fault_channel: FaultChannel,
+    /// Run trials on the resilient transport (checksum/ack/retransmit
+    /// recovery) instead of the plain one.
+    pub resilient: bool,
 }
 
 impl Default for CampaignConfig {
@@ -116,6 +123,8 @@ impl Default for CampaignConfig {
             retry_backoff: Duration::from_millis(25),
             parallel: false,
             seed: 0xFA57,
+            fault_channel: FaultChannel::Param,
+            resilient: false,
         }
     }
 }
@@ -141,6 +150,14 @@ impl CampaignConfig {
             if let Ok(r) = r.parse::<u32>() {
                 cfg.max_retries = r;
             }
+        }
+        if let Ok(c) = std::env::var("FASTFIT_FAULT_CHANNEL") {
+            if let Some(c) = FaultChannel::from_token(&c) {
+                cfg.fault_channel = c;
+            }
+        }
+        if let Ok(r) = std::env::var("FASTFIT_RESILIENT") {
+            cfg.resilient = matches!(r.as_str(), "1" | "true" | "yes");
         }
         cfg
     }
@@ -184,6 +201,9 @@ pub struct PointResult {
     /// Trials quarantined by the supervisor (persistently
     /// infrastructure-suspect; excluded from `hist`).
     pub quarantined: u64,
+    /// Retransmissions the resilient transport performed across the
+    /// classified trials (always 0 on the plain transport).
+    pub retransmits: u64,
 }
 
 impl PointResult {
@@ -218,6 +238,10 @@ pub struct TrialOutcome {
     pub fired: bool,
     /// Rank of the first fatal event, for fatal responses.
     pub fatal_rank: Option<usize>,
+    /// Retransmissions the resilient transport performed during the trial
+    /// (deterministic — a count of recovered deliveries, not wall-clock
+    /// dependent — and therefore safe to journal).
+    pub retransmits: u64,
 }
 
 /// Result of a measurement campaign.
@@ -358,8 +382,33 @@ impl Campaign {
             timeout: (self.golden_wall * self.cfg.timeout_mult).max(self.cfg.min_timeout) * grow,
             op_budget: Some(self.op_budget().saturating_mul(u64::from(grow))),
             record: false,
+            resilient_transport: self.cfg.resilient,
             hook: Some(hook),
             ..Default::default()
+        }
+    }
+
+    /// The fault spec for one trial draw under this campaign's channel.
+    fn fault_spec(&self, point: &InjectionPoint, bit: u64) -> FaultSpec {
+        FaultSpec {
+            point: *point,
+            bit,
+            channel: self.cfg.fault_channel,
+        }
+    }
+
+    /// Whether the fault of a finished trial actually fired. Parameter
+    /// faults fire at the hook; message faults fire at the wire, so the
+    /// transport has the ground truth (an armed plan whose `nth_send`
+    /// exceeds the collective's traffic never hits a message).
+    fn trial_fired(
+        &self,
+        hook: &InjectorHook,
+        transport: &simmpi::transport::TransportStats,
+    ) -> bool {
+        match self.cfg.fault_channel {
+            FaultChannel::Param => hook.fired(),
+            FaultChannel::Message => transport.fault_fired,
         }
     }
 
@@ -379,13 +428,14 @@ impl Campaign {
     /// [`Campaign::run_trial_supervised`], which retries such suspect
     /// outcomes instead.
     pub fn run_trial_detailed(&self, point: &InjectionPoint, bit: u64) -> TrialOutcome {
-        let hook = Arc::new(InjectorHook::new(FaultSpec { point: *point, bit }));
+        let hook = Arc::new(InjectorHook::new(self.fault_spec(point, bit)));
         let spec = self.trial_spec(hook.clone(), 0);
         let result = run_job(&spec, self.workload.app.clone());
-        self.classify_trial(&result.outcome, hook.fired())
+        let fired = self.trial_fired(&hook, &result.transport);
+        self.classify_trial(&result.outcome, fired, result.transport.retransmits)
     }
 
-    fn classify_trial(&self, outcome: &JobOutcome, fired: bool) -> TrialOutcome {
+    fn classify_trial(&self, outcome: &JobOutcome, fired: bool, retransmits: u64) -> TrialOutcome {
         let response = classify(outcome, &self.golden, self.workload.tolerance);
         let fatal_rank = match outcome {
             JobOutcome::Fatal { rank, .. } => Some(*rank),
@@ -395,6 +445,7 @@ impl Campaign {
             response,
             fired,
             fatal_rank,
+            retransmits,
         }
     }
 
@@ -408,7 +459,7 @@ impl Campaign {
         bit: u64,
         escalation: u32,
     ) -> AttemptOutcome {
-        let hook = Arc::new(InjectorHook::new(FaultSpec { point: *point, bit }));
+        let hook = Arc::new(InjectorHook::new(self.fault_spec(point, bit)));
         let spec = self.trial_spec(hook.clone(), escalation);
         let app = self.workload.app.clone();
         let result =
@@ -422,7 +473,14 @@ impl Campaign {
             JobOutcome::TimedOut {
                 kind: HangKind::WallClock,
             } => AttemptOutcome::Suspect(QuarantineReason::WallClock),
-            outcome => AttemptOutcome::Trusted(self.classify_trial(&outcome, hook.fired())),
+            outcome => {
+                let fired = self.trial_fired(&hook, &result.transport);
+                AttemptOutcome::Trusted(self.classify_trial(
+                    &outcome,
+                    fired,
+                    result.transport.retransmits,
+                ))
+            }
         }
     }
 
@@ -461,6 +519,7 @@ impl Campaign {
         let mut fired = 0u64;
         let mut fatal_ranks = Vec::new();
         let mut quarantined = 0u64;
+        let mut retransmits = 0u64;
         for trial in 0..trials {
             // Every trial consumes its bit draw — including quarantined
             // ones — so the RNG stream stays aligned across resumes.
@@ -484,6 +543,7 @@ impl Campaign {
                 TrialDisposition::Classified(t) => {
                     hist.add(t.response);
                     fired += u64::from(t.fired);
+                    retransmits += t.retransmits;
                     if let Some(r) = t.fatal_rank {
                         fatal_ranks.push(r);
                     }
@@ -497,6 +557,7 @@ impl Campaign {
             fired,
             fatal_ranks,
             quarantined,
+            retransmits,
         }
     }
 

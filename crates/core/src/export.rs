@@ -4,6 +4,7 @@
 
 use crate::campaign::PointResult;
 use crate::response::{wilson_95, ResponseHistogram, ALL_RESPONSES};
+use crate::space::FaultChannel;
 use std::fmt::Write as _;
 
 /// Quote a CSV field per RFC 4180: fields containing commas, quotes or
@@ -18,25 +19,30 @@ pub fn csv_field(value: &str) -> String {
     }
 }
 
-/// Per-point results as CSV: one row per injection point with the full
-/// response histogram, error rate and its 95% Wilson interval.
-pub fn points_csv(results: &[PointResult]) -> String {
+/// Per-point results as CSV: one row per injection point with the fault
+/// channel the campaign injected on, the full response histogram, the
+/// resilient-transport recovery count, error rate and its 95% Wilson
+/// interval. The channel is campaign-level (every point in one run shares
+/// it), so it is a parameter rather than a `PointResult` field.
+pub fn points_csv(results: &[PointResult], channel: FaultChannel) -> String {
     let mut out = String::from(
-        "site,kind,rank,invocation,param,trials,fired,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop,error_rate,wilson_lo,wilson_hi\n",
+        "site,kind,rank,invocation,param,fault_channel,trials,fired,retransmits,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop,error_rate,wilson_lo,wilson_hi\n",
     );
     for r in results {
         let errors = r.hist.total() - r.hist.count(crate::response::Response::Success);
         let (lo, hi) = wilson_95(errors, r.hist.total());
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
             csv_field(&r.point.site.to_string()),
             r.point.kind.name(),
             r.point.rank,
             r.point.invocation,
             r.point.param.name(),
+            channel.token(),
             r.hist.total(),
             r.fired,
+            r.retransmits,
             r.hist.count(ALL_RESPONSES[0]),
             r.hist.count(ALL_RESPONSES[1]),
             r.hist.count(ALL_RESPONSES[2]),
@@ -116,22 +122,41 @@ mod tests {
             fired: 10,
             fatal_ranks: vec![1, 1, 2],
             quarantined: 0,
+            retransmits: 0,
         }
     }
 
     #[test]
     fn points_csv_shape() {
-        let csv = points_csv(&[sample_result()]);
+        let csv = points_csv(&[sample_result()], FaultChannel::Param);
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[1].contains("MPI_Allreduce"));
         assert!(lines[1].contains("count"));
+        assert!(lines[1].contains(",param,"), "channel column: {}", lines[1]);
         assert!(
             lines[1].contains("0.3000"),
             "error rate column: {}",
             lines[1]
         );
+    }
+
+    #[test]
+    fn points_csv_carries_message_channel_and_retransmits() {
+        let mut r = sample_result();
+        r.retransmits = 5;
+        let csv = points_csv(&[r], FaultChannel::Message);
+        let header = csv.lines().next().unwrap();
+        let line = csv.trim().lines().nth(1).unwrap();
+        let chan_col = header
+            .split(',')
+            .position(|c| c == "fault_channel")
+            .unwrap();
+        let rtx_col = header.split(',').position(|c| c == "retransmits").unwrap();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[chan_col], "message");
+        assert_eq!(fields[rtx_col], "5");
     }
 
     #[test]
@@ -175,7 +200,7 @@ mod tests {
             file: "dir,with\"odd.rs",
             line: 7,
         };
-        let csv = points_csv(&[r]);
+        let csv = points_csv(&[r], FaultChannel::Param);
         let line = csv.trim().lines().nth(1).unwrap();
         assert!(
             line.starts_with("\"dir,with\"\"odd.rs:7\","),
@@ -183,7 +208,7 @@ mod tests {
             line
         );
         // The quoted site keeps the column count stable: splitting on commas
-        // outside quotes must still yield the header's 16 columns.
+        // outside quotes must still yield the header's 18 columns.
         let mut cols = 1;
         let mut in_quotes = false;
         for ch in line.chars() {

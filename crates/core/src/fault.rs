@@ -6,21 +6,27 @@
 //! the hook flips the requested bit in the requested parameter and records
 //! that it fired.
 
-use crate::space::InjectionPoint;
+use crate::space::{FaultChannel, InjectionPoint};
 use simmpi::hook::{CollCall, CollHook, ParamId};
+use simmpi::transport::MsgFaultPlan;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// One concrete fault: a bit position within the target parameter.
+/// One concrete fault: a bit position within the target parameter
+/// (`Param` channel) or a message-fault plan draw (`Message` channel).
 ///
 /// `bit` is reduced modulo the parameter's width at injection time (for
 /// buffers: modulo the buffer's bit length), so callers can draw it
-/// uniformly from a wide range without knowing buffer sizes up front.
+/// uniformly from a wide range without knowing buffer sizes up front. On
+/// the `Message` channel the same draw decodes via
+/// [`MsgFaultPlan::from_bit`] instead.
 #[derive(Debug, Clone)]
 pub struct FaultSpec {
     /// Where to inject.
     pub point: InjectionPoint,
-    /// Which bit to flip.
+    /// Which bit to flip (or, for `Message`, the plan draw).
     pub bit: u64,
+    /// Which layer receives the fault.
+    pub channel: FaultChannel,
 }
 
 /// The interposition hook that performs the injection.
@@ -39,7 +45,10 @@ impl InjectorHook {
     }
 
     /// Whether the fault was actually injected during the run (the target
-    /// invocation was reached and had a non-empty target parameter).
+    /// invocation was reached and had a non-empty target parameter). For
+    /// the `Message` channel this only means the plan was *armed* — whether
+    /// a message was actually hit is reported by the transport
+    /// (`JobResult::transport.fault_fired`).
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::Acquire)
     }
@@ -71,6 +80,13 @@ impl CollHook for InjectorHook {
             return;
         }
         let bit = self.spec.bit;
+        if self.spec.channel == FaultChannel::Message {
+            // Arm a transport fault on this rank's sends within this
+            // invocation; the parameters themselves stay healthy.
+            call.msg_fault = Some(MsgFaultPlan::from_bit(bit));
+            self.fired.store(true, Ordering::Release);
+            return;
+        }
         let fired = match p.param {
             ParamId::SendBuf => call
                 .sendbuf
@@ -144,15 +160,21 @@ mod tests {
             params,
             sendbuf,
             recvbuf: None,
+            msg_fault: None,
+        }
+    }
+
+    fn spec(param: ParamId, bit: u64) -> FaultSpec {
+        FaultSpec {
+            point: point(param),
+            bit,
+            channel: FaultChannel::Param,
         }
     }
 
     #[test]
     fn fires_only_on_exact_target() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::Count),
-            bit: 3,
-        });
+        let hook = InjectorHook::new(spec(ParamId::Count, 3));
         let mut params =
             CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         // Wrong rank.
@@ -170,10 +192,7 @@ mod tests {
 
     #[test]
     fn buffer_flip_changes_exactly_one_bit() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::SendBuf),
-            bit: 8 * 5 + 2, // byte 5, bit 2
-        });
+        let hook = InjectorHook::new(spec(ParamId::SendBuf, 8 * 5 + 2)); // byte 5, bit 2
         let mut params =
             CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = vec![0u8; 16];
@@ -186,10 +205,7 @@ mod tests {
 
     #[test]
     fn buffer_bit_wraps_modulo_length() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::SendBuf),
-            bit: 16 * 8 + 1, // wraps to bit 1 of byte 0
-        });
+        let hook = InjectorHook::new(spec(ParamId::SendBuf, 16 * 8 + 1)); // wraps to bit 1 of byte 0
         let mut params =
             CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = vec![0u8; 16];
@@ -199,10 +215,7 @@ mod tests {
 
     #[test]
     fn empty_buffer_does_not_fire() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::SendBuf),
-            bit: 0,
-        });
+        let hook = InjectorHook::new(spec(ParamId::SendBuf, 0));
         let mut params =
             CollParams::simple(0, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let mut buf = Vec::new();
@@ -212,10 +225,7 @@ mod tests {
 
     #[test]
     fn comm_flip_corrupts_handle() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::Comm),
-            bit: 40, // 40 % 32 = bit 8
-        });
+        let hook = InjectorHook::new(spec(ParamId::Comm, 40)); // 40 % 32 = bit 8
         let mut params =
             CollParams::simple(1, Datatype::Byte, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let before = params.comm;
@@ -224,11 +234,33 @@ mod tests {
     }
 
     #[test]
-    fn alltoallv_count_flip_hits_vector_entry() {
+    fn message_channel_arms_plan_and_leaves_params_healthy() {
         let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::Count),
-            bit: 32 * 3 + 1, // entry 3, bit 1
+            point: point(ParamId::SendBuf),
+            bit: 1, // decodes to a non-sticky Drop on send 0
+            channel: FaultChannel::Message,
         });
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let before = params.clone();
+        let mut buf = vec![0u8; 16];
+        // Off-target: nothing armed.
+        let mut call = call_at(0, 1, &mut params, Some(&mut buf));
+        hook.before(&mut call);
+        assert!(call.msg_fault.is_none());
+        assert!(!hook.fired());
+        // On-target: plan armed, parameters and buffers untouched.
+        let mut call = call_at(2, 1, &mut params, Some(&mut buf));
+        hook.before(&mut call);
+        assert_eq!(call.msg_fault, Some(MsgFaultPlan::from_bit(1)));
+        assert!(hook.fired());
+        assert_eq!(params, before);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn alltoallv_count_flip_hits_vector_entry() {
+        let hook = InjectorHook::new(spec(ParamId::Count, 32 * 3 + 1)); // entry 3, bit 1
         let mut params =
             CollParams::simple(4, Datatype::Int32, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         params.send_counts = Some(vec![4, 4, 4, 4, 4]);

@@ -77,7 +77,9 @@ pub mod prelude {
         classify, level_15_85, trials_for_half_width, wilson_95, wilson_interval, Levels, Response,
         ResponseHistogram, ALL_RESPONSES,
     };
-    pub use crate::space::{full_space, full_space_count, InjectionPoint, ParamsMode};
+    pub use crate::space::{
+        full_space, full_space_count, FaultChannel, InjectionPoint, ParamsMode,
+    };
     pub use crate::supervise::{
         QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
     };

@@ -221,15 +221,21 @@ pub fn campaign_summary(c: &Campaign, r: &CampaignResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "workload={} ranks={} full_points={} pruned_points={} ({:.2}% reduction) trials={} wall={:?}",
+        "workload={} ranks={} channel={}{} full_points={} pruned_points={} ({:.2}% reduction) trials={} wall={:?}",
         c.workload.name,
         c.workload.nranks,
+        c.cfg.fault_channel.token(),
+        if c.cfg.resilient { " resilient" } else { "" },
         c.full_points,
         c.points().len(),
         100.0 * c.total_reduction(),
         r.total_trials,
         r.wall
     );
+    let retransmits: u64 = r.results.iter().map(|p| p.retransmits).sum();
+    if retransmits > 0 {
+        let _ = writeln!(out, "transport recoveries: {} retransmit(s)", retransmits);
+    }
     let _ = writeln!(out, "{}", histogram_row(&r.aggregate()));
     out
 }
@@ -262,6 +268,7 @@ mod tests {
             fired: 0,
             fatal_ranks: Vec::new(),
             quarantined: 0,
+            retransmits: 0,
         }
     }
 

@@ -23,6 +23,43 @@ pub struct InjectionPoint {
     pub param: ParamId,
 }
 
+/// Which layer of the stack a campaign injects faults into.
+///
+/// `Param` is the paper's model: one bit flip in one input parameter at
+/// the PMPI seam. `Message` is the orthogonal transport-level axis added
+/// on top: the same `(site, invocation, rank, param)` addressing selects
+/// the collective invocation, but the bit draw decodes into a
+/// [`MsgFaultPlan`](simmpi::transport::MsgFaultPlan) applied to one of
+/// that rank's in-flight messages instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultChannel {
+    /// Bit flips in collective input parameters (the FastFIT default).
+    #[default]
+    Param,
+    /// Transport-level faults on individual messages (flip, drop,
+    /// duplicate, delay, truncate).
+    Message,
+}
+
+impl FaultChannel {
+    /// Stable textual token for journals and CLIs.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultChannel::Param => "param",
+            FaultChannel::Message => "message",
+        }
+    }
+
+    /// Inverse of [`FaultChannel::token`].
+    pub fn from_token(token: &str) -> Option<FaultChannel> {
+        match token {
+            "param" => Some(FaultChannel::Param),
+            "message" => Some(FaultChannel::Message),
+            _ => None,
+        }
+    }
+}
+
 /// Which parameters a campaign injects into.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParamsMode {
@@ -146,6 +183,15 @@ mod tests {
             stack: vec!["main"],
             bytes: 8,
         }
+    }
+
+    #[test]
+    fn fault_channel_token_roundtrip() {
+        for ch in [FaultChannel::Param, FaultChannel::Message] {
+            assert_eq!(FaultChannel::from_token(ch.token()), Some(ch));
+        }
+        assert_eq!(FaultChannel::from_token("bogus"), None);
+        assert_eq!(FaultChannel::default(), FaultChannel::Param);
     }
 
     #[test]

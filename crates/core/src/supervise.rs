@@ -180,6 +180,7 @@ mod tests {
             response: Response::Success,
             fired: true,
             fatal_rank: None,
+            retransmits: 0,
         }
     }
 

@@ -1,11 +1,21 @@
 //! Job-wide control state: kill flag, logical-progress accounting, hang
-//! diagnosis, and first-fatal-event record.
+//! diagnosis, and the fatal-event record.
 //!
 //! Every blocking wait inside the runtime polls this state so that a job
 //! whose ranks are deadlocked (the paper's `INF_LOOP` outcome) can be torn
 //! down by the watchdog without leaking threads, and so that a fatal event
 //! on one rank (MPI error, simulated segfault, application abort) brings
 //! the whole job down like `MPI_ERRORS_ARE_FATAL` / `MPI_Abort` would.
+//!
+//! Fatal events follow a *fail-stop drain*: recording one does not kill
+//! the job. The failed rank simply exits; every surviving rank keeps
+//! running until it deterministically completes, fails on its own, or
+//! blocks on a peer that is gone — at which point the runner's logical
+//! stall sweep proves quiescence and tears the job down. Killing eagerly
+//! would make the set of recorded fatals a race (whichever rank detected
+//! the error a microsecond earlier would cut its peers off mid-detection),
+//! and with it the attributed rank. Draining makes the set — and the
+//! lowest-rank attribution over it — a pure function of program logic.
 //!
 //! Hang detection is *logical*, not wall-clock: every rank bumps a
 //! monotonic per-rank op counter at sends, receives, collective entries
@@ -21,9 +31,11 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// The first fatal event observed in a job. Ordering matters for
-/// classification: the *first* fatal event decides the job outcome, exactly
-/// as the first `MPI_Abort`/signal decides the exit of a real `mpirun`.
+/// A fatal event observed on one rank. Wall-clock arrival order is racy
+/// when several ranks detect the same corruption near-simultaneously, so
+/// classification never uses it: all fatals recorded during the fail-stop
+/// drain are kept, and the job outcome is attributed to the lowest-ranked
+/// one — a deterministic choice over a deterministic set.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FatalKind {
     /// The application itself detected a problem and aborted
@@ -41,6 +53,47 @@ pub enum FatalKind {
         /// Description of the violated access.
         detail: String,
     },
+}
+
+/// Which layer detected a fatal event. Parameter faults are caught by the
+/// application (`MPI_Abort`), the MPI library (argument validation), or the
+/// memory model; message faults add a fourth detector — the resilient
+/// transport, which surfaces unrecoverable deliveries as
+/// `MPI_ERR_TRANSPORT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectedBy {
+    /// The application's own checks (`MPI_Abort` analog).
+    App,
+    /// MPI library argument/protocol validation.
+    Mpi,
+    /// The simulated memory model (out-of-bounds access).
+    Memory,
+    /// The resilient transport (retransmission budget exhausted).
+    Transport,
+}
+
+impl DetectedBy {
+    /// Short token used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectedBy::App => "app",
+            DetectedBy::Mpi => "mpi",
+            DetectedBy::Memory => "memory",
+            DetectedBy::Transport => "transport",
+        }
+    }
+}
+
+impl FatalKind {
+    /// Which layer detected this fatal event.
+    pub fn detected_by(&self) -> DetectedBy {
+        match self {
+            FatalKind::AppAbort { .. } => DetectedBy::App,
+            FatalKind::Mpi(MpiError::Transport) => DetectedBy::Transport,
+            FatalKind::Mpi(_) => DetectedBy::Mpi,
+            FatalKind::SegFault { .. } => DetectedBy::Memory,
+        }
+    }
 }
 
 /// Why the watchdog tore a job down. Distinguishing the deterministic
@@ -114,7 +167,7 @@ pub struct JobControl {
     /// Per-rank monotonic op counters, bumped at sends, receives,
     /// collective entries and yield points.
     ops: Vec<AtomicU64>,
-    fatal: Mutex<Option<(usize, FatalKind)>>,
+    fatal: Mutex<Vec<(usize, FatalKind)>>,
     hang: Mutex<Option<HangKind>>,
     done: Mutex<usize>,
     done_cv: Condvar,
@@ -135,7 +188,7 @@ impl JobControl {
             deadline: Instant::now() + timeout,
             op_budget,
             ops: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
-            fatal: Mutex::new(None),
+            fatal: Mutex::new(Vec::new()),
             hang: Mutex::new(None),
             done: Mutex::new(0),
             done_cv: Condvar::new(),
@@ -158,20 +211,24 @@ impl JobControl {
         self.killed.load(Ordering::Acquire) || Instant::now() >= self.deadline
     }
 
-    /// Record a fatal event from `rank` (first event wins) and kill the job.
+    /// Record a fatal event from `rank`. Deliberately does *not* kill the
+    /// job: the fail-stop drain lets every other rank reach its own
+    /// deterministic fate (complete, fail, or block) before the runner
+    /// tears the job down, so the set of recorded fatals — and the
+    /// attribution over it — cannot depend on detection timing.
     pub fn record_fatal(&self, rank: usize, kind: FatalKind) {
-        {
-            let mut slot = self.fatal.lock();
-            if slot.is_none() {
-                *slot = Some((rank, kind));
-            }
-        }
-        self.kill();
+        self.fatal.lock().push((rank, kind));
     }
 
-    /// The first fatal event, if any.
+    /// The fatal event the job is attributed to: the lowest-ranked one
+    /// recorded. (A rank records at most one fatal — it unwinds on the
+    /// first — so the minimum is unique.)
     pub fn fatal(&self) -> Option<(usize, FatalKind)> {
-        self.fatal.lock().clone()
+        self.fatal
+            .lock()
+            .iter()
+            .min_by_key(|(rank, _)| *rank)
+            .cloned()
     }
 
     /// Record why the watchdog is tearing the job down (first diagnosis
@@ -203,6 +260,14 @@ impl JobControl {
                 std::panic::panic_any(RankPanic::Killed);
             }
         }
+    }
+
+    /// Whether this job runs under a logical op budget. The transport uses
+    /// this to decide whether a dropped-message livelock can be resolved
+    /// deterministically (budget burn) or must fall to the wall-clock
+    /// backstop.
+    pub fn has_budget(&self) -> bool {
+        self.op_budget.is_some()
     }
 
     /// `rank`'s logical op count so far.
@@ -275,14 +340,51 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn first_fatal_wins() {
+    fn fatal_attribution_is_lowest_rank_and_never_kills() {
         let ctl = JobControl::new(2, Duration::from_secs(1));
         ctl.record_fatal(1, FatalKind::Mpi(MpiError::Comm));
+        assert!(
+            !ctl.should_die(),
+            "fail-stop drain: the watchdog, not the recorder, tears the job down"
+        );
         ctl.record_fatal(0, FatalKind::SegFault { detail: "x".into() });
         let (rank, kind) = ctl.fatal().unwrap();
-        assert_eq!(rank, 1);
-        assert_eq!(kind, FatalKind::Mpi(MpiError::Comm));
-        assert!(ctl.should_die());
+        assert_eq!(rank, 0, "attribution is by rank, not arrival order");
+        assert_eq!(kind, FatalKind::SegFault { detail: "x".into() });
+    }
+
+    #[test]
+    fn detected_by_attributes_each_layer() {
+        assert_eq!(
+            FatalKind::AppAbort {
+                code: 1,
+                msg: "x".into()
+            }
+            .detected_by(),
+            DetectedBy::App
+        );
+        assert_eq!(
+            FatalKind::Mpi(MpiError::Count).detected_by(),
+            DetectedBy::Mpi
+        );
+        assert_eq!(
+            FatalKind::Mpi(MpiError::Transport).detected_by(),
+            DetectedBy::Transport
+        );
+        assert_eq!(
+            FatalKind::SegFault { detail: "x".into() }.detected_by(),
+            DetectedBy::Memory
+        );
+        let names: std::collections::HashSet<_> = [
+            DetectedBy::App,
+            DetectedBy::Mpi,
+            DetectedBy::Memory,
+            DetectedBy::Transport,
+        ]
+        .iter()
+        .map(|d| d.name())
+        .collect();
+        assert_eq!(names.len(), 4);
     }
 
     #[test]

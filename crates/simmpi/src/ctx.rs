@@ -1063,6 +1063,7 @@ impl RankCtx {
                 bytes,
             });
         }
+        let mut msg_fault = None;
         if let Some(hook) = self.hook.clone() {
             let mut call = CollCall {
                 kind,
@@ -1072,8 +1073,10 @@ impl RankCtx {
                 params,
                 sendbuf,
                 recvbuf,
+                msg_fault: None,
             };
             hook.before(&mut call);
+            msg_fault = call.msg_fault;
         }
         self.ctl.check();
 
@@ -1093,6 +1096,12 @@ impl RankCtx {
         };
         if params.root < 0 || params.root as usize >= comm.size() {
             self.fatal(MpiError::Root);
+        }
+        // Arm the message fault only after validation: its scope is this
+        // invocation's `(comm, seq)` tag namespace, so a stale plan can
+        // never fire on later traffic.
+        if let Some(plan) = msg_fault {
+            self.fabric.arm(self.rank, comm.handle.0, seq, plan);
         }
         Decoded {
             comm,

@@ -40,6 +40,11 @@ pub enum MpiError {
     Arg,
     /// Internal failure of the simulated library.
     Internal,
+    /// Unrecoverable transport-level delivery failure: the resilient
+    /// transport exhausted its retransmission budget on a corrupt or lost
+    /// message (no standard `MPI_ERR_*` analog; surfaced like a fatal
+    /// network error would be).
+    Transport,
 }
 
 impl MpiError {
@@ -58,6 +63,7 @@ impl MpiError {
             MpiError::Protocol => "MPI_ERR_PROTOCOL",
             MpiError::Arg => "MPI_ERR_ARG",
             MpiError::Internal => "MPI_ERR_INTERN",
+            MpiError::Transport => "MPI_ERR_TRANSPORT",
         }
     }
 
@@ -76,6 +82,7 @@ impl MpiError {
             MpiError::Protocol => 17,
             MpiError::Arg => 13,
             MpiError::Internal => 16,
+            MpiError::Transport => 18,
         }
     }
 }
@@ -107,6 +114,7 @@ mod tests {
             MpiError::Protocol,
             MpiError::Arg,
             MpiError::Internal,
+            MpiError::Transport,
         ];
         let mut names: Vec<_> = all.iter().map(|e| e.name()).collect();
         names.sort_unstable();

@@ -11,6 +11,7 @@
 use crate::comm::CommHandle;
 use crate::datatype::Datatype;
 use crate::op::ReduceOp;
+use crate::transport::MsgFaultPlan;
 
 /// The collective operations the runtime implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -258,6 +259,10 @@ pub struct CollCall<'a> {
     pub sendbuf: Option<&'a mut Vec<u8>>,
     /// Serialized receive-buffer image, if the kind has one.
     pub recvbuf: Option<&'a mut Vec<u8>>,
+    /// Message-fault plan to arm for this rank's sends within this
+    /// collective invocation. Set by a hook to inject a transport-level
+    /// fault instead of (or in addition to) a parameter flip.
+    pub msg_fault: Option<MsgFaultPlan>,
 }
 
 /// Interposition hook (the PMPI layer). Implemented by the FastFIT

@@ -58,7 +58,7 @@ pub mod transport;
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::comm::{CommHandle, WORLD};
-    pub use crate::control::FatalKind;
+    pub use crate::control::{DetectedBy, FatalKind};
     pub use crate::ctx::{RankCtx, RankOutput};
     pub use crate::datatype::{Complex64, Datatype, MpiType};
     pub use crate::error::MpiError;
@@ -66,4 +66,5 @@ pub mod prelude {
     pub use crate::op::ReduceOp;
     pub use crate::record::{CallRecord, Phase};
     pub use crate::runtime::{run_job, AppFn, JobOutcome, JobResult, JobSpec};
+    pub use crate::transport::{MsgFaultKind, MsgFaultPlan, TransportStats};
 }

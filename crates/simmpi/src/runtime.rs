@@ -26,7 +26,7 @@ use crate::control::{FatalKind, HangKind, JobControl, RankPanic};
 use crate::ctx::{RankCtx, RankOutput};
 use crate::hook::CollHook;
 use crate::record::CallRecord;
-use crate::transport::Fabric;
+use crate::transport::{Fabric, TransportStats};
 use parking_lot::Mutex;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -58,6 +58,10 @@ pub struct JobSpec {
     pub stall_quota: u32,
     /// Record per-call profiling data.
     pub record: bool,
+    /// Run the fabric in resilient mode: per-message checksums, duplicate
+    /// suppression, and bounded retransmission of corrupt/dropped
+    /// deliveries (see [`Fabric::with_mode`]).
+    pub resilient_transport: bool,
     /// Interposition hook (fault injector); `None` = clean run.
     pub hook: Option<Arc<dyn CollHook>>,
 }
@@ -71,6 +75,7 @@ impl Default for JobSpec {
             op_budget: None,
             stall_quota: 3,
             record: false,
+            resilient_transport: false,
             hook: None,
         }
     }
@@ -85,6 +90,7 @@ impl std::fmt::Debug for JobSpec {
             .field("op_budget", &self.op_budget)
             .field("stall_quota", &self.stall_quota)
             .field("record", &self.record)
+            .field("resilient_transport", &self.resilient_transport)
             .field("hook", &self.hook.is_some())
             .finish()
     }
@@ -98,11 +104,15 @@ pub enum JobOutcome {
         /// Per-rank outputs, indexed by rank.
         outputs: Vec<RankOutput>,
     },
-    /// The job died from the first fatal event recorded.
+    /// The job died from a fatal event. When several ranks fail (e.g. the
+    /// same corrupt payload trips validation on every receiver), the
+    /// outcome is attributed to the lowest-ranked fatal recorded during
+    /// the fail-stop drain — deterministic, unlike wall-clock arrival
+    /// order.
     Fatal {
-        /// Rank on which the event fired.
+        /// Lowest rank on which a fatal event fired.
         rank: usize,
-        /// What happened.
+        /// What happened on that rank.
         kind: FatalKind,
     },
     /// The watchdog killed the job (deadlock / infinite loop / backstop).
@@ -124,6 +134,8 @@ pub struct JobResult {
     pub ops: Vec<u64>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Message-fault / recovery counters from the fabric.
+    pub transport: TransportStats,
 }
 
 /// Install a process-wide panic hook that silences the structured unwinds
@@ -150,7 +162,7 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
     install_quiet_panic_hook();
     let start = Instant::now();
     let n = spec.nranks;
-    let fabric = Fabric::new(n);
+    let fabric = Fabric::with_mode(n, spec.resilient_transport);
     let ctl = Arc::new(JobControl::with_budget(n, spec.timeout, spec.op_budget));
     let outputs: Arc<Vec<Mutex<Option<RankOutput>>>> =
         Arc::new((0..n).map(|_| Mutex::new(None)).collect());
@@ -238,6 +250,14 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
         let e0 = fabric.epoch();
         let stuck = (0..n).filter(|&r| fabric.stuck(r)).count();
         let candidate = stuck > 0 && stuck + ctl.done_count() >= n && fabric.epoch() == e0;
+        if candidate && ctl.fatal().is_some() {
+            // Fail-stop drain complete: some rank failed, and every
+            // survivor is now provably blocked — no rank can run, so the
+            // fatal set can no longer grow. Tear down and attribute; this
+            // is a drained failure, not a deadlock, so no hang is
+            // recorded.
+            break false;
+        }
         if candidate && (stall_streak == 0 || streak_epoch == e0) {
             stall_streak += 1;
             streak_epoch = e0;
@@ -286,6 +306,7 @@ pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
         records: recs,
         ops: ctl.ops_snapshot(),
         wall: start.elapsed(),
+        transport: fabric.stats(),
     }
 }
 
@@ -377,6 +398,38 @@ mod tests {
                 assert_eq!(kind, FatalKind::Mpi(MpiError::Comm));
             }
             other => panic!("unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn concurrent_fatals_attribute_to_lowest_rank_every_run() {
+        // Two ranks fail "simultaneously" (no synchronization orders their
+        // detections); the fail-stop drain must collect both and attribute
+        // rank 0 on every run — the flaky alternative is whichever thread
+        // won the race to record first.
+        for run in 0..20 {
+            let res = run_job(
+                &spec(4),
+                Arc::new(|ctx: &mut RankCtx| {
+                    if ctx.rank() < 2 {
+                        ctx.abort(7, "concurrent failure");
+                    }
+                    ctx.barrier(ctx.world());
+                    RankOutput::new()
+                }),
+            );
+            match res.outcome {
+                JobOutcome::Fatal { rank, kind } => {
+                    assert_eq!(rank, 0, "run {}", run);
+                    assert!(
+                        matches!(kind, FatalKind::AppAbort { code: 7, .. }),
+                        "run {}: {:?}",
+                        run,
+                        kind
+                    );
+                }
+                other => panic!("run {}: unexpected outcome {:?}", run, other),
+            }
         }
     }
 

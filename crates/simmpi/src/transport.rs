@@ -18,14 +18,142 @@
 //! message"). Two watchdog sweeps that observe every live rank stuck with an
 //! unchanged epoch in between have *proved* a deadlock: any progress,
 //! however the OS schedules the threads, would have bumped the epoch.
+//!
+//! # Message faults
+//!
+//! Beyond the parameter-level faults injected at the PMPI seam, the fabric
+//! can corrupt *individual messages in flight*: a [`MsgFaultPlan`] armed for
+//! one rank and scoped to one collective invocation (communicator code +
+//! sequence number) hits the `nth_send`-th scoped message with one of five
+//! [`MsgFaultKind`]s — payload bit flip, silent drop, duplication, bounded
+//! delay, or truncation. Every fault is a pure function of the plan and the
+//! rank's deterministic send order, so the same plan always corrupts the
+//! same bytes of the same message.
+//!
+//! A *dropped* message is injected livelock, not deadlock: the victim
+//! receive is never reported [`stuck`](Fabric::stuck) (the stall sweep must
+//! not misread it as a deadlock), and when the job has a logical op budget
+//! the receiver deterministically burns it and dies via the op-budget path
+//! — the same `INF_LOOP` classification on every run, independent of
+//! machine load. Without a budget the receive blocks until the wall-clock
+//! backstop (campaigns always set a budget).
+//!
+//! # Resilient mode
+//!
+//! [`Fabric::with_mode`] enables a self-healing delivery protocol: every
+//! message carries a per-`(src, dst)` sequence number and an FNV-1a
+//! checksum of its payload. The receiver verifies the checksum, suppresses
+//! duplicate sequence numbers, and recovers corrupt or dropped deliveries
+//! by simulated retransmission from the sender's pristine copy (bounded by
+//! [`MAX_RETRANSMITS`] attempts). A fault that persists through every
+//! attempt (a *sticky* plan) surfaces as `MPI_ERR_TRANSPORT`, attributed to
+//! [`DetectedBy::Transport`](crate::control::DetectedBy).
 
+use crate::comm::TagKind;
 use crate::control::{JobControl, RankPanic};
 use crate::error::MpiError;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Retransmission attempts the resilient transport grants one message
+/// before declaring it unrecoverable.
+pub const MAX_RETRANSMITS: u32 = 3;
+
+/// Hold time of a delay-faulted message. Bounded and far below every
+/// watchdog window, so a delayed message is always *deliverable* — the
+/// outcome of the run cannot depend on it.
+pub const MSG_DELAY: Duration = Duration::from_millis(30);
+
+/// The transport-level fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgFaultKind {
+    /// Flip one payload bit on the wire.
+    Flip,
+    /// Silently discard the message (injected livelock).
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Hold the message for [`MSG_DELAY`] before delivery.
+    Delay,
+    /// Deliver a truncated payload.
+    Truncate,
+}
+
+/// All message-fault kinds.
+pub const ALL_MSG_FAULT_KINDS: [MsgFaultKind; 5] = [
+    MsgFaultKind::Flip,
+    MsgFaultKind::Drop,
+    MsgFaultKind::Duplicate,
+    MsgFaultKind::Delay,
+    MsgFaultKind::Truncate,
+];
+
+impl MsgFaultKind {
+    /// Short name used in reports and journals.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgFaultKind::Flip => "flip",
+            MsgFaultKind::Drop => "drop",
+            MsgFaultKind::Duplicate => "duplicate",
+            MsgFaultKind::Delay => "delay",
+            MsgFaultKind::Truncate => "truncate",
+        }
+    }
+}
+
+/// One concrete message fault, scoped (by the arming call) to one
+/// collective invocation of one rank.
+///
+/// Like the parameter-fault `bit`, a plan is decoded from a single `u64`
+/// draw so campaigns can sample the message-fault space uniformly without
+/// knowing message counts or sizes up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgFaultPlan {
+    /// What to do to the message.
+    pub kind: MsgFaultKind,
+    /// Which of the rank's sends *within the armed collective* to hit
+    /// (0-based; a collective that sends fewer messages never fires).
+    pub nth_send: u64,
+    /// Bit position for `Flip` / length selector for `Truncate`, reduced
+    /// modulo the payload size at injection time.
+    pub payload_bit: u64,
+    /// A sticky fault also corrupts every retransmission, so the resilient
+    /// transport cannot recover it — the bounded-attempt exhaustion path.
+    pub sticky: bool,
+}
+
+impl MsgFaultPlan {
+    /// Decode a plan from one uniform `u64` draw. The layout mirrors the
+    /// parameter-fault convention (wide draw, reduced at injection time):
+    /// kind = `bit % 5`, nth send = `(bit / 5) % 4`, sticky on one eighth
+    /// of the space, and the rest selects the payload bit.
+    pub fn from_bit(bit: u64) -> MsgFaultPlan {
+        MsgFaultPlan {
+            kind: ALL_MSG_FAULT_KINDS[(bit % 5) as usize],
+            nth_send: (bit / 5) % 4,
+            sticky: (bit / 20) % 8 == 7,
+            payload_bit: bit / 160,
+        }
+    }
+}
+
+/// Counters the fabric accumulates over one job, snapshotted into
+/// `JobResult::transport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Whether the armed message fault was actually applied to a message.
+    pub fault_fired: bool,
+    /// Retransmissions the resilient transport performed (or charged, for
+    /// exhausted recoveries).
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by sequence-number tracking.
+    pub dup_suppressed: u64,
+    /// Unrecoverable deliveries surfaced as `MPI_ERR_TRANSPORT`.
+    pub transport_errors: u64,
+}
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -34,8 +162,29 @@ pub struct Msg {
     pub src: usize,
     /// Full 64-bit match tag (see [`coll_tag`](crate::comm::coll_tag)).
     pub tag: u64,
-    /// Payload bytes.
+    /// Payload bytes as they travel the wire (possibly corrupted).
     pub data: Vec<u8>,
+    /// Per-`(src, dst)` sequence number, for duplicate suppression.
+    pub seqno: u64,
+    /// FNV-1a checksum of the payload *as sent* (before wire corruption).
+    pub checksum: u64,
+    /// Pristine payload kept for retransmission when the wire copy was
+    /// faulted in resilient mode.
+    pub pristine: Option<Vec<u8>>,
+    /// Whether the fault that hit this message also corrupts every
+    /// retransmission.
+    pub sticky: bool,
+}
+
+/// A message that was silently dropped on the wire. The pristine payload is
+/// kept so the resilient transport can simulate retransmission; the plain
+/// transport only uses the entry to recognise the injected livelock.
+#[derive(Debug)]
+struct DroppedEntry {
+    src: usize,
+    tag: u64,
+    data: Vec<u8>,
+    sticky: bool,
 }
 
 /// Queue plus the blocked-receive descriptor of the owning rank, guarded by
@@ -45,6 +194,14 @@ struct MailboxState {
     queue: VecDeque<Msg>,
     /// `(src, tag)` the owning rank is currently blocked on, if any.
     waiting: Option<(usize, u64)>,
+    /// Delay-faulted messages awaiting their release instant.
+    held: Vec<(Instant, Msg)>,
+    /// Drop-faulted messages addressed to this mailbox.
+    dropped: Vec<DroppedEntry>,
+    /// Per-source next sequence number for messages into this mailbox.
+    next_seq: HashMap<usize, u64>,
+    /// `(src, seqno)` pairs already consumed (resilient mode only).
+    consumed: HashSet<(usize, u64)>,
 }
 
 #[derive(Debug, Default)]
@@ -53,31 +210,87 @@ struct Mailbox {
     cv: Condvar,
 }
 
+/// An armed message fault: the plan plus its collective scope and the
+/// number of scoped sends already observed.
+#[derive(Debug)]
+struct ArmedFault {
+    plan: MsgFaultPlan,
+    comm_code: u32,
+    seq: u64,
+    sends_seen: u64,
+}
+
+impl ArmedFault {
+    /// Whether `tag` belongs to the armed collective invocation.
+    fn in_scope(&self, tag: u64) -> bool {
+        (tag >> 32) == u64::from(self.comm_code)
+            && ((tag >> 28) & 0xF) == TagKind::Collective as u64
+            && (tag & 0xF_FFFF) == (self.seq & 0xF_FFFF)
+    }
+}
+
+/// 64-bit FNV-1a over the payload — the per-message checksum of the
+/// resilient transport.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The all-to-all wiring between the ranks of one job.
 #[derive(Debug)]
 pub struct Fabric {
     boxes: Vec<Mailbox>,
+    /// Per-source armed message fault (at most one per rank).
+    armed: Vec<Mutex<Option<ArmedFault>>>,
+    /// Resilient (checksum/ack/retransmit) delivery protocol enabled.
+    resilient: bool,
     /// Total bytes ever enqueued, for diagnostics/benchmarks.
     bytes_sent: AtomicU64,
     /// Progress epoch: bumped (under the destination mailbox lock) on every
     /// enqueue and every consume. An unchanged epoch across a watchdog
     /// sweep window proves no message moved anywhere in the fabric.
     epoch: AtomicU64,
+    fault_fired: AtomicBool,
+    retransmits: AtomicU64,
+    dup_suppressed: AtomicU64,
+    transport_errors: AtomicU64,
 }
 
 impl Fabric {
-    /// Create a fabric connecting `n` ranks.
+    /// Create a plain (non-resilient) fabric connecting `n` ranks.
     pub fn new(n: usize) -> Arc<Fabric> {
+        Fabric::with_mode(n, false)
+    }
+
+    /// Create a fabric connecting `n` ranks, optionally with the resilient
+    /// delivery protocol (per-message checksum, duplicate suppression,
+    /// bounded retransmission).
+    pub fn with_mode(n: usize, resilient: bool) -> Arc<Fabric> {
         Arc::new(Fabric {
             boxes: (0..n).map(|_| Mailbox::default()).collect(),
+            armed: (0..n).map(|_| Mutex::new(None)).collect(),
+            resilient,
             bytes_sent: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            fault_fired: AtomicBool::new(false),
+            retransmits: AtomicU64::new(0),
+            dup_suppressed: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
         })
     }
 
     /// Number of ranks wired up.
     pub fn nranks(&self) -> usize {
         self.boxes.len()
+    }
+
+    /// Whether the resilient delivery protocol is active.
+    pub fn is_resilient(&self) -> bool {
+        self.resilient
     }
 
     /// Total payload bytes sent through the fabric so far.
@@ -90,42 +303,188 @@ impl Fabric {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Snapshot of the message-fault / recovery counters.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            fault_fired: self.fault_fired.load(Ordering::Acquire),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            transport_errors: self.transport_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Arm `plan` for `src`'s sends within the collective invocation
+    /// identified by `(comm_code, seq)`. Replaces any previously armed
+    /// fault; the scope guarantees a stale plan can never fire on a later
+    /// collective (its sequence number has moved on).
+    pub fn arm(&self, src: usize, comm_code: u32, seq: u64, plan: MsgFaultPlan) {
+        if let Some(slot) = self.armed.get(src) {
+            *slot.lock() = Some(ArmedFault {
+                plan,
+                comm_code,
+                seq,
+                sends_seen: 0,
+            });
+        }
+    }
+
     /// Whether `rank` is blocked in [`recv`](Fabric::recv) with no
     /// deliverable message. Checked under the mailbox lock, so a `true`
     /// cannot race with an in-flight matching send: a send that landed
     /// first would be visible in the queue, one that lands later bumps the
-    /// epoch and invalidates the sweep.
+    /// epoch and invalidates the sweep. A rank awaiting a *held* (delayed)
+    /// or *dropped* message is not stuck: the delayed message is
+    /// deliverable, and the drop victim handles its own fate (retransmit
+    /// recovery or a deterministic op-budget burn) — the stall sweep must
+    /// not misread either as a deadlock.
     pub fn stuck(&self, rank: usize) -> bool {
         self.boxes
             .get(rank)
             .map(|m| {
                 let st = m.state.lock();
                 match st.waiting {
-                    Some((src, tag)) => !st.queue.iter().any(|x| x.src == src && x.tag == tag),
+                    Some((src, tag)) => {
+                        !st.queue.iter().any(|x| x.src == src && x.tag == tag)
+                            && !st.held.iter().any(|(_, x)| x.src == src && x.tag == tag)
+                            && !st.dropped.iter().any(|d| d.src == src && d.tag == tag)
+                    }
                     None => false,
                 }
             })
             .unwrap_or(false)
     }
 
+    /// Consult the armed fault for `src`: if `tag` is in scope, advance the
+    /// scoped send counter and return the plan when this is the targeted
+    /// send.
+    fn fault_for(&self, src: usize, tag: u64) -> Option<MsgFaultPlan> {
+        let slot = self.armed.get(src)?;
+        let mut guard = slot.lock();
+        let armed = guard.as_mut()?;
+        if !armed.in_scope(tag) {
+            return None;
+        }
+        let idx = armed.sends_seen;
+        armed.sends_seen += 1;
+        (idx == armed.plan.nth_send).then_some(armed.plan)
+    }
+
     /// Deliver `data` to `dst`'s mailbox. Fails with `MPI_ERR_RANK` if
     /// `dst` does not exist (e.g. a corrupted root produced an out-of-range
-    /// partner).
+    /// partner). An armed message fault for `src` whose scope matches `tag`
+    /// is applied here, at the wire.
     pub fn send(&self, src: usize, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), MpiError> {
         let mbox = self.boxes.get(dst).ok_or(MpiError::Rank)?;
         self.bytes_sent
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        // Decide the fault before taking the mailbox lock (the two locks
+        // are never held together).
+        let fault = self.fault_for(src, tag);
         let mut st = mbox.state.lock();
-        st.queue.push_back(Msg { src, tag, data });
+        let seqno = {
+            let c = st.next_seq.entry(src).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let checksum = fnv1a(&data);
+        let mut msg = Msg {
+            src,
+            tag,
+            data,
+            seqno,
+            checksum,
+            pristine: None,
+            sticky: false,
+        };
+        match fault {
+            Some(plan) => match plan.kind {
+                MsgFaultKind::Flip if !msg.data.is_empty() => {
+                    self.fault_fired.store(true, Ordering::Release);
+                    if self.resilient {
+                        msg.pristine = Some(msg.data.clone());
+                    }
+                    let b = (plan.payload_bit % (msg.data.len() as u64 * 8)) as usize;
+                    msg.data[b / 8] ^= 1 << (b % 8);
+                    msg.sticky = plan.sticky;
+                    self.enqueue(mbox, &mut st, msg);
+                }
+                MsgFaultKind::Truncate if !msg.data.is_empty() => {
+                    self.fault_fired.store(true, Ordering::Release);
+                    if self.resilient {
+                        msg.pristine = Some(msg.data.clone());
+                    }
+                    let keep = (plan.payload_bit % msg.data.len() as u64) as usize;
+                    msg.data.truncate(keep);
+                    msg.sticky = plan.sticky;
+                    self.enqueue(mbox, &mut st, msg);
+                }
+                MsgFaultKind::Drop => {
+                    self.fault_fired.store(true, Ordering::Release);
+                    st.dropped.push(DroppedEntry {
+                        src,
+                        tag,
+                        data: msg.data,
+                        sticky: plan.sticky,
+                    });
+                    // No progress epoch: nothing was delivered. Wake the
+                    // receiver so it observes the drop promptly.
+                    mbox.cv.notify_all();
+                }
+                MsgFaultKind::Duplicate => {
+                    self.fault_fired.store(true, Ordering::Release);
+                    self.enqueue(mbox, &mut st, msg.clone());
+                    self.enqueue(mbox, &mut st, msg);
+                }
+                MsgFaultKind::Delay => {
+                    self.fault_fired.store(true, Ordering::Release);
+                    st.held.push((Instant::now() + MSG_DELAY, msg));
+                    // Held, not delivered: no epoch bump. The receiver's
+                    // poll loop releases it once due.
+                }
+                // Flip/Truncate of an empty payload cannot fire (mirrors
+                // the empty-buffer rule of parameter faults).
+                MsgFaultKind::Flip | MsgFaultKind::Truncate => {
+                    self.enqueue(mbox, &mut st, msg);
+                }
+            },
+            None => self.enqueue(mbox, &mut st, msg),
+        }
+        Ok(())
+    }
+
+    /// Enqueue under the (held) mailbox lock: progress epoch + wakeup.
+    fn enqueue(&self, mbox: &Mailbox, st: &mut MailboxState, msg: Msg) {
+        st.queue.push_back(msg);
         self.epoch.fetch_add(1, Ordering::Release);
         mbox.cv.notify_all();
-        Ok(())
+    }
+
+    /// Move due held (delay-faulted) messages into the queue.
+    fn release_due(&self, st: &mut MailboxState) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < st.held.len() {
+            if st.held[i].0 <= now {
+                let (_, msg) = st.held.remove(i);
+                st.queue.push_back(msg);
+                self.epoch.fetch_add(1, Ordering::Release);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Blocking receive of the first message matching `(src, tag)`.
     ///
     /// Honours the job kill flag: if the job is torn down while waiting,
     /// unwinds with [`RankPanic::Killed`] so the thread exits promptly.
+    ///
+    /// This is also where the resilient delivery protocol runs: checksum
+    /// verification, duplicate suppression, and simulated retransmission of
+    /// corrupt or dropped messages. In plain mode a receive blocked on a
+    /// dropped message burns the logical op budget instead (injected
+    /// livelock → deterministic `INF_LOOP` via the op-budget path).
     pub fn recv(&self, me: usize, src: usize, tag: u64, ctl: &JobControl) -> Vec<u8> {
         let mbox = match self.boxes.get(me) {
             Some(m) => m,
@@ -134,10 +493,67 @@ impl Fabric {
         let mut st = mbox.state.lock();
         st.waiting = Some((src, tag));
         loop {
-            if let Some(pos) = st.queue.iter().position(|m| m.src == src && m.tag == tag) {
+            self.release_due(&mut st);
+            while let Some(pos) = st.queue.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = st.queue.remove(pos).expect("position just found");
+                if self.resilient {
+                    if st.consumed.contains(&(msg.src, msg.seqno)) {
+                        // A duplicate of something already delivered:
+                        // suppress and keep scanning.
+                        self.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if fnv1a(&msg.data) != msg.checksum {
+                        // Corrupt delivery. Recover from the sender's
+                        // pristine copy unless the fault is sticky (every
+                        // retransmission corrupted too).
+                        return match (msg.sticky, msg.pristine) {
+                            (false, Some(pristine)) => {
+                                self.retransmits.fetch_add(1, Ordering::Relaxed);
+                                st.consumed.insert((msg.src, msg.seqno));
+                                st.waiting = None;
+                                self.epoch.fetch_add(1, Ordering::Release);
+                                pristine
+                            }
+                            _ => self.transport_failure(&mut st),
+                        };
+                    }
+                    st.consumed.insert((msg.src, msg.seqno));
+                }
                 st.waiting = None;
                 self.epoch.fetch_add(1, Ordering::Release);
-                return st.queue.remove(pos).expect("position just found").data;
+                return msg.data;
+            }
+            if let Some(i) = st.dropped.iter().position(|d| d.src == src && d.tag == tag) {
+                if self.resilient {
+                    // Simulated ack timeout + retransmission of the
+                    // sender's pristine copy.
+                    let entry = st.dropped.remove(i);
+                    if entry.sticky {
+                        self.transport_failure(&mut st);
+                    }
+                    self.retransmits.fetch_add(1, Ordering::Relaxed);
+                    st.waiting = None;
+                    self.epoch.fetch_add(1, Ordering::Release);
+                    return entry.data;
+                }
+                if ctl.has_budget() {
+                    // Injected livelock: the message will never arrive, so
+                    // burn the logical op budget deterministically — the
+                    // kill point depends only on this rank's op count and
+                    // the budget, never on wall time.
+                    st.waiting = None;
+                    drop(st);
+                    loop {
+                        ctl.note_op(me);
+                        if ctl.should_die() {
+                            std::panic::panic_any(RankPanic::Killed);
+                        }
+                    }
+                }
+                // Plain mode without a budget: keep blocking; only the
+                // wall-clock backstop can end this (campaigns always set a
+                // budget).
             }
             if ctl.should_die() {
                 st.waiting = None;
@@ -148,16 +564,27 @@ impl Fabric {
         }
     }
 
-    /// Non-blocking probe: is a matching message queued?
+    /// Unrecoverable delivery: charge the full retransmission budget,
+    /// count the error, and unwind with `MPI_ERR_TRANSPORT` (the
+    /// `DetectedBy::Transport` path).
+    fn transport_failure(&self, st: &mut MailboxState) -> ! {
+        self.retransmits
+            .fetch_add(u64::from(MAX_RETRANSMITS), Ordering::Relaxed);
+        self.transport_errors.fetch_add(1, Ordering::Relaxed);
+        st.waiting = None;
+        self.epoch.fetch_add(1, Ordering::Release);
+        std::panic::panic_any(RankPanic::Mpi(MpiError::Transport));
+    }
+
+    /// Non-blocking probe: is a matching message queued? Releases due
+    /// delayed messages first, so pollers (`irecv`/`test`) see them.
     pub fn probe(&self, me: usize, src: usize, tag: u64) -> bool {
         self.boxes
             .get(me)
             .map(|m| {
-                m.state
-                    .lock()
-                    .queue
-                    .iter()
-                    .any(|x| x.src == src && x.tag == tag)
+                let mut st = m.state.lock();
+                self.release_due(&mut st);
+                st.queue.iter().any(|x| x.src == src && x.tag == tag)
             })
             .unwrap_or(false)
     }
@@ -174,6 +601,7 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::coll_tag;
     use std::time::Duration;
 
     fn ctl() -> JobControl {
@@ -290,5 +718,240 @@ mod tests {
         f.send(1, 0, 7, vec![42]).unwrap();
         assert_eq!(h.join().unwrap(), vec![42]);
         assert!(!f.stuck(0), "satisfied receiver is no longer stuck");
+    }
+
+    // ----- message faults -----
+
+    const COMM: u32 = 0x7A30_1150;
+
+    fn plan(kind: MsgFaultKind) -> MsgFaultPlan {
+        MsgFaultPlan {
+            kind,
+            nth_send: 0,
+            payload_bit: 0,
+            sticky: false,
+        }
+    }
+
+    fn scoped_tag() -> u64 {
+        coll_tag(COMM, 0, 0)
+    }
+
+    #[test]
+    fn from_bit_is_deterministic_and_bounded() {
+        for bit in [0u64, 1, 2, 3, 4, 19, 20, 140, 159, 160, u64::MAX] {
+            let a = MsgFaultPlan::from_bit(bit);
+            let b = MsgFaultPlan::from_bit(bit);
+            assert_eq!(a, b);
+            assert!(a.nth_send < 4);
+        }
+        // Every kind is reachable.
+        let kinds: std::collections::HashSet<_> =
+            (0..5u64).map(|b| MsgFaultPlan::from_bit(b).kind).collect();
+        assert_eq!(kinds.len(), 5);
+        // Small draws are never sticky; the sticky slice exists.
+        assert!(!MsgFaultPlan::from_bit(1).sticky);
+        assert!((0..2000u64).any(|b| MsgFaultPlan::from_bit(b).sticky));
+    }
+
+    #[test]
+    fn flip_corrupts_exactly_one_bit_in_plain_mode() {
+        let f = Fabric::new(2);
+        f.arm(
+            0,
+            COMM,
+            0,
+            MsgFaultPlan {
+                payload_bit: 8 * 2 + 5,
+                ..plan(MsgFaultKind::Flip)
+            },
+        );
+        f.send(0, 1, scoped_tag(), vec![0u8; 4]).unwrap();
+        let got = f.recv(1, 0, scoped_tag(), &ctl());
+        assert_eq!(got[2], 1 << 5);
+        assert_eq!(got.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        assert!(f.stats().fault_fired);
+        assert_eq!(f.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn flip_is_recovered_by_checksum_retransmit_in_resilient_mode() {
+        let f = Fabric::with_mode(2, true);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Flip));
+        f.send(0, 1, scoped_tag(), vec![7, 8, 9]).unwrap();
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![7, 8, 9]);
+        let s = f.stats();
+        assert!(s.fault_fired);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.transport_errors, 0);
+    }
+
+    #[test]
+    fn truncate_shortens_in_plain_and_recovers_in_resilient() {
+        let tr = MsgFaultPlan {
+            payload_bit: 2,
+            ..plan(MsgFaultKind::Truncate)
+        };
+        let f = Fabric::new(2);
+        f.arm(0, COMM, 0, tr);
+        f.send(0, 1, scoped_tag(), vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![1, 2]);
+
+        let f = Fabric::with_mode(2, true);
+        f.arm(0, COMM, 0, tr);
+        f.send(0, 1, scoped_tag(), vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![1, 2, 3, 4, 5]);
+        assert_eq!(f.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn duplicate_lingers_in_plain_and_is_suppressed_in_resilient() {
+        let f = Fabric::new(2);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Duplicate));
+        f.send(0, 1, scoped_tag(), vec![1]).unwrap();
+        assert_eq!(f.queued(1), 2, "plain mode delivers both copies");
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![1]);
+        assert_eq!(f.queued(1), 1, "the duplicate lingers unmatched");
+
+        let f = Fabric::with_mode(2, true);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Duplicate));
+        f.send(0, 1, scoped_tag(), vec![1]).unwrap();
+        // Send a follow-up so the second recv has something real to find
+        // after suppressing the duplicate.
+        f.send(0, 1, scoped_tag() | (1 << 20), vec![2]).unwrap();
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![1]);
+        assert_eq!(f.recv(1, 0, scoped_tag() | (1 << 20), &ctl()), vec![2]);
+        // Asking for the duplicated tag again consumes (and suppresses) the
+        // copy, leaving an unsatisfiable wait — verify via probe + queue.
+        assert_eq!(f.queued(1), 1, "duplicate still queued");
+        let c = JobControl::new(2, Duration::from_millis(30));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.recv(1, 0, scoped_tag(), &c)
+        }))
+        .unwrap_err();
+        assert!(err.downcast_ref::<RankPanic>().is_some());
+        assert_eq!(f.stats().dup_suppressed, 1);
+    }
+
+    #[test]
+    fn delay_holds_then_delivers_and_never_reports_stuck() {
+        let f = Fabric::new(2);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Delay));
+        f.send(0, 1, scoped_tag(), vec![42]).unwrap();
+        assert_eq!(f.queued(1), 0, "message is held, not queued");
+        assert!(
+            !f.stuck(1),
+            "a rank awaiting a held message must not look stuck"
+        );
+        let t0 = Instant::now();
+        let got = f.recv(1, 0, scoped_tag(), &ctl());
+        assert_eq!(got, vec![42]);
+        assert!(
+            t0.elapsed() >= MSG_DELAY.checked_sub(Duration::from_millis(2)).unwrap(),
+            "delivery waited out the hold"
+        );
+        assert!(f.stats().fault_fired);
+    }
+
+    #[test]
+    fn drop_burns_op_budget_deterministically_in_plain_mode() {
+        let run = || {
+            let f = Fabric::new(2);
+            f.arm(0, COMM, 0, plan(MsgFaultKind::Drop));
+            f.send(0, 1, scoped_tag(), vec![5]).unwrap();
+            assert!(!f.stuck(1), "drop victim is not (yet) stuck");
+            let c = JobControl::with_budget(2, Duration::from_secs(60), Some(500));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f.recv(1, 0, scoped_tag(), &c)
+            }))
+            .unwrap_err();
+            assert_eq!(*err.downcast_ref::<RankPanic>().unwrap(), RankPanic::Killed);
+            assert_eq!(c.hang(), Some(crate::control::HangKind::OpBudget));
+            c.ops(1)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "the op-budget kill point is logical, not timed");
+    }
+
+    #[test]
+    fn drop_is_recovered_by_retransmit_in_resilient_mode() {
+        let f = Fabric::with_mode(2, true);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Drop));
+        f.send(0, 1, scoped_tag(), vec![5, 6]).unwrap();
+        assert_eq!(f.recv(1, 0, scoped_tag(), &ctl()), vec![5, 6]);
+        let s = f.stats();
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.transport_errors, 0);
+    }
+
+    #[test]
+    fn sticky_faults_exhaust_retransmits_into_transport_error() {
+        for kind in [MsgFaultKind::Flip, MsgFaultKind::Drop] {
+            let f = Fabric::with_mode(2, true);
+            f.arm(
+                0,
+                COMM,
+                0,
+                MsgFaultPlan {
+                    sticky: true,
+                    ..plan(kind)
+                },
+            );
+            f.send(0, 1, scoped_tag(), vec![1, 2, 3]).unwrap();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f.recv(1, 0, scoped_tag(), &ctl())
+            }))
+            .unwrap_err();
+            assert_eq!(
+                *err.downcast_ref::<RankPanic>().unwrap(),
+                RankPanic::Mpi(MpiError::Transport),
+                "{:?}",
+                kind
+            );
+            let s = f.stats();
+            assert_eq!(s.transport_errors, 1, "{:?}", kind);
+            assert_eq!(s.retransmits, u64::from(MAX_RETRANSMITS), "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn fault_scope_is_the_armed_collective_only() {
+        let f = Fabric::new(2);
+        f.arm(0, COMM, 3, plan(MsgFaultKind::Drop));
+        // Different seq: out of scope, delivered untouched.
+        f.send(0, 1, coll_tag(COMM, 2, 0), vec![1]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 2, 0), &ctl()), vec![1]);
+        // P2p traffic: out of scope even with matching low bits.
+        f.send(0, 1, crate::comm::p2p_tag(COMM, 3), vec![2])
+            .unwrap();
+        assert_eq!(f.recv(1, 0, crate::comm::p2p_tag(COMM, 3), &ctl()), vec![2]);
+        assert!(!f.stats().fault_fired);
+        // The scoped message is dropped.
+        f.send(0, 1, coll_tag(COMM, 3, 0), vec![3]).unwrap();
+        assert!(f.stats().fault_fired);
+        assert_eq!(f.queued(1), 0);
+    }
+
+    #[test]
+    fn nth_send_counts_only_scoped_sends() {
+        let f = Fabric::new(2);
+        f.arm(
+            0,
+            COMM,
+            0,
+            MsgFaultPlan {
+                nth_send: 1,
+                ..plan(MsgFaultKind::Drop)
+            },
+        );
+        // Unscoped traffic does not advance the counter.
+        f.send(0, 1, coll_tag(COMM, 9, 0), vec![9]).unwrap();
+        // Scoped send 0: untouched. Scoped send 1: dropped.
+        f.send(0, 1, coll_tag(COMM, 0, 0), vec![0]).unwrap();
+        f.send(0, 1, coll_tag(COMM, 0, 1), vec![1]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl()), vec![0]);
+        assert_eq!(f.queued(1), 1, "only the unscoped message remains");
+        assert!(f.stats().fault_fired);
     }
 }

@@ -18,7 +18,9 @@
 use crate::id::sha256_hex;
 use crate::json::Json;
 use crate::StoreError;
-use fastfit::prelude::{CampaignPhase, QuarantineReason, Response, TrialDisposition, TrialOutcome};
+use fastfit::prelude::{
+    CampaignPhase, FaultChannel, QuarantineReason, Response, TrialDisposition, TrialOutcome,
+};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
@@ -68,6 +70,13 @@ pub struct CampaignMeta {
     pub campaign_seed: u64,
     /// ML-loop configuration, when the campaign is ML-driven.
     pub ml: Option<MlMeta>,
+    /// Which layer the campaign injects faults into. Encoded only when
+    /// non-default (`Message`) so that pre-existing `Param` journals keep
+    /// their campaign IDs and remain resumable.
+    pub fault_channel: FaultChannel,
+    /// Whether trials ran on the resilient transport. Encoded only when
+    /// `true`, for the same backward-compatibility reason.
+    pub resilient: bool,
     /// Keys of the points this campaign measures, in measurement order.
     /// Order matters: the per-point RNG seed is derived from the index.
     pub point_keys: Vec<String>,
@@ -98,6 +107,18 @@ impl CampaignMeta {
                     ("config_digest", Json::Str(ml.config_digest.clone())),
                 ]),
             ));
+        }
+        // New-in-format-2.1 keys encode only when non-default, so the
+        // canonical encoding (and therefore the campaign ID) of every
+        // pre-existing param-channel campaign is unchanged.
+        if self.fault_channel != FaultChannel::Param {
+            pairs.push((
+                "fault_channel",
+                Json::Str(self.fault_channel.token().into()),
+            ));
+        }
+        if self.resilient {
+            pairs.push(("resilient", Json::Bool(true)));
         }
         Json::obj(pairs)
     }
@@ -151,6 +172,21 @@ impl CampaignMeta {
                     .ok_or_else(|| StoreError::Corrupt("point key not a string".into()))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Journals written before the message-fault channel existed have
+        // no `fault_channel`/`resilient` keys: they are param-channel,
+        // plain-transport campaigns.
+        let fault_channel = match v.get("fault_channel") {
+            None | Some(Json::Null) => FaultChannel::Param,
+            Some(c) => {
+                let tok = c
+                    .as_str()
+                    .ok_or_else(|| StoreError::Corrupt("meta fault_channel not a string".into()))?;
+                FaultChannel::from_token(tok).ok_or_else(|| {
+                    StoreError::Corrupt(format!("unknown fault channel {:?}", tok))
+                })?
+            }
+        };
+        let resilient = v.get("resilient").and_then(Json::as_bool).unwrap_or(false);
         Ok(CampaignMeta {
             workload: str_field("workload")?,
             nranks: u64_field("nranks")? as usize,
@@ -162,6 +198,8 @@ impl CampaignMeta {
             params: str_field("params")?,
             campaign_seed: u64_field("campaign_seed")?,
             ml,
+            fault_channel,
+            resilient,
             point_keys,
         })
     }
@@ -187,18 +225,23 @@ pub struct TrialRecord {
     pub trial: usize,
     /// The injected bit (full-range `u64`, kept lossless).
     pub bit: u64,
+    /// Which layer the fault targeted. Encoded only when non-default
+    /// (`Message`), so param-channel records are byte-identical to those
+    /// written before the field existed.
+    pub channel: FaultChannel,
     /// What the supervised trial contributed: a classification or a
     /// quarantine marker.
     pub disposition: TrialDisposition,
 }
 
 impl TrialRecord {
-    /// Record a classified trial.
+    /// Record a classified param-channel trial.
     pub fn classified(key: String, trial: usize, bit: u64, outcome: TrialOutcome) -> TrialRecord {
         TrialRecord {
             key,
             trial,
             bit,
+            channel: FaultChannel::Param,
             disposition: TrialDisposition::Classified(outcome),
         }
     }
@@ -251,6 +294,9 @@ impl Record {
                     ("n", Json::U64(t.trial as u64)),
                     ("bit", Json::U64(t.bit)),
                 ];
+                if t.channel != FaultChannel::Param {
+                    pairs.push(("chan", Json::Str(t.channel.token().into())));
+                }
                 match &t.disposition {
                     TrialDisposition::Classified(out) => {
                         pairs.push(("resp", Json::Str(out.response.name().into())));
@@ -262,6 +308,12 @@ impl Record {
                                 None => Json::Null,
                             },
                         ));
+                        // Retransmit counts are deterministic (recovered
+                        // deliveries, not wall time); encoded only when
+                        // non-zero to keep pre-change records identical.
+                        if out.retransmits > 0 {
+                            pairs.push(("rtx", Json::U64(out.retransmits)));
+                        }
                     }
                     TrialDisposition::Quarantined { attempts, reason } => {
                         pairs.push(("q", Json::Bool(true)));
@@ -326,6 +378,19 @@ impl Record {
                     .get("bit")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| StoreError::Corrupt("trial missing bit".into()))?;
+                // Records without `chan` predate the message-fault channel
+                // (or are param-channel, which is never encoded): Param.
+                let channel = match v.get("chan") {
+                    None | Some(Json::Null) => FaultChannel::Param,
+                    Some(c) => {
+                        let tok = c
+                            .as_str()
+                            .ok_or_else(|| StoreError::Corrupt("trial chan not a string".into()))?;
+                        FaultChannel::from_token(tok).ok_or_else(|| {
+                            StoreError::Corrupt(format!("unknown fault channel {:?}", tok))
+                        })?
+                    }
+                };
                 let disposition = if v.get("q").and_then(Json::as_bool) == Some(true) {
                     let attempts =
                         v.get("attempts").and_then(Json::as_u64).ok_or_else(|| {
@@ -357,16 +422,19 @@ impl Record {
                             StoreError::Corrupt("trial fatal rank not a u64".into())
                         })? as usize),
                     };
+                    let retransmits = v.get("rtx").and_then(Json::as_u64).unwrap_or(0);
                     TrialDisposition::Classified(TrialOutcome {
                         response,
                         fired,
                         fatal_rank,
+                        retransmits,
                     })
                 };
                 Ok(Some(Record::Trial(TrialRecord {
                     key,
                     trial,
                     bit,
+                    channel,
                     disposition,
                 })))
             }
@@ -563,6 +631,8 @@ mod tests {
                 target: "rate_levels:3".into(),
                 config_digest: "d".repeat(64),
             }),
+            fault_channel: FaultChannel::Param,
+            resilient: false,
             point_keys: vec!["a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into()],
         }
     }
@@ -576,6 +646,7 @@ mod tests {
                 response: Response::MpiErr,
                 fired: true,
                 fatal_rank: Some(3),
+                retransmits: 0,
             },
         )
     }
@@ -585,10 +656,26 @@ mod tests {
             key: "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
             trial: n,
             bit: 77,
+            channel: FaultChannel::Param,
             disposition: TrialDisposition::Quarantined {
                 attempts: 3,
                 reason: QuarantineReason::WallClock,
             },
+        }
+    }
+
+    fn message_trial(n: usize) -> TrialRecord {
+        TrialRecord {
+            key: "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
+            trial: n,
+            bit: 21,
+            channel: FaultChannel::Message,
+            disposition: TrialDisposition::Classified(TrialOutcome {
+                response: Response::Success,
+                fired: true,
+                fatal_rank: None,
+                retransmits: 2,
+            }),
         }
     }
 
@@ -601,6 +688,7 @@ mod tests {
             },
             Record::Trial(trial(5)),
             Record::Trial(quarantined(6)),
+            Record::Trial(message_trial(7)),
             Record::Phase {
                 phase: CampaignPhase::Measure,
                 secs: 1.25,
@@ -649,6 +737,55 @@ mod tests {
             Err(StoreError::Mismatch(msg)) => assert!(msg.contains("format 1"), "{}", msg),
             other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn param_channel_encodings_are_unchanged() {
+        // The new fields must not leak into default-channel encodings:
+        // campaign IDs and trial lines of every pre-existing param-channel
+        // journal stay byte-identical.
+        let m = meta().to_json().encode();
+        assert!(!m.contains("fault_channel"), "{}", m);
+        assert!(!m.contains("resilient"), "{}", m);
+        let t = Record::Trial(trial(0)).encode();
+        assert!(!t.contains("chan"), "{}", t);
+        assert!(!t.contains("rtx"), "{}", t);
+        // And records written *before* the fields existed decode to the
+        // defaults (backward compatibility, no format bump).
+        match Record::decode(&t).unwrap() {
+            Some(Record::Trial(rec)) => {
+                assert_eq!(rec.channel, FaultChannel::Param);
+                assert_eq!(
+                    rec.disposition.response(),
+                    Some(fastfit::prelude::Response::MpiErr)
+                );
+            }
+            other => panic!("unexpected decode {:?}", other),
+        }
+    }
+
+    #[test]
+    fn message_channel_marks_meta_and_trials() {
+        let m = CampaignMeta {
+            fault_channel: FaultChannel::Message,
+            resilient: true,
+            ..meta()
+        };
+        assert_ne!(m.campaign_id(), meta().campaign_id());
+        assert_ne!(
+            m.campaign_id(),
+            CampaignMeta {
+                resilient: false,
+                ..m.clone()
+            }
+            .campaign_id(),
+            "plain and resilient campaigns are distinct identities"
+        );
+        let decoded = CampaignMeta::from_json(&m.to_json()).unwrap();
+        assert_eq!(decoded, m);
+        let line = Record::Trial(message_trial(0)).encode();
+        assert!(line.contains("\"chan\":\"message\""), "{}", line);
+        assert!(line.contains("\"rtx\":2"), "{}", line);
     }
 
     #[test]

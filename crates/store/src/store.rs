@@ -204,11 +204,21 @@ impl CampaignObserver for CampaignStore {
                         key: point_key(point),
                         trial: *trial,
                         bit: *bit,
+                        channel: self.meta.fault_channel,
                         disposition: (*disposition).clone(),
                     }));
                 }
-                self.telemetry
-                    .trial_finished(disposition.response(), *retries, *replayed);
+                let retransmits = match disposition {
+                    TrialDisposition::Classified(o) => o.retransmits,
+                    TrialDisposition::Quarantined { .. } => 0,
+                };
+                self.telemetry.trial_finished(
+                    disposition.response(),
+                    *retries,
+                    *replayed,
+                    self.meta.fault_channel,
+                    retransmits,
+                );
                 self.flush_status(false);
             }
             ProgressEvent::PointFinished { .. } => {
@@ -265,6 +275,8 @@ pub fn campaign_meta(
         trials_per_point: campaign.cfg.trials_per_point,
         params: campaign.cfg.params.token(),
         campaign_seed: campaign.cfg.seed,
+        fault_channel: campaign.cfg.fault_channel,
+        resilient: campaign.cfg.resilient,
         ml: ml.map(|(target, cfg)| MlMeta {
             target: ml_target_token(target),
             // The debug encoding covers every MlConfig field; hashing it
@@ -287,7 +299,7 @@ pub fn read_store_meta(dir: &Path) -> Result<(String, CampaignMeta), StoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastfit::prelude::{QuarantineReason, Response, TrialOutcome};
+    use fastfit::prelude::{FaultChannel, QuarantineReason, Response, TrialOutcome};
     use simmpi::hook::{CallSite, CollKind, ParamId};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -323,6 +335,8 @@ mod tests {
             trials_per_point: 3,
             params: "data".into(),
             campaign_seed: 9,
+            fault_channel: FaultChannel::Param,
+            resilient: false,
             ml: None,
             point_keys: vec![point_key(&point())],
         }
@@ -333,6 +347,7 @@ mod tests {
             response: resp,
             fired: true,
             fatal_rank: None,
+            retransmits: 0,
         })
     }
 

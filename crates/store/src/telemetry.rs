@@ -8,7 +8,7 @@
 
 use crate::json::Json;
 use crate::StoreError;
-use fastfit::prelude::{CampaignPhase, ALL_RESPONSES};
+use fastfit::prelude::{CampaignPhase, FaultChannel, ALL_RESPONSES};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -61,6 +61,13 @@ pub struct Telemetry {
     /// Trials whose disposition is quarantined (no response classified).
     trials_quarantined: AtomicU64,
     responses: [AtomicU64; 6],
+    /// Per-channel response histograms (param / message faults). The
+    /// combined `responses` stays authoritative; these split it so a
+    /// mixed-history directory still reads sensibly.
+    responses_param: [AtomicU64; 6],
+    responses_message: [AtomicU64; 6],
+    /// Resilient-transport recoveries observed across all trials.
+    retransmits: AtomicU64,
     /// Per-phase wall micros, `ALL_PHASES` order.
     phase_us: [AtomicU64; 4],
     learn_rounds: AtomicU64,
@@ -80,6 +87,9 @@ impl Default for Telemetry {
             trials_retried: AtomicU64::new(0),
             trials_quarantined: AtomicU64::new(0),
             responses: Default::default(),
+            responses_param: Default::default(),
+            responses_message: Default::default(),
+            retransmits: AtomicU64::new(0),
             phase_us: Default::default(),
             learn_rounds: AtomicU64::new(0),
             learn_accuracy_bits: AtomicU64::new(f64::NAN.to_bits()),
@@ -103,12 +113,16 @@ impl Telemetry {
 
     /// Record one finished trial. `response` is `None` for a quarantined
     /// disposition; `retries` is the extra supervised attempts the trial
-    /// needed (always 0 for replays).
+    /// needed (always 0 for replays). `channel` attributes the response
+    /// to the per-channel histogram; `retransmits` is the trial's
+    /// resilient-transport recovery count (0 in plain mode).
     pub fn trial_finished(
         &self,
         response: Option<fastfit::prelude::Response>,
         retries: u32,
         replayed: bool,
+        channel: FaultChannel,
+        retransmits: u64,
     ) {
         if replayed {
             self.trials_replayed.fetch_add(1, Ordering::Relaxed);
@@ -117,9 +131,15 @@ impl Telemetry {
             self.trials_retried
                 .fetch_add(retries as u64, Ordering::Relaxed);
         }
+        self.retransmits.fetch_add(retransmits, Ordering::Relaxed);
         match response {
             Some(r) => {
                 self.responses[r.index()].fetch_add(1, Ordering::Relaxed);
+                let per = match channel {
+                    FaultChannel::Param => &self.responses_param,
+                    FaultChannel::Message => &self.responses_message,
+                };
+                per[r.index()].fetch_add(1, Ordering::Relaxed);
             }
             None => {
                 self.trials_quarantined.fetch_add(1, Ordering::Relaxed);
@@ -179,8 +199,12 @@ impl Telemetry {
             None
         };
         let mut responses = [0u64; 6];
-        for (i, c) in self.responses.iter().enumerate() {
-            responses[i] = c.load(Ordering::Relaxed);
+        let mut responses_param = [0u64; 6];
+        let mut responses_message = [0u64; 6];
+        for i in 0..6 {
+            responses[i] = self.responses[i].load(Ordering::Relaxed);
+            responses_param[i] = self.responses_param[i].load(Ordering::Relaxed);
+            responses_message[i] = self.responses_message[i].load(Ordering::Relaxed);
         }
         let mut phase_secs = [None; 4];
         for (i, us) in self.phase_us.iter().enumerate() {
@@ -202,6 +226,9 @@ impl Telemetry {
             trials_quarantined: quarantined,
             trials_total,
             responses,
+            responses_param,
+            responses_message,
+            retransmits: self.retransmits.load(Ordering::Relaxed),
             phase_secs,
             learn_rounds: self.learn_rounds.load(Ordering::Relaxed),
             learn_accuracy: if accuracy.is_nan() {
@@ -242,6 +269,12 @@ pub struct StatusSnapshot {
     pub trials_total: u64,
     /// Response histogram over all observed trials, `ALL_RESPONSES` order.
     pub responses: [u64; 6],
+    /// Responses attributed to parameter-channel faults.
+    pub responses_param: [u64; 6],
+    /// Responses attributed to message-channel faults.
+    pub responses_message: [u64; 6],
+    /// Resilient-transport recoveries summed over all observed trials.
+    pub retransmits: u64,
     /// Wall seconds of each completed phase, `ALL_PHASES` order.
     pub phase_secs: [Option<f64>; 4],
     /// ML rounds completed (0 when not ML-driven).
@@ -259,10 +292,13 @@ pub struct StatusSnapshot {
 impl StatusSnapshot {
     /// Encode as JSON.
     pub fn to_json(&self) -> Json {
-        let mut resp_map = std::collections::BTreeMap::new();
-        for (i, r) in ALL_RESPONSES.iter().enumerate() {
-            resp_map.insert(r.name().to_string(), Json::U64(self.responses[i]));
-        }
+        let resp_obj = |hist: &[u64; 6]| {
+            let mut m = std::collections::BTreeMap::new();
+            for (i, r) in ALL_RESPONSES.iter().enumerate() {
+                m.insert(r.name().to_string(), Json::U64(hist[i]));
+            }
+            Json::Obj(m)
+        };
         let mut phase_map = std::collections::BTreeMap::new();
         for (i, p) in ALL_PHASES.iter().enumerate() {
             if let Some(s) = self.phase_secs[i] {
@@ -280,7 +316,10 @@ impl StatusSnapshot {
             ("trials_retried", Json::U64(self.trials_retried)),
             ("trials_quarantined", Json::U64(self.trials_quarantined)),
             ("trials_total", Json::U64(self.trials_total)),
-            ("responses", Json::Obj(resp_map)),
+            ("responses", resp_obj(&self.responses)),
+            ("responses_param", resp_obj(&self.responses_param)),
+            ("responses_message", resp_obj(&self.responses_message)),
+            ("retransmits", Json::U64(self.retransmits)),
             ("phase_secs", Json::Obj(phase_map)),
             ("learn_rounds", Json::U64(self.learn_rounds)),
             (
@@ -317,12 +356,19 @@ impl StatusSnapshot {
         let state_name = s("state")?;
         let state = CampaignState::from_name(&state_name)
             .ok_or_else(|| StoreError::Corrupt(format!("unknown state {:?}", state_name)))?;
-        let mut responses = [0u64; 6];
-        if let Some(m) = v.get("responses") {
-            for (i, r) in ALL_RESPONSES.iter().enumerate() {
-                responses[i] = m.get(r.name()).and_then(Json::as_u64).unwrap_or(0);
+        let read_hist = |k: &str| {
+            let mut hist = [0u64; 6];
+            if let Some(m) = v.get(k) {
+                for (i, r) in ALL_RESPONSES.iter().enumerate() {
+                    hist[i] = m.get(r.name()).and_then(Json::as_u64).unwrap_or(0);
+                }
             }
-        }
+            hist
+        };
+        let responses = read_hist("responses");
+        // Absent in pre-message-fault snapshots; default to empty.
+        let responses_param = read_hist("responses_param");
+        let responses_message = read_hist("responses_message");
         let mut phase_secs = [None; 4];
         if let Some(m) = v.get("phase_secs") {
             for (i, p) in ALL_PHASES.iter().enumerate() {
@@ -343,6 +389,9 @@ impl StatusSnapshot {
             trials_quarantined: u("trials_quarantined").unwrap_or(0),
             trials_total: u("trials_total")?,
             responses,
+            responses_param,
+            responses_message,
+            retransmits: u("retransmits").unwrap_or(0),
             phase_secs,
             learn_rounds: u("learn_rounds").unwrap_or(0),
             learn_accuracy: v.get("learn_accuracy").and_then(Json::as_f64),
@@ -406,13 +455,29 @@ impl StatusSnapshot {
             Some(eta) => out.push_str(&format!(", ETA {:.0}s\n", eta)),
             None => out.push('\n'),
         }
-        out.push_str("responses:");
-        for (i, r) in ALL_RESPONSES.iter().enumerate() {
-            if self.responses[i] > 0 {
-                out.push_str(&format!(" {}={}", r.name(), self.responses[i]));
+        let hist_line = |out: &mut String, label: &str, hist: &[u64; 6]| {
+            out.push_str(label);
+            for (i, r) in ALL_RESPONSES.iter().enumerate() {
+                if hist[i] > 0 {
+                    out.push_str(&format!(" {}={}", r.name(), hist[i]));
+                }
             }
+            out.push('\n');
+        };
+        hist_line(&mut out, "responses:", &self.responses);
+        // Per-channel splits only when both channels contributed — a
+        // single-channel campaign's split would repeat the line above.
+        let param_n: u64 = self.responses_param.iter().sum();
+        let message_n: u64 = self.responses_message.iter().sum();
+        if param_n > 0 && message_n > 0 {
+            hist_line(&mut out, "  param:  ", &self.responses_param);
         }
-        out.push('\n');
+        if message_n > 0 {
+            hist_line(&mut out, "  message:", &self.responses_message);
+        }
+        if self.retransmits > 0 {
+            out.push_str(&format!("recovery: {} retransmit(s)\n", self.retransmits));
+        }
         for (i, p) in ALL_PHASES.iter().enumerate() {
             if let Some(s) = self.phase_secs[i] {
                 out.push_str(&format!("phase {:<8} {:.3}s\n", p.name(), s));
@@ -442,9 +507,9 @@ mod tests {
         let t = Telemetry::new();
         t.set_totals(10, 4);
         for _ in 0..3 {
-            t.trial_finished(Some(Response::Success), 0, false);
+            t.trial_finished(Some(Response::Success), 0, false, FaultChannel::Param, 0);
         }
-        t.trial_finished(Some(Response::MpiErr), 0, true);
+        t.trial_finished(Some(Response::MpiErr), 0, true, FaultChannel::Param, 0);
         t.point_finished();
         t.phase_finished(CampaignPhase::Profile, Duration::from_millis(1500));
         t.learn_round(2, 0.7);
@@ -466,7 +531,7 @@ mod tests {
     fn snapshot_json_roundtrip_and_atomic_write() {
         let t = Telemetry::new();
         t.set_totals(2, 3);
-        t.trial_finished(Some(Response::WrongAns), 0, false);
+        t.trial_finished(Some(Response::WrongAns), 0, false, FaultChannel::Message, 2);
         let snap = t.snapshot("deadbeef", "w", CampaignState::Done);
         let back = StatusSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back.campaign_id, snap.campaign_id);
@@ -492,12 +557,12 @@ mod tests {
         let t = Telemetry::new();
         t.set_totals(1, 4);
         // A classified trial that needed two extra attempts.
-        t.trial_finished(Some(Response::InfLoop), 2, false);
+        t.trial_finished(Some(Response::InfLoop), 2, false, FaultChannel::Param, 0);
         // A fresh quarantined trial (no response) after three attempts.
-        t.trial_finished(None, 2, false);
+        t.trial_finished(None, 2, false, FaultChannel::Param, 0);
         // A quarantined record replayed from the journal: counts as
         // quarantined but contributes no retries.
-        t.trial_finished(None, 0, true);
+        t.trial_finished(None, 0, true, FaultChannel::Param, 0);
         let s = t.snapshot("id", "w", CampaignState::Running);
         assert_eq!(s.trials_fresh, 2);
         assert_eq!(s.trials_replayed, 1);
@@ -529,7 +594,7 @@ mod tests {
         let t = Telemetry::new();
         t.set_totals(1, 100);
         for _ in 0..50 {
-            t.trial_finished(Some(Response::Success), 0, true);
+            t.trial_finished(Some(Response::Success), 0, true, FaultChannel::Param, 0);
         }
         let s = t.snapshot("id", "w", CampaignState::Running);
         assert_eq!(s.trials_per_sec, 0.0, "replays are not throughput");

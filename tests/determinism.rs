@@ -3,6 +3,7 @@
 //! identical responses — including property-based checks over fault bits.
 
 use fastfit::prelude::*;
+use fastfit_store::journal::JOURNAL_FILE;
 use fastfit_store::{campaign_meta, CampaignStore};
 use npb::{mg_app, MgConfig};
 use proptest::prelude::*;
@@ -182,6 +183,73 @@ fn mg_campaign_killed_and_resumed_is_identical() {
         assert_eq!(x.fatal_ranks, y.fatal_ranks, "point {:?}", x.point);
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The durable journal lines: meta + trial records. Phase/round records
+/// carry wall-clock seconds — honest telemetry, excluded from the
+/// byte-identity claim.
+fn durable_journal_lines(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_to_string(dir.join(JOURNAL_FILE))
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("\"t\":\"phase\"") && !l.contains("\"t\":\"round\""))
+        .map(String::from)
+        .collect()
+}
+
+/// Message-channel determinism, end to end: the same seed, config, and
+/// fault channel must journal byte-identical meta and trial records —
+/// including retransmit counts from the resilient transport — whether the
+/// campaign runs uninterrupted or is killed and resumed.
+#[test]
+fn message_channel_journals_byte_identical_across_kill_resume() {
+    fn msg_campaign() -> Campaign {
+        let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+        Campaign::prepare(
+            w,
+            CampaignConfig {
+                trials_per_point: 3,
+                fault_channel: FaultChannel::Message,
+                resilient: true,
+                ..Default::default()
+            },
+        )
+    }
+    let dir_a = std::env::temp_dir().join(format!("fastfit-msg-det-a-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("fastfit-msg-det-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    // Uninterrupted reference run.
+    let c_a = msg_campaign();
+    let meta = campaign_meta(&c_a, c_a.points(), None);
+    assert_eq!(meta.fault_channel, FaultChannel::Message);
+    assert!(meta.resilient);
+    let store_a = CampaignStore::open(&dir_a, meta.clone()).unwrap();
+    c_a.run_all_observed(&store_a);
+    store_a.finish().unwrap();
+
+    // Killed after 2 fresh trials, then resumed from the journal.
+    let crasher = CrashAfter {
+        store: CampaignStore::open(&dir_b, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(2),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        msg_campaign().run_all_observed(&crasher)
+    }));
+    assert!(crashed.is_err(), "crash must interrupt the run");
+    let store_b = CampaignStore::open(&dir_b, meta).unwrap();
+    assert_eq!(store_b.replayable_trials(), 2);
+    msg_campaign().run_all_observed(&store_b);
+    store_b.finish().unwrap();
+
+    assert_eq!(
+        durable_journal_lines(&dir_a),
+        durable_journal_lines(&dir_b),
+        "message-channel kill/resume must replay to a byte-identical journal"
+    );
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
 }
 
 proptest! {

@@ -1,0 +1,128 @@
+//! Backward compatibility: journals written before the message-fault
+//! channel existed (no `fault_channel`/`resilient` meta keys, no
+//! `chan`/`rtx` trial keys) must load as param-channel, plain-transport
+//! campaigns — same format version, same campaign ID, fully resumable.
+//!
+//! `tests/fixtures/pre_message_fault_journal.jsonl` is a checked-in
+//! journal in the pre-change encoding; it must never be regenerated with
+//! a current writer (that would defeat the regression).
+
+use fastfit::prelude::*;
+use fastfit_store::journal::{read_journal, JOURNAL_FILE};
+use fastfit_store::{CampaignMeta, CampaignStore};
+use std::path::{Path, PathBuf};
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("pre_message_fault_journal.jsonl")
+}
+
+const FIXTURE_KEY: &str = "app.rs:3|MPI_Allreduce|r0|i0|sendbuf";
+
+/// The campaign the fixture was recorded for, built with a current
+/// `CampaignMeta` (new fields at their defaults). Its content-addressed
+/// ID must equal the one recorded in the fixture.
+fn fixture_meta() -> CampaignMeta {
+    CampaignMeta {
+        workload: "fixture".into(),
+        nranks: 2,
+        app_seed: 1,
+        tolerance: 0.0,
+        trials_per_point: 3,
+        params: "data".into(),
+        campaign_seed: 7,
+        fault_channel: FaultChannel::Param,
+        resilient: false,
+        ml: None,
+        point_keys: vec![FIXTURE_KEY.into()],
+    }
+}
+
+#[test]
+fn pre_message_fault_journal_loads_with_default_channel() {
+    let contents = read_journal(&fixture_path()).unwrap();
+    let (recorded_id, meta) = contents.meta.expect("fixture has a meta record");
+
+    // Decode defaults: a journal with no channel keys is a param-channel,
+    // plain-transport campaign.
+    assert_eq!(meta.fault_channel, FaultChannel::Param);
+    assert!(!meta.resilient);
+
+    // The campaign ID is content-addressed over the canonical encoding;
+    // the new fields must not have changed it for default-valued metas.
+    assert_eq!(meta.campaign_id(), recorded_id);
+    assert_eq!(meta, fixture_meta());
+    assert_eq!(fixture_meta().campaign_id(), recorded_id);
+
+    assert_eq!(contents.trials.len(), 3);
+    for t in &contents.trials {
+        assert_eq!(t.channel, FaultChannel::Param, "trial {}", t.trial);
+        assert_eq!(t.key, FIXTURE_KEY);
+    }
+    assert_eq!(
+        contents.trials[0].disposition.response(),
+        Some(Response::Success)
+    );
+    match &contents.trials[1].disposition {
+        TrialDisposition::Classified(out) => {
+            assert_eq!(out.response, Response::MpiErr);
+            assert_eq!(out.fatal_rank, Some(2));
+            assert_eq!(out.retransmits, 0, "no rtx key decodes as 0");
+        }
+        other => panic!("unexpected disposition {:?}", other),
+    }
+    assert_eq!(
+        contents.trials[2].disposition,
+        TrialDisposition::Quarantined {
+            attempts: 3,
+            reason: QuarantineReason::WallClock,
+        }
+    );
+}
+
+/// A current build must *resume* the old journal: open the store on a
+/// copy of the fixture with a freshly constructed meta and replay every
+/// journaled trial.
+#[test]
+fn pre_message_fault_journal_is_resumable() {
+    let dir = std::env::temp_dir().join(format!("fastfit-journal-compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(fixture_path(), dir.join(JOURNAL_FILE)).unwrap();
+
+    let store = CampaignStore::open(&dir, fixture_meta()).unwrap();
+    assert_eq!(store.replayable_trials(), 3, "all old trials replay");
+
+    let point = fastfit::space::InjectionPoint {
+        site: simmpi::hook::CallSite {
+            file: "app.rs",
+            line: 3,
+        },
+        kind: simmpi::hook::CollKind::Allreduce,
+        rank: 0,
+        invocation: 0,
+        param: simmpi::hook::ParamId::SendBuf,
+    };
+    assert_eq!(point_key(&point), FIXTURE_KEY);
+    assert_eq!(
+        store.replay(&point, 0, 1000).and_then(|d| d.response()),
+        Some(Response::Success)
+    );
+    assert!(store
+        .replay(&point, 2, 1034)
+        .is_some_and(|d| matches!(d, TrialDisposition::Quarantined { .. })));
+
+    // A message-channel campaign over the same points is a *different*
+    // campaign: the old directory must refuse it rather than mix records.
+    drop(store);
+    let message = CampaignMeta {
+        fault_channel: FaultChannel::Message,
+        ..fixture_meta()
+    };
+    assert!(
+        CampaignStore::open(&dir, message).is_err(),
+        "channel change must change campaign identity"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -199,6 +199,7 @@ fn injected_runs_share_the_golden_seed() {
             param: ParamId::SendBuf,
         },
         bit: 0,
+        channel: FaultChannel::Param,
     }));
     let spec = JobSpec {
         nranks: 4,

@@ -11,6 +11,7 @@ use fastfit_store::{CampaignMeta, CampaignStore};
 use simmpi::control::HangKind;
 use simmpi::ctx::{RankCtx, RankOutput};
 use simmpi::hook::{CallSite, CollKind, ParamId};
+use simmpi::op::ReduceOp;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,6 +92,51 @@ fn deadlock_classifies_inf_loop_identically_under_load() {
     });
 }
 
+/// A message *delay* is not a deadlock: the transport holds the message,
+/// the receiver's wait is backed by a held-but-deliverable entry, and the
+/// logical stall sweep must keep its hands off. Across 20 saturated runs
+/// the trial must complete SUCCESS — never INF_LOOP, however starved the
+/// scheduler is while the message sits in the hold queue.
+#[test]
+fn message_delay_under_load_is_never_inf_loop() {
+    let app: AppFn = Arc::new(|ctx: &mut RankCtx| {
+        let x = ctx.allreduce_one((ctx.rank() + 1) as f64, ReduceOp::Sum, ctx.world());
+        let mut out = RankOutput::new();
+        out.push("x", x);
+        out
+    });
+    let w = Workload::new("delayed", app, 1e-15, 4);
+    let campaign = Campaign::prepare(
+        w,
+        CampaignConfig {
+            fault_channel: FaultChannel::Message,
+            ..Default::default()
+        },
+    );
+    let target = fastfit::space::InjectionPoint {
+        site: campaign.profile.sites()[0],
+        kind: CollKind::Allreduce,
+        rank: 0,
+        invocation: 0,
+        param: ParamId::SendBuf,
+    };
+    // MsgFaultPlan::from_bit(3): kind 3 = Delay, first send, non-sticky.
+    const DELAY_BIT: u64 = 3;
+    under_cpu_load(|| {
+        for i in 0..20 {
+            let out = campaign.run_trial_detailed(&target, DELAY_BIT);
+            assert!(out.fired, "run {}: delay must hit a message", i);
+            assert_ne!(
+                out.response,
+                Response::InfLoop,
+                "run {}: a held-but-deliverable message is not a stall",
+                i
+            );
+            assert_eq!(out.response, Response::Success, "run {}", i);
+        }
+    });
+}
+
 /// A rank that keeps making logical progress but outlives the wall clock
 /// is infrastructure-suspect: the supervisor must retry it with a bigger
 /// budget (where it completes) — never stamp INF_LOOP on first strike.
@@ -121,6 +167,7 @@ fn wall_clock_kill_of_progressing_rank_is_retried_not_inf_loop() {
                 response: Response::Success,
                 fired: true,
                 fatal_rank: None,
+                retransmits: 0,
             }),
             other => panic!("unexpected outcome {:?}", other),
         }
@@ -173,6 +220,7 @@ fn trial_script() -> Vec<(fastfit::space::InjectionPoint, usize, u64, TrialDispo
             response: r,
             fired: true,
             fatal_rank: None,
+            retransmits: 0,
         })
     };
     let mut script = Vec::new();
@@ -202,6 +250,8 @@ fn script_meta() -> CampaignMeta {
         trials_per_point: 2,
         params: "data".into(),
         campaign_seed: 7,
+        fault_channel: FaultChannel::Param,
+        resilient: false,
         ml: None,
         point_keys: (0..3).map(|i| point_key(&point(i))).collect(),
     }
