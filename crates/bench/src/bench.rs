@@ -1,0 +1,575 @@
+//! Reproducible benchmark harness — the `bench` verb of the `experiments`
+//! binary.
+//!
+//! Measures the throughput-critical paths of the reproduction and writes a
+//! schema-stable `BENCH.json` so every PR can diff the perf trajectory:
+//!
+//! - **golden-run latency** per workload (clean run, no fault, no record);
+//! - **trials/sec** per workload, measured over the *same* seeded trial
+//!   sequence in interleaved rounds: on the persistent
+//!   [`simmpi::arena::JobArena`] worker pool and with fresh per-trial
+//!   thread spawn — their ratio is the **arena speedup**;
+//! - **dispatch overhead**: arena-vs-spawn on a barrier-only job, which
+//!   isolates exactly the cost the arena amortises (thread spawn/teardown
+//!   and first-touch stack/allocator warm-up). Whole-trial speedup depends
+//!   on how much of a trial the application itself occupies — on a
+//!   single-core host trials are messaging-bound and the whole-trial ratio
+//!   is modest even though the dispatch ratio is large — so CI gates on
+//!   the dispatch ratio, which is machine-stable;
+//! - **journal append throughput** of the write-ahead trial journal.
+//!
+//! Trials/sec comes from the campaign store's [`Telemetry`] — the same
+//! fresh-trials-only counter `status.json` reports — so the bench and the
+//! live campaign telemetry can never drift apart.
+//!
+//! Knobs: `FASTFIT_BENCH_TRIALS` (trials per workload and mode, default
+//! 32), `FASTFIT_BENCH_JOURNAL_RECORDS` (default 20000), `FASTFIT_BENCH_OUT`
+//! (output path, default `BENCH.json`), plus the usual `FASTFIT_RANKS` /
+//! `FASTFIT_CLASS` scale knobs.
+
+use crate::{lammps_workload, npb_workload};
+use fastfit::prelude::*;
+use fastfit_store::journal::{JournalWriter, Record, TrialRecord};
+use fastfit_store::json::Json;
+use fastfit_store::Telemetry;
+use simmpi::arena::JobArena;
+use simmpi::runtime::JobSpec;
+use std::time::{Duration, Instant};
+
+/// Schema version of `BENCH.json`. Bump only when a key is renamed or
+/// removed; adding keys is backward-compatible.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// The workloads the bench sweeps, in report order.
+pub const BENCH_WORKLOADS: [&str; 5] = ["IS", "FT", "MG", "LU", "minimd"];
+
+/// Fixed seed for the bench's fault-bit draws: both execution modes replay
+/// the identical trial sequence, so their wall-clock ratio is a fair
+/// apples-to-apples speedup.
+const BENCH_POINT_SEED: u64 = 0xBE7C;
+
+/// Clean golden runs timed per workload (the minimum is reported).
+const GOLDEN_RUNS: usize = 3;
+
+/// Interleaved measurement rounds per workload: each round times a batch
+/// of trials on the arena and a batch with fresh spawn back-to-back, so
+/// slow drift in machine load cancels out of the speedup ratio.
+const BENCH_ROUNDS: usize = 4;
+
+/// Jobs per mode in the dispatch-overhead microbenchmark.
+const DISPATCH_JOBS: usize = 40;
+
+/// Bench configuration (resolved from the environment).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Supervised trials measured per workload per execution mode.
+    pub trials: usize,
+    /// Records appended in the journal-throughput measurement.
+    pub journal_records: usize,
+    /// Output path for `BENCH.json`.
+    pub out: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            trials: 32,
+            journal_records: 20_000,
+            out: "BENCH.json".into(),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Defaults with `FASTFIT_BENCH_TRIALS` / `FASTFIT_BENCH_JOURNAL_RECORDS`
+    /// / `FASTFIT_BENCH_OUT` applied.
+    pub fn from_env() -> Self {
+        let mut cfg = BenchConfig::default();
+        if let Ok(t) = std::env::var("FASTFIT_BENCH_TRIALS") {
+            if let Ok(t) = t.parse::<usize>() {
+                cfg.trials = t.max(1);
+            }
+        }
+        if let Ok(r) = std::env::var("FASTFIT_BENCH_JOURNAL_RECORDS") {
+            if let Ok(r) = r.parse::<usize>() {
+                cfg.journal_records = r.max(1);
+            }
+        }
+        if let Ok(o) = std::env::var("FASTFIT_BENCH_OUT") {
+            if !o.is_empty() {
+                cfg.out = o;
+            }
+        }
+        cfg
+    }
+}
+
+/// Measurements for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Workload display name.
+    pub name: String,
+    /// Ranks per job.
+    pub nranks: usize,
+    /// Surviving injection points after pruning.
+    pub points: usize,
+    /// Best-of-[`GOLDEN_RUNS`] clean-run latency, seconds.
+    pub golden_secs: f64,
+    /// Fresh-trial throughput on the persistent worker pool.
+    pub arena_trials_per_sec: f64,
+    /// Fresh-trial throughput with per-trial thread spawn.
+    pub spawn_trials_per_sec: f64,
+    /// `arena_trials_per_sec / spawn_trials_per_sec`.
+    pub speedup: f64,
+}
+
+/// The full bench report — the in-memory form of `BENCH.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Ranks per job (`FASTFIT_RANKS`-derived).
+    pub ranks: usize,
+    /// Problem class token (`FASTFIT_CLASS`).
+    pub class: String,
+    /// Trials per workload per mode.
+    pub trials: usize,
+    /// Per-workload measurements, [`BENCH_WORKLOADS`] order.
+    pub workloads: Vec<WorkloadBench>,
+    /// Dispatch-overhead microbenchmark (the machine-stable arena gain).
+    pub dispatch: DispatchBench,
+    /// Records appended in the journal measurement.
+    pub journal_records: usize,
+    /// Journal write-ahead append throughput, records/sec.
+    pub journal_appends_per_sec: f64,
+}
+
+/// Forwards per-trial completions to the store [`Telemetry`] so the bench
+/// reads trials/sec from the same counter `status.json` uses.
+struct TelemetryObserver<'a> {
+    telemetry: &'a Telemetry,
+    channel: FaultChannel,
+}
+
+impl CampaignObserver for TelemetryObserver<'_> {
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        if let ProgressEvent::TrialFinished {
+            disposition,
+            retries,
+            replayed,
+            ..
+        } = event
+        {
+            let (response, retransmits) = match disposition {
+                TrialDisposition::Classified(t) => (Some(t.response), t.retransmits),
+                TrialDisposition::Quarantined { .. } => (None, 0),
+            };
+            self.telemetry
+                .trial_finished(response, *retries, *replayed, self.channel, retransmits);
+        }
+    }
+}
+
+/// Best-of-N clean-run latency on a persistent arena (first run warms the
+/// workers, then [`GOLDEN_RUNS`] timed runs).
+fn golden_latency(w: &Workload) -> f64 {
+    let spec = JobSpec {
+        nranks: w.nranks,
+        seed: w.seed,
+        timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let mut arena = JobArena::new(w.nranks);
+    let _ = arena.run(&spec, w.app.clone());
+    let mut best = f64::INFINITY;
+    for _ in 0..GOLDEN_RUNS {
+        let t0 = Instant::now();
+        let r = arena.run(&spec, w.app.clone());
+        assert!(
+            matches!(r.outcome, simmpi::runtime::JobOutcome::Completed { .. }),
+            "golden run must complete"
+        );
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure fresh-trial throughput of `campaign` over its first surviving
+/// point, through the store telemetry. Returns `(trials, secs)` so
+/// interleaved rounds can be combined into one rate.
+fn run_trial_batch(campaign: &Campaign, trials: usize) -> (u64, f64) {
+    let point = campaign.points()[0];
+    let telemetry = Telemetry::new();
+    telemetry.set_totals(1, trials);
+    let observer = TelemetryObserver {
+        telemetry: &telemetry,
+        channel: campaign.cfg.fault_channel,
+    };
+    let _ = campaign.measure_point_observed(&point, trials, BENCH_POINT_SEED, &observer);
+    let snap = telemetry.snapshot(
+        "bench",
+        &campaign.workload.name,
+        fastfit_store::CampaignState::Done,
+    );
+    (snap.trials_fresh, snap.elapsed_secs)
+}
+
+/// Measure one workload: golden latency, then the identical seeded trial
+/// sequence on the arena pool and with fresh per-trial spawn, in
+/// interleaved rounds so load drift cancels out of the ratio.
+fn bench_workload(w: Workload, trials: usize) -> WorkloadBench {
+    let name = w.name.clone();
+    let nranks = w.nranks;
+    eprintln!("[bench] {}: golden latency ({} runs)...", name, GOLDEN_RUNS);
+    let golden_secs = golden_latency(&w);
+    let mut campaign = Campaign::prepare(w, CampaignConfig::from_env());
+    assert!(
+        !campaign.points().is_empty(),
+        "workload must have injection points"
+    );
+    // Warm the arena pool so neither mode pays one-time setup in the
+    // timed window.
+    campaign.cfg.reuse_workers = true;
+    let _ = run_trial_batch(&campaign, 1);
+    let rounds = BENCH_ROUNDS.min(trials).max(1);
+    let batch = trials.div_ceil(rounds);
+    eprintln!(
+        "[bench] {}: {} trials per mode ({} interleaved rounds)...",
+        name, trials, rounds
+    );
+    let (mut arena_done, mut arena_secs) = (0u64, 0f64);
+    let (mut spawn_done, mut spawn_secs) = (0u64, 0f64);
+    let mut left = trials;
+    while left > 0 {
+        let n = batch.min(left);
+        campaign.cfg.reuse_workers = true;
+        let (d, s) = run_trial_batch(&campaign, n);
+        arena_done += d;
+        arena_secs += s;
+        campaign.cfg.reuse_workers = false;
+        let (d, s) = run_trial_batch(&campaign, n);
+        spawn_done += d;
+        spawn_secs += s;
+        left -= n;
+    }
+    let arena_tps = if arena_secs > 0.0 {
+        arena_done as f64 / arena_secs
+    } else {
+        0.0
+    };
+    let spawn_tps = if spawn_secs > 0.0 {
+        spawn_done as f64 / spawn_secs
+    } else {
+        0.0
+    };
+    let speedup = if spawn_tps > 0.0 {
+        arena_tps / spawn_tps
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[bench] {}: golden {:.1} ms, arena {:.1} trials/s, spawn {:.1} trials/s, speedup {:.2}x",
+        name,
+        golden_secs * 1e3,
+        arena_tps,
+        spawn_tps,
+        speedup
+    );
+    WorkloadBench {
+        name,
+        nranks,
+        points: campaign.points().len(),
+        golden_secs,
+        arena_trials_per_sec: arena_tps,
+        spawn_trials_per_sec: spawn_tps,
+        speedup,
+    }
+}
+
+/// Dispatch-overhead microbenchmark result: arena vs fresh-spawn on a
+/// barrier-only job, isolating exactly the per-trial cost the arena
+/// removes (thread spawn/teardown plus stack/allocator warm-up).
+#[derive(Debug, Clone)]
+pub struct DispatchBench {
+    /// Ranks per job.
+    pub ranks: usize,
+    /// Jobs timed per mode.
+    pub jobs: usize,
+    /// Mean arena dispatch time, seconds/job.
+    pub arena_secs_per_job: f64,
+    /// Mean fresh-spawn dispatch time, seconds/job.
+    pub spawn_secs_per_job: f64,
+    /// `spawn_secs_per_job / arena_secs_per_job`.
+    pub speedup: f64,
+}
+
+/// Time a barrier-only job on both execution paths. The rounds alternate
+/// modes so machine-load drift cancels out of the ratio.
+fn bench_dispatch(nranks: usize) -> DispatchBench {
+    let app: simmpi::runtime::AppFn = std::sync::Arc::new(|ctx: &mut simmpi::ctx::RankCtx| {
+        let w = ctx.world();
+        ctx.barrier(w);
+        simmpi::ctx::RankOutput::new()
+    });
+    let spec = JobSpec {
+        nranks,
+        timeout: Duration::from_secs(30),
+        ..Default::default()
+    };
+    let mut arena = JobArena::new(nranks);
+    // Warm both paths.
+    let _ = arena.run(&spec, app.clone());
+    let _ = simmpi::runtime::run_job(&spec, app.clone());
+    let rounds = 4;
+    let per_round = DISPATCH_JOBS.div_ceil(rounds);
+    let (mut arena_secs, mut spawn_secs) = (0f64, 0f64);
+    let mut jobs = 0usize;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..per_round {
+            let _ = arena.run(&spec, app.clone());
+        }
+        arena_secs += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..per_round {
+            let _ = simmpi::runtime::run_job(&spec, app.clone());
+        }
+        spawn_secs += t0.elapsed().as_secs_f64();
+        jobs += per_round;
+    }
+    let arena_per = arena_secs / jobs as f64;
+    let spawn_per = spawn_secs / jobs as f64;
+    DispatchBench {
+        ranks: nranks,
+        jobs,
+        arena_secs_per_job: arena_per,
+        spawn_secs_per_job: spawn_per,
+        speedup: if arena_per > 0.0 {
+            spawn_per / arena_per
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Measure write-ahead journal append throughput in a scratch directory.
+fn journal_throughput(records: usize) -> f64 {
+    let dir = std::env::temp_dir().join(format!("fastfit-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating journal scratch dir");
+    let path = dir.join("journal.jsonl");
+    let mut writer = JournalWriter::open(&path).expect("opening scratch journal");
+    let t0 = Instant::now();
+    for i in 0..records {
+        let record = Record::Trial(TrialRecord::classified(
+            format!("bench/app.rs:42|MPI_Allreduce|r0|i{}|sendbuf", i % 7),
+            i,
+            (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            TrialOutcome {
+                response: ALL_RESPONSES[i % ALL_RESPONSES.len()],
+                fired: true,
+                fatal_rank: None,
+                retransmits: 0,
+            },
+        ));
+        writer.append(&record).expect("journal append");
+    }
+    writer.sync().expect("journal sync");
+    let secs = t0.elapsed().as_secs_f64();
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&dir);
+    if secs > 0.0 {
+        records as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Build one of the bench workloads by name ([`BENCH_WORKLOADS`]).
+pub fn bench_workload_by_name(name: &str) -> Workload {
+    if name == "minimd" {
+        lammps_workload(6)
+    } else {
+        npb_workload(name)
+    }
+}
+
+/// Run the full bench sweep.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let class = match npb::Class::from_env() {
+        npb::Class::Mini => "mini",
+        npb::Class::Small => "small",
+        npb::Class::Standard => "standard",
+    };
+    let workloads: Vec<WorkloadBench> = BENCH_WORKLOADS
+        .iter()
+        .map(|name| bench_workload(bench_workload_by_name(name), cfg.trials))
+        .collect();
+    eprintln!("[bench] dispatch overhead (barrier-only job)...");
+    let dispatch = bench_dispatch(crate::experiment_ranks());
+    eprintln!(
+        "[bench] dispatch: arena {:.3} ms/job, spawn {:.3} ms/job, speedup {:.2}x",
+        dispatch.arena_secs_per_job * 1e3,
+        dispatch.spawn_secs_per_job * 1e3,
+        dispatch.speedup
+    );
+    eprintln!(
+        "[bench] journal append throughput ({} records)...",
+        cfg.journal_records
+    );
+    let journal_appends_per_sec = journal_throughput(cfg.journal_records);
+    eprintln!("[bench] journal: {:.0} appends/s", journal_appends_per_sec);
+    BenchReport {
+        ranks: crate::experiment_ranks(),
+        class: class.into(),
+        trials: cfg.trials,
+        workloads,
+        dispatch,
+        journal_records: cfg.journal_records,
+        journal_appends_per_sec,
+    }
+}
+
+impl BenchReport {
+    /// Encode as the schema-stable `BENCH.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::U64(u64::from(BENCH_SCHEMA))),
+            (
+                "config",
+                Json::obj([
+                    ("ranks", Json::U64(self.ranks as u64)),
+                    ("class", Json::Str(self.class.clone())),
+                    ("trials", Json::U64(self.trials as u64)),
+                ]),
+            ),
+            (
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("name", Json::Str(w.name.clone())),
+                                ("nranks", Json::U64(w.nranks as u64)),
+                                ("points", Json::U64(w.points as u64)),
+                                ("golden_secs", Json::F64(w.golden_secs)),
+                                ("arena_trials_per_sec", Json::F64(w.arena_trials_per_sec)),
+                                ("spawn_trials_per_sec", Json::F64(w.spawn_trials_per_sec)),
+                                ("speedup", Json::F64(w.speedup)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dispatch",
+                Json::obj([
+                    ("ranks", Json::U64(self.dispatch.ranks as u64)),
+                    ("jobs", Json::U64(self.dispatch.jobs as u64)),
+                    (
+                        "arena_secs_per_job",
+                        Json::F64(self.dispatch.arena_secs_per_job),
+                    ),
+                    (
+                        "spawn_secs_per_job",
+                        Json::F64(self.dispatch.spawn_secs_per_job),
+                    ),
+                    ("speedup", Json::F64(self.dispatch.speedup)),
+                ]),
+            ),
+            (
+                "journal",
+                Json::obj([
+                    ("records", Json::U64(self.journal_records as u64)),
+                    ("appends_per_sec", Json::F64(self.journal_appends_per_sec)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Write the report to `path` (single JSON document + newline).
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().encode() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_schema_stable() {
+        let report = BenchReport {
+            ranks: 8,
+            class: "mini".into(),
+            trials: 4,
+            workloads: vec![WorkloadBench {
+                name: "IS".into(),
+                nranks: 8,
+                points: 3,
+                golden_secs: 0.01,
+                arena_trials_per_sec: 100.0,
+                spawn_trials_per_sec: 40.0,
+                speedup: 2.5,
+            }],
+            dispatch: DispatchBench {
+                ranks: 8,
+                jobs: 40,
+                arena_secs_per_job: 2e-4,
+                spawn_secs_per_job: 8e-4,
+                speedup: 4.0,
+            },
+            journal_records: 100,
+            journal_appends_per_sec: 5e4,
+        };
+        let v = report.to_json();
+        assert_eq!(v.get("schema").and_then(Json::as_u64), Some(1));
+        let cfg = v.get("config").expect("config key");
+        assert_eq!(cfg.get("ranks").and_then(Json::as_u64), Some(8));
+        assert_eq!(cfg.get("class").and_then(Json::as_str), Some("mini"));
+        let ws = v.get("workloads").and_then(Json::as_arr).expect("array");
+        assert_eq!(ws.len(), 1);
+        for key in [
+            "name",
+            "nranks",
+            "points",
+            "golden_secs",
+            "arena_trials_per_sec",
+            "spawn_trials_per_sec",
+            "speedup",
+        ] {
+            assert!(ws[0].get(key).is_some(), "workload missing {:?}", key);
+        }
+        let d = v.get("dispatch").expect("dispatch key");
+        for key in [
+            "ranks",
+            "jobs",
+            "arena_secs_per_job",
+            "spawn_secs_per_job",
+            "speedup",
+        ] {
+            assert!(d.get(key).is_some(), "dispatch missing {:?}", key);
+        }
+        let j = v.get("journal").expect("journal key");
+        assert_eq!(j.get("records").and_then(Json::as_u64), Some(100));
+        // The document round-trips through the parser.
+        let back = Json::parse(&v.encode()).unwrap();
+        assert_eq!(back.encode(), v.encode());
+    }
+
+    #[test]
+    fn journal_throughput_measures_and_cleans_up() {
+        let rate = journal_throughput(256);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn is_bench_smoke() {
+        // A two-trial sweep of the smallest kernel: exercises golden
+        // latency, both execution modes, and the speedup arithmetic.
+        let wb = bench_workload(bench_workload_by_name("IS"), 2);
+        assert_eq!(wb.name, "IS");
+        assert!(wb.golden_secs > 0.0);
+        assert!(wb.arena_trials_per_sec > 0.0);
+        assert!(wb.spawn_trials_per_sec > 0.0);
+        assert!(wb.points > 0);
+    }
+}

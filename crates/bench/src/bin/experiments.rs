@@ -8,6 +8,8 @@
 //!      tab3 tab4 profile
 //! Extensions beyond the paper: ext-cg ext-trials ext-algos
 //!      ext-propagation ext-transport
+//! Perf trajectory: bench (writes schema-stable BENCH.json; see
+//!      FASTFIT_BENCH_TRIALS / FASTFIT_BENCH_OUT)
 //! Set FASTFIT_CSV_DIR to also write machine-readable CSVs.
 //!
 //! Scale knobs: FASTFIT_RANKS, FASTFIT_TRIALS, FASTFIT_CLASS (see README).
@@ -89,7 +91,7 @@ fn run_points_stored(c: &Campaign, points: &[InjectionPoint], tag: &str) -> Camp
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|tab3|tab4|profile|all> ...");
+        eprintln!("usage: experiments <fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|tab3|tab4|profile|bench|all> ...");
         std::process::exit(2);
     }
     let mut ctx = ExpContext::default();
@@ -116,6 +118,7 @@ fn main() {
             "ext-algos" => ext_algos(),
             "ext-propagation" => ext_propagation(),
             "ext-transport" => ext_transport(),
+            "bench" => bench_verb(),
             "all" => {
                 profile_report();
                 fig1();
@@ -221,6 +224,47 @@ impl ExpContext {
         }
         self.lammps_ml.as_ref().unwrap()
     }
+}
+
+/// The `bench` verb: sweep the throughput-critical paths and write the
+/// schema-stable `BENCH.json` perf trajectory (see `fastfit_bench::bench`).
+fn bench_verb() {
+    use fastfit_bench::bench::{run_bench, BenchConfig};
+    banner(
+        "bench",
+        "trial-throughput benchmark (arena vs fresh spawn)",
+        "n/a — reproduction perf trajectory, diffed across PRs",
+    );
+    let cfg = BenchConfig::from_env();
+    let report = run_bench(&cfg);
+    println!(
+        "\n{:<8} {:>6} {:>12} {:>14} {:>14} {:>9}",
+        "workload", "points", "golden ms", "arena tr/s", "spawn tr/s", "speedup"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<8} {:>6} {:>12.2} {:>14.1} {:>14.1} {:>8.2}x",
+            w.name,
+            w.points,
+            w.golden_secs * 1e3,
+            w.arena_trials_per_sec,
+            w.spawn_trials_per_sec,
+            w.speedup
+        );
+    }
+    println!(
+        "dispatch: arena {:.3} ms/job vs spawn {:.3} ms/job ({:.2}x, n={})",
+        report.dispatch.arena_secs_per_job * 1e3,
+        report.dispatch.spawn_secs_per_job * 1e3,
+        report.dispatch.speedup,
+        report.dispatch.ranks
+    );
+    println!(
+        "journal: {:.0} appends/s over {} records",
+        report.journal_appends_per_sec, report.journal_records
+    );
+    report.write_to(&cfg.out).expect("writing BENCH.json");
+    println!("wrote {}", cfg.out);
 }
 
 fn banner(id: &str, what: &str, paper: &str) {

@@ -17,6 +17,8 @@
 //! - `FASTFIT_MAX_RETRIES` — retries for infrastructure-suspect trials
 //!   before quarantine (default 2)
 
+pub mod bench;
+
 use fastfit::prelude::*;
 use minimd::{md_app, MdConfig};
 use npb::{kernel_by_name, Class};

@@ -24,9 +24,10 @@ use mpiprof::{profile_app_run, ApplicationProfile};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use simmpi::arena::ArenaPool;
 use simmpi::control::HangKind;
 use simmpi::ctx::RankOutput;
-use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use simmpi::runtime::{run_job, AppFn, JobOutcome, JobResult, JobSpec};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +109,11 @@ pub struct CampaignConfig {
     /// Run trials on the resilient transport (checksum/ack/retransmit
     /// recovery) instead of the plain one.
     pub resilient: bool,
+    /// Run trials on a persistent rank-worker pool ([`ArenaPool`]) instead
+    /// of spawning fresh OS threads per trial. Execution detail only — it
+    /// changes trial throughput, never classification, journal bytes or
+    /// campaign identity (`FASTFIT_REUSE_WORKERS=0` disables).
+    pub reuse_workers: bool,
 }
 
 impl Default for CampaignConfig {
@@ -125,6 +131,7 @@ impl Default for CampaignConfig {
             seed: 0xFA57,
             fault_channel: FaultChannel::Param,
             resilient: false,
+            reuse_workers: true,
         }
     }
 }
@@ -158,6 +165,9 @@ impl CampaignConfig {
         }
         if let Ok(r) = std::env::var("FASTFIT_RESILIENT") {
             cfg.resilient = matches!(r.as_str(), "1" | "true" | "yes");
+        }
+        if let Ok(r) = std::env::var("FASTFIT_REUSE_WORKERS") {
+            cfg.reuse_workers = !matches!(r.as_str(), "0" | "false" | "no");
         }
         cfg
     }
@@ -292,6 +302,11 @@ pub struct Campaign {
     pub full_points: u64,
     /// Feature lookup for §III-C.
     pub extractor: FeatureExtractor,
+    /// Persistent rank-worker pool trials run on when
+    /// [`CampaignConfig::reuse_workers`] is set. One arena per concurrent
+    /// caller (rayon point-parallelism checks out distinct arenas), reused
+    /// across trials and points.
+    arena: ArenaPool,
 }
 
 impl Campaign {
@@ -333,6 +348,7 @@ impl Campaign {
             phase: CampaignPhase::Prune,
             wall: t1.elapsed(),
         });
+        let arena = ArenaPool::new(workload.nranks);
         Campaign {
             workload,
             cfg,
@@ -344,6 +360,20 @@ impl Campaign {
             context,
             full_points,
             extractor,
+            arena,
+        }
+    }
+
+    /// Execute one trial job: on the persistent arena pool when
+    /// [`CampaignConfig::reuse_workers`] is set, otherwise with fresh
+    /// per-trial thread spawn ([`run_job`]). The two paths are
+    /// semantically identical — same supervision, same determinism — and
+    /// differ only in throughput.
+    fn exec_job(&self, spec: &JobSpec, app: AppFn) -> JobResult {
+        if self.cfg.reuse_workers {
+            self.arena.run(spec, app)
+        } else {
+            run_job(spec, app)
         }
     }
 
@@ -430,7 +460,7 @@ impl Campaign {
     pub fn run_trial_detailed(&self, point: &InjectionPoint, bit: u64) -> TrialOutcome {
         let hook = Arc::new(InjectorHook::new(self.fault_spec(point, bit)));
         let spec = self.trial_spec(hook.clone(), 0);
-        let result = run_job(&spec, self.workload.app.clone());
+        let result = self.exec_job(&spec, self.workload.app.clone());
         let fired = self.trial_fired(&hook, &result.transport);
         self.classify_trial(&result.outcome, fired, result.transport.retransmits)
     }
@@ -462,13 +492,14 @@ impl Campaign {
         let hook = Arc::new(InjectorHook::new(self.fault_spec(point, bit)));
         let spec = self.trial_spec(hook.clone(), escalation);
         let app = self.workload.app.clone();
-        let result =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&spec, app))) {
-                Ok(r) => r,
-                // Harness trouble (e.g. thread-spawn failure under fd/mem
-                // pressure), not a property of the fault.
-                Err(_) => return AttemptOutcome::Suspect(QuarantineReason::Harness),
-            };
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.exec_job(&spec, app)
+        })) {
+            Ok(r) => r,
+            // Harness trouble (e.g. thread-spawn failure under fd/mem
+            // pressure), not a property of the fault.
+            Err(_) => return AttemptOutcome::Suspect(QuarantineReason::Harness),
+        };
         match result.outcome {
             JobOutcome::TimedOut {
                 kind: HangKind::WallClock,

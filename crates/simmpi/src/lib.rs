@@ -43,6 +43,7 @@
 //! }
 //! ```
 
+pub mod arena;
 pub mod coll;
 pub mod comm;
 pub mod control;
@@ -57,6 +58,7 @@ pub mod transport;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
+    pub use crate::arena::{ArenaPool, JobArena};
     pub use crate::comm::{CommHandle, WORLD};
     pub use crate::control::{DetectedBy, FatalKind};
     pub use crate::ctx::{RankCtx, RankOutput};

@@ -22,19 +22,20 @@
 //! `WallClock` means only the infrastructure backstop fired and the trial
 //! is suspect — the supervisor layer above decides whether to retry it.
 
-use crate::control::{FatalKind, HangKind, JobControl, RankPanic};
+use crate::arena::JobArena;
+use crate::control::{FatalKind, HangKind};
 use crate::ctx::{RankCtx, RankOutput};
 use crate::hook::CollHook;
 use crate::record::CallRecord;
-use crate::transport::{Fabric, TransportStats};
-use parking_lot::Mutex;
-use std::panic::{self, AssertUnwindSafe};
+use crate::transport::TransportStats;
+use std::panic;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Prefix used to name rank threads, so the global panic hook can silence
-/// their (intentional) unwinds.
-const RANK_THREAD_PREFIX: &str = "simmpi-rank-";
+/// their (intentional) unwinds. Both the one-shot `run_job` path and the
+/// persistent [`crate::arena::JobArena`] workers use it.
+pub(crate) const RANK_THREAD_PREFIX: &str = "simmpi-rank-";
 
 /// The application entry point: one closure, run by every rank.
 pub type AppFn = Arc<dyn Fn(&mut RankCtx) -> RankOutput + Send + Sync>;
@@ -141,7 +142,7 @@ pub struct JobResult {
 /// Install a process-wide panic hook that silences the structured unwinds
 /// of rank threads (fault trials panic by design; default printing would
 /// flood stderr). Installed once per process.
-fn install_quiet_panic_hook() {
+pub(crate) fn install_quiet_panic_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let default = panic::take_hook();
@@ -158,159 +159,17 @@ fn install_quiet_panic_hook() {
 }
 
 /// Run `app` on `spec.nranks` simulated ranks and collect the outcome.
+///
+/// This is the one-shot path: it builds a throwaway [`JobArena`] (spawning
+/// `nranks` worker threads), runs the single job on it, and tears the
+/// workers down again. Callers that run many jobs should hold a
+/// [`JobArena`] (or [`crate::arena::ArenaPool`]) and reuse it — same
+/// semantics, without the per-job thread spawn/teardown.
 pub fn run_job(spec: &JobSpec, app: AppFn) -> JobResult {
-    install_quiet_panic_hook();
-    let start = Instant::now();
-    let n = spec.nranks;
-    let fabric = Fabric::with_mode(n, spec.resilient_transport);
-    let ctl = Arc::new(JobControl::with_budget(n, spec.timeout, spec.op_budget));
-    let outputs: Arc<Vec<Mutex<Option<RankOutput>>>> =
-        Arc::new((0..n).map(|_| Mutex::new(None)).collect());
-    let records: Arc<Vec<Mutex<Vec<CallRecord>>>> =
-        Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
-
-    let mut handles = Vec::with_capacity(n);
-    for rank in 0..n {
-        let fabric = fabric.clone();
-        let ctl = ctl.clone();
-        let app = app.clone();
-        let outputs = outputs.clone();
-        let records = records.clone();
-        let hook = spec.hook.clone();
-        let record = spec.record;
-        let seed = spec.seed;
-        let handle = std::thread::Builder::new()
-            .name(format!("{}{}", RANK_THREAD_PREFIX, rank))
-            .spawn(move || {
-                let mut ctx = RankCtx::new(rank, n, fabric, ctl.clone(), hook, record, seed);
-                let result = panic::catch_unwind(AssertUnwindSafe(|| app(&mut ctx)));
-                *records[rank].lock() = ctx.take_records();
-                match result {
-                    Ok(out) => {
-                        *outputs[rank].lock() = Some(out);
-                    }
-                    Err(payload) => {
-                        let fatal = match payload.downcast::<RankPanic>() {
-                            Ok(rp) => match *rp {
-                                RankPanic::Mpi(e) => Some(FatalKind::Mpi(e)),
-                                RankPanic::SegFault(d) => Some(FatalKind::SegFault { detail: d }),
-                                RankPanic::AppAbort { code, msg } => {
-                                    Some(FatalKind::AppAbort { code, msg })
-                                }
-                                // Victim of a teardown started elsewhere.
-                                RankPanic::Killed => None,
-                            },
-                            // A genuine Rust panic (slice bounds, arithmetic
-                            // overflow, ...) is the closest analog of a
-                            // memory fault in application code.
-                            Err(other) => Some(FatalKind::SegFault {
-                                detail: panic_message(&other),
-                            }),
-                        };
-                        if let Some(kind) = fatal {
-                            ctl.record_fatal(rank, kind);
-                        }
-                    }
-                }
-                ctl.rank_done();
-            })
-            .expect("spawning rank thread");
-        handles.push(handle);
-    }
-
-    // Supervision loop. Between short waits for completion it runs the
-    // deterministic stall sweep: read the fabric epoch, check that every
-    // rank is finished or provably blocked on an unsatisfiable receive,
-    // re-read the epoch. An unchanged epoch across the sweep means no
-    // message moved anywhere while every live rank was observed blocked —
-    // any real progress would have bumped it, so consecutive same-epoch
-    // candidate sweeps prove a deadlock regardless of machine load. The
-    // wall-clock deadline only fires when neither deterministic detector
-    // claimed the job first.
-    const SWEEP: Duration = Duration::from_millis(5);
-    let mut stall_streak: u32 = 0;
-    let mut streak_epoch: u64 = 0;
-    let finished_in_time = loop {
-        if ctl.wait_done_for(SWEEP) {
-            break true;
-        }
-        if ctl.should_die() {
-            // Killed by a fatal event, a deterministic hang kill, or the
-            // wall-clock deadline. Attribute the backstop only if nothing
-            // deterministic claimed the job.
-            if ctl.fatal().is_none() && ctl.hang().is_none() {
-                ctl.record_hang(HangKind::WallClock);
-            }
-            ctl.kill();
-            break false;
-        }
-        if spec.stall_quota == 0 {
-            continue;
-        }
-        let e0 = fabric.epoch();
-        let stuck = (0..n).filter(|&r| fabric.stuck(r)).count();
-        let candidate = stuck > 0 && stuck + ctl.done_count() >= n && fabric.epoch() == e0;
-        if candidate && ctl.fatal().is_some() {
-            // Fail-stop drain complete: some rank failed, and every
-            // survivor is now provably blocked — no rank can run, so the
-            // fatal set can no longer grow. Tear down and attribute; this
-            // is a drained failure, not a deadlock, so no hang is
-            // recorded.
-            break false;
-        }
-        if candidate && (stall_streak == 0 || streak_epoch == e0) {
-            stall_streak += 1;
-            streak_epoch = e0;
-            if stall_streak >= spec.stall_quota {
-                ctl.record_hang(HangKind::Stalled);
-                break false;
-            }
-        } else {
-            stall_streak = 0;
-        }
-    };
-    if !finished_in_time {
-        ctl.kill();
-    }
-    for h in handles {
-        // Threads wake from blocking recvs within the poll interval once
-        // killed; join would only stall on a long pure-compute stretch.
-        let _ = h.join();
-    }
-
-    let recs: Vec<Vec<CallRecord>> = records
-        .iter()
-        .map(|m| std::mem::take(&mut *m.lock()))
-        .collect();
-    let outcome = if let Some((rank, kind)) = ctl.fatal() {
-        JobOutcome::Fatal { rank, kind }
-    } else if let Some(kind) = ctl.hang() {
-        JobOutcome::TimedOut { kind }
-    } else if !finished_in_time {
-        JobOutcome::TimedOut {
-            kind: HangKind::WallClock,
-        }
-    } else {
-        let outs: Option<Vec<RankOutput>> = outputs.iter().map(|m| m.lock().clone()).collect();
-        match outs {
-            Some(outputs) => JobOutcome::Completed { outputs },
-            // A rank vanished without a fatal record or timeout: treat as
-            // a wall-clock-suspect hang (should not happen).
-            None => JobOutcome::TimedOut {
-                kind: HangKind::WallClock,
-            },
-        }
-    };
-    JobResult {
-        outcome,
-        records: recs,
-        ops: ctl.ops_snapshot(),
-        wall: start.elapsed(),
-        transport: fabric.stats(),
-    }
+    JobArena::new(spec.nranks).run(spec, app)
 }
 
-fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -325,6 +184,7 @@ mod tests {
     use super::*;
     use crate::error::MpiError;
     use crate::op::ReduceOp;
+    use std::time::Instant;
 
     fn spec(n: usize) -> JobSpec {
         JobSpec {

@@ -454,10 +454,21 @@ impl Fabric {
     }
 
     /// Enqueue under the (held) mailbox lock: progress epoch + wakeup.
+    ///
+    /// The wakeup is *targeted*: the owning rank is notified only when it
+    /// is currently blocked on exactly this `(src, tag)`. A receiver that
+    /// is not parked scans the queue before it ever parks (under this same
+    /// lock, so no wakeup can be lost), and a receiver parked on a
+    /// *different* match could not use this message anyway — waking it
+    /// would cost a context switch just to re-park. On oversubscribed
+    /// hosts those spurious wakes dominate collective latency.
     fn enqueue(&self, mbox: &Mailbox, st: &mut MailboxState, msg: Msg) {
+        let wake = st.waiting == Some((msg.src, msg.tag));
         st.queue.push_back(msg);
         self.epoch.fetch_add(1, Ordering::Release);
-        mbox.cv.notify_all();
+        if wake {
+            mbox.cv.notify_all();
+        }
     }
 
     /// Move due held (delay-faulted) messages into the queue.

@@ -489,27 +489,33 @@ pub struct JournalContents {
     pub valid_len: u64,
 }
 
-/// Read and replay a journal file. Tolerates a truncated final line;
-/// rejects corruption anywhere else.
+/// Read and replay a journal file. Tolerates a truncated final line —
+/// including one torn mid-byte into invalid UTF-8, which is what a crash
+/// inside a multi-byte character leaves behind — and rejects corruption
+/// anywhere else. The file is therefore read as bytes and decoded line
+/// by line, never as one UTF-8 document.
 pub fn read_journal(path: &Path) -> Result<JournalContents, StoreError> {
-    let mut text = String::new();
+    let mut bytes = Vec::new();
     File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
+        .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(StoreError::Io)?;
     let mut out = JournalContents::default();
-    let lines: Vec<&str> = text.split('\n').collect();
-    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let blank = |l: &[u8]| l.iter().all(|b| b.is_ascii_whitespace());
+    let last_nonempty = lines.iter().rposition(|l| !blank(l));
     let mut offset = 0u64;
     for (i, raw) in lines.iter().enumerate() {
         // `split` drops the separators: every line but the last had one.
         let line_len = raw.len() as u64 + u64::from(i + 1 < lines.len());
-        let line = raw.trim();
-        if line.is_empty() {
+        if blank(raw) {
             offset += line_len;
             out.valid_len = out.valid_len.max(offset);
             continue;
         }
-        let decoded = match Record::decode(line) {
+        let decoded = match std::str::from_utf8(raw)
+            .map_err(|e| StoreError::Corrupt(format!("not UTF-8: {}", e)))
+            .and_then(|line| Record::decode(line.trim()))
+        {
             Ok(d) => d,
             Err(e) => {
                 // Only the final (possibly unterminated) line may be

@@ -1,0 +1,434 @@
+//! Seeded property fuzzing of the journal wire format: arbitrary valid
+//! records must survive encode → decode → encode byte-for-byte, whole
+//! journals must read back exactly what was appended, and a damaged tail
+//! — a crash-truncated line or appended garbage — must be repaired
+//! without losing any fully-written record. Everything is driven by a
+//! fixed-seed SplitMix64 generator, so a failure reproduces exactly.
+
+use fastfit::prelude::{
+    CampaignPhase, FaultChannel, QuarantineReason, Response, TrialDisposition, TrialOutcome,
+};
+use fastfit_store::journal::{
+    read_journal, repair_journal, CampaignMeta, JournalWriter, MlMeta, Record, TrialRecord,
+};
+use std::fs;
+use std::path::PathBuf;
+
+/// SplitMix64: tiny, seedable, and good enough to explore the record
+/// space; no dependency needed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+
+    /// A finite float with an exact decimal round trip is not required —
+    /// the encoder's shortest form must re-parse to the same bits — but
+    /// negative zero is avoided (it would canonicalize to plain zero).
+    fn f64(&mut self) -> f64 {
+        let frac = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        let scaled = frac * 10f64.powi(self.below(7) as i32 - 3);
+        let v = if self.chance(2) { -scaled } else { scaled };
+        if v == 0.0 {
+            0.5
+        } else {
+            v
+        }
+    }
+
+    /// Strings that lean on every escaping path: quotes, backslashes,
+    /// control characters, multi-byte UTF-8, plus ordinary key-ish text.
+    fn string(&mut self) -> String {
+        const PALETTE: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '-', '.', '/', ':', ',', ' ', '"', '\\', '\n',
+            '\t', '\r', '\u{7}', '{', '}', '[', ']', 'é', '日', '🦀',
+        ];
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| PALETTE[self.below(PALETTE.len() as u64) as usize])
+            .collect()
+    }
+
+    fn response(&mut self) -> Response {
+        const ALL: [Response; 6] = [
+            Response::Success,
+            Response::AppDetected,
+            Response::MpiErr,
+            Response::SegFault,
+            Response::WrongAns,
+            Response::InfLoop,
+        ];
+        ALL[self.below(6) as usize]
+    }
+
+    fn disposition(&mut self) -> TrialDisposition {
+        if self.chance(4) {
+            TrialDisposition::Quarantined {
+                attempts: self.below(9) as u32 + 1,
+                reason: if self.chance(3) {
+                    QuarantineReason::Harness
+                } else {
+                    QuarantineReason::WallClock
+                },
+            }
+        } else {
+            TrialDisposition::Classified(TrialOutcome {
+                response: self.response(),
+                fired: self.chance(2),
+                fatal_rank: if self.chance(3) {
+                    Some(self.below(1 << 20) as usize)
+                } else {
+                    None
+                },
+                retransmits: if self.chance(3) { self.next() >> 32 } else { 0 },
+            })
+        }
+    }
+
+    fn trial(&mut self) -> TrialRecord {
+        TrialRecord {
+            key: self.string(),
+            trial: self.below(1 << 30) as usize,
+            bit: self.next(), // full-range u64, must stay lossless
+            channel: if self.chance(2) {
+                FaultChannel::Message
+            } else {
+                FaultChannel::Param
+            },
+            disposition: self.disposition(),
+        }
+    }
+
+    fn meta(&mut self) -> CampaignMeta {
+        CampaignMeta {
+            workload: self.string(),
+            nranks: self.below(1 << 16) as usize,
+            app_seed: self.next(),
+            tolerance: self.f64().abs(),
+            trials_per_point: self.below(1 << 20) as usize,
+            params: self.string(),
+            campaign_seed: self.next(),
+            ml: if self.chance(3) {
+                Some(MlMeta {
+                    target: self.string(),
+                    config_digest: self.string(),
+                })
+            } else {
+                None
+            },
+            fault_channel: if self.chance(2) {
+                FaultChannel::Message
+            } else {
+                FaultChannel::Param
+            },
+            resilient: self.chance(2),
+            point_keys: (0..self.below(6)).map(|_| self.string()).collect(),
+        }
+    }
+
+    fn record(&mut self) -> Record {
+        const PHASES: [CampaignPhase; 4] = [
+            CampaignPhase::Profile,
+            CampaignPhase::Prune,
+            CampaignPhase::Measure,
+            CampaignPhase::Learn,
+        ];
+        match self.below(8) {
+            0 => {
+                let meta = self.meta();
+                Record::Meta {
+                    id: meta.campaign_id(),
+                    meta,
+                }
+            }
+            1 => Record::Phase {
+                phase: PHASES[self.below(4) as usize],
+                secs: self.f64().abs(),
+            },
+            2 => Record::Round {
+                round: self.below(100) as usize,
+                measured: self.below(1 << 20) as usize,
+                accuracy: self.f64().abs(),
+            },
+            _ => Record::Trial(self.trial()),
+        }
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fastfit-journal-fuzz-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// encode → decode → encode is the identity on bytes, and decode is the
+/// inverse of encode on values, for 2000 arbitrary records of every
+/// type.
+#[test]
+fn record_encode_decode_encode_is_byte_stable() {
+    let mut rng = Rng(0xFA57_F17E);
+    for i in 0..2000 {
+        let rec = rng.record();
+        let line = rec.encode();
+        let back = Record::decode(&line)
+            .unwrap_or_else(|e| panic!("case {}: {:?} undecodable: {}", i, line, e))
+            .unwrap_or_else(|| panic!("case {}: own record type unknown", i));
+        assert_eq!(back, rec, "case {}: value round trip", i);
+        assert_eq!(back.encode(), line, "case {}: byte round trip", i);
+    }
+}
+
+/// A journal written through `JournalWriter` is exactly the concatenated
+/// record encodings, and replaying it returns every record in append
+/// order.
+#[test]
+fn journal_replay_returns_every_appended_record() {
+    let dir = scratch_dir("replay");
+    let mut rng = Rng(0x5EED_1E55);
+    for case in 0..10 {
+        let path = dir.join(format!("journal-{}.jsonl", case));
+        let meta = rng.meta();
+        let head = Record::Meta {
+            id: meta.campaign_id(),
+            meta: meta.clone(),
+        };
+        let body: Vec<Record> = (0..rng.below(40) + 1).map(|_| rng.record()).collect();
+        // A body meta record would be a (detected) duplicate; make them
+        // trials instead, keeping the rest of the mix.
+        let body: Vec<Record> = body
+            .into_iter()
+            .map(|r| match r {
+                Record::Meta { .. } => Record::Trial(rng.trial()),
+                other => other,
+            })
+            .collect();
+
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&head).unwrap();
+        for r in &body {
+            w.append(r).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let mut expected_bytes = head.encode();
+        expected_bytes.push('\n');
+        for r in &body {
+            expected_bytes.push_str(&r.encode());
+            expected_bytes.push('\n');
+        }
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            expected_bytes,
+            "case {}: file is the concatenated encodings",
+            case
+        );
+
+        let contents = read_journal(&path).unwrap();
+        assert!(!contents.truncated_tail, "case {}", case);
+        assert_eq!(
+            contents.valid_len,
+            expected_bytes.len() as u64,
+            "case {}",
+            case
+        );
+        let (id, got_meta) = contents.meta.expect("meta record");
+        assert_eq!(got_meta, meta, "case {}", case);
+        assert_eq!(id, meta.campaign_id(), "case {}", case);
+        let want_trials: Vec<&TrialRecord> = body
+            .iter()
+            .filter_map(|r| match r {
+                Record::Trial(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            contents.trials.iter().collect::<Vec<_>>(),
+            want_trials,
+            "case {}: trials in append order",
+            case
+        );
+        assert_eq!(
+            contents.phases.len() + contents.rounds.len() + contents.trials.len(),
+            body.len(),
+            "case {}: nothing dropped",
+            case
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Crash-mid-append: cut the file anywhere strictly inside its last
+/// line. Repair must drop exactly the partial line — every fully
+/// written record survives — and the journal must accept appends again,
+/// converging to the uninterrupted journal byte-for-byte.
+#[test]
+fn truncated_tail_repair_loses_no_complete_record() {
+    let dir = scratch_dir("truncate");
+    let mut rng = Rng(0xBAD_7A11);
+    for case in 0..40 {
+        let path = dir.join(format!("journal-{}.jsonl", case));
+        let meta = rng.meta();
+        let head = Record::Meta {
+            id: meta.campaign_id(),
+            meta: meta.clone(),
+        };
+        let trials: Vec<TrialRecord> = (0..rng.below(12) + 2).map(|_| rng.trial()).collect();
+
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&head).unwrap();
+        for t in &trials {
+            w.append(&Record::Trial(t.clone())).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = fs::read(&path).unwrap();
+
+        // Cut strictly inside the line of trial `cut_at`: its prefix
+        // survives as garbage, everything before it is intact.
+        let cut_at = rng.below(trials.len() as u64) as usize;
+        let prefix_len: usize = std::iter::once(&head)
+            .map(Record::encode)
+            .chain(
+                trials[..cut_at]
+                    .iter()
+                    .map(|t| Record::Trial(t.clone()).encode()),
+            )
+            .map(|l| l.len() + 1)
+            .sum();
+        // Offset 1..text_len within the line: at least the record's final
+        // byte is always missing (cutting between the text and its
+        // newline would leave a complete, decodable last line).
+        let text_len = Record::Trial(trials[cut_at].clone()).encode().len();
+        let cut = prefix_len + 1 + rng.below(text_len as u64 - 1) as usize;
+        fs::write(&path, &full[..cut]).unwrap();
+
+        let contents = repair_journal(&path).unwrap();
+        assert!(
+            contents.truncated_tail,
+            "case {}: cut must be detected",
+            case
+        );
+        assert_eq!(contents.valid_len, prefix_len as u64, "case {}", case);
+        assert_eq!(
+            contents.trials,
+            trials[..cut_at],
+            "case {}: every complete record survives, nothing more",
+            case
+        );
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            prefix_len as u64,
+            "case {}: file truncated to the valid prefix",
+            case
+        );
+
+        // Resume: re-append the lost records; the journal must equal the
+        // never-interrupted file.
+        let mut w = JournalWriter::open(&path).unwrap();
+        for t in &trials[cut_at..] {
+            w.append(&Record::Trial(t.clone())).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            full,
+            "case {}: resume converges",
+            case
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Garbage appended after the last newline (a torn write that never got
+/// its record out) is dropped by repair; a *well-formed* line of an
+/// unknown future record type is not damage at all and must be skipped,
+/// not dropped.
+#[test]
+fn garbage_tails_are_dropped_and_unknown_records_skipped() {
+    let dir = scratch_dir("garbage");
+    let mut rng = Rng(0xDEAD_FEED);
+    for case in 0..40 {
+        let path = dir.join(format!("journal-{}.jsonl", case));
+        let meta = rng.meta();
+        let head = Record::Meta {
+            id: meta.campaign_id(),
+            meta: meta.clone(),
+        };
+        let trials: Vec<TrialRecord> = (0..rng.below(8) + 1).map(|_| rng.trial()).collect();
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&head).unwrap();
+        for t in &trials {
+            w.append(&Record::Trial(t.clone())).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let clean_len = fs::metadata(&path).unwrap().len();
+
+        // Newline-free garbage: arbitrary non-'\n' bytes, sometimes
+        // JSON-ish prefixes, sometimes raw binary.
+        let garbage: Vec<u8> = match case % 3 {
+            0 => b"{\"t\":\"trial\",\"k\":\"ha".to_vec(),
+            1 => (0..rng.below(64) + 1)
+                .map(|_| {
+                    let b = (rng.next() & 0xFF) as u8;
+                    if b == b'\n' {
+                        b'x'
+                    } else {
+                        b
+                    }
+                })
+                .collect(),
+            _ => vec![0u8; rng.below(16) as usize + 1],
+        };
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&garbage);
+        fs::write(&path, &bytes).unwrap();
+
+        let contents = repair_journal(&path).unwrap();
+        assert!(contents.truncated_tail, "case {}: garbage detected", case);
+        assert_eq!(contents.trials, trials, "case {}: no record lost", case);
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "case {}: garbage truncated away",
+            case
+        );
+
+        // An unknown—but well-formed—record type from a future writer.
+        let mut w = JournalWriter::open(&path).unwrap();
+        w.append(&Record::Trial(trials[0].clone())).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"t\":\"from_the_future\",\"x\":[1,2.5,null]}\n");
+        fs::write(&path, &bytes).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert!(
+            !contents.truncated_tail,
+            "case {}: unknown type is not damage",
+            case
+        );
+        assert_eq!(contents.trials.len(), trials.len() + 1, "case {}", case);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
