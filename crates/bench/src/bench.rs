@@ -16,7 +16,10 @@
 //!   single-core host trials are messaging-bound and the whole-trial ratio
 //!   is modest even though the dispatch ratio is large — so CI gates on
 //!   the dispatch ratio, which is machine-stable;
-//! - **journal append throughput** of the write-ahead trial journal.
+//! - **journal append throughput** of the write-ahead trial journal;
+//! - **service throughput**: submission round-trip latency against a live
+//!   `fastfit-served` daemon and the aggregate trials/sec of N campaigns
+//!   run concurrently through it versus the same campaigns run serially.
 //!
 //! Trials/sec comes from the campaign store's [`Telemetry`] — the same
 //! fresh-trials-only counter `status.json` reports — so the bench and the
@@ -29,11 +32,13 @@
 
 use crate::{lammps_workload, npb_workload};
 use fastfit::prelude::*;
+use fastfit_serve::{http_request, start, CampaignSpec, ServeConfig};
 use fastfit_store::journal::{JournalWriter, Record, TrialRecord};
 use fastfit_store::json::Json;
 use fastfit_store::Telemetry;
 use simmpi::arena::JobArena;
 use simmpi::runtime::JobSpec;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Schema version of `BENCH.json`. Bump only when a key is renamed or
@@ -58,6 +63,9 @@ const BENCH_ROUNDS: usize = 4;
 
 /// Jobs per mode in the dispatch-overhead microbenchmark.
 const DISPATCH_JOBS: usize = 40;
+
+/// Campaigns submitted per round in the service benchmark.
+const SERVE_CAMPAIGNS: usize = 2;
 
 /// Bench configuration (resolved from the environment).
 #[derive(Debug, Clone)]
@@ -140,6 +148,8 @@ pub struct BenchReport {
     pub journal_records: usize,
     /// Journal write-ahead append throughput, records/sec.
     pub journal_appends_per_sec: f64,
+    /// Campaign-service benchmark (daemon submission + scheduler throughput).
+    pub serve: ServeBench,
 }
 
 /// Forwards per-trial completions to the store [`Telemetry`] so the bench
@@ -382,6 +392,148 @@ fn journal_throughput(records: usize) -> f64 {
     }
 }
 
+/// Service benchmark result: submission latency against a live daemon and
+/// concurrent-vs-serial campaign throughput through the scheduler.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Campaigns submitted per round.
+    pub campaigns: usize,
+    /// Trials per injection point in each campaign.
+    pub trials_per_campaign: usize,
+    /// Best observed `POST /campaigns` round-trip (durable ack), seconds.
+    pub submit_roundtrip_secs: f64,
+    /// Aggregate fresh-trial throughput with all campaigns admitted at once.
+    pub concurrent_trials_per_sec: f64,
+    /// Aggregate fresh-trial throughput with `max_campaigns = 1`.
+    pub serial_trials_per_sec: f64,
+    /// `concurrent_trials_per_sec / serial_trials_per_sec`.
+    pub speedup: f64,
+}
+
+/// The campaign every service-bench round submits: the smallest kernel at
+/// the experiment rank count, fixed seed so rounds are comparable.
+fn serve_spec(trials: usize) -> CampaignSpec {
+    let mut s = CampaignSpec::new("IS");
+    s.ranks = Some(crate::experiment_ranks());
+    s.trials = Some(trials);
+    s.seed = Some(BENCH_POINT_SEED);
+    s
+}
+
+/// Submit `spec` and return `(campaign id, round-trip seconds)`. The timed
+/// window covers the durable queue append — the daemon acks only after
+/// the submission survives a crash.
+fn serve_submit(addr: &str, spec: &CampaignSpec) -> (String, f64) {
+    let body = spec.to_json().encode();
+    let t0 = Instant::now();
+    let r = http_request(
+        addr,
+        "POST",
+        "/campaigns",
+        Some(("application/json", &body)),
+    )
+    .expect("bench daemon reachable");
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(r.status, 201, "bench submission accepted: {}", r.body);
+    let id = Json::parse(&r.body)
+        .expect("receipt is JSON")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("receipt carries an id")
+        .to_string();
+    (id, secs)
+}
+
+/// Poll a campaign to completion and return its fresh-trial count.
+fn serve_wait_done(addr: &str, id: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let r = http_request(addr, "GET", &format!("/campaigns/{id}/status"), None)
+            .expect("bench daemon reachable");
+        let v = Json::parse(&r.body).expect("status is JSON");
+        let state = v.get("state").and_then(Json::as_str).unwrap_or("");
+        assert_ne!(state, "failed", "bench campaign {id} failed: {}", r.body);
+        if state == "done" {
+            return v.get("trials_fresh").and_then(Json::as_u64).unwrap_or(0);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "bench campaign {id} never finished; last status: {}",
+            r.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One service round: a fresh daemon on `root` admitting up to
+/// `max_campaigns` at once, [`SERVE_CAMPAIGNS`] identical submissions run
+/// to completion. Returns `(aggregate trials/sec, best submit seconds)`.
+fn serve_round(root: &Path, max_campaigns: usize, trials: usize) -> (f64, f64) {
+    let nranks = crate::experiment_ranks();
+    let h = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        root: root.to_path_buf(),
+        worker_budget: SERVE_CAMPAIGNS * nranks,
+        max_campaigns,
+    })
+    .expect("bench daemon starts");
+    let addr = h.addr().to_string();
+    let spec = serve_spec(trials);
+    let t0 = Instant::now();
+    let mut submit_secs = f64::INFINITY;
+    let ids: Vec<String> = (0..SERVE_CAMPAIGNS)
+        .map(|_| {
+            let (id, secs) = serve_submit(&addr, &spec);
+            submit_secs = submit_secs.min(secs);
+            id
+        })
+        .collect();
+    let done: u64 = ids.iter().map(|id| serve_wait_done(&addr, id)).sum();
+    let secs = t0.elapsed().as_secs_f64();
+    h.shutdown();
+    let tps = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    (tps, submit_secs)
+}
+
+/// Measure the campaign service: [`SERVE_CAMPAIGNS`] identical IS
+/// campaigns through a live daemon, once fully concurrent and once
+/// serialised (`max_campaigns = 1`), in scratch roots. Campaigns run
+/// every surviving point, so the per-point trial count is scaled down
+/// from the workload-bench knob to keep the rounds comparable in cost.
+pub fn bench_serve(bench_trials: usize) -> ServeBench {
+    let trials = bench_trials.div_ceil(4).max(1);
+    let base = std::env::temp_dir().join(format!("fastfit-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    eprintln!(
+        "[bench] serve: {} campaigns x {} trials/point, concurrent...",
+        SERVE_CAMPAIGNS, trials
+    );
+    let (concurrent_tps, submit_a) = serve_round(&base.join("concurrent"), SERVE_CAMPAIGNS, trials);
+    eprintln!("[bench] serve: serial baseline (max_campaigns = 1)...");
+    let (serial_tps, submit_b) = serve_round(&base.join("serial"), 1, trials);
+    let _ = std::fs::remove_dir_all(&base);
+    let bench = ServeBench {
+        campaigns: SERVE_CAMPAIGNS,
+        trials_per_campaign: trials,
+        submit_roundtrip_secs: submit_a.min(submit_b),
+        concurrent_trials_per_sec: concurrent_tps,
+        serial_trials_per_sec: serial_tps,
+        speedup: if serial_tps > 0.0 {
+            concurrent_tps / serial_tps
+        } else {
+            0.0
+        },
+    };
+    eprintln!(
+        "[bench] serve: submit {:.2} ms, concurrent {:.1} trials/s, serial {:.1} trials/s, speedup {:.2}x",
+        bench.submit_roundtrip_secs * 1e3,
+        bench.concurrent_trials_per_sec,
+        bench.serial_trials_per_sec,
+        bench.speedup
+    );
+    bench
+}
+
 /// Build one of the bench workloads by name ([`BENCH_WORKLOADS`]).
 pub fn bench_workload_by_name(name: &str) -> Workload {
     if name == "minimd" {
@@ -416,6 +568,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     );
     let journal_appends_per_sec = journal_throughput(cfg.journal_records);
     eprintln!("[bench] journal: {:.0} appends/s", journal_appends_per_sec);
+    let serve = bench_serve(cfg.trials);
     BenchReport {
         ranks: crate::experiment_ranks(),
         class: class.into(),
@@ -424,6 +577,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         dispatch,
         journal_records: cfg.journal_records,
         journal_appends_per_sec,
+        serve,
     }
 }
 
@@ -482,6 +636,29 @@ impl BenchReport {
                     ("appends_per_sec", Json::F64(self.journal_appends_per_sec)),
                 ]),
             ),
+            (
+                "serve",
+                Json::obj([
+                    ("campaigns", Json::U64(self.serve.campaigns as u64)),
+                    (
+                        "trials_per_campaign",
+                        Json::U64(self.serve.trials_per_campaign as u64),
+                    ),
+                    (
+                        "submit_roundtrip_secs",
+                        Json::F64(self.serve.submit_roundtrip_secs),
+                    ),
+                    (
+                        "concurrent_trials_per_sec",
+                        Json::F64(self.serve.concurrent_trials_per_sec),
+                    ),
+                    (
+                        "serial_trials_per_sec",
+                        Json::F64(self.serve.serial_trials_per_sec),
+                    ),
+                    ("speedup", Json::F64(self.serve.speedup)),
+                ]),
+            ),
         ])
     }
 
@@ -519,6 +696,14 @@ mod tests {
             },
             journal_records: 100,
             journal_appends_per_sec: 5e4,
+            serve: ServeBench {
+                campaigns: 2,
+                trials_per_campaign: 8,
+                submit_roundtrip_secs: 1e-3,
+                concurrent_trials_per_sec: 120.0,
+                serial_trials_per_sec: 100.0,
+                speedup: 1.2,
+            },
         };
         let v = report.to_json();
         assert_eq!(v.get("schema").and_then(Json::as_u64), Some(1));
@@ -550,6 +735,18 @@ mod tests {
         }
         let j = v.get("journal").expect("journal key");
         assert_eq!(j.get("records").and_then(Json::as_u64), Some(100));
+        let s = v.get("serve").expect("serve key");
+        for key in [
+            "campaigns",
+            "trials_per_campaign",
+            "submit_roundtrip_secs",
+            "concurrent_trials_per_sec",
+            "serial_trials_per_sec",
+            "speedup",
+        ] {
+            assert!(s.get(key).is_some(), "serve missing {:?}", key);
+        }
+        assert_eq!(s.get("campaigns").and_then(Json::as_u64), Some(2));
         // The document round-trips through the parser.
         let back = Json::parse(&v.encode()).unwrap();
         assert_eq!(back.encode(), v.encode());
@@ -559,6 +756,19 @@ mod tests {
     fn journal_throughput_measures_and_cleans_up() {
         let rate = journal_throughput(256);
         assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn serve_bench_smoke() {
+        // One trial per point through both daemon rounds: exercises
+        // submission, the scheduler at both concurrency settings, and
+        // the speedup arithmetic.
+        let sb = bench_serve(1);
+        assert_eq!(sb.campaigns, SERVE_CAMPAIGNS);
+        assert_eq!(sb.trials_per_campaign, 1);
+        assert!(sb.submit_roundtrip_secs > 0.0);
+        assert!(sb.concurrent_trials_per_sec > 0.0);
+        assert!(sb.serial_trials_per_sec > 0.0);
     }
 
     #[test]

@@ -23,10 +23,17 @@
 use fastfit::observe::ProgressEvent;
 use fastfit::prelude::*;
 use fastfit_bench::{lammps_workload, npb_workload};
-use fastfit_store::{campaign_meta, read_store_meta, CampaignStore, StatusSnapshot};
+use fastfit_serve::{http_request, signal, CampaignSpec, ServeConfig, DEFAULT_ADDR};
+use fastfit_store::json::Json;
+use fastfit_store::telemetry::STATUS_FILE;
+use fastfit_store::{campaign_meta, read_store_meta, CampaignState, CampaignStore, StatusSnapshot};
 use simmpi::hook::{CallSite, ParamId};
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::Duration;
+
+/// Poll cadence for `status --watch` and `watch`.
+const WATCH_POLL: Duration = Duration::from_millis(500);
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -52,8 +59,12 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fastfit-cli <profile|campaign|point> --workload <IS|FT|MG|LU|CG|LAMMPS> [flags]\n\
-         \x20      fastfit-cli status <DIR>\n\
+         \x20      fastfit-cli status <DIR> [--watch]\n\
          \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
+         \x20      fastfit-cli serve  [--addr HOST:PORT] [--root DIR] [--budget N] [--max-campaigns K]\n\
+         \x20      fastfit-cli submit --workload <...> [campaign flags] [--seed N] [--app-seed N] [--addr HOST:PORT]\n\
+         \x20      fastfit-cli watch  <ID> [--addr HOST:PORT]\n\
+         \x20      fastfit-cli cancel <ID> [--addr HOST:PORT]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
                 --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
                 --fault-channel param|message (inject into call parameters or\n\
@@ -129,6 +140,8 @@ fn main() {
         "profile" => cmd_profile(&parse_flags(rest)),
         "campaign" => cmd_campaign(&parse_flags(rest)),
         "point" => cmd_point(&parse_flags(rest)),
+        "serve" => cmd_serve(&parse_flags(rest)),
+        "submit" => cmd_submit(&parse_flags(rest)),
         "status" | "resume" => {
             let Some((dir, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
             else {
@@ -137,12 +150,210 @@ fn main() {
             };
             let flags = parse_flags(flag_args);
             if cmd == "status" {
-                cmd_status(Path::new(dir));
+                cmd_status(Path::new(dir), flags.contains_key("watch"));
             } else {
                 cmd_resume(Path::new(dir), &flags);
             }
         }
+        "watch" | "cancel" => {
+            let Some((id, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
+            else {
+                eprintln!("{} needs a campaign ID", cmd);
+                usage()
+            };
+            let flags = parse_flags(flag_args);
+            if cmd == "watch" {
+                cmd_watch(id, &flags);
+            } else {
+                cmd_cancel(id, &flags);
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// The daemon address for the client verbs: `--addr` or the default.
+fn serve_addr(flags: &HashMap<String, String>) -> String {
+    flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn request_or_die(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &str)>,
+) -> fastfit_serve::Response {
+    http_request(addr, method, path, body).unwrap_or_else(|e| {
+        eprintln!("cannot reach fastfit-served at {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `fastfit-cli serve` — run the campaign service in the foreground until
+/// SIGINT/SIGTERM.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let mut cfg = ServeConfig::new(
+        flags
+            .get("root")
+            .cloned()
+            .unwrap_or_else(|| "fastfit-serve".into()),
+    );
+    if let Some(a) = flags.get("addr") {
+        cfg.addr = a.clone();
+    }
+    if let Some(b) = flags.get("budget").and_then(|s| s.parse().ok()) {
+        cfg.worker_budget = b;
+    }
+    if let Some(k) = flags.get("max-campaigns").and_then(|s| s.parse().ok()) {
+        cfg.max_campaigns = k;
+    }
+    if cfg.worker_budget == 0 || cfg.max_campaigns == 0 {
+        eprintln!("--budget and --max-campaigns must be at least 1");
+        std::process::exit(2);
+    }
+    signal::install_shutdown_handler();
+    let handle = fastfit_serve::start(cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("cannot start fastfit-served: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "fastfit-served listening on {} (root {}, budget {}, max {} concurrent campaigns)",
+        handle.addr(),
+        cfg.root.display(),
+        cfg.worker_budget,
+        cfg.max_campaigns
+    );
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("shutdown signal received, checkpointing running campaigns");
+    handle.shutdown();
+    std::process::exit(130);
+}
+
+/// `fastfit-cli submit` — build a campaign spec from the same flags the
+/// `campaign` verb takes and POST it to the daemon.
+fn cmd_submit(flags: &HashMap<String, String>) {
+    let workload = flags.get("workload").cloned().unwrap_or_else(|| usage());
+    let mut spec = CampaignSpec::new(workload);
+    spec.ranks = flags.get("ranks").and_then(|s| s.parse().ok());
+    spec.trials = flags.get("trials").and_then(|s| s.parse().ok());
+    spec.params = flags.get("params").map(|tok| {
+        ParamsMode::from_token(tok).unwrap_or_else(|| {
+            eprintln!("unknown params mode {tok:?}");
+            std::process::exit(2);
+        })
+    });
+    spec.fault_channel = flags.get("fault-channel").map(|tok| {
+        FaultChannel::from_token(tok).unwrap_or_else(|| {
+            eprintln!("unknown fault channel {tok:?} (param|message)");
+            std::process::exit(2);
+        })
+    });
+    if flags.contains_key("resilient-transport") {
+        spec.resilient = Some(true);
+    }
+    spec.seed = flags.get("seed").and_then(|s| s.parse().ok());
+    spec.app_seed = flags.get("app-seed").and_then(|s| s.parse().ok());
+    spec.steps = flags.get("steps").and_then(|s| s.parse().ok());
+    if flags.contains_key("ml") {
+        spec.ml_threshold = Some(
+            flags
+                .get("threshold")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.65),
+        );
+    }
+    let addr = serve_addr(flags);
+    let body = spec.to_json().encode();
+    let r = request_or_die(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(("application/json", &body)),
+    );
+    if r.status != 201 {
+        eprintln!("submission rejected ({}): {}", r.status, r.body.trim());
+        std::process::exit(1);
+    }
+    let id = Json::parse(&r.body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| {
+            eprintln!(
+                "daemon returned an unreadable submission receipt: {}",
+                r.body
+            );
+            std::process::exit(1);
+        });
+    println!("submitted campaign {id} to {addr}");
+    println!("follow it with: fastfit-cli watch {id} --addr {addr}");
+}
+
+/// The `state` token of a status body (full snapshot or minimal form).
+fn status_state(body: &str) -> String {
+    Json::parse(body)
+        .ok()
+        .and_then(|v| v.get("state").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
+/// Redraw a single-screen status view (shared by `watch` and
+/// `status --watch`).
+fn render_status_screen(header: &str, body: &str) {
+    println!("\x1b[2J\x1b[H{header}");
+    match Json::parse(body)
+        .ok()
+        .and_then(|v| StatusSnapshot::from_json(&v).ok())
+    {
+        Some(s) => print!("{}", s.render()),
+        None => println!("state: {}", status_state(body)),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+/// `fastfit-cli watch` — poll the daemon for a campaign's status until it
+/// reaches a terminal state.
+fn cmd_watch(id: &str, flags: &HashMap<String, String>) {
+    let addr = serve_addr(flags);
+    let mut last = String::new();
+    loop {
+        let r = request_or_die(&addr, "GET", &format!("/campaigns/{id}/status"), None);
+        if r.status != 200 {
+            eprintln!(
+                "status of {id} unavailable ({}): {}",
+                r.status,
+                r.body.trim()
+            );
+            std::process::exit(1);
+        }
+        if r.body != last {
+            render_status_screen(&format!("campaign {id} @ {addr}"), &r.body);
+            last = r.body.clone();
+        }
+        match status_state(&r.body).as_str() {
+            "done" => return,
+            "cancelled" | "failed" | "interrupted" => std::process::exit(1),
+            _ => std::thread::sleep(WATCH_POLL),
+        }
+    }
+}
+
+/// `fastfit-cli cancel` — ask the daemon to stop a campaign.
+fn cmd_cancel(id: &str, flags: &HashMap<String, String>) {
+    let addr = serve_addr(flags);
+    let r = request_or_die(&addr, "DELETE", &format!("/campaigns/{id}"), None);
+    match r.status {
+        200 => println!("campaign {id} cancelled (was still queued)"),
+        202 => println!("campaign {id} cancelling at the next trial boundary"),
+        s => {
+            eprintln!("cancel failed ({s}): {}", r.body.trim());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -261,10 +472,14 @@ fn run_ml_campaign(
                 MlTarget::ErrorType => pr.hist.dominant().index(),
                 MlTarget::RateLevels(k) => Levels::even(k).of(pr.error_rate()),
             };
-            observer.on_event(&ProgressEvent::PointFinished {
-                point: &points[i],
-                result: &pr,
-            });
+            // A cancellation mid-point leaves it partially measured; it
+            // must not journal as finished or a resume would trust it.
+            if !c.cancel_token().is_cancelled() {
+                observer.on_event(&ProgressEvent::PointFinished {
+                    point: &points[i],
+                    result: &pr,
+                });
+            }
             measured.push(pr);
             label
         },
@@ -331,6 +546,10 @@ fn cmd_campaign(flags: &HashMap<String, String>) {
         100.0 * c.total_reduction(),
         c.cfg.trials_per_point
     );
+    // Ctrl-C / SIGTERM stop the campaign at the next trial boundary; with
+    // a store present the journal is checkpointed for a later resume.
+    signal::install_shutdown_handler();
+    signal::cancel_on_shutdown(c.cancel_token());
 
     if flags.contains_key("ml") {
         let threshold = flags
@@ -347,9 +566,13 @@ fn cmd_campaign(flags: &HashMap<String, String>) {
                 let points = c.invocation_points();
                 let store = open_store(Path::new(&dir), &c, &points, Some((target, &ml_cfg)));
                 run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+                exit_if_interrupted(&c, Some(&store));
                 finish_store(&store);
             }
-            None => run_ml_campaign(&c, target, &ml_cfg, &csv, None),
+            None => {
+                run_ml_campaign(&c, target, &ml_cfg, &csv, None);
+                exit_if_interrupted(&c, None);
+            }
         }
         return;
     }
@@ -358,13 +581,17 @@ fn cmd_campaign(flags: &HashMap<String, String>) {
         Some(dir) => {
             let store = open_store(Path::new(&dir), &c, c.points(), None);
             run_plain_campaign(&c, &csv, Some(&store));
+            exit_if_interrupted(&c, Some(&store));
             finish_store(&store);
         }
-        None => run_plain_campaign(&c, &csv, None),
+        None => {
+            run_plain_campaign(&c, &csv, None);
+            exit_if_interrupted(&c, None);
+        }
     }
 }
 
-fn cmd_status(dir: &Path) {
+fn cmd_status(dir: &Path, watch: bool) {
     match read_store_meta(dir) {
         Ok((id, meta)) => {
             println!(
@@ -393,10 +620,56 @@ fn cmd_status(dir: &Path) {
             std::process::exit(1);
         }
     }
-    match StatusSnapshot::read_from(dir) {
-        Ok(s) => print!("{}", s.render()),
-        Err(e) => println!("no readable status.json yet ({})", e),
+    if !watch {
+        match StatusSnapshot::read_from(dir) {
+            Ok(s) => print!("{}", s.render()),
+            Err(e) => println!("no readable status.json yet ({})", e),
+        }
+        return;
     }
+    // --watch: re-render on every status.json mtime change, single-screen
+    // refresh, until the campaign leaves the running state.
+    let path = dir.join(STATUS_FILE);
+    let header = format!("store {}", dir.display());
+    let mut last_mtime = None;
+    loop {
+        let mtime = std::fs::metadata(&path)
+            .ok()
+            .and_then(|m| m.modified().ok());
+        if mtime != last_mtime {
+            last_mtime = mtime;
+            match std::fs::read_to_string(&path) {
+                Ok(body) => {
+                    render_status_screen(&header, &body);
+                    if status_state(&body) != CampaignState::Running.name() {
+                        return;
+                    }
+                }
+                Err(e) => println!("no readable status.json yet ({e})"),
+            }
+        }
+        std::thread::sleep(WATCH_POLL);
+    }
+}
+
+/// If a shutdown signal stopped the campaign mid-run, checkpoint the
+/// journal (state `interrupted`) when a store is present and exit 130
+/// like any interrupted foreground process. No-op otherwise.
+fn exit_if_interrupted(c: &Campaign, store: Option<&CampaignStore>) {
+    if !c.cancel_token().is_cancelled() {
+        return;
+    }
+    match store {
+        Some(s) => match s.checkpoint(CampaignState::Interrupted) {
+            Ok(()) => eprintln!(
+                "interrupted: journal checkpointed; resume with `fastfit-cli resume {}`",
+                s.dir().display()
+            ),
+            Err(e) => eprintln!("warning: interrupt checkpoint failed: {e}"),
+        },
+        None => eprintln!("interrupted (no --store: partial measurements are discarded)"),
+    }
+    std::process::exit(130);
 }
 
 /// Rebuild the campaign a store directory belongs to and run it to
@@ -442,6 +715,8 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
     apply_supervision_flags(&mut cfg, flags);
     let csv = flags.get("csv").cloned();
     let c = Campaign::prepare(w, cfg);
+    signal::install_shutdown_handler();
+    signal::cancel_on_shutdown(c.cancel_token());
     match &meta.ml {
         Some(ml_meta) => {
             let target = if ml_meta.target == "error_type" {
@@ -467,11 +742,13 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
             let points = c.invocation_points();
             let store = open_store(dir, &c, &points, Some((target, &ml_cfg)));
             run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+            exit_if_interrupted(&c, Some(&store));
             finish_store(&store);
         }
         None => {
             let store = open_store(dir, &c, c.points(), None);
             run_plain_campaign(&c, &csv, Some(&store));
+            exit_if_interrupted(&c, Some(&store));
             finish_store(&store);
         }
     }

@@ -28,8 +28,39 @@ use simmpi::arena::ArenaPool;
 use simmpi::control::HangKind;
 use simmpi::ctx::RankOutput;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobResult, JobSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle shared between a campaign and its
+/// controller (a service scheduler, a signal handler).
+///
+/// The campaign loops check the token **between trials** — never inside
+/// one — so cancellation always lands on a journal-record boundary: every
+/// trial the store has journaled is complete, and a cancelled campaign's
+/// directory is exactly as resumable as one interrupted by a crash. The
+/// token itself carries no policy; whoever observes `cancelled` on the
+/// result decides whether that means `cancelled` or `interrupted`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// between-trials check of every campaign holding a clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// A workload under study: the application plus the comparison tolerance
 /// for `WRONG_ANS` detection.
@@ -266,6 +297,10 @@ pub struct CampaignResult {
     pub quarantined: u64,
     /// Wall time of the injection phase.
     pub wall: Duration,
+    /// Whether the campaign was cancelled before measuring everything
+    /// (cooperative: the last journaled trial is complete, and the store
+    /// directory resumes like one interrupted by a crash).
+    pub cancelled: bool,
 }
 
 impl CampaignResult {
@@ -305,8 +340,12 @@ pub struct Campaign {
     /// Persistent rank-worker pool trials run on when
     /// [`CampaignConfig::reuse_workers`] is set. One arena per concurrent
     /// caller (rayon point-parallelism checks out distinct arenas), reused
-    /// across trials and points.
-    arena: ArenaPool,
+    /// across trials and points. Shared (`Arc`) so a multi-campaign
+    /// scheduler can hand several same-rank-count campaigns one pool.
+    arena: Arc<ArenaPool>,
+    /// Cooperative cancellation flag, checked between trials and between
+    /// points. Defaults to a private never-cancelled token.
+    cancel: CancelToken,
 }
 
 impl Campaign {
@@ -323,6 +362,28 @@ impl Campaign {
         cfg: CampaignConfig,
         observer: &dyn CampaignObserver,
     ) -> Campaign {
+        Campaign::prepare_with_pool(workload, cfg, observer, None)
+    }
+
+    /// As [`Campaign::prepare_observed`], running trials on a caller-owned
+    /// [`ArenaPool`] instead of a private one. The scheduler hook for a
+    /// campaign service: campaigns with the same rank count can share one
+    /// pool so idle arenas migrate between them instead of piling up
+    /// per-campaign. `pool.nranks()` must match the workload; `None`
+    /// creates a private pool (the classic behaviour).
+    pub fn prepare_with_pool(
+        workload: Workload,
+        cfg: CampaignConfig,
+        observer: &dyn CampaignObserver,
+        pool: Option<Arc<ArenaPool>>,
+    ) -> Campaign {
+        if let Some(p) = &pool {
+            assert_eq!(
+                p.nranks(),
+                workload.nranks,
+                "shared ArenaPool rank count must match the workload"
+            );
+        }
         let spec = JobSpec {
             nranks: workload.nranks,
             seed: workload.seed,
@@ -348,7 +409,7 @@ impl Campaign {
             phase: CampaignPhase::Prune,
             wall: t1.elapsed(),
         });
-        let arena = ArenaPool::new(workload.nranks);
+        let arena = pool.unwrap_or_else(|| Arc::new(ArenaPool::new(workload.nranks)));
         Campaign {
             workload,
             cfg,
@@ -361,7 +422,27 @@ impl Campaign {
             full_points,
             extractor,
             arena,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Install a cancellation token. Clones of the token held elsewhere
+    /// (a service scheduler, a signal watcher) cancel this campaign's
+    /// measurement loops at the next between-trials boundary.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The campaign's cancellation token (clone it to cancel from another
+    /// thread).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The worker pool this campaign runs trials on (shared with the
+    /// scheduler when prepared via [`Campaign::prepare_with_pool`]).
+    pub fn arena_pool(&self) -> &Arc<ArenaPool> {
+        &self.arena
     }
 
     /// Execute one trial job: on the persistent arena pool when
@@ -552,6 +633,12 @@ impl Campaign {
         let mut quarantined = 0u64;
         let mut retransmits = 0u64;
         for trial in 0..trials {
+            // Cancellation lands only on trial boundaries: every journaled
+            // trial is complete, so a cancelled directory resumes exactly
+            // like a crashed one.
+            if self.cancel.is_cancelled() {
+                break;
+            }
             // Every trial consumes its bit draw — including quarantined
             // ones — so the RNG stream stays aligned across resumes.
             let bit: u64 = rng.gen();
@@ -632,16 +719,28 @@ impl Campaign {
         });
         let measure = |(i, p): (usize, &InjectionPoint)| {
             let r = self.measure_point_observed(p, trials, self.point_seed(i), observer);
-            observer.on_event(&ProgressEvent::PointFinished {
-                point: p,
-                result: &r,
-            });
+            // A cancelled point is partial — don't journal it as finished.
+            if !self.cancel.is_cancelled() {
+                observer.on_event(&ProgressEvent::PointFinished {
+                    point: p,
+                    result: &r,
+                });
+            }
             r
         };
         let results: Vec<PointResult> = if self.cfg.parallel {
+            // In-flight points drain immediately once the token trips
+            // (each remaining trial loop breaks on entry).
             points.par_iter().enumerate().map(measure).collect()
         } else {
-            points.iter().enumerate().map(measure).collect()
+            let mut rs = Vec::with_capacity(points.len());
+            for entry in points.iter().enumerate() {
+                if self.cancel.is_cancelled() {
+                    break;
+                }
+                rs.push(measure(entry));
+            }
+            rs
         };
         let total_trials = results.iter().map(|r| r.hist.total()).sum();
         let quarantined = results.iter().map(|r| r.quarantined).sum();
@@ -654,6 +753,7 @@ impl Campaign {
             total_trials,
             quarantined,
             wall: t0.elapsed(),
+            cancelled: self.cancel.is_cancelled(),
         }
     }
 
@@ -726,10 +826,14 @@ impl Campaign {
                     MlTarget::ErrorType => pr.hist.dominant().index(),
                     MlTarget::RateLevels(k) => crate::response::Levels::even(k).of(pr.error_rate()),
                 };
-                observer.on_event(&ProgressEvent::PointFinished {
-                    point: &self.points()[i],
-                    result: &pr,
-                });
+                // After cancellation the loop drains with empty
+                // measurements; don't journal those as finished points.
+                if !self.cancel.is_cancelled() {
+                    observer.on_event(&ProgressEvent::PointFinished {
+                        point: &self.points()[i],
+                        result: &pr,
+                    });
+                }
                 measured_results.push(pr);
                 label
             },
@@ -754,6 +858,7 @@ impl Campaign {
                 total_trials,
                 quarantined,
                 wall: t0.elapsed(),
+                cancelled: self.cancel.is_cancelled(),
             },
             outcome,
         )
@@ -859,7 +964,74 @@ mod tests {
         let res = c.run_all();
         assert_eq!(res.results.len(), c.points().len());
         assert_eq!(res.total_trials, (c.points().len() * 6) as u64);
+        assert!(!res.cancelled);
         let agg = res.aggregate();
         assert_eq!(agg.total(), res.total_trials);
+    }
+
+    /// Observer that trips a cancel token after N fresh trials.
+    struct CancelAfter {
+        token: CancelToken,
+        after: usize,
+        seen: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CampaignObserver for CancelAfter {
+        fn replay(
+            &self,
+            _point: &InjectionPoint,
+            _trial: usize,
+            _bit: u64,
+        ) -> Option<TrialDisposition> {
+            None
+        }
+
+        fn on_event(&self, event: &ProgressEvent<'_>) {
+            if let ProgressEvent::TrialFinished { .. } = event {
+                let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+                if n >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_stops_between_trials_and_marks_result() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let obs = CancelAfter {
+            token: c.cancel_token(),
+            after: 3,
+            seen: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let res = c.run_all_observed(&obs);
+        assert!(res.cancelled);
+        // Exactly one more trial may land after the token trips (the one
+        // whose TrialFinished fired it); nothing else runs.
+        let ran: u64 = res
+            .results
+            .iter()
+            .map(|r| r.hist.total() + r.quarantined)
+            .sum();
+        assert!(ran <= 4, "ran {ran} trials after cancelling at 3");
+        assert!(ran >= 3);
+        // Full measurement would have been points * 6 trials.
+        assert!(ran < (c.points().len() * 6) as u64);
+    }
+
+    #[test]
+    fn shared_pool_campaigns_match_private_pool() {
+        let pool = Arc::new(ArenaPool::new(4));
+        let shared = Campaign::prepare_with_pool(
+            tiny_workload(4),
+            quick_cfg(),
+            &NullObserver,
+            Some(pool.clone()),
+        );
+        let private = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let a = shared.run_all();
+        let b = private.run_all();
+        assert_eq!(a.aggregate(), b.aggregate());
+        assert!(pool.idle() >= 1, "shared pool retains the arena");
     }
 }

@@ -56,8 +56,8 @@ pub mod supervise;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::campaign::{
-        ranks_from_env, Campaign, CampaignConfig, CampaignResult, PointResult, TrialOutcome,
-        Workload,
+        ranks_from_env, Campaign, CampaignConfig, CampaignResult, CancelToken, PointResult,
+        TrialOutcome, Workload,
     };
     pub use crate::export::{histograms_csv, maybe_write, points_csv, series_csv};
     pub use crate::fault::{FaultSpec, InjectorHook};

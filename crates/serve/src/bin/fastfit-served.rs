@@ -1,0 +1,82 @@
+//! fastfit-served — the FastFIT campaign service daemon.
+//!
+//! ```text
+//! fastfit-served [--addr HOST:PORT] [--root DIR] [--budget N]
+//!                [--max-campaigns K]
+//! ```
+//!
+//! Binds the control plane, recovers any unfinished submissions from the
+//! queue journal, and serves until SIGINT/SIGTERM. On a signal it stops
+//! accepting, cancels running campaigns at their next trial boundary,
+//! checkpoints their journals with state `interrupted`, and exits
+//! nonzero; a later start resumes them where they stopped.
+
+use fastfit_serve::daemon::{start, ServeConfig, DEFAULT_ADDR};
+use fastfit_serve::signal;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fastfit-served [--addr HOST:PORT] [--root DIR] [--budget N] [--max-campaigns K]\n\
+         defaults: --addr {DEFAULT_ADDR}  --root fastfit-serve  --budget 32  --max-campaigns 2"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::new("fastfit-serve");
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> &str {
+            if i + 1 >= args.len() {
+                usage();
+            }
+            &args[i + 1]
+        };
+        match args[i].as_str() {
+            "--addr" => cfg.addr = need_value(i).to_string(),
+            "--root" => cfg.root = need_value(i).into(),
+            "--budget" => {
+                cfg.worker_budget = need_value(i).parse().unwrap_or_else(|_| usage());
+            }
+            "--max-campaigns" => {
+                cfg.max_campaigns = need_value(i).parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    if cfg.worker_budget == 0 || cfg.max_campaigns == 0 {
+        eprintln!("--budget and --max-campaigns must be at least 1");
+        std::process::exit(2);
+    }
+
+    signal::install_shutdown_handler();
+    let handle = match start(cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fastfit-served: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fastfit-served listening on {} (root {}, budget {}, max {} concurrent campaigns)",
+        handle.addr(),
+        cfg.root.display(),
+        cfg.worker_budget,
+        cfg.max_campaigns
+    );
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("fastfit-served: shutdown signal received, checkpointing running campaigns");
+    handle.shutdown();
+    // Nonzero: the daemon was stopped, it did not finish its queue.
+    std::process::exit(130);
+}

@@ -1,0 +1,962 @@
+//! The campaign service daemon: a multi-campaign scheduler behind a
+//! thread-per-connection HTTP front end.
+//!
+//! ## Scheduling
+//!
+//! The scheduler owns a **global worker budget** (simulated ranks it may
+//! occupy at once) and admits queued campaigns in submission order while
+//! both limits hold: at most `max_campaigns` running, and the running
+//! campaigns' combined rank counts within the budget. A campaign wider
+//! than the whole budget is admitted only when nothing else runs, so an
+//! oversized submission degrades to serial execution instead of starving
+//! forever. Campaigns with the same rank count share one [`ArenaPool`]
+//! from a registry keyed by rank count — idle worker arenas migrate
+//! between campaigns instead of piling up per campaign.
+//!
+//! ## Durability
+//!
+//! Submissions are journaled to `queue.jsonl` (fsync per event) before
+//! they are acknowledged; per-campaign trial progress lives in each
+//! campaign's own store directory under `campaigns/<id>/`. Restart
+//! recovery is therefore two-layer: the queue log says *which* campaigns
+//! are still owed, and each campaign's journal replays *how far* it got
+//! — the ordinary checkpoint/resume path, which is what makes a daemon
+//! campaign journal byte-identical to a local run of the same spec.
+
+use crate::http::{read_request, write_response, Request};
+use crate::queue::{pending_submissions, read_queue, QueueEvent, QueueLog};
+use crate::spec::CampaignSpec;
+use crate::workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};
+use fastfit::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
+use fastfit::prelude::{
+    ml_driven_observed, points_csv, Campaign, CancelToken, InjectionPoint, Levels, MlConfig,
+    MlTarget, PointResult, TrialDisposition,
+};
+use fastfit_store::json::Json;
+use fastfit_store::telemetry::STATUS_FILE;
+use fastfit_store::{campaign_meta, CampaignState, CampaignStore, StoreError};
+use simmpi::arena::ArenaPool;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler poll cadence (admission retry, accept-loop poll).
+const SCHED_POLL: Duration = Duration::from_millis(50);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Daemon root: holds `queue.jsonl` and `campaigns/<id>/` stores.
+    pub root: PathBuf,
+    /// Global worker budget: simulated ranks the running campaigns may
+    /// occupy at once.
+    pub worker_budget: usize,
+    /// Campaigns allowed to run concurrently.
+    pub max_campaigns: usize,
+}
+
+impl ServeConfig {
+    /// A config rooted at `root` on the default address with modest
+    /// concurrency (two campaigns, 32 ranks of budget).
+    pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            root: root.into(),
+            worker_budget: 32,
+            max_campaigns: 2,
+        }
+    }
+}
+
+/// The default control-plane address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:8717";
+
+/// In-memory lifecycle of one submission (the queue log keeps only
+/// submit + terminal transitions; `Running`/`Interrupted` are
+/// reconstructible and deliberately not journaled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting for budget.
+    Queued,
+    /// A runner thread owns it.
+    Running,
+    /// Completed; `results.csv` and final `status.json` written.
+    Done,
+    /// Cooperatively cancelled.
+    Cancelled,
+    /// Could not run.
+    Failed(String),
+    /// Stopped by daemon shutdown after a clean checkpoint; re-queued on
+    /// the next start.
+    Interrupted,
+}
+
+impl EntryState {
+    /// Status token shown in listings and minimal status bodies.
+    pub fn token(&self) -> &'static str {
+        match self {
+            EntryState::Queued => "queued",
+            EntryState::Running => "running",
+            EntryState::Done => "done",
+            EntryState::Cancelled => "cancelled",
+            EntryState::Failed(_) => "failed",
+            EntryState::Interrupted => "interrupted",
+        }
+    }
+}
+
+struct Entry {
+    id: String,
+    spec: CampaignSpec,
+    /// Ranks this campaign will occupy (resolved at submit time for
+    /// admission arithmetic).
+    ranks: usize,
+    state: EntryState,
+    /// Cancellation token handed to the campaign when it runs.
+    cancel: CancelToken,
+    /// A `DELETE` arrived while running; the runner finalizes it as
+    /// `Cancelled` (vs. daemon shutdown, which finalizes `Interrupted`).
+    cancel_requested: bool,
+}
+
+struct SchedState {
+    entries: Vec<Entry>,
+    next_seq: u64,
+    log: QueueLog,
+}
+
+/// Monotone service counters behind `GET /metrics`.
+#[derive(Debug, Default)]
+struct Metrics {
+    accepted: AtomicU64,
+    done: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    /// Fresh (executed, not replayed) trials across all campaigns.
+    trials_fresh: AtomicU64,
+}
+
+/// The daemon. Shared by the accept loop, handler threads, the
+/// scheduler and every campaign runner.
+pub struct Daemon {
+    cfg: ServeConfig,
+    started: Instant,
+    state: Mutex<SchedState>,
+    /// Shared worker pools, keyed by rank count.
+    pools: Mutex<HashMap<usize, Arc<ArenaPool>>>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    /// Runner threads still alive (shutdown waits for zero).
+    runners: AtomicU64,
+}
+
+impl Daemon {
+    fn campaigns_dir(&self) -> PathBuf {
+        self.cfg.root.join("campaigns")
+    }
+
+    fn campaign_dir(&self, id: &str) -> PathBuf {
+        self.campaigns_dir().join(id)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn pool_for(&self, ranks: usize) -> Arc<ArenaPool> {
+        self.pools
+            .lock()
+            .expect("pool registry lock poisoned")
+            .entry(ranks)
+            .or_insert_with(|| Arc::new(ArenaPool::new(ranks)))
+            .clone()
+    }
+
+    /// Handle `POST /campaigns`.
+    fn submit(&self, body: &[u8]) -> (u16, Json) {
+        if self.is_shutting_down() {
+            return (503, err_json("daemon is shutting down"));
+        }
+        let parsed = std::str::from_utf8(body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(|text| Json::parse(text).map_err(|e| format!("invalid JSON: {e}")))
+            .and_then(|v| CampaignSpec::from_json(&v));
+        let spec = match parsed {
+            Ok(s) => s,
+            Err(e) => return (400, err_json(&e)),
+        };
+        if let Err(e) = validate_spec(&spec) {
+            return (400, err_json(&e));
+        }
+        let ranks = spec.ranks.unwrap_or_else(crate::workload::default_ranks);
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let seq = st.next_seq;
+        let id = format!("c{seq:04}");
+        let event = QueueEvent::Submitted {
+            id: id.clone(),
+            seq,
+            spec: spec.clone(),
+        };
+        // Durable before acknowledged: an id the client has seen must
+        // survive kill -9.
+        if let Err(e) = st.log.append(&event) {
+            return (500, err_json(&format!("queue journal write failed: {e}")));
+        }
+        st.next_seq = seq + 1;
+        st.entries.push(Entry {
+            id: id.clone(),
+            spec,
+            ranks,
+            state: EntryState::Queued,
+            cancel: CancelToken::new(),
+            cancel_requested: false,
+        });
+        drop(st);
+        self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        (201, Json::obj([("id", Json::Str(id))]))
+    }
+
+    /// Handle `GET /campaigns`.
+    fn list(&self) -> Json {
+        let st = self.state.lock().expect("scheduler lock poisoned");
+        let items = st
+            .entries
+            .iter()
+            .map(|e| {
+                let shown = if e.cancel_requested && e.state == EntryState::Running {
+                    "cancelling"
+                } else {
+                    e.state.token()
+                };
+                Json::obj([
+                    ("id", Json::Str(e.id.clone())),
+                    ("workload", Json::Str(e.spec.workload.clone())),
+                    ("ranks", Json::U64(e.ranks as u64)),
+                    ("state", Json::Str(shown.into())),
+                ])
+            })
+            .collect();
+        Json::Arr(items)
+    }
+
+    /// Handle `GET /campaigns/{id}/status`: the campaign's `status.json`
+    /// bytes verbatim once the store has written one; before that (and
+    /// for failed campaigns that never opened a store) a minimal object
+    /// carrying the scheduler's view.
+    fn status(&self, id: &str) -> Option<(u16, String)> {
+        let state = {
+            let st = self.state.lock().expect("scheduler lock poisoned");
+            st.entries.iter().find(|e| e.id == id)?.state.clone()
+        };
+        // A failed campaign's status.json (if it got far enough to have
+        // one) froze at whatever the store last wrote; the scheduler's
+        // verdict is the truth, so serve it instead.
+        if let EntryState::Failed(e) = &state {
+            let body = Json::obj([
+                ("state", Json::Str("failed".into())),
+                ("error", Json::Str(e.clone())),
+            ]);
+            return Some((200, body.encode() + "\n"));
+        }
+        let path = self.campaign_dir(id).join(STATUS_FILE);
+        if let Ok(bytes) = std::fs::read_to_string(&path) {
+            return Some((200, bytes));
+        }
+        let body = Json::obj([("state", Json::Str(state.token().into()))]);
+        Some((200, body.encode() + "\n"))
+    }
+
+    /// Handle `DELETE /campaigns/{id}`.
+    fn cancel(&self, id: &str) -> (u16, Json) {
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let Some(entry) = st.entries.iter_mut().find(|e| e.id == id) else {
+            return (404, err_json("no such campaign"));
+        };
+        match entry.state {
+            EntryState::Queued => {
+                entry.state = EntryState::Cancelled;
+                let ev = QueueEvent::Cancelled { id: id.to_string() };
+                if let Err(e) = st.log.append(&ev) {
+                    return (500, err_json(&format!("queue journal write failed: {e}")));
+                }
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                (200, Json::obj([("state", Json::Str("cancelled".into()))]))
+            }
+            EntryState::Running => {
+                entry.cancel_requested = true;
+                entry.cancel.cancel();
+                (202, Json::obj([("state", Json::Str("cancelling".into()))]))
+            }
+            _ => (
+                409,
+                err_json(&format!("campaign is already {}", entry.state.token())),
+            ),
+        }
+    }
+
+    /// Handle `GET /metrics` (text, one `name value` per line).
+    fn metrics_text(&self) -> String {
+        let (queued, running, occupancy) = {
+            let st = self.state.lock().expect("scheduler lock poisoned");
+            let queued = st
+                .entries
+                .iter()
+                .filter(|e| e.state == EntryState::Queued)
+                .count();
+            let running: Vec<&Entry> = st
+                .entries
+                .iter()
+                .filter(|e| e.state == EntryState::Running)
+                .collect();
+            let occupancy: usize = running.iter().map(|e| e.ranks).sum();
+            (queued, running.len(), occupancy)
+        };
+        let busy: u64 = self
+            .pools
+            .lock()
+            .expect("pool registry lock poisoned")
+            .values()
+            .map(|p| p.busy_workers())
+            .sum();
+        let trials = self.metrics.trials_fresh.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let tps = if elapsed > 0.0 {
+            trials as f64 / elapsed
+        } else {
+            0.0
+        };
+        format!(
+            "campaigns_accepted {}\n\
+             campaigns_queued {}\n\
+             campaigns_running {}\n\
+             campaigns_done {}\n\
+             campaigns_cancelled {}\n\
+             campaigns_failed {}\n\
+             trials_total {}\n\
+             trials_per_sec {:.3}\n\
+             worker_budget {}\n\
+             worker_occupancy {}\n\
+             pool_workers_busy {}\n",
+            self.metrics.accepted.load(Ordering::Relaxed),
+            queued,
+            running,
+            self.metrics.done.load(Ordering::Relaxed),
+            self.metrics.cancelled.load(Ordering::Relaxed),
+            self.metrics.failed.load(Ordering::Relaxed),
+            trials,
+            tps,
+            self.cfg.worker_budget,
+            occupancy,
+            busy,
+        )
+    }
+
+    /// One admission decision: pick the first queued campaign that fits
+    /// the budget. Returns its id, token and spec for the runner.
+    fn admit(&self) -> Option<(String, CampaignSpec, CancelToken)> {
+        if self.is_shutting_down() {
+            return None;
+        }
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let running: Vec<usize> = st
+            .entries
+            .iter()
+            .filter(|e| e.state == EntryState::Running)
+            .map(|e| e.ranks)
+            .collect();
+        if running.len() >= self.cfg.max_campaigns {
+            return None;
+        }
+        let occupancy: usize = running.iter().sum();
+        let budget = self.cfg.worker_budget;
+        let idx = st.entries.iter().position(|e| {
+            e.state == EntryState::Queued
+                // Fits, or nothing is running (an oversized campaign
+                // must not starve — it just runs alone).
+                && (occupancy + e.ranks <= budget || occupancy == 0)
+        })?;
+        let entry = &mut st.entries[idx];
+        entry.state = EntryState::Running;
+        Some((entry.id.clone(), entry.spec.clone(), entry.cancel.clone()))
+    }
+
+    /// Record a runner's terminal transition (and journal it when the
+    /// queue log owes one).
+    fn finish(&self, id: &str, state: EntryState) {
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let event = match &state {
+            EntryState::Done => {
+                self.metrics.done.fetch_add(1, Ordering::Relaxed);
+                Some(QueueEvent::Done { id: id.to_string() })
+            }
+            EntryState::Cancelled => {
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                Some(QueueEvent::Cancelled { id: id.to_string() })
+            }
+            EntryState::Failed(e) => {
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Some(QueueEvent::Failed {
+                    id: id.to_string(),
+                    error: e.clone(),
+                })
+            }
+            // Interrupted is deliberately not journaled: the submission
+            // is still owed, and the next start re-queues it.
+            _ => None,
+        };
+        if let Some(ev) = &event {
+            if let Err(e) = st.log.append(ev) {
+                eprintln!("fastfit-served: queue journal write failed: {e}");
+            }
+        }
+        if let Some(entry) = st.entries.iter_mut().find(|e| e.id == id) {
+            entry.state = state;
+        }
+    }
+
+    /// Run one campaign to a terminal state. Everything that can fail
+    /// returns an error string; the caller turns panics and errors into
+    /// `Failed`.
+    fn run_campaign(&self, id: &str, spec: &CampaignSpec, token: CancelToken) -> RunResult {
+        validate_spec(spec).map_err(RunError::Fatal)?;
+        let workload = resolve_workload(spec);
+        let cfg = resolve_config(spec);
+        let pool = self.pool_for(workload.nranks);
+        let mut campaign = Campaign::prepare_with_pool(workload, cfg, &NullObserver, Some(pool));
+        // Close the admit/shutdown race: a shutdown that landed while the
+        // golden run was preparing must still stop this campaign.
+        if self.is_shutting_down() {
+            token.cancel();
+        }
+        campaign.set_cancel_token(token);
+        let dir = self.campaign_dir(id);
+        let ml = resolve_ml(spec);
+        let (points, ml_ref): (Vec<InjectionPoint>, _) = match &ml {
+            Some((target, ml_cfg)) => (campaign.invocation_points(), Some((*target, ml_cfg))),
+            None => (campaign.points().to_vec(), None),
+        };
+        let meta = campaign_meta(&campaign, &points, ml_ref);
+        let store = CampaignStore::open(&dir, meta).map_err(store_err)?;
+        // The profile phase ran during prepare (the store's identity
+        // needs the pruned points); backfill its timing.
+        store.on_event(&ProgressEvent::PhaseFinished {
+            phase: CampaignPhase::Profile,
+            wall: campaign.golden_wall,
+        });
+        let observer = RunnerObserver {
+            store: &store,
+            metrics: &self.metrics,
+        };
+        let results = match &ml {
+            None => campaign.run_all_observed(&observer).results,
+            Some((target, ml_cfg)) => {
+                run_ml_observed(&campaign, &points, *target, ml_cfg, &observer)
+            }
+        };
+        if campaign.cancel_token().is_cancelled() {
+            // Shutdown interrupts; an explicit DELETE cancels. Same
+            // checkpoint, different lifecycle state.
+            let state = if self.is_shutting_down() {
+                CampaignState::Interrupted
+            } else {
+                CampaignState::Cancelled
+            };
+            store.checkpoint(state).map_err(store_err)?;
+            return match state {
+                CampaignState::Interrupted => Ok(EntryState::Interrupted),
+                _ => Ok(EntryState::Cancelled),
+            };
+        }
+        let csv = points_csv(&results, campaign.cfg.fault_channel);
+        std::fs::write(dir.join("results.csv"), csv)
+            .map_err(|e| RunError::Fatal(format!("cannot write results.csv: {e}")))?;
+        store.finish().map_err(store_err)?;
+        Ok(EntryState::Done)
+    }
+}
+
+/// Error from one campaign run.
+enum RunError {
+    Fatal(String),
+}
+
+type RunResult = Result<EntryState, RunError>;
+
+fn store_err(e: StoreError) -> RunError {
+    RunError::Fatal(format!("store error: {e}"))
+}
+
+/// Best-effort human-readable text from a runner panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "runner panicked".to_string()
+    }
+}
+
+fn err_json(msg: &str) -> Json {
+    Json::obj([("error", Json::Str(msg.into()))])
+}
+
+/// The measurement loop of an ML-driven campaign, identical to the
+/// CLI's: the §III-C feedback loop over the post-semantic invocation
+/// population with the CLI's per-point seeds (`0xC11 + i`), so a spec
+/// submitted to the daemon journals byte-identically to `fastfit-cli
+/// campaign --ml` with the same knobs.
+fn run_ml_observed(
+    campaign: &Campaign,
+    points: &[InjectionPoint],
+    target: MlTarget,
+    ml_cfg: &MlConfig,
+    observer: &dyn CampaignObserver,
+) -> Vec<PointResult> {
+    let features: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| campaign.extractor.features(p))
+        .collect();
+    let trials = campaign.cfg.trials_per_point;
+    let t0 = Instant::now();
+    observer.on_event(&ProgressEvent::MeasureStarted {
+        points_total: points.len(),
+        trials_per_point: trials,
+    });
+    let cancel = campaign.cancel_token();
+    let mut measured = Vec::new();
+    let _ = ml_driven_observed(
+        &features,
+        target,
+        |i| {
+            let pr =
+                campaign.measure_point_observed(&points[i], trials, 0xC11 + i as u64, observer);
+            let label = match target {
+                MlTarget::ErrorType => pr.hist.dominant().index(),
+                MlTarget::RateLevels(k) => Levels::even(k).of(pr.error_rate()),
+            };
+            if !cancel.is_cancelled() {
+                observer.on_event(&ProgressEvent::PointFinished {
+                    point: &points[i],
+                    result: &pr,
+                });
+            }
+            measured.push(pr);
+            label
+        },
+        ml_cfg,
+        |round, n_measured, accuracy| {
+            observer.on_event(&ProgressEvent::LearnRound {
+                round,
+                measured: n_measured,
+                accuracy,
+            });
+        },
+    );
+    observer.on_event(&ProgressEvent::PhaseFinished {
+        phase: CampaignPhase::Learn,
+        wall: t0.elapsed(),
+    });
+    measured
+}
+
+/// Observer composing the campaign store with the daemon's service
+/// counters.
+struct RunnerObserver<'a> {
+    store: &'a CampaignStore,
+    metrics: &'a Metrics,
+}
+
+impl CampaignObserver for RunnerObserver<'_> {
+    fn replay(&self, point: &InjectionPoint, trial: usize, bit: u64) -> Option<TrialDisposition> {
+        self.store.replay(point, trial, bit)
+    }
+
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        if let ProgressEvent::TrialFinished {
+            replayed: false, ..
+        } = event
+        {
+            self.metrics.trials_fresh.fetch_add(1, Ordering::Relaxed);
+        }
+        self.store.on_event(event);
+    }
+}
+
+/// A started daemon: the handle the binary and the tests hold.
+pub struct DaemonHandle {
+    daemon: Arc<Daemon>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon itself (metrics, state inspection).
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.daemon
+    }
+
+    /// Ask the daemon to stop: new submissions get 503, running
+    /// campaigns are cancelled (checkpointing as `interrupted`), the
+    /// accept and scheduler loops wind down.
+    pub fn request_shutdown(&self) {
+        self.daemon.shutdown.store(true, Ordering::SeqCst);
+        let st = self.daemon.state.lock().expect("scheduler lock poisoned");
+        for e in st.entries.iter().filter(|e| e.state == EntryState::Running) {
+            e.cancel.cancel();
+        }
+    }
+
+    /// Request shutdown and wait for every thread (including campaign
+    /// runners, which finish their in-flight trial and checkpoint).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        while self.daemon.runners.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(SCHED_POLL);
+        }
+    }
+}
+
+/// Start a daemon: recover the queue, bind the listener, spawn the
+/// accept and scheduler loops.
+pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
+    std::fs::create_dir_all(cfg.root.join("campaigns"))?;
+    let events = read_queue(&cfg.root).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("queue recovery failed in {}: {e}", cfg.root.display()),
+        )
+    })?;
+    let (pending, next_seq) = pending_submissions(&events);
+    // Rebuild the full listing (terminal states included) so a restarted
+    // daemon still answers GET /campaigns for past work.
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut accepted = 0u64;
+    let (mut done, mut cancelled, mut failed) = (0u64, 0u64, 0u64);
+    for ev in &events {
+        match ev {
+            QueueEvent::Submitted { id, spec, .. } => {
+                accepted += 1;
+                entries.push(Entry {
+                    id: id.clone(),
+                    ranks: spec.ranks.unwrap_or_else(crate::workload::default_ranks),
+                    spec: spec.clone(),
+                    state: EntryState::Queued,
+                    cancel: CancelToken::new(),
+                    cancel_requested: false,
+                });
+            }
+            QueueEvent::Done { id } => {
+                done += 1;
+                set_state(&mut entries, id, EntryState::Done);
+            }
+            QueueEvent::Cancelled { id } => {
+                cancelled += 1;
+                set_state(&mut entries, id, EntryState::Cancelled);
+            }
+            QueueEvent::Failed { id, error } => {
+                failed += 1;
+                set_state(&mut entries, id, EntryState::Failed(error.clone()));
+            }
+        }
+    }
+    let recovered = pending.len();
+    let log = QueueLog::open(&cfg.root)?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let daemon = Arc::new(Daemon {
+        cfg,
+        started: Instant::now(),
+        state: Mutex::new(SchedState {
+            entries,
+            next_seq,
+            log,
+        }),
+        pools: Mutex::new(HashMap::new()),
+        metrics: Metrics {
+            accepted: AtomicU64::new(accepted),
+            done: AtomicU64::new(done),
+            cancelled: AtomicU64::new(cancelled),
+            failed: AtomicU64::new(failed),
+            trials_fresh: AtomicU64::new(0),
+        },
+        shutdown: AtomicBool::new(false),
+        runners: AtomicU64::new(0),
+    });
+    if recovered > 0 {
+        eprintln!("fastfit-served: recovered {recovered} unfinished campaign(s) from the queue");
+    }
+
+    let accept_daemon = daemon.clone();
+    let accept = std::thread::Builder::new()
+        .name("fastfit-accept".into())
+        .spawn(move || accept_loop(listener, accept_daemon))?;
+
+    let sched_daemon = daemon.clone();
+    let scheduler = std::thread::Builder::new()
+        .name("fastfit-scheduler".into())
+        .spawn(move || scheduler_loop(sched_daemon))?;
+
+    Ok(DaemonHandle {
+        daemon,
+        addr,
+        accept: Some(accept),
+        scheduler: Some(scheduler),
+    })
+}
+
+fn set_state(entries: &mut [Entry], id: &str, state: EntryState) {
+    if let Some(e) = entries.iter_mut().find(|e| e.id == id) {
+        e.state = state;
+    }
+}
+
+fn accept_loop(listener: TcpListener, daemon: Arc<Daemon>) {
+    loop {
+        if daemon.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let d = daemon.clone();
+                let _ = std::thread::Builder::new()
+                    .name("fastfit-http".into())
+                    .spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        match read_request(&mut stream) {
+                            Ok(req) => handle(&d, &req, &mut stream),
+                            Err(e) => {
+                                let body = err_json(&e.to_string()).encode();
+                                let _ = write_response(
+                                    &mut stream,
+                                    400,
+                                    "application/json",
+                                    body.as_bytes(),
+                                );
+                            }
+                        }
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SCHED_POLL);
+            }
+            Err(e) => {
+                eprintln!("fastfit-served: accept failed: {e}");
+                std::thread::sleep(SCHED_POLL);
+            }
+        }
+    }
+}
+
+fn scheduler_loop(daemon: Arc<Daemon>) {
+    loop {
+        if daemon.is_shutting_down() {
+            return;
+        }
+        match daemon.admit() {
+            Some((id, spec, token)) => {
+                daemon.runners.fetch_add(1, Ordering::SeqCst);
+                let d = daemon.clone();
+                let run_id = id.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("fastfit-run-{id}"))
+                    .spawn(move || {
+                        let id = run_id;
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                d.run_campaign(&id, &spec, token)
+                            }));
+                        let state = match outcome {
+                            Ok(Ok(state)) => state,
+                            Ok(Err(RunError::Fatal(e))) => EntryState::Failed(e),
+                            Err(panic) => EntryState::Failed(panic_text(&panic)),
+                        };
+                        d.finish(&id, state);
+                        d.runners.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    daemon.runners.fetch_sub(1, Ordering::SeqCst);
+                    daemon.finish(&id, EntryState::Failed("cannot spawn runner".into()));
+                }
+            }
+            None => std::thread::sleep(SCHED_POLL),
+        }
+    }
+}
+
+/// Route one request.
+fn handle(daemon: &Daemon, req: &Request, stream: &mut std::net::TcpStream) {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let respond_json = |stream: &mut std::net::TcpStream, status: u16, body: Json| {
+        let text = body.encode() + "\n";
+        let _ = write_response(stream, status, "application/json", text.as_bytes());
+    };
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["campaigns"]) => {
+            let (status, body) = daemon.submit(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("GET", ["campaigns"]) => respond_json(stream, 200, daemon.list()),
+        ("GET", ["campaigns", id, "status"]) => match daemon.status(id) {
+            Some((status, body)) => {
+                let _ = write_response(stream, status, "application/json", body.as_bytes());
+            }
+            None => respond_json(stream, 404, err_json("no such campaign")),
+        },
+        ("GET", ["campaigns", id, "results.csv"]) => {
+            match std::fs::read(daemon.campaign_dir(id).join("results.csv")) {
+                Ok(bytes) => {
+                    let _ = write_response(stream, 200, "text/csv", &bytes);
+                }
+                Err(_) => respond_json(stream, 404, err_json("no results yet")),
+            }
+        }
+        ("DELETE", ["campaigns", id]) => {
+            let (status, body) = daemon.cancel(id);
+            respond_json(stream, status, body);
+        }
+        ("GET", ["metrics"]) => {
+            let text = daemon.metrics_text();
+            let _ = write_response(stream, 200, "text/plain", text.as_bytes());
+        }
+        (_, ["campaigns", ..]) | (_, ["metrics"]) => {
+            respond_json(stream, 405, err_json("method not allowed"));
+        }
+        _ => respond_json(stream, 404, err_json("no such endpoint")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_request;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fastfit-daemon-{}-{}-{:?}",
+            tag,
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ephemeral(root: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            root: root.to_path_buf(),
+            worker_budget: 8,
+            max_campaigns: 2,
+        }
+    }
+
+    #[test]
+    fn control_plane_rejects_garbage() {
+        let root = tmp_root("reject");
+        let h = start(ephemeral(&root)).unwrap();
+        let addr = h.addr().to_string();
+        let r = http_request(
+            &addr,
+            "POST",
+            "/campaigns",
+            Some(("application/json", "nope")),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        let r = http_request(
+            &addr,
+            "POST",
+            "/campaigns",
+            Some(("application/json", "{\"workload\":\"HPL\"}")),
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("unknown workload"));
+        let r = http_request(&addr, "GET", "/campaigns/c9999/status", None).unwrap();
+        assert_eq!(r.status, 404);
+        let r = http_request(&addr, "DELETE", "/campaigns/c9999", None).unwrap();
+        assert_eq!(r.status, 404);
+        let r = http_request(&addr, "PUT", "/metrics", None).unwrap();
+        assert_eq!(r.status, 405);
+        let r = http_request(&addr, "GET", "/teapot", None).unwrap();
+        assert_eq!(r.status, 404);
+        let r = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("campaigns_accepted 0"));
+        assert!(r.body.contains("worker_budget 8"));
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancel_queued_campaign_without_running_it() {
+        let root = tmp_root("cancel-queued");
+        // Zero-budget daemon: nothing is ever admitted, so the
+        // submission stays queued for as long as we need.
+        let cfg = ServeConfig {
+            max_campaigns: 0,
+            ..ephemeral(&root)
+        };
+        let h = start(cfg).unwrap();
+        let addr = h.addr().to_string();
+        let r = http_request(
+            &addr,
+            "POST",
+            "/campaigns",
+            Some(("application/json", "{\"workload\":\"IS\",\"ranks\":2}")),
+        )
+        .unwrap();
+        assert_eq!(r.status, 201);
+        let id = Json::parse(&r.body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let r = http_request(&addr, "GET", &format!("/campaigns/{id}/status"), None).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("queued"), "{}", r.body);
+        let r = http_request(&addr, "DELETE", &format!("/campaigns/{id}"), None).unwrap();
+        assert_eq!(r.status, 200);
+        // Cancelling twice is a conflict.
+        let r = http_request(&addr, "DELETE", &format!("/campaigns/{id}"), None).unwrap();
+        assert_eq!(r.status, 409);
+        let r = http_request(&addr, "GET", "/campaigns", None).unwrap();
+        assert!(r.body.contains("cancelled"), "{}", r.body);
+        h.shutdown();
+        // The cancellation is durable: a restarted daemon does not
+        // re-run the campaign.
+        let h = start(ServeConfig {
+            max_campaigns: 0,
+            ..ephemeral(&root)
+        })
+        .unwrap();
+        let r = http_request(&h.addr().to_string(), "GET", "/campaigns", None).unwrap();
+        assert!(r.body.contains("cancelled"), "{}", r.body);
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,278 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net` — just enough
+//! protocol for the campaign control plane, with zero dependencies so the
+//! workspace keeps building offline.
+//!
+//! Supported: one request per connection (`Connection: close` semantics),
+//! request bodies via `Content-Length`, status codes the daemon emits.
+//! Not supported, on purpose: keep-alive, chunked encoding, TLS,
+//! multipart — a campaign scheduler does not need them, and every feature
+//! here is one more thing the e2e tests must pin down.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Upper bound on a request/response body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Socket read/write timeout: a stuck peer must not wedge a handler
+/// thread (server) or a CLI verb (client) forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query, no normalization).
+    pub path: String,
+    /// Raw body bytes (empty when the request has none).
+    pub body: Vec<u8>,
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body as text.
+    pub body: String,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read bytes until the `\r\n\r\n` head terminator, returning
+/// `(head, leftover-body-bytes-already-read)`.
+fn read_head(stream: &mut TcpStream) -> io::Result<(String, Vec<u8>)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = find_head_end(&buf) {
+            let head = String::from_utf8(buf[..pos].to_vec())
+                .map_err(|_| bad("request head is not UTF-8"))?;
+            return Ok((head, buf[pos + 4..].to_vec()));
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the `Content-Length` header out of a request or response head
+/// (case-insensitive name, as the RFC requires).
+fn content_length(head: &str) -> io::Result<Option<usize>> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                let n: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid Content-Length"))?;
+                return Ok(Some(n));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn read_body(stream: &mut TcpStream, mut body: Vec<u8>, want: usize) -> io::Result<Vec<u8>> {
+    if want > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    while body.len() < want {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(want);
+    Ok(body)
+}
+
+/// Read and parse one request from an accepted connection.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let (head, leftover) = read_head(stream)?;
+    let request_line = head.lines().next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let path = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported version {version:?}")));
+    }
+    let body = match content_length(&head)? {
+        Some(n) => read_body(stream, leftover, n)?,
+        None => Vec::new(),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes the daemon uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response and flush. The connection is closed by the
+/// caller dropping the stream (one request per connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The built-in client: one request, one response, connection closed.
+/// `body` is `Some((content_type, payload))` for POST-style requests.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &str)>,
+) -> io::Result<Response> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad(format!("cannot resolve {addr:?}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let (ctype, payload) = body.unwrap_or(("", ""));
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if body.is_some() {
+        req.push_str(&format!(
+            "Content-Type: {ctype}\r\nContent-Length: {}\r\n",
+            payload.len()
+        ));
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream
+        .take((MAX_HEAD + MAX_BODY) as u64)
+        .read_to_end(&mut raw)?;
+    let head_end = find_head_end(&raw).ok_or_else(|| bad("response has no head terminator"))?;
+    let head =
+        String::from_utf8(raw[..head_end].to_vec()).map_err(|_| bad("response head not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+    let mut body_bytes = raw[head_end + 4..].to_vec();
+    if let Some(n) = content_length(&head)? {
+        body_bytes.truncate(n);
+    }
+    let body = String::from_utf8(body_bytes).map_err(|_| bad("response body not UTF-8"))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One server turn: accept, parse, echo the request back as JSON-ish
+    /// text, close.
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            let body = format!(
+                "{} {} {}",
+                req.method,
+                req.path,
+                String::from_utf8_lossy(&req.body)
+            );
+            write_response(&mut stream, 200, "text/plain", body.as_bytes()).unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (addr, server) = echo_server();
+        let resp = http_request(
+            &addr.to_string(),
+            "POST",
+            "/campaigns",
+            Some(("application/json", "{\"workload\":\"IS\"}")),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "POST /campaigns {\"workload\":\"IS\"}");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let (addr, server) = echo_server();
+        let resp = http_request(&addr.to_string(), "GET", "/metrics", None).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "GET /metrics ");
+    }
+
+    #[test]
+    fn header_parsing_is_case_insensitive() {
+        assert_eq!(
+            content_length("GET / HTTP/1.1\r\ncOnTeNt-LeNgTh: 42\r\n").unwrap(),
+            Some(42)
+        );
+        assert_eq!(content_length("GET / HTTP/1.1\r\n").unwrap(), None);
+        assert!(content_length("GET / HTTP/1.1\r\nContent-Length: nope\r\n").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! fastfit-serve — the FastFIT campaign service.
+//!
+//! A pure-`std` daemon (`fastfit-served`) that accepts campaign
+//! submissions over a minimal HTTP/1.1 control plane, schedules up to K
+//! campaigns concurrently under a global worker budget, shares worker
+//! [`ArenaPool`]s between campaigns of the same rank count, and journals
+//! every submission durably so `kill -9` + restart resumes both the
+//! queue and each campaign's trial-level progress.
+//!
+//! The load-bearing property is determinism: a campaign run through the
+//! daemon journals **byte-identically** to the same campaign run locally
+//! with `fastfit-cli campaign`. Scheduling affects *when* a campaign
+//! runs, never *what* it measures — spec resolution mirrors the CLI's
+//! flag handling exactly ([`workload`]), and per-trial fault selection is
+//! seeded per point, not per schedule.
+//!
+//! Module map:
+//!
+//! - [`http`] — hand-rolled HTTP/1.1 reader/writer + tiny client.
+//! - [`spec`] — the `POST /campaigns` submission document.
+//! - [`workload`] — spec → `Workload`/`CampaignConfig` resolution.
+//! - [`queue`] — the durable submission queue (`queue.jsonl`).
+//! - [`daemon`] — scheduler, runners, and the HTTP route table.
+//! - [`signal`] — SIGINT/SIGTERM → cooperative cancellation.
+//!
+//! [`ArenaPool`]: simmpi::arena::ArenaPool
+
+pub mod daemon;
+pub mod http;
+pub mod queue;
+pub mod signal;
+pub mod spec;
+pub mod workload;
+
+pub use daemon::{start, DaemonHandle, EntryState, ServeConfig, DEFAULT_ADDR};
+pub use http::{http_request, Response};
+pub use queue::{pending_submissions, read_queue, QueueEvent, QueueLog};
+pub use spec::CampaignSpec;
+pub use workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};

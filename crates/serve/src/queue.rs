@@ -1,0 +1,299 @@
+//! The daemon's durable submission queue: `queue.jsonl`.
+//!
+//! An append-only event log, one JSON object per line, fsynced per
+//! append (submissions are rare; durability beats throughput here):
+//!
+//! ```text
+//! {"t":"submit","id":"c0001","seq":1,"spec":{"workload":"IS",...}}
+//! {"t":"done","id":"c0001"}
+//! {"t":"cancelled","id":"c0002"}
+//! {"t":"failed","id":"c0003","error":"..."}
+//! ```
+//!
+//! Restart recovery is a pure fold over the log: a `submit` without a
+//! terminal event is work the daemon still owes — re-enqueued on the
+//! next start, where the campaign's own store journal supplies the
+//! trial-level progress via the ordinary resume path. Note what is *not*
+//! here: no "running" event. Transitioning to running durably would add
+//! a write per schedule for no recovery value — a campaign that was
+//! running when the daemon died must be re-run (resumed) either way.
+//!
+//! Like the trial journal, the reader tolerates a torn final line
+//! (`kill -9` mid-append) but refuses corruption anywhere else.
+
+use crate::spec::CampaignSpec;
+use fastfit_store::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Queue log file name inside the daemon root.
+pub const QUEUE_FILE: &str = "queue.jsonl";
+
+/// One queue event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueEvent {
+    /// A campaign was accepted: daemon-assigned `id` (sequential, so two
+    /// submissions of the *same spec* remain distinct campaigns) plus the
+    /// spec verbatim.
+    Submitted {
+        /// Daemon-assigned campaign ID (`cNNNN`).
+        id: String,
+        /// Monotone submission sequence number.
+        seq: u64,
+        /// The submitted spec.
+        spec: CampaignSpec,
+    },
+    /// The campaign ran to completion.
+    Done {
+        /// Campaign ID.
+        id: String,
+    },
+    /// The campaign was cooperatively cancelled.
+    Cancelled {
+        /// Campaign ID.
+        id: String,
+    },
+    /// The campaign could not run (bad spec reaching a runner, store
+    /// error, runner panic).
+    Failed {
+        /// Campaign ID.
+        id: String,
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+impl QueueEvent {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            QueueEvent::Submitted { id, seq, spec } => Json::obj([
+                ("t", Json::Str("submit".into())),
+                ("id", Json::Str(id.clone())),
+                ("seq", Json::U64(*seq)),
+                ("spec", spec.to_json()),
+            ]),
+            QueueEvent::Done { id } => Json::obj([
+                ("t", Json::Str("done".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            QueueEvent::Cancelled { id } => Json::obj([
+                ("t", Json::Str("cancelled".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            QueueEvent::Failed { id, error } => Json::obj([
+                ("t", Json::Str("failed".into())),
+                ("id", Json::Str(id.clone())),
+                ("error", Json::Str(error.clone())),
+            ]),
+        };
+        v.encode()
+    }
+
+    /// Decode one line.
+    pub fn decode(line: &str) -> Result<QueueEvent, String> {
+        let v = Json::parse(line).map_err(|e| format!("bad queue line: {e}"))?;
+        let tag = v.get("t").and_then(Json::as_str).ok_or("missing \"t\"")?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing \"id\"")?
+            .to_string();
+        match tag {
+            "submit" => {
+                let seq = v.get("seq").and_then(Json::as_u64).ok_or("missing seq")?;
+                let spec = CampaignSpec::from_json(v.get("spec").ok_or("missing spec")?)?;
+                Ok(QueueEvent::Submitted { id, seq, spec })
+            }
+            "done" => Ok(QueueEvent::Done { id }),
+            "cancelled" => Ok(QueueEvent::Cancelled { id }),
+            "failed" => {
+                let error = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Ok(QueueEvent::Failed { id, error })
+            }
+            other => Err(format!("unknown queue event {other:?}")),
+        }
+    }
+}
+
+/// Append-side handle on the queue log.
+#[derive(Debug)]
+pub struct QueueLog {
+    file: File,
+}
+
+impl QueueLog {
+    /// Open (creating if needed) the queue log in `root`.
+    pub fn open(root: &Path) -> io::Result<QueueLog> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(root.join(QUEUE_FILE))?;
+        Ok(QueueLog { file })
+    }
+
+    /// Append one event durably (write + fsync before returning, so an
+    /// acknowledged submission survives `kill -9`).
+    pub fn append(&mut self, event: &QueueEvent) -> io::Result<()> {
+        self.file.write_all(event.encode().as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+/// Read every intact event from the queue log. A torn final line (crash
+/// mid-append) is dropped — by construction nothing after it exists — but
+/// a damaged line elsewhere is corruption and refused.
+pub fn read_queue(root: &Path) -> io::Result<Vec<QueueEvent>> {
+    let path = root.join(QUEUE_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut events = Vec::new();
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    for (i, raw) in lines.iter().enumerate() {
+        if raw.is_empty() {
+            continue;
+        }
+        // The final chunk is torn unless the file ended with a newline.
+        let is_tail = i == lines.len() - 1;
+        let parsed = std::str::from_utf8(raw)
+            .map_err(|e| e.to_string())
+            .and_then(|line| QueueEvent::decode(line).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(ev) => events.push(ev),
+            Err(_) if is_tail => break,
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("queue log {} line {}: {}", path.display(), i + 1, e),
+                ));
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// The fold: submissions still owed (no terminal event), in submission
+/// order, plus the next free sequence number.
+pub fn pending_submissions(events: &[QueueEvent]) -> (Vec<(String, u64, CampaignSpec)>, u64) {
+    let mut next_seq = 1;
+    let mut pending: Vec<(String, u64, CampaignSpec)> = Vec::new();
+    for ev in events {
+        match ev {
+            QueueEvent::Submitted { id, seq, spec } => {
+                next_seq = next_seq.max(seq + 1);
+                pending.push((id.clone(), *seq, spec.clone()));
+            }
+            QueueEvent::Done { id } | QueueEvent::Cancelled { id } => {
+                pending.retain(|(p, _, _)| p != id);
+            }
+            QueueEvent::Failed { id, .. } => {
+                pending.retain(|(p, _, _)| p != id);
+            }
+        }
+    }
+    (pending, next_seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fastfit-queue-{}-{}-{:?}",
+            tag,
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn submit(id: &str, seq: u64) -> QueueEvent {
+        QueueEvent::Submitted {
+            id: id.into(),
+            seq,
+            spec: CampaignSpec::new("IS"),
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in [
+            submit("c0001", 1),
+            QueueEvent::Done { id: "c0001".into() },
+            QueueEvent::Cancelled { id: "c0002".into() },
+            QueueEvent::Failed {
+                id: "c0003".into(),
+                error: "boom".into(),
+            },
+        ] {
+            assert_eq!(QueueEvent::decode(&ev.encode()).unwrap(), ev);
+        }
+        assert!(QueueEvent::decode("{\"t\":\"levitate\",\"id\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn append_read_fold() {
+        let root = tmp_root("fold");
+        let mut log = QueueLog::open(&root).unwrap();
+        log.append(&submit("c0001", 1)).unwrap();
+        log.append(&submit("c0002", 2)).unwrap();
+        log.append(&QueueEvent::Done { id: "c0001".into() })
+            .unwrap();
+        log.append(&submit("c0003", 3)).unwrap();
+        log.append(&QueueEvent::Failed {
+            id: "c0002".into(),
+            error: "bad".into(),
+        })
+        .unwrap();
+        let events = read_queue(&root).unwrap();
+        assert_eq!(events.len(), 5);
+        let (pending, next_seq) = pending_submissions(&events);
+        assert_eq!(next_seq, 4);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, "c0003");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_mid_file_corruption_is_refused() {
+        let root = tmp_root("torn");
+        let mut log = QueueLog::open(&root).unwrap();
+        log.append(&submit("c0001", 1)).unwrap();
+        // Simulate a crash mid-append: half an event, no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(root.join(QUEUE_FILE))
+            .unwrap();
+        f.write_all(b"{\"t\":\"done\",\"id").unwrap();
+        drop(f);
+        let events = read_queue(&root).unwrap();
+        assert_eq!(events.len(), 1, "torn tail dropped");
+
+        // Corruption before the tail is an error, not a silent skip.
+        std::fs::write(
+            root.join(QUEUE_FILE),
+            "garbage\n{\"t\":\"done\",\"id\":\"c0001\"}\n",
+        )
+        .unwrap();
+        assert!(read_queue(&root).is_err());
+
+        let missing = tmp_root("missing");
+        assert!(read_queue(&missing).unwrap().is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
+        std::fs::remove_dir_all(&missing).unwrap();
+    }
+}

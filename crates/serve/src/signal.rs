@@ -1,0 +1,114 @@
+//! SIGINT/SIGTERM handling without new dependencies.
+//!
+//! `std` already links libc, so we declare `signal(2)` ourselves and
+//! install a handler that does the only async-signal-safe thing a Rust
+//! program can: store to a static atomic. Everyone who cares — the
+//! daemon's scheduler loop, the CLI's campaign runner — either polls
+//! [`shutdown_requested`] or registers a [`CancelToken`] with
+//! [`cancel_on_shutdown`], whose watcher thread trips it within one poll
+//! interval of the signal landing.
+
+use fastfit::prelude::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Watcher poll cadence: well under a trial's runtime, so a signal stops
+/// the campaign at the very next trial boundary.
+const POLL: Duration = Duration::from_millis(50);
+
+#[cfg(unix)]
+mod sys {
+    // `signal(2)` via the libc std already links. The handler must be
+    // async-signal-safe: a relaxed atomic store and nothing else.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        super::SHUTDOWN.store(true, super::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// Non-Unix: no signal wiring; Ctrl-C keeps its default behaviour.
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM → shutdown-flag handlers. Idempotent.
+pub fn install_shutdown_handler() {
+    sys::install();
+}
+
+/// Whether a shutdown signal has been received.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Testing/simulation hook: raise the shutdown flag as if a signal had
+/// landed (also what a daemon uses to shut down programmatically).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clear the process-global flag. Test-only: the flag is shared by every
+/// test in a binary, so a test that raises it must put it back.
+#[doc(hidden)]
+pub fn reset_shutdown_flag() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Spawn a detached watcher that cancels `token` when a shutdown signal
+/// lands. The watcher exits once the token is cancelled (by anyone) so a
+/// completed campaign does not leak a polling thread forever.
+pub fn cancel_on_shutdown(token: CancelToken) {
+    std::thread::Builder::new()
+        .name("fastfit-signal-watch".into())
+        .spawn(move || loop {
+            if shutdown_requested() {
+                token.cancel();
+                return;
+            }
+            if token.is_cancelled() {
+                return;
+            }
+            std::thread::sleep(POLL);
+        })
+        .expect("spawn signal watcher");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_trips_flag_and_watcher_cancels_token() {
+        install_shutdown_handler();
+        let token = CancelToken::new();
+        cancel_on_shutdown(token.clone());
+        assert!(!token.is_cancelled());
+        request_shutdown();
+        assert!(shutdown_requested());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watcher never cancelled the token"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reset_shutdown_flag();
+    }
+}

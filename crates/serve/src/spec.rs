@@ -1,0 +1,225 @@
+//! The campaign submission spec: the JSON body of `POST /campaigns`.
+//!
+//! A spec carries exactly the knobs that shape *which* campaign runs —
+//! the same set the CLI exposes as flags — and resolves against the
+//! daemon's environment defaults the same way the CLI resolves flags
+//! against `CampaignConfig::from_env()`. That symmetry is what makes the
+//! tentpole determinism guarantee possible: submitting a spec over HTTP
+//! and running the equivalent `fastfit-cli campaign` invocation produce
+//! the same `CampaignMeta`, the same campaign ID, and byte-identical
+//! journals.
+
+use fastfit::prelude::{FaultChannel, ParamsMode};
+use fastfit_store::json::Json;
+
+/// A campaign submission. Optional fields fall back to the daemon's
+/// environment defaults at resolution time (spec beats daemon env).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Workload name: `IS`/`FT`/`MG`/`LU`/`CG` or `LAMMPS`.
+    pub workload: String,
+    /// Ranks per job; default: the daemon's `FASTFIT_RANKS`-derived
+    /// experiment rank count.
+    pub ranks: Option<usize>,
+    /// Trials per injection point; default `FASTFIT_TRIALS`/24.
+    pub trials: Option<usize>,
+    /// Parameter mode token (`data`, `all`, `only:...`); default `data`.
+    pub params: Option<ParamsMode>,
+    /// Fault channel; default the daemon's `FASTFIT_FAULT_CHANNEL`.
+    pub fault_channel: Option<FaultChannel>,
+    /// Run on the resilient transport; default the daemon's
+    /// `FASTFIT_RESILIENT`.
+    pub resilient: Option<bool>,
+    /// Campaign seed override (fault-bit selection).
+    pub seed: Option<u64>,
+    /// Application seed override (golden and injected runs).
+    pub app_seed: Option<u64>,
+    /// LAMMPS run length; default 10 (ignored for NPB kernels).
+    pub steps: Option<usize>,
+    /// ML feedback loop: measure until held-out accuracy passes this
+    /// threshold, predict the rest. Present ⇒ ML-driven campaign.
+    pub ml_threshold: Option<f64>,
+}
+
+impl CampaignSpec {
+    /// A plain spec for `workload` with every knob defaulted.
+    pub fn new(workload: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            workload: workload.into(),
+            ranks: None,
+            trials: None,
+            params: None,
+            fault_channel: None,
+            resilient: None,
+            seed: None,
+            app_seed: None,
+            steps: None,
+            ml_threshold: None,
+        }
+    }
+
+    /// Encode as JSON (optional fields omitted when unset, so the queue
+    /// log stays minimal and stable).
+    pub fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("workload".into(), Json::Str(self.workload.clone()));
+        if let Some(r) = self.ranks {
+            m.insert("ranks".into(), Json::U64(r as u64));
+        }
+        if let Some(t) = self.trials {
+            m.insert("trials".into(), Json::U64(t as u64));
+        }
+        if let Some(p) = &self.params {
+            m.insert("params".into(), Json::Str(p.token()));
+        }
+        if let Some(c) = self.fault_channel {
+            m.insert("fault_channel".into(), Json::Str(c.token().into()));
+        }
+        if let Some(r) = self.resilient {
+            m.insert("resilient".into(), Json::Bool(r));
+        }
+        if let Some(s) = self.seed {
+            m.insert("seed".into(), Json::U64(s));
+        }
+        if let Some(s) = self.app_seed {
+            m.insert("app_seed".into(), Json::U64(s));
+        }
+        if let Some(s) = self.steps {
+            m.insert("steps".into(), Json::U64(s as u64));
+        }
+        if let Some(t) = self.ml_threshold {
+            m.insert("ml_threshold".into(), Json::F64(t));
+        }
+        Json::Obj(m)
+    }
+
+    /// Decode from JSON. Unknown keys are rejected — a typo'd knob
+    /// silently ignored would run the *wrong campaign* and journal it
+    /// durably, the worst possible failure mode for a submission API.
+    pub fn from_json(v: &Json) -> Result<CampaignSpec, String> {
+        let Json::Obj(m) = v else {
+            return Err("campaign spec must be a JSON object".into());
+        };
+        const KNOWN: [&str; 10] = [
+            "workload",
+            "ranks",
+            "trials",
+            "params",
+            "fault_channel",
+            "resilient",
+            "seed",
+            "app_seed",
+            "steps",
+            "ml_threshold",
+        ];
+        for key in m.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!("unknown spec field {key:?}"));
+            }
+        }
+        let workload = v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a \"workload\" string")?
+            .to_string();
+        let usize_field = |k: &str| -> Result<Option<usize>, String> {
+            match v.get(k) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(|n| Some(n as usize))
+                    .ok_or_else(|| format!("{k:?} must be a non-negative integer")),
+            }
+        };
+        let u64_field = |k: &str| -> Result<Option<u64>, String> {
+            match v.get(k) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{k:?} must be a non-negative integer")),
+            }
+        };
+        let params = match v.get("params").map(|p| p.as_str()) {
+            None => None,
+            Some(Some(tok)) => {
+                Some(ParamsMode::from_token(tok).ok_or_else(|| format!("unknown params {tok:?}"))?)
+            }
+            Some(None) => return Err("\"params\" must be a string token".into()),
+        };
+        let fault_channel = match v.get("fault_channel").map(|c| c.as_str()) {
+            None => None,
+            Some(Some(tok)) => Some(
+                FaultChannel::from_token(tok)
+                    .ok_or_else(|| format!("unknown fault_channel {tok:?} (param|message)"))?,
+            ),
+            Some(None) => return Err("\"fault_channel\" must be a string token".into()),
+        };
+        let resilient = match v.get("resilient") {
+            None => None,
+            Some(x) => Some(x.as_bool().ok_or("\"resilient\" must be a boolean")?),
+        };
+        let ml_threshold = match v.get("ml_threshold") {
+            None => None,
+            Some(x) => Some(x.as_f64().ok_or("\"ml_threshold\" must be a number")?),
+        };
+        Ok(CampaignSpec {
+            workload,
+            ranks: usize_field("ranks")?,
+            trials: usize_field("trials")?,
+            params,
+            fault_channel,
+            resilient,
+            seed: u64_field("seed")?,
+            app_seed: u64_field("app_seed")?,
+            steps: usize_field("steps")?,
+            ml_threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_roundtrips() {
+        let spec = CampaignSpec::new("IS");
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // Optional fields are omitted from the wire form entirely.
+        assert_eq!(spec.to_json().encode(), "{\"workload\":\"IS\"}");
+    }
+
+    #[test]
+    fn full_spec_roundtrips() {
+        let spec = CampaignSpec {
+            workload: "LAMMPS".into(),
+            ranks: Some(8),
+            trials: Some(12),
+            params: Some(ParamsMode::All),
+            fault_channel: Some(FaultChannel::Message),
+            resilient: Some(true),
+            seed: Some(0xFA57),
+            app_seed: Some(0x5EED),
+            steps: Some(6),
+            ml_threshold: Some(0.65),
+        };
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_types_are_rejected() {
+        let bad = Json::parse("{\"workload\":\"IS\",\"trails\":4}").unwrap();
+        assert!(CampaignSpec::from_json(&bad)
+            .unwrap_err()
+            .contains("trails"));
+        let bad = Json::parse("{\"workload\":\"IS\",\"fault_channel\":\"radio\"}").unwrap();
+        assert!(CampaignSpec::from_json(&bad).is_err());
+        let bad = Json::parse("{\"ranks\":4}").unwrap();
+        assert!(CampaignSpec::from_json(&bad).is_err());
+        let bad = Json::parse("[1,2]").unwrap();
+        assert!(CampaignSpec::from_json(&bad).is_err());
+    }
+}

@@ -43,6 +43,7 @@ use crate::runtime::{
 use crate::transport::Fabric;
 use parking_lot::{Condvar, Mutex};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -418,6 +419,15 @@ impl Drop for JobArena {
 pub struct ArenaPool {
     nranks: usize,
     arenas: Mutex<Vec<JobArena>>,
+    /// Arenas ever spawned by this pool (each holds `nranks` worker
+    /// threads for its lifetime).
+    created: AtomicU64,
+    /// Jobs dispatched through the pool.
+    jobs: AtomicU64,
+    /// Arenas currently checked out (running a job). Together with
+    /// `nranks` this is the pool's live worker occupancy — what a
+    /// multi-campaign scheduler budgets against.
+    busy: AtomicU64,
 }
 
 impl ArenaPool {
@@ -426,6 +436,9 @@ impl ArenaPool {
         ArenaPool {
             nranks,
             arenas: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
         }
     }
 
@@ -439,15 +452,33 @@ impl ArenaPool {
         self.arenas.lock().len()
     }
 
+    /// Arenas ever spawned by this pool.
+    pub fn arenas_created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dispatched through the pool.
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads currently executing a job through this pool
+    /// (checked-out arenas × ranks per arena).
+    pub fn busy_workers(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed) * self.nranks as u64
+    }
+
     /// Run one job on a pooled arena (checking one out, or spawning a new
     /// one if all are busy), then return the arena to the pool.
     pub fn run(&self, spec: &JobSpec, app: AppFn) -> JobResult {
-        let mut arena = self
-            .arenas
-            .lock()
-            .pop()
-            .unwrap_or_else(|| JobArena::new(self.nranks));
+        let mut arena = self.arenas.lock().pop().unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            JobArena::new(self.nranks)
+        });
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.busy.fetch_add(1, Ordering::Relaxed);
         let result = arena.run(spec, app);
+        self.busy.fetch_sub(1, Ordering::Relaxed);
         self.arenas.lock().push(arena);
         result
     }
@@ -458,6 +489,7 @@ impl std::fmt::Debug for ArenaPool {
         f.debug_struct("ArenaPool")
             .field("nranks", &self.nranks)
             .field("idle", &self.idle())
+            .field("created", &self.arenas_created())
             .finish()
     }
 }
@@ -587,6 +619,9 @@ mod tests {
         let r = pool.run(&spec(4), sum_app());
         assert!(matches!(r.outcome, JobOutcome::Completed { .. }));
         assert_eq!(pool.idle(), 1, "the parked arena was reused");
+        assert_eq!(pool.arenas_created(), 1);
+        assert_eq!(pool.jobs_dispatched(), 2);
+        assert_eq!(pool.busy_workers(), 0, "nothing in flight after run");
     }
 
     #[test]

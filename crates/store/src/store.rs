@@ -141,12 +141,22 @@ impl CampaignStore {
     /// Mark the campaign complete: fsync the journal and write the final
     /// `status.json` with `state: done`.
     pub fn finish(&self) -> Result<(), StoreError> {
+        self.checkpoint(CampaignState::Done)
+    }
+
+    /// Checkpoint the store at an explicit lifecycle state: fsync the
+    /// journal, then write `status.json` with `state`. This is the
+    /// cooperative-stop path — `Cancelled` for a user cancel,
+    /// `Interrupted` for SIGINT/SIGTERM — and leaves the directory
+    /// exactly as resumable as a crash would (every journaled trial is
+    /// complete and durable).
+    pub fn checkpoint(&self, state: CampaignState) -> Result<(), StoreError> {
         self.writer
             .lock()
             .expect("store writer lock poisoned")
             .journal
             .sync()?;
-        self.snapshot(CampaignState::Done).write_to(&self.dir)
+        self.snapshot(state).write_to(&self.dir)
     }
 
     fn journal_append(&self, record: &Record) {
@@ -459,6 +469,32 @@ mod tests {
         let (id, m) = read_store_meta(&dir).unwrap();
         assert_eq!(id, store.id());
         assert_eq!(m, meta());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cancelled_is_resumable() {
+        let dir = tmp_dir("cancelled");
+        {
+            let store = CampaignStore::open(&dir, meta()).unwrap();
+            let d = disp(Response::Success);
+            store.on_event(&ProgressEvent::TrialFinished {
+                point: &point(),
+                trial: 0,
+                bit: 7,
+                disposition: &d,
+                retries: 0,
+                replayed: false,
+            });
+            store.checkpoint(CampaignState::Cancelled).unwrap();
+        }
+        let s = StatusSnapshot::read_from(&dir).unwrap();
+        assert_eq!(s.state, CampaignState::Cancelled);
+        assert!(s.state.is_resumable_stop());
+        // The journaled trial survives and replays on reopen.
+        let store = CampaignStore::open(&dir, meta()).unwrap();
+        assert_eq!(store.replayable_trials(), 1);
+        assert_eq!(store.replay(&point(), 0, 7), Some(disp(Response::Success)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -27,22 +27,41 @@ pub enum CampaignState {
     Running,
     /// Campaign finished.
     Done,
+    /// Cooperatively cancelled (a `DELETE /campaigns/{id}` or explicit
+    /// cancel): the journal is checkpointed and resumable, but nobody
+    /// intends to resume it.
+    Cancelled,
+    /// Interrupted by an external signal (SIGINT/SIGTERM) after a clean
+    /// checkpoint: resumable, and resuming is the expected next step.
+    Interrupted,
 }
 
 impl CampaignState {
-    fn name(self) -> &'static str {
+    /// The token recorded in `status.json`.
+    pub fn name(self) -> &'static str {
         match self {
             CampaignState::Running => "running",
             CampaignState::Done => "done",
+            CampaignState::Cancelled => "cancelled",
+            CampaignState::Interrupted => "interrupted",
         }
     }
 
-    fn from_name(name: &str) -> Option<Self> {
+    /// Decode a `status.json` state token.
+    pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "running" => Some(CampaignState::Running),
             "done" => Some(CampaignState::Done),
+            "cancelled" => Some(CampaignState::Cancelled),
+            "interrupted" => Some(CampaignState::Interrupted),
             _ => None,
         }
+    }
+
+    /// Whether this state means the campaign stopped short of completion
+    /// with a resumable journal behind it.
+    pub fn is_resumable_stop(self) -> bool {
+        matches!(self, CampaignState::Cancelled | CampaignState::Interrupted)
     }
 }
 
@@ -587,6 +606,28 @@ mod tests {
         let back = StatusSnapshot::from_json(&v).unwrap();
         assert_eq!(back.trials_retried, 0);
         assert_eq!(back.trials_quarantined, 0);
+    }
+
+    #[test]
+    fn lifecycle_state_tokens_roundtrip() {
+        for state in [
+            CampaignState::Running,
+            CampaignState::Done,
+            CampaignState::Cancelled,
+            CampaignState::Interrupted,
+        ] {
+            assert_eq!(CampaignState::from_name(state.name()), Some(state));
+        }
+        assert_eq!(CampaignState::from_name("bogus"), None);
+        assert!(CampaignState::Cancelled.is_resumable_stop());
+        assert!(CampaignState::Interrupted.is_resumable_stop());
+        assert!(!CampaignState::Done.is_resumable_stop());
+        assert!(!CampaignState::Running.is_resumable_stop());
+        // The snapshot schema carries the new states verbatim.
+        let t = Telemetry::new();
+        let snap = t.snapshot("id", "w", CampaignState::Cancelled);
+        let back = StatusSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.state, CampaignState::Cancelled);
     }
 
     #[test]
