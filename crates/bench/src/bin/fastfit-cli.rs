@@ -23,11 +23,14 @@
 use fastfit::observe::ProgressEvent;
 use fastfit::prelude::*;
 use fastfit_bench::{lammps_workload, npb_workload};
-use fastfit_serve::{http_request, signal, CampaignSpec, ServeConfig, DEFAULT_ADDR};
+use fastfit_scenario::{filter_by_cost, CostModel, Grammar};
+use fastfit_serve::{
+    http_request, signal, CampaignSpec, GoldenCostModel, ServeConfig, DEFAULT_ADDR,
+};
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
 use fastfit_store::{campaign_meta, read_store_meta, CampaignState, CampaignStore, StatusSnapshot};
-use simmpi::hook::{CallSite, ParamId};
+use simmpi::hook::{CallSite, CollKind, ParamId};
 use std::collections::HashMap;
 use std::path::Path;
 use std::time::Duration;
@@ -65,10 +68,14 @@ fn usage() -> ! {
          \x20      fastfit-cli submit --workload <...> [campaign flags] [--seed N] [--app-seed N] [--addr HOST:PORT]\n\
          \x20      fastfit-cli watch  <ID> [--addr HOST:PORT]\n\
          \x20      fastfit-cli cancel <ID> [--addr HOST:PORT]\n\
+         \x20      fastfit-cli scenario --grammar FILE [--max-cost N] [--costs]\n\
+         \x20                           [--submit [--addr HOST:PORT]]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
-                --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
-                --fault-channel param|message (inject into call parameters or\n\
-                \x20                             into individual wire messages)\n\
+         \x20      --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
+                --fault-channel param|message|crash-stop|fail-slow|partition\n\
+                \x20 (call parameters, wire messages, rank kill, rank delay,\n\
+                \x20  or a network cut between two rank groups)\n\
+                --colls MPI_Allreduce,MPI_Bcast,... (measure only these kinds)\n\
                 --resilient-transport (checksum/ack/retransmit recovery)\n\
                 --max-retries N (suspect-trial retries before quarantine)\n\
                 --op-budget-mult N (INF_LOOP op budget, × golden op count)\n\
@@ -120,15 +127,33 @@ fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
     };
     if let Some(tok) = flags.get("fault-channel") {
         cfg.fault_channel = FaultChannel::from_token(tok).unwrap_or_else(|| {
-            eprintln!("unknown fault channel {:?} (param|message)", tok);
+            eprintln!(
+                "unknown fault channel {:?} (param|message|crash-stop|fail-slow|partition)",
+                tok
+            );
             std::process::exit(2);
         });
     }
     if flags.contains_key("resilient-transport") {
         cfg.resilient = true;
     }
+    if let Some(arg) = flags.get("colls") {
+        cfg.colls = Some(parse_colls(arg));
+    }
     apply_supervision_flags(&mut cfg, flags);
     cfg
+}
+
+/// Parse a `--colls` list: comma-separated `MPI_*` display names.
+fn parse_colls(arg: &str) -> Vec<CollKind> {
+    arg.split(',')
+        .map(|name| {
+            CollKind::from_name(name.trim()).unwrap_or_else(|| {
+                eprintln!("unknown collective {:?} (MPI_* display names)", name.trim());
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 fn main() {
@@ -142,6 +167,7 @@ fn main() {
         "point" => cmd_point(&parse_flags(rest)),
         "serve" => cmd_serve(&parse_flags(rest)),
         "submit" => cmd_submit(&parse_flags(rest)),
+        "scenario" => cmd_scenario(&parse_flags(rest)),
         "status" | "resume" => {
             let Some((dir, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
             else {
@@ -249,13 +275,16 @@ fn cmd_submit(flags: &HashMap<String, String>) {
     });
     spec.fault_channel = flags.get("fault-channel").map(|tok| {
         FaultChannel::from_token(tok).unwrap_or_else(|| {
-            eprintln!("unknown fault channel {tok:?} (param|message)");
+            eprintln!(
+                "unknown fault channel {tok:?} (param|message|crash-stop|fail-slow|partition)"
+            );
             std::process::exit(2);
         })
     });
     if flags.contains_key("resilient-transport") {
         spec.resilient = Some(true);
     }
+    spec.colls = flags.get("colls").map(|arg| parse_colls(arg));
     spec.seed = flags.get("seed").and_then(|s| s.parse().ok());
     spec.app_seed = flags.get("app-seed").and_then(|s| s.parse().ok());
     spec.steps = flags.get("steps").and_then(|s| s.parse().ok());
@@ -291,6 +320,118 @@ fn cmd_submit(flags: &HashMap<String, String>) {
         });
     println!("submitted campaign {id} to {addr}");
     println!("follow it with: fastfit-cli watch {id} --addr {addr}");
+}
+
+/// `fastfit-cli scenario` — expand a scenario grammar: preview the cross
+/// product (optionally priced by local golden runs), and with `--submit`
+/// POST the grammar to the daemon's `/scenarios` endpoint, which expands
+/// it server-side into one durable queue entry per campaign.
+fn cmd_scenario(flags: &HashMap<String, String>) {
+    let path = flags.get("grammar").cloned().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read grammar {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut grammar = Grammar::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bad grammar {path}: {e}");
+        std::process::exit(2);
+    });
+    let cli_max_cost = flags.get("max-cost").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--max-cost must be a non-negative integer");
+            std::process::exit(2);
+        })
+    });
+    if cli_max_cost.is_some() {
+        grammar.max_cost = cli_max_cost;
+    }
+    let scenarios = grammar.expand().unwrap_or_else(|e| {
+        eprintln!("grammar {path} does not enumerate: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "scenario sweep {:?}: {} scenarios",
+        grammar.template.name,
+        scenarios.len()
+    );
+    // Price the sweep locally (golden-run profiles) when a budget is in
+    // play or an explicit preview was asked for.
+    let priced = grammar.max_cost.is_some() || flags.contains_key("costs");
+    if priced {
+        let model = GoldenCostModel::new();
+        for s in &scenarios {
+            match model.predicted_cost(s) {
+                Ok(cost) => {
+                    let over = grammar.max_cost.is_some_and(|m| cost > m);
+                    println!(
+                        "  {:<44} cost {:>10}{}",
+                        s.label(),
+                        cost,
+                        if over { "  (over budget: dropped)" } else { "" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("cannot price scenario {}: {e}", s.label());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(max) = grammar.max_cost {
+            let f =
+                filter_by_cost(scenarios.clone(), &model, max).expect("all scenarios priced above");
+            println!(
+                "kept {} of {} scenarios under max_cost {max}",
+                f.kept.len(),
+                scenarios.len()
+            );
+        }
+    } else {
+        for s in &scenarios {
+            println!("  {}", s.label());
+        }
+    }
+    if !flags.contains_key("submit") {
+        return;
+    }
+    // Ship the grammar itself (with any --max-cost override patched in):
+    // the daemon re-expands and cost-filters server-side, so what is
+    // journaled is exactly what its own model accepted.
+    let body = match cli_max_cost {
+        None => text,
+        Some(m) => {
+            let mut v = Json::parse(&text).expect("grammar parsed above");
+            if let Json::Obj(map) = &mut v {
+                map.insert("max_cost".into(), Json::U64(m));
+            }
+            v.encode()
+        }
+    };
+    let addr = serve_addr(flags);
+    let r = request_or_die(
+        &addr,
+        "POST",
+        "/scenarios",
+        Some(("application/json", &body)),
+    );
+    if r.status != 201 {
+        eprintln!("scenario rejected ({}): {}", r.status, r.body.trim());
+        std::process::exit(1);
+    }
+    let receipt = Json::parse(&r.body).unwrap_or(Json::Null);
+    let sid = receipt
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let count = receipt.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let dropped = receipt.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    println!("submitted scenario {sid} to {addr}: {count} campaigns ({dropped} dropped by cost)");
+    if let Some(Json::Arr(ids)) = receipt.get("campaigns") {
+        for id in ids.iter().filter_map(Json::as_str) {
+            println!("  campaign {id}");
+        }
+    }
+    println!("aggregate status: GET http://{addr}/scenarios/{sid}/status");
 }
 
 /// The `state` token of a status body (full snapshot or minimal form).
@@ -712,6 +853,21 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
     // identity: a resume must re-inject on the journaled channel.
     cfg.fault_channel = meta.fault_channel;
     cfg.resilient = meta.resilient;
+    // Ditto the collective subset: the journaled points only exist under
+    // the same restriction.
+    if let Some(names) = &meta.colls {
+        cfg.colls = Some(
+            names
+                .iter()
+                .map(|n| {
+                    CollKind::from_name(n).unwrap_or_else(|| {
+                        eprintln!("journal has unknown collective {n:?}");
+                        std::process::exit(1);
+                    })
+                })
+                .collect(),
+        );
+    }
     apply_supervision_flags(&mut cfg, flags);
     let csv = flags.get("csv").cloned();
     let c = Campaign::prepare(w, cfg);

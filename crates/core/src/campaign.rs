@@ -27,6 +27,7 @@ use rayon::prelude::*;
 use simmpi::arena::ArenaPool;
 use simmpi::control::HangKind;
 use simmpi::ctx::RankOutput;
+use simmpi::hook::CollKind;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobResult, JobSpec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -145,6 +146,10 @@ pub struct CampaignConfig {
     /// changes trial throughput, never classification, journal bytes or
     /// campaign identity (`FASTFIT_REUSE_WORKERS=0` disables).
     pub reuse_workers: bool,
+    /// Restrict the campaign to injection points whose call site executes
+    /// one of these collective kinds (`None` = all kinds). Part of the
+    /// campaign identity: it changes the measured point set.
+    pub colls: Option<Vec<CollKind>>,
 }
 
 impl Default for CampaignConfig {
@@ -163,6 +168,7 @@ impl Default for CampaignConfig {
             fault_channel: FaultChannel::Param,
             resilient: false,
             reuse_workers: true,
+            colls: None,
         }
     }
 }
@@ -402,7 +408,13 @@ impl Campaign {
         });
         let t1 = Instant::now();
         let semantic = semantic_prune(&profile);
-        let context = context_prune(&profile, &semantic, &cfg.params);
+        let mut context = context_prune(&profile, &semantic, &cfg.params);
+        // The collective-subset knob restricts the measured point set (and
+        // with it the campaign identity) *after* pruning, so a scenario
+        // sweep over collective subsets reuses the same pruning pipeline.
+        if let Some(kinds) = &cfg.colls {
+            context.points.retain(|p| kinds.contains(&p.kind));
+        }
         let full_points = full_space_count(&profile, &cfg.params);
         let extractor = FeatureExtractor::new(&profile);
         observer.on_event(&ProgressEvent::PhaseFinished {
@@ -508,18 +520,20 @@ impl Campaign {
         }
     }
 
-    /// Whether the fault of a finished trial actually fired. Parameter
-    /// faults fire at the hook; message faults fire at the wire, so the
-    /// transport has the ground truth (an armed plan whose `nth_send`
-    /// exceeds the collective's traffic never hits a message).
+    /// Whether the fault of a finished trial actually fired. Parameter and
+    /// rank faults fire at the hook (the targeted invocation was reached);
+    /// message faults and partitions fire at the wire, so the transport has
+    /// the ground truth (an armed plan whose `nth_send` exceeds the
+    /// collective's traffic never hits a message; a partition whose cut no
+    /// scoped message crosses never drops one).
     fn trial_fired(
         &self,
         hook: &InjectorHook,
         transport: &simmpi::transport::TransportStats,
     ) -> bool {
         match self.cfg.fault_channel {
-            FaultChannel::Param => hook.fired(),
-            FaultChannel::Message => transport.fault_fired,
+            FaultChannel::Param | FaultChannel::CrashStop | FaultChannel::FailSlow => hook.fired(),
+            FaultChannel::Message | FaultChannel::Partition => transport.fault_fired,
         }
     }
 
@@ -765,6 +779,11 @@ impl Campaign {
         let mut points = Vec::new();
         for &rank in &self.semantic.representatives {
             for st in self.profile.site_stats(rank) {
+                if let Some(kinds) = &self.cfg.colls {
+                    if !kinds.contains(&st.kind) {
+                        continue;
+                    }
+                }
                 for inv in 0..st.n_inv {
                     for param in self.cfg.params.params_for(st.kind) {
                         points.push(InjectionPoint {

@@ -160,6 +160,24 @@ mod tests {
     }
 
     #[test]
+    fn points_csv_carries_rank_fault_channel_tokens() {
+        for ch in [
+            crate::space::FaultChannel::CrashStop,
+            crate::space::FaultChannel::FailSlow,
+            crate::space::FaultChannel::Partition,
+        ] {
+            let csv = points_csv(&[sample_result()], ch);
+            let header = csv.lines().next().unwrap();
+            let line = csv.trim().lines().nth(1).unwrap();
+            let chan_col = header
+                .split(',')
+                .position(|c| c == "fault_channel")
+                .unwrap();
+            assert_eq!(line.split(',').nth(chan_col), Some(ch.token()));
+        }
+    }
+
+    #[test]
     fn histograms_csv_fractions_sum_to_one() {
         let r = sample_result();
         let csv = histograms_csv(&[("row1", r.hist.clone())]);

@@ -8,17 +8,19 @@
 
 use crate::space::{FaultChannel, InjectionPoint};
 use simmpi::hook::{CollCall, CollHook, ParamId};
-use simmpi::transport::MsgFaultPlan;
+use simmpi::transport::{MsgFaultPlan, RankFaultPlan};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One concrete fault: a bit position within the target parameter
-/// (`Param` channel) or a message-fault plan draw (`Message` channel).
+/// (`Param` channel), a message-fault plan draw (`Message` channel), or a
+/// rank-fault plan draw (`CrashStop`/`FailSlow`/`Partition` channels).
 ///
 /// `bit` is reduced modulo the parameter's width at injection time (for
 /// buffers: modulo the buffer's bit length), so callers can draw it
 /// uniformly from a wide range without knowing buffer sizes up front. On
 /// the `Message` channel the same draw decodes via
-/// [`MsgFaultPlan::from_bit`] instead.
+/// [`MsgFaultPlan::from_bit`]; on the rank channels via the
+/// [`RankFaultPlan`] constructors.
 #[derive(Debug, Clone)]
 pub struct FaultSpec {
     /// Where to inject.
@@ -76,16 +78,42 @@ fn flip_i32(v: &mut i32, bit: u64) -> bool {
 impl CollHook for InjectorHook {
     fn before(&self, call: &mut CollCall<'_>) {
         let p = &self.spec.point;
+        let bit = self.spec.bit;
+        // A partition is not a single-rank fault: *every* rank must learn
+        // the cut at the addressed `(site, invocation)` and police its own
+        // sends, so the rank component of the address is ignored here (it
+        // still contributes to the point identity and the bit draw).
+        if self.spec.channel == FaultChannel::Partition {
+            if call.site != p.site || call.invocation != p.invocation {
+                return;
+            }
+            call.rank_fault = Some(RankFaultPlan::partition_from_bit(bit));
+            self.fired.store(true, Ordering::Release);
+            return;
+        }
         if call.rank != p.rank || call.site != p.site || call.invocation != p.invocation {
             return;
         }
-        let bit = self.spec.bit;
-        if self.spec.channel == FaultChannel::Message {
-            // Arm a transport fault on this rank's sends within this
-            // invocation; the parameters themselves stay healthy.
-            call.msg_fault = Some(MsgFaultPlan::from_bit(bit));
-            self.fired.store(true, Ordering::Release);
-            return;
+        match self.spec.channel {
+            FaultChannel::Message => {
+                // Arm a transport fault on this rank's sends within this
+                // invocation; the parameters themselves stay healthy.
+                call.msg_fault = Some(MsgFaultPlan::from_bit(bit));
+                self.fired.store(true, Ordering::Release);
+                return;
+            }
+            FaultChannel::CrashStop => {
+                call.rank_fault = Some(RankFaultPlan::CrashStop);
+                self.fired.store(true, Ordering::Release);
+                return;
+            }
+            FaultChannel::FailSlow => {
+                call.rank_fault = Some(RankFaultPlan::fail_slow_from_bit(bit));
+                self.fired.store(true, Ordering::Release);
+                return;
+            }
+            FaultChannel::Param => {}
+            FaultChannel::Partition => unreachable!("handled above"),
         }
         let fired = match p.param {
             ParamId::SendBuf => call
@@ -161,6 +189,7 @@ mod tests {
             sendbuf,
             recvbuf: None,
             msg_fault: None,
+            rank_fault: None,
         }
     }
 
@@ -256,6 +285,60 @@ mod tests {
         assert!(hook.fired());
         assert_eq!(params, before);
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn crash_stop_and_fail_slow_arm_rank_plans_on_the_target_rank_only() {
+        for (channel, expect) in [
+            (FaultChannel::CrashStop, RankFaultPlan::CrashStop),
+            (FaultChannel::FailSlow, RankFaultPlan::fail_slow_from_bit(9)),
+        ] {
+            let hook = InjectorHook::new(FaultSpec {
+                point: point(ParamId::SendBuf),
+                bit: 9,
+                channel,
+            });
+            let mut params =
+                CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+            let before = params.clone();
+            // Off-target rank: nothing armed.
+            let mut call = call_at(0, 1, &mut params, None);
+            hook.before(&mut call);
+            assert!(call.rank_fault.is_none(), "{:?}", channel);
+            assert!(!hook.fired());
+            // Target rank: plan armed, parameters untouched.
+            let mut call = call_at(2, 1, &mut params, None);
+            hook.before(&mut call);
+            assert_eq!(call.rank_fault, Some(expect), "{:?}", channel);
+            assert!(hook.fired());
+            assert_eq!(params, before);
+        }
+    }
+
+    #[test]
+    fn partition_arms_on_every_rank_at_the_addressed_invocation() {
+        let hook = InjectorHook::new(FaultSpec {
+            point: point(ParamId::SendBuf), // addresses rank 2
+            bit: 3,                         // decodes sticky
+            channel: FaultChannel::Partition,
+        });
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        // Wrong invocation: nothing armed, on any rank.
+        let mut call = call_at(2, 0, &mut params, None);
+        hook.before(&mut call);
+        assert!(call.rank_fault.is_none());
+        // Right invocation: every rank arms the same plan, not just rank 2.
+        for rank in [0, 1, 2, 3] {
+            let mut call = call_at(rank, 1, &mut params, None);
+            hook.before(&mut call);
+            assert_eq!(
+                call.rank_fault,
+                Some(RankFaultPlan::partition_from_bit(3)),
+                "rank {rank}"
+            );
+        }
+        assert!(hook.fired());
     }
 
     #[test]

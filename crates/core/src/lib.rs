@@ -78,7 +78,7 @@ pub mod prelude {
         ResponseHistogram, ALL_RESPONSES,
     };
     pub use crate::space::{
-        full_space, full_space_count, FaultChannel, InjectionPoint, ParamsMode,
+        full_space, full_space_count, FaultChannel, InjectionPoint, ParamsMode, ALL_FAULT_CHANNELS,
     };
     pub use crate::supervise::{
         QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,

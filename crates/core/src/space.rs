@@ -39,7 +39,25 @@ pub enum FaultChannel {
     /// Transport-level faults on individual messages (flip, drop,
     /// duplicate, delay, truncate).
     Message,
+    /// The target rank dies (simulated process crash) at the addressed
+    /// collective entry; survivors drain via the fail-stop sweep.
+    CrashStop,
+    /// The target rank stalls for a bounded delay at the addressed
+    /// collective entry, then proceeds normally.
+    FailSlow,
+    /// A network partition from the addressed collective on: every message
+    /// crossing a rank cut is dropped on the wire.
+    Partition,
 }
+
+/// All fault channels, in token order.
+pub const ALL_FAULT_CHANNELS: [FaultChannel; 5] = [
+    FaultChannel::Param,
+    FaultChannel::Message,
+    FaultChannel::CrashStop,
+    FaultChannel::FailSlow,
+    FaultChannel::Partition,
+];
 
 impl FaultChannel {
     /// Stable textual token for journals and CLIs.
@@ -47,15 +65,25 @@ impl FaultChannel {
         match self {
             FaultChannel::Param => "param",
             FaultChannel::Message => "message",
+            FaultChannel::CrashStop => "crash-stop",
+            FaultChannel::FailSlow => "fail-slow",
+            FaultChannel::Partition => "partition",
         }
     }
 
     /// Inverse of [`FaultChannel::token`].
     pub fn from_token(token: &str) -> Option<FaultChannel> {
-        match token {
-            "param" => Some(FaultChannel::Param),
-            "message" => Some(FaultChannel::Message),
-            _ => None,
+        ALL_FAULT_CHANNELS.into_iter().find(|c| c.token() == token)
+    }
+
+    /// Dense index into per-channel telemetry arrays (token order).
+    pub fn index(self) -> usize {
+        match self {
+            FaultChannel::Param => 0,
+            FaultChannel::Message => 1,
+            FaultChannel::CrashStop => 2,
+            FaultChannel::FailSlow => 3,
+            FaultChannel::Partition => 4,
         }
     }
 }
@@ -187,11 +215,15 @@ mod tests {
 
     #[test]
     fn fault_channel_token_roundtrip() {
-        for ch in [FaultChannel::Param, FaultChannel::Message] {
+        for (i, ch) in ALL_FAULT_CHANNELS.into_iter().enumerate() {
             assert_eq!(FaultChannel::from_token(ch.token()), Some(ch));
+            assert_eq!(ch.index(), i, "index follows token order");
         }
         assert_eq!(FaultChannel::from_token("bogus"), None);
         assert_eq!(FaultChannel::default(), FaultChannel::Param);
+        let tokens: std::collections::HashSet<_> =
+            ALL_FAULT_CHANNELS.iter().map(|c| c.token()).collect();
+        assert_eq!(tokens.len(), ALL_FAULT_CHANNELS.len());
     }
 
     #[test]

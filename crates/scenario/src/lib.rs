@@ -1,0 +1,784 @@
+//! # fastfit-scenario — the scenario algebra
+//!
+//! A campaign sweep is rarely one campaign: the questions the paper's
+//! evaluation asks ("how does sensitivity change across workloads,
+//! fault channels, transports and scales?") are *cross products* of
+//! campaign knobs. This crate gives that cross product a first-class
+//! term language:
+//!
+//! - a [`Template`] is a campaign with **holes** — the workload, the
+//!   fault channel, the transport mode, the rank count and the
+//!   collective subset are axes, not values;
+//! - [`Template::plug`] fills a hole with a candidate set (the enumo
+//!   `plug` idiom: substitution over a term with metavariables);
+//! - [`Template::enumerate`] takes the cross product, **lowering** each
+//!   combination into a [`ConcreteScenario`] whose
+//!   [`to_spec_json`](ConcreteScenario::to_spec_json) is exactly the
+//!   campaign-spec wire object the daemon's `POST /campaigns` and the
+//!   CLI's flag resolution already accept — the algebra adds no third
+//!   resolution path, so scenario-enumerated campaigns journal
+//!   byte-identically to hand-submitted ones;
+//! - [`filter_by_cost`] is the guard combinator: a [`CostModel`]
+//!   predicts each scenario's trial cost from golden-run op counts and
+//!   scenarios over budget are filtered out *before* anything runs.
+//!
+//! [`Grammar`] is the serialized form: a JSON document naming the axes
+//! and base knobs, parsed with the same reject-unknown-keys discipline
+//! as the campaign spec. The daemon's `POST /scenarios` accepts a
+//! grammar body and expands it server-side into individual durable
+//! queue entries; `fastfit-cli scenario` expands the same grammar
+//! locally for preview, cost estimation, or submission.
+
+use fastfit::prelude::{FaultChannel, ParamsMode, ALL_FAULT_CHANNELS};
+use fastfit_store::json::Json;
+use simmpi::hook::CollKind;
+use std::collections::BTreeMap;
+
+/// Trials-per-point assumed by cost prediction when a scenario does not
+/// pin `trials` (the campaign layer's own default).
+pub const DEFAULT_TRIALS_FOR_COST: usize = 24;
+
+/// One fully-instantiated scenario: every hole plugged, every knob
+/// either pinned or deliberately left to the executor's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcreteScenario {
+    /// Workload name (`IS`/`FT`/`MG`/`LU`/`CG`/`LAMMPS`).
+    pub workload: String,
+    /// Ranks per job (always pinned: scale is an axis).
+    pub ranks: usize,
+    /// Fault channel (always pinned: the channel is an axis).
+    pub fault_channel: FaultChannel,
+    /// Resilient transport (always pinned: the transport is an axis).
+    pub resilient: bool,
+    /// Collective subset (`MPI_*` names) or `None` for all kinds.
+    pub colls: Option<Vec<String>>,
+    /// Trials per injection point, when the template pins it.
+    pub trials: Option<usize>,
+    /// Parameter mode, when the template pins it.
+    pub params: Option<ParamsMode>,
+    /// Campaign seed, when the template pins it.
+    pub seed: Option<u64>,
+    /// Application seed, when the template pins it.
+    pub app_seed: Option<u64>,
+    /// LAMMPS run length, when the template pins it.
+    pub steps: Option<usize>,
+}
+
+impl ConcreteScenario {
+    /// Lower into the campaign-spec wire object (`POST /campaigns`
+    /// body). Axis-pinned knobs are always present; base knobs appear
+    /// only when the template set them, exactly as a hand-written spec
+    /// would omit them.
+    pub fn to_spec_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("workload".into(), Json::Str(self.workload.clone()));
+        m.insert("ranks".into(), Json::U64(self.ranks as u64));
+        m.insert(
+            "fault_channel".into(),
+            Json::Str(self.fault_channel.token().into()),
+        );
+        m.insert("resilient".into(), Json::Bool(self.resilient));
+        if let Some(colls) = &self.colls {
+            m.insert(
+                "colls".into(),
+                Json::Arr(colls.iter().cloned().map(Json::Str).collect()),
+            );
+        }
+        if let Some(t) = self.trials {
+            m.insert("trials".into(), Json::U64(t as u64));
+        }
+        if let Some(p) = &self.params {
+            m.insert("params".into(), Json::Str(p.token()));
+        }
+        if let Some(s) = self.seed {
+            m.insert("seed".into(), Json::U64(s));
+        }
+        if let Some(s) = self.app_seed {
+            m.insert("app_seed".into(), Json::U64(s));
+        }
+        if let Some(s) = self.steps {
+            m.insert("steps".into(), Json::U64(s as u64));
+        }
+        Json::Obj(m)
+    }
+
+    /// Human-readable identity for listings: workload, scale, channel,
+    /// transport, and the collective subset when restricted.
+    pub fn label(&self) -> String {
+        let transport = if self.resilient { "resilient" } else { "plain" };
+        let mut s = format!(
+            "{}/r{}/{}/{}",
+            self.workload,
+            self.ranks,
+            self.fault_channel.token(),
+            transport
+        );
+        if let Some(colls) = &self.colls {
+            s.push('/');
+            s.push_str(&colls.join("+"));
+        }
+        s
+    }
+}
+
+/// One pluggable axis with its candidate set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Workload names.
+    Workloads(Vec<String>),
+    /// Rank counts.
+    Ranks(Vec<usize>),
+    /// Fault channels.
+    Channels(Vec<FaultChannel>),
+    /// Transport modes (`false` = plain, `true` = resilient).
+    Transports(Vec<bool>),
+    /// Collective subsets; `None` means "all kinds".
+    Colls(Vec<Option<Vec<String>>>),
+}
+
+impl Axis {
+    fn name(&self) -> &'static str {
+        match self {
+            Axis::Workloads(_) => "workload",
+            Axis::Ranks(_) => "ranks",
+            Axis::Channels(_) => "fault_channel",
+            Axis::Transports(_) => "resilient",
+            Axis::Colls(_) => "colls",
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Axis::Workloads(v) => v.is_empty(),
+            Axis::Ranks(v) => v.is_empty(),
+            Axis::Channels(v) => v.is_empty(),
+            Axis::Transports(v) => v.is_empty(),
+            Axis::Colls(v) => v.is_empty(),
+        }
+    }
+}
+
+/// A campaign template with holes. Build one with [`Template::new`],
+/// pin base knobs with the `with_*` builders, fill holes with
+/// [`Template::plug`], and take the cross product with
+/// [`Template::enumerate`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Template {
+    /// Sweep name (listings, scenario IDs).
+    pub name: String,
+    workloads: Option<Vec<String>>,
+    ranks: Option<Vec<usize>>,
+    channels: Option<Vec<FaultChannel>>,
+    transports: Option<Vec<bool>>,
+    colls: Option<Vec<Option<Vec<String>>>>,
+    trials: Option<usize>,
+    params: Option<ParamsMode>,
+    seed: Option<u64>,
+    app_seed: Option<u64>,
+    steps: Option<usize>,
+}
+
+impl Template {
+    /// An empty template: every hole open, every base knob deferred.
+    pub fn new(name: impl Into<String>) -> Template {
+        Template {
+            name: name.into(),
+            ..Template::default()
+        }
+    }
+
+    /// Pin trials per point for every scenario.
+    pub fn with_trials(mut self, trials: usize) -> Template {
+        self.trials = Some(trials);
+        self
+    }
+
+    /// Pin the parameter mode for every scenario.
+    pub fn with_params(mut self, params: ParamsMode) -> Template {
+        self.params = Some(params);
+        self
+    }
+
+    /// Pin the campaign seed for every scenario.
+    pub fn with_seed(mut self, seed: u64) -> Template {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Pin the application seed for every scenario.
+    pub fn with_app_seed(mut self, seed: u64) -> Template {
+        self.app_seed = Some(seed);
+        self
+    }
+
+    /// Pin the LAMMPS run length for every scenario.
+    pub fn with_steps(mut self, steps: usize) -> Template {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Fill one hole with its candidate set (replacing any earlier plug
+    /// of the same axis). An empty candidate set is rejected at
+    /// [`enumerate`](Template::enumerate) time — it would silently
+    /// annihilate the whole product.
+    pub fn plug(mut self, axis: Axis) -> Template {
+        match axis {
+            Axis::Workloads(v) => self.workloads = Some(v),
+            Axis::Ranks(v) => self.ranks = Some(v),
+            Axis::Channels(v) => self.channels = Some(v),
+            Axis::Transports(v) => self.transports = Some(v),
+            Axis::Colls(v) => self.colls = Some(v),
+        }
+        self
+    }
+
+    /// The cross product, in a deterministic documented order:
+    /// workload-major, then fault channel, then transport, then rank
+    /// count, then collective subset. Submission IDs derive from this
+    /// order, so it is part of the algebra's contract.
+    ///
+    /// `workload` and `ranks` holes must be plugged; `fault_channel`
+    /// defaults to `[param]`, `resilient` to `[plain]`, `colls` to
+    /// `[all kinds]`.
+    pub fn enumerate(&self) -> Result<Vec<ConcreteScenario>, String> {
+        for axis in [
+            self.workloads.clone().map(Axis::Workloads),
+            self.ranks.clone().map(Axis::Ranks),
+            self.channels.clone().map(Axis::Channels),
+            self.transports.clone().map(Axis::Transports),
+            self.colls.clone().map(Axis::Colls),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if axis.is_empty() {
+                return Err(format!(
+                    "axis {:?} plugged with an empty candidate set",
+                    axis.name()
+                ));
+            }
+        }
+        let workloads = self
+            .workloads
+            .as_ref()
+            .ok_or("template has an open \"workload\" hole")?;
+        let ranks = self
+            .ranks
+            .as_ref()
+            .ok_or("template has an open \"ranks\" hole")?;
+        let channels = self
+            .channels
+            .clone()
+            .unwrap_or_else(|| vec![FaultChannel::Param]);
+        let transports = self.transports.clone().unwrap_or_else(|| vec![false]);
+        let colls = self.colls.clone().unwrap_or_else(|| vec![None]);
+        let mut out = Vec::new();
+        for w in workloads {
+            for &ch in &channels {
+                for &resilient in &transports {
+                    for &r in ranks {
+                        for c in &colls {
+                            out.push(ConcreteScenario {
+                                workload: w.clone(),
+                                ranks: r,
+                                fault_channel: ch,
+                                resilient,
+                                colls: c.clone(),
+                                trials: self.trials,
+                                params: self.params.clone(),
+                                seed: self.seed,
+                                app_seed: self.app_seed,
+                                steps: self.steps,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Predicts what a scenario will cost to run, in **golden-run
+/// collective ops**: `pruned points × trials per point × collective
+/// invocations of one application run`. Implementations profile (or
+/// table) the golden run; the algebra only consumes the number.
+pub trait CostModel {
+    /// Predicted cost of `s`, or a reason it cannot be predicted.
+    fn predicted_cost(&self, s: &ConcreteScenario) -> Result<u64, String>;
+}
+
+/// A table-driven cost model: `(workload, ranks) → (pruned points,
+/// collective ops per run)`. Used by tests and by CLI previews that
+/// already profiled the workloads.
+#[derive(Debug, Default, Clone)]
+pub struct StaticCostModel {
+    table: BTreeMap<(String, usize), (u64, u64)>,
+}
+
+impl StaticCostModel {
+    /// Record that `workload` at `ranks` measures `points` pruned
+    /// points and one run performs `ops_per_run` collective ops.
+    pub fn insert(&mut self, workload: &str, ranks: usize, points: u64, ops_per_run: u64) {
+        self.table
+            .insert((workload.to_uppercase(), ranks), (points, ops_per_run));
+    }
+}
+
+impl CostModel for StaticCostModel {
+    fn predicted_cost(&self, s: &ConcreteScenario) -> Result<u64, String> {
+        let (points, ops) = self
+            .table
+            .get(&(s.workload.to_uppercase(), s.ranks))
+            .ok_or_else(|| format!("no cost entry for {}/r{}", s.workload, s.ranks))?;
+        let trials = s.trials.unwrap_or(DEFAULT_TRIALS_FOR_COST) as u64;
+        Ok(points * trials * ops)
+    }
+}
+
+/// The outcome of a cost filter: what survived (with its predicted
+/// cost) and what was dropped (with the cost that disqualified it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostFilter {
+    /// Scenarios within budget, enumeration order preserved.
+    pub kept: Vec<(ConcreteScenario, u64)>,
+    /// Scenarios over budget.
+    pub dropped: Vec<(ConcreteScenario, u64)>,
+}
+
+/// The `filter` combinator: keep scenarios whose predicted cost is at
+/// most `max_cost`. A scenario the model cannot price is an error, not
+/// a silent keep or drop — an unpriceable sweep must be fixed, not
+/// half-run.
+pub fn filter_by_cost(
+    scenarios: Vec<ConcreteScenario>,
+    model: &dyn CostModel,
+    max_cost: u64,
+) -> Result<CostFilter, String> {
+    let mut out = CostFilter {
+        kept: Vec::new(),
+        dropped: Vec::new(),
+    };
+    for s in scenarios {
+        let cost = model.predicted_cost(&s)?;
+        if cost <= max_cost {
+            out.kept.push((s, cost));
+        } else {
+            out.dropped.push((s, cost));
+        }
+    }
+    Ok(out)
+}
+
+/// The serialized scenario grammar: the JSON body of `POST /scenarios`
+/// and of `fastfit-cli scenario --grammar` files.
+///
+/// ```json
+/// {
+///   "name": "channel-sweep",
+///   "base": {"trials": 2, "seed": 7},
+///   "axes": {
+///     "workload": ["IS", "FT"],
+///     "fault_channel": ["param", "crash-stop", "partition"],
+///     "resilient": [false, true],
+///     "ranks": [2, 4],
+///     "colls": [null, ["MPI_Allreduce"]]
+///   },
+///   "max_cost": 500000
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grammar {
+    /// The template the axes and base knobs build.
+    pub template: Template,
+    /// Cost budget per scenario; enforced by whoever expands the
+    /// grammar, using its cost model.
+    pub max_cost: Option<u64>,
+}
+
+impl Grammar {
+    /// Parse a grammar document. Unknown keys anywhere are rejected —
+    /// the same discipline as the campaign spec, for the same reason: a
+    /// typo'd axis silently ignored would enumerate the wrong sweep.
+    pub fn parse(text: &str) -> Result<Grammar, String> {
+        let v = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        Grammar::from_json(&v)
+    }
+
+    /// Decode from parsed JSON (see [`Grammar::parse`]).
+    pub fn from_json(v: &Json) -> Result<Grammar, String> {
+        let Json::Obj(m) = v else {
+            return Err("grammar must be a JSON object".into());
+        };
+        for key in m.keys() {
+            if !["name", "base", "axes", "max_cost"].contains(&key.as_str()) {
+                return Err(format!("unknown grammar field {key:?}"));
+            }
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("grammar needs a \"name\" string")?;
+        let mut template = Template::new(name);
+        if let Some(base) = v.get("base") {
+            template = parse_base(template, base)?;
+        }
+        let axes = v.get("axes").ok_or("grammar needs an \"axes\" object")?;
+        template = parse_axes(template, axes)?;
+        let max_cost = match v.get("max_cost") {
+            None => None,
+            Some(x) => Some(
+                x.as_u64()
+                    .ok_or("\"max_cost\" must be a non-negative integer")?,
+            ),
+        };
+        Ok(Grammar { template, max_cost })
+    }
+
+    /// Expand: enumerate the template's cross product. Cost filtering
+    /// is the caller's second step ([`filter_by_cost`] with its model),
+    /// kept separate so previews can show what *would* be dropped.
+    pub fn expand(&self) -> Result<Vec<ConcreteScenario>, String> {
+        self.template.enumerate()
+    }
+}
+
+fn parse_base(mut template: Template, base: &Json) -> Result<Template, String> {
+    let Json::Obj(m) = base else {
+        return Err("\"base\" must be a JSON object".into());
+    };
+    for key in m.keys() {
+        if !["trials", "params", "seed", "app_seed", "steps"].contains(&key.as_str()) {
+            return Err(format!("unknown base field {key:?}"));
+        }
+    }
+    let u64_field = |k: &str| -> Result<Option<u64>, String> {
+        match base.get(k) {
+            None => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("base {k:?} must be a non-negative integer")),
+        }
+    };
+    if let Some(t) = u64_field("trials")? {
+        template = template.with_trials(t as usize);
+    }
+    if let Some(p) = base.get("params") {
+        let tok = p.as_str().ok_or("base \"params\" must be a string token")?;
+        let mode = ParamsMode::from_token(tok).ok_or_else(|| format!("unknown params {tok:?}"))?;
+        template = template.with_params(mode);
+    }
+    if let Some(s) = u64_field("seed")? {
+        template = template.with_seed(s);
+    }
+    if let Some(s) = u64_field("app_seed")? {
+        template = template.with_app_seed(s);
+    }
+    if let Some(s) = u64_field("steps")? {
+        template = template.with_steps(s as usize);
+    }
+    Ok(template)
+}
+
+fn parse_axes(mut template: Template, axes: &Json) -> Result<Template, String> {
+    let Json::Obj(m) = axes else {
+        return Err("\"axes\" must be a JSON object".into());
+    };
+    for key in m.keys() {
+        if !["workload", "ranks", "fault_channel", "resilient", "colls"].contains(&key.as_str()) {
+            return Err(format!("unknown axis {key:?}"));
+        }
+    }
+    let arr = |k: &str| -> Result<Option<&Vec<Json>>, String> {
+        match axes.get(k) {
+            None => Ok(None),
+            Some(Json::Arr(items)) => Ok(Some(items)),
+            Some(_) => Err(format!("axis {k:?} must be an array")),
+        }
+    };
+    if let Some(items) = arr("workload")? {
+        let ws = items
+            .iter()
+            .map(|it| {
+                it.as_str()
+                    .map(str::to_string)
+                    .ok_or("\"workload\" entries must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        template = template.plug(Axis::Workloads(ws));
+    }
+    if let Some(items) = arr("ranks")? {
+        let rs = items
+            .iter()
+            .map(|it| {
+                it.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or("\"ranks\" entries must be non-negative integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        template = template.plug(Axis::Ranks(rs));
+    }
+    if let Some(items) = arr("fault_channel")? {
+        let chs = items
+            .iter()
+            .map(|it| {
+                let tok = it
+                    .as_str()
+                    .ok_or("\"fault_channel\" entries must be string tokens".to_string())?;
+                FaultChannel::from_token(tok).ok_or_else(|| {
+                    let all: Vec<&str> = ALL_FAULT_CHANNELS.iter().map(|c| c.token()).collect();
+                    format!("unknown fault_channel {tok:?} ({})", all.join("|"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        template = template.plug(Axis::Channels(chs));
+    }
+    if let Some(items) = arr("resilient")? {
+        let ts = items
+            .iter()
+            .map(|it| {
+                it.as_bool()
+                    .ok_or("\"resilient\" entries must be booleans".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        template = template.plug(Axis::Transports(ts));
+    }
+    if let Some(items) = arr("colls")? {
+        let cs = items
+            .iter()
+            .map(|it| match it {
+                Json::Null => Ok(None),
+                Json::Arr(names) => {
+                    if names.is_empty() {
+                        return Err("a \"colls\" subset must name at least one collective".into());
+                    }
+                    names
+                        .iter()
+                        .map(|n| {
+                            let name = n
+                                .as_str()
+                                .ok_or("\"colls\" subset entries must be MPI_* names")?;
+                            CollKind::from_name(name)
+                                .map(|k| k.name().to_string())
+                                .ok_or_else(|| format!("unknown collective {name:?}"))
+                        })
+                        .collect::<Result<Vec<_>, String>>()
+                        .map(Some)
+                }
+                _ => Err("\"colls\" entries must be null or arrays of MPI_* names".into()),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        template = template.plug(Axis::Colls(cs));
+    }
+    Ok(template)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_three() -> Template {
+        Template::new("t")
+            .with_trials(2)
+            .with_seed(7)
+            .plug(Axis::Workloads(vec!["IS".into(), "FT".into()]))
+            .plug(Axis::Ranks(vec![2, 4]))
+            .plug(Axis::Channels(vec![
+                FaultChannel::Param,
+                FaultChannel::CrashStop,
+                FaultChannel::Partition,
+            ]))
+            .plug(Axis::Transports(vec![false, true]))
+    }
+
+    #[test]
+    fn enumeration_is_the_cross_product_in_documented_order() {
+        let scenarios = two_by_three().enumerate().unwrap();
+        assert_eq!(scenarios.len(), 2 * 2 * 3 * 2);
+        // Workload-major, then channel, then transport, then ranks.
+        assert_eq!(scenarios[0].label(), "IS/r2/param/plain");
+        assert_eq!(scenarios[1].label(), "IS/r4/param/plain");
+        assert_eq!(scenarios[2].label(), "IS/r2/param/resilient");
+        assert_eq!(scenarios[4].label(), "IS/r2/crash-stop/plain");
+        assert_eq!(scenarios[12].label(), "FT/r2/param/plain");
+        let labels: std::collections::HashSet<String> =
+            scenarios.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), scenarios.len(), "labels are distinct");
+    }
+
+    #[test]
+    fn open_required_holes_and_empty_plugs_are_rejected() {
+        let e = Template::new("t").enumerate().unwrap_err();
+        assert!(e.contains("workload"), "{e}");
+        let e = Template::new("t")
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .enumerate()
+            .unwrap_err();
+        assert!(e.contains("ranks"), "{e}");
+        let e = Template::new("t")
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .plug(Axis::Channels(vec![]))
+            .enumerate()
+            .unwrap_err();
+        assert!(e.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn unplugged_optional_axes_default_to_singletons() {
+        let scenarios = Template::new("t")
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .enumerate()
+            .unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].fault_channel, FaultChannel::Param);
+        assert!(!scenarios[0].resilient);
+        assert_eq!(scenarios[0].colls, None);
+    }
+
+    #[test]
+    fn lowering_emits_exact_spec_wire_json() {
+        let s = ConcreteScenario {
+            workload: "IS".into(),
+            ranks: 4,
+            fault_channel: FaultChannel::CrashStop,
+            resilient: true,
+            colls: Some(vec!["MPI_Allreduce".into()]),
+            trials: Some(2),
+            params: Some(ParamsMode::DataBuffer),
+            seed: Some(7),
+            app_seed: None,
+            steps: None,
+        };
+        assert_eq!(
+            s.to_spec_json().encode(),
+            "{\"colls\":[\"MPI_Allreduce\"],\"fault_channel\":\"crash-stop\",\
+             \"params\":\"data\",\"ranks\":4,\"resilient\":true,\"seed\":7,\
+             \"trials\":2,\"workload\":\"IS\"}"
+        );
+        // Unpinned base knobs stay absent so executor defaults apply.
+        let minimal = ConcreteScenario {
+            trials: None,
+            params: None,
+            seed: None,
+            colls: None,
+            ..s
+        };
+        let enc = minimal.to_spec_json().encode();
+        assert!(!enc.contains("trials") && !enc.contains("colls"), "{enc}");
+    }
+
+    #[test]
+    fn cost_filter_keeps_within_budget_and_reports_drops() {
+        let mut model = StaticCostModel::default();
+        model.insert("IS", 2, 10, 100); // 10 points × 2 trials × 100 ops = 2000
+        model.insert("IS", 4, 30, 300); // 30 × 2 × 300 = 18000
+        let scenarios = Template::new("t")
+            .with_trials(2)
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2, 4]))
+            .enumerate()
+            .unwrap();
+        let f = filter_by_cost(scenarios.clone(), &model, 5000).unwrap();
+        assert_eq!(f.kept.len(), 1);
+        assert_eq!(f.kept[0].1, 2000);
+        assert_eq!(f.dropped.len(), 1);
+        assert_eq!(f.dropped[0].1, 18000);
+        // Unpriceable scenarios are an error, not a guess.
+        let unknown = Template::new("t")
+            .plug(Axis::Workloads(vec!["MG".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .enumerate()
+            .unwrap();
+        assert!(filter_by_cost(unknown, &model, 5000).is_err());
+        // Default trials apply when the template does not pin them.
+        let untrialed = Template::new("t")
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .enumerate()
+            .unwrap();
+        assert_eq!(
+            model.predicted_cost(&untrialed[0]).unwrap(),
+            10 * DEFAULT_TRIALS_FOR_COST as u64 * 100
+        );
+    }
+
+    #[test]
+    fn grammar_roundtrips_through_template() {
+        let text = r#"{
+            "name": "sweep",
+            "base": {"trials": 2, "seed": 7, "params": "data"},
+            "axes": {
+                "workload": ["IS", "FT"],
+                "fault_channel": ["param", "crash-stop", "partition"],
+                "resilient": [false, true],
+                "ranks": [2, 4],
+                "colls": [null, ["MPI_Allreduce", "MPI_Bcast"]]
+            },
+            "max_cost": 123456
+        }"#;
+        let g = Grammar::parse(text).unwrap();
+        assert_eq!(g.max_cost, Some(123456));
+        assert_eq!(
+            g.template,
+            Template::new("sweep")
+                .with_trials(2)
+                .with_seed(7)
+                .with_params(ParamsMode::DataBuffer)
+                .plug(Axis::Workloads(vec!["IS".into(), "FT".into()]))
+                .plug(Axis::Channels(vec![
+                    FaultChannel::Param,
+                    FaultChannel::CrashStop,
+                    FaultChannel::Partition,
+                ]))
+                .plug(Axis::Transports(vec![false, true]))
+                .plug(Axis::Ranks(vec![2, 4]))
+                .plug(Axis::Colls(vec![
+                    None,
+                    Some(vec!["MPI_Allreduce".into(), "MPI_Bcast".into()]),
+                ]))
+        );
+        assert_eq!(g.expand().unwrap().len(), 2 * 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn grammar_rejects_typos_and_bad_values() {
+        for (body, needle) in [
+            (r#"{"axes":{"workload":["IS"],"ranks":[2]}}"#, "name"),
+            (r#"{"name":"x"}"#, "axes"),
+            (
+                r#"{"name":"x","axes":{"workloads":["IS"]}}"#,
+                "unknown axis",
+            ),
+            (
+                r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2]},"budget":1}"#,
+                "unknown grammar field",
+            ),
+            (
+                r#"{"name":"x","base":{"trial":2},"axes":{"workload":["IS"],"ranks":[2]}}"#,
+                "unknown base field",
+            ),
+            (
+                r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"fault_channel":["radio"]}}"#,
+                "unknown fault_channel",
+            ),
+            (
+                r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"colls":[["MPI_Sendrecv"]]}}"#,
+                "unknown collective",
+            ),
+            (
+                r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"colls":[[]]}}"#,
+                "at least one",
+            ),
+            (
+                r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2]},"max_cost":-1}"#,
+                "max_cost",
+            ),
+        ] {
+            let e = Grammar::parse(body).unwrap_err();
+            assert!(e.contains(needle), "{body} → {e}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The daemon's scenario cost model: predicted trial cost from
+//! golden-run op counts.
+//!
+//! The scenario algebra's `filter` combinator needs a price per
+//! scenario *before* anything runs. The honest price comes from the
+//! same machinery that will eventually run the campaign: resolve the
+//! lowered spec exactly as a submission would be resolved, run the
+//! profile + prune phases (`Campaign::prepare` — the golden run), and
+//! read off
+//!
+//! ```text
+//! cost = pruned points × trials per point × golden collective ops
+//! ```
+//!
+//! — the number of collective invocations the measurement phase will
+//! drive, which is what wall-clock tracks in this simulator. Profiling
+//! is cached by everything that shapes the pruned space (workload,
+//! ranks, app seed, steps, params, channel, collective subset) so a
+//! grammar sweeping trials or seeds over the same workload profiles it
+//! once.
+
+use crate::spec::CampaignSpec;
+use crate::workload::{resolve_config, resolve_workload, validate_spec};
+use fastfit::prelude::Campaign;
+use fastfit_scenario::{ConcreteScenario, CostModel};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cost model backed by real golden runs, with a profile cache.
+#[derive(Debug, Default)]
+pub struct GoldenCostModel {
+    /// `(pruned points, golden ops per run)` keyed by the spec wire form
+    /// minus the knobs that do not shape the pruned space.
+    cache: Mutex<HashMap<String, (u64, u64)>>,
+}
+
+impl GoldenCostModel {
+    /// A fresh model with an empty profile cache.
+    pub fn new() -> GoldenCostModel {
+        GoldenCostModel::default()
+    }
+
+    /// Cache key: the lowered spec minus `trials` and `seed` — trials
+    /// scale cost linearly without changing the space, and the campaign
+    /// seed picks fault bits, not points.
+    fn key(s: &ConcreteScenario) -> String {
+        let mut stripped = s.clone();
+        stripped.trials = None;
+        stripped.seed = None;
+        stripped.to_spec_json().encode()
+    }
+}
+
+impl CostModel for GoldenCostModel {
+    fn predicted_cost(&self, s: &ConcreteScenario) -> Result<u64, String> {
+        let spec = CampaignSpec::from_json(&s.to_spec_json())
+            .map_err(|e| format!("scenario does not lower to a valid spec: {e}"))?;
+        validate_spec(&spec)?;
+        let cfg = resolve_config(&spec);
+        let trials = cfg.trials_per_point as u64;
+        let key = GoldenCostModel::key(s);
+        if let Some(&(points, ops)) = self
+            .cache
+            .lock()
+            .expect("cost cache lock poisoned")
+            .get(&key)
+        {
+            return Ok(points * trials * ops);
+        }
+        let campaign = Campaign::prepare(resolve_workload(&spec), cfg);
+        let points = campaign.points().len() as u64;
+        let ops: u64 = campaign.golden_ops.iter().sum();
+        self.cache
+            .lock()
+            .expect("cost cache lock poisoned")
+            .insert(key, (points, ops));
+        Ok(points * trials * ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfit::prelude::FaultChannel;
+    use fastfit_scenario::{Axis, Template};
+
+    #[test]
+    fn golden_cost_scales_with_trials_and_caches_profiles() {
+        let scenarios = Template::new("t")
+            .with_trials(2)
+            .with_app_seed(1)
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .plug(Axis::Channels(vec![FaultChannel::Param]))
+            .enumerate()
+            .unwrap();
+        let model = GoldenCostModel::new();
+        let c2 = model.predicted_cost(&scenarios[0]).unwrap();
+        assert!(c2 > 0, "a real campaign has nonzero predicted cost");
+        // Double the trials, double the price — and the second call hits
+        // the profile cache (same key once trials are stripped).
+        let mut s4 = scenarios[0].clone();
+        s4.trials = Some(4);
+        assert_eq!(model.predicted_cost(&s4).unwrap(), 2 * c2);
+        assert_eq!(model.cache.lock().unwrap().len(), 1);
+        // An invalid workload is an error, not a price.
+        let mut bad = scenarios[0].clone();
+        bad.workload = "HPL".into();
+        assert!(model.predicted_cost(&bad).is_err());
+    }
+}

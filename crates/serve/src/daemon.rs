@@ -23,8 +23,9 @@
 //! — the ordinary checkpoint/resume path, which is what makes a daemon
 //! campaign journal byte-identical to a local run of the same spec.
 
+use crate::cost::GoldenCostModel;
 use crate::http::{read_request, write_response, Request};
-use crate::queue::{pending_submissions, read_queue, QueueEvent, QueueLog};
+use crate::queue::{pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog};
 use crate::spec::CampaignSpec;
 use crate::workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};
 use fastfit::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
@@ -32,6 +33,7 @@ use fastfit::prelude::{
     ml_driven_observed, points_csv, Campaign, CancelToken, InjectionPoint, Levels, MlConfig,
     MlTarget, PointResult, TrialDisposition,
 };
+use fastfit_scenario::{filter_by_cost, ConcreteScenario, Grammar};
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
 use fastfit_store::{campaign_meta, CampaignState, CampaignStore, StoreError};
@@ -125,9 +127,19 @@ struct Entry {
     cancel_requested: bool,
 }
 
+/// One accepted scenario batch: the grouping the aggregate status view
+/// reports over. Member campaigns are ordinary queue entries.
+struct ScenarioEntry {
+    id: String,
+    name: String,
+    campaigns: Vec<String>,
+}
+
 struct SchedState {
     entries: Vec<Entry>,
     next_seq: u64,
+    scenarios: Vec<ScenarioEntry>,
+    next_scenario_seq: u64,
     log: QueueLog,
 }
 
@@ -150,6 +162,9 @@ pub struct Daemon {
     state: Mutex<SchedState>,
     /// Shared worker pools, keyed by rank count.
     pools: Mutex<HashMap<usize, Arc<ArenaPool>>>,
+    /// Golden-run cost model for scenario `max_cost` filtering (profile
+    /// cache shared across submissions).
+    cost: GoldenCostModel,
     metrics: Metrics,
     shutdown: AtomicBool,
     /// Runner threads still alive (shutdown waits for zero).
@@ -221,6 +236,196 @@ impl Daemon {
         drop(st);
         self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         (201, Json::obj([("id", Json::Str(id))]))
+    }
+
+    /// Handle `POST /scenarios`: parse the grammar, expand the cross
+    /// product, price it when the grammar carries `max_cost`, validate
+    /// every surviving scenario, then journal the batch — one durable
+    /// `Submitted` event per campaign (each indistinguishable from an
+    /// individual `POST /campaigns`) followed by the `Scenario` grouping
+    /// record. Validation precedes journaling, so a batch is accepted
+    /// atomically or not at all.
+    fn submit_scenario(&self, body: &[u8]) -> (u16, Json) {
+        if self.is_shutting_down() {
+            return (503, err_json("daemon is shutting down"));
+        }
+        let parsed = std::str::from_utf8(body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(|text| Json::parse(text).map_err(|e| format!("invalid JSON: {e}")))
+            .and_then(|v| Grammar::from_json(&v));
+        let grammar = match parsed {
+            Ok(g) => g,
+            Err(e) => return (400, err_json(&e)),
+        };
+        let scenarios = match grammar.expand() {
+            Ok(s) => s,
+            Err(e) => return (400, err_json(&e)),
+        };
+        for s in &scenarios {
+            let checked =
+                CampaignSpec::from_json(&s.to_spec_json()).and_then(|spec| validate_spec(&spec));
+            if let Err(e) = checked {
+                return (400, err_json(&format!("scenario {}: {e}", s.label())));
+            }
+        }
+        let total = scenarios.len();
+        let (kept, dropped): (Vec<ConcreteScenario>, usize) = match grammar.max_cost {
+            None => (scenarios, 0),
+            Some(max) => match filter_by_cost(scenarios, &self.cost, max) {
+                Ok(f) => (
+                    f.kept.into_iter().map(|(s, _)| s).collect(),
+                    f.dropped.len(),
+                ),
+                Err(e) => return (400, err_json(&e)),
+            },
+        };
+        if kept.is_empty() {
+            return (
+                400,
+                err_json(&format!(
+                    "max_cost {} drops all {total} scenarios",
+                    grammar.max_cost.unwrap_or(0)
+                )),
+            );
+        }
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let sid = format!("s{:04}", st.next_scenario_seq);
+        let mut ids = Vec::new();
+        for s in kept {
+            let spec = CampaignSpec::from_json(&s.to_spec_json())
+                .expect("scenario validated above lowers cleanly");
+            let seq = st.next_seq;
+            let id = format!("c{seq:04}");
+            let event = QueueEvent::Submitted {
+                id: id.clone(),
+                seq,
+                spec: spec.clone(),
+            };
+            if let Err(e) = st.log.append(&event) {
+                return (500, err_json(&format!("queue journal write failed: {e}")));
+            }
+            st.next_seq = seq + 1;
+            let ranks = spec.ranks.unwrap_or_else(crate::workload::default_ranks);
+            st.entries.push(Entry {
+                id: id.clone(),
+                spec,
+                ranks,
+                state: EntryState::Queued,
+                cancel: CancelToken::new(),
+                cancel_requested: false,
+            });
+            self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            ids.push(id);
+        }
+        let event = QueueEvent::Scenario {
+            id: sid.clone(),
+            name: grammar.template.name.clone(),
+            campaigns: ids.clone(),
+        };
+        if let Err(e) = st.log.append(&event) {
+            return (500, err_json(&format!("queue journal write failed: {e}")));
+        }
+        st.next_scenario_seq += 1;
+        st.scenarios.push(ScenarioEntry {
+            id: sid.clone(),
+            name: grammar.template.name.clone(),
+            campaigns: ids.clone(),
+        });
+        drop(st);
+        (
+            201,
+            Json::obj([
+                ("id", Json::Str(sid)),
+                ("count", Json::U64(ids.len() as u64)),
+                ("dropped", Json::U64(dropped as u64)),
+                (
+                    "campaigns",
+                    Json::Arr(ids.into_iter().map(Json::Str).collect()),
+                ),
+            ]),
+        )
+    }
+
+    /// Handle `GET /scenarios`.
+    fn list_scenarios(&self) -> Json {
+        let st = self.state.lock().expect("scheduler lock poisoned");
+        let items = st
+            .scenarios
+            .iter()
+            .map(|sc| {
+                let done = sc
+                    .campaigns
+                    .iter()
+                    .filter(|cid| {
+                        st.entries
+                            .iter()
+                            .any(|e| &e.id == *cid && e.state == EntryState::Done)
+                    })
+                    .count();
+                Json::obj([
+                    ("id", Json::Str(sc.id.clone())),
+                    ("name", Json::Str(sc.name.clone())),
+                    ("count", Json::U64(sc.campaigns.len() as u64)),
+                    ("done", Json::U64(done as u64)),
+                ])
+            })
+            .collect();
+        Json::Arr(items)
+    }
+
+    /// Handle `GET /scenarios/{id}/status`: the aggregate view — one
+    /// state per member campaign, a state histogram, and a single
+    /// rollup: `running` while any member runs, else `queued` while any
+    /// waits, else `done` when every member finished, else `mixed`.
+    fn scenario_status(&self, id: &str) -> Option<Json> {
+        let st = self.state.lock().expect("scheduler lock poisoned");
+        let sc = st.scenarios.iter().find(|s| s.id == id)?;
+        let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let members: Vec<Json> = sc
+            .campaigns
+            .iter()
+            .map(|cid| {
+                let token = st
+                    .entries
+                    .iter()
+                    .find(|e| &e.id == cid)
+                    .map(|e| e.state.token())
+                    // A crash between the member submissions and the
+                    // scenario record cannot produce this (members are
+                    // journaled first), but a hand-edited queue can.
+                    .unwrap_or("unknown");
+                *counts.entry(token).or_insert(0) += 1;
+                Json::obj([
+                    ("id", Json::Str(cid.clone())),
+                    ("state", Json::Str(token.into())),
+                ])
+            })
+            .collect();
+        let total: u64 = counts.values().sum();
+        let rollup = if counts.contains_key("running") {
+            "running"
+        } else if counts.contains_key("queued") {
+            "queued"
+        } else if counts.get("done").copied() == Some(total) {
+            "done"
+        } else {
+            "mixed"
+        };
+        Some(Json::obj([
+            ("id", Json::Str(sc.id.clone())),
+            ("name", Json::Str(sc.name.clone())),
+            ("state", Json::Str(rollup.into())),
+            (
+                "counts",
+                Json::Obj(
+                    counts
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            ("campaigns", Json::Arr(members)),
+        ]))
     }
 
     /// Handle `GET /campaigns`.
@@ -677,8 +882,18 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
                 failed += 1;
                 set_state(&mut entries, id, EntryState::Failed(error.clone()));
             }
+            QueueEvent::Scenario { .. } => {}
         }
     }
+    let (scenario_recs, next_scenario_seq) = scenario_records(&events);
+    let scenarios = scenario_recs
+        .into_iter()
+        .map(|(id, name, campaigns)| ScenarioEntry {
+            id,
+            name,
+            campaigns,
+        })
+        .collect();
     let recovered = pending.len();
     let log = QueueLog::open(&cfg.root)?;
     let listener = TcpListener::bind(&cfg.addr)?;
@@ -690,9 +905,12 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
         state: Mutex::new(SchedState {
             entries,
             next_seq,
+            scenarios,
+            next_scenario_seq,
             log,
         }),
         pools: Mutex::new(HashMap::new()),
+        cost: GoldenCostModel::new(),
         metrics: Metrics {
             accepted: AtomicU64::new(accepted),
             done: AtomicU64::new(done),
@@ -836,11 +1054,20 @@ fn handle(daemon: &Daemon, req: &Request, stream: &mut std::net::TcpStream) {
             let (status, body) = daemon.cancel(id);
             respond_json(stream, status, body);
         }
+        ("POST", ["scenarios"]) => {
+            let (status, body) = daemon.submit_scenario(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("GET", ["scenarios"]) => respond_json(stream, 200, daemon.list_scenarios()),
+        ("GET", ["scenarios", id, "status"]) => match daemon.scenario_status(id) {
+            Some(body) => respond_json(stream, 200, body),
+            None => respond_json(stream, 404, err_json("no such scenario")),
+        },
         ("GET", ["metrics"]) => {
             let text = daemon.metrics_text();
             let _ = write_response(stream, 200, "text/plain", text.as_bytes());
         }
-        (_, ["campaigns", ..]) | (_, ["metrics"]) => {
+        (_, ["campaigns", ..]) | (_, ["metrics"]) | (_, ["scenarios", ..]) => {
             respond_json(stream, 405, err_json("method not allowed"));
         }
         _ => respond_json(stream, 404, err_json("no such endpoint")),

@@ -20,11 +20,14 @@
 //! - [`spec`] — the `POST /campaigns` submission document.
 //! - [`workload`] — spec → `Workload`/`CampaignConfig` resolution.
 //! - [`queue`] — the durable submission queue (`queue.jsonl`).
-//! - [`daemon`] — scheduler, runners, and the HTTP route table.
+//! - [`cost`] — golden-run cost model for scenario `max_cost` filters.
+//! - [`daemon`] — scheduler, runners, and the HTTP route table
+//!   (including `POST /scenarios` batch expansion).
 //! - [`signal`] — SIGINT/SIGTERM → cooperative cancellation.
 //!
 //! [`ArenaPool`]: simmpi::arena::ArenaPool
 
+pub mod cost;
 pub mod daemon;
 pub mod http;
 pub mod queue;
@@ -32,8 +35,9 @@ pub mod signal;
 pub mod spec;
 pub mod workload;
 
+pub use cost::GoldenCostModel;
 pub use daemon::{start, DaemonHandle, EntryState, ServeConfig, DEFAULT_ADDR};
 pub use http::{http_request, Response};
-pub use queue::{pending_submissions, read_queue, QueueEvent, QueueLog};
+pub use queue::{pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog};
 pub use spec::CampaignSpec;
 pub use workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};

@@ -62,6 +62,19 @@ pub enum QueueEvent {
         /// Human-readable reason.
         error: String,
     },
+    /// A scenario batch was accepted: the aggregate grouping record for
+    /// a `POST /scenarios` expansion. Appended *after* the per-campaign
+    /// `Submitted` events it references, so a crash mid-batch leaves
+    /// orphan campaigns (which still run — they are durably owed) rather
+    /// than a scenario pointing at campaigns that were never journaled.
+    Scenario {
+        /// Daemon-assigned scenario ID (`sNNNN`).
+        id: String,
+        /// The grammar's sweep name.
+        name: String,
+        /// Member campaign IDs, in enumeration order.
+        campaigns: Vec<String>,
+    },
 }
 
 impl QueueEvent {
@@ -87,6 +100,19 @@ impl QueueEvent {
                 ("id", Json::Str(id.clone())),
                 ("error", Json::Str(error.clone())),
             ]),
+            QueueEvent::Scenario {
+                id,
+                name,
+                campaigns,
+            } => Json::obj([
+                ("t", Json::Str("scenario".into())),
+                ("id", Json::Str(id.clone())),
+                ("name", Json::Str(name.clone())),
+                (
+                    "campaigns",
+                    Json::Arr(campaigns.iter().cloned().map(Json::Str).collect()),
+                ),
+            ]),
         };
         v.encode()
     }
@@ -108,6 +134,29 @@ impl QueueEvent {
             }
             "done" => Ok(QueueEvent::Done { id }),
             "cancelled" => Ok(QueueEvent::Cancelled { id }),
+            "scenario" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("missing scenario name")?
+                    .to_string();
+                let Some(Json::Arr(items)) = v.get("campaigns") else {
+                    return Err("missing scenario campaigns".into());
+                };
+                let campaigns = items
+                    .iter()
+                    .map(|it| {
+                        it.as_str()
+                            .map(str::to_string)
+                            .ok_or("scenario campaign ids must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(QueueEvent::Scenario {
+                    id,
+                    name,
+                    campaigns,
+                })
+            }
             "failed" => {
                 let error = v
                     .get("error")
@@ -198,9 +247,34 @@ pub fn pending_submissions(events: &[QueueEvent]) -> (Vec<(String, u64, Campaign
             QueueEvent::Failed { id, .. } => {
                 pending.retain(|(p, _, _)| p != id);
             }
+            // Scenario records group campaigns; they carry no work of
+            // their own.
+            QueueEvent::Scenario { .. } => {}
         }
     }
     (pending, next_seq)
+}
+
+/// The scenario fold: every scenario grouping record in submission
+/// order, plus the next free scenario sequence number (scenario IDs are
+/// `sNNNN`, numbered independently of campaign IDs).
+pub fn scenario_records(events: &[QueueEvent]) -> (Vec<(String, String, Vec<String>)>, u64) {
+    let mut next_seq = 1;
+    let mut records = Vec::new();
+    for ev in events {
+        if let QueueEvent::Scenario {
+            id,
+            name,
+            campaigns,
+        } = ev
+        {
+            if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+                next_seq = next_seq.max(n + 1);
+            }
+            records.push((id.clone(), name.clone(), campaigns.clone()));
+        }
+    }
+    (records, next_seq)
 }
 
 #[cfg(test)]
@@ -238,10 +312,37 @@ mod tests {
                 id: "c0003".into(),
                 error: "boom".into(),
             },
+            QueueEvent::Scenario {
+                id: "s0001".into(),
+                name: "sweep".into(),
+                campaigns: vec!["c0001".into(), "c0002".into()],
+            },
         ] {
             assert_eq!(QueueEvent::decode(&ev.encode()).unwrap(), ev);
         }
         assert!(QueueEvent::decode("{\"t\":\"levitate\",\"id\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn scenario_records_fold_and_do_not_pend() {
+        let events = vec![
+            submit("c0001", 1),
+            submit("c0002", 2),
+            QueueEvent::Scenario {
+                id: "s0001".into(),
+                name: "sweep".into(),
+                campaigns: vec!["c0001".into(), "c0002".into()],
+            },
+            QueueEvent::Done { id: "c0001".into() },
+        ];
+        let (pending, next_seq) = pending_submissions(&events);
+        assert_eq!(next_seq, 3);
+        assert_eq!(pending.len(), 1, "scenario record adds no work");
+        let (records, next_sseq) = scenario_records(&events);
+        assert_eq!(next_sseq, 2);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, "s0001");
+        assert_eq!(records[0].2, vec!["c0001", "c0002"]);
     }
 
     #[test]

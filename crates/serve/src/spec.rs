@@ -11,6 +11,7 @@
 
 use fastfit::prelude::{FaultChannel, ParamsMode};
 use fastfit_store::json::Json;
+use simmpi::hook::CollKind;
 
 /// A campaign submission. Optional fields fall back to the daemon's
 /// environment defaults at resolution time (spec beats daemon env).
@@ -36,6 +37,9 @@ pub struct CampaignSpec {
     pub app_seed: Option<u64>,
     /// LAMMPS run length; default 10 (ignored for NPB kernels).
     pub steps: Option<usize>,
+    /// Collective subset (`MPI_*` names): measure only points at these
+    /// collective kinds. `None` measures every kind the pruner keeps.
+    pub colls: Option<Vec<CollKind>>,
     /// ML feedback loop: measure until held-out accuracy passes this
     /// threshold, predict the rest. Present ⇒ ML-driven campaign.
     pub ml_threshold: Option<f64>,
@@ -54,6 +58,7 @@ impl CampaignSpec {
             seed: None,
             app_seed: None,
             steps: None,
+            colls: None,
             ml_threshold: None,
         }
     }
@@ -87,6 +92,17 @@ impl CampaignSpec {
         if let Some(s) = self.steps {
             m.insert("steps".into(), Json::U64(s as u64));
         }
+        if let Some(colls) = &self.colls {
+            m.insert(
+                "colls".into(),
+                Json::Arr(
+                    colls
+                        .iter()
+                        .map(|k| Json::Str(k.name().to_string()))
+                        .collect(),
+                ),
+            );
+        }
         if let Some(t) = self.ml_threshold {
             m.insert("ml_threshold".into(), Json::F64(t));
         }
@@ -100,7 +116,7 @@ impl CampaignSpec {
         let Json::Obj(m) = v else {
             return Err("campaign spec must be a JSON object".into());
         };
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "workload",
             "ranks",
             "trials",
@@ -110,6 +126,7 @@ impl CampaignSpec {
             "seed",
             "app_seed",
             "steps",
+            "colls",
             "ml_threshold",
         ];
         for key in m.keys() {
@@ -149,15 +166,37 @@ impl CampaignSpec {
         };
         let fault_channel = match v.get("fault_channel").map(|c| c.as_str()) {
             None => None,
-            Some(Some(tok)) => Some(
-                FaultChannel::from_token(tok)
-                    .ok_or_else(|| format!("unknown fault_channel {tok:?} (param|message)"))?,
-            ),
+            Some(Some(tok)) => Some(FaultChannel::from_token(tok).ok_or_else(|| {
+                format!(
+                    "unknown fault_channel {tok:?} (param|message|crash-stop|fail-slow|partition)"
+                )
+            })?),
             Some(None) => return Err("\"fault_channel\" must be a string token".into()),
         };
         let resilient = match v.get("resilient") {
             None => None,
             Some(x) => Some(x.as_bool().ok_or("\"resilient\" must be a boolean")?),
+        };
+        let colls = match v.get("colls") {
+            None => None,
+            Some(Json::Arr(items)) => {
+                if items.is_empty() {
+                    return Err("\"colls\" must name at least one collective".into());
+                }
+                Some(
+                    items
+                        .iter()
+                        .map(|it| {
+                            let name = it
+                                .as_str()
+                                .ok_or("\"colls\" entries must be MPI_* name strings")?;
+                            CollKind::from_name(name)
+                                .ok_or_else(|| format!("unknown collective {name:?}"))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                )
+            }
+            Some(_) => return Err("\"colls\" must be an array of MPI_* names".into()),
         };
         let ml_threshold = match v.get("ml_threshold") {
             None => None,
@@ -173,6 +212,7 @@ impl CampaignSpec {
             seed: u64_field("seed")?,
             app_seed: u64_field("app_seed")?,
             steps: usize_field("steps")?,
+            colls,
             ml_threshold,
         })
     }
@@ -203,10 +243,40 @@ mod tests {
             seed: Some(0xFA57),
             app_seed: Some(0x5EED),
             steps: Some(6),
+            colls: Some(vec![CollKind::Allreduce, CollKind::Bcast]),
             ml_threshold: Some(0.65),
         };
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
+        assert!(spec
+            .to_json()
+            .encode()
+            .contains("\"colls\":[\"MPI_Allreduce\",\"MPI_Bcast\"]"));
+    }
+
+    #[test]
+    fn rank_fault_channel_tokens_parse() {
+        for tok in ["crash-stop", "fail-slow", "partition"] {
+            let v = Json::parse(&format!(
+                "{{\"workload\":\"IS\",\"fault_channel\":\"{tok}\"}}"
+            ))
+            .unwrap();
+            let spec = CampaignSpec::from_json(&v).unwrap();
+            assert_eq!(spec.fault_channel.map(FaultChannel::token), Some(tok));
+        }
+    }
+
+    #[test]
+    fn bad_colls_are_rejected() {
+        for body in [
+            "{\"workload\":\"IS\",\"colls\":[]}",
+            "{\"workload\":\"IS\",\"colls\":[\"MPI_Sendrecv\"]}",
+            "{\"workload\":\"IS\",\"colls\":7}",
+            "{\"workload\":\"IS\",\"colls\":[3]}",
+        ] {
+            let v = Json::parse(body).unwrap();
+            assert!(CampaignSpec::from_json(&v).is_err(), "{body}");
+        }
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub fn resolve_config(spec: &CampaignSpec) -> CampaignConfig {
     if let Some(s) = spec.seed {
         cfg.seed = s;
     }
+    if let Some(colls) = &spec.colls {
+        cfg.colls = Some(colls.clone());
+    }
     cfg
 }
 
@@ -146,6 +149,7 @@ mod tests {
         spec.resilient = Some(true);
         spec.seed = Some(99);
         spec.app_seed = Some(123);
+        spec.colls = Some(vec![simmpi::hook::CollKind::Allreduce]);
         let w = resolve_workload(&spec);
         assert_eq!(w.name, "IS");
         assert_eq!(w.nranks, 4);
@@ -155,6 +159,7 @@ mod tests {
         assert_eq!(cfg.fault_channel, FaultChannel::Message);
         assert!(cfg.resilient);
         assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.colls, Some(vec![simmpi::hook::CollKind::Allreduce]));
         assert!(resolve_ml(&spec).is_none());
         spec.ml_threshold = Some(0.6);
         let (target, ml) = resolve_ml(&spec).unwrap();

@@ -37,7 +37,7 @@ use crate::error::MpiError;
 use crate::hook::{CallSite, CollCall, CollHook, CollKind, CollParams};
 use crate::op::ReduceOp;
 use crate::record::{CallRecord, Phase};
-use crate::transport::Fabric;
+use crate::transport::{Fabric, RankFaultPlan};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -1064,6 +1064,7 @@ impl RankCtx {
             });
         }
         let mut msg_fault = None;
+        let mut rank_fault = None;
         if let Some(hook) = self.hook.clone() {
             let mut call = CollCall {
                 kind,
@@ -1074,9 +1075,24 @@ impl RankCtx {
                 sendbuf,
                 recvbuf,
                 msg_fault: None,
+                rank_fault: None,
             };
             hook.before(&mut call);
             msg_fault = call.msg_fault;
+            rank_fault = call.rank_fault;
+        }
+        // Rank faults act at the collective entry, before any validation or
+        // traffic: a crash-stop rank dies without sending a byte (survivors
+        // drain via the fail-stop sweep), a fail-slow rank stalls for a
+        // bounded delay and then proceeds normally.
+        match rank_fault {
+            Some(RankFaultPlan::CrashStop) => {
+                Self::segfault("injected crash-stop rank fault");
+            }
+            Some(RankFaultPlan::FailSlow { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            _ => {}
         }
         self.ctl.check();
 
@@ -1102,6 +1118,15 @@ impl RankCtx {
         // never fire on later traffic.
         if let Some(plan) = msg_fault {
             self.fabric.arm(self.rank, comm.handle.0, seq, plan);
+        }
+        // A partition is armed with the same post-validation `(comm, seq)`
+        // scope. Every rank reaches this point with the *same* seq for the
+        // same collective (per-communicator sequence numbers are SPMD-
+        // deterministic), so each rank arms before any of its own scoped
+        // sends — the dropped set is schedule-independent.
+        if let Some(RankFaultPlan::Partition { cut_draw, sticky }) = rank_fault {
+            self.fabric
+                .arm_partition(self.rank, comm.handle.0, seq, cut_draw, sticky);
         }
         Decoded {
             comm,

@@ -11,7 +11,7 @@
 use crate::comm::CommHandle;
 use crate::datatype::Datatype;
 use crate::op::ReduceOp;
-use crate::transport::MsgFaultPlan;
+use crate::transport::{MsgFaultPlan, RankFaultPlan};
 
 /// The collective operations the runtime implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +87,11 @@ impl CollKind {
             CollKind::Gatherv => "MPI_Gatherv",
             CollKind::Allgatherv => "MPI_Allgatherv",
         }
+    }
+
+    /// Inverse of [`CollKind::name`] (`MPI_*` display names, exact match).
+    pub fn from_name(name: &str) -> Option<CollKind> {
+        ALL_COLL_KINDS.into_iter().find(|k| k.name() == name)
     }
 
     /// Whether the collective has a root parameter (the paper's "rooted"
@@ -263,6 +268,11 @@ pub struct CollCall<'a> {
     /// collective invocation. Set by a hook to inject a transport-level
     /// fault instead of (or in addition to) a parameter flip.
     pub msg_fault: Option<MsgFaultPlan>,
+    /// Rank-fault plan for this collective entry: crash-stop, fail-slow,
+    /// or a network partition. Set by a hook; the runtime acts on it right
+    /// after the hook returns (crash/stall) or arms it with the collective
+    /// scope (partition).
+    pub rank_fault: Option<RankFaultPlan>,
 }
 
 /// Interposition hook (the PMPI layer). Implemented by the FastFIT

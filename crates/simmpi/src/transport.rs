@@ -38,6 +38,21 @@
 //! machine load. Without a budget the receive blocks until the wall-clock
 //! backstop (campaigns always set a budget).
 //!
+//! # Rank faults and partitions
+//!
+//! A third fault family lives at rank granularity ([`RankFaultPlan`]):
+//! crash-stop (the rank dies at a collective entry), fail-slow (the rank
+//! stalls for a bounded delay, then proceeds), and network partitions. A
+//! partition is armed *per source rank* via
+//! [`arm_partition`](Fabric::arm_partition): each rank learns the cut when
+//! its own collective entry reaches the partition instant (the
+//! per-communicator sequence number is deterministic and equal across
+//! ranks there) and from then on drops its own cross-cut collective sends
+//! through the same dropped-message machinery as a `Drop` message fault —
+//! so plain-mode victims burn their op budget deterministically and the
+//! resilient transport heals (or, for sticky partitions, exhausts into
+//! `MPI_ERR_TRANSPORT`).
+//!
 //! # Resilient mode
 //!
 //! [`Fabric::with_mode`] enables a self-healing delivery protocol: every
@@ -140,6 +155,62 @@ impl MsgFaultPlan {
     }
 }
 
+/// Upper bound of a fail-slow injected delay. Far below the campaign
+/// minimum wall-clock timeout (400ms), so a slowed rank always finishes —
+/// fail-slow perturbs timing, never the outcome.
+pub const FAIL_SLOW_MAX_MILLIS: u64 = 45;
+
+/// A rank-level fault: the whole rank misbehaves at one collective entry,
+/// instead of one parameter or one message being corrupted.
+///
+/// Like the other channels, each plan is decoded from a single `u64` draw
+/// (see the per-variant constructors) so campaigns sample these spaces with
+/// the same one-draw-per-trial convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankFaultPlan {
+    /// The rank dies (simulated process crash) at the collective entry,
+    /// before sending anything. Survivors drain deterministically via the
+    /// fail-stop sweep.
+    CrashStop,
+    /// The rank stalls for a bounded wall-clock delay at the collective
+    /// entry, then proceeds normally. Must never be misfiled as a hang.
+    FailSlow {
+        /// Injected delay, bounded by [`FAIL_SLOW_MAX_MILLIS`].
+        millis: u64,
+    },
+    /// A network partition: from this collective on, every message crossing
+    /// the rank cut `{0..cut} | {cut..n}` is dropped on the wire. Armed on
+    /// *every* rank (each polices its own sends), which keeps the set of
+    /// dropped messages a pure function of the program, not the schedule.
+    Partition {
+        /// Uniform draw selecting the cut position, reduced modulo the
+        /// rank count at arm time.
+        cut_draw: u64,
+        /// Sticky partitions also drop every retransmission, so the
+        /// resilient transport cannot heal across the cut.
+        sticky: bool,
+    },
+}
+
+impl RankFaultPlan {
+    /// Decode a fail-slow plan from one uniform draw: a delay in
+    /// `5..=5+FAIL_SLOW_MAX_MILLIS-5` milliseconds.
+    pub fn fail_slow_from_bit(bit: u64) -> RankFaultPlan {
+        RankFaultPlan::FailSlow {
+            millis: 5 + bit % (FAIL_SLOW_MAX_MILLIS - 4),
+        }
+    }
+
+    /// Decode a partition plan from one uniform draw: sticky on one
+    /// quarter of the space, the rest selects the cut.
+    pub fn partition_from_bit(bit: u64) -> RankFaultPlan {
+        RankFaultPlan::Partition {
+            cut_draw: bit / 4,
+            sticky: bit % 4 == 3,
+        }
+    }
+}
+
 /// Counters the fabric accumulates over one job, snapshotted into
 /// `JobResult::transport`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -229,6 +300,39 @@ impl ArmedFault {
     }
 }
 
+/// An armed network partition, held per source rank: every rank learns the
+/// cut when its own `pre_coll` reaches the armed `(site, invocation)` —
+/// the per-communicator collective sequence number is deterministic and
+/// equal across ranks there — and from then on drops its *own* cross-cut
+/// collective sends. Because each sender arms before any of its scoped
+/// sends, the set of dropped messages cannot depend on thread scheduling.
+#[derive(Debug)]
+struct ArmedPartition {
+    comm_code: u32,
+    /// First collective sequence number the partition applies to.
+    from_seq: u64,
+    /// Ranks `< cut` are on one side, ranks `>= cut` on the other.
+    cut: usize,
+    sticky: bool,
+}
+
+impl ArmedPartition {
+    /// Whether `tag` is collective traffic on the partitioned communicator
+    /// at or after the partition instant. The 20-bit truncated comparison
+    /// matches the tag encoding; campaigns never approach 2^20 collectives
+    /// on one communicator.
+    fn in_scope(&self, tag: u64) -> bool {
+        (tag >> 32) == u64::from(self.comm_code)
+            && ((tag >> 28) & 0xF) == TagKind::Collective as u64
+            && (tag & 0xF_FFFF) >= (self.from_seq & 0xF_FFFF)
+    }
+
+    /// Whether a `src -> dst` message crosses the cut.
+    fn crosses(&self, src: usize, dst: usize) -> bool {
+        (src < self.cut) != (dst < self.cut)
+    }
+}
+
 /// 64-bit FNV-1a over the payload — the per-message checksum of the
 /// resilient transport.
 fn fnv1a(data: &[u8]) -> u64 {
@@ -246,6 +350,8 @@ pub struct Fabric {
     boxes: Vec<Mailbox>,
     /// Per-source armed message fault (at most one per rank).
     armed: Vec<Mutex<Option<ArmedFault>>>,
+    /// Per-source armed network partition (at most one per rank).
+    armed_partition: Vec<Mutex<Option<ArmedPartition>>>,
     /// Resilient (checksum/ack/retransmit) delivery protocol enabled.
     resilient: bool,
     /// Total bytes ever enqueued, for diagnostics/benchmarks.
@@ -273,6 +379,7 @@ impl Fabric {
         Arc::new(Fabric {
             boxes: (0..n).map(|_| Mailbox::default()).collect(),
             armed: (0..n).map(|_| Mutex::new(None)).collect(),
+            armed_partition: (0..n).map(|_| Mutex::new(None)).collect(),
             resilient,
             bytes_sent: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
@@ -328,6 +435,47 @@ impl Fabric {
         }
     }
 
+    /// Arm a network partition for `src`'s collective sends from sequence
+    /// number `from_seq` on: every message `src` sends across the rank cut
+    /// is dropped on the wire. Called by every rank when its own collective
+    /// entry reaches the partition instant, so each rank polices its own
+    /// sends and no cross-cut message can slip through before arming.
+    ///
+    /// The cut is decoded from `cut_draw` here (the fabric knows the rank
+    /// count): `1 + cut_draw % (n - 1)`, always a proper two-sided split.
+    /// Single-rank fabrics have no cut and never arm.
+    pub fn arm_partition(
+        &self,
+        src: usize,
+        comm_code: u32,
+        from_seq: u64,
+        cut_draw: u64,
+        sticky: bool,
+    ) {
+        let n = self.boxes.len();
+        if n < 2 {
+            return;
+        }
+        let cut = 1 + (cut_draw % (n as u64 - 1)) as usize;
+        if let Some(slot) = self.armed_partition.get(src) {
+            *slot.lock() = Some(ArmedPartition {
+                comm_code,
+                from_seq,
+                cut,
+                sticky,
+            });
+        }
+    }
+
+    /// Consult `src`'s armed partition: if the `src -> dst` message with
+    /// `tag` crosses the cut in scope, return the partition's stickiness.
+    fn partition_for(&self, src: usize, dst: usize, tag: u64) -> Option<bool> {
+        let slot = self.armed_partition.get(src)?;
+        let guard = slot.lock();
+        let armed = guard.as_ref()?;
+        (armed.in_scope(tag) && armed.crosses(src, dst)).then_some(armed.sticky)
+    }
+
     /// Whether `rank` is blocked in [`recv`](Fabric::recv) with no
     /// deliverable message. Checked under the mailbox lock, so a `true`
     /// cannot race with an in-flight matching send: a send that landed
@@ -380,6 +528,7 @@ impl Fabric {
         // Decide the fault before taking the mailbox lock (the two locks
         // are never held together).
         let fault = self.fault_for(src, tag);
+        let partition = self.partition_for(src, dst, tag);
         let mut st = mbox.state.lock();
         let seqno = {
             let c = st.next_seq.entry(src).or_insert(0);
@@ -397,6 +546,21 @@ impl Fabric {
             pristine: None,
             sticky: false,
         };
+        if let Some(sticky) = partition {
+            // Cross-cut message under an armed partition: dropped on the
+            // wire, exactly like a `Drop` message fault (the receiver
+            // resolves its own fate — retransmit recovery or a
+            // deterministic op-budget burn).
+            self.fault_fired.store(true, Ordering::Release);
+            st.dropped.push(DroppedEntry {
+                src,
+                tag,
+                data: msg.data,
+                sticky,
+            });
+            mbox.cv.notify_all();
+            return Ok(());
+        }
         match fault {
             Some(plan) => match plan.kind {
                 MsgFaultKind::Flip if !msg.data.is_empty() => {
@@ -942,6 +1106,128 @@ mod tests {
         f.send(0, 1, coll_tag(COMM, 3, 0), vec![3]).unwrap();
         assert!(f.stats().fault_fired);
         assert_eq!(f.queued(1), 0);
+    }
+
+    // ----- rank faults / partitions -----
+
+    #[test]
+    fn rank_fault_plans_decode_deterministically_and_bounded() {
+        for bit in [0u64, 1, 3, 4, 7, 40, 41, 1000, u64::MAX] {
+            assert_eq!(
+                RankFaultPlan::fail_slow_from_bit(bit),
+                RankFaultPlan::fail_slow_from_bit(bit)
+            );
+            assert_eq!(
+                RankFaultPlan::partition_from_bit(bit),
+                RankFaultPlan::partition_from_bit(bit)
+            );
+            match RankFaultPlan::fail_slow_from_bit(bit) {
+                RankFaultPlan::FailSlow { millis } => {
+                    assert!((5..=FAIL_SLOW_MAX_MILLIS).contains(&millis))
+                }
+                other => panic!("unexpected plan {:?}", other),
+            }
+        }
+        // The sticky quarter exists and small draws reach both flavours.
+        assert!(matches!(
+            RankFaultPlan::partition_from_bit(3),
+            RankFaultPlan::Partition { sticky: true, .. }
+        ));
+        assert!(matches!(
+            RankFaultPlan::partition_from_bit(0),
+            RankFaultPlan::Partition { sticky: false, .. }
+        ));
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_sends_only() {
+        let f = Fabric::new(4);
+        // cut_draw 0 on a 4-rank fabric → cut = 1: {0} | {1,2,3}.
+        for src in 0..4 {
+            f.arm_partition(src, COMM, 0, 0, false);
+        }
+        // Within-side traffic is untouched.
+        f.send(1, 2, coll_tag(COMM, 0, 0), vec![12]).unwrap();
+        assert_eq!(f.recv(2, 1, coll_tag(COMM, 0, 0), &ctl()), vec![12]);
+        assert!(!f.stats().fault_fired, "within-side send must not fire");
+        // Cross-cut traffic is dropped, both directions.
+        f.send(0, 3, coll_tag(COMM, 0, 1), vec![3]).unwrap();
+        f.send(3, 0, coll_tag(COMM, 0, 2), vec![30]).unwrap();
+        assert_eq!(f.queued(3), 0);
+        assert_eq!(f.queued(0), 0);
+        assert!(f.stats().fault_fired);
+    }
+
+    #[test]
+    fn partition_scope_starts_at_from_seq_and_spares_p2p() {
+        let f = Fabric::new(2);
+        f.arm_partition(0, COMM, 5, 0, false);
+        // Earlier collective: delivered.
+        f.send(0, 1, coll_tag(COMM, 4, 0), vec![4]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 4, 0), &ctl()), vec![4]);
+        // P2p traffic with matching low bits: out of scope.
+        f.send(0, 1, crate::comm::p2p_tag(COMM, 9), vec![9])
+            .unwrap();
+        assert_eq!(f.recv(1, 0, crate::comm::p2p_tag(COMM, 9), &ctl()), vec![9]);
+        assert!(!f.stats().fault_fired);
+        // The partition instant and everything after: dropped.
+        f.send(0, 1, coll_tag(COMM, 5, 0), vec![5]).unwrap();
+        f.send(0, 1, coll_tag(COMM, 7, 0), vec![7]).unwrap();
+        assert_eq!(f.queued(1), 0);
+        assert!(f.stats().fault_fired);
+    }
+
+    #[test]
+    fn partition_burns_op_budget_deterministically_in_plain_mode() {
+        let run = || {
+            let f = Fabric::new(2);
+            f.arm_partition(0, COMM, 0, 0, false);
+            f.send(0, 1, coll_tag(COMM, 0, 0), vec![5]).unwrap();
+            assert!(!f.stuck(1), "partition victim is not (yet) stuck");
+            let c = JobControl::with_budget(2, Duration::from_secs(60), Some(400));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f.recv(1, 0, coll_tag(COMM, 0, 0), &c)
+            }))
+            .unwrap_err();
+            assert_eq!(*err.downcast_ref::<RankPanic>().unwrap(), RankPanic::Killed);
+            assert_eq!(c.hang(), Some(crate::control::HangKind::OpBudget));
+            c.ops(1)
+        };
+        assert_eq!(run(), run(), "op-budget kill point is logical, not timed");
+    }
+
+    #[test]
+    fn resilient_transport_heals_a_partition_unless_sticky() {
+        let f = Fabric::with_mode(2, true);
+        f.arm_partition(0, COMM, 0, 0, false);
+        f.send(0, 1, coll_tag(COMM, 0, 0), vec![1, 2]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl()), vec![1, 2]);
+        let s = f.stats();
+        assert!(s.fault_fired);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.transport_errors, 0);
+
+        let f = Fabric::with_mode(2, true);
+        f.arm_partition(0, COMM, 0, 0, true);
+        f.send(0, 1, coll_tag(COMM, 0, 0), vec![1, 2]).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl())
+        }))
+        .unwrap_err();
+        assert_eq!(
+            *err.downcast_ref::<RankPanic>().unwrap(),
+            RankPanic::Mpi(MpiError::Transport)
+        );
+        assert_eq!(f.stats().transport_errors, 1);
+    }
+
+    #[test]
+    fn single_rank_fabric_never_arms_a_partition() {
+        let f = Fabric::new(1);
+        f.arm_partition(0, COMM, 0, 7, true);
+        f.send(0, 0, coll_tag(COMM, 0, 0), vec![1]).unwrap();
+        assert_eq!(f.recv(0, 0, coll_tag(COMM, 0, 0), &ctl()), vec![1]);
+        assert!(!f.stats().fault_fired);
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct CampaignMeta {
     /// Whether trials ran on the resilient transport. Encoded only when
     /// `true`, for the same backward-compatibility reason.
     pub resilient: bool,
+    /// Collective subset restriction (`MPI_*` display names, sorted), when
+    /// the campaign measures only some collective kinds. Encoded only when
+    /// present so unrestricted campaigns keep their IDs.
+    pub colls: Option<Vec<String>>,
     /// Keys of the points this campaign measures, in measurement order.
     /// Order matters: the per-point RNG seed is derived from the index.
     pub point_keys: Vec<String>,
@@ -119,6 +123,12 @@ impl CampaignMeta {
         }
         if self.resilient {
             pairs.push(("resilient", Json::Bool(true)));
+        }
+        if let Some(colls) = &self.colls {
+            pairs.push((
+                "colls",
+                Json::Arr(colls.iter().cloned().map(Json::Str).collect()),
+            ));
         }
         Json::obj(pairs)
     }
@@ -187,6 +197,20 @@ impl CampaignMeta {
             }
         };
         let resilient = v.get("resilient").and_then(Json::as_bool).unwrap_or(false);
+        let colls = match v.get("colls") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(
+                c.as_arr()
+                    .ok_or_else(|| StoreError::Corrupt("meta colls not an array".into()))?
+                    .iter()
+                    .map(|k| {
+                        k.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| StoreError::Corrupt("coll name not a string".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
         Ok(CampaignMeta {
             workload: str_field("workload")?,
             nranks: u64_field("nranks")? as usize,
@@ -200,6 +224,7 @@ impl CampaignMeta {
             ml,
             fault_channel,
             resilient,
+            colls,
             point_keys,
         })
     }
@@ -639,6 +664,7 @@ mod tests {
             }),
             fault_channel: FaultChannel::Param,
             resilient: false,
+            colls: None,
             point_keys: vec!["a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into()],
         }
     }
@@ -753,6 +779,7 @@ mod tests {
         let m = meta().to_json().encode();
         assert!(!m.contains("fault_channel"), "{}", m);
         assert!(!m.contains("resilient"), "{}", m);
+        assert!(!m.contains("colls"), "{}", m);
         let t = Record::Trial(trial(0)).encode();
         assert!(!t.contains("chan"), "{}", t);
         assert!(!t.contains("rtx"), "{}", t);
@@ -792,6 +819,62 @@ mod tests {
         let line = Record::Trial(message_trial(0)).encode();
         assert!(line.contains("\"chan\":\"message\""), "{}", line);
         assert!(line.contains("\"rtx\":2"), "{}", line);
+    }
+
+    #[test]
+    fn rank_fault_channels_mark_meta_and_trials() {
+        // The three rank-level channels follow the same encode-only-when-
+        // non-default convention as `message`, and each is a distinct
+        // campaign identity.
+        let mut ids = vec![meta().campaign_id()];
+        for ch in [
+            FaultChannel::CrashStop,
+            FaultChannel::FailSlow,
+            FaultChannel::Partition,
+        ] {
+            let m = CampaignMeta {
+                fault_channel: ch,
+                ..meta()
+            };
+            assert!(
+                m.to_json().encode().contains(ch.token()),
+                "channel token journaled"
+            );
+            let decoded = CampaignMeta::from_json(&m.to_json()).unwrap();
+            assert_eq!(decoded, m);
+            ids.push(m.campaign_id());
+            let rec = TrialRecord {
+                channel: ch,
+                ..trial(0)
+            };
+            let line = Record::Trial(rec.clone()).encode();
+            assert!(
+                line.contains(&format!("\"chan\":\"{}\"", ch.token())),
+                "{}",
+                line
+            );
+            assert_eq!(Record::decode(&line).unwrap(), Some(Record::Trial(rec)));
+        }
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len(), "one identity per channel");
+    }
+
+    #[test]
+    fn coll_subset_changes_identity_and_roundtrips() {
+        let m = CampaignMeta {
+            colls: Some(vec!["MPI_Allreduce".into(), "MPI_Bcast".into()]),
+            ..meta()
+        };
+        assert_ne!(m.campaign_id(), meta().campaign_id());
+        assert!(m.to_json().encode().contains("\"colls\""));
+        let decoded = CampaignMeta::from_json(&m.to_json()).unwrap();
+        assert_eq!(decoded, m);
+        // Different subsets are different campaigns.
+        let other = CampaignMeta {
+            colls: Some(vec!["MPI_Allreduce".into()]),
+            ..meta()
+        };
+        assert_ne!(m.campaign_id(), other.campaign_id());
     }
 
     #[test]

@@ -287,6 +287,14 @@ pub fn campaign_meta(
         campaign_seed: campaign.cfg.seed,
         fault_channel: campaign.cfg.fault_channel,
         resilient: campaign.cfg.resilient,
+        colls: campaign.cfg.colls.as_ref().map(|kinds| {
+            // Sorted display names: the set, not its spelling order, is
+            // the campaign identity.
+            let mut names: Vec<String> = kinds.iter().map(|k| k.name().to_string()).collect();
+            names.sort();
+            names.dedup();
+            names
+        }),
         ml: ml.map(|(target, cfg)| MlMeta {
             target: ml_target_token(target),
             // The debug encoding covers every MlConfig field; hashing it
@@ -347,6 +355,7 @@ mod tests {
             campaign_seed: 9,
             fault_channel: FaultChannel::Param,
             resilient: false,
+            colls: None,
             ml: None,
             point_keys: vec![point_key(&point())],
         }

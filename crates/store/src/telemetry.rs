@@ -8,7 +8,7 @@
 
 use crate::json::Json;
 use crate::StoreError;
-use fastfit::prelude::{CampaignPhase, FaultChannel, ALL_RESPONSES};
+use fastfit::prelude::{CampaignPhase, FaultChannel, ALL_FAULT_CHANNELS, ALL_RESPONSES};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -17,6 +17,12 @@ use fastfit::observe::ALL_PHASES;
 
 /// Status file name inside a campaign directory.
 pub const STATUS_FILE: &str = "status.json";
+
+/// `status.json` key of one channel's response histogram
+/// (`responses_param`, `responses_message`, `responses_crash_stop`, ...).
+fn channel_hist_key(ch: FaultChannel) -> String {
+    format!("responses_{}", ch.token().replace('-', "_"))
+}
 
 /// Campaign lifecycle states recorded in `status.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +86,11 @@ pub struct Telemetry {
     /// Trials whose disposition is quarantined (no response classified).
     trials_quarantined: AtomicU64,
     responses: [AtomicU64; 6],
-    /// Per-channel response histograms (param / message faults). The
-    /// combined `responses` stays authoritative; these split it so a
-    /// mixed-history directory still reads sensibly.
-    responses_param: [AtomicU64; 6],
-    responses_message: [AtomicU64; 6],
+    /// Per-channel response histograms, indexed by
+    /// [`FaultChannel::index`]. The combined `responses` stays
+    /// authoritative; these split it so a mixed-history directory still
+    /// reads sensibly.
+    responses_by_channel: [[AtomicU64; 6]; 5],
     /// Resilient-transport recoveries observed across all trials.
     retransmits: AtomicU64,
     /// Per-phase wall micros, `ALL_PHASES` order.
@@ -106,8 +112,7 @@ impl Default for Telemetry {
             trials_retried: AtomicU64::new(0),
             trials_quarantined: AtomicU64::new(0),
             responses: Default::default(),
-            responses_param: Default::default(),
-            responses_message: Default::default(),
+            responses_by_channel: Default::default(),
             retransmits: AtomicU64::new(0),
             phase_us: Default::default(),
             learn_rounds: AtomicU64::new(0),
@@ -154,11 +159,8 @@ impl Telemetry {
         match response {
             Some(r) => {
                 self.responses[r.index()].fetch_add(1, Ordering::Relaxed);
-                let per = match channel {
-                    FaultChannel::Param => &self.responses_param,
-                    FaultChannel::Message => &self.responses_message,
-                };
-                per[r.index()].fetch_add(1, Ordering::Relaxed);
+                self.responses_by_channel[channel.index()][r.index()]
+                    .fetch_add(1, Ordering::Relaxed);
             }
             None => {
                 self.trials_quarantined.fetch_add(1, Ordering::Relaxed);
@@ -218,12 +220,12 @@ impl Telemetry {
             None
         };
         let mut responses = [0u64; 6];
-        let mut responses_param = [0u64; 6];
-        let mut responses_message = [0u64; 6];
+        let mut responses_by_channel = [[0u64; 6]; 5];
         for i in 0..6 {
             responses[i] = self.responses[i].load(Ordering::Relaxed);
-            responses_param[i] = self.responses_param[i].load(Ordering::Relaxed);
-            responses_message[i] = self.responses_message[i].load(Ordering::Relaxed);
+            for (c, per) in self.responses_by_channel.iter().enumerate() {
+                responses_by_channel[c][i] = per[i].load(Ordering::Relaxed);
+            }
         }
         let mut phase_secs = [None; 4];
         for (i, us) in self.phase_us.iter().enumerate() {
@@ -245,8 +247,7 @@ impl Telemetry {
             trials_quarantined: quarantined,
             trials_total,
             responses,
-            responses_param,
-            responses_message,
+            responses_by_channel,
             retransmits: self.retransmits.load(Ordering::Relaxed),
             phase_secs,
             learn_rounds: self.learn_rounds.load(Ordering::Relaxed),
@@ -288,10 +289,9 @@ pub struct StatusSnapshot {
     pub trials_total: u64,
     /// Response histogram over all observed trials, `ALL_RESPONSES` order.
     pub responses: [u64; 6],
-    /// Responses attributed to parameter-channel faults.
-    pub responses_param: [u64; 6],
-    /// Responses attributed to message-channel faults.
-    pub responses_message: [u64; 6],
+    /// Responses attributed to each fault channel
+    /// (`ALL_FAULT_CHANNELS`/[`FaultChannel::index`] order).
+    pub responses_by_channel: [[u64; 6]; 5],
     /// Resilient-transport recoveries summed over all observed trials.
     pub retransmits: u64,
     /// Wall seconds of each completed phase, `ALL_PHASES` order.
@@ -324,7 +324,7 @@ impl StatusSnapshot {
                 phase_map.insert(p.name().to_string(), Json::F64(s));
             }
         }
-        Json::obj([
+        let mut v = Json::obj([
             ("campaign_id", Json::Str(self.campaign_id.clone())),
             ("workload", Json::Str(self.workload.clone())),
             ("state", Json::Str(self.state.name().into())),
@@ -336,8 +336,6 @@ impl StatusSnapshot {
             ("trials_quarantined", Json::U64(self.trials_quarantined)),
             ("trials_total", Json::U64(self.trials_total)),
             ("responses", resp_obj(&self.responses)),
-            ("responses_param", resp_obj(&self.responses_param)),
-            ("responses_message", resp_obj(&self.responses_message)),
             ("retransmits", Json::U64(self.retransmits)),
             ("phase_secs", Json::Obj(phase_map)),
             ("learn_rounds", Json::U64(self.learn_rounds)),
@@ -351,7 +349,16 @@ impl StatusSnapshot {
                 "eta_secs",
                 self.eta_secs.map(Json::F64).unwrap_or(Json::Null),
             ),
-        ])
+        ]);
+        if let Json::Obj(m) = &mut v {
+            for ch in ALL_FAULT_CHANNELS {
+                m.insert(
+                    channel_hist_key(ch),
+                    resp_obj(&self.responses_by_channel[ch.index()]),
+                );
+            }
+        }
+        v
     }
 
     /// Decode from JSON.
@@ -385,9 +392,12 @@ impl StatusSnapshot {
             hist
         };
         let responses = read_hist("responses");
-        // Absent in pre-message-fault snapshots; default to empty.
-        let responses_param = read_hist("responses_param");
-        let responses_message = read_hist("responses_message");
+        // Per-channel histograms are absent in older snapshots (and newer
+        // channels are absent in merely-old ones); default each to empty.
+        let mut responses_by_channel = [[0u64; 6]; 5];
+        for ch in ALL_FAULT_CHANNELS {
+            responses_by_channel[ch.index()] = read_hist(&channel_hist_key(ch));
+        }
         let mut phase_secs = [None; 4];
         if let Some(m) = v.get("phase_secs") {
             for (i, p) in ALL_PHASES.iter().enumerate() {
@@ -408,8 +418,7 @@ impl StatusSnapshot {
             trials_quarantined: u("trials_quarantined").unwrap_or(0),
             trials_total: u("trials_total")?,
             responses,
-            responses_param,
-            responses_message,
+            responses_by_channel,
             retransmits: u("retransmits").unwrap_or(0),
             phase_secs,
             learn_rounds: u("learn_rounds").unwrap_or(0),
@@ -484,15 +493,23 @@ impl StatusSnapshot {
             out.push('\n');
         };
         hist_line(&mut out, "responses:", &self.responses);
-        // Per-channel splits only when both channels contributed — a
-        // single-channel campaign's split would repeat the line above.
-        let param_n: u64 = self.responses_param.iter().sum();
-        let message_n: u64 = self.responses_message.iter().sum();
-        if param_n > 0 && message_n > 0 {
-            hist_line(&mut out, "  param:  ", &self.responses_param);
-        }
-        if message_n > 0 {
-            hist_line(&mut out, "  message:", &self.responses_message);
+        // Per-channel splits only when at least two channels contributed —
+        // a single-channel campaign's split would repeat the line above.
+        let contributing = ALL_FAULT_CHANNELS
+            .iter()
+            .filter(|ch| self.responses_by_channel[ch.index()].iter().sum::<u64>() > 0)
+            .count();
+        if contributing > 1 {
+            for ch in ALL_FAULT_CHANNELS {
+                let hist = &self.responses_by_channel[ch.index()];
+                if hist.iter().sum::<u64>() > 0 {
+                    hist_line(
+                        &mut out,
+                        &format!("  {:<10}", format!("{}:", ch.token())),
+                        hist,
+                    );
+                }
+            }
         }
         if self.retransmits > 0 {
             out.push_str(&format!("recovery: {} retransmit(s)\n", self.retransmits));
@@ -628,6 +645,74 @@ mod tests {
         let snap = t.snapshot("id", "w", CampaignState::Cancelled);
         let back = StatusSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back.state, CampaignState::Cancelled);
+    }
+
+    #[test]
+    fn per_channel_histograms_cover_all_five_channels() {
+        let t = Telemetry::new();
+        t.set_totals(5, 1);
+        t.trial_finished(Some(Response::Success), 0, false, FaultChannel::Param, 0);
+        t.trial_finished(Some(Response::MpiErr), 0, false, FaultChannel::Message, 3);
+        t.trial_finished(
+            Some(Response::SegFault),
+            0,
+            false,
+            FaultChannel::CrashStop,
+            0,
+        );
+        t.trial_finished(Some(Response::Success), 0, false, FaultChannel::FailSlow, 0);
+        t.trial_finished(
+            Some(Response::InfLoop),
+            0,
+            false,
+            FaultChannel::Partition,
+            0,
+        );
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        for (ch, resp) in [
+            (FaultChannel::Param, Response::Success),
+            (FaultChannel::Message, Response::MpiErr),
+            (FaultChannel::CrashStop, Response::SegFault),
+            (FaultChannel::FailSlow, Response::Success),
+            (FaultChannel::Partition, Response::InfLoop),
+        ] {
+            assert_eq!(
+                s.responses_by_channel[ch.index()][resp.index()],
+                1,
+                "{:?}",
+                ch
+            );
+            assert_eq!(
+                s.responses_by_channel[ch.index()].iter().sum::<u64>(),
+                1,
+                "{:?}",
+                ch
+            );
+        }
+        // JSON carries one histogram key per channel and roundtrips.
+        let v = s.to_json();
+        for key in [
+            "responses_param",
+            "responses_message",
+            "responses_crash_stop",
+            "responses_fail_slow",
+            "responses_partition",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        let back = StatusSnapshot::from_json(&v).unwrap();
+        assert_eq!(back.responses_by_channel, s.responses_by_channel);
+        // All five channels contributed, so the rendering splits them out.
+        let text = s.render();
+        for tok in [
+            "param:",
+            "message:",
+            "crash-stop:",
+            "fail-slow:",
+            "partition:",
+        ] {
+            assert!(text.contains(tok), "render misses {tok}:\n{text}");
+        }
     }
 
     #[test]

@@ -98,16 +98,16 @@ impl Rng {
         }
     }
 
+    fn channel(&mut self) -> FaultChannel {
+        fastfit::prelude::ALL_FAULT_CHANNELS[self.below(5) as usize]
+    }
+
     fn trial(&mut self) -> TrialRecord {
         TrialRecord {
             key: self.string(),
             trial: self.below(1 << 30) as usize,
             bit: self.next(), // full-range u64, must stay lossless
-            channel: if self.chance(2) {
-                FaultChannel::Message
-            } else {
-                FaultChannel::Param
-            },
+            channel: self.channel(),
             disposition: self.disposition(),
         }
     }
@@ -129,12 +129,13 @@ impl Rng {
             } else {
                 None
             },
-            fault_channel: if self.chance(2) {
-                FaultChannel::Message
-            } else {
-                FaultChannel::Param
-            },
+            fault_channel: self.channel(),
             resilient: self.chance(2),
+            colls: if self.chance(3) {
+                Some((0..self.below(4)).map(|_| self.string()).collect())
+            } else {
+                None
+            },
             point_keys: (0..self.below(6)).map(|_| self.string()).collect(),
         }
     }

@@ -6,6 +6,12 @@
 //! `tests/fixtures/pre_message_fault_journal.jsonl` is a checked-in
 //! journal in the pre-change encoding; it must never be regenerated with
 //! a current writer (that would defeat the regression).
+//!
+//! `tests/fixtures/rank_fault_channel_journal.jsonl` is the forward
+//! fixture: a format-2 journal carrying the rank-fault channel encodings
+//! (`fault_channel: "crash-stop"`, per-trial `chan` tokens, a `colls`
+//! subset). Future encoders must keep reading it with the same campaign
+//! ID, exactly as today's reader handles the pre-message fixture.
 
 use fastfit::prelude::*;
 use fastfit_store::journal::{read_journal, JOURNAL_FILE};
@@ -16,6 +22,12 @@ fn fixture_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join("pre_message_fault_journal.jsonl")
+}
+
+fn rank_fault_fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("rank_fault_channel_journal.jsonl")
 }
 
 const FIXTURE_KEY: &str = "app.rs:3|MPI_Allreduce|r0|i0|sendbuf";
@@ -34,6 +46,7 @@ fn fixture_meta() -> CampaignMeta {
         campaign_seed: 7,
         fault_channel: FaultChannel::Param,
         resilient: false,
+        colls: None,
         ml: None,
         point_keys: vec![FIXTURE_KEY.into()],
     }
@@ -79,6 +92,99 @@ fn pre_message_fault_journal_loads_with_default_channel() {
             reason: QuarantineReason::WallClock,
         }
     );
+}
+
+/// The campaign the rank-fault fixture was recorded for: crash-stop
+/// channel over an `MPI_Allreduce`-only collective subset.
+fn rank_fault_fixture_meta() -> CampaignMeta {
+    CampaignMeta {
+        workload: "fixture-crash".into(),
+        nranks: 2,
+        app_seed: 1,
+        tolerance: 0.0,
+        trials_per_point: 2,
+        params: "data".into(),
+        campaign_seed: 11,
+        fault_channel: FaultChannel::CrashStop,
+        resilient: false,
+        colls: Some(vec!["MPI_Allreduce".into()]),
+        ml: None,
+        point_keys: vec![FIXTURE_KEY.into()],
+    }
+}
+
+#[test]
+fn rank_fault_channel_fixture_decodes_with_stable_identity() {
+    let contents = read_journal(&rank_fault_fixture_path()).unwrap();
+    let (recorded_id, meta) = contents.meta.expect("fixture has a meta record");
+    assert_eq!(meta.fault_channel, FaultChannel::CrashStop);
+    assert_eq!(meta.colls, Some(vec!["MPI_Allreduce".to_string()]));
+    assert_eq!(meta, rank_fault_fixture_meta());
+    assert_eq!(meta.campaign_id(), recorded_id, "identity is stable");
+    assert_eq!(rank_fault_fixture_meta().campaign_id(), recorded_id);
+
+    assert_eq!(contents.trials.len(), 2);
+    for t in &contents.trials {
+        assert_eq!(t.channel, FaultChannel::CrashStop, "trial {}", t.trial);
+    }
+    assert_eq!(
+        contents.trials[0].disposition.response(),
+        Some(Response::SegFault),
+        "crash-stop classifies as SEG_FAULT via the fail-stop drain"
+    );
+    match &contents.trials[1].disposition {
+        TrialDisposition::Classified(out) => {
+            assert_eq!(out.response, Response::SegFault);
+            assert_eq!(out.fatal_rank, Some(0));
+        }
+        other => panic!("unexpected disposition {:?}", other),
+    }
+
+    // And it resumes: every journaled trial replays.
+    let dir = std::env::temp_dir().join(format!("fastfit-rank-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(rank_fault_fixture_path(), dir.join(JOURNAL_FILE)).unwrap();
+    let store = CampaignStore::open(&dir, rank_fault_fixture_meta()).unwrap();
+    assert_eq!(store.replayable_trials(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regenerates the rank-fault fixture; run manually with
+/// `cargo test -- --ignored regenerate_rank_fault_fixture` only when the
+/// journal *writer* legitimately changes (which normally means the old
+/// fixture should be kept and a new one added instead).
+#[test]
+#[ignore]
+fn regenerate_rank_fault_fixture() {
+    use fastfit_store::journal::{Record, TrialRecord};
+    let meta = rank_fault_fixture_meta();
+    let outcome = |fatal: usize| {
+        TrialDisposition::Classified(TrialOutcome {
+            response: Response::SegFault,
+            fired: true,
+            fatal_rank: Some(fatal),
+            retransmits: 0,
+        })
+    };
+    let mut lines = vec![Record::Meta {
+        id: meta.campaign_id(),
+        meta: meta.clone(),
+    }
+    .encode()];
+    for (n, fatal) in [(0usize, 1usize), (1, 0)] {
+        lines.push(
+            Record::Trial(TrialRecord {
+                key: FIXTURE_KEY.into(),
+                trial: n,
+                bit: 1000 + n as u64,
+                channel: FaultChannel::CrashStop,
+                disposition: outcome(fatal),
+            })
+            .encode(),
+        );
+    }
+    std::fs::write(rank_fault_fixture_path(), lines.join("\n") + "\n").unwrap();
 }
 
 /// A current build must *resume* the old journal: open the store on a

@@ -1,0 +1,258 @@
+//! End-to-end tests of the scenario algebra against the daemon: a
+//! grammar POSTed to `/scenarios` must expand server-side into durable
+//! per-campaign queue entries whose journals are byte-identical to the
+//! same campaigns run individually through the CLI's code path, the
+//! aggregate status view must roll the members up, and the committed
+//! example grammar must meet the coverage floor it documents.
+
+use fastfit::prelude::*;
+use fastfit_scenario::Grammar;
+use fastfit_serve::{
+    http_request, resolve_config, resolve_workload, start, CampaignSpec, ServeConfig,
+};
+use fastfit_store::journal::JOURNAL_FILE;
+use fastfit_store::json::Json;
+use fastfit_store::{campaign_meta, CampaignStore};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Generous deadline for a debug-build two-campaign sweep.
+const DEADLINE: Duration = Duration::from_secs(300);
+
+/// A small sweep: one workload, two fault channels (one of them a
+/// rank-fault channel), everything else pinned.
+const SWEEP: &str = r#"{
+    "name": "e2e-sweep",
+    "base": {"trials": 2, "seed": 11, "app_seed": 1},
+    "axes": {
+        "workload": ["IS"],
+        "ranks": [2],
+        "fault_channel": ["param", "crash-stop"]
+    }
+}"#;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "fastfit-scenario-e2e-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn serve_cfg(root: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        root: root.to_path_buf(),
+        worker_budget: 8,
+        max_campaigns: 2,
+    }
+}
+
+fn get(addr: &str, path: &str) -> fastfit_serve::Response {
+    http_request(addr, "GET", path, None).expect("daemon reachable")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> fastfit_serve::Response {
+    http_request(addr, "POST", path, Some(("application/json", body))).expect("daemon reachable")
+}
+
+/// Run `spec` locally — the exact code path `fastfit-cli campaign`
+/// takes — journaling into `dir`.
+fn run_local(spec: &CampaignSpec, dir: &Path) {
+    let c = Campaign::prepare(resolve_workload(spec), resolve_config(spec));
+    let meta = campaign_meta(&c, c.points(), None);
+    let store = CampaignStore::open(dir, meta).expect("open local store");
+    c.run_all_observed(&store);
+    store.finish().expect("finish local store");
+}
+
+/// The durable journal lines: meta + trial records (phase/round records
+/// carry wall-clock seconds and are excluded from the byte-identity
+/// claim).
+fn durable_journal_lines(dir: &Path) -> Vec<String> {
+    std::fs::read_to_string(dir.join(JOURNAL_FILE))
+        .expect("journal exists")
+        .lines()
+        .filter(|l| !l.contains("\"t\":\"phase\"") && !l.contains("\"t\":\"round\""))
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn example_grammar_meets_the_coverage_floor() {
+    let text = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios/channel-sweep.json"),
+    )
+    .expect("committed example grammar");
+    let grammar = Grammar::parse(&text).expect("example grammar parses");
+    let scenarios = grammar.expand().expect("example grammar enumerates");
+    assert!(
+        scenarios.len() >= 24,
+        "coverage floor: got {} scenarios",
+        scenarios.len()
+    );
+    let workloads: HashSet<&str> = scenarios.iter().map(|s| s.workload.as_str()).collect();
+    let channels: HashSet<FaultChannel> = scenarios.iter().map(|s| s.fault_channel).collect();
+    let transports: HashSet<bool> = scenarios.iter().map(|s| s.resilient).collect();
+    let ranks: HashSet<usize> = scenarios.iter().map(|s| s.ranks).collect();
+    assert!(workloads.len() >= 2, "{workloads:?}");
+    assert!(channels.len() >= 3, "{channels:?}");
+    assert!(
+        channels.iter().any(|c| matches!(
+            c,
+            FaultChannel::CrashStop | FaultChannel::FailSlow | FaultChannel::Partition
+        )),
+        "at least one rank-fault channel: {channels:?}"
+    );
+    assert_eq!(transports.len(), 2, "both transport modes");
+    assert!(ranks.len() >= 2, "{ranks:?}");
+    // Every scenario lowers to a spec the daemon would accept.
+    for s in &scenarios {
+        let spec = CampaignSpec::from_json(&s.to_spec_json())
+            .unwrap_or_else(|e| panic!("{}: {e}", s.label()));
+        fastfit_serve::validate_spec(&spec).unwrap_or_else(|e| panic!("{}: {e}", s.label()));
+    }
+}
+
+#[test]
+fn scenario_batch_is_durable_and_journals_byte_identically_to_cli_runs() {
+    let root = tmp_dir("sweep");
+    let h = start(serve_cfg(&root)).expect("daemon starts");
+    let addr = h.addr().to_string();
+
+    let r = post(&addr, "/scenarios", SWEEP);
+    assert_eq!(r.status, 201, "{}", r.body);
+    let receipt = Json::parse(&r.body).unwrap();
+    let sid = receipt
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(receipt.get("count").and_then(Json::as_u64), Some(2));
+    let Some(Json::Arr(ids)) = receipt.get("campaigns") else {
+        panic!("receipt lists campaigns: {}", r.body);
+    };
+    let ids: Vec<String> = ids
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(ids.len(), 2);
+
+    // The expansion is durable: one submit line per campaign plus the
+    // scenario grouping record, all journaled before the 201.
+    let queue = std::fs::read_to_string(root.join("queue.jsonl")).expect("queue journal");
+    for id in &ids {
+        assert!(
+            queue
+                .lines()
+                .any(|l| l.contains("\"t\":\"submit\"") && l.contains(&format!("\"id\":\"{id}\""))),
+            "campaign {id} journaled individually:\n{queue}"
+        );
+    }
+    assert!(
+        queue
+            .lines()
+            .any(|l| l.contains("\"t\":\"scenario\"") && l.contains(&format!("\"id\":\"{sid}\""))),
+        "scenario record journaled:\n{queue}"
+    );
+
+    // The aggregate view exists and rolls up to done.
+    let r = get(&addr, "/scenarios");
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains(&sid), "{}", r.body);
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let r = get(&addr, &format!("/scenarios/{sid}/status"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        let state = v.get("state").and_then(Json::as_str).unwrap_or("");
+        assert_ne!(state, "mixed", "no member may fail: {}", r.body);
+        if state == "done" {
+            let Some(Json::Arr(members)) = v.get("campaigns") else {
+                panic!("aggregate lists members: {}", r.body);
+            };
+            assert_eq!(members.len(), 2);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sweep never finished; last status: {}",
+            r.body
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    h.shutdown();
+
+    // Byte-identity: each member campaign's journal matches the same
+    // spec run individually through the CLI code path. The grammar's
+    // enumeration order is the submission order, so scenario i is
+    // campaign ids[i].
+    let scenarios = Grammar::parse(SWEEP).unwrap().expand().unwrap();
+    assert_eq!(scenarios.len(), ids.len());
+    for (i, s) in scenarios.iter().enumerate() {
+        let spec = CampaignSpec::from_json(&s.to_spec_json()).unwrap();
+        let local = tmp_dir(&format!("local-{i}"));
+        run_local(&spec, &local);
+        let daemon_lines = durable_journal_lines(&root.join("campaigns").join(&ids[i]));
+        let local_lines = durable_journal_lines(&local);
+        assert!(!daemon_lines.is_empty());
+        assert_eq!(
+            daemon_lines,
+            local_lines,
+            "scenario {} journals byte-identically",
+            s.label()
+        );
+        let _ = std::fs::remove_dir_all(&local);
+    }
+
+    // The scenario registry survives a restart (folded from the queue).
+    let h = start(serve_cfg(&root)).expect("daemon restarts");
+    let r = get(&h.addr().to_string(), &format!("/scenarios/{sid}/status"));
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"state\":\"done\""), "{}", r.body);
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scenario_endpoint_rejects_bad_grammars() {
+    let root = tmp_dir("reject");
+    let h = start(serve_cfg(&root)).expect("daemon starts");
+    let addr = h.addr().to_string();
+    for (body, needle) in [
+        ("nope", "invalid JSON"),
+        (r#"{"name":"x"}"#, "axes"),
+        (
+            r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"fault_channel":["radio"]}}"#,
+            "unknown fault_channel",
+        ),
+        (
+            r#"{"name":"x","axes":{"workload":["HPL"],"ranks":[2]}}"#,
+            "unknown workload",
+        ),
+        (
+            r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2]},"max_cost":0}"#,
+            "drops all",
+        ),
+    ] {
+        let r = post(&addr, "/scenarios", body);
+        assert_eq!(r.status, 400, "{body} -> {}", r.body);
+        assert!(r.body.contains(needle), "{body} -> {}", r.body);
+    }
+    // Nothing was journaled for any rejected batch.
+    assert!(
+        !root.join("queue.jsonl").exists() || {
+            let q = std::fs::read_to_string(root.join("queue.jsonl")).unwrap();
+            q.trim().is_empty()
+        }
+    );
+    let r = get(&addr, "/scenarios/s9999/status");
+    assert_eq!(r.status, 404);
+    let r = http_request(&addr, "PUT", "/scenarios", None).unwrap();
+    assert_eq!(r.status, 405);
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

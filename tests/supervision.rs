@@ -252,6 +252,7 @@ fn script_meta() -> CampaignMeta {
         campaign_seed: 7,
         fault_channel: FaultChannel::Param,
         resilient: false,
+        colls: None,
         ml: None,
         point_keys: (0..3).map(|i| point_key(&point(i))).collect(),
     }
