@@ -472,9 +472,9 @@ fn serve_round(root: &Path, max_campaigns: usize, trials: usize) -> (f64, f64) {
     let nranks = crate::experiment_ranks();
     let h = start(ServeConfig {
         addr: "127.0.0.1:0".into(),
-        root: root.to_path_buf(),
         worker_budget: SERVE_CAMPAIGNS * nranks,
         max_campaigns,
+        ..ServeConfig::new(root)
     })
     .expect("bench daemon starts");
     let addr = h.addr().to_string();

@@ -25,7 +25,8 @@ use fastfit::prelude::*;
 use fastfit_bench::{lammps_workload, npb_workload};
 use fastfit_scenario::{filter_by_cost, CostModel, Grammar};
 use fastfit_serve::{
-    http_request, signal, CampaignSpec, GoldenCostModel, ServeConfig, DEFAULT_ADDR,
+    http_request_retry, run_worker, signal, CampaignSpec, GoldenCostModel, ServeConfig,
+    WorkerConfig, DEFAULT_ADDR,
 };
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
@@ -65,6 +66,10 @@ fn usage() -> ! {
          \x20      fastfit-cli status <DIR> [--watch]\n\
          \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
          \x20      fastfit-cli serve  [--addr HOST:PORT] [--root DIR] [--budget N] [--max-campaigns K]\n\
+         \x20                         [--fleet [--lease-trials N] [--lease-ttl-ms MS]]\n\
+         \x20      fastfit-cli worker [--addr HOST:PORT] [--name NAME]\n\
+         \x20      fastfit-cli fleet  [--addr HOST:PORT]\n\
+         \x20      fastfit-cli journal-sha <DIR>\n\
          \x20      fastfit-cli submit --workload <...> [campaign flags] [--seed N] [--app-seed N] [--addr HOST:PORT]\n\
          \x20      fastfit-cli watch  <ID> [--addr HOST:PORT]\n\
          \x20      fastfit-cli cancel <ID> [--addr HOST:PORT]\n\
@@ -166,8 +171,23 @@ fn main() {
         "campaign" => cmd_campaign(&parse_flags(rest)),
         "point" => cmd_point(&parse_flags(rest)),
         "serve" => cmd_serve(&parse_flags(rest)),
+        "worker" => cmd_worker(&parse_flags(rest)),
+        "fleet" => cmd_fleet(&parse_flags(rest)),
         "submit" => cmd_submit(&parse_flags(rest)),
         "scenario" => cmd_scenario(&parse_flags(rest)),
+        "journal-sha" => {
+            let Some((dir, _)) = rest.split_first().filter(|(d, _)| !d.starts_with("--")) else {
+                eprintln!("journal-sha needs a store directory");
+                usage()
+            };
+            match fastfit_store::journal_content_sha(Path::new(dir)) {
+                Ok(sha) => println!("{sha}"),
+                Err(e) => {
+                    eprintln!("cannot hash journal in {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "status" | "resume" => {
             let Some((dir, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
             else {
@@ -206,13 +226,18 @@ fn serve_addr(flags: &HashMap<String, String>) -> String {
         .unwrap_or_else(|| DEFAULT_ADDR.to_string())
 }
 
+/// Retry attempts for client verbs: with the jittered backoff in
+/// [`http_request_retry`] this rides out a daemon restart of a few
+/// seconds instead of failing on the first connection-refused.
+const CLIENT_ATTEMPTS: u32 = 6;
+
 fn request_or_die(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<(&str, &str)>,
 ) -> fastfit_serve::Response {
-    http_request(addr, method, path, body).unwrap_or_else(|e| {
+    http_request_retry(addr, method, path, body, CLIENT_ATTEMPTS).unwrap_or_else(|e| {
         eprintln!("cannot reach fastfit-served at {addr}: {e}");
         std::process::exit(1);
     })
@@ -236,8 +261,19 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     if let Some(k) = flags.get("max-campaigns").and_then(|s| s.parse().ok()) {
         cfg.max_campaigns = k;
     }
+    cfg.fleet = flags.contains_key("fleet");
+    if let Some(n) = flags.get("lease-trials").and_then(|s| s.parse().ok()) {
+        cfg.lease_trials = n;
+    }
+    if let Some(ms) = flags.get("lease-ttl-ms").and_then(|s| s.parse().ok()) {
+        cfg.lease_ttl = Duration::from_millis(ms);
+    }
     if cfg.worker_budget == 0 || cfg.max_campaigns == 0 {
         eprintln!("--budget and --max-campaigns must be at least 1");
+        std::process::exit(2);
+    }
+    if cfg.fleet && (cfg.lease_trials == 0 || cfg.lease_ttl.is_zero()) {
+        eprintln!("--lease-trials and --lease-ttl-ms must be at least 1");
         std::process::exit(2);
     }
     signal::install_shutdown_handler();
@@ -246,11 +282,12 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         std::process::exit(1);
     });
     println!(
-        "fastfit-served listening on {} (root {}, budget {}, max {} concurrent campaigns)",
+        "fastfit-served listening on {} (root {}, budget {}, max {} concurrent campaigns{})",
         handle.addr(),
         cfg.root.display(),
         cfg.worker_budget,
-        cfg.max_campaigns
+        cfg.max_campaigns,
+        if cfg.fleet { ", fleet coordinator" } else { "" }
     );
     while !signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));
@@ -258,6 +295,86 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     eprintln!("shutdown signal received, checkpointing running campaigns");
     handle.shutdown();
     std::process::exit(130);
+}
+
+/// `fastfit-cli worker` — join a fleet coordinator and execute leased
+/// trial ranges until SIGINT/SIGTERM.
+fn cmd_worker(flags: &HashMap<String, String>) {
+    let addr = serve_addr(flags);
+    let name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    signal::install_shutdown_handler();
+    let cfg = WorkerConfig::new(addr, name);
+    match run_worker(&cfg, &signal::shutdown_requested) {
+        Ok(leases) => {
+            eprintln!("fastfit-worker: stopping after {leases} completed lease(s)");
+            std::process::exit(130);
+        }
+        Err(e) => {
+            eprintln!("fastfit-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `fastfit-cli fleet` — show the coordinator's worker/lease/coverage
+/// state.
+fn cmd_fleet(flags: &HashMap<String, String>) {
+    let addr = serve_addr(flags);
+    let r = request_or_die(&addr, "GET", "/fleet/status", None);
+    if r.status != 200 {
+        eprintln!("fleet status failed ({}): {}", r.status, r.body.trim());
+        std::process::exit(1);
+    }
+    let v = Json::parse(&r.body).unwrap_or(Json::Null);
+    let enabled = v.get("fleet").and_then(Json::as_bool).unwrap_or(false);
+    println!(
+        "fleet mode: {}",
+        if enabled { "coordinator" } else { "off" }
+    );
+    let workers = v.get("workers").and_then(Json::as_arr).unwrap_or(&[]);
+    println!("workers ({}):", workers.len());
+    for w in workers {
+        println!(
+            "  {}  {}  {}",
+            w.get("id").and_then(Json::as_str).unwrap_or("?"),
+            w.get("name").and_then(Json::as_str).unwrap_or("?"),
+            if w.get("alive").and_then(Json::as_bool).unwrap_or(false) {
+                "alive"
+            } else {
+                "silent"
+            }
+        );
+    }
+    let leases = v.get("leases").and_then(Json::as_arr).unwrap_or(&[]);
+    println!("active leases ({}):", leases.len());
+    for l in leases {
+        let start = l.get("start").and_then(Json::as_u64).unwrap_or(0);
+        let len = l.get("len").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  {}  {}  trials {}..{}  worker {}  expires in {} ms",
+            l.get("id").and_then(Json::as_str).unwrap_or("?"),
+            l.get("campaign").and_then(Json::as_str).unwrap_or("?"),
+            start,
+            start + len,
+            l.get("worker").and_then(Json::as_str).unwrap_or("?"),
+            l.get("expires_ms").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    let campaigns = v.get("campaigns").and_then(Json::as_arr).unwrap_or(&[]);
+    println!("campaigns leasing ({}):", campaigns.len());
+    for c in campaigns {
+        println!(
+            "  {}  {}/{} trials covered, {} range(s) pending, {} lease(s) out",
+            c.get("id").and_then(Json::as_str).unwrap_or("?"),
+            c.get("covered").and_then(Json::as_u64).unwrap_or(0),
+            c.get("total").and_then(Json::as_u64).unwrap_or(0),
+            c.get("pending_ranges").and_then(Json::as_u64).unwrap_or(0),
+            c.get("leases").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
 }
 
 /// `fastfit-cli submit` — build a campaign spec from the same flags the

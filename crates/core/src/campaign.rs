@@ -640,22 +640,44 @@ impl Campaign {
         seed: u64,
         observer: &dyn CampaignObserver,
     ) -> PointResult {
+        self.measure_point_slice_observed(point, 0, trials, seed, observer)
+    }
+
+    /// As [`Campaign::measure_point_observed`], executing only trials
+    /// `lo..hi` of the point's stream. Trials below `lo` consume their
+    /// bit draw without running, so trial `i` of any slice sees exactly
+    /// the bit it would in a full run — the seam that lets a fleet
+    /// worker execute a contiguous sub-range of a campaign against the
+    /// shared per-point bit-draw stream and journal records identical to
+    /// a single-host run's.
+    pub fn measure_point_slice_observed(
+        &self,
+        point: &InjectionPoint,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+        observer: &dyn CampaignObserver,
+    ) -> PointResult {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut hist = ResponseHistogram::new();
         let mut fired = 0u64;
         let mut fatal_ranks = Vec::new();
         let mut quarantined = 0u64;
         let mut retransmits = 0u64;
-        for trial in 0..trials {
+        for trial in 0..hi {
+            // Every trial consumes its bit draw — including skipped and
+            // quarantined ones — so the RNG stream stays aligned across
+            // resumes and across slice boundaries.
+            let bit: u64 = rng.gen();
+            if trial < lo {
+                continue;
+            }
             // Cancellation lands only on trial boundaries: every journaled
             // trial is complete, so a cancelled directory resumes exactly
             // like a crashed one.
             if self.cancel.is_cancelled() {
                 break;
             }
-            // Every trial consumes its bit draw — including quarantined
-            // ones — so the RNG stream stays aligned across resumes.
-            let bit: u64 = rng.gen();
             let (disposition, retries, replayed) = match observer.replay(point, trial, bit) {
                 Some(d) => (d, 0, true),
                 None => {
@@ -693,11 +715,51 @@ impl Campaign {
         }
     }
 
-    fn point_seed(&self, idx: usize) -> u64 {
+    /// The RNG seed for the point at `idx` in measurement order. Public
+    /// so a fleet worker measuring a sub-range can seed each point's
+    /// stream exactly as a single-host run would.
+    pub fn point_seed(&self, idx: usize) -> u64 {
         self.cfg
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(idx as u64)
+    }
+
+    /// Total trials a plain (non-ML) run of this campaign performs —
+    /// the global trial-index space a fleet coordinator shards into
+    /// leases.
+    pub fn trial_count(&self) -> u64 {
+        (self.points().len() * self.cfg.trials_per_point) as u64
+    }
+
+    /// Execute the contiguous global trial range `start..end` of a plain
+    /// campaign, where global index `g = point_index × trials_per_point
+    /// + trial`. Trials are reported to `observer` with the same
+    /// (point, trial, bit) coordinates a full [`Campaign::run_all_observed`]
+    /// run would use, so the records a range produces are byte-identical
+    /// to the corresponding slice of a single-host journal. Returns
+    /// `true` when the whole range completed (not cancelled).
+    pub fn run_trial_range_observed(
+        &self,
+        start: u64,
+        end: u64,
+        observer: &dyn CampaignObserver,
+    ) -> bool {
+        let tpp = self.cfg.trials_per_point as u64;
+        let points = self.points();
+        let end = end.min(points.len() as u64 * tpp);
+        let mut g = start;
+        while g < end {
+            if self.cancel.is_cancelled() {
+                return false;
+            }
+            let pi = (g / tpp) as usize;
+            let lo = (g % tpp) as usize;
+            let hi = (tpp.min(end - pi as u64 * tpp)) as usize;
+            self.measure_point_slice_observed(&points[pi], lo, hi, self.point_seed(pi), observer);
+            g = (pi as u64 + 1) * tpp;
+        }
+        !self.cancel.is_cancelled()
     }
 
     /// Injection phase without ML: measure every surviving point.
@@ -1036,6 +1098,43 @@ mod tests {
         assert!(ran >= 3);
         // Full measurement would have been points * 6 trials.
         assert!(ran < (c.points().len() * 6) as u64);
+    }
+
+    /// Observer collecting the (key, trial, bit) stream of finished
+    /// trials — the coordinates the fleet seam must reproduce exactly.
+    #[derive(Default)]
+    struct Collect {
+        seen: std::sync::Mutex<Vec<(String, usize, u64)>>,
+    }
+
+    impl CampaignObserver for Collect {
+        fn on_event(&self, event: &ProgressEvent<'_>) {
+            if let ProgressEvent::TrialFinished {
+                point, trial, bit, ..
+            } = event
+            {
+                self.seen
+                    .lock()
+                    .unwrap()
+                    .push((crate::observe::point_key(point), *trial, *bit));
+            }
+        }
+    }
+
+    #[test]
+    fn trial_ranges_reassemble_the_full_stream() {
+        let c = Campaign::prepare(tiny_workload(4), quick_cfg());
+        let full = Collect::default();
+        c.run_all_observed(&full);
+        let total = c.trial_count();
+        assert_eq!(total, (c.points().len() * 6) as u64);
+        // Split at an uneven boundary *inside* a point: the second range
+        // must skip exactly the bit draws the first one consumed.
+        let split = total / 2 + 1;
+        let part = Collect::default();
+        assert!(c.run_trial_range_observed(0, split, &part));
+        assert!(c.run_trial_range_observed(split, total, &part));
+        assert_eq!(*part.seen.lock().unwrap(), *full.seen.lock().unwrap());
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //! campaign journal byte-identical to a local run of the same spec.
 
 use crate::cost::GoldenCostModel;
-use crate::http::{read_request, write_response, Request};
-use crate::queue::{pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog};
+use crate::fleet::FleetState;
+use crate::http::{read_request_limited, write_response, HttpLimits, Request};
+use crate::queue::{
+    fleet_records, pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog,
+};
 use crate::spec::CampaignSpec;
 use crate::workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};
 use fastfit::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
@@ -61,17 +64,28 @@ pub struct ServeConfig {
     pub worker_budget: usize,
     /// Campaigns allowed to run concurrently.
     pub max_campaigns: usize,
+    /// Coordinator mode: campaigns are sharded into trial-range leases
+    /// executed by registered fleet workers instead of running locally.
+    pub fleet: bool,
+    /// Trials per lease in fleet mode.
+    pub lease_trials: u64,
+    /// Heartbeat deadline: a lease not renewed within this window is
+    /// expired and re-leased (with exponential backoff).
+    pub lease_ttl: Duration,
 }
 
 impl ServeConfig {
     /// A config rooted at `root` on the default address with modest
-    /// concurrency (two campaigns, 32 ranks of budget).
+    /// concurrency (two campaigns, 32 ranks of budget), fleet mode off.
     pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             addr: DEFAULT_ADDR.to_string(),
             root: root.into(),
             worker_budget: 32,
             max_campaigns: 2,
+            fleet: false,
+            lease_trials: 8,
+            lease_ttl: Duration::from_secs(3),
         }
     }
 }
@@ -113,7 +127,7 @@ impl EntryState {
     }
 }
 
-struct Entry {
+pub(crate) struct Entry {
     id: String,
     spec: CampaignSpec,
     /// Ranks this campaign will occupy (resolved at submit time for
@@ -135,37 +149,42 @@ struct ScenarioEntry {
     campaigns: Vec<String>,
 }
 
-struct SchedState {
+pub(crate) struct SchedState {
     entries: Vec<Entry>,
     next_seq: u64,
     scenarios: Vec<ScenarioEntry>,
     next_scenario_seq: u64,
-    log: QueueLog,
 }
 
 /// Monotone service counters behind `GET /metrics`.
 #[derive(Debug, Default)]
-struct Metrics {
+pub(crate) struct Metrics {
     accepted: AtomicU64,
     done: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
     /// Fresh (executed, not replayed) trials across all campaigns.
-    trials_fresh: AtomicU64,
+    pub(crate) trials_fresh: AtomicU64,
 }
 
 /// The daemon. Shared by the accept loop, handler threads, the
 /// scheduler and every campaign runner.
 pub struct Daemon {
-    cfg: ServeConfig,
+    pub(crate) cfg: ServeConfig,
     started: Instant,
     state: Mutex<SchedState>,
+    /// The durable queue log. Its own lock (not part of the scheduler
+    /// state) so fleet handlers can journal lease events without
+    /// touching the scheduler; lock order is always state/fleet → log.
+    pub(crate) log: Mutex<QueueLog>,
+    /// Fleet-mode worker registry, lease table and range pools.
+    pub(crate) fleet: Mutex<FleetState>,
     /// Shared worker pools, keyed by rank count.
     pools: Mutex<HashMap<usize, Arc<ArenaPool>>>,
     /// Golden-run cost model for scenario `max_cost` filtering (profile
     /// cache shared across submissions).
     cost: GoldenCostModel,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
     /// Runner threads still alive (shutdown waits for zero).
     runners: AtomicU64,
@@ -176,7 +195,7 @@ impl Daemon {
         self.cfg.root.join("campaigns")
     }
 
-    fn campaign_dir(&self, id: &str) -> PathBuf {
+    pub(crate) fn campaign_dir(&self, id: &str) -> PathBuf {
         self.campaigns_dir().join(id)
     }
 
@@ -185,7 +204,7 @@ impl Daemon {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    fn pool_for(&self, ranks: usize) -> Arc<ArenaPool> {
+    pub(crate) fn pool_for(&self, ranks: usize) -> Arc<ArenaPool> {
         self.pools
             .lock()
             .expect("pool registry lock poisoned")
@@ -210,6 +229,12 @@ impl Daemon {
         if let Err(e) = validate_spec(&spec) {
             return (400, err_json(&e));
         }
+        if self.cfg.fleet && spec.ml_threshold.is_some() {
+            return (
+                400,
+                err_json("ml campaigns cannot run on a fleet: adaptive sampling decides the next point from prior results, so the trial space is not shardable into independent ranges"),
+            );
+        }
         let ranks = spec.ranks.unwrap_or_else(crate::workload::default_ranks);
         let mut st = self.state.lock().expect("scheduler lock poisoned");
         let seq = st.next_seq;
@@ -221,7 +246,7 @@ impl Daemon {
         };
         // Durable before acknowledged: an id the client has seen must
         // survive kill -9.
-        if let Err(e) = st.log.append(&event) {
+        if let Err(e) = self.append_event(&event) {
             return (500, err_json(&format!("queue journal write failed: {e}")));
         }
         st.next_seq = seq + 1;
@@ -262,8 +287,13 @@ impl Daemon {
             Err(e) => return (400, err_json(&e)),
         };
         for s in &scenarios {
-            let checked =
-                CampaignSpec::from_json(&s.to_spec_json()).and_then(|spec| validate_spec(&spec));
+            let checked = CampaignSpec::from_json(&s.to_spec_json()).and_then(|spec| {
+                validate_spec(&spec)?;
+                if self.cfg.fleet && spec.ml_threshold.is_some() {
+                    return Err("ml campaigns cannot run on a fleet".to_string());
+                }
+                Ok(())
+            });
             if let Err(e) = checked {
                 return (400, err_json(&format!("scenario {}: {e}", s.label())));
             }
@@ -301,7 +331,7 @@ impl Daemon {
                 seq,
                 spec: spec.clone(),
             };
-            if let Err(e) = st.log.append(&event) {
+            if let Err(e) = self.append_event(&event) {
                 return (500, err_json(&format!("queue journal write failed: {e}")));
             }
             st.next_seq = seq + 1;
@@ -322,7 +352,7 @@ impl Daemon {
             name: grammar.template.name.clone(),
             campaigns: ids.clone(),
         };
-        if let Err(e) = st.log.append(&event) {
+        if let Err(e) = self.append_event(&event) {
             return (500, err_json(&format!("queue journal write failed: {e}")));
         }
         st.next_scenario_seq += 1;
@@ -474,7 +504,16 @@ impl Daemon {
         if let Ok(bytes) = std::fs::read_to_string(&path) {
             return Some((200, bytes));
         }
-        let body = Json::obj([("state", Json::Str(state.token().into()))]);
+        // Fleet campaigns have no store-written status.json while they
+        // lease; surface the range pool's coverage instead.
+        let mut fields = vec![("state", Json::Str(state.token().into()))];
+        if self.cfg.fleet {
+            if let Some((covered, total)) = self.fleet_progress(id) {
+                fields.push(("trials_fresh", Json::U64(covered)));
+                fields.push(("trials_total", Json::U64(total)));
+            }
+        }
+        let body = Json::obj(fields);
         Some((200, body.encode() + "\n"))
     }
 
@@ -488,7 +527,7 @@ impl Daemon {
             EntryState::Queued => {
                 entry.state = EntryState::Cancelled;
                 let ev = QueueEvent::Cancelled { id: id.to_string() };
-                if let Err(e) = st.log.append(&ev) {
+                if let Err(e) = self.append_event(&ev) {
                     return (500, err_json(&format!("queue journal write failed: {e}")));
                 }
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -537,7 +576,7 @@ impl Daemon {
         } else {
             0.0
         };
-        format!(
+        let mut text = format!(
             "campaigns_accepted {}\n\
              campaigns_queued {}\n\
              campaigns_running {}\n\
@@ -560,7 +599,9 @@ impl Daemon {
             self.cfg.worker_budget,
             occupancy,
             busy,
-        )
+        );
+        text.push_str(&self.fleet_metrics_text());
+        text
     }
 
     /// One admission decision: pick the first queued campaign that fits
@@ -592,9 +633,17 @@ impl Daemon {
         Some((entry.id.clone(), entry.spec.clone(), entry.cancel.clone()))
     }
 
+    /// Append one event to the durable queue log (fsync before return).
+    pub(crate) fn append_event(&self, event: &QueueEvent) -> std::io::Result<()> {
+        self.log
+            .lock()
+            .expect("queue log lock poisoned")
+            .append(event)
+    }
+
     /// Record a runner's terminal transition (and journal it when the
     /// queue log owes one).
-    fn finish(&self, id: &str, state: EntryState) {
+    pub(crate) fn finish(&self, id: &str, state: EntryState) {
         let mut st = self.state.lock().expect("scheduler lock poisoned");
         let event = match &state {
             EntryState::Done => {
@@ -617,7 +666,7 @@ impl Daemon {
             _ => None,
         };
         if let Some(ev) = &event {
-            if let Err(e) = st.log.append(ev) {
+            if let Err(e) = self.append_event(ev) {
                 eprintln!("fastfit-served: queue journal write failed: {e}");
             }
         }
@@ -688,13 +737,13 @@ impl Daemon {
 }
 
 /// Error from one campaign run.
-enum RunError {
+pub(crate) enum RunError {
     Fatal(String),
 }
 
-type RunResult = Result<EntryState, RunError>;
+pub(crate) type RunResult = Result<EntryState, RunError>;
 
-fn store_err(e: StoreError) -> RunError {
+pub(crate) fn store_err(e: StoreError) -> RunError {
     RunError::Fatal(format!("store error: {e}"))
 }
 
@@ -709,7 +758,7 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn err_json(msg: &str) -> Json {
+pub(crate) fn err_json(msg: &str) -> Json {
     Json::obj([("error", Json::Str(msg.into()))])
 }
 
@@ -882,7 +931,10 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
                 failed += 1;
                 set_state(&mut entries, id, EntryState::Failed(error.clone()));
             }
-            QueueEvent::Scenario { .. } => {}
+            QueueEvent::Scenario { .. }
+            | QueueEvent::Worker { .. }
+            | QueueEvent::Lease { .. }
+            | QueueEvent::LeaseDone { .. } => {}
         }
     }
     let (scenario_recs, next_scenario_seq) = scenario_records(&events);
@@ -895,6 +947,17 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
         })
         .collect();
     let recovered = pending.len();
+    // Fleet fold: worker registrations and outstanding (granted, never
+    // completed) leases survive a coordinator kill -9. Live workers keep
+    // their ids and in-flight ranges across the restart.
+    let (fleet_workers, restored_leases, next_wseq, next_lseq) = fleet_records(&events);
+    let fleet = FleetState::recovered(
+        fleet_workers,
+        restored_leases,
+        next_wseq,
+        next_lseq,
+        cfg.lease_ttl,
+    );
     let log = QueueLog::open(&cfg.root)?;
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
@@ -907,8 +970,9 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<DaemonHandle> {
             next_seq,
             scenarios,
             next_scenario_seq,
-            log,
         }),
+        log: Mutex::new(log),
+        fleet: Mutex::new(fleet),
         pools: Mutex::new(HashMap::new()),
         cost: GoldenCostModel::new(),
         metrics: Metrics {
@@ -961,13 +1025,13 @@ fn accept_loop(listener: TcpListener, daemon: Arc<Daemon>) {
                     .name("fastfit-http".into())
                     .spawn(move || {
                         let _ = stream.set_nonblocking(false);
-                        match read_request(&mut stream) {
+                        match read_request_limited(&mut stream, &HttpLimits::default()) {
                             Ok(req) => handle(&d, &req, &mut stream),
                             Err(e) => {
-                                let body = err_json(&e.to_string()).encode();
+                                let body = err_json(&e.message).encode();
                                 let _ = write_response(
                                     &mut stream,
-                                    400,
+                                    e.status,
                                     "application/json",
                                     body.as_bytes(),
                                 );
@@ -991,6 +1055,9 @@ fn scheduler_loop(daemon: Arc<Daemon>) {
         if daemon.is_shutting_down() {
             return;
         }
+        // The heartbeat reaper rides the scheduler tick: expired leases
+        // go back to pending with exponential backoff.
+        daemon.reap_leases();
         match daemon.admit() {
             Some((id, spec, token)) => {
                 daemon.runners.fetch_add(1, Ordering::SeqCst);
@@ -1002,7 +1069,11 @@ fn scheduler_loop(daemon: Arc<Daemon>) {
                         let id = run_id;
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                d.run_campaign(&id, &spec, token)
+                                if d.cfg.fleet {
+                                    d.run_campaign_fleet(&id, &spec, token)
+                                } else {
+                                    d.run_campaign(&id, &spec, token)
+                                }
                             }));
                         let state = match outcome {
                             Ok(Ok(state)) => state,
@@ -1067,7 +1138,27 @@ fn handle(daemon: &Daemon, req: &Request, stream: &mut std::net::TcpStream) {
             let text = daemon.metrics_text();
             let _ = write_response(stream, 200, "text/plain", text.as_bytes());
         }
-        (_, ["campaigns", ..]) | (_, ["metrics"]) | (_, ["scenarios", ..]) => {
+        ("POST", ["fleet", "workers"]) => {
+            let (status, body) = daemon.fleet_register(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("POST", ["fleet", "lease"]) => {
+            let (status, body) = daemon.fleet_lease(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("POST", ["fleet", "heartbeat"]) => {
+            let (status, body) = daemon.fleet_heartbeat(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("POST", ["fleet", "complete"]) => {
+            let (status, body) = daemon.fleet_complete(&req.body);
+            respond_json(stream, status, body);
+        }
+        ("GET", ["fleet", "status"]) => {
+            let (status, body) = daemon.fleet_status_json();
+            respond_json(stream, status, body);
+        }
+        (_, ["campaigns", ..]) | (_, ["metrics"]) | (_, ["scenarios", ..]) | (_, ["fleet", ..]) => {
             respond_json(stream, 405, err_json("method not allowed"));
         }
         _ => respond_json(stream, 404, err_json("no such endpoint")),
@@ -1093,9 +1184,8 @@ mod tests {
     fn ephemeral(root: &std::path::Path) -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
-            root: root.to_path_buf(),
             worker_budget: 8,
-            max_campaigns: 2,
+            ..ServeConfig::new(root)
         }
     }
 

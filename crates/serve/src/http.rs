@@ -20,6 +20,55 @@ const MAX_BODY: usize = 4 * 1024 * 1024;
 /// thread (server) or a CLI verb (client) forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Per-connection server limits. The daemon serves every connection
+/// under these; tests shrink them to exercise the rejection paths.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Socket read/write timeout. A client that stops sending mid-request
+    /// gets a 408 when this expires instead of pinning the handler thread.
+    pub io_timeout: Duration,
+    /// Largest accepted request body; a declared or actual overflow gets
+    /// a 413 before the body is read.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            io_timeout: IO_TIMEOUT,
+            max_body: MAX_BODY,
+        }
+    }
+}
+
+/// Why a request could not be read, carrying the status the server
+/// should answer with before closing the connection.
+#[derive(Debug)]
+pub struct RequestError {
+    /// HTTP status to respond with (400, 408, or 413).
+    pub status: u16,
+    /// Human-readable reason (becomes the error body).
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(status: u16, message: impl Into<String>) -> RequestError {
+        RequestError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    fn from_io(e: io::Error) -> RequestError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                RequestError::new(408, "request read timed out")
+            }
+            _ => RequestError::new(400, e.to_string()),
+        }
+    }
+}
+
 /// A parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
@@ -91,9 +140,6 @@ fn content_length(head: &str) -> io::Result<Option<usize>> {
 }
 
 fn read_body(stream: &mut TcpStream, mut body: Vec<u8>, want: usize) -> io::Result<Vec<u8>> {
-    if want > MAX_BODY {
-        return Err(bad("body too large"));
-    }
     while body.len() < want {
         let mut chunk = [0u8; 4096];
         let n = stream.read(&mut chunk)?;
@@ -111,19 +157,53 @@ fn read_body(stream: &mut TcpStream, mut body: Vec<u8>, want: usize) -> io::Resu
 
 /// Read and parse one request from an accepted connection.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let (head, leftover) = read_head(stream)?;
-    let request_line = head.lines().next().ok_or_else(|| bad("empty request"))?;
+    read_request_limited(stream, &HttpLimits::default())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.message))
+}
+
+/// Read and parse one request under explicit limits, mapping each
+/// failure to the HTTP status the server should answer with: 413 when
+/// the declared body exceeds `max_body` (checked from `Content-Length`
+/// *before* reading the body, so an attacker cannot make the server
+/// buffer the overflow), 408 when the peer stalls past `io_timeout`,
+/// 400 for everything malformed.
+pub fn read_request_limited(
+    stream: &mut TcpStream,
+    limits: &HttpLimits,
+) -> Result<Request, RequestError> {
+    stream
+        .set_read_timeout(Some(limits.io_timeout))
+        .map_err(RequestError::from_io)?;
+    stream
+        .set_write_timeout(Some(limits.io_timeout))
+        .map_err(RequestError::from_io)?;
+    let (head, leftover) = read_head(stream).map_err(RequestError::from_io)?;
+    let request_line = head
+        .lines()
+        .next()
+        .ok_or_else(|| RequestError::new(400, "empty request"))?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or_else(|| bad("missing method"))?;
-    let path = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::new(400, "missing method"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::new(400, "missing request target"))?;
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(bad(format!("unsupported version {version:?}")));
+        return Err(RequestError::new(
+            400,
+            format!("unsupported version {version:?}"),
+        ));
     }
-    let body = match content_length(&head)? {
-        Some(n) => read_body(stream, leftover, n)?,
+    let body = match content_length(&head).map_err(RequestError::from_io)? {
+        Some(n) if n > limits.max_body => {
+            return Err(RequestError::new(
+                413,
+                format!("body of {n} bytes exceeds limit of {}", limits.max_body),
+            ));
+        }
+        Some(n) => read_body(stream, leftover, n).map_err(RequestError::from_io)?,
         None => Vec::new(),
     };
     Ok(Request {
@@ -142,7 +222,10 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        410 => "Gone",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -218,6 +301,55 @@ pub fn http_request(
     Ok(Response { status, body })
 }
 
+/// Is this I/O failure the transient kind a retry can fix — the daemon
+/// restarting (connection refused), a connection torn down mid-flight
+/// (reset/aborted/EOF), or a timeout?
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// As [`http_request`], but retrying transient connection failures with
+/// jittered exponential backoff (100 ms base, doubling, 2 s cap). A CLI
+/// verb or fleet worker racing a daemon restart waits out the gap
+/// instead of failing on the first refused connect. Non-transient
+/// errors and HTTP-level responses (any status) return immediately.
+pub fn http_request_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &str)>,
+    attempts: u32,
+) -> io::Result<Response> {
+    let mut delay = Duration::from_millis(100);
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            // Jitter from the clock's sub-millisecond noise: enough to
+            // de-synchronize a fleet of workers without a rand dep here.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            std::thread::sleep(delay + Duration::from_millis(u64::from(nanos % 64)));
+            delay = (delay * 2).min(Duration::from_secs(2));
+        }
+        match http_request(addr, method, path, body) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +396,91 @@ mod tests {
         server.join().unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "GET /metrics ");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413_before_read() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let limits = HttpLimits {
+                max_body: 16,
+                ..HttpLimits::default()
+            };
+            let err = read_request_limited(&mut stream, &limits).unwrap_err();
+            write_response(
+                &mut stream,
+                err.status,
+                "text/plain",
+                err.message.as_bytes(),
+            )
+            .unwrap();
+            err.status
+        });
+        // Declare a body far over the limit but never send it: the server
+        // must answer from the Content-Length alone.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /campaigns HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+            .unwrap();
+        let status = server.join().unwrap();
+        assert_eq!(status, 413);
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("HTTP/1.1 413 Payload Too Large"),
+            "{reply}"
+        );
+    }
+
+    #[test]
+    fn stalled_client_times_out_with_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let limits = HttpLimits {
+                io_timeout: Duration::from_millis(100),
+                ..HttpLimits::default()
+            };
+            read_request_limited(&mut stream, &limits)
+                .unwrap_err()
+                .status
+        });
+        // Open the connection, send half a request line, then stall.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metr").unwrap();
+        assert_eq!(server.join().unwrap(), 408);
+        drop(stream);
+    }
+
+    #[test]
+    fn retry_client_waits_out_a_daemon_restart() {
+        // Reserve a port, then close the listener: connects are refused
+        // until the "restarted daemon" binds it again.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            write_response(&mut stream, 200, "text/plain", req.path.as_bytes()).unwrap();
+        });
+        let resp = http_request_retry(&addr.to_string(), "GET", "/metrics", None, 8).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "/metrics");
+
+        // With the port genuinely dead, retries exhaust and surface the
+        // underlying transient error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead = listener.local_addr().unwrap();
+        drop(listener);
+        let err = http_request_retry(&dead.to_string(), "GET", "/metrics", None, 2).unwrap_err();
+        assert!(transient(&err), "{err}");
     }
 
     #[test]

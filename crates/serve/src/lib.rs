@@ -23,21 +23,31 @@
 //! - [`cost`] — golden-run cost model for scenario `max_cost` filters.
 //! - [`daemon`] — scheduler, runners, and the HTTP route table
 //!   (including `POST /scenarios` batch expansion).
+//! - [`fleet`] — coordinator mode: worker registry, trial-range leases
+//!   with heartbeats, and the deterministic segment merge.
+//! - [`worker`] — the fleet worker loop (lease → execute → upload).
 //! - [`signal`] — SIGINT/SIGTERM → cooperative cancellation.
 //!
 //! [`ArenaPool`]: simmpi::arena::ArenaPool
 
 pub mod cost;
 pub mod daemon;
+pub mod fleet;
 pub mod http;
 pub mod queue;
 pub mod signal;
 pub mod spec;
+pub mod worker;
 pub mod workload;
 
 pub use cost::GoldenCostModel;
 pub use daemon::{start, DaemonHandle, EntryState, ServeConfig, DEFAULT_ADDR};
-pub use http::{http_request, Response};
-pub use queue::{pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog};
+pub use fleet::FleetState;
+pub use http::{http_request, http_request_retry, HttpLimits, Response};
+pub use queue::{
+    fleet_records, pending_submissions, read_queue, scenario_records, QueueEvent, QueueLog,
+    RestoredLease,
+};
 pub use spec::CampaignSpec;
+pub use worker::{run_worker, WorkerConfig};
 pub use workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};

@@ -75,6 +75,40 @@ pub enum QueueEvent {
         /// Member campaign IDs, in enumeration order.
         campaigns: Vec<String>,
     },
+    /// A fleet worker registered. Journaled before the registration is
+    /// acknowledged, so a worker id handed out survives coordinator
+    /// kill -9 — the worker keeps heartbeating the restarted daemon
+    /// without re-registering.
+    Worker {
+        /// Daemon-assigned worker ID (`wNNNN`).
+        id: String,
+        /// The worker's self-reported display name.
+        name: String,
+    },
+    /// A trial-range lease was granted to a worker. Journaled before the
+    /// lease is handed out; a restarted coordinator folds granted-minus-
+    /// completed leases back as outstanding (with fresh deadlines), so a
+    /// live worker's in-flight range is neither double-granted nor
+    /// orphaned across a coordinator crash.
+    Lease {
+        /// Daemon-assigned lease ID (`lNNNN`).
+        id: String,
+        /// The campaign the range belongs to.
+        campaign: String,
+        /// Global trial index of the first leased trial.
+        start: u64,
+        /// Trials in the lease.
+        len: u64,
+        /// The worker holding it.
+        worker: String,
+    },
+    /// A lease's segment was durably written (fsynced) to the campaign
+    /// directory. Journaled after the segment file rename, before the
+    /// worker is acknowledged.
+    LeaseDone {
+        /// Lease ID.
+        id: String,
+    },
 }
 
 impl QueueEvent {
@@ -112,6 +146,29 @@ impl QueueEvent {
                     "campaigns",
                     Json::Arr(campaigns.iter().cloned().map(Json::Str).collect()),
                 ),
+            ]),
+            QueueEvent::Worker { id, name } => Json::obj([
+                ("t", Json::Str("worker".into())),
+                ("id", Json::Str(id.clone())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            QueueEvent::Lease {
+                id,
+                campaign,
+                start,
+                len,
+                worker,
+            } => Json::obj([
+                ("t", Json::Str("lease".into())),
+                ("id", Json::Str(id.clone())),
+                ("campaign", Json::Str(campaign.clone())),
+                ("start", Json::U64(*start)),
+                ("len", Json::U64(*len)),
+                ("worker", Json::Str(worker.clone())),
+            ]),
+            QueueEvent::LeaseDone { id } => Json::obj([
+                ("t", Json::Str("lease_done".into())),
+                ("id", Json::Str(id.clone())),
             ]),
         };
         v.encode()
@@ -165,6 +222,42 @@ impl QueueEvent {
                     .to_string();
                 Ok(QueueEvent::Failed { id, error })
             }
+            "worker" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("missing worker name")?
+                    .to_string();
+                Ok(QueueEvent::Worker { id, name })
+            }
+            "lease" => {
+                let campaign = v
+                    .get("campaign")
+                    .and_then(Json::as_str)
+                    .ok_or("missing lease campaign")?
+                    .to_string();
+                let start = v
+                    .get("start")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing lease start")?;
+                let len = v
+                    .get("len")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing lease len")?;
+                let worker = v
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .ok_or("missing lease worker")?
+                    .to_string();
+                Ok(QueueEvent::Lease {
+                    id,
+                    campaign,
+                    start,
+                    len,
+                    worker,
+                })
+            }
+            "lease_done" => Ok(QueueEvent::LeaseDone { id }),
             other => Err(format!("unknown queue event {other:?}")),
         }
     }
@@ -248,11 +341,80 @@ pub fn pending_submissions(events: &[QueueEvent]) -> (Vec<(String, u64, Campaign
                 pending.retain(|(p, _, _)| p != id);
             }
             // Scenario records group campaigns; they carry no work of
-            // their own.
-            QueueEvent::Scenario { .. } => {}
+            // their own. Fleet events describe workers and leases, not
+            // campaign-level work.
+            QueueEvent::Scenario { .. }
+            | QueueEvent::Worker { .. }
+            | QueueEvent::Lease { .. }
+            | QueueEvent::LeaseDone { .. } => {}
         }
     }
     (pending, next_seq)
+}
+
+/// A lease restored from the queue log: granted, never completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredLease {
+    /// Lease ID (`lNNNN`).
+    pub id: String,
+    /// Campaign the range belongs to.
+    pub campaign: String,
+    /// Global trial index of the first leased trial.
+    pub start: u64,
+    /// Trials in the lease.
+    pub len: u64,
+    /// Worker that held it when the coordinator died.
+    pub worker: String,
+}
+
+/// The fleet fold: registered workers (id, name) in registration order,
+/// outstanding leases (granted minus completed), and the next free
+/// worker/lease sequence numbers. A restarted coordinator seeds its
+/// fleet state from this so live workers keep their ids and in-flight
+/// ranges across a coordinator kill -9.
+pub fn fleet_records(
+    events: &[QueueEvent],
+) -> (Vec<(String, String)>, Vec<RestoredLease>, u64, u64) {
+    let mut workers: Vec<(String, String)> = Vec::new();
+    let mut leases: Vec<RestoredLease> = Vec::new();
+    let (mut next_wseq, mut next_lseq) = (1, 1);
+    for ev in events {
+        match ev {
+            QueueEvent::Worker { id, name } => {
+                if let Some(n) = id.strip_prefix('w').and_then(|n| n.parse::<u64>().ok()) {
+                    next_wseq = next_wseq.max(n + 1);
+                }
+                workers.push((id.clone(), name.clone()));
+            }
+            QueueEvent::Lease {
+                id,
+                campaign,
+                start,
+                len,
+                worker,
+            } => {
+                if let Some(n) = id.strip_prefix('l').and_then(|n| n.parse::<u64>().ok()) {
+                    next_lseq = next_lseq.max(n + 1);
+                }
+                leases.push(RestoredLease {
+                    id: id.clone(),
+                    campaign: campaign.clone(),
+                    start: *start,
+                    len: *len,
+                    worker: worker.clone(),
+                });
+            }
+            QueueEvent::LeaseDone { id } => leases.retain(|l| &l.id != id),
+            // A campaign reaching a terminal state retires its leases.
+            QueueEvent::Done { id }
+            | QueueEvent::Cancelled { id }
+            | QueueEvent::Failed { id, .. } => {
+                leases.retain(|l| &l.campaign != id);
+            }
+            QueueEvent::Submitted { .. } | QueueEvent::Scenario { .. } => {}
+        }
+    }
+    (workers, leases, next_wseq, next_lseq)
 }
 
 /// The scenario fold: every scenario grouping record in submission
@@ -317,10 +479,68 @@ mod tests {
                 name: "sweep".into(),
                 campaigns: vec!["c0001".into(), "c0002".into()],
             },
+            QueueEvent::Worker {
+                id: "w0001".into(),
+                name: "node-a".into(),
+            },
+            QueueEvent::Lease {
+                id: "l0001".into(),
+                campaign: "c0001".into(),
+                start: 24,
+                len: 8,
+                worker: "w0001".into(),
+            },
+            QueueEvent::LeaseDone { id: "l0001".into() },
         ] {
             assert_eq!(QueueEvent::decode(&ev.encode()).unwrap(), ev);
         }
         assert!(QueueEvent::decode("{\"t\":\"levitate\",\"id\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn fleet_fold_restores_outstanding_leases_only() {
+        let lease = |id: &str, campaign: &str, start: u64| QueueEvent::Lease {
+            id: id.into(),
+            campaign: campaign.into(),
+            start,
+            len: 8,
+            worker: "w0001".into(),
+        };
+        let events = vec![
+            submit("c0001", 1),
+            submit("c0002", 2),
+            QueueEvent::Worker {
+                id: "w0001".into(),
+                name: "node-a".into(),
+            },
+            QueueEvent::Worker {
+                id: "w0002".into(),
+                name: "node-b".into(),
+            },
+            lease("l0001", "c0001", 0),
+            lease("l0002", "c0001", 8),
+            lease("l0003", "c0002", 0),
+            QueueEvent::LeaseDone { id: "l0001".into() },
+            // Terminal campaign state retires its leases wholesale.
+            QueueEvent::Done { id: "c0002".into() },
+        ];
+        let (workers, leases, next_wseq, next_lseq) = fleet_records(&events);
+        assert_eq!(
+            workers,
+            vec![
+                ("w0001".to_string(), "node-a".to_string()),
+                ("w0002".to_string(), "node-b".to_string()),
+            ]
+        );
+        assert_eq!(next_wseq, 3);
+        assert_eq!(next_lseq, 4);
+        assert_eq!(leases.len(), 1, "only the ungranted c0001 lease remains");
+        assert_eq!(leases[0].id, "l0002");
+        assert_eq!(leases[0].start, 8);
+        // Fleet events add no campaign-level work.
+        let (pending, _) = pending_submissions(&events);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, "c0001");
     }
 
     #[test]

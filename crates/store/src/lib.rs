@@ -13,6 +13,9 @@
 //! - [`telemetry`] — lock-free live counters rendered periodically to an
 //!   atomically-replaced `status.json` (progress, response histogram,
 //!   throughput, ETA).
+//! - [`segment`] — per-lease journal segments and the deterministic
+//!   merge a fleet coordinator folds them back together with (ordered by
+//!   trial index, byte-identical to a single-host journal).
 //! - [`store`] — [`CampaignStore`], the directory-backed
 //!   [`fastfit::observe::CampaignObserver`] tying it together. Plug it
 //!   into `Campaign::run_all_observed` / `run_with_ml_observed` and the
@@ -29,10 +32,15 @@
 pub mod id;
 pub mod journal;
 pub mod json;
+pub mod segment;
 pub mod store;
 pub mod telemetry;
 
 pub use journal::{CampaignMeta, MlMeta, Record, TrialRecord};
+pub use segment::{
+    journal_content_sha, load_segments, merge_segments, read_segment, write_segment, Segment,
+    SEGMENTS_DIR,
+};
 pub use store::{campaign_meta, ml_target_token, read_store_meta, CampaignStore};
 pub use telemetry::{CampaignState, StatusSnapshot, Telemetry};
 

@@ -1,0 +1,462 @@
+//! Per-lease journal segments and the deterministic fleet merge.
+//!
+//! A fleet campaign shards its global trial index space (point index ×
+//! trials-per-point + trial) into contiguous leases. Each completed
+//! lease becomes one *segment file* under `segments/` in the campaign
+//! directory: a header line naming the campaign and the range, followed
+//! by the range's trial records in their canonical journal encoding.
+//! Segment files are written atomically (tmp + rename + directory
+//! fsync), so a coordinator killed mid-write leaves either a complete
+//! segment or an ignorable `.tmp` — never a half-trusted one.
+//!
+//! [`merge_segments`] folds the segments back into one canonical
+//! `journal.jsonl` ordered by **trial index, not arrival order**: the
+//! meta record first, then every trial sorted by (point index in
+//! `meta.point_keys`, trial index). Because trial execution is
+//! deterministic, that file is byte-identical to the meta + trial lines
+//! of a single-host run of the same campaign. Overlapping segments (a
+//! lease redone after its worker died) must agree record-for-record —
+//! identical duplicates are deduplicated, conflicting ones are refused.
+//! The merge commits by renaming over `journal.jsonl` and is idempotent,
+//! which is the whole merge-resume story: a coordinator killed mid-merge
+//! simply re-merges on restart and converges to the same bytes.
+
+use crate::id::sha256_hex;
+use crate::journal::{CampaignMeta, Record, TrialRecord, JOURNAL_FILE};
+use crate::json::Json;
+use crate::StoreError;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory (inside a campaign directory) holding lease segments.
+pub const SEGMENTS_DIR: &str = "segments";
+
+/// One completed lease's worth of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Campaign ID the segment belongs to.
+    pub campaign: String,
+    /// Global trial index of the first trial (inclusive).
+    pub start: u64,
+    /// Global trial index one past the last trial (exclusive).
+    pub end: u64,
+    /// The trials, in global-index order.
+    pub trials: Vec<TrialRecord>,
+}
+
+/// File name for the segment covering `start..end`.
+pub fn segment_file_name(start: u64, end: u64) -> String {
+    format!("seg-{start:010}-{end:010}.jsonl")
+}
+
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(StoreError::Io)
+}
+
+/// Atomically write the segment for `start..end` under
+/// `dir/`[`SEGMENTS_DIR`]. The file appears complete or not at all:
+/// content goes to a `.tmp` first, is fsynced, then renamed into place
+/// and the directory is fsynced. Returns the segment path.
+pub fn write_segment(
+    campaign_dir: &Path,
+    campaign: &str,
+    start: u64,
+    end: u64,
+    trials: &[TrialRecord],
+) -> Result<PathBuf, StoreError> {
+    if trials.len() as u64 != end - start {
+        return Err(StoreError::Corrupt(format!(
+            "segment {start}..{end} holds {} trials",
+            trials.len()
+        )));
+    }
+    let dir = campaign_dir.join(SEGMENTS_DIR);
+    fs::create_dir_all(&dir).map_err(StoreError::Io)?;
+    let header = Json::obj([
+        ("t", Json::Str("segment".into())),
+        ("campaign", Json::Str(campaign.into())),
+        ("start", Json::U64(start)),
+        ("end", Json::U64(end)),
+    ]);
+    let mut buf = String::new();
+    buf.push_str(&header.encode());
+    buf.push('\n');
+    for t in trials {
+        buf.push_str(&Record::Trial(t.clone()).encode());
+        buf.push('\n');
+    }
+    let path = dir.join(segment_file_name(start, end));
+    let tmp = dir.join(format!("{}.tmp", segment_file_name(start, end)));
+    let mut f = File::create(&tmp).map_err(StoreError::Io)?;
+    f.write_all(buf.as_bytes())
+        .and_then(|_| f.sync_data())
+        .map_err(StoreError::Io)?;
+    drop(f);
+    fs::rename(&tmp, &path).map_err(StoreError::Io)?;
+    fsync_dir(&dir)?;
+    Ok(path)
+}
+
+/// Read one segment file, strictly: any damage — torn tail, foreign
+/// record type, trial count not matching the declared range — is an
+/// error. Callers treat an unreadable segment as absent (its range
+/// simply re-leases), never as partial coverage.
+pub fn read_segment(path: &Path) -> Result<Segment, StoreError> {
+    let text = fs::read_to_string(path).map_err(StoreError::Io)?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let head = lines
+        .next()
+        .ok_or_else(|| StoreError::Corrupt("empty segment file".into()))?;
+    let v = Json::parse(head).map_err(StoreError::Json)?;
+    if v.get("t").and_then(Json::as_str) != Some("segment") {
+        return Err(StoreError::Corrupt("segment header missing".into()));
+    }
+    let campaign = v
+        .get("campaign")
+        .and_then(Json::as_str)
+        .ok_or_else(|| StoreError::Corrupt("segment header missing campaign".into()))?
+        .to_string();
+    let u = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| StoreError::Corrupt(format!("segment header missing {k:?}")))
+    };
+    let (start, end) = (u("start")?, u("end")?);
+    let mut trials = Vec::new();
+    for line in lines {
+        match Record::decode(line.trim())? {
+            Some(Record::Trial(t)) => trials.push(t),
+            _ => {
+                return Err(StoreError::Corrupt(
+                    "segment holds a non-trial record".into(),
+                ))
+            }
+        }
+    }
+    if trials.len() as u64 != end.saturating_sub(start) {
+        return Err(StoreError::Corrupt(format!(
+            "segment {start}..{end} holds {} trials",
+            trials.len()
+        )));
+    }
+    Ok(Segment {
+        campaign,
+        start,
+        end,
+        trials,
+    })
+}
+
+/// Load every valid segment of `campaign` under `dir/`[`SEGMENTS_DIR`],
+/// sorted by start index. Unreadable, torn, or foreign-campaign files
+/// are skipped — on coordinator restart those ranges are simply not
+/// covered yet and re-lease.
+pub fn load_segments(campaign_dir: &Path, campaign: &str) -> Vec<Segment> {
+    let Ok(rd) = fs::read_dir(campaign_dir.join(SEGMENTS_DIR)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        if let Ok(seg) = read_segment(&path) {
+            if seg.campaign == campaign {
+                out.push(seg);
+            }
+        }
+    }
+    out.sort_by_key(|s| s.start);
+    out
+}
+
+/// Merge segments into the canonical campaign journal at
+/// `campaign_dir/`[`JOURNAL_FILE`], ordered by (point index per
+/// `meta.point_keys`, trial index). Requires full coverage of the
+/// campaign's trial space; overlapping segments must agree
+/// record-for-record. The write is atomic (tmp + rename) and idempotent
+/// — re-merging after a crash converges to the same bytes. Returns the
+/// merged journal's content SHA.
+pub fn merge_segments(
+    campaign_dir: &Path,
+    meta: &CampaignMeta,
+    segments: &[Segment],
+) -> Result<String, StoreError> {
+    let index: HashMap<&str, usize> = meta
+        .point_keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_str(), i))
+        .collect();
+    let mut merged: BTreeMap<(usize, usize), &TrialRecord> = BTreeMap::new();
+    for seg in segments {
+        for t in &seg.trials {
+            let pi = *index.get(t.key.as_str()).ok_or_else(|| {
+                StoreError::Corrupt(format!("segment trial at unknown point {:?}", t.key))
+            })?;
+            if t.trial >= meta.trials_per_point {
+                return Err(StoreError::Corrupt(format!(
+                    "segment trial index {} out of range",
+                    t.trial
+                )));
+            }
+            match merged.entry((pi, t.trial)) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(t);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    // A redone lease re-executes deterministically, so an
+                    // overlap must be byte-identical; anything else means
+                    // two workers measured different campaigns.
+                    if *e.get() != t {
+                        return Err(StoreError::Corrupt(format!(
+                            "conflicting duplicate for {:?} trial {}",
+                            t.key, t.trial
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    let total = meta.point_keys.len() * meta.trials_per_point;
+    if merged.len() != total {
+        return Err(StoreError::Corrupt(format!(
+            "coverage gap: {} of {} trials merged",
+            merged.len(),
+            total
+        )));
+    }
+    let mut buf = String::new();
+    buf.push_str(
+        &Record::Meta {
+            id: meta.campaign_id(),
+            meta: meta.clone(),
+        }
+        .encode(),
+    );
+    buf.push('\n');
+    for t in merged.values() {
+        buf.push_str(&Record::Trial((*t).clone()).encode());
+        buf.push('\n');
+    }
+    let sha = sha256_hex(buf.as_bytes());
+    let path = campaign_dir.join(JOURNAL_FILE);
+    let tmp = campaign_dir.join(format!("{JOURNAL_FILE}.tmp"));
+    let mut f = File::create(&tmp).map_err(StoreError::Io)?;
+    f.write_all(buf.as_bytes())
+        .and_then(|_| f.sync_data())
+        .map_err(StoreError::Io)?;
+    drop(f);
+    fs::rename(&tmp, &path).map_err(StoreError::Io)?;
+    fsync_dir(campaign_dir)?;
+    Ok(sha)
+}
+
+/// Content SHA of a campaign journal: SHA-256 over its meta and trial
+/// lines (newline-terminated, in file order), excluding phase/round
+/// telemetry — the same convention the byte-identity tests use. A fleet
+/// merge and a single-host run of the same campaign have equal content
+/// SHAs.
+pub fn journal_content_sha(campaign_dir: &Path) -> Result<String, StoreError> {
+    let text = fs::read_to_string(campaign_dir.join(JOURNAL_FILE)).map_err(StoreError::Io)?;
+    let mut buf = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if matches!(
+            Record::decode(line)?,
+            Some(Record::Meta { .. }) | Some(Record::Trial(_))
+        ) {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+    }
+    Ok(sha256_hex(buf.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfit::prelude::{FaultChannel, Response, TrialOutcome};
+
+    fn meta(points: usize, tpp: usize) -> CampaignMeta {
+        CampaignMeta {
+            workload: "tiny".into(),
+            nranks: 4,
+            app_seed: 0x5EED,
+            tolerance: 1e-9,
+            trials_per_point: tpp,
+            params: "data".into(),
+            campaign_seed: 0xFA57,
+            ml: None,
+            fault_channel: FaultChannel::Param,
+            resilient: false,
+            colls: None,
+            point_keys: (0..points).map(|i| format!("a.rs:{i}|k|r0|i0|p")).collect(),
+        }
+    }
+
+    fn trial(m: &CampaignMeta, g: u64) -> TrialRecord {
+        let tpp = m.trials_per_point as u64;
+        TrialRecord::classified(
+            m.point_keys[(g / tpp) as usize].clone(),
+            (g % tpp) as usize,
+            0x1000 + g,
+            TrialOutcome {
+                response: Response::Success,
+                fired: true,
+                fatal_rank: None,
+                retransmits: 0,
+            },
+        )
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fastfit-segment-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn range(m: &CampaignMeta, lo: u64, hi: u64) -> Vec<TrialRecord> {
+        (lo..hi).map(|g| trial(m, g)).collect()
+    }
+
+    #[test]
+    fn segment_roundtrips_atomically() {
+        let dir = tmp("roundtrip");
+        let m = meta(2, 3);
+        let path = write_segment(&dir, &m.campaign_id(), 1, 5, &range(&m, 1, 5)).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert_eq!(seg.start, 1);
+        assert_eq!(seg.end, 5);
+        assert_eq!(seg.trials, range(&m, 1, 5));
+        // No tmp residue after a completed write.
+        assert!(!dir.join(SEGMENTS_DIR).join("seg.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_foreign_segments_are_skipped() {
+        let dir = tmp("torn");
+        let m = meta(2, 3);
+        let id = m.campaign_id();
+        write_segment(&dir, &id, 0, 3, &range(&m, 0, 3)).unwrap();
+        // A torn segment (crash mid-write would really leave a .tmp, but a
+        // half file must be rejected too).
+        let segs = dir.join(SEGMENTS_DIR);
+        fs::write(segs.join(segment_file_name(3, 6)), "{\"t\":\"segment\"").unwrap();
+        // A leftover tmp from a crashed rename.
+        fs::write(segs.join("seg-junk.jsonl.tmp"), "junk").unwrap();
+        // A segment of some other campaign.
+        write_segment(&dir, "other-campaign", 3, 6, &range(&m, 3, 6)).unwrap();
+        let loaded = load_segments(&dir, &id);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!((loaded[0].start, loaded[0].end), (0, 3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_orders_by_trial_index_not_arrival() {
+        let dir = tmp("merge");
+        let m = meta(2, 3);
+        // Segments presented out of order, with an identical overlap
+        // (a re-leased range) — the merge dedups and sorts.
+        let segs = vec![
+            Segment {
+                campaign: m.campaign_id(),
+                start: 4,
+                end: 6,
+                trials: range(&m, 4, 6),
+            },
+            Segment {
+                campaign: m.campaign_id(),
+                start: 0,
+                end: 4,
+                trials: range(&m, 0, 4),
+            },
+            Segment {
+                campaign: m.campaign_id(),
+                start: 2,
+                end: 5,
+                trials: range(&m, 2, 5),
+            },
+        ];
+        let sha = merge_segments(&dir, &m, &segs).unwrap();
+        let text = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7, "meta + 6 trials");
+        let mut expect = Record::Meta {
+            id: m.campaign_id(),
+            meta: m.clone(),
+        }
+        .encode();
+        assert_eq!(lines[0], expect);
+        for g in 0..6 {
+            expect = Record::Trial(trial(&m, g)).encode();
+            assert_eq!(lines[1 + g as usize], expect);
+        }
+        // Idempotent: re-merging converges to the same bytes (the
+        // coordinator's crash-mid-merge recovery path).
+        assert_eq!(merge_segments(&dir, &m, &segs).unwrap(), sha);
+        assert_eq!(journal_content_sha(&dir).unwrap(), sha);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_refuses_gaps_and_conflicts() {
+        let dir = tmp("refuse");
+        let m = meta(2, 3);
+        let id = m.campaign_id();
+        let seg = |lo, hi| Segment {
+            campaign: id.clone(),
+            start: lo,
+            end: hi,
+            trials: range(&m, lo, hi),
+        };
+        // Coverage gap.
+        let err = merge_segments(&dir, &m, &[seg(0, 3), seg(4, 6)]).unwrap_err();
+        assert!(err.to_string().contains("coverage gap"), "{err}");
+        assert!(!dir.join(JOURNAL_FILE).exists(), "no partial journal");
+        // Conflicting duplicate: same coordinates, different bit.
+        let mut bad = seg(2, 4);
+        bad.trials[0].bit ^= 1;
+        let err = merge_segments(&dir, &m, &[seg(0, 4), bad, seg(4, 6)]).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        // Unknown point key.
+        let mut foreign = seg(0, 1);
+        foreign.trials[0].key = "nope".into();
+        assert!(merge_segments(&dir, &m, &[foreign]).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn content_sha_ignores_telemetry_records() {
+        let dir = tmp("sha");
+        let m = meta(1, 2);
+        let segs = vec![Segment {
+            campaign: m.campaign_id(),
+            start: 0,
+            end: 2,
+            trials: range(&m, 0, 2),
+        }];
+        let sha = merge_segments(&dir, &m, &segs).unwrap();
+        // Appending phase/round telemetry must not change the content SHA.
+        let mut text = fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        text.push_str("{\"t\":\"phase\",\"phase\":\"measure\",\"secs\":1.5}\n");
+        fs::write(dir.join(JOURNAL_FILE), text).unwrap();
+        assert_eq!(journal_content_sha(&dir).unwrap(), sha);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -45,9 +45,8 @@ fn tmp_dir(tag: &str) -> PathBuf {
 fn serve_cfg(root: &Path) -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".into(),
-        root: root.to_path_buf(),
         worker_budget: 8,
-        max_campaigns: 2,
+        ..ServeConfig::new(root)
     }
 }
 

@@ -27,9 +27,8 @@ fn tmp_dir(tag: &str) -> PathBuf {
 fn serve_cfg(root: &Path) -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".into(),
-        root: root.to_path_buf(),
         worker_budget: 8,
-        max_campaigns: 2,
+        ..ServeConfig::new(root)
     }
 }
 
@@ -234,9 +233,8 @@ fn serve_daemon_child() {
     let addr_file = std::env::var("FASTFIT_SERVE_ADDR_FILE").expect("addr file env");
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".into(),
-        root: root.into(),
         worker_budget: 8,
-        max_campaigns: 2,
+        ..ServeConfig::new(root)
     };
     let h = start(cfg).expect("child daemon starts");
     std::fs::write(&addr_file, h.addr().to_string()).expect("publish addr");
