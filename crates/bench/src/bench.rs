@@ -377,6 +377,8 @@ fn journal_throughput(records: usize) -> f64 {
                 fired: true,
                 fatal_rank: None,
                 retransmits: 0,
+                events_fired: 1,
+                events_lifted: 0,
             },
         ));
         writer.append(&record).expect("journal append");

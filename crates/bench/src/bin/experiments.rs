@@ -7,7 +7,7 @@
 //! Ids: fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!      tab3 tab4 profile
 //! Extensions beyond the paper: ext-cg ext-trials ext-algos
-//!      ext-propagation ext-transport
+//!      ext-propagation ext-transport ext-timeline
 //! Perf trajectory: bench (writes schema-stable BENCH.json; see
 //!      FASTFIT_BENCH_TRIALS / FASTFIT_BENCH_OUT)
 //! Set FASTFIT_CSV_DIR to also write machine-readable CSVs.
@@ -118,6 +118,7 @@ fn main() {
             "ext-algos" => ext_algos(),
             "ext-propagation" => ext_propagation(),
             "ext-transport" => ext_transport(),
+            "ext-timeline" => ext_timeline(),
             "bench" => bench_verb(),
             "all" => {
                 profile_report();
@@ -140,6 +141,7 @@ fn main() {
                 ext_algos();
                 ext_propagation();
                 ext_transport();
+                ext_timeline();
             }
             other => {
                 eprintln!("unknown experiment {other:?}");
@@ -1203,4 +1205,53 @@ fn ext_transport() {
         100.0 * success(&results[0].1),
         100.0 * success(&results[1].1),
     );
+}
+
+/// EXTENSION: correlated fault bursts on the message channel. A
+/// `burst:W` timeline arms W message-fault plans on consecutive anchor
+/// ops — the correlated regime a single independent draw cannot model —
+/// and the SUCCESS gap between the plain and resilient transports shows
+/// how recovery degrades as the burst widens.
+fn ext_timeline() {
+    banner(
+        "ext-timeline",
+        "EXTENSION: burst schedules of width 1/4/16, plain vs resilient transport",
+        "n/a — beyond the paper; fault-timeline engine (DESIGN.md §16)",
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>12}  SUCCESS plain -> resilient",
+        "timeline", "points", "trials", "events", "retransmits"
+    );
+    for width in [1u64, 4, 16] {
+        let token = format!("burst:{width}");
+        let mut success = Vec::new();
+        for (label, resilient) in [("plain", false), ("resilient", true)] {
+            let mut cfg = experiment_campaign_config(ParamsMode::DataBuffer);
+            cfg.resilient = resilient;
+            cfg.set_timeline(FaultTimeline::parse(&token).expect("committed token"));
+            let c = Campaign::prepare(npb_workload("IS"), cfg);
+            let r = c.run_all();
+            let events: u64 = r.results.iter().map(|p| p.events_fired).sum();
+            let retransmits: u64 = r.results.iter().map(|p| p.retransmits).sum();
+            let agg = r.aggregate();
+            if resilient {
+                println!(
+                    "{:<10} {:>8} {:>8} {:>8} {:>12}  {:.1}% -> {:.1}%",
+                    token,
+                    c.points().len(),
+                    r.total_trials,
+                    events,
+                    retransmits,
+                    100.0 * success[0],
+                    100.0 * agg.fraction(Response::Success),
+                );
+            }
+            success.push(agg.fraction(Response::Success));
+            maybe_write(
+                &csv_dir(),
+                &format!("ext_timeline_burst{}_{}.csv", width, label),
+                &points_csv(&r.results, FaultChannel::Message),
+            );
+        }
+    }
 }

@@ -2,10 +2,10 @@
 //! command line.
 //!
 //! ```text
-//! fastfit-cli profile  --workload <IS|FT|MG|LU|CG|LAMMPS>
+//! fastfit-cli profile  --workload <IS|FT|MG|LU|CG|HALO|LAMMPS>
 //! fastfit-cli campaign --workload <...> [--trials N] [--params data|all]
 //!                      [--ranks N] [--ml [--threshold 0.65]] [--csv DIR]
-//!                      [--store DIR]
+//!                      [--store DIR] [--timeline single|burst:W[:G]|cascade:D|heal:D|...]
 //! fastfit-cli point    --workload <...> --site <file.rs:LINE> --param <p>
 //!                      [--rank R] [--invocation I] [--trials N]
 //! fastfit-cli status   <DIR>
@@ -62,7 +62,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fastfit-cli <profile|campaign|point> --workload <IS|FT|MG|LU|CG|LAMMPS> [flags]\n\
+        "usage: fastfit-cli <profile|campaign|point> --workload <IS|FT|MG|LU|CG|HALO|LAMMPS> [flags]\n\
          \x20      fastfit-cli status <DIR> [--watch]\n\
          \x20      fastfit-cli resume <DIR> [--steps N] [--threshold 0.65] [--csv DIR]\n\
          \x20      fastfit-cli serve  [--addr HOST:PORT] [--root DIR] [--budget N] [--max-campaigns K]\n\
@@ -81,13 +81,17 @@ fn usage() -> ! {
                 \x20 (call parameters, wire messages, rank kill, rank delay,\n\
                 \x20  or a network cut between two rank groups)\n\
                 --colls MPI_Allreduce,MPI_Bcast,... (measure only these kinds)\n\
+                --timeline single|burst:W[:G]|cascade:D|heal:D (join with +)\n\
+                \x20 (correlated fault schedule anchored at the injection\n\
+                \x20  point; pins the fault channel to the schedule's first\n\
+                \x20  event)\n\
                 --resilient-transport (checksum/ack/retransmit recovery)\n\
                 --max-retries N (suspect-trial retries before quarantine)\n\
                 --op-budget-mult N (INF_LOOP op budget, × golden op count)\n\
                 --site file.rs:LINE  --param sendbuf|recvbuf|count|datatype|op|root|comm\n\
                 --rank R  --invocation I  --steps N (LAMMPS run length)\n\
          env:   FASTFIT_TIMEOUT_MULT  FASTFIT_MAX_RETRIES  FASTFIT_RANKS  FASTFIT_STORE_DIR\n\
-                FASTFIT_FAULT_CHANNEL  FASTFIT_RESILIENT"
+                FASTFIT_FAULT_CHANNEL  FASTFIT_RESILIENT  FASTFIT_TIMELINE"
     );
     std::process::exit(2)
 }
@@ -145,8 +149,34 @@ fn build_config(flags: &HashMap<String, String>) -> CampaignConfig {
     if let Some(arg) = flags.get("colls") {
         cfg.colls = Some(parse_colls(arg));
     }
+    if let Some(tok) = flags.get("timeline") {
+        // The timeline pins the campaign's fault channel to its first
+        // event's channel; a contradicting --fault-channel is refused
+        // rather than silently overridden (same rule as the daemon).
+        let t = parse_timeline(tok);
+        if let Some(primary) = t.primary_channel() {
+            if flags.contains_key("fault-channel") && cfg.fault_channel != primary {
+                eprintln!(
+                    "--timeline {:?} injects on the {} channel, but --fault-channel says {}",
+                    t.token(),
+                    primary.token(),
+                    cfg.fault_channel.token()
+                );
+                std::process::exit(2);
+            }
+        }
+        cfg.set_timeline(t);
+    }
     apply_supervision_flags(&mut cfg, flags);
     cfg
+}
+
+/// Parse a `--timeline` token or exit with the parser's diagnostic.
+fn parse_timeline(tok: &str) -> FaultTimeline {
+    FaultTimeline::parse(tok).unwrap_or_else(|e| {
+        eprintln!("bad --timeline {tok:?}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Parse a `--colls` list: comma-separated `MPI_*` display names.
@@ -402,6 +432,10 @@ fn cmd_submit(flags: &HashMap<String, String>) {
         spec.resilient = Some(true);
     }
     spec.colls = flags.get("colls").map(|arg| parse_colls(arg));
+    // Parse locally for the early diagnostic; the daemon re-validates.
+    spec.timeline = flags
+        .get("timeline")
+        .map(|tok| parse_timeline(tok).token().to_string());
     spec.seed = flags.get("seed").and_then(|s| s.parse().ok());
     spec.app_seed = flags.get("app-seed").and_then(|s| s.parse().ok());
     spec.steps = flags.get("steps").and_then(|s| s.parse().ok());
@@ -853,7 +887,7 @@ fn cmd_status(dir: &Path, watch: bool) {
     match read_store_meta(dir) {
         Ok((id, meta)) => {
             println!(
-                "store {}\ncampaign {} — workload {}, {} ranks, {} points × {} trials, params {}, channel {}{}{}",
+                "store {}\ncampaign {} — workload {}, {} ranks, {} points × {} trials, params {}, channel {}{}{}{}",
                 dir.display(),
                 &id[..16],
                 meta.workload,
@@ -862,6 +896,11 @@ fn cmd_status(dir: &Path, watch: bool) {
                 meta.trials_per_point,
                 meta.params,
                 meta.fault_channel.token(),
+                if meta.timeline.is_single() {
+                    String::new()
+                } else {
+                    format!(", timeline {}", meta.timeline.token())
+                },
                 if meta.resilient {
                     " (resilient transport)"
                 } else {
@@ -966,10 +1005,13 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
         eprintln!("journal has unknown params mode {:?}", meta.params);
         std::process::exit(1);
     });
-    // The fault channel and transport mode are part of the campaign
-    // identity: a resume must re-inject on the journaled channel.
+    // The fault channel, transport mode and fault timeline are part of
+    // the campaign identity: a resume must re-inject on the journaled
+    // channel with the journaled schedule (overriding any
+    // FASTFIT_TIMELINE in the resuming environment).
     cfg.fault_channel = meta.fault_channel;
     cfg.resilient = meta.resilient;
+    cfg.timeline = meta.timeline.clone();
     // Ditto the collective subset: the journaled points only exist under
     // the same restriction.
     if let Some(names) = &meta.colls {

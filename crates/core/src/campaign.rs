@@ -20,6 +20,7 @@ use crate::space::{full_space_count, FaultChannel, InjectionPoint, ParamsMode};
 use crate::supervise::{
     AttemptOutcome, QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
 };
+use crate::timeline::FaultTimeline;
 use mpiprof::{profile_app_run, ApplicationProfile};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -150,6 +151,12 @@ pub struct CampaignConfig {
     /// one of these collective kinds (`None` = all kinds). Part of the
     /// campaign identity: it changes the measured point set.
     pub colls: Option<Vec<CollKind>>,
+    /// The per-trial fault schedule. The default single-draw timeline is
+    /// the paper's model (one fault per trial); non-single timelines arm
+    /// an ordered schedule of correlated events anchored at each point,
+    /// and `fault_channel` must equal the timeline's primary channel.
+    /// Part of the campaign identity.
+    pub timeline: FaultTimeline,
 }
 
 impl Default for CampaignConfig {
@@ -169,6 +176,7 @@ impl Default for CampaignConfig {
             resilient: false,
             reuse_workers: true,
             colls: None,
+            timeline: FaultTimeline::default(),
         }
     }
 }
@@ -206,7 +214,22 @@ impl CampaignConfig {
         if let Ok(r) = std::env::var("FASTFIT_REUSE_WORKERS") {
             cfg.reuse_workers = !matches!(r.as_str(), "0" | "false" | "no");
         }
+        if let Ok(t) = std::env::var("FASTFIT_TIMELINE") {
+            if let Ok(t) = FaultTimeline::parse(&t) {
+                cfg.set_timeline(t);
+            }
+        }
         cfg
+    }
+
+    /// Install a fault timeline, forcing `fault_channel` onto the
+    /// timeline's primary channel (the two are one identity; the token
+    /// wins over any previously set channel).
+    pub fn set_timeline(&mut self, timeline: FaultTimeline) {
+        if let Some(primary) = timeline.primary_channel() {
+            self.fault_channel = primary;
+        }
+        self.timeline = timeline;
     }
 
     /// The retry policy this configuration implies.
@@ -251,6 +274,12 @@ pub struct PointResult {
     /// Retransmissions the resilient transport performed across the
     /// classified trials (always 0 on the plain transport).
     pub retransmits: u64,
+    /// Timeline events that fired across the classified trials. Equals
+    /// `fired` for single-draw campaigns (each trial carries one event).
+    pub events_fired: u64,
+    /// Timeline events that lifted (healed) across the classified trials
+    /// (always 0 for single-draw campaigns).
+    pub events_lifted: u64,
 }
 
 impl PointResult {
@@ -289,6 +318,15 @@ pub struct TrialOutcome {
     /// (deterministic — a count of recovered deliveries, not wall-clock
     /// dependent — and therefore safe to journal).
     pub retransmits: u64,
+    /// Timeline events that fired during the trial. For single-draw
+    /// campaigns this is exactly `fired as u64` (one event per trial);
+    /// under a timeline it counts per-event ground truth from the hook
+    /// and the transport.
+    pub events_fired: u64,
+    /// Timeline events that lifted (healed) during the trial — a transient
+    /// partition whose heal point was reached. Always 0 for single-draw
+    /// campaigns.
+    pub events_lifted: u64,
 }
 
 /// Result of a measurement campaign.
@@ -517,24 +555,45 @@ impl Campaign {
             point: *point,
             bit,
             channel: self.cfg.fault_channel,
+            timeline: self.cfg.timeline.clone(),
         }
     }
 
-    /// Whether the fault of a finished trial actually fired. Parameter and
+    /// Ground truth for a finished trial: `(fired, events_fired,
+    /// events_lifted)`.
+    ///
+    /// Single-draw campaigns keep the historical convention: parameter and
     /// rank faults fire at the hook (the targeted invocation was reached);
     /// message faults and partitions fire at the wire, so the transport has
     /// the ground truth (an armed plan whose `nth_send` exceeds the
     /// collective's traffic never hits a message; a partition whose cut no
-    /// scoped message crosses never drops one).
-    fn trial_fired(
+    /// scoped message crosses never drops one). `events_fired` is then
+    /// 0 or 1 and `events_lifted` is 0.
+    ///
+    /// Timeline campaigns count per event: rank events (fail-slow,
+    /// crash-stop) at the hook, message events at the wire, and the
+    /// partition event fired iff its cut dropped at least one scoped
+    /// message. A trial `fired` when any event did. (For hang-killed
+    /// trials [`Campaign::classify_trial`] collapses the counts back to
+    /// the fired boolean — the teardown snapshot is not ground truth.)
+    fn trial_events(
         &self,
         hook: &InjectorHook,
         transport: &simmpi::transport::TransportStats,
-    ) -> bool {
-        match self.cfg.fault_channel {
-            FaultChannel::Param | FaultChannel::CrashStop | FaultChannel::FailSlow => hook.fired(),
-            FaultChannel::Message | FaultChannel::Partition => transport.fault_fired,
+    ) -> (bool, u64, u64) {
+        if self.cfg.timeline.is_single() {
+            let fired = match self.cfg.fault_channel {
+                FaultChannel::Param | FaultChannel::CrashStop | FaultChannel::FailSlow => {
+                    hook.fired()
+                }
+                FaultChannel::Message | FaultChannel::Partition => transport.fault_fired,
+            };
+            return (fired, u64::from(fired), 0);
         }
+        let events_fired = hook.events_fired()
+            + transport.msg_faults_fired
+            + u64::from(transport.partition_drops > 0);
+        (events_fired > 0, events_fired, hook.events_lifted())
     }
 
     /// Execute one fault-injection test: flip `bit` at `point`, run the
@@ -556,21 +615,42 @@ impl Campaign {
         let hook = Arc::new(InjectorHook::new(self.fault_spec(point, bit)));
         let spec = self.trial_spec(hook.clone(), 0);
         let result = self.exec_job(&spec, self.workload.app.clone());
-        let fired = self.trial_fired(&hook, &result.transport);
-        self.classify_trial(&result.outcome, fired, result.transport.retransmits)
+        let events = self.trial_events(&hook, &result.transport);
+        self.classify_trial(&result.outcome, events, result.transport.retransmits)
     }
 
-    fn classify_trial(&self, outcome: &JobOutcome, fired: bool, retransmits: u64) -> TrialOutcome {
+    fn classify_trial(
+        &self,
+        outcome: &JobOutcome,
+        (fired, events_fired, events_lifted): (bool, u64, u64),
+        retransmits: u64,
+    ) -> TrialOutcome {
         let response = classify(outcome, &self.golden, self.workload.tolerance);
         let fatal_rank = match outcome {
             JobOutcome::Fatal { rank, .. } => Some(*rank),
             _ => None,
+        };
+        // A trial the hang detector killed has no deterministic per-event
+        // count: teardown catches in-flight ranks wherever the sweep (or
+        // another rank's op-budget burn) found them, so whether a later
+        // scheduled event got to fire before the snapshot is a wall-clock
+        // race. The ground truth a hang leaves behind is *that* the
+        // schedule drew blood, not how many events landed — so the
+        // counters collapse to the fired boolean (exactly the single-draw
+        // convention), keeping journals byte-identical across execution
+        // engines, kill/resume, and fleet sharding.
+        let (events_fired, events_lifted) = if matches!(outcome, JobOutcome::TimedOut { .. }) {
+            (u64::from(fired), 0)
+        } else {
+            (events_fired, events_lifted)
         };
         TrialOutcome {
             response,
             fired,
             fatal_rank,
             retransmits,
+            events_fired,
+            events_lifted,
         }
     }
 
@@ -600,10 +680,10 @@ impl Campaign {
                 kind: HangKind::WallClock,
             } => AttemptOutcome::Suspect(QuarantineReason::WallClock),
             outcome => {
-                let fired = self.trial_fired(&hook, &result.transport);
+                let events = self.trial_events(&hook, &result.transport);
                 AttemptOutcome::Trusted(self.classify_trial(
                     &outcome,
-                    fired,
+                    events,
                     result.transport.retransmits,
                 ))
             }
@@ -664,6 +744,8 @@ impl Campaign {
         let mut fatal_ranks = Vec::new();
         let mut quarantined = 0u64;
         let mut retransmits = 0u64;
+        let mut events_fired = 0u64;
+        let mut events_lifted = 0u64;
         for trial in 0..hi {
             // Every trial consumes its bit draw — including skipped and
             // quarantined ones — so the RNG stream stays aligned across
@@ -698,6 +780,8 @@ impl Campaign {
                     hist.add(t.response);
                     fired += u64::from(t.fired);
                     retransmits += t.retransmits;
+                    events_fired += t.events_fired;
+                    events_lifted += t.events_lifted;
                     if let Some(r) = t.fatal_rank {
                         fatal_ranks.push(r);
                     }
@@ -712,6 +796,8 @@ impl Campaign {
             fatal_ranks,
             quarantined,
             retransmits,
+            events_fired,
+            events_lifted,
         }
     }
 

@@ -26,14 +26,14 @@ pub fn csv_field(value: &str) -> String {
 /// it), so it is a parameter rather than a `PointResult` field.
 pub fn points_csv(results: &[PointResult], channel: FaultChannel) -> String {
     let mut out = String::from(
-        "site,kind,rank,invocation,param,fault_channel,trials,fired,retransmits,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop,error_rate,wilson_lo,wilson_hi\n",
+        "site,kind,rank,invocation,param,fault_channel,trials,fired,retransmits,events_fired,events_lifted,success,app_detected,mpi_err,seg_fault,wrong_ans,inf_loop,error_rate,wilson_lo,wilson_hi\n",
     );
     for r in results {
         let errors = r.hist.total() - r.hist.count(crate::response::Response::Success);
         let (lo, hi) = wilson_95(errors, r.hist.total());
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
             csv_field(&r.point.site.to_string()),
             r.point.kind.name(),
             r.point.rank,
@@ -43,6 +43,8 @@ pub fn points_csv(results: &[PointResult], channel: FaultChannel) -> String {
             r.hist.total(),
             r.fired,
             r.retransmits,
+            r.events_fired,
+            r.events_lifted,
             r.hist.count(ALL_RESPONSES[0]),
             r.hist.count(ALL_RESPONSES[1]),
             r.hist.count(ALL_RESPONSES[2]),
@@ -123,6 +125,8 @@ mod tests {
             fatal_ranks: vec![1, 1, 2],
             quarantined: 0,
             retransmits: 0,
+            events_fired: 10,
+            events_lifted: 0,
         }
     }
 
@@ -157,6 +161,20 @@ mod tests {
         let fields: Vec<&str> = line.split(',').collect();
         assert_eq!(fields[chan_col], "message");
         assert_eq!(fields[rtx_col], "5");
+    }
+
+    #[test]
+    fn points_csv_carries_event_columns() {
+        let mut r = sample_result();
+        r.events_fired = 23;
+        r.events_lifted = 4;
+        let csv = points_csv(&[r], FaultChannel::Message);
+        let header = csv.lines().next().unwrap();
+        let line = csv.trim().lines().nth(1).unwrap();
+        let col = |name: &str| header.split(',').position(|c| c == name).unwrap();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[col("events_fired")], "23");
+        assert_eq!(fields[col("events_lifted")], "4");
     }
 
     #[test]

@@ -1,15 +1,21 @@
 //! The fault model: one single-bit flip in one input parameter of one
-//! collective invocation on one rank (§II of the paper).
+//! collective invocation on one rank (§II of the paper) — or, under a
+//! [`FaultTimeline`], an ordered schedule of correlated fault events
+//! anchored at that point.
 //!
 //! The injector is a [`CollHook`] — the PMPI-interposition seam of the
 //! simulated runtime. When the targeted `(rank, site, invocation)` executes,
 //! the hook flips the requested bit in the requested parameter and records
-//! that it fired.
+//! that it fired. Timeline events past the anchor are triggered by the
+//! anchor rank's *logical collective-entry ordinal* (counted by the hook
+//! itself, never wall clock), so schedules replay bit-identically under
+//! resume, arena reuse, and fleet range-sharding.
 
 use crate::space::{FaultChannel, InjectionPoint};
+use crate::timeline::{FaultTimeline, TimelineEvent};
 use simmpi::hook::{CollCall, CollHook, ParamId};
 use simmpi::transport::{MsgFaultPlan, RankFaultPlan};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One concrete fault: a bit position within the target parameter
 /// (`Param` channel), a message-fault plan draw (`Message` channel), or a
@@ -21,28 +27,64 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// the `Message` channel the same draw decodes via
 /// [`MsgFaultPlan::from_bit`]; on the rank channels via the
 /// [`RankFaultPlan`] constructors.
+///
+/// Under a non-single `timeline` the same single draw seeds *every*
+/// scheduled event (message event `i` decodes from `bit + i`), keeping
+/// the campaign RNG stream identical to a single-draw campaign's.
 #[derive(Debug, Clone)]
 pub struct FaultSpec {
-    /// Where to inject.
+    /// Where to inject (the timeline anchor).
     pub point: InjectionPoint,
-    /// Which bit to flip (or, for `Message`, the plan draw).
+    /// Which bit to flip (or the plan draw for the other channels).
     pub bit: u64,
-    /// Which layer receives the fault.
+    /// Which layer receives the fault (the timeline's primary channel).
     pub channel: FaultChannel,
+    /// The event schedule; [`FaultTimeline::default`] is the single-draw
+    /// model above.
+    pub timeline: FaultTimeline,
+}
+
+impl FaultSpec {
+    /// A single-draw spec (the paper's model; no schedule).
+    pub fn single(point: InjectionPoint, bit: u64, channel: FaultChannel) -> FaultSpec {
+        FaultSpec {
+            point,
+            bit,
+            channel,
+            timeline: FaultTimeline::default(),
+        }
+    }
 }
 
 /// The interposition hook that performs the injection.
 pub struct InjectorHook {
     spec: FaultSpec,
     fired: AtomicBool,
+    /// Collective entries of the anchor rank seen so far (timeline mode).
+    ordinal: AtomicU64,
+    /// Anchor rank's ordinal at the anchor entry; `u64::MAX` until the
+    /// anchor is reached.
+    armed_at: AtomicU64,
+    /// Per-event hook-side ground truth: the event's plan was armed at its
+    /// trigger entry. Wire-level events (message, partition) get their
+    /// fired truth from the transport instead.
+    event_fired: Vec<AtomicBool>,
+    /// Per-event lift truth: the event's duration elapsed on the anchor
+    /// rank (a healed partition).
+    event_lifted: Vec<AtomicBool>,
 }
 
 impl InjectorHook {
-    /// Create a hook for one fault.
+    /// Create a hook for one fault (or one fault schedule).
     pub fn new(spec: FaultSpec) -> Self {
+        let n = spec.timeline.events().len();
         InjectorHook {
             spec,
             fired: AtomicBool::new(false),
+            ordinal: AtomicU64::new(0),
+            armed_at: AtomicU64::new(u64::MAX),
+            event_fired: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            event_lifted: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -53,6 +95,104 @@ impl InjectorHook {
     /// (`JobResult::transport.fault_fired`).
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::Acquire)
+    }
+
+    /// Timeline events whose injection the *hook* can vouch for: param
+    /// flips and rank plans armed at their trigger entry. Message and
+    /// partition events fire at the wire; combine with
+    /// `TransportStats::msg_faults_fired` / `partition_drops` for the full
+    /// per-trial count.
+    pub fn events_fired(&self) -> u64 {
+        self.event_fired
+            .iter()
+            .filter(|f| f.load(Ordering::Acquire))
+            .count() as u64
+    }
+
+    /// Timeline events whose lift point (trigger + duration) was reached
+    /// on the anchor rank — healed partitions.
+    pub fn events_lifted(&self) -> u64 {
+        self.event_lifted
+            .iter()
+            .filter(|f| f.load(Ordering::Acquire))
+            .count() as u64
+    }
+
+    /// Timeline dispatch: called for every collective entry once the spec
+    /// carries a schedule.
+    fn before_timeline(&self, call: &mut CollCall<'_>, events: &[TimelineEvent]) {
+        let p = &self.spec.point;
+        let bit = self.spec.bit;
+        let at_anchor = call.site == p.site && call.invocation == p.invocation;
+        // Partition events arm on *every* rank at the anchor coordinates
+        // (same all-ranks rule as the single-draw partition channel); the
+        // transport enforces the heal via the scoped sequence window.
+        if at_anchor {
+            for ev in events {
+                if ev.channel != FaultChannel::Partition {
+                    continue;
+                }
+                let RankFaultPlan::Partition {
+                    cut_draw, sticky, ..
+                } = RankFaultPlan::partition_from_bit(bit)
+                else {
+                    unreachable!("partition_from_bit decodes a partition")
+                };
+                call.rank_fault = Some(RankFaultPlan::Partition {
+                    cut_draw,
+                    // A healing partition is never sticky: the heal *is*
+                    // the recovery semantics under test.
+                    sticky: ev.duration.is_none() && sticky,
+                    heal_after: ev.duration,
+                });
+                self.fired.store(true, Ordering::Release);
+            }
+        }
+        // Offset-triggered events live on the anchor rank's logical
+        // collective-entry clock.
+        if call.rank != p.rank {
+            return;
+        }
+        let ord = self.ordinal.fetch_add(1, Ordering::SeqCst);
+        if at_anchor {
+            let _ =
+                self.armed_at
+                    .compare_exchange(u64::MAX, ord, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        let armed_at = self.armed_at.load(Ordering::SeqCst);
+        if armed_at == u64::MAX {
+            return;
+        }
+        let elapsed = ord - armed_at;
+        for (i, ev) in events.iter().enumerate() {
+            if let Some(d) = ev.duration {
+                if elapsed >= d {
+                    self.event_lifted[i].store(true, Ordering::Release);
+                }
+            }
+            if elapsed != ev.offset {
+                continue;
+            }
+            match ev.channel {
+                FaultChannel::Message => {
+                    call.msg_fault = Some(MsgFaultPlan::from_bit(bit.wrapping_add(i as u64)));
+                    self.fired.store(true, Ordering::Release);
+                }
+                FaultChannel::FailSlow => {
+                    call.rank_fault = Some(RankFaultPlan::fail_slow_from_bit(bit));
+                    self.event_fired[i].store(true, Ordering::Release);
+                    self.fired.store(true, Ordering::Release);
+                }
+                FaultChannel::CrashStop => {
+                    call.rank_fault = Some(RankFaultPlan::CrashStop);
+                    self.event_fired[i].store(true, Ordering::Release);
+                    self.fired.store(true, Ordering::Release);
+                }
+                // Partitions were armed above (all ranks); parameter
+                // events are not part of any timeline family.
+                FaultChannel::Partition | FaultChannel::Param => {}
+            }
+        }
     }
 }
 
@@ -77,6 +217,10 @@ fn flip_i32(v: &mut i32, bit: u64) -> bool {
 
 impl CollHook for InjectorHook {
     fn before(&self, call: &mut CollCall<'_>) {
+        if !self.spec.timeline.is_single() {
+            self.before_timeline(call, self.spec.timeline.events());
+            return;
+        }
         let p = &self.spec.point;
         let bit = self.spec.bit;
         // A partition is not a single-rank fault: *every* rank must learn
@@ -194,11 +338,7 @@ mod tests {
     }
 
     fn spec(param: ParamId, bit: u64) -> FaultSpec {
-        FaultSpec {
-            point: point(param),
-            bit,
-            channel: FaultChannel::Param,
-        }
+        FaultSpec::single(point(param), bit, FaultChannel::Param)
     }
 
     #[test]
@@ -264,11 +404,11 @@ mod tests {
 
     #[test]
     fn message_channel_arms_plan_and_leaves_params_healthy() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::SendBuf),
-            bit: 1, // decodes to a non-sticky Drop on send 0
-            channel: FaultChannel::Message,
-        });
+        let hook = InjectorHook::new(FaultSpec::single(
+            point(ParamId::SendBuf),
+            1, // decodes to a non-sticky Drop on send 0
+            FaultChannel::Message,
+        ));
         let mut params =
             CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         let before = params.clone();
@@ -293,11 +433,7 @@ mod tests {
             (FaultChannel::CrashStop, RankFaultPlan::CrashStop),
             (FaultChannel::FailSlow, RankFaultPlan::fail_slow_from_bit(9)),
         ] {
-            let hook = InjectorHook::new(FaultSpec {
-                point: point(ParamId::SendBuf),
-                bit: 9,
-                channel,
-            });
+            let hook = InjectorHook::new(FaultSpec::single(point(ParamId::SendBuf), 9, channel));
             let mut params =
                 CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
             let before = params.clone();
@@ -317,11 +453,11 @@ mod tests {
 
     #[test]
     fn partition_arms_on_every_rank_at_the_addressed_invocation() {
-        let hook = InjectorHook::new(FaultSpec {
-            point: point(ParamId::SendBuf), // addresses rank 2
-            bit: 3,                         // decodes sticky
-            channel: FaultChannel::Partition,
-        });
+        let hook = InjectorHook::new(FaultSpec::single(
+            point(ParamId::SendBuf), // addresses rank 2
+            3,                       // decodes sticky
+            FaultChannel::Partition,
+        ));
         let mut params =
             CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
         // Wrong invocation: nothing armed, on any rank.
@@ -339,6 +475,129 @@ mod tests {
             );
         }
         assert!(hook.fired());
+    }
+
+    fn timeline_spec(token: &str, bit: u64) -> FaultSpec {
+        let timeline = FaultTimeline::parse(token).unwrap();
+        FaultSpec {
+            point: point(ParamId::SendBuf),
+            bit,
+            channel: timeline.primary_channel().unwrap(),
+            timeline,
+        }
+    }
+
+    #[test]
+    fn burst_timeline_arms_message_plans_at_offset_spaced_entries() {
+        let hook = InjectorHook::new(timeline_spec("burst:2:2", 1));
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        // Entries before the anchor tick the ordinal but arm nothing.
+        let mut call = call_at(2, 0, &mut params, None);
+        hook.before(&mut call);
+        assert!(call.msg_fault.is_none());
+        // The anchor entry (invocation 1) fires event 0.
+        let mut call = call_at(2, 1, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(call.msg_fault, Some(MsgFaultPlan::from_bit(1)));
+        // One entry later: the gap — nothing armed.
+        let mut call = call_at(2, 2, &mut params, None);
+        hook.before(&mut call);
+        assert!(call.msg_fault.is_none());
+        // Two entries after the anchor: event 1, decoded from bit + 1.
+        let mut call = call_at(2, 3, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(call.msg_fault, Some(MsgFaultPlan::from_bit(2)));
+        // Message events get their fired truth from the transport, not
+        // the hook.
+        assert_eq!(hook.events_fired(), 0);
+        assert_eq!(hook.events_lifted(), 0);
+    }
+
+    #[test]
+    fn burst_timeline_ignores_other_ranks_entries() {
+        let hook = InjectorHook::new(timeline_spec("burst:2", 1));
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        // Anchor on rank 2.
+        hook.before(&mut call_at(2, 1, &mut params, None));
+        // Another rank's entries must not advance the anchor clock.
+        let mut call = call_at(0, 2, &mut params, None);
+        hook.before(&mut call);
+        assert!(call.msg_fault.is_none());
+        // The anchor rank's next entry is event 1.
+        let mut call = call_at(2, 2, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(call.msg_fault, Some(MsgFaultPlan::from_bit(2)));
+    }
+
+    #[test]
+    fn cascade_timeline_slows_then_kills_the_anchor_rank() {
+        let hook = InjectorHook::new(timeline_spec("cascade:2", 9));
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut call = call_at(2, 1, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(
+            call.rank_fault,
+            Some(RankFaultPlan::fail_slow_from_bit(9)),
+            "anchor entry fails slow"
+        );
+        assert_eq!(hook.events_fired(), 1);
+        let mut call = call_at(2, 2, &mut params, None);
+        hook.before(&mut call);
+        assert!(call.rank_fault.is_none(), "the gap entry is healthy");
+        let mut call = call_at(2, 3, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(
+            call.rank_fault,
+            Some(RankFaultPlan::CrashStop),
+            "delta entries later the rank crash-stops"
+        );
+        assert_eq!(hook.events_fired(), 2);
+    }
+
+    #[test]
+    fn heal_timeline_arms_a_transient_never_sticky_partition_on_every_rank() {
+        let hook = InjectorHook::new(timeline_spec("heal:3", 3)); // draw decodes sticky
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        for rank in [0, 1, 2, 3] {
+            let mut call = call_at(rank, 1, &mut params, None);
+            hook.before(&mut call);
+            assert_eq!(
+                call.rank_fault,
+                Some(RankFaultPlan::Partition {
+                    cut_draw: 0,
+                    sticky: false,
+                    heal_after: Some(3),
+                }),
+                "rank {rank}: stickiness is overridden for healing cuts"
+            );
+        }
+        assert_eq!(hook.events_lifted(), 0);
+        // The anchor rank walking past trigger + duration lifts the event.
+        for inv in [2, 3, 4] {
+            hook.before(&mut call_at(2, inv, &mut params, None));
+        }
+        assert_eq!(hook.events_lifted(), 1);
+    }
+
+    #[test]
+    fn compound_timeline_arms_burst_and_heal_together() {
+        let hook = InjectorHook::new(timeline_spec("burst:1+heal:2", 4));
+        let mut params =
+            CollParams::simple(8, Datatype::Float64, ReduceOp::Sum, 0, simmpi::comm::WORLD);
+        let mut call = call_at(2, 1, &mut params, None);
+        hook.before(&mut call);
+        assert_eq!(call.msg_fault, Some(MsgFaultPlan::from_bit(4)));
+        assert!(matches!(
+            call.rank_fault,
+            Some(RankFaultPlan::Partition {
+                heal_after: Some(2),
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod report;
 pub mod response;
 pub mod space;
 pub mod supervise;
+pub mod timeline;
 
 /// Convenient re-exports.
 pub mod prelude {
@@ -83,4 +84,5 @@ pub mod prelude {
     pub use crate::supervise::{
         QuarantineReason, SupervisedTrial, TrialDisposition, TrialSupervisor,
     };
+    pub use crate::timeline::{FaultTimeline, TimelineEvent};
 }

@@ -269,6 +269,8 @@ mod tests {
             fatal_ranks: Vec::new(),
             quarantined: 0,
             retransmits: 0,
+            events_fired: 0,
+            events_lifted: 0,
         }
     }
 

@@ -181,6 +181,8 @@ mod tests {
             fired: true,
             fatal_rank: None,
             retransmits: 0,
+            events_fired: 1,
+            events_lifted: 0,
         }
     }
 

@@ -1,0 +1,274 @@
+//! HALO — 1-D periodic halo-exchange stencil (extension workload).
+//!
+//! The NPB set stresses the dense collectives; what it lacks is the
+//! *neighbor-exchange* pattern that dominates stencil codes, where almost
+//! all traffic is `MPI_Sendrecv` pairs with the ring neighbors and the
+//! collectives are a sparse skeleton around them (parameter broadcast,
+//! periodic residual allreduce, verification). That skeleton is exactly
+//! the regime fault timelines target: a burst or transient partition
+//! lands amid a long stream of point-to-point traffic, and recovery
+//! (or starvation) plays out across many cheap ops rather than inside
+//! one heavy collective.
+//!
+//! The physics is explicit heat diffusion, `u' = u + nu * Δu`, on a
+//! periodic ring — a 3-point stencil whose per-cell arithmetic is
+//! independent of the rank layout, so the distributed run matches the
+//! serial reference to rounding.
+
+use crate::common::{block, global_ok, Class};
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::record::Phase;
+use simmpi::runtime::AppFn;
+use std::sync::Arc;
+
+/// Residual allreduce cadence: one collective per this many
+/// sendrecv-dominated iterations.
+const RESID_EVERY: usize = 8;
+
+/// Tags of the two halo directions.
+const TAG_RIGHTWARD: i32 = 11;
+const TAG_LEFTWARD: i32 = 12;
+
+/// HALO configuration: `cells` ring cells, `iters` diffusion steps at
+/// diffusion number `nu` (stable for `nu <= 0.5`).
+#[derive(Debug, Clone)]
+pub struct HaloConfig {
+    /// Global ring size (block-distributed over the ranks).
+    pub cells: usize,
+    /// Diffusion steps — each is one halo exchange.
+    pub iters: usize,
+    /// Diffusion number (`nu = k dt / dx²`).
+    pub nu: f64,
+}
+
+impl HaloConfig {
+    /// Configuration for a problem class.
+    pub fn for_class(class: Class) -> Self {
+        match class {
+            Class::Mini => HaloConfig {
+                cells: 256,
+                iters: 24,
+                nu: 0.25,
+            },
+            Class::Small => HaloConfig {
+                cells: 1024,
+                iters: 64,
+                nu: 0.25,
+            },
+            Class::Standard => HaloConfig {
+                cells: 4096,
+                iters: 160,
+                nu: 0.25,
+            },
+        }
+    }
+}
+
+impl Default for HaloConfig {
+    fn default() -> Self {
+        HaloConfig::for_class(Class::Mini)
+    }
+}
+
+/// Build the HALO application closure.
+pub fn halo_app(cfg: HaloConfig) -> AppFn {
+    Arc::new(move |ctx: &mut RankCtx| run_halo(ctx, &cfg))
+}
+
+/// Deterministic multi-mode initial condition for global cell `i`.
+fn initial(i: usize, n: usize) -> f64 {
+    let x = i as f64 / n as f64;
+    (2.0 * std::f64::consts::PI * x).sin() + 0.3 * (6.0 * std::f64::consts::PI * x).cos()
+}
+
+fn run_halo(ctx: &mut RankCtx, cfg: &HaloConfig) -> RankOutput {
+    let size = ctx.size();
+    let me = ctx.rank();
+    let world = ctx.world();
+
+    // --- Input ---
+    ctx.set_phase(Phase::Input);
+    let mut params = [0.0f64; 3];
+    if me == 0 {
+        params = [cfg.cells as f64, cfg.iters as f64, cfg.nu];
+    }
+    ctx.frame("read_input", |ctx| ctx.bcast(&mut params, 0, world));
+    if !params.iter().all(|v| v.is_finite())
+        || params[0] < size as f64
+        || params[0] > 1e7
+        || params[1] < 1.0
+        || params[1] > 1e6
+        || params[2] <= 0.0
+        || params[2] > 0.5
+    {
+        ctx.abort(5, "HALO: invalid input parameters");
+    }
+    let cells = params[0] as usize;
+    let iters = params[1] as usize;
+    let nu = params[2];
+    let (off, len) = block(cells, size, me);
+    if len == 0 {
+        ctx.abort(5, "HALO: empty rank block");
+    }
+
+    // --- Init: u on [off, off+len), one halo cell per side ---
+    ctx.set_phase(Phase::Init);
+    let mut u = vec![0.0f64; len + 2];
+    ctx.frame("setup", |ctx| {
+        let _ = ctx;
+        for i in 0..len {
+            u[i + 1] = initial(off + i, cells);
+        }
+    });
+    let resid0 = crate::common::global_norm2(ctx, &u[1..=len]);
+    ctx.barrier(world);
+
+    // --- Compute: sendrecv-dominated diffusion steps ---
+    ctx.set_phase(Phase::Compute);
+    let left = (me + size - 1) % size;
+    let right = (me + 1) % size;
+    let mut unew = vec![0.0f64; len + 2];
+    let mut resid = resid0;
+    for step in 0..iters {
+        ctx.frame("halo_step", |ctx| {
+            // Exchange halos with the ring neighbors: my last cell goes
+            // rightward (the right neighbor's left halo), my first cell
+            // leftward. Eager sends make the pair deadlock-free.
+            ctx.frame("exchange", |ctx| {
+                let send_right = [u[len]];
+                let mut left_halo = [0.0f64];
+                ctx.sendrecv(
+                    &send_right,
+                    right,
+                    &mut left_halo,
+                    left,
+                    TAG_RIGHTWARD,
+                    world,
+                );
+                let send_left = [u[1]];
+                let mut right_halo = [0.0f64];
+                ctx.sendrecv(
+                    &send_left,
+                    left,
+                    &mut right_halo,
+                    right,
+                    TAG_LEFTWARD,
+                    world,
+                );
+                u[0] = left_halo[0];
+                u[len + 1] = right_halo[0];
+            });
+            ctx.frame("stencil", |ctx| {
+                let _ = ctx;
+                for i in 1..=len {
+                    unew[i] = u[i] + nu * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+                }
+            });
+            std::mem::swap(&mut u, &mut unew);
+            // Periodic residual: the sparse collective skeleton.
+            if (step + 1) % RESID_EVERY == 0 || step + 1 == iters {
+                resid = ctx.frame("residual", |ctx| {
+                    crate::common::global_norm2(ctx, &u[1..=len])
+                });
+            }
+        });
+    }
+
+    // --- End: verification ---
+    ctx.set_phase(Phase::End);
+    let heat = ctx.frame("heat_sum", |ctx| {
+        let local: f64 = u[1..=len].iter().sum();
+        ctx.allreduce_one(local, ReduceOp::Sum, ctx.world())
+    });
+    let ok = ctx.frame("verify", |ctx| {
+        let finite = u[1..=len].iter().all(|v| v.is_finite()) && resid.is_finite();
+        // Diffusion on a periodic ring strictly damps every mode and
+        // (up to rounding) conserves the total heat of the zero-mean
+        // initial condition.
+        let damped = resid < resid0;
+        let conserved = heat.abs() < 1e-6 * cells as f64;
+        global_ok(ctx, finite && damped && conserved)
+    });
+    if !ok {
+        ctx.abort(5, "HALO: verification failed (not damping/conserving)");
+    }
+
+    let mut out = RankOutput::new();
+    out.push("halo.final_resid", resid);
+    out.push("halo.heat_sum", heat);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::runtime::{run_job, JobOutcome, JobSpec};
+
+    fn spec(n: usize) -> JobSpec {
+        JobSpec {
+            nranks: n,
+            timeout: std::time::Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn halo_damps_and_conserves() {
+        let res = run_job(&spec(4), halo_app(HaloConfig::default()));
+        match res.outcome {
+            JobOutcome::Completed { outputs } => {
+                let resid = outputs[0].scalars[0].1;
+                assert!(resid.is_finite() && resid > 0.0);
+                // All ranks agree on the allreduced residual.
+                assert_eq!(outputs[0].scalars[0].1, outputs[3].scalars[0].1);
+            }
+            other => panic!("HALO failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn halo_matches_serial_reference() {
+        // The per-cell stencil arithmetic is layout-independent: the
+        // 4-rank run must match the 1-rank run to reduction rounding.
+        let cfg = HaloConfig {
+            cells: 64,
+            iters: 12,
+            nu: 0.25,
+        };
+        let a = run_job(&spec(1), halo_app(cfg.clone()));
+        let b = run_job(&spec(4), halo_app(cfg));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                let ra = oa[0].scalars[0].1;
+                let rb = ob[0].scalars[0].1;
+                assert!(
+                    (ra - rb).abs() <= 1e-9 * ra.abs().max(1.0),
+                    "{} vs {}",
+                    ra,
+                    rb
+                );
+            }
+            _ => panic!("HALO must complete"),
+        }
+    }
+
+    #[test]
+    fn halo_handles_uneven_blocks() {
+        // 3 ranks over 256 cells: block() hands out 86/85/85.
+        let res = run_job(&spec(3), halo_app(HaloConfig::default()));
+        assert!(matches!(res.outcome, JobOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn halo_deterministic() {
+        let a = run_job(&spec(4), halo_app(HaloConfig::default()));
+        let b = run_job(&spec(4), halo_app(HaloConfig::default()));
+        match (a.outcome, b.outcome) {
+            (JobOutcome::Completed { outputs: oa }, JobOutcome::Completed { outputs: ob }) => {
+                assert_eq!(oa[0].scalars, ob[0].scalars);
+            }
+            _ => panic!("HALO must complete"),
+        }
+    }
+}

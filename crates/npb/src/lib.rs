@@ -14,12 +14,14 @@
 //! | [`mg`] | Bcast, Allreduce (norms), Barrier | residual decrease, aborts |
 //! | [`lu`] | Bcast, Allreduce (norms), Barrier | residual contraction, aborts |
 //! | [`cg`] (extension) | Bcast, Allgather (vector assembly), Allreduce (dot products), Barrier | residual contraction, aborts |
+//! | [`halo`] (extension) | Bcast, Allreduce (residuals, heat), Barrier — traffic dominated by `Sendrecv` halo pairs | damping + conservation, aborts |
 //!
 //! Problem sizes are governed by [`common::Class`] (`FASTFIT_CLASS`).
 
 pub mod cg;
 pub mod common;
 pub mod ft;
+pub mod halo;
 pub mod is;
 pub mod lu;
 pub mod mg;
@@ -27,6 +29,7 @@ pub mod mg;
 pub use cg::{cg_app, CgConfig};
 pub use common::Class;
 pub use ft::{ft_app, FtConfig};
+pub use halo::{halo_app, HaloConfig};
 pub use is::{is_app, IsConfig};
 pub use lu::{lu_app, LuConfig};
 pub use mg::{mg_app, MgConfig};
@@ -42,16 +45,17 @@ pub fn kernel_by_name(name: &str, class: Class) -> (AppFn, f64) {
         "MG" => (mg_app(MgConfig::for_class(class)), 1e-7),
         "LU" => (lu_app(LuConfig::for_class(class)), 1e-7),
         "CG" => (cg_app(CgConfig::for_class(class)), 1e-7),
-        other => panic!("unknown NPB kernel {other:?} (expected IS/FT/MG/LU/CG)"),
+        "HALO" => (halo_app(HaloConfig::for_class(class)), 1e-7),
+        other => panic!("unknown NPB kernel {other:?} (expected IS/FT/MG/LU/CG/HALO)"),
     }
 }
 
 /// The kernel names in paper order (the paper's evaluation set).
 pub const KERNELS: [&str; 4] = ["IS", "FT", "MG", "LU"];
 
-/// All kernels including the CG extension (not part of the paper's
-/// evaluation; used by the extension experiments).
-pub const ALL_KERNELS: [&str; 5] = ["IS", "FT", "MG", "LU", "CG"];
+/// All kernels including the CG and HALO extensions (not part of the
+/// paper's evaluation; used by the extension experiments).
+pub const ALL_KERNELS: [&str; 6] = ["IS", "FT", "MG", "LU", "CG", "HALO"];
 
 #[cfg(test)]
 mod tests {
@@ -74,6 +78,12 @@ mod tests {
     #[test]
     fn registry_resolves_cg_extension() {
         let (_, tol) = kernel_by_name("CG", Class::Mini);
+        assert!(tol > 0.0);
+    }
+
+    #[test]
+    fn registry_resolves_halo_extension() {
+        let (_, tol) = kernel_by_name("halo", Class::Mini);
         assert!(tol > 0.0);
     }
 }

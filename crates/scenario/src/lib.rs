@@ -29,7 +29,7 @@
 //! queue entries; `fastfit-cli scenario` expands the same grammar
 //! locally for preview, cost estimation, or submission.
 
-use fastfit::prelude::{FaultChannel, ParamsMode, ALL_FAULT_CHANNELS};
+use fastfit::prelude::{FaultChannel, FaultTimeline, ParamsMode, ALL_FAULT_CHANNELS};
 use fastfit_store::json::Json;
 use simmpi::hook::CollKind;
 use std::collections::BTreeMap;
@@ -62,6 +62,11 @@ pub struct ConcreteScenario {
     pub app_seed: Option<u64>,
     /// LAMMPS run length, when the template pins it.
     pub steps: Option<usize>,
+    /// Fault-timeline token (canonical form), or `None` for the
+    /// single-draw model. A non-single timeline owns the fault channel:
+    /// enumeration pins `fault_channel` to the timeline's primary
+    /// channel so the lowered spec always passes submission validation.
+    pub timeline: Option<String>,
 }
 
 impl ConcreteScenario {
@@ -99,6 +104,9 @@ impl ConcreteScenario {
         if let Some(s) = self.steps {
             m.insert("steps".into(), Json::U64(s as u64));
         }
+        if let Some(t) = &self.timeline {
+            m.insert("timeline".into(), Json::Str(t.clone()));
+        }
         Json::Obj(m)
     }
 
@@ -117,6 +125,10 @@ impl ConcreteScenario {
             s.push('/');
             s.push_str(&colls.join("+"));
         }
+        if let Some(t) = &self.timeline {
+            s.push('/');
+            s.push_str(t);
+        }
         s
     }
 }
@@ -134,6 +146,8 @@ pub enum Axis {
     Transports(Vec<bool>),
     /// Collective subsets; `None` means "all kinds".
     Colls(Vec<Option<Vec<String>>>),
+    /// Fault timelines (canonical tokens); `None` means single-draw.
+    Timelines(Vec<Option<String>>),
 }
 
 impl Axis {
@@ -144,6 +158,7 @@ impl Axis {
             Axis::Channels(_) => "fault_channel",
             Axis::Transports(_) => "resilient",
             Axis::Colls(_) => "colls",
+            Axis::Timelines(_) => "timeline",
         }
     }
 
@@ -154,6 +169,7 @@ impl Axis {
             Axis::Channels(v) => v.is_empty(),
             Axis::Transports(v) => v.is_empty(),
             Axis::Colls(v) => v.is_empty(),
+            Axis::Timelines(v) => v.is_empty(),
         }
     }
 }
@@ -171,6 +187,7 @@ pub struct Template {
     channels: Option<Vec<FaultChannel>>,
     transports: Option<Vec<bool>>,
     colls: Option<Vec<Option<Vec<String>>>>,
+    timelines: Option<Vec<Option<String>>>,
     trials: Option<usize>,
     params: Option<ParamsMode>,
     seed: Option<u64>,
@@ -228,18 +245,24 @@ impl Template {
             Axis::Channels(v) => self.channels = Some(v),
             Axis::Transports(v) => self.transports = Some(v),
             Axis::Colls(v) => self.colls = Some(v),
+            Axis::Timelines(v) => self.timelines = Some(v),
         }
         self
     }
 
     /// The cross product, in a deterministic documented order:
     /// workload-major, then fault channel, then transport, then rank
-    /// count, then collective subset. Submission IDs derive from this
-    /// order, so it is part of the algebra's contract.
+    /// count, then collective subset, then fault timeline (innermost).
+    /// Submission IDs derive from this order, so it is part of the
+    /// algebra's contract.
     ///
     /// `workload` and `ranks` holes must be plugged; `fault_channel`
     /// defaults to `[param]`, `resilient` to `[plain]`, `colls` to
-    /// `[all kinds]`.
+    /// `[all kinds]`, `timeline` to `[single-draw]`. A non-single
+    /// timeline pins the scenario's fault channel to the timeline's
+    /// primary channel (the same rule the submission layer enforces),
+    /// so timeline sweeps compose with the channel default instead of
+    /// being rejected downstream.
     pub fn enumerate(&self) -> Result<Vec<ConcreteScenario>, String> {
         for axis in [
             self.workloads.clone().map(Axis::Workloads),
@@ -247,6 +270,7 @@ impl Template {
             self.channels.clone().map(Axis::Channels),
             self.transports.clone().map(Axis::Transports),
             self.colls.clone().map(Axis::Colls),
+            self.timelines.clone().map(Axis::Timelines),
         ]
         .into_iter()
         .flatten()
@@ -272,24 +296,32 @@ impl Template {
             .unwrap_or_else(|| vec![FaultChannel::Param]);
         let transports = self.transports.clone().unwrap_or_else(|| vec![false]);
         let colls = self.colls.clone().unwrap_or_else(|| vec![None]);
+        let timelines = self.timelines.clone().unwrap_or_else(|| vec![None]);
         let mut out = Vec::new();
         for w in workloads {
             for &ch in &channels {
                 for &resilient in &transports {
                     for &r in ranks {
                         for c in &colls {
-                            out.push(ConcreteScenario {
-                                workload: w.clone(),
-                                ranks: r,
-                                fault_channel: ch,
-                                resilient,
-                                colls: c.clone(),
-                                trials: self.trials,
-                                params: self.params.clone(),
-                                seed: self.seed,
-                                app_seed: self.app_seed,
-                                steps: self.steps,
-                            });
+                            for tl in &timelines {
+                                let primary = tl
+                                    .as_deref()
+                                    .and_then(|tok| FaultTimeline::parse(tok).ok())
+                                    .and_then(|t| t.primary_channel());
+                                out.push(ConcreteScenario {
+                                    workload: w.clone(),
+                                    ranks: r,
+                                    fault_channel: primary.unwrap_or(ch),
+                                    resilient,
+                                    colls: c.clone(),
+                                    trials: self.trials,
+                                    params: self.params.clone(),
+                                    seed: self.seed,
+                                    app_seed: self.app_seed,
+                                    steps: self.steps,
+                                    timeline: tl.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -486,7 +518,16 @@ fn parse_axes(mut template: Template, axes: &Json) -> Result<Template, String> {
         return Err("\"axes\" must be a JSON object".into());
     };
     for key in m.keys() {
-        if !["workload", "ranks", "fault_channel", "resilient", "colls"].contains(&key.as_str()) {
+        if ![
+            "workload",
+            "ranks",
+            "fault_channel",
+            "resilient",
+            "colls",
+            "timeline",
+        ]
+        .contains(&key.as_str())
+        {
             return Err(format!("unknown axis {key:?}"));
         }
     }
@@ -571,6 +612,23 @@ fn parse_axes(mut template: Template, axes: &Json) -> Result<Template, String> {
             .collect::<Result<Vec<_>, String>>()?;
         template = template.plug(Axis::Colls(cs));
     }
+    if let Some(items) = arr("timeline")? {
+        let tls = items
+            .iter()
+            .map(|it| match it {
+                Json::Null => Ok(None),
+                Json::Str(tok) => {
+                    // Validate at parse time and store the canonical
+                    // token; `"single"` canonicalizes to the None hole.
+                    let t = FaultTimeline::parse(tok)
+                        .map_err(|e| format!("bad timeline {tok:?}: {e}"))?;
+                    Ok((!t.is_single()).then(|| t.token().to_string()))
+                }
+                _ => Err("\"timeline\" entries must be null or string tokens".into()),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        template = template.plug(Axis::Timelines(tls));
+    }
     Ok(template)
 }
 
@@ -651,6 +709,7 @@ mod tests {
             seed: Some(7),
             app_seed: None,
             steps: None,
+            timeline: None,
         };
         assert_eq!(
             s.to_spec_json().encode(),
@@ -703,6 +762,68 @@ mod tests {
             model.predicted_cost(&untrialed[0]).unwrap(),
             10 * DEFAULT_TRIALS_FOR_COST as u64 * 100
         );
+    }
+
+    #[test]
+    fn timeline_axis_enumerates_innermost_and_pins_the_channel() {
+        let scenarios = Template::new("t")
+            .plug(Axis::Workloads(vec!["IS".into()]))
+            .plug(Axis::Ranks(vec![2]))
+            .plug(Axis::Transports(vec![false, true]))
+            .plug(Axis::Timelines(vec![
+                None,
+                Some("burst:4".into()),
+                Some("heal:3".into()),
+            ]))
+            .enumerate()
+            .unwrap();
+        assert_eq!(scenarios.len(), 2 * 3);
+        // Timeline is the innermost loop.
+        assert_eq!(scenarios[0].label(), "IS/r2/param/plain");
+        assert_eq!(scenarios[1].label(), "IS/r2/message/plain/burst:4");
+        assert_eq!(scenarios[2].label(), "IS/r2/partition/plain/heal:3");
+        assert_eq!(scenarios[3].label(), "IS/r2/param/resilient");
+        // A non-single timeline owns the channel; the single-draw hole
+        // keeps the channel default.
+        assert_eq!(scenarios[1].fault_channel, FaultChannel::Message);
+        assert_eq!(scenarios[2].fault_channel, FaultChannel::Partition);
+        assert_eq!(scenarios[0].fault_channel, FaultChannel::Param);
+        // The lowered spec carries the token; its channel agrees.
+        let enc = scenarios[1].to_spec_json().encode();
+        assert!(enc.contains("\"timeline\":\"burst:4\""), "{enc}");
+        assert!(enc.contains("\"fault_channel\":\"message\""), "{enc}");
+        assert!(!scenarios[0].to_spec_json().encode().contains("timeline"));
+    }
+
+    #[test]
+    fn grammar_parses_and_canonicalizes_the_timeline_axis() {
+        let g = Grammar::parse(
+            r#"{
+                "name": "tl",
+                "axes": {
+                    "workload": ["IS"],
+                    "ranks": [2],
+                    "timeline": [null, "single", "burst:2:1+heal:5"]
+                }
+            }"#,
+        )
+        .unwrap();
+        let scenarios = g.expand().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].timeline, None);
+        assert_eq!(scenarios[1].timeline, None, "\"single\" is the None hole");
+        // burst gap 1 is the default and drops from the canonical token.
+        assert_eq!(scenarios[2].timeline.as_deref(), Some("burst:2+heal:5"));
+
+        let e = Grammar::parse(
+            r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"timeline":["burst:0"]}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("bad timeline"), "{e}");
+        let e =
+            Grammar::parse(r#"{"name":"x","axes":{"workload":["IS"],"ranks":[2],"timeline":[7]}}"#)
+                .unwrap_err();
+        assert!(e.contains("timeline"), "{e}");
     }
 
     #[test]

@@ -812,6 +812,8 @@ fn reconstruct_results(
             fatal_ranks: Vec::new(),
             quarantined: 0,
             retransmits: 0,
+            events_fired: 0,
+            events_lifted: 0,
         })
         .collect();
     for t in trials {
@@ -829,6 +831,8 @@ fn reconstruct_results(
                     r.fatal_ranks.push(rank);
                 }
                 r.retransmits += o.retransmits;
+                r.events_fired += o.events_fired;
+                r.events_lifted += o.events_lifted;
             }
             TrialDisposition::Quarantined { .. } => r.quarantined += 1,
         }

@@ -43,6 +43,12 @@ pub struct CampaignSpec {
     /// ML feedback loop: measure until held-out accuracy passes this
     /// threshold, predict the rest. Present ⇒ ML-driven campaign.
     pub ml_threshold: Option<f64>,
+    /// Fault-timeline token (`single`, `burst:W[:G]`, `cascade:D`,
+    /// `heal:D`, `+`-joined); default the daemon's `FASTFIT_TIMELINE`
+    /// (normally `single`). Validated at submission; a non-single
+    /// timeline pins the campaign's fault channel to the timeline's
+    /// primary channel.
+    pub timeline: Option<String>,
 }
 
 impl CampaignSpec {
@@ -60,6 +66,7 @@ impl CampaignSpec {
             steps: None,
             colls: None,
             ml_threshold: None,
+            timeline: None,
         }
     }
 
@@ -106,6 +113,9 @@ impl CampaignSpec {
         if let Some(t) = self.ml_threshold {
             m.insert("ml_threshold".into(), Json::F64(t));
         }
+        if let Some(t) = &self.timeline {
+            m.insert("timeline".into(), Json::Str(t.clone()));
+        }
         Json::Obj(m)
     }
 
@@ -116,7 +126,7 @@ impl CampaignSpec {
         let Json::Obj(m) = v else {
             return Err("campaign spec must be a JSON object".into());
         };
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "workload",
             "ranks",
             "trials",
@@ -128,6 +138,7 @@ impl CampaignSpec {
             "steps",
             "colls",
             "ml_threshold",
+            "timeline",
         ];
         for key in m.keys() {
             if !KNOWN.contains(&key.as_str()) {
@@ -202,6 +213,11 @@ impl CampaignSpec {
             None => None,
             Some(x) => Some(x.as_f64().ok_or("\"ml_threshold\" must be a number")?),
         };
+        let timeline = match v.get("timeline").map(|t| t.as_str()) {
+            None => None,
+            Some(Some(tok)) => Some(tok.to_string()),
+            Some(None) => return Err("\"timeline\" must be a string token".into()),
+        };
         Ok(CampaignSpec {
             workload,
             ranks: usize_field("ranks")?,
@@ -214,6 +230,7 @@ impl CampaignSpec {
             steps: usize_field("steps")?,
             colls,
             ml_threshold,
+            timeline,
         })
     }
 }
@@ -245,6 +262,7 @@ mod tests {
             steps: Some(6),
             colls: Some(vec![CollKind::Allreduce, CollKind::Bcast]),
             ml_threshold: Some(0.65),
+            timeline: None,
         };
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -252,6 +270,21 @@ mod tests {
             .to_json()
             .encode()
             .contains("\"colls\":[\"MPI_Allreduce\",\"MPI_Bcast\"]"));
+    }
+
+    #[test]
+    fn timeline_token_roundtrips() {
+        let spec = CampaignSpec {
+            timeline: Some("burst:4+heal:6".into()),
+            fault_channel: Some(FaultChannel::Message),
+            ..CampaignSpec::new("IS")
+        };
+        let enc = spec.to_json().encode();
+        assert!(enc.contains("\"timeline\":\"burst:4+heal:6\""), "{enc}");
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let bad = Json::parse("{\"workload\":\"IS\",\"timeline\":7}").unwrap();
+        assert!(CampaignSpec::from_json(&bad).is_err());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! HTTP 400, not a panic inside a runner thread.
 
 use crate::spec::CampaignSpec;
-use fastfit::prelude::{ranks_from_env, CampaignConfig, MlConfig, MlTarget, Workload};
+use fastfit::prelude::{
+    ranks_from_env, CampaignConfig, FaultTimeline, MlConfig, MlTarget, Workload,
+};
 use minimd::{md_app, MdConfig};
 use npb::{kernel_by_name, Class, ALL_KERNELS};
 
@@ -35,7 +37,7 @@ pub fn validate_spec(spec: &CampaignSpec) -> Result<(), String> {
     let name = spec.workload.to_uppercase();
     if name != "LAMMPS" && !ALL_KERNELS.contains(&name.as_str()) {
         return Err(format!(
-            "unknown workload {:?} (expected IS/FT/MG/LU/CG/LAMMPS)",
+            "unknown workload {:?} (expected IS/FT/MG/LU/CG/HALO/LAMMPS)",
             spec.workload
         ));
     }
@@ -50,6 +52,23 @@ pub fn validate_spec(spec: &CampaignSpec) -> Result<(), String> {
     if let Some(t) = spec.ml_threshold {
         if !(0.0..=1.0).contains(&t) {
             return Err(format!("ml_threshold must be in [0, 1], got {t}"));
+        }
+    }
+    if let Some(tok) = &spec.timeline {
+        let timeline = FaultTimeline::parse(tok)?;
+        // A non-single timeline owns the channel: an explicit
+        // fault_channel that disagrees with the first segment's channel
+        // would silently journal a campaign the submitter did not ask
+        // for, so it is refused instead of overridden.
+        if let (Some(primary), Some(requested)) = (timeline.primary_channel(), spec.fault_channel) {
+            if primary != requested {
+                return Err(format!(
+                    "timeline {:?} injects on the {} channel, but fault_channel says {}",
+                    timeline.token(),
+                    primary.token(),
+                    requested.token()
+                ));
+            }
         }
     }
     Ok(())
@@ -100,6 +119,14 @@ pub fn resolve_config(spec: &CampaignSpec) -> CampaignConfig {
     if let Some(colls) = &spec.colls {
         cfg.colls = Some(colls.clone());
     }
+    if let Some(tok) = &spec.timeline {
+        // validate_spec already vetted the token; `set_timeline` pins
+        // cfg.fault_channel to the timeline's primary channel, so the
+        // timeline override must come last.
+        if let Ok(t) = FaultTimeline::parse(tok) {
+            cfg.set_timeline(t);
+        }
+    }
     cfg
 }
 
@@ -138,6 +165,33 @@ mod tests {
         let mut s = CampaignSpec::new("IS");
         s.ml_threshold = Some(1.5);
         assert!(validate_spec(&s).is_err());
+    }
+
+    #[test]
+    fn timeline_specs_validate_and_pin_the_channel() {
+        let mut s = CampaignSpec::new("IS");
+        s.timeline = Some("burst:4+heal:6".into());
+        assert!(validate_spec(&s).is_ok());
+        let cfg = resolve_config(&s);
+        assert_eq!(cfg.timeline.token(), "burst:4+heal:6");
+        assert_eq!(cfg.fault_channel, FaultChannel::Message);
+
+        // The timeline's primary channel wins over an agreeing explicit
+        // channel; a disagreeing one is a 400, not a silent override.
+        s.fault_channel = Some(FaultChannel::Message);
+        assert!(validate_spec(&s).is_ok());
+        s.fault_channel = Some(FaultChannel::Param);
+        assert!(validate_spec(&s).unwrap_err().contains("fault_channel"));
+
+        let mut s = CampaignSpec::new("IS");
+        s.timeline = Some("burst:0".into());
+        assert!(validate_spec(&s).is_err());
+        s.timeline = Some("single".into());
+        s.fault_channel = Some(FaultChannel::Param);
+        assert!(validate_spec(&s).is_ok(), "single constrains nothing");
+        let cfg = resolve_config(&s);
+        assert!(cfg.timeline.is_single());
+        assert_eq!(cfg.fault_channel, FaultChannel::Param);
     }
 
     #[test]

@@ -1124,9 +1124,14 @@ impl RankCtx {
         // same collective (per-communicator sequence numbers are SPMD-
         // deterministic), so each rank arms before any of its own scoped
         // sends — the dropped set is schedule-independent.
-        if let Some(RankFaultPlan::Partition { cut_draw, sticky }) = rank_fault {
+        if let Some(RankFaultPlan::Partition {
+            cut_draw,
+            sticky,
+            heal_after,
+        }) = rank_fault
+        {
             self.fabric
-                .arm_partition(self.rank, comm.handle.0, seq, cut_draw, sticky);
+                .arm_partition(self.rank, comm.handle.0, seq, cut_draw, sticky, heal_after);
         }
         Decoded {
             comm,

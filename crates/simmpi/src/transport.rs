@@ -189,6 +189,12 @@ pub enum RankFaultPlan {
         /// Sticky partitions also drop every retransmission, so the
         /// resilient transport cannot heal across the cut.
         sticky: bool,
+        /// Transient partitions heal after this many collective operations
+        /// on the partitioned communicator: sends scoped to sequence
+        /// numbers `>= from_seq + heal_after` are delivered untouched.
+        /// `None` is the sticky-scope default (the partition never heals
+        /// on its own; only the resilient transport can recover it).
+        heal_after: Option<u64>,
     },
 }
 
@@ -207,6 +213,7 @@ impl RankFaultPlan {
         RankFaultPlan::Partition {
             cut_draw: bit / 4,
             sticky: bit % 4 == 3,
+            heal_after: None,
         }
     }
 }
@@ -217,6 +224,12 @@ impl RankFaultPlan {
 pub struct TransportStats {
     /// Whether the armed message fault was actually applied to a message.
     pub fault_fired: bool,
+    /// Number of armed message-fault plans that actually fired (each plan
+    /// fires at most once). Under a fault timeline several plans are armed
+    /// per trial, so the boolean alone is lossy.
+    pub msg_faults_fired: u64,
+    /// Messages dropped on the wire by an armed partition (any source).
+    pub partition_drops: u64,
     /// Retransmissions the resilient transport performed (or charged, for
     /// exhausted recoveries).
     pub retransmits: u64,
@@ -311,6 +324,10 @@ struct ArmedPartition {
     comm_code: u32,
     /// First collective sequence number the partition applies to.
     from_seq: u64,
+    /// First collective sequence number the partition no longer applies
+    /// to: a *transient* partition heals here and later traffic is
+    /// delivered untouched. `None` means the cut never heals on its own.
+    until_seq: Option<u64>,
     /// Ranks `< cut` are on one side, ranks `>= cut` on the other.
     cut: usize,
     sticky: bool,
@@ -318,13 +335,17 @@ struct ArmedPartition {
 
 impl ArmedPartition {
     /// Whether `tag` is collective traffic on the partitioned communicator
-    /// at or after the partition instant. The 20-bit truncated comparison
-    /// matches the tag encoding; campaigns never approach 2^20 collectives
-    /// on one communicator.
+    /// at or after the partition instant — and, for a transient partition,
+    /// before the heal instant. The 20-bit truncated comparison matches
+    /// the tag encoding; campaigns never approach 2^20 collectives on one
+    /// communicator.
     fn in_scope(&self, tag: u64) -> bool {
         (tag >> 32) == u64::from(self.comm_code)
             && ((tag >> 28) & 0xF) == TagKind::Collective as u64
             && (tag & 0xF_FFFF) >= (self.from_seq & 0xF_FFFF)
+            && self
+                .until_seq
+                .is_none_or(|until| (tag & 0xF_FFFF) < (until & 0xF_FFFF))
     }
 
     /// Whether a `src -> dst` message crosses the cut.
@@ -361,6 +382,8 @@ pub struct Fabric {
     /// sweep window proves no message moved anywhere in the fabric.
     epoch: AtomicU64,
     fault_fired: AtomicBool,
+    msg_faults_fired: AtomicU64,
+    partition_drops: AtomicU64,
     retransmits: AtomicU64,
     dup_suppressed: AtomicU64,
     transport_errors: AtomicU64,
@@ -384,6 +407,8 @@ impl Fabric {
             bytes_sent: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             fault_fired: AtomicBool::new(false),
+            msg_faults_fired: AtomicU64::new(0),
+            partition_drops: AtomicU64::new(0),
             retransmits: AtomicU64::new(0),
             dup_suppressed: AtomicU64::new(0),
             transport_errors: AtomicU64::new(0),
@@ -414,6 +439,8 @@ impl Fabric {
     pub fn stats(&self) -> TransportStats {
         TransportStats {
             fault_fired: self.fault_fired.load(Ordering::Acquire),
+            msg_faults_fired: self.msg_faults_fired.load(Ordering::Relaxed),
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
             dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
             transport_errors: self.transport_errors.load(Ordering::Relaxed),
@@ -451,6 +478,7 @@ impl Fabric {
         from_seq: u64,
         cut_draw: u64,
         sticky: bool,
+        heal_after: Option<u64>,
     ) {
         let n = self.boxes.len();
         if n < 2 {
@@ -461,6 +489,7 @@ impl Fabric {
             *slot.lock() = Some(ArmedPartition {
                 comm_code,
                 from_seq,
+                until_seq: heal_after.map(|d| from_seq + d),
                 cut,
                 sticky,
             });
@@ -552,6 +581,7 @@ impl Fabric {
             // resolves its own fate — retransmit recovery or a
             // deterministic op-budget burn).
             self.fault_fired.store(true, Ordering::Release);
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
             st.dropped.push(DroppedEntry {
                 src,
                 tag,
@@ -564,7 +594,7 @@ impl Fabric {
         match fault {
             Some(plan) => match plan.kind {
                 MsgFaultKind::Flip if !msg.data.is_empty() => {
-                    self.fault_fired.store(true, Ordering::Release);
+                    self.note_msg_fault();
                     if self.resilient {
                         msg.pristine = Some(msg.data.clone());
                     }
@@ -574,7 +604,7 @@ impl Fabric {
                     self.enqueue(mbox, &mut st, msg);
                 }
                 MsgFaultKind::Truncate if !msg.data.is_empty() => {
-                    self.fault_fired.store(true, Ordering::Release);
+                    self.note_msg_fault();
                     if self.resilient {
                         msg.pristine = Some(msg.data.clone());
                     }
@@ -584,7 +614,7 @@ impl Fabric {
                     self.enqueue(mbox, &mut st, msg);
                 }
                 MsgFaultKind::Drop => {
-                    self.fault_fired.store(true, Ordering::Release);
+                    self.note_msg_fault();
                     st.dropped.push(DroppedEntry {
                         src,
                         tag,
@@ -596,12 +626,12 @@ impl Fabric {
                     mbox.cv.notify_all();
                 }
                 MsgFaultKind::Duplicate => {
-                    self.fault_fired.store(true, Ordering::Release);
+                    self.note_msg_fault();
                     self.enqueue(mbox, &mut st, msg.clone());
                     self.enqueue(mbox, &mut st, msg);
                 }
                 MsgFaultKind::Delay => {
-                    self.fault_fired.store(true, Ordering::Release);
+                    self.note_msg_fault();
                     st.held.push((Instant::now() + MSG_DELAY, msg));
                     // Held, not delivered: no epoch bump. The receiver's
                     // poll loop releases it once due.
@@ -615,6 +645,13 @@ impl Fabric {
             None => self.enqueue(mbox, &mut st, msg),
         }
         Ok(())
+    }
+
+    /// Record the firing of one armed message-fault plan (each plan fires
+    /// at most once, so the counter is a per-event ground truth).
+    fn note_msg_fault(&self) {
+        self.fault_fired.store(true, Ordering::Release);
+        self.msg_faults_fired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Enqueue under the (held) mailbox lock: progress epoch + wakeup.
@@ -1144,7 +1181,7 @@ mod tests {
         let f = Fabric::new(4);
         // cut_draw 0 on a 4-rank fabric → cut = 1: {0} | {1,2,3}.
         for src in 0..4 {
-            f.arm_partition(src, COMM, 0, 0, false);
+            f.arm_partition(src, COMM, 0, 0, false, None);
         }
         // Within-side traffic is untouched.
         f.send(1, 2, coll_tag(COMM, 0, 0), vec![12]).unwrap();
@@ -1161,7 +1198,7 @@ mod tests {
     #[test]
     fn partition_scope_starts_at_from_seq_and_spares_p2p() {
         let f = Fabric::new(2);
-        f.arm_partition(0, COMM, 5, 0, false);
+        f.arm_partition(0, COMM, 5, 0, false, None);
         // Earlier collective: delivered.
         f.send(0, 1, coll_tag(COMM, 4, 0), vec![4]).unwrap();
         assert_eq!(f.recv(1, 0, coll_tag(COMM, 4, 0), &ctl()), vec![4]);
@@ -1181,7 +1218,7 @@ mod tests {
     fn partition_burns_op_budget_deterministically_in_plain_mode() {
         let run = || {
             let f = Fabric::new(2);
-            f.arm_partition(0, COMM, 0, 0, false);
+            f.arm_partition(0, COMM, 0, 0, false, None);
             f.send(0, 1, coll_tag(COMM, 0, 0), vec![5]).unwrap();
             assert!(!f.stuck(1), "partition victim is not (yet) stuck");
             let c = JobControl::with_budget(2, Duration::from_secs(60), Some(400));
@@ -1199,7 +1236,7 @@ mod tests {
     #[test]
     fn resilient_transport_heals_a_partition_unless_sticky() {
         let f = Fabric::with_mode(2, true);
-        f.arm_partition(0, COMM, 0, 0, false);
+        f.arm_partition(0, COMM, 0, 0, false, None);
         f.send(0, 1, coll_tag(COMM, 0, 0), vec![1, 2]).unwrap();
         assert_eq!(f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl()), vec![1, 2]);
         let s = f.stats();
@@ -1208,7 +1245,7 @@ mod tests {
         assert_eq!(s.transport_errors, 0);
 
         let f = Fabric::with_mode(2, true);
-        f.arm_partition(0, COMM, 0, 0, true);
+        f.arm_partition(0, COMM, 0, 0, true, None);
         f.send(0, 1, coll_tag(COMM, 0, 0), vec![1, 2]).unwrap();
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl())
@@ -1224,10 +1261,57 @@ mod tests {
     #[test]
     fn single_rank_fabric_never_arms_a_partition() {
         let f = Fabric::new(1);
-        f.arm_partition(0, COMM, 0, 7, true);
+        f.arm_partition(0, COMM, 0, 7, true, None);
         f.send(0, 0, coll_tag(COMM, 0, 0), vec![1]).unwrap();
         assert_eq!(f.recv(0, 0, coll_tag(COMM, 0, 0), &ctl()), vec![1]);
         assert!(!f.stats().fault_fired);
+    }
+
+    #[test]
+    fn transient_partition_heals_at_until_seq_in_plain_mode() {
+        let f = Fabric::new(2);
+        // Heal after 2 collectives: seq 0 and 1 are cut, seq 2 onward is
+        // delivered untouched.
+        f.arm_partition(0, COMM, 0, 0, false, Some(2));
+        f.send(0, 1, coll_tag(COMM, 1, 0), vec![1]).unwrap();
+        f.send(0, 1, coll_tag(COMM, 2, 0), vec![2]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 2, 0), &ctl()), vec![2]);
+        assert_eq!(f.queued(1), 0, "the in-window message stays dropped");
+        let s = f.stats();
+        assert!(s.fault_fired);
+        assert_eq!(s.partition_drops, 1);
+        assert_eq!(s.msg_faults_fired, 0, "no message-fault plan involved");
+    }
+
+    #[test]
+    fn resilient_transport_recovers_the_transient_partition_window() {
+        let f = Fabric::with_mode(2, true);
+        f.arm_partition(0, COMM, 0, 0, false, Some(1));
+        // In-window send is dropped, then recovered by retransmission.
+        f.send(0, 1, coll_tag(COMM, 0, 0), vec![1, 2]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 0, 0), &ctl()), vec![1, 2]);
+        // Post-heal send is delivered without any recovery work.
+        f.send(0, 1, coll_tag(COMM, 1, 0), vec![3, 4]).unwrap();
+        assert_eq!(f.recv(1, 0, coll_tag(COMM, 1, 0), &ctl()), vec![3, 4]);
+        let s = f.stats();
+        assert_eq!(s.partition_drops, 1);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.transport_errors, 0);
+    }
+
+    #[test]
+    fn stats_count_each_msg_fault_plan_once() {
+        let f = Fabric::new(2);
+        f.arm(0, COMM, 0, plan(MsgFaultKind::Drop));
+        f.send(0, 1, scoped_tag(), vec![5]).unwrap();
+        let s = f.stats();
+        assert!(s.fault_fired);
+        assert_eq!(s.msg_faults_fired, 1);
+        assert_eq!(s.partition_drops, 0);
+        // A second armed plan on a later collective counts separately.
+        f.arm(0, COMM, 1, plan(MsgFaultKind::Duplicate));
+        f.send(0, 1, coll_tag(COMM, 1, 0), vec![6]).unwrap();
+        assert_eq!(f.stats().msg_faults_fired, 2);
     }
 
     #[test]

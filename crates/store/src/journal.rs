@@ -19,7 +19,8 @@ use crate::id::sha256_hex;
 use crate::json::Json;
 use crate::StoreError;
 use fastfit::prelude::{
-    CampaignPhase, FaultChannel, QuarantineReason, Response, TrialDisposition, TrialOutcome,
+    CampaignPhase, FaultChannel, FaultTimeline, QuarantineReason, Response, TrialDisposition,
+    TrialOutcome,
 };
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -32,7 +33,15 @@ use std::path::Path;
 /// supervised campaign can degrade gracefully without fabricating a
 /// response. Format-1 journals are refused on open (the recorded trials
 /// cannot say whether a timeout was proven or merely wall-clock-suspect).
+/// Format 3 adds the fault-timeline token to the meta; a single-draw
+/// campaign still writes format 2, so every pre-timeline journal keeps
+/// its bytes and its campaign ID, and this reader accepts both.
 pub const JOURNAL_FORMAT: u64 = 2;
+
+/// The format written when the campaign carries a non-single fault
+/// timeline (the meta then has a `timeline` key older readers would
+/// silently drop from the identity, hence the bump).
+pub const TIMELINE_FORMAT: u64 = 3;
 
 /// Journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
@@ -84,13 +93,22 @@ pub struct CampaignMeta {
     /// Keys of the points this campaign measures, in measurement order.
     /// Order matters: the per-point RNG seed is derived from the index.
     pub point_keys: Vec<String>,
+    /// The fault timeline (canonical token is the journaled identity).
+    /// Single-draw campaigns encode no key and stay format 2; non-single
+    /// timelines bump the meta to [`TIMELINE_FORMAT`].
+    pub timeline: FaultTimeline,
 }
 
 impl CampaignMeta {
     /// Canonical JSON encoding (sorted keys, lossless integers).
     pub fn to_json(&self) -> Json {
+        let format = if self.timeline.is_single() {
+            JOURNAL_FORMAT
+        } else {
+            TIMELINE_FORMAT
+        };
         let mut pairs = vec![
-            ("format", Json::U64(JOURNAL_FORMAT)),
+            ("format", Json::U64(format)),
             ("workload", Json::Str(self.workload.clone())),
             ("nranks", Json::U64(self.nranks as u64)),
             ("app_seed", Json::U64(self.app_seed)),
@@ -130,6 +148,9 @@ impl CampaignMeta {
                 Json::Arr(colls.iter().cloned().map(Json::Str).collect()),
             ));
         }
+        if !self.timeline.is_single() {
+            pairs.push(("timeline", Json::Str(self.timeline.token().into())));
+        }
         Json::obj(pairs)
     }
 
@@ -140,10 +161,10 @@ impl CampaignMeta {
                 .ok_or_else(|| StoreError::Corrupt(format!("meta missing field {:?}", k)))
         };
         let format = field("format")?.as_u64().unwrap_or(0);
-        if format != JOURNAL_FORMAT {
+        if format != JOURNAL_FORMAT && format != TIMELINE_FORMAT {
             return Err(StoreError::Mismatch(format!(
-                "journal format {} (this build reads format {})",
-                format, JOURNAL_FORMAT
+                "journal format {} (this build reads formats {} and {})",
+                format, JOURNAL_FORMAT, TIMELINE_FORMAT
             )));
         }
         let str_field = |k: &str| -> Result<String, StoreError> {
@@ -211,6 +232,17 @@ impl CampaignMeta {
                     .collect::<Result<Vec<_>, _>>()?,
             ),
         };
+        // Metas without the key (every format-2 journal) are single-draw.
+        let timeline = match v.get("timeline") {
+            None | Some(Json::Null) => FaultTimeline::default(),
+            Some(t) => {
+                let tok = t
+                    .as_str()
+                    .ok_or_else(|| StoreError::Corrupt("meta timeline not a string".into()))?;
+                FaultTimeline::parse(tok)
+                    .map_err(|e| StoreError::Corrupt(format!("meta timeline: {}", e)))?
+            }
+        };
         Ok(CampaignMeta {
             workload: str_field("workload")?,
             nranks: u64_field("nranks")? as usize,
@@ -226,6 +258,7 @@ impl CampaignMeta {
             resilient,
             colls,
             point_keys,
+            timeline,
         })
     }
 
@@ -339,6 +372,16 @@ impl Record {
                         if out.retransmits > 0 {
                             pairs.push(("rtx", Json::U64(out.retransmits)));
                         }
+                        // Timeline event counts: single-draw trials always
+                        // have events_fired == fired and events_lifted == 0,
+                        // so encoding only the deviations keeps every
+                        // pre-timeline record byte-identical.
+                        if out.events_fired != u64::from(out.fired) {
+                            pairs.push(("ef", Json::U64(out.events_fired)));
+                        }
+                        if out.events_lifted != 0 {
+                            pairs.push(("el", Json::U64(out.events_lifted)));
+                        }
                     }
                     TrialDisposition::Quarantined { attempts, reason } => {
                         pairs.push(("q", Json::Bool(true)));
@@ -448,11 +491,18 @@ impl Record {
                         })? as usize),
                     };
                     let retransmits = v.get("rtx").and_then(Json::as_u64).unwrap_or(0);
+                    let events_fired = v
+                        .get("ef")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(u64::from(fired));
+                    let events_lifted = v.get("el").and_then(Json::as_u64).unwrap_or(0);
                     TrialDisposition::Classified(TrialOutcome {
                         response,
                         fired,
                         fatal_rank,
                         retransmits,
+                        events_fired,
+                        events_lifted,
                     })
                 };
                 Ok(Some(Record::Trial(TrialRecord {
@@ -666,6 +716,7 @@ mod tests {
             resilient: false,
             colls: None,
             point_keys: vec!["a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into()],
+            timeline: FaultTimeline::default(),
         }
     }
 
@@ -679,6 +730,8 @@ mod tests {
                 fired: true,
                 fatal_rank: Some(3),
                 retransmits: 0,
+                events_fired: 1,
+                events_lifted: 0,
             },
         )
     }
@@ -707,6 +760,25 @@ mod tests {
                 fired: true,
                 fatal_rank: None,
                 retransmits: 2,
+                events_fired: 1,
+                events_lifted: 0,
+            }),
+        }
+    }
+
+    fn timeline_trial(n: usize) -> TrialRecord {
+        TrialRecord {
+            key: "a.rs:1|MPI_Allreduce|r0|i0|sendbuf".into(),
+            trial: n,
+            bit: 33,
+            channel: FaultChannel::Message,
+            disposition: TrialDisposition::Classified(TrialOutcome {
+                response: Response::Success,
+                fired: true,
+                fatal_rank: None,
+                retransmits: 4,
+                events_fired: 5,
+                events_lifted: 1,
             }),
         }
     }
@@ -721,6 +793,7 @@ mod tests {
             Record::Trial(trial(5)),
             Record::Trial(quarantined(6)),
             Record::Trial(message_trial(7)),
+            Record::Trial(timeline_trial(8)),
             Record::Phase {
                 phase: CampaignPhase::Measure,
                 secs: 1.25,
@@ -857,6 +930,56 @@ mod tests {
         }
         let distinct: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(distinct.len(), ids.len(), "one identity per channel");
+    }
+
+    #[test]
+    fn timeline_metas_bump_the_format_and_change_identity() {
+        let m = CampaignMeta {
+            fault_channel: FaultChannel::Message,
+            timeline: FaultTimeline::parse("burst:4+heal:6").unwrap(),
+            ..meta()
+        };
+        let enc = m.to_json().encode();
+        assert!(enc.contains("\"format\":3"), "{}", enc);
+        assert!(enc.contains("\"timeline\":\"burst:4+heal:6\""), "{}", enc);
+        assert_ne!(m.campaign_id(), meta().campaign_id());
+        let decoded = CampaignMeta::from_json(&m.to_json()).unwrap();
+        assert_eq!(decoded, m);
+        // Single-draw metas stay format 2 with no timeline key: every
+        // pre-timeline journal re-hashes to its original ID.
+        let single = meta().to_json().encode();
+        assert!(single.contains("\"format\":2"), "{}", single);
+        assert!(!single.contains("timeline"), "{}", single);
+        // Distinct timelines are distinct campaigns.
+        let other = CampaignMeta {
+            timeline: FaultTimeline::parse("burst:4").unwrap(),
+            ..m.clone()
+        };
+        assert_ne!(m.campaign_id(), other.campaign_id());
+    }
+
+    #[test]
+    fn event_counts_encode_only_when_they_deviate_from_single_draw() {
+        // A single-draw trial (events_fired == fired, events_lifted == 0)
+        // must journal without ef/el — byte-compat with old records.
+        let line = Record::Trial(trial(0)).encode();
+        assert!(!line.contains("\"ef\""), "{}", line);
+        assert!(!line.contains("\"el\""), "{}", line);
+        // A timeline trial carries both, losslessly.
+        let line = Record::Trial(timeline_trial(0)).encode();
+        assert!(line.contains("\"ef\":5"), "{}", line);
+        assert!(line.contains("\"el\":1"), "{}", line);
+        // Old records without the keys decode to the single-draw defaults.
+        match Record::decode(&Record::Trial(trial(0)).encode()).unwrap() {
+            Some(Record::Trial(rec)) => match rec.disposition {
+                TrialDisposition::Classified(out) => {
+                    assert_eq!(out.events_fired, 1);
+                    assert_eq!(out.events_lifted, 0);
+                }
+                other => panic!("unexpected disposition {:?}", other),
+            },
+            other => panic!("unexpected decode {:?}", other),
+        }
     }
 
     #[test]

@@ -284,7 +284,7 @@ pub fn journal_content_sha(campaign_dir: &Path) -> Result<String, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastfit::prelude::{FaultChannel, Response, TrialOutcome};
+    use fastfit::prelude::{FaultChannel, FaultTimeline, Response, TrialOutcome};
 
     fn meta(points: usize, tpp: usize) -> CampaignMeta {
         CampaignMeta {
@@ -300,6 +300,7 @@ mod tests {
             resilient: false,
             colls: None,
             point_keys: (0..points).map(|i| format!("a.rs:{i}|k|r0|i0|p")).collect(),
+            timeline: FaultTimeline::default(),
         }
     }
 
@@ -314,6 +315,8 @@ mod tests {
                 fired: true,
                 fatal_rank: None,
                 retransmits: 0,
+                events_fired: 1,
+                events_lifted: 0,
             },
         )
     }

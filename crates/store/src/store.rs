@@ -229,6 +229,13 @@ impl CampaignObserver for CampaignStore {
                     self.meta.fault_channel,
                     retransmits,
                 );
+                if let TrialDisposition::Classified(o) = disposition {
+                    self.telemetry.events_observed(
+                        self.meta.fault_channel,
+                        o.events_fired,
+                        o.events_lifted,
+                    );
+                }
                 self.flush_status(false);
             }
             ProgressEvent::PointFinished { .. } => {
@@ -302,6 +309,7 @@ pub fn campaign_meta(
             config_digest: crate::id::sha256_hex(format!("{:?}", cfg).as_bytes()),
         }),
         point_keys: points.iter().map(point_key).collect(),
+        timeline: campaign.cfg.timeline.clone(),
     }
 }
 
@@ -317,7 +325,7 @@ pub fn read_store_meta(dir: &Path) -> Result<(String, CampaignMeta), StoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastfit::prelude::{FaultChannel, QuarantineReason, Response, TrialOutcome};
+    use fastfit::prelude::{FaultChannel, FaultTimeline, QuarantineReason, Response, TrialOutcome};
     use simmpi::hook::{CallSite, CollKind, ParamId};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -358,6 +366,7 @@ mod tests {
             colls: None,
             ml: None,
             point_keys: vec![point_key(&point())],
+            timeline: FaultTimeline::default(),
         }
     }
 
@@ -367,6 +376,8 @@ mod tests {
             fired: true,
             fatal_rank: None,
             retransmits: 0,
+            events_fired: 1,
+            events_lifted: 0,
         })
     }
 

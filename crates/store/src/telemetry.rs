@@ -93,6 +93,12 @@ pub struct Telemetry {
     responses_by_channel: [[AtomicU64; 6]; 5],
     /// Resilient-transport recoveries observed across all trials.
     retransmits: AtomicU64,
+    /// Timeline fault events that fired, per channel
+    /// ([`FaultChannel::index`] order — the channel is the trial's, i.e.
+    /// the timeline's primary). Single-draw trials contribute 0 or 1.
+    events_fired_by_channel: [AtomicU64; 5],
+    /// Timeline fault events that lifted (healed), per channel.
+    events_lifted_by_channel: [AtomicU64; 5],
     /// Per-phase wall micros, `ALL_PHASES` order.
     phase_us: [AtomicU64; 4],
     learn_rounds: AtomicU64,
@@ -114,6 +120,8 @@ impl Default for Telemetry {
             responses: Default::default(),
             responses_by_channel: Default::default(),
             retransmits: AtomicU64::new(0),
+            events_fired_by_channel: Default::default(),
+            events_lifted_by_channel: Default::default(),
             phase_us: Default::default(),
             learn_rounds: AtomicU64::new(0),
             learn_accuracy_bits: AtomicU64::new(f64::NAN.to_bits()),
@@ -166,6 +174,16 @@ impl Telemetry {
                 self.trials_quarantined.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Record one classified trial's timeline event ground truth:
+    /// `fired` events triggered and `lifted` events healed, attributed
+    /// to the campaign channel. Single-draw trials report `fired` 0/1
+    /// and `lifted` 0, keeping the rollup meaningful across mixed
+    /// directories.
+    pub fn events_observed(&self, channel: FaultChannel, fired: u64, lifted: u64) {
+        self.events_fired_by_channel[channel.index()].fetch_add(fired, Ordering::Relaxed);
+        self.events_lifted_by_channel[channel.index()].fetch_add(lifted, Ordering::Relaxed);
     }
 
     /// Record one finished point.
@@ -227,6 +245,12 @@ impl Telemetry {
                 responses_by_channel[c][i] = per[i].load(Ordering::Relaxed);
             }
         }
+        let mut events_fired_by_channel = [0u64; 5];
+        let mut events_lifted_by_channel = [0u64; 5];
+        for c in 0..5 {
+            events_fired_by_channel[c] = self.events_fired_by_channel[c].load(Ordering::Relaxed);
+            events_lifted_by_channel[c] = self.events_lifted_by_channel[c].load(Ordering::Relaxed);
+        }
         let mut phase_secs = [None; 4];
         for (i, us) in self.phase_us.iter().enumerate() {
             let v = us.load(Ordering::Relaxed);
@@ -249,6 +273,8 @@ impl Telemetry {
             responses,
             responses_by_channel,
             retransmits: self.retransmits.load(Ordering::Relaxed),
+            events_fired_by_channel,
+            events_lifted_by_channel,
             phase_secs,
             learn_rounds: self.learn_rounds.load(Ordering::Relaxed),
             learn_accuracy: if accuracy.is_nan() {
@@ -294,6 +320,11 @@ pub struct StatusSnapshot {
     pub responses_by_channel: [[u64; 6]; 5],
     /// Resilient-transport recoveries summed over all observed trials.
     pub retransmits: u64,
+    /// Timeline fault events that fired, per channel
+    /// ([`FaultChannel::index`] order).
+    pub events_fired_by_channel: [u64; 5],
+    /// Timeline fault events that lifted (healed), per channel.
+    pub events_lifted_by_channel: [u64; 5],
     /// Wall seconds of each completed phase, `ALL_PHASES` order.
     pub phase_secs: [Option<f64>; 4],
     /// ML rounds completed (0 when not ML-driven).
@@ -356,6 +387,21 @@ impl StatusSnapshot {
                     channel_hist_key(ch),
                     resp_obj(&self.responses_by_channel[ch.index()]),
                 );
+                // Event rollups encode only when nonzero, so snapshots of
+                // campaigns that never fired an event keep their old keys.
+                let slug = ch.token().replace('-', "_");
+                if self.events_fired_by_channel[ch.index()] > 0 {
+                    m.insert(
+                        format!("events_fired_{slug}"),
+                        Json::U64(self.events_fired_by_channel[ch.index()]),
+                    );
+                }
+                if self.events_lifted_by_channel[ch.index()] > 0 {
+                    m.insert(
+                        format!("events_lifted_{slug}"),
+                        Json::U64(self.events_lifted_by_channel[ch.index()]),
+                    );
+                }
             }
         }
         v
@@ -395,8 +441,19 @@ impl StatusSnapshot {
         // Per-channel histograms are absent in older snapshots (and newer
         // channels are absent in merely-old ones); default each to empty.
         let mut responses_by_channel = [[0u64; 6]; 5];
+        let mut events_fired_by_channel = [0u64; 5];
+        let mut events_lifted_by_channel = [0u64; 5];
         for ch in ALL_FAULT_CHANNELS {
             responses_by_channel[ch.index()] = read_hist(&channel_hist_key(ch));
+            let slug = ch.token().replace('-', "_");
+            events_fired_by_channel[ch.index()] = v
+                .get(&format!("events_fired_{slug}"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            events_lifted_by_channel[ch.index()] = v
+                .get(&format!("events_lifted_{slug}"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
         }
         let mut phase_secs = [None; 4];
         if let Some(m) = v.get("phase_secs") {
@@ -420,6 +477,8 @@ impl StatusSnapshot {
             responses,
             responses_by_channel,
             retransmits: u("retransmits").unwrap_or(0),
+            events_fired_by_channel,
+            events_lifted_by_channel,
             phase_secs,
             learn_rounds: u("learn_rounds").unwrap_or(0),
             learn_accuracy: v.get("learn_accuracy").and_then(Json::as_f64),
@@ -513,6 +572,16 @@ impl StatusSnapshot {
         }
         if self.retransmits > 0 {
             out.push_str(&format!("recovery: {} retransmit(s)\n", self.retransmits));
+        }
+        // Timeline rollup: lifted events exist only under heal timelines,
+        // so single-draw campaigns render exactly as before.
+        let lifted: u64 = self.events_lifted_by_channel.iter().sum();
+        if lifted > 0 {
+            let fired: u64 = self.events_fired_by_channel.iter().sum();
+            out.push_str(&format!(
+                "events:   {} fired, {} lifted (healed)\n",
+                fired, lifted
+            ));
         }
         for (i, p) in ALL_PHASES.iter().enumerate() {
             if let Some(s) = self.phase_secs[i] {
@@ -713,6 +782,34 @@ mod tests {
         ] {
             assert!(text.contains(tok), "render misses {tok}:\n{text}");
         }
+    }
+
+    #[test]
+    fn event_rollups_encode_only_when_nonzero_and_roundtrip() {
+        // No events: the snapshot carries no events_* keys at all and the
+        // rendering has no events line (single-draw back-compat).
+        let t = Telemetry::new();
+        t.trial_finished(Some(Response::Success), 0, false, FaultChannel::Param, 0);
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        let enc = s.to_json().encode();
+        assert!(!enc.contains("events_fired"), "{}", enc);
+        assert!(!enc.contains("events_lifted"), "{}", enc);
+        assert!(!s.render().contains("events:"), "{}", s.render());
+
+        // A burst+heal timeline trial: 5 events fired, 1 lifted.
+        t.events_observed(FaultChannel::Message, 5, 1);
+        t.events_observed(FaultChannel::Message, 3, 0);
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        assert_eq!(s.events_fired_by_channel[FaultChannel::Message.index()], 8);
+        assert_eq!(s.events_lifted_by_channel[FaultChannel::Message.index()], 1);
+        let v = s.to_json();
+        assert!(v.get("events_fired_message").is_some());
+        assert!(v.get("events_lifted_message").is_some());
+        assert!(v.get("events_fired_param").is_none(), "zero stays absent");
+        let back = StatusSnapshot::from_json(&v).unwrap();
+        assert_eq!(back.events_fired_by_channel, s.events_fired_by_channel);
+        assert_eq!(back.events_lifted_by_channel, s.events_lifted_by_channel);
+        assert!(s.render().contains("8 fired, 1 lifted"), "{}", s.render());
     }
 
     #[test]

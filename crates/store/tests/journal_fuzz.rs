@@ -6,7 +6,8 @@
 //! fixed-seed SplitMix64 generator, so a failure reproduces exactly.
 
 use fastfit::prelude::{
-    CampaignPhase, FaultChannel, QuarantineReason, Response, TrialDisposition, TrialOutcome,
+    CampaignPhase, FaultChannel, FaultTimeline, QuarantineReason, Response, TrialDisposition,
+    TrialOutcome,
 };
 use fastfit_store::journal::{
     read_journal, repair_journal, CampaignMeta, JournalWriter, MlMeta, Record, TrialRecord,
@@ -85,15 +86,24 @@ impl Rng {
                 },
             }
         } else {
+            let fired = self.chance(2);
             TrialDisposition::Classified(TrialOutcome {
                 response: self.response(),
-                fired: self.chance(2),
+                fired,
                 fatal_rank: if self.chance(3) {
                     Some(self.below(1 << 20) as usize)
                 } else {
                     None
                 },
                 retransmits: if self.chance(3) { self.next() >> 32 } else { 0 },
+                // Mostly the single-draw invariant (ef == fired, el == 0),
+                // sometimes timeline-style deviations.
+                events_fired: if self.chance(3) {
+                    self.below(64)
+                } else {
+                    u64::from(fired)
+                },
+                events_lifted: if self.chance(4) { self.below(8) } else { 0 },
             })
         }
     }
@@ -137,6 +147,16 @@ impl Rng {
                 None
             },
             point_keys: (0..self.below(6)).map(|_| self.string()).collect(),
+            timeline: {
+                const TIMELINES: [&str; 5] = [
+                    "single",
+                    "burst:4",
+                    "burst:2:3",
+                    "cascade:7",
+                    "burst:2+heal:5",
+                ];
+                FaultTimeline::parse(TIMELINES[self.below(5) as usize]).unwrap()
+            },
         }
     }
 

@@ -252,6 +252,105 @@ fn message_channel_journals_byte_identical_across_kill_resume() {
     std::fs::remove_dir_all(&dir_b).unwrap();
 }
 
+/// Timeline determinism, end to end: a burst+heal schedule keys every
+/// trigger to the anchor rank's logical op counter, so a campaign killed
+/// mid-measurement and resumed from its journal must replay to a
+/// byte-identical journal — including the per-trial `ef`/`el` event
+/// counts and resilient-transport retransmit totals.
+#[test]
+fn timeline_journals_byte_identical_across_kill_resume() {
+    fn tl_campaign() -> Campaign {
+        let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+        let mut cfg = CampaignConfig {
+            trials_per_point: 3,
+            resilient: true,
+            ..Default::default()
+        };
+        cfg.set_timeline(FaultTimeline::parse("burst:2+heal:3").unwrap());
+        Campaign::prepare(w, cfg)
+    }
+    let dir_a = std::env::temp_dir().join(format!("fastfit-tl-det-a-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("fastfit-tl-det-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    // Uninterrupted reference run. The timeline is part of the campaign
+    // identity: the meta must carry it, with the channel pinned to the
+    // schedule's primary.
+    let c_a = tl_campaign();
+    let meta = campaign_meta(&c_a, c_a.points(), None);
+    assert_eq!(meta.timeline.token(), "burst:2+heal:3");
+    assert_eq!(meta.fault_channel, FaultChannel::Message);
+    let store_a = CampaignStore::open(&dir_a, meta.clone()).unwrap();
+    c_a.run_all_observed(&store_a);
+    store_a.finish().unwrap();
+
+    // Killed after 2 fresh trials, then resumed from the journal.
+    let crasher = CrashAfter {
+        store: CampaignStore::open(&dir_b, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(2),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        tl_campaign().run_all_observed(&crasher)
+    }));
+    assert!(crashed.is_err(), "crash must interrupt the run");
+    let store_b = CampaignStore::open(&dir_b, meta).unwrap();
+    assert_eq!(store_b.replayable_trials(), 2);
+    tl_campaign().run_all_observed(&store_b);
+    store_b.finish().unwrap();
+
+    assert_eq!(
+        durable_journal_lines(&dir_a),
+        durable_journal_lines(&dir_b),
+        "timeline kill/resume must replay to a byte-identical journal"
+    );
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+/// Timeline triggers must also be blind to the execution engine: the
+/// arena pool and fresh-spawn `run_job` journal byte-identical records
+/// under a burst+heal schedule on both transports.
+#[test]
+fn timeline_arena_and_fresh_spawn_are_byte_identical() {
+    for resilient in [false, true] {
+        let campaign = |reuse: bool| {
+            let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+            let mut cfg = CampaignConfig {
+                trials_per_point: 3,
+                resilient,
+                reuse_workers: reuse,
+                ..Default::default()
+            };
+            cfg.set_timeline(FaultTimeline::parse("burst:2+heal:3").unwrap());
+            Campaign::prepare(w, cfg)
+        };
+        let mut journals = Vec::new();
+        for reuse in [true, false] {
+            let dir = std::env::temp_dir().join(format!(
+                "fastfit-tl-arena-{}-{}-{}",
+                std::process::id(),
+                resilient,
+                reuse
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let c = campaign(reuse);
+            let meta = campaign_meta(&c, c.points(), None);
+            let store = CampaignStore::open(&dir, meta).unwrap();
+            c.run_all_observed(&store);
+            store.finish().unwrap();
+            journals.push(durable_journal_lines(&dir));
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(
+            journals[0], journals[1],
+            "timeline journal bytes must not depend on the execution engine \
+             (resilient {})",
+            resilient
+        );
+    }
+}
+
 /// Execution-engine equivalence: the persistent worker pool must be an
 /// invisible optimisation. For every fault channel × transport mode, a
 /// fixed-seed campaign measured on the arena pool and with fresh-spawn

@@ -194,6 +194,47 @@ fn fleet_campaign_merges_byte_identical_to_single_host() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// A burst+heal timeline sharded across two workers: trigger state is
+/// per-trial (anchored to the rank-0 op counter inside each job), so the
+/// range split must be invisible — the merged journal, including the
+/// per-trial event counts, is byte-identical to a single-host run.
+#[test]
+fn fleet_timeline_campaign_merges_byte_identical_to_single_host() {
+    let root = tmp_dir("tl-merge");
+    let h = start(fleet_cfg(&root, Duration::from_secs(3))).expect("coordinator starts");
+    let addr = h.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = ["tl-a", "tl-b"]
+        .iter()
+        .map(|n| spawn_worker(&addr, n, stop.clone()))
+        .collect();
+
+    let mut spec = param_spec();
+    spec.resilient = Some(true);
+    spec.timeline = Some("burst:2+heal:3".into());
+    let id = submit(&addr, &spec);
+    wait_status(&addr, &id, "done", |state, _| state == "done");
+
+    let daemon_dir = root.join("campaigns").join(&id);
+    // The schedule must be part of the merged campaign's identity.
+    let meta_line = durable_journal_lines(&daemon_dir)
+        .into_iter()
+        .next()
+        .expect("journal has a meta line");
+    assert!(
+        meta_line.contains("\"timeline\":\"burst:2+heal:3\""),
+        "fleet meta must carry the timeline: {meta_line}"
+    );
+    assert_fleet_matches_local(&spec, &daemon_dir, "tl-merge-local");
+
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    h.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// Helper process for the worker-SIGKILL test: registers as a worker,
 /// takes ONE lease, heartbeats it forever without executing a single
 /// trial, and publishes a marker once the lease is held. The parent

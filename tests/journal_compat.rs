@@ -49,6 +49,7 @@ fn fixture_meta() -> CampaignMeta {
         colls: None,
         ml: None,
         point_keys: vec![FIXTURE_KEY.into()],
+        timeline: FaultTimeline::default(),
     }
 }
 
@@ -58,9 +59,10 @@ fn pre_message_fault_journal_loads_with_default_channel() {
     let (recorded_id, meta) = contents.meta.expect("fixture has a meta record");
 
     // Decode defaults: a journal with no channel keys is a param-channel,
-    // plain-transport campaign.
+    // plain-transport campaign; no timeline key means single-draw.
     assert_eq!(meta.fault_channel, FaultChannel::Param);
     assert!(!meta.resilient);
+    assert!(meta.timeline.is_single(), "no timeline key → single-draw");
 
     // The campaign ID is content-addressed over the canonical encoding;
     // the new fields must not have changed it for default-valued metas.
@@ -110,6 +112,7 @@ fn rank_fault_fixture_meta() -> CampaignMeta {
         colls: Some(vec!["MPI_Allreduce".into()]),
         ml: None,
         point_keys: vec![FIXTURE_KEY.into()],
+        timeline: FaultTimeline::default(),
     }
 }
 
@@ -165,6 +168,8 @@ fn regenerate_rank_fault_fixture() {
             fired: true,
             fatal_rank: Some(fatal),
             retransmits: 0,
+            events_fired: 1,
+            events_lifted: 0,
         })
     };
     let mut lines = vec![Record::Meta {
@@ -229,6 +234,16 @@ fn pre_message_fault_journal_is_resumable() {
     assert!(
         CampaignStore::open(&dir, message).is_err(),
         "channel change must change campaign identity"
+    );
+    // So is a timeline campaign: the schedule is part of the identity.
+    let timeline = CampaignMeta {
+        fault_channel: FaultChannel::Message,
+        timeline: FaultTimeline::parse("burst:4").unwrap(),
+        ..fixture_meta()
+    };
+    assert!(
+        CampaignStore::open(&dir, timeline).is_err(),
+        "timeline change must change campaign identity"
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }

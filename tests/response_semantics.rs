@@ -200,6 +200,7 @@ fn injected_runs_share_the_golden_seed() {
         },
         bit: 0,
         channel: FaultChannel::Param,
+        timeline: FaultTimeline::default(),
     }));
     let spec = JobSpec {
         nranks: 4,

@@ -168,6 +168,8 @@ fn wall_clock_kill_of_progressing_rank_is_retried_not_inf_loop() {
                 fired: true,
                 fatal_rank: None,
                 retransmits: 0,
+                events_fired: 1,
+                events_lifted: 0,
             }),
             other => panic!("unexpected outcome {:?}", other),
         }
@@ -221,6 +223,8 @@ fn trial_script() -> Vec<(fastfit::space::InjectionPoint, usize, u64, TrialDispo
             fired: true,
             fatal_rank: None,
             retransmits: 0,
+            events_fired: 1,
+            events_lifted: 0,
         })
     };
     let mut script = Vec::new();
@@ -255,6 +259,7 @@ fn script_meta() -> CampaignMeta {
         colls: None,
         ml: None,
         point_keys: (0..3).map(|i| point_key(&point(i))).collect(),
+        timeline: FaultTimeline::default(),
     }
 }
 
