@@ -38,6 +38,7 @@ use fastfit_store::json::Json;
 use fastfit_store::Telemetry;
 use simmpi::arena::JobArena;
 use simmpi::runtime::JobSpec;
+use simmpi::sched::Engine;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -66,6 +67,19 @@ const DISPATCH_JOBS: usize = 40;
 
 /// Campaigns submitted per round in the service benchmark.
 const SERVE_CAMPAIGNS: usize = 2;
+
+/// Workloads in the scheduler A/B section: the communication-bound pair
+/// where rank multiplexing (not parallel compute) dominates trial cost.
+pub const SCHED_BENCH_WORKLOADS: [&str; 2] = ["IS", "HALO"];
+
+/// Ranks in the scheduler A/B section: wider than the main sweep's
+/// FT/MG-constrained cap, because cheap wide trials are exactly what
+/// the coop engine buys — at this width the thread-per-rank engine
+/// pays real wakeup fan-out on every collective.
+const SCHED_BENCH_RANKS: usize = 128;
+
+/// Ranks in the scheduler A/B dispatch micro.
+const SCHED_DISPATCH_RANKS: usize = 64;
 
 /// Bench configuration (resolved from the environment).
 #[derive(Debug, Clone)]
@@ -150,6 +164,8 @@ pub struct BenchReport {
     pub journal_appends_per_sec: f64,
     /// Campaign-service benchmark (daemon submission + scheduler throughput).
     pub serve: ServeBench,
+    /// Rank-scheduler A/B (coop vs thread-per-rank engines).
+    pub sched: SchedBench,
 }
 
 /// Forwards per-trial completions to the store [`Telemetry`] so the bench
@@ -354,6 +370,170 @@ fn bench_dispatch(nranks: usize) -> DispatchBench {
         spawn_secs_per_job: spawn_per,
         speedup: if arena_per > 0.0 {
             spawn_per / arena_per
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Rank-scheduler A/B result for one workload: the identical seeded
+/// trial sequence, whole trials end to end, on the cooperative and the
+/// thread-per-rank engine.
+#[derive(Debug, Clone)]
+pub struct SchedWorkloadBench {
+    /// Workload name.
+    pub name: String,
+    /// Ranks per job.
+    pub nranks: usize,
+    /// Whole-trial throughput on the cooperative engine.
+    pub coop_trials_per_sec: f64,
+    /// Whole-trial throughput on the thread-per-rank engine.
+    pub threads_trials_per_sec: f64,
+    /// `coop / threads`.
+    pub speedup: f64,
+}
+
+/// Scheduler A/B section: per-workload whole-trial throughput plus a
+/// wide barrier-only dispatch micro (same interleaved-rounds protocol
+/// as the arena-vs-spawn section, so the ratios are comparable).
+#[derive(Debug, Clone)]
+pub struct SchedBench {
+    /// Per-workload A/B, [`SCHED_BENCH_WORKLOADS`] order.
+    pub workloads: Vec<SchedWorkloadBench>,
+    /// Ranks per job in the dispatch micro.
+    pub dispatch_ranks: usize,
+    /// Jobs timed per engine in the dispatch micro.
+    pub dispatch_jobs: usize,
+    /// Mean coop dispatch time, seconds/job.
+    pub dispatch_coop_secs_per_job: f64,
+    /// Mean threaded dispatch time, seconds/job.
+    pub dispatch_threads_secs_per_job: f64,
+    /// `threads_secs_per_job / coop_secs_per_job`.
+    pub dispatch_speedup: f64,
+}
+
+/// One workload through both engines: two campaigns prepared from the
+/// same spec, each pinned to its engine, measured in interleaved rounds
+/// so load drift cancels out of the ratio. The two campaigns journal
+/// byte-identical trials (the sched_equivalence suite proves it), so
+/// the wall-clock ratio is a pure scheduler comparison.
+fn bench_sched_workload(name: &str, trials: usize) -> SchedWorkloadBench {
+    let wide = || {
+        let (app, tol) = npb::kernel_by_name(name, npb::Class::from_env());
+        Workload::new(name, app, tol, SCHED_BENCH_RANKS)
+    };
+    let coop = Campaign::prepare_on_engine(wide(), CampaignConfig::from_env(), Engine::Coop);
+    let threads = Campaign::prepare_on_engine(wide(), CampaignConfig::from_env(), Engine::Threads);
+    let nranks = coop.workload.nranks;
+    // Warm both pools so neither engine pays one-time setup in the
+    // timed window.
+    let _ = run_trial_batch(&coop, 1);
+    let _ = run_trial_batch(&threads, 1);
+    let rounds = BENCH_ROUNDS.min(trials).max(1);
+    let batch = trials.div_ceil(rounds);
+    let (mut coop_done, mut coop_secs) = (0u64, 0f64);
+    let (mut thr_done, mut thr_secs) = (0u64, 0f64);
+    let mut left = trials;
+    while left > 0 {
+        let n = batch.min(left);
+        let (d, s) = run_trial_batch(&coop, n);
+        coop_done += d;
+        coop_secs += s;
+        let (d, s) = run_trial_batch(&threads, n);
+        thr_done += d;
+        thr_secs += s;
+        left -= n;
+    }
+    let coop_tps = if coop_secs > 0.0 {
+        coop_done as f64 / coop_secs
+    } else {
+        0.0
+    };
+    let thr_tps = if thr_secs > 0.0 {
+        thr_done as f64 / thr_secs
+    } else {
+        0.0
+    };
+    SchedWorkloadBench {
+        name: name.into(),
+        nranks,
+        coop_trials_per_sec: coop_tps,
+        threads_trials_per_sec: thr_tps,
+        speedup: if thr_tps > 0.0 {
+            coop_tps / thr_tps
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The scheduler A/B sweep: whole-trial throughput per workload, then
+/// the wide barrier-only dispatch micro on both engines.
+fn bench_sched(trials: usize) -> SchedBench {
+    let workloads: Vec<SchedWorkloadBench> = SCHED_BENCH_WORKLOADS
+        .iter()
+        .map(|name| {
+            eprintln!(
+                "[bench] sched A/B {}: {} trials per engine...",
+                name, trials
+            );
+            let b = bench_sched_workload(name, trials);
+            eprintln!(
+                "[bench] sched A/B {}: coop {:.1} trials/s, threads {:.1} trials/s, speedup {:.2}x",
+                b.name, b.coop_trials_per_sec, b.threads_trials_per_sec, b.speedup
+            );
+            b
+        })
+        .collect();
+
+    let app: simmpi::runtime::AppFn = std::sync::Arc::new(|ctx: &mut simmpi::ctx::RankCtx| {
+        let w = ctx.world();
+        ctx.barrier(w);
+        simmpi::ctx::RankOutput::new()
+    });
+    let spec = JobSpec {
+        nranks: SCHED_DISPATCH_RANKS,
+        timeout: Duration::from_secs(30),
+        ..Default::default()
+    };
+    let mut coop = JobArena::with_engine(SCHED_DISPATCH_RANKS, Engine::Coop);
+    let mut threads = JobArena::with_engine(SCHED_DISPATCH_RANKS, Engine::Threads);
+    let _ = coop.run(&spec, app.clone());
+    let _ = threads.run(&spec, app.clone());
+    let rounds = 4;
+    let per_round = DISPATCH_JOBS.div_ceil(rounds);
+    let (mut coop_secs, mut thr_secs) = (0f64, 0f64);
+    let mut jobs = 0usize;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..per_round {
+            let _ = coop.run(&spec, app.clone());
+        }
+        coop_secs += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..per_round {
+            let _ = threads.run(&spec, app.clone());
+        }
+        thr_secs += t0.elapsed().as_secs_f64();
+        jobs += per_round;
+    }
+    let coop_per = coop_secs / jobs as f64;
+    let thr_per = thr_secs / jobs as f64;
+    eprintln!(
+        "[bench] sched dispatch ({} ranks): coop {:.3} ms/job, threads {:.3} ms/job, speedup {:.2}x",
+        SCHED_DISPATCH_RANKS,
+        coop_per * 1e3,
+        thr_per * 1e3,
+        if coop_per > 0.0 { thr_per / coop_per } else { 0.0 }
+    );
+    SchedBench {
+        workloads,
+        dispatch_ranks: SCHED_DISPATCH_RANKS,
+        dispatch_jobs: jobs,
+        dispatch_coop_secs_per_job: coop_per,
+        dispatch_threads_secs_per_job: thr_per,
+        dispatch_speedup: if coop_per > 0.0 {
+            thr_per / coop_per
         } else {
             0.0
         },
@@ -571,6 +751,8 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     let journal_appends_per_sec = journal_throughput(cfg.journal_records);
     eprintln!("[bench] journal: {:.0} appends/s", journal_appends_per_sec);
     let serve = bench_serve(cfg.trials);
+    eprintln!("[bench] rank-scheduler A/B (coop vs threads)...");
+    let sched = bench_sched(cfg.trials);
     BenchReport {
         ranks: crate::experiment_ranks(),
         class: class.into(),
@@ -580,6 +762,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         journal_records: cfg.journal_records,
         journal_appends_per_sec,
         serve,
+        sched,
     }
 }
 
@@ -661,6 +844,48 @@ impl BenchReport {
                     ("speedup", Json::F64(self.serve.speedup)),
                 ]),
             ),
+            (
+                "sched",
+                Json::obj([
+                    (
+                        "workloads",
+                        Json::Arr(
+                            self.sched
+                                .workloads
+                                .iter()
+                                .map(|w| {
+                                    Json::obj([
+                                        ("name", Json::Str(w.name.clone())),
+                                        ("nranks", Json::U64(w.nranks as u64)),
+                                        ("coop_trials_per_sec", Json::F64(w.coop_trials_per_sec)),
+                                        (
+                                            "threads_trials_per_sec",
+                                            Json::F64(w.threads_trials_per_sec),
+                                        ),
+                                        ("speedup", Json::F64(w.speedup)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "dispatch",
+                        Json::obj([
+                            ("ranks", Json::U64(self.sched.dispatch_ranks as u64)),
+                            ("jobs", Json::U64(self.sched.dispatch_jobs as u64)),
+                            (
+                                "coop_secs_per_job",
+                                Json::F64(self.sched.dispatch_coop_secs_per_job),
+                            ),
+                            (
+                                "threads_secs_per_job",
+                                Json::F64(self.sched.dispatch_threads_secs_per_job),
+                            ),
+                            ("speedup", Json::F64(self.sched.dispatch_speedup)),
+                        ]),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -706,6 +931,20 @@ mod tests {
                 serial_trials_per_sec: 100.0,
                 speedup: 1.2,
             },
+            sched: SchedBench {
+                workloads: vec![SchedWorkloadBench {
+                    name: "IS".into(),
+                    nranks: 8,
+                    coop_trials_per_sec: 300.0,
+                    threads_trials_per_sec: 60.0,
+                    speedup: 5.0,
+                }],
+                dispatch_ranks: 64,
+                dispatch_jobs: 40,
+                dispatch_coop_secs_per_job: 1e-4,
+                dispatch_threads_secs_per_job: 1e-3,
+                dispatch_speedup: 10.0,
+            },
         };
         let v = report.to_json();
         assert_eq!(v.get("schema").and_then(Json::as_u64), Some(1));
@@ -749,6 +988,32 @@ mod tests {
             assert!(s.get(key).is_some(), "serve missing {:?}", key);
         }
         assert_eq!(s.get("campaigns").and_then(Json::as_u64), Some(2));
+        let sc = v.get("sched").expect("sched key");
+        let sw = sc
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .expect("sched workloads array");
+        assert_eq!(sw.len(), 1);
+        for key in [
+            "name",
+            "nranks",
+            "coop_trials_per_sec",
+            "threads_trials_per_sec",
+            "speedup",
+        ] {
+            assert!(sw[0].get(key).is_some(), "sched workload missing {:?}", key);
+        }
+        let sd = sc.get("dispatch").expect("sched dispatch key");
+        for key in [
+            "ranks",
+            "jobs",
+            "coop_secs_per_job",
+            "threads_secs_per_job",
+            "speedup",
+        ] {
+            assert!(sd.get(key).is_some(), "sched dispatch missing {:?}", key);
+        }
+        assert_eq!(sd.get("ranks").and_then(Json::as_u64), Some(64));
         // The document round-trips through the parser.
         let back = Json::parse(&v.encode()).unwrap();
         assert_eq!(back.encode(), v.encode());
@@ -771,6 +1036,17 @@ mod tests {
         assert!(sb.submit_roundtrip_secs > 0.0);
         assert!(sb.concurrent_trials_per_sec > 0.0);
         assert!(sb.serial_trials_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sched_bench_smoke() {
+        // A two-trial A/B of the smallest kernel: exercises both
+        // engine-pinned campaigns and the speedup arithmetic.
+        let b = bench_sched_workload("IS", 2);
+        assert_eq!(b.name, "IS");
+        assert!(b.coop_trials_per_sec > 0.0);
+        assert!(b.threads_trials_per_sec > 0.0);
+        assert!(b.speedup > 0.0);
     }
 
     #[test]

@@ -265,6 +265,19 @@ fn bench_verb() {
         "journal: {:.0} appends/s over {} records",
         report.journal_appends_per_sec, report.journal_records
     );
+    for w in &report.sched.workloads {
+        println!(
+            "sched {:<8} coop {:>10.1} tr/s vs threads {:>10.1} tr/s ({:.2}x, {} ranks)",
+            w.name, w.coop_trials_per_sec, w.threads_trials_per_sec, w.speedup, w.nranks
+        );
+    }
+    println!(
+        "sched dispatch: coop {:.3} ms/job vs threads {:.3} ms/job ({:.2}x, {} ranks)",
+        report.sched.dispatch_coop_secs_per_job * 1e3,
+        report.sched.dispatch_threads_secs_per_job * 1e3,
+        report.sched.dispatch_speedup,
+        report.sched.dispatch_ranks
+    );
     report.write_to(&cfg.out).expect("writing BENCH.json");
     println!("wrote {}", cfg.out);
 }

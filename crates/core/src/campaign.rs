@@ -30,6 +30,7 @@ use simmpi::control::HangKind;
 use simmpi::ctx::RankOutput;
 use simmpi::hook::CollKind;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobResult, JobSpec};
+use simmpi::sched::Engine;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -407,6 +408,23 @@ impl Campaign {
         observer: &dyn CampaignObserver,
     ) -> Campaign {
         Campaign::prepare_with_pool(workload, cfg, observer, None)
+    }
+
+    /// As [`Campaign::prepare`], but with trials pinned to `engine`
+    /// regardless of `FASTFIT_SCHED`: a private engine-pinned
+    /// [`ArenaPool`] is created and `reuse_workers` is forced on so every
+    /// trial runs on it. This is the A/B seam the scheduler-equivalence
+    /// suite and the coop-vs-threads bench rounds use — two campaigns
+    /// prepared from the same spec on different engines must produce
+    /// byte-identical journals.
+    pub fn prepare_on_engine(
+        workload: Workload,
+        mut cfg: CampaignConfig,
+        engine: Engine,
+    ) -> Campaign {
+        cfg.reuse_workers = true;
+        let pool = Arc::new(ArenaPool::with_engine(workload.nranks, engine));
+        Campaign::prepare_with_pool(workload, cfg, &NullObserver, Some(pool))
     }
 
     /// As [`Campaign::prepare_observed`], running trials on a caller-owned

@@ -9,6 +9,15 @@
 //! wall-clock-killed mid-progress. Recording that as `INF_LOOP` would make
 //! campaign results load-dependent and break bit-identical resume.
 //!
+//! The same split holds on both rank engines. The cooperative scheduler
+//! ([`simmpi::sched`]) runs its stall sweep on round epochs instead of
+//! watchdog polls, but the *evidence* is identical — every live rank
+//! parked with no transport progress across a full scheduling round — so
+//! a deadlock classifies `INF_LOOP` deterministically on either engine,
+//! at the same op ordinals, and the wall-clock backstop remains the only
+//! load-sensitive path. Supervision therefore needs no engine awareness:
+//! it sees the same `HangKind` taxonomy either way.
+//!
 //! [`TrialSupervisor`] wraps each trial attempt: trustworthy outcomes pass
 //! straight through as [`TrialDisposition::Classified`]; suspect ones
 //! (wall-clock kill while progressing, a panic escaping the job harness)

@@ -3,15 +3,19 @@
 //!
 //! ## Scheduling
 //!
-//! The scheduler owns a **global worker budget** (simulated ranks it may
-//! occupy at once) and admits queued campaigns in submission order while
-//! both limits hold: at most `max_campaigns` running, and the running
-//! campaigns' combined rank counts within the budget. A campaign wider
-//! than the whole budget is admitted only when nothing else runs, so an
-//! oversized submission degrades to serial execution instead of starving
-//! forever. Campaigns with the same rank count share one [`ArenaPool`]
-//! from a registry keyed by rank count — idle worker arenas migrate
-//! between campaigns instead of piling up per campaign.
+//! The scheduler owns a **global worker budget** priced in *carrier
+//! threads* — the OS threads a campaign's arena actually occupies. Under
+//! the thread-per-rank engine a campaign costs its rank count; under the
+//! cooperative engine every arena multiplexes its ranks onto a single
+//! carrier and costs 1, so the same budget admits far more concurrent
+//! coop campaigns. Queued campaigns are admitted in submission order
+//! while both limits hold: at most `max_campaigns` running, and the
+//! running campaigns' combined carrier cost within the budget. A
+//! campaign wider than the whole budget is admitted only when nothing
+//! else runs, so an oversized submission degrades to serial execution
+//! instead of starving forever. Campaigns with the same rank count share
+//! one [`ArenaPool`] from a registry keyed by rank count — idle worker
+//! arenas migrate between campaigns instead of piling up per campaign.
 //!
 //! ## Durability
 //!
@@ -41,6 +45,7 @@ use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
 use fastfit_store::{campaign_meta, CampaignState, CampaignStore, StoreError};
 use simmpi::arena::ArenaPool;
+use simmpi::sched::Engine;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -72,6 +77,12 @@ pub struct ServeConfig {
     /// Heartbeat deadline: a lease not renewed within this window is
     /// expired and re-leased (with exponential backoff).
     pub lease_ttl: Duration,
+    /// Rank scheduler for campaign arenas. The worker budget is priced
+    /// in **carrier threads**: under [`Engine::Threads`] a campaign
+    /// costs its rank count, under [`Engine::Coop`] it costs one carrier
+    /// per arena regardless of width, so the same budget admits far more
+    /// concurrent coop campaigns.
+    pub engine: Engine,
 }
 
 impl ServeConfig {
@@ -86,6 +97,7 @@ impl ServeConfig {
             fleet: false,
             lease_trials: 8,
             lease_ttl: Duration::from_secs(3),
+            engine: Engine::from_env(),
         }
     }
 }
@@ -205,12 +217,20 @@ impl Daemon {
     }
 
     pub(crate) fn pool_for(&self, ranks: usize) -> Arc<ArenaPool> {
+        let engine = self.cfg.engine;
         self.pools
             .lock()
             .expect("pool registry lock poisoned")
             .entry(ranks)
-            .or_insert_with(|| Arc::new(ArenaPool::new(ranks)))
+            .or_insert_with(|| Arc::new(ArenaPool::with_engine(ranks, engine)))
             .clone()
+    }
+
+    /// What a campaign of `ranks` ranks costs against the worker budget:
+    /// the carrier threads its arena actually occupies under the
+    /// configured engine.
+    fn carrier_cost(&self, ranks: usize) -> usize {
+        self.cfg.engine.carrier_threads(ranks)
     }
 
     /// Handle `POST /campaigns`.
@@ -559,7 +579,7 @@ impl Daemon {
                 .iter()
                 .filter(|e| e.state == EntryState::Running)
                 .collect();
-            let occupancy: usize = running.iter().map(|e| e.ranks).sum();
+            let occupancy: usize = running.iter().map(|e| self.carrier_cost(e.ranks)).sum();
             (queued, running.len(), occupancy)
         };
         let busy: u64 = self
@@ -587,7 +607,8 @@ impl Daemon {
              trials_per_sec {:.3}\n\
              worker_budget {}\n\
              worker_occupancy {}\n\
-             pool_workers_busy {}\n",
+             pool_workers_busy {}\n\
+             sched_engine {}\n",
             self.metrics.accepted.load(Ordering::Relaxed),
             queued,
             running,
@@ -599,6 +620,7 @@ impl Daemon {
             self.cfg.worker_budget,
             occupancy,
             busy,
+            self.cfg.engine.name(),
         );
         text.push_str(&self.fleet_metrics_text());
         text
@@ -615,7 +637,7 @@ impl Daemon {
             .entries
             .iter()
             .filter(|e| e.state == EntryState::Running)
-            .map(|e| e.ranks)
+            .map(|e| self.carrier_cost(e.ranks))
             .collect();
         if running.len() >= self.cfg.max_campaigns {
             return None;
@@ -626,7 +648,7 @@ impl Daemon {
             e.state == EntryState::Queued
                 // Fits, or nothing is running (an oversized campaign
                 // must not starve — it just runs alone).
-                && (occupancy + e.ranks <= budget || occupancy == 0)
+                && (occupancy + self.carrier_cost(e.ranks) <= budget || occupancy == 0)
         })?;
         let entry = &mut st.entries[idx];
         entry.state = EntryState::Running;

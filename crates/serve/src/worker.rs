@@ -31,6 +31,7 @@ use fastfit::prelude::{
 };
 use fastfit_store::json::Json;
 use fastfit_store::{campaign_meta, Record, TrialRecord};
+use simmpi::sched::Engine;
 
 /// Worker configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +47,10 @@ pub struct WorkerConfig {
     /// Wait between lease polls when the coordinator has nothing to
     /// hand out (the coordinator's `retry_ms` hint overrides it).
     pub idle_wait: Duration,
+    /// Rank scheduler leased trials run on. Journal bytes are
+    /// engine-invariant, so a fleet may mix coop and threaded workers
+    /// and still merge to the canonical journal.
+    pub engine: Engine,
 }
 
 impl WorkerConfig {
@@ -56,6 +61,7 @@ impl WorkerConfig {
             name: name.into(),
             attempts: 8,
             idle_wait: Duration::from_millis(200),
+            engine: Engine::from_env(),
         }
     }
 }
@@ -222,7 +228,11 @@ pub fn run_worker(cfg: &WorkerConfig, stop: &(dyn Fn() -> bool + Sync)) -> io::R
                     continue;
                 }
             };
-            let campaign = Campaign::prepare(resolve_workload(&spec), resolve_config(&spec));
+            let campaign = Campaign::prepare_on_engine(
+                resolve_workload(&spec),
+                resolve_config(&spec),
+                cfg.engine,
+            );
             let local_sha = campaign_meta(&campaign, campaign.points(), None).campaign_id();
             if local_sha != grant.sha {
                 report_error(

@@ -40,6 +40,7 @@ use crate::runtime::{
     install_quiet_panic_hook, panic_message, AppFn, JobOutcome, JobResult, JobSpec,
     RANK_THREAD_PREFIX,
 };
+use crate::sched::Engine;
 use crate::transport::Fabric;
 use parking_lot::{Condvar, Mutex};
 use std::panic::{self, AssertUnwindSafe};
@@ -62,16 +63,38 @@ const DRAIN_GRACE: Duration = Duration::from_secs(30);
 /// All state of one job, allocated fresh per submission. A straggler from
 /// a killed job keeps the old `JobState` alive through its `Arc`; the next
 /// job gets a new allocation, so late writes are structurally harmless.
-struct JobState {
+/// Shared verbatim by both engines: the coop scheduler
+/// ([`crate::sched::CoopArena`]) runs the same [`run_rank`] body over the
+/// same state, which is what makes engine equivalence hold by
+/// construction rather than by re-implementation.
+pub(crate) struct JobState {
     nranks: usize,
     seed: u64,
     record: bool,
     hook: Option<Arc<dyn CollHook>>,
     app: AppFn,
-    fabric: Arc<Fabric>,
-    ctl: Arc<JobControl>,
-    outputs: Vec<Mutex<Option<RankOutput>>>,
-    records: Vec<Mutex<Vec<CallRecord>>>,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) ctl: Arc<JobControl>,
+    pub(crate) outputs: Vec<Mutex<Option<RankOutput>>>,
+    pub(crate) records: Vec<Mutex<Vec<CallRecord>>>,
+}
+
+impl JobState {
+    /// Fresh per-job state for `spec` (fabric, control, output slots).
+    pub(crate) fn for_spec(spec: &JobSpec, app: AppFn) -> Arc<JobState> {
+        let n = spec.nranks;
+        Arc::new(JobState {
+            nranks: n,
+            seed: spec.seed,
+            record: spec.record,
+            hook: spec.hook.clone(),
+            app,
+            fabric: Fabric::with_mode(n, spec.resilient_transport),
+            ctl: Arc::new(JobControl::with_budget(n, spec.timeout, spec.op_budget)),
+            outputs: (0..n).map(|_| Mutex::new(None)).collect(),
+            records: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
 }
 
 /// One job submission as seen by a worker: the job plus the arena epoch it
@@ -152,8 +175,10 @@ fn worker_loop(rank: usize, shared: Arc<WorkerShared>) {
 
 /// The body of one rank for one job: construct a fresh `RankCtx`, run the
 /// app under `catch_unwind`, map structured panics onto the fatal
-/// taxonomy, publish records/outputs into the job's own slots.
-fn run_rank(rank: usize, job: &JobState) {
+/// taxonomy, publish records/outputs into the job's own slots. Identical
+/// on both engines — a worker thread calls it directly, the coop
+/// scheduler runs it as a coroutine entry.
+pub(crate) fn run_rank(rank: usize, job: &JobState) {
     let mut ctx = RankCtx::new(
         rank,
         job.nranks,
@@ -193,13 +218,14 @@ fn run_rank(rank: usize, job: &JobState) {
     job.ctl.rank_done();
 }
 
-/// A persistent pool of rank worker threads, reused across jobs.
+/// A persistent pool of rank worker threads, reused across jobs — the
+/// thread-per-rank engine (`FASTFIT_SCHED=threads`).
 ///
-/// Construction spawns `nranks` threads; [`JobArena::run`] then executes
-/// any number of jobs on them, paying only a mailbox handoff per job
-/// instead of `nranks` thread spawns + joins. All jobs run on the arena
-/// must use the same rank count.
-pub struct JobArena {
+/// Construction spawns `nranks` threads; [`ThreadArena::run`] then
+/// executes any number of jobs on them, paying only a mailbox handoff per
+/// job instead of `nranks` thread spawns + joins. All jobs run on the
+/// arena must use the same rank count.
+pub struct ThreadArena {
     nranks: usize,
     epoch: u64,
     workers: Vec<Worker>,
@@ -207,11 +233,11 @@ pub struct JobArena {
     respawns: u64,
 }
 
-impl JobArena {
+impl ThreadArena {
     /// Spawn an arena of `nranks` persistent worker threads.
-    pub fn new(nranks: usize) -> JobArena {
+    pub fn new(nranks: usize) -> ThreadArena {
         install_quiet_panic_hook();
-        JobArena {
+        ThreadArena {
             nranks,
             epoch: 0,
             workers: (0..nranks).map(Worker::spawn).collect(),
@@ -241,7 +267,7 @@ impl JobArena {
     pub fn run(&mut self, spec: &JobSpec, app: AppFn) -> JobResult {
         assert_eq!(
             spec.nranks, self.nranks,
-            "JobArena built for {} ranks cannot run a {}-rank job",
+            "ThreadArena built for {} ranks cannot run a {}-rank job",
             self.nranks, spec.nranks
         );
         let start = Instant::now();
@@ -249,17 +275,7 @@ impl JobArena {
         self.epoch += 1;
         self.jobs_run += 1;
         let epoch = self.epoch;
-        let job = Arc::new(JobState {
-            nranks: n,
-            seed: spec.seed,
-            record: spec.record,
-            hook: spec.hook.clone(),
-            app,
-            fabric: Fabric::with_mode(n, spec.resilient_transport),
-            ctl: Arc::new(JobControl::with_budget(n, spec.timeout, spec.op_budget)),
-            outputs: (0..n).map(|_| Mutex::new(None)).collect(),
-            records: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-        });
+        let job = JobState::for_spec(spec, app);
         let ctl = job.ctl.clone();
         let fabric = job.fabric.clone();
 
@@ -391,7 +407,7 @@ impl JobArena {
     }
 }
 
-impl Drop for JobArena {
+impl Drop for ThreadArena {
     fn drop(&mut self) {
         for w in &mut self.workers {
             {
@@ -411,30 +427,128 @@ impl Drop for JobArena {
     }
 }
 
+/// The execution-engine front door: one arena, either engine.
+///
+/// `JobArena::new` picks the engine from `FASTFIT_SCHED` (coop by
+/// default); [`JobArena::with_engine`] pins it — the equivalence suite and
+/// the coop-vs-threads bench rounds construct one of each. Everything
+/// journal-visible is engine-independent (proved by
+/// `tests/sched_equivalence.rs`), so the choice is a pure throughput knob.
+pub struct JobArena {
+    inner: ArenaInner,
+}
+
+enum ArenaInner {
+    Threads(ThreadArena),
+    Coop(Box<crate::sched::CoopArena>),
+}
+
+impl JobArena {
+    /// An arena on the environment-selected engine (`FASTFIT_SCHED`).
+    pub fn new(nranks: usize) -> JobArena {
+        JobArena::with_engine(nranks, Engine::from_env())
+    }
+
+    /// An arena pinned to `engine` (degrades to threads where the coop
+    /// scheduler is unavailable).
+    pub fn with_engine(nranks: usize, engine: Engine) -> JobArena {
+        let inner = match engine.effective() {
+            Engine::Threads => ArenaInner::Threads(ThreadArena::new(nranks)),
+            Engine::Coop => ArenaInner::Coop(Box::new(crate::sched::CoopArena::new(nranks))),
+        };
+        JobArena { inner }
+    }
+
+    /// The engine this arena runs on.
+    pub fn engine(&self) -> Engine {
+        match &self.inner {
+            ArenaInner::Threads(_) => Engine::Threads,
+            ArenaInner::Coop(_) => Engine::Coop,
+        }
+    }
+
+    /// Rank count the arena was built for.
+    pub fn nranks(&self) -> usize {
+        match &self.inner {
+            ArenaInner::Threads(a) => a.nranks(),
+            ArenaInner::Coop(a) => a.nranks(),
+        }
+    }
+
+    /// Jobs executed on this arena so far.
+    pub fn jobs_run(&self) -> u64 {
+        match &self.inner {
+            ArenaInner::Threads(a) => a.jobs_run(),
+            ArenaInner::Coop(a) => a.jobs_run(),
+        }
+    }
+
+    /// Worker threads replaced because a straggler failed to drain (the
+    /// coop engine has no wedge case, so always 0 there).
+    pub fn respawns(&self) -> u64 {
+        match &self.inner {
+            ArenaInner::Threads(a) => a.respawns(),
+            ArenaInner::Coop(_) => 0,
+        }
+    }
+
+    /// OS threads a running job occupies on this arena: `nranks` worker
+    /// threads on the threaded engine, just the calling thread on coop.
+    pub fn carrier_threads(&self) -> usize {
+        self.engine().carrier_threads(self.nranks())
+    }
+
+    /// Run one job. Both engines execute the identical [`run_rank`] body
+    /// over identical per-job state and apply the identical supervision
+    /// verdicts; only the multiplexing differs.
+    pub fn run(&mut self, spec: &JobSpec, app: AppFn) -> JobResult {
+        assert_eq!(
+            spec.nranks,
+            self.nranks(),
+            "JobArena built for {} ranks cannot run a {}-rank job",
+            self.nranks(),
+            spec.nranks
+        );
+        match &mut self.inner {
+            ArenaInner::Threads(a) => a.run(spec, app),
+            ArenaInner::Coop(a) => a.run(spec, app),
+        }
+    }
+}
+
 /// A checkout/checkin pool of [`JobArena`]s, for callers that run jobs
 /// from several threads (e.g. rayon point-parallel campaigns). Each
 /// concurrent caller gets its own arena — created on first use, parked in
-/// the pool afterwards — so worker threads are reused across both trials
-/// and points without any cross-trial sharing of job state.
+/// the pool afterwards — so worker threads (or coroutine stacks) are
+/// reused across both trials and points without any cross-trial sharing
+/// of job state.
 pub struct ArenaPool {
     nranks: usize,
+    engine: Engine,
     arenas: Mutex<Vec<JobArena>>,
-    /// Arenas ever spawned by this pool (each holds `nranks` worker
+    /// Arenas ever spawned by this pool (each holds its engine's carrier
     /// threads for its lifetime).
     created: AtomicU64,
     /// Jobs dispatched through the pool.
     jobs: AtomicU64,
-    /// Arenas currently checked out (running a job). Together with
-    /// `nranks` this is the pool's live worker occupancy — what a
-    /// multi-campaign scheduler budgets against.
+    /// Arenas currently checked out (running a job). Together with the
+    /// engine's carrier count this is the pool's live thread occupancy —
+    /// what a multi-campaign scheduler budgets against.
     busy: AtomicU64,
 }
 
 impl ArenaPool {
-    /// Create an empty pool whose arenas will all have `nranks` workers.
+    /// Create an empty pool whose arenas will all have `nranks` workers,
+    /// on the environment-selected engine.
     pub fn new(nranks: usize) -> ArenaPool {
+        ArenaPool::with_engine(nranks, Engine::from_env())
+    }
+
+    /// As [`ArenaPool::new`] with the engine pinned.
+    pub fn with_engine(nranks: usize, engine: Engine) -> ArenaPool {
         ArenaPool {
             nranks,
+            engine: engine.effective(),
             arenas: Mutex::new(Vec::new()),
             created: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
@@ -445,6 +559,11 @@ impl ArenaPool {
     /// Rank count of the pooled arenas.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Engine the pooled arenas run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Arenas currently parked (idle) in the pool.
@@ -462,10 +581,13 @@ impl ArenaPool {
         self.jobs.load(Ordering::Relaxed)
     }
 
-    /// Worker threads currently executing a job through this pool
-    /// (checked-out arenas × ranks per arena).
+    /// Carrier threads currently executing jobs through this pool
+    /// (checked-out arenas × carrier threads per arena). On the threaded
+    /// engine that is ranks-per-arena; on coop each checked-out arena
+    /// occupies exactly the one calling thread, which is what a worker
+    /// budget should charge for.
     pub fn busy_workers(&self) -> u64 {
-        self.busy.load(Ordering::Relaxed) * self.nranks as u64
+        self.busy.load(Ordering::Relaxed) * self.engine.carrier_threads(self.nranks) as u64
     }
 
     /// Run one job on a pooled arena (checking one out, or spawning a new
@@ -473,7 +595,7 @@ impl ArenaPool {
     pub fn run(&self, spec: &JobSpec, app: AppFn) -> JobResult {
         let mut arena = self.arenas.lock().pop().unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
-            JobArena::new(self.nranks)
+            JobArena::with_engine(self.nranks, self.engine)
         });
         self.jobs.fetch_add(1, Ordering::Relaxed);
         self.busy.fetch_add(1, Ordering::Relaxed);

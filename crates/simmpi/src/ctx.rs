@@ -236,6 +236,11 @@ impl RankCtx {
     pub fn yield_point(&self) {
         self.ctl.check();
         self.ctl.note_op(self.rank);
+        // On the coop engine this is also a scheduling point, so long
+        // compute stretches hand the carrier to the other ranks. Op
+        // accounting above is engine-independent; the yield is a no-op on
+        // rank threads.
+        crate::sched::yield_now();
     }
 
     /// Abort the job from application code (`MPI_Abort` analog). The whole
@@ -418,7 +423,16 @@ impl RankCtx {
 
     /// Non-blocking completion probe for a posted receive.
     pub fn test<T: MpiType>(&self, req: &RecvRequest<T>) -> bool {
-        self.fabric.probe(self.rank, req.src_global, req.tag)
+        self.ctl.check();
+        let hit = self.fabric.probe(self.rank, req.src_global, req.tag);
+        if !hit {
+            // A poll miss is a scheduling point on the coop engine: a
+            // test/yield spin loop must hand the carrier to the sender or
+            // it would never complete. Probes never touch op accounting,
+            // so this stays invisible to the journal on both engines.
+            crate::sched::yield_now();
+        }
+        hit
     }
 
     /// Complete a posted receive into `buf`; returns the element count.
@@ -1090,7 +1104,10 @@ impl RankCtx {
                 Self::segfault("injected crash-stop rank fault");
             }
             Some(RankFaultPlan::FailSlow { millis }) => {
-                std::thread::sleep(std::time::Duration::from_millis(millis));
+                // Delays only this rank: a plain sleep on a rank thread, a
+                // parked coroutine on the coop engine (the other ranks
+                // keep the carrier busy while this one slumbers).
+                crate::sched::rank_sleep(std::time::Duration::from_millis(millis));
             }
             _ => {}
         }

@@ -54,6 +54,7 @@ pub mod hook;
 pub mod op;
 pub mod record;
 pub mod runtime;
+pub mod sched;
 pub mod transport;
 
 /// Convenient re-exports for application code.

@@ -147,11 +147,14 @@ pub(crate) fn install_quiet_panic_hook() {
     ONCE.call_once(|| {
         let default = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
+            // Rank unwinds are intentional control flow on both engines:
+            // a dedicated rank thread (threaded engine) or a rank
+            // coroutine on a carrier thread (coop engine).
             let in_rank_thread = std::thread::current()
                 .name()
                 .map(|n| n.starts_with(RANK_THREAD_PREFIX))
                 .unwrap_or(false);
-            if !in_rank_thread {
+            if !in_rank_thread && !crate::sched::in_coroutine() {
                 default(info);
             }
         }));

@@ -772,7 +772,17 @@ impl Fabric {
                 drop(st);
                 std::panic::panic_any(RankPanic::Killed);
             }
-            mbox.cv.wait_for(&mut st, Duration::from_millis(2));
+            // THE blocking point. On the coop engine, park the rank
+            // coroutine (lock released across the switch — the scheduler
+            // and the other ranks run on this same thread) and rescan on
+            // the next round; on a rank thread, the condvar nap.
+            if crate::sched::in_coroutine() {
+                drop(st);
+                crate::sched::yield_blocked();
+                st = mbox.state.lock();
+            } else {
+                mbox.cv.wait_for(&mut st, Duration::from_millis(2));
+            }
         }
     }
 

@@ -1,0 +1,115 @@
+//! High-rank smoke on the cooperative engine: the coop scheduler's
+//! whole point is making wide trials cheap — 128 and 256 ranks on one
+//! carrier thread, no thread-per-rank explosion. Each workload first
+//! runs golden to establish its logical op baseline, then must complete
+//! bitwise-identically under a CI-safe op budget derived from it (the
+//! budget both bounds runaway CI time and proves budget supervision
+//! composes with the coop engine at width).
+
+use npb::{halo_app, is_app, HaloConfig, IsConfig};
+use simmpi::arena::JobArena;
+use simmpi::runtime::{AppFn, JobOutcome, JobSpec};
+use simmpi::sched::Engine;
+use std::time::Duration;
+
+fn outputs_bits(outcome: &JobOutcome) -> Vec<Vec<u64>> {
+    match outcome {
+        JobOutcome::Completed { outputs } => outputs
+            .iter()
+            .map(|o| o.scalars.iter().map(|(_, v)| v.to_bits()).collect())
+            .collect(),
+        other => panic!("high-rank trial must complete, got {other:?}"),
+    }
+}
+
+/// Golden run for the baseline, then a budgeted re-run on the same
+/// (reused) coop arena: completes, bitwise-identical, within budget.
+fn coop_smoke(nranks: usize, app: AppFn, tag: &str) {
+    let mut arena = JobArena::with_engine(nranks, Engine::Coop);
+    assert_eq!(
+        arena.carrier_threads(),
+        1,
+        "coop multiplexes onto one carrier"
+    );
+    let spec = JobSpec {
+        nranks,
+        timeout: Duration::from_secs(300),
+        ..Default::default()
+    };
+    let golden = arena.run(&spec, app.clone());
+    let golden_bits = outputs_bits(&golden.outcome);
+    let baseline = *golden.ops.iter().max().expect("per-rank ops");
+    assert!(baseline > 0, "{tag}: golden run must do work");
+
+    // CI-safe budget: generous headroom over the baseline, but still a
+    // hard deterministic bound on runaway trials.
+    let budgeted = arena.run(
+        &JobSpec {
+            op_budget: Some(baseline * 2),
+            ..spec
+        },
+        app,
+    );
+    assert_eq!(
+        outputs_bits(&budgeted.outcome),
+        golden_bits,
+        "{tag}: budgeted re-run must be bitwise-identical to golden"
+    );
+    assert!(
+        budgeted.ops.iter().all(|&o| o <= baseline * 2),
+        "{tag}: no rank may exceed the op budget"
+    );
+    assert_eq!(arena.jobs_run(), 2);
+}
+
+#[test]
+fn halo_128_ranks_completes_on_coop_under_budget() {
+    coop_smoke(
+        128,
+        halo_app(HaloConfig {
+            cells: 256,
+            iters: 8,
+            ..Default::default()
+        }),
+        "halo-128",
+    );
+}
+
+#[test]
+fn halo_256_ranks_completes_on_coop_under_budget() {
+    coop_smoke(
+        256,
+        halo_app(HaloConfig {
+            cells: 256,
+            iters: 8,
+            ..Default::default()
+        }),
+        "halo-256",
+    );
+}
+
+#[test]
+fn is_128_ranks_completes_on_coop_under_budget() {
+    coop_smoke(
+        128,
+        is_app(IsConfig {
+            keys_per_rank: 64,
+            iters: 2,
+            ..Default::default()
+        }),
+        "is-128",
+    );
+}
+
+#[test]
+fn is_256_ranks_completes_on_coop_under_budget() {
+    coop_smoke(
+        256,
+        is_app(IsConfig {
+            keys_per_rank: 64,
+            iters: 2,
+            ..Default::default()
+        }),
+        "is-256",
+    );
+}

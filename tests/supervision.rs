@@ -8,11 +8,13 @@ use fastfit::prelude::*;
 use fastfit::supervise::AttemptOutcome;
 use fastfit_store::journal::{read_journal, JOURNAL_FILE};
 use fastfit_store::{CampaignMeta, CampaignStore};
+use simmpi::arena::JobArena;
 use simmpi::control::HangKind;
 use simmpi::ctx::{RankCtx, RankOutput};
 use simmpi::hook::{CallSite, CollKind, ParamId};
 use simmpi::op::ReduceOp;
 use simmpi::runtime::{run_job, AppFn, JobOutcome, JobSpec};
+use simmpi::sched::Engine;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -331,4 +333,145 @@ fn killed_and_resumed_journal_with_quarantines_is_identical() {
     );
     std::fs::remove_dir_all(&dir_a).unwrap();
     std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+/// Re-proof of the deadlock guarantee on the cooperative engine: the
+/// coop round-epoch stall sweep (not a watchdog thread, not the wall
+/// clock) must classify a genuine deadlock INF_LOOP identically on
+/// every run, however saturated the host. The 120s wall backstop is the
+/// tell — if the clock caught this, the 20-run loop would blow the
+/// suite's time budget long before finishing.
+#[test]
+fn coop_deadlock_classifies_inf_loop_under_load() {
+    under_cpu_load(|| {
+        let mut arena = JobArena::with_engine(3, Engine::Coop);
+        for i in 0..20 {
+            let res = arena.run(
+                &JobSpec {
+                    nranks: 3,
+                    timeout: Duration::from_secs(120),
+                    ..Default::default()
+                },
+                deadlocked_app(),
+            );
+            let kind = match &res.outcome {
+                JobOutcome::TimedOut { kind } => *kind,
+                other => panic!("coop run {}: deadlock not caught: {:?}", i, other),
+            };
+            assert_eq!(kind, HangKind::Stalled, "coop run {}", i);
+            assert!(kind.is_deterministic(), "coop run {}", i);
+            assert_eq!(
+                classify(&res.outcome, &[], 0.0),
+                Response::InfLoop,
+                "coop run {}",
+                i
+            );
+        }
+    });
+}
+
+/// A fail-slow rank makes progress — just slowly. On the coop engine
+/// the injected delay parks the coroutine instead of blocking the
+/// carrier, and the stall sweep must see the parked-with-a-timer rank
+/// as *live*: across saturated runs on both engines the trial completes
+/// SUCCESS, never INF_LOOP.
+#[test]
+fn fail_slow_is_never_misfiled_as_stall_on_either_engine() {
+    let app = || -> AppFn {
+        Arc::new(|ctx: &mut RankCtx| {
+            let x = ctx.allreduce_one((ctx.rank() + 1) as f64, ReduceOp::Sum, ctx.world());
+            let mut out = RankOutput::new();
+            out.push("x", x);
+            out
+        })
+    };
+    for engine in [Engine::Threads, Engine::Coop] {
+        let campaign = Campaign::prepare_on_engine(
+            Workload::new("failslow", app(), 1e-15, 4),
+            CampaignConfig {
+                fault_channel: FaultChannel::FailSlow,
+                ..Default::default()
+            },
+            engine,
+        );
+        let target = fastfit::space::InjectionPoint {
+            site: campaign.profile.sites()[0],
+            kind: CollKind::Allreduce,
+            rank: 0,
+            invocation: 0,
+            param: ParamId::SendBuf,
+        };
+        under_cpu_load(|| {
+            for i in 0..10 {
+                // Any bit decodes to a FailSlow plan (5..~50ms of delay).
+                let out = campaign.run_trial_detailed(&target, 11 + i);
+                assert!(out.fired, "{}: run {i}: fail-slow must fire", engine.name());
+                assert_ne!(
+                    out.response,
+                    Response::InfLoop,
+                    "{}: run {i}: a slow rank is not a stall",
+                    engine.name()
+                );
+                assert_eq!(
+                    out.response,
+                    Response::Success,
+                    "{}: run {i}",
+                    engine.name()
+                );
+            }
+        });
+    }
+}
+
+/// Op budgets are the deterministic livelock bound: a spinning job must
+/// exhaust its budget at the *same per-rank op ordinals* on both
+/// engines — the op counter counts logical operations, never schedule
+/// artifacts.
+#[test]
+fn op_budget_fires_at_identical_ordinals_on_both_engines() {
+    let spinner = || -> AppFn {
+        Arc::new(|ctx: &mut RankCtx| loop {
+            ctx.allreduce_one(1.0, ReduceOp::Sum, ctx.world());
+        })
+    };
+    let spec = JobSpec {
+        nranks: 3,
+        op_budget: Some(64),
+        timeout: Duration::from_secs(120),
+        ..Default::default()
+    };
+    let run_on = |engine: Engine| {
+        let mut arena = JobArena::with_engine(3, engine);
+        let res = arena.run(&spec, spinner());
+        match &res.outcome {
+            JobOutcome::TimedOut { kind } => assert_eq!(
+                *kind,
+                HangKind::OpBudget,
+                "{}: livelock must exhaust the op budget",
+                engine.name()
+            ),
+            other => panic!("{}: unexpected outcome {other:?}", engine.name()),
+        }
+        res.ops
+    };
+    let threads_ops = run_on(Engine::Threads);
+    let coop_ops = run_on(Engine::Coop);
+    // The firing ordinal — the victim's op count when the budget trips —
+    // is budget+1 by construction and must be identical on both engines.
+    // (Bystander ranks' teardown counts depend on where the kill flag
+    // caught them, which the threaded engine cannot pin down; the coop
+    // engine can, proven below.)
+    assert_eq!(
+        threads_ops.iter().max(),
+        coop_ops.iter().max(),
+        "budget must fire at the same op ordinal on both engines"
+    );
+    assert_eq!(coop_ops.iter().max(), Some(&65), "budget 64 fires at op 65");
+    // Coop goes further: single-carrier scheduling makes even the
+    // bystanders' teardown ordinals reproducible, run over run.
+    let coop_again = run_on(Engine::Coop);
+    assert_eq!(
+        coop_ops, coop_again,
+        "coop per-rank teardown ordinals must be bit-stable across runs"
+    );
 }
