@@ -32,10 +32,11 @@
 
 use crate::{lammps_workload, npb_workload};
 use fastfit::prelude::*;
+use fastfit_mlstore::{ModelRegistry, StoredModel};
 use fastfit_serve::{http_request, start, CampaignSpec, ServeConfig};
 use fastfit_store::journal::{JournalWriter, Record, TrialRecord};
 use fastfit_store::json::Json;
-use fastfit_store::Telemetry;
+use fastfit_store::{ml_target_token, Telemetry};
 use simmpi::arena::JobArena;
 use simmpi::runtime::JobSpec;
 use simmpi::sched::Engine;
@@ -166,6 +167,8 @@ pub struct BenchReport {
     pub serve: ServeBench,
     /// Rank-scheduler A/B (coop vs thread-per-rank engines).
     pub sched: SchedBench,
+    /// Active-learning cold-vs-warm comparison.
+    pub ml: MlBench,
 }
 
 /// Forwards per-trial completions to the store [`Telemetry`] so the bench
@@ -540,6 +543,194 @@ fn bench_sched(trials: usize) -> SchedBench {
     }
 }
 
+/// Accuracy threshold the active-learning section drives both loops to
+/// (the paper's campaign setting).
+const ML_BENCH_THRESHOLD: f64 = 0.65;
+
+/// Trials per measured point in the active-learning section, scaled down
+/// from the workload-bench knob: the ML loop measures whole batches of
+/// points, so the per-point count must stay small to keep the section
+/// comparable in cost to the others.
+fn ml_bench_trials(bench_trials: usize) -> usize {
+    bench_trials.div_ceil(8).max(1)
+}
+
+/// One ML-loop execution: measured trials and wall time to the accuracy
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct MlRunBench {
+    /// Points actually measured.
+    pub measured: usize,
+    /// Feedback rounds executed.
+    pub rounds: usize,
+    /// Stopping accuracy at the final round.
+    pub accuracy: f64,
+    /// Wall time of the loop (measurement + training), seconds.
+    pub secs: f64,
+}
+
+/// Cold-vs-warm active-learning comparison for one workload.
+#[derive(Debug, Clone)]
+pub struct MlWorkloadBench {
+    /// Workload name.
+    pub name: String,
+    /// Invocation-population size the loop draws from.
+    pub points: usize,
+    /// Batch loop from scratch (scan order, no prior).
+    pub cold: MlRunBench,
+    /// Warm-started from the cold run's registered model, entropy order.
+    pub warm: MlRunBench,
+    /// `1 - warm.measured / cold.measured`.
+    pub saved_fraction: f64,
+}
+
+/// The active-learning section of the report: measured-trial counts and
+/// wall time to the same accuracy threshold, cold vs warm-started.
+#[derive(Debug, Clone)]
+pub struct MlBench {
+    /// Accuracy threshold both loops stop at.
+    pub threshold: f64,
+    /// Trials per measured point.
+    pub trials_per_point: usize,
+    /// Per-workload comparison, [`BENCH_WORKLOADS`] order.
+    pub workloads: Vec<MlWorkloadBench>,
+}
+
+/// Run one ML loop over a prepared campaign's invocation population;
+/// returns the loop stats and the final forest.
+fn ml_run(
+    c: &Campaign,
+    points: &[InjectionPoint],
+    features: &[Vec<f64>],
+    trials: usize,
+    ml_cfg: &MlConfig,
+    opts: ActiveOptions<'_>,
+) -> (MlRunBench, Option<randomforest::RandomForest>) {
+    let t0 = Instant::now();
+    let out = ml_driven_active(
+        features,
+        MlTarget::RateLevels(3),
+        |i| {
+            let pr = c.measure_point(&points[i], trials, BENCH_POINT_SEED ^ i as u64);
+            Levels::even(3).of(pr.error_rate())
+        },
+        ml_cfg,
+        opts,
+        |_, _| {},
+    );
+    (
+        MlRunBench {
+            measured: out.measured.len(),
+            rounds: out.rounds,
+            accuracy: out.final_accuracy,
+            secs: t0.elapsed().as_secs_f64(),
+        },
+        out.model,
+    )
+}
+
+/// One workload through the active-learning comparison: a cold batch
+/// loop, its final model registered, then a warm-started entropy-ordered
+/// re-run seeded from the registry — the same transfer path
+/// `--warm-start auto` takes in the CLI and daemon.
+fn bench_ml_workload(name: &str, trials: usize, registry: &ModelRegistry) -> MlWorkloadBench {
+    let c = Campaign::prepare(bench_workload_by_name(name), CampaignConfig::from_env());
+    let points = c.invocation_points();
+    let features: Vec<Vec<f64>> = points.iter().map(|p| c.extractor.features(p)).collect();
+    let ml_cfg = MlConfig {
+        accuracy_threshold: ML_BENCH_THRESHOLD,
+        ..Default::default()
+    };
+    let (cold, forest) = ml_run(
+        &c,
+        &points,
+        &features,
+        trials,
+        &ml_cfg,
+        ActiveOptions::default(),
+    );
+    let forest = forest.expect("the cold loop measured at least one batch");
+    let model = StoredModel {
+        workload: c.workload.name.clone(),
+        channel: c.cfg.fault_channel.token().to_string(),
+        transport: if c.cfg.resilient {
+            "resilient"
+        } else {
+            "plain"
+        }
+        .to_string(),
+        target: ml_target_token(MlTarget::RateLevels(3)),
+        features: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        forest,
+    };
+    registry.put(&model).expect("model registration");
+    let entry = registry
+        .resolve_auto(&model.schema(), &model.target)
+        .expect("registry readable")
+        .expect("the model just registered resolves");
+    let prior = registry.get(&entry.id).expect("registered model loads");
+    let (warm, _) = ml_run(
+        &c,
+        &points,
+        &features,
+        trials,
+        &ml_cfg,
+        ActiveOptions {
+            prior: Some(&prior.forest),
+            ordering: MlOrdering::Entropy,
+        },
+    );
+    let saved_fraction = if cold.measured > 0 {
+        1.0 - warm.measured as f64 / cold.measured as f64
+    } else {
+        0.0
+    };
+    MlWorkloadBench {
+        name: name.into(),
+        points: points.len(),
+        cold,
+        warm,
+        saved_fraction,
+    }
+}
+
+/// The active-learning sweep over [`BENCH_WORKLOADS`], through a scratch
+/// model registry.
+pub fn bench_ml(bench_trials: usize) -> MlBench {
+    let trials = ml_bench_trials(bench_trials);
+    let dir = std::env::temp_dir().join(format!("fastfit-bench-models-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::open(&dir).expect("scratch registry opens");
+    let workloads: Vec<MlWorkloadBench> = BENCH_WORKLOADS
+        .iter()
+        .map(|name| {
+            eprintln!(
+                "[bench] ml {}: cold + warm loops ({} trials/point, threshold {:.0}%)...",
+                name,
+                trials,
+                100.0 * ML_BENCH_THRESHOLD
+            );
+            let b = bench_ml_workload(name, trials, &registry);
+            eprintln!(
+                "[bench] ml {}: cold {} measured in {:.1}s, warm {} in {:.1}s ({:.0}% fewer measurements)",
+                b.name,
+                b.cold.measured,
+                b.cold.secs,
+                b.warm.measured,
+                b.warm.secs,
+                100.0 * b.saved_fraction
+            );
+            b
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    MlBench {
+        threshold: ML_BENCH_THRESHOLD,
+        trials_per_point: trials,
+        workloads,
+    }
+}
+
 /// Measure write-ahead journal append throughput in a scratch directory.
 fn journal_throughput(records: usize) -> f64 {
     let dir = std::env::temp_dir().join(format!("fastfit-bench-journal-{}", std::process::id()));
@@ -753,6 +944,8 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     let serve = bench_serve(cfg.trials);
     eprintln!("[bench] rank-scheduler A/B (coop vs threads)...");
     let sched = bench_sched(cfg.trials);
+    eprintln!("[bench] active learning (cold vs warm-started ML loops)...");
+    let ml = bench_ml(cfg.trials);
     BenchReport {
         ranks: crate::experiment_ranks(),
         class: class.into(),
@@ -763,7 +956,18 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         journal_appends_per_sec,
         serve,
         sched,
+        ml,
     }
+}
+
+/// Encode one [`MlRunBench`] side of the cold/warm comparison.
+fn ml_run_json(r: &MlRunBench) -> Json {
+    Json::obj([
+        ("measured", Json::U64(r.measured as u64)),
+        ("rounds", Json::U64(r.rounds as u64)),
+        ("accuracy", Json::F64(r.accuracy)),
+        ("secs", Json::F64(r.secs)),
+    ])
 }
 
 impl BenchReport {
@@ -886,6 +1090,34 @@ impl BenchReport {
                     ),
                 ]),
             ),
+            (
+                "ml",
+                Json::obj([
+                    ("threshold", Json::F64(self.ml.threshold)),
+                    (
+                        "trials_per_point",
+                        Json::U64(self.ml.trials_per_point as u64),
+                    ),
+                    (
+                        "workloads",
+                        Json::Arr(
+                            self.ml
+                                .workloads
+                                .iter()
+                                .map(|w| {
+                                    Json::obj([
+                                        ("name", Json::Str(w.name.clone())),
+                                        ("points", Json::U64(w.points as u64)),
+                                        ("cold", ml_run_json(&w.cold)),
+                                        ("warm", ml_run_json(&w.warm)),
+                                        ("saved_fraction", Json::F64(w.saved_fraction)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -944,6 +1176,27 @@ mod tests {
                 dispatch_coop_secs_per_job: 1e-4,
                 dispatch_threads_secs_per_job: 1e-3,
                 dispatch_speedup: 10.0,
+            },
+            ml: MlBench {
+                threshold: 0.65,
+                trials_per_point: 4,
+                workloads: vec![MlWorkloadBench {
+                    name: "IS".into(),
+                    points: 40,
+                    cold: MlRunBench {
+                        measured: 24,
+                        rounds: 3,
+                        accuracy: 0.7,
+                        secs: 1.5,
+                    },
+                    warm: MlRunBench {
+                        measured: 6,
+                        rounds: 1,
+                        accuracy: 0.8,
+                        secs: 0.4,
+                    },
+                    saved_fraction: 0.75,
+                }],
             },
         };
         let v = report.to_json();
@@ -1014,6 +1267,23 @@ mod tests {
             assert!(sd.get(key).is_some(), "sched dispatch missing {:?}", key);
         }
         assert_eq!(sd.get("ranks").and_then(Json::as_u64), Some(64));
+        let ml = v.get("ml").expect("ml key");
+        assert!(ml.get("threshold").and_then(Json::as_f64).is_some());
+        assert_eq!(ml.get("trials_per_point").and_then(Json::as_u64), Some(4));
+        let mw = ml
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .expect("ml workloads array");
+        assert_eq!(mw.len(), 1);
+        for key in ["name", "points", "cold", "warm", "saved_fraction"] {
+            assert!(mw[0].get(key).is_some(), "ml workload missing {:?}", key);
+        }
+        for side in ["cold", "warm"] {
+            let r = mw[0].get(side).expect("run object");
+            for key in ["measured", "rounds", "accuracy", "secs"] {
+                assert!(r.get(key).is_some(), "{side} run missing {:?}", key);
+            }
+        }
         // The document round-trips through the parser.
         let back = Json::parse(&v.encode()).unwrap();
         assert_eq!(back.encode(), v.encode());
@@ -1047,6 +1317,24 @@ mod tests {
         assert!(b.coop_trials_per_sec > 0.0);
         assert!(b.threads_trials_per_sec > 0.0);
         assert!(b.speedup > 0.0);
+    }
+
+    #[test]
+    fn ml_bench_smoke() {
+        // One-trial cold + warm loops over the smallest kernel, through a
+        // real scratch registry: exercises registration, auto resolution,
+        // the warm-started run, and the saved-fraction arithmetic.
+        let dir = std::env::temp_dir().join(format!("fastfit-mlbench-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir).expect("scratch registry opens");
+        let b = bench_ml_workload("IS", 1, &registry);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(b.name, "IS");
+        assert!(b.points > 0);
+        assert!(b.cold.measured > 0 && b.cold.secs > 0.0);
+        assert!(b.warm.measured > 0 && b.warm.secs > 0.0);
+        assert!(b.warm.measured <= b.points);
+        assert!(b.saved_fraction.is_finite());
     }
 
     #[test]

@@ -278,6 +278,18 @@ fn bench_verb() {
         report.sched.dispatch_speedup,
         report.sched.dispatch_ranks
     );
+    for w in &report.ml.workloads {
+        println!(
+            "ml {:<8} cold {:>4} measured in {:>6.1}s vs warm {:>4} in {:>6.1}s ({:.0}% fewer, threshold {:.0}%)",
+            w.name,
+            w.cold.measured,
+            w.cold.secs,
+            w.warm.measured,
+            w.warm.secs,
+            100.0 * w.saved_fraction,
+            100.0 * report.ml.threshold
+        );
+    }
     report.write_to(&cfg.out).expect("writing BENCH.json");
     println!("wrote {}", cfg.out);
 }

@@ -23,6 +23,7 @@
 use fastfit::observe::ProgressEvent;
 use fastfit::prelude::*;
 use fastfit_bench::{lammps_workload, npb_workload};
+use fastfit_mlstore::{schema_hash, ModelRegistry, StoredModel, MODELS_DIR};
 use fastfit_scenario::{filter_by_cost, CostModel, Grammar};
 use fastfit_serve::{
     http_request_retry, run_worker, signal, CampaignSpec, GoldenCostModel, ServeConfig,
@@ -30,10 +31,14 @@ use fastfit_serve::{
 };
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
-use fastfit_store::{campaign_meta, read_store_meta, CampaignState, CampaignStore, StatusSnapshot};
+use fastfit_store::{
+    campaign_meta_ml, ml_target_token, read_store_meta, CampaignState, CampaignStore, MlIdentity,
+    StatusSnapshot,
+};
+use randomforest::RandomForest;
 use simmpi::hook::{CallSite, CollKind, ParamId};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Poll cadence for `status --watch` and `watch`.
@@ -70,6 +75,7 @@ fn usage() -> ! {
          \x20      fastfit-cli worker [--addr HOST:PORT] [--name NAME]\n\
          \x20      fastfit-cli fleet  [--addr HOST:PORT]\n\
          \x20      fastfit-cli journal-sha <DIR>\n\
+         \x20      fastfit-cli models <REGISTRY-DIR> (e.g. <store>/models)\n\
          \x20      fastfit-cli submit --workload <...> [campaign flags] [--seed N] [--app-seed N] [--addr HOST:PORT]\n\
          \x20      fastfit-cli watch  <ID> [--addr HOST:PORT]\n\
          \x20      fastfit-cli cancel <ID> [--addr HOST:PORT]\n\
@@ -77,6 +83,11 @@ fn usage() -> ! {
          \x20                           [--submit [--addr HOST:PORT]]\n\
          flags: --trials N  --params data|all  --ranks N  --ml  --threshold 0.65\n\
          \x20      --csv DIR  --store DIR (or FASTFIT_STORE_DIR)\n\
+                --warm-start <model-id|auto> (seed the ML loop from a\n\
+                \x20 registered model; auto picks the newest compatible one)\n\
+                --ml-order scan|entropy (pending-point order; warm loops\n\
+                \x20 default to entropy, cold loops to scan)\n\
+                --registry DIR (model registry; default <store>/models)\n\
                 --fault-channel param|message|crash-stop|fail-slow|partition\n\
                 \x20 (call parameters, wire messages, rank kill, rank delay,\n\
                 \x20  or a network cut between two rank groups)\n\
@@ -217,6 +228,13 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        "models" => {
+            let Some((dir, _)) = rest.split_first().filter(|(d, _)| !d.starts_with("--")) else {
+                eprintln!("models needs a registry directory (e.g. <store>/models)");
+                usage()
+            };
+            cmd_models(Path::new(dir));
         }
         "status" | "resume" => {
             let Some((dir, flag_args)) = rest.split_first().filter(|(d, _)| !d.starts_with("--"))
@@ -681,9 +699,9 @@ fn open_store(
     dir: &Path,
     c: &Campaign,
     points: &[InjectionPoint],
-    ml: Option<(MlTarget, &MlConfig)>,
+    ml: Option<MlIdentity<'_>>,
 ) -> CampaignStore {
-    let meta = campaign_meta(c, points, ml);
+    let meta = campaign_meta_ml(c, points, ml);
     let store = CampaignStore::open(dir, meta).unwrap_or_else(|e| {
         eprintln!("cannot open store {}: {}", dir.display(), e);
         std::process::exit(1);
@@ -730,17 +748,125 @@ fn run_plain_campaign(c: &Campaign, csv: &Option<String>, store: Option<&Campaig
     );
 }
 
+/// The model registry for this invocation: `--registry DIR` beats the
+/// campaign store's own `models/` subdirectory; `None` when the campaign
+/// runs storeless and no registry was named (models are then neither
+/// looked up nor saved).
+fn registry_for(flags: &HashMap<String, String>, store: Option<&Path>) -> Option<ModelRegistry> {
+    let dir = flags
+        .get("registry")
+        .map(PathBuf::from)
+        .or_else(|| store.map(|d| d.join(MODELS_DIR)))?;
+    match ModelRegistry::open(&dir) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("cannot open model registry {}: {}", dir.display(), e);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Resolve `--warm-start <id|auto>` against the registry, refusing models
+/// trained for a different feature schema or prediction target — a
+/// mismatched prior would not just predict badly, it would panic inside
+/// the forest on the wrong input width.
+fn resolve_warm_start(
+    registry: Option<&ModelRegistry>,
+    spec: &str,
+    target: MlTarget,
+) -> StoredModel {
+    let Some(reg) = registry else {
+        eprintln!("--warm-start needs --store or --registry (somewhere to look models up)");
+        std::process::exit(2);
+    };
+    let schema = schema_hash(&FEATURE_NAMES);
+    let target_tok = ml_target_token(target);
+    let model = if spec == "auto" {
+        match reg.resolve_auto(&schema, &target_tok) {
+            Ok(Some(entry)) => reg.get(&entry.id).unwrap_or_else(|e| {
+                eprintln!(
+                    "registry lists model {} but cannot supply it: {}",
+                    &entry.id[..16],
+                    e
+                );
+                std::process::exit(1);
+            }),
+            Ok(None) => {
+                eprintln!(
+                    "--warm-start auto: no compatible model in {}",
+                    reg.root().display()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot read model registry {}: {}", reg.root().display(), e);
+                std::process::exit(1);
+            }
+        }
+    } else {
+        reg.get(spec).unwrap_or_else(|e| {
+            eprintln!("cannot load warm-start model {spec:?}: {e}");
+            std::process::exit(1);
+        })
+    };
+    if model.schema() != schema || model.target != target_tok {
+        eprintln!(
+            "model {} was trained for target {} over a different feature schema; this campaign needs target {}",
+            &model.id()[..16],
+            model.target,
+            target_tok
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "warm start: model {} ({} on the {} channel{})",
+        &model.id()[..16],
+        model.workload,
+        model.channel,
+        model
+            .forest
+            .oob_accuracy()
+            .map(|o| format!(", oob {:.1}%", 100.0 * o))
+            .unwrap_or_default()
+    );
+    model
+}
+
+/// Register a round's forest under this campaign's key. Registry failures
+/// are reported but never fail the campaign — the model store is an
+/// accelerator, not a correctness dependency.
+fn register_model(reg: &ModelRegistry, c: &Campaign, target: MlTarget, forest: &RandomForest) {
+    let model = StoredModel {
+        workload: c.workload.name.clone(),
+        channel: c.cfg.fault_channel.token().to_string(),
+        transport: if c.cfg.resilient {
+            "resilient"
+        } else {
+            "plain"
+        }
+        .to_string(),
+        target: ml_target_token(target),
+        features: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        forest: forest.clone(),
+    };
+    if let Err(e) = reg.put(&model) {
+        eprintln!("warning: model registration failed: {e}");
+    }
+}
+
 /// The ML feedback-loop campaign over the post-semantic invocation
 /// population, observed so it can journal and resume. One body serves
 /// `campaign --ml` and `resume`; the measurement order, seeds and splits
-/// depend only on the (journaled) configuration, so a resumed loop
-/// replays its own trajectory exactly.
+/// depend only on the (journaled) configuration plus the warm-start
+/// prior, so a resumed loop replays its own trajectory exactly.
 fn run_ml_campaign(
     c: &Campaign,
     target: MlTarget,
     ml_cfg: &MlConfig,
     csv: &Option<String>,
     store: Option<&CampaignStore>,
+    opts: ActiveOptions<'_>,
+    on_model: &mut dyn FnMut(&RandomForest),
 ) {
     let observer: &dyn CampaignObserver = match store {
         Some(s) => s,
@@ -755,7 +881,7 @@ fn run_ml_campaign(
         trials_per_point: trials,
     });
     let mut measured = Vec::new();
-    let out = ml_driven_observed(
+    let out = ml_driven_active(
         &features,
         target,
         |i| {
@@ -776,12 +902,17 @@ fn run_ml_campaign(
             label
         },
         ml_cfg,
-        |round, n_measured, accuracy| {
+        opts,
+        |round, forest| {
             observer.on_event(&ProgressEvent::LearnRound {
-                round,
-                measured: n_measured,
-                accuracy,
+                round: round.round,
+                measured: round.measured,
+                accuracy: round.accuracy,
+                predicted: round.predicted,
+                oob_accuracy: round.oob_accuracy,
+                ordering: round.ordering.token(),
             });
+            on_model(forest);
         },
     );
     observer.on_event(&ProgressEvent::PhaseFinished {
@@ -853,16 +984,48 @@ fn cmd_campaign(flags: &HashMap<String, String>) {
             accuracy_threshold: threshold,
             ..Default::default()
         };
-        match store_dir(flags) {
+        let dir = store_dir(flags);
+        let registry = registry_for(flags, dir.as_deref().map(Path::new));
+        // Warm campaigns order pending points by vote entropy unless
+        // `--ml-order` says otherwise; cold campaigns keep the scan order
+        // (and so their campaign IDs) they always had.
+        let warm = flags.get("warm-start").cloned();
+        let ordering = match flags.get("ml-order").map(String::as_str) {
+            Some(tok) => MlOrdering::from_token(tok).unwrap_or_else(|| {
+                eprintln!("unknown --ml-order {tok:?} (scan|entropy)");
+                std::process::exit(2);
+            }),
+            None if warm.is_some() => MlOrdering::Entropy,
+            None => MlOrdering::Scan,
+        };
+        let prior = warm
+            .as_deref()
+            .map(|w| resolve_warm_start(registry.as_ref(), w, target));
+        let opts = ActiveOptions {
+            prior: prior.as_ref().map(|m| &m.forest),
+            ordering,
+        };
+        let mut on_model = |forest: &RandomForest| {
+            if let Some(reg) = &registry {
+                register_model(reg, &c, target, forest);
+            }
+        };
+        match dir {
             Some(dir) => {
                 let points = c.invocation_points();
-                let store = open_store(Path::new(&dir), &c, &points, Some((target, &ml_cfg)));
-                run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+                let ml = MlIdentity {
+                    target,
+                    config: &ml_cfg,
+                    warm: prior.as_ref().map(StoredModel::id),
+                    ordering,
+                };
+                let store = open_store(Path::new(&dir), &c, &points, Some(ml));
+                run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store), opts, &mut on_model);
                 exit_if_interrupted(&c, Some(&store));
                 finish_store(&store);
             }
             None => {
-                run_ml_campaign(&c, target, &ml_cfg, &csv, None);
+                run_ml_campaign(&c, target, &ml_cfg, &csv, None, opts, &mut on_model);
                 exit_if_interrupted(&c, None);
             }
         }
@@ -908,7 +1071,20 @@ fn cmd_status(dir: &Path, watch: bool) {
                 },
                 meta.ml
                     .as_ref()
-                    .map(|m| format!(", ml target {}", m.target))
+                    .map(|m| {
+                        format!(
+                            ", ml target {}{}{}",
+                            m.target,
+                            m.warm
+                                .as_ref()
+                                .map(|w| format!(", warm-started from {}", &w[..16]))
+                                .unwrap_or_default(),
+                            m.order
+                                .as_ref()
+                                .map(|o| format!(", {o} order"))
+                                .unwrap_or_default()
+                        )
+                    })
                     .unwrap_or_default()
             );
         }
@@ -1054,9 +1230,55 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
                 accuracy_threshold: threshold,
                 ..Default::default()
             };
+            // Warm-start provenance and ordering are part of the campaign
+            // identity: a resumed warm loop must seed round 0 from the
+            // *same* prior or its measurement trajectory diverges from the
+            // journal. The model is re-fetched from the registry
+            // (`--registry DIR`, default `<DIR>/models`); if the registry
+            // cannot supply it the resume is refused rather than replayed
+            // on a different trajectory.
+            let ordering = match ml_meta.order.as_deref() {
+                Some(tok) => MlOrdering::from_token(tok).unwrap_or_else(|| {
+                    eprintln!("journal has unknown ml ordering {tok:?}");
+                    std::process::exit(1);
+                }),
+                None => MlOrdering::Scan,
+            };
+            let registry = registry_for(flags, Some(dir));
+            let prior: Option<StoredModel> = ml_meta.warm.as_ref().map(|model_id| {
+                let Some(reg) = registry.as_ref() else {
+                    unreachable!("the store directory always implies a registry path")
+                };
+                match reg.get(model_id) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!(
+                            "this campaign was warm-started from model {} but the registry cannot supply it ({}); re-give --registry",
+                            &model_id[..16],
+                            e
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            });
+            let opts = ActiveOptions {
+                prior: prior.as_ref().map(|m| &m.forest),
+                ordering,
+            };
+            let mut on_model = |forest: &RandomForest| {
+                if let Some(reg) = &registry {
+                    register_model(reg, &c, target, forest);
+                }
+            };
             let points = c.invocation_points();
-            let store = open_store(dir, &c, &points, Some((target, &ml_cfg)));
-            run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store));
+            let ml = MlIdentity {
+                target,
+                config: &ml_cfg,
+                warm: ml_meta.warm.clone(),
+                ordering,
+            };
+            let store = open_store(dir, &c, &points, Some(ml));
+            run_ml_campaign(&c, target, &ml_cfg, &csv, Some(&store), opts, &mut on_model);
             exit_if_interrupted(&c, Some(&store));
             finish_store(&store);
         }
@@ -1067,6 +1289,44 @@ fn cmd_resume(dir: &Path, flags: &HashMap<String, String>) {
             finish_store(&store);
         }
     }
+}
+
+/// `fastfit-cli models <DIR>` — list the registered sensitivity models in
+/// a registry directory, newest last (registration order).
+fn cmd_models(dir: &Path) {
+    let reg = ModelRegistry::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open model registry {}: {}", dir.display(), e);
+        std::process::exit(1);
+    });
+    let entries = reg.list().unwrap_or_else(|e| {
+        eprintln!("cannot read model registry {}: {}", dir.display(), e);
+        std::process::exit(1);
+    });
+    if entries.is_empty() {
+        println!("no models registered in {}", dir.display());
+        return;
+    }
+    println!(
+        "{:<16} {:<8} {:<11} {:<9} {:<14} {:>6}",
+        "id", "workload", "channel", "transport", "target", "oob"
+    );
+    for e in &entries {
+        println!(
+            "{:<16} {:<8} {:<11} {:<9} {:<14} {:>6}",
+            &e.id[..16],
+            e.workload,
+            e.channel,
+            e.transport,
+            e.target,
+            e.oob
+                .map(|o| format!("{:.1}%", 100.0 * o))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!(
+        "{} model(s); warm-start with --warm-start <id|auto>",
+        entries.len()
+    );
 }
 
 fn cmd_point(flags: &HashMap<String, String>) {

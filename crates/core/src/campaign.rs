@@ -12,8 +12,8 @@ use crate::fault::{FaultSpec, InjectorHook};
 use crate::features::FeatureExtractor;
 use crate::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
 use crate::prune::{
-    context_prune, ml_driven_observed, semantic_prune, ContextPrune, MlConfig, MlOutcome, MlTarget,
-    SemanticPrune,
+    context_prune, ml_driven_active, semantic_prune, ActiveOptions, ContextPrune, MlConfig,
+    MlOutcome, MlRound, MlTarget, SemanticPrune,
 };
 use crate::response::{classify, Response, ResponseHistogram};
 use crate::space::{full_space_count, FaultChannel, InjectionPoint, ParamsMode};
@@ -985,6 +985,31 @@ impl Campaign {
         ml: &MlConfig,
         observer: &dyn CampaignObserver,
     ) -> (CampaignResult, MlOutcome) {
+        self.run_with_ml_active(
+            target,
+            ml,
+            ActiveOptions::default(),
+            observer,
+            &mut |_, _| {},
+        )
+    }
+
+    /// The active-learning form of [`Campaign::run_with_ml_observed`]:
+    /// optionally warm-started from a prior forest and entropy-ordered.
+    /// `on_model` fires after every feedback round with the round report
+    /// and the forest trained on everything measured so far — the model
+    /// registry's persistence hook. Per-point trial seeds are keyed to
+    /// the point's index in the stable population, so reordering or
+    /// skipping measurements never changes the bytes of the trials that
+    /// *are* measured.
+    pub fn run_with_ml_active(
+        &self,
+        target: MlTarget,
+        ml: &MlConfig,
+        opts: ActiveOptions<'_>,
+        observer: &dyn CampaignObserver,
+        on_model: &mut dyn FnMut(&MlRound, &randomforest::RandomForest),
+    ) -> (CampaignResult, MlOutcome) {
         let t0 = Instant::now();
         let features: Vec<Vec<f64>> = self
             .points()
@@ -997,7 +1022,7 @@ impl Campaign {
             points_total: self.points().len(),
             trials_per_point: trials,
         });
-        let outcome = ml_driven_observed(
+        let outcome = ml_driven_active(
             &features,
             target,
             |i| {
@@ -1023,12 +1048,17 @@ impl Campaign {
                 label
             },
             ml,
-            |round, measured, accuracy| {
+            opts,
+            |round, forest| {
                 observer.on_event(&ProgressEvent::LearnRound {
-                    round,
-                    measured,
-                    accuracy,
+                    round: round.round,
+                    measured: round.measured,
+                    accuracy: round.accuracy,
+                    predicted: round.predicted,
+                    oob_accuracy: round.oob_accuracy,
+                    ordering: round.ordering.token(),
                 });
+                on_model(round, forest);
             },
         );
         observer.on_event(&ProgressEvent::PhaseFinished {

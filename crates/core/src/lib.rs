@@ -67,8 +67,9 @@ pub mod prelude {
         point_key, CampaignObserver, CampaignPhase, NullObserver, ProgressEvent,
     };
     pub use crate::prune::{
-        context_prune, ml_driven, ml_driven_observed, semantic_prune, ContextPrune, MlConfig,
-        MlOutcome, MlTarget, SemanticPrune,
+        context_prune, ml_driven, ml_driven_active, ml_driven_observed, semantic_prune,
+        ActiveOptions, ContextPrune, MlConfig, MlOrdering, MlOutcome, MlRound, MlTarget,
+        SemanticPrune,
     };
     pub use crate::report::{
         correlation_table, per_kind_histograms, per_kind_levels, per_param_histograms,

@@ -121,8 +121,15 @@ pub enum ProgressEvent<'a> {
         round: usize,
         /// Points measured so far.
         measured: usize,
-        /// Held-out accuracy after this round.
+        /// Stopping accuracy after this round (held-out, or the
+        /// warm-start prior's score when that is higher).
         accuracy: f64,
+        /// Points still unmeasured after this round.
+        predicted: usize,
+        /// Out-of-bag accuracy of this round's forest.
+        oob_accuracy: Option<f64>,
+        /// Pending-point ordering in effect (`MlOrdering::token`).
+        ordering: &'static str,
     },
 }
 

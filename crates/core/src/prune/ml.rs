@@ -66,6 +66,71 @@ impl Default for MlConfig {
     }
 }
 
+/// How the loop orders pending unmeasured points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MlOrdering {
+    /// The seeded shuffle order, front to back (the paper's batch loop).
+    #[default]
+    Scan,
+    /// Re-rank the pending tail after every round by the round forest's
+    /// vote entropy, most uncertain first — expected-information-gain
+    /// ordering, so each round measures the points the model knows least
+    /// about.
+    Entropy,
+}
+
+impl MlOrdering {
+    /// Stable token, used in journal metadata and telemetry.
+    pub fn token(self) -> &'static str {
+        match self {
+            MlOrdering::Scan => "scan",
+            MlOrdering::Entropy => "entropy",
+        }
+    }
+
+    /// Parse a [`MlOrdering::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "scan" => Some(MlOrdering::Scan),
+            "entropy" => Some(MlOrdering::Entropy),
+            _ => None,
+        }
+    }
+}
+
+/// Warm-start and ordering options for [`ml_driven_active`]. The
+/// defaults reproduce the paper's batch loop exactly.
+#[derive(Default)]
+pub struct ActiveOptions<'a> {
+    /// A previously trained forest over the same feature schema and
+    /// target. Each round it is scored against every measured label; the
+    /// loop stops as soon as *either* the prior or the freshly trained
+    /// model clears the threshold, and the winner predicts the rest.
+    /// With a good prior the loop stops after one verification batch.
+    pub prior: Option<&'a RandomForest>,
+    /// Pending-point ordering.
+    pub ordering: MlOrdering,
+}
+
+/// One train/verify round of the feedback loop, as reported to the
+/// [`ml_driven_active`] round hook.
+#[derive(Debug, Clone)]
+pub struct MlRound {
+    /// 1-based round number.
+    pub round: usize,
+    /// Points measured so far.
+    pub measured: usize,
+    /// Stopping accuracy: held-out accuracy of the trained model, or the
+    /// prior's accuracy on the measured labels when that is higher.
+    pub accuracy: f64,
+    /// Points still unmeasured (predicted if the loop stopped now).
+    pub predicted: usize,
+    /// Out-of-bag accuracy of this round's forest.
+    pub oob_accuracy: Option<f64>,
+    /// Ordering in effect.
+    pub ordering: MlOrdering,
+}
+
 /// Result of the ML-driven stage.
 #[derive(Debug)]
 pub struct MlOutcome {
@@ -85,6 +150,9 @@ pub struct MlOutcome {
     pub final_accuracy: f64,
     /// Fraction of fault-injection *tests* avoided: predicted / total.
     pub tests_saved: f64,
+    /// Whether the warm-start prior (not the freshly trained model) won
+    /// the stopping race and produced the predictions.
+    pub used_prior: bool,
 }
 
 /// Cross-validated accuracy over random half splits.
@@ -135,12 +203,46 @@ pub fn ml_driven(
 pub fn ml_driven_observed(
     features: &[Vec<f64>],
     target: MlTarget,
-    mut measure: impl FnMut(usize) -> usize,
+    measure: impl FnMut(usize) -> usize,
     cfg: &MlConfig,
     mut on_round: impl FnMut(usize, usize, f64),
 ) -> MlOutcome {
+    ml_driven_active(
+        features,
+        target,
+        measure,
+        cfg,
+        ActiveOptions::default(),
+        |r, _| on_round(r.round, r.measured, r.accuracy),
+    )
+}
+
+/// The active-learning form of the feedback loop: optionally warm-started
+/// from a prior forest and optionally entropy-ordered. With default
+/// [`ActiveOptions`] the measurement trajectory (order, seeds, verify
+/// splits) is identical to [`ml_driven_observed`] — neither option
+/// consumes the loop RNG, so the cold path's journals are untouched.
+///
+/// `on_round` fires after every train/verify round with the round report
+/// and the forest trained on everything measured so far (the model
+/// registry persists it). The last round's forest is the final model.
+pub fn ml_driven_active(
+    features: &[Vec<f64>],
+    target: MlTarget,
+    mut measure: impl FnMut(usize) -> usize,
+    cfg: &MlConfig,
+    opts: ActiveOptions<'_>,
+    mut on_round: impl FnMut(&MlRound, &RandomForest),
+) -> MlOutcome {
     let n = features.len();
     let n_classes = target.n_classes();
+    if let (Some(p), Some(row)) = (opts.prior, features.first()) {
+        assert_eq!(
+            (p.n_features(), p.n_classes()),
+            (row.len(), n_classes),
+            "warm-start prior is shaped for a different feature schema or target"
+        );
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
@@ -151,12 +253,20 @@ pub fn ml_driven_observed(
     let mut rounds = 0usize;
     let mut reached = false;
     let mut final_accuracy = 0.0;
+    let mut model: Option<RandomForest> = None;
+    let mut used_prior = false;
 
     while cursor < n {
-        let want = if rounds == 0 {
-            cfg.initial_batch
-        } else {
+        let want = if rounds > 0 {
             cfg.batch
+        } else if opts.prior.is_some() {
+            // A warm start needs a verification sample, not a training
+            // bootstrap: the small per-round batch is enough to score
+            // the prior, and the loop keeps growing it if the prior
+            // turns out not to transfer.
+            cfg.batch.min(cfg.initial_batch)
+        } else {
+            cfg.initial_batch
         };
         let take = want.min(n - cursor);
         for _ in 0..take {
@@ -167,7 +277,13 @@ pub fn ml_driven_observed(
         }
         rounds += 1;
         let x: Vec<Vec<f64>> = measured.iter().map(|&i| features[i].clone()).collect();
-        final_accuracy = holdout_accuracy(
+        // This round's forest on everything measured. It drives entropy
+        // ordering and registry persistence, and — because the fit is a
+        // pure function of (data, params) — the last round's forest is
+        // exactly the final model the batch loop would train after the
+        // loop.
+        let forest = RandomForest::fit(&x, &labels, n_classes, &cfg.forest);
+        let holdout = holdout_accuracy(
             &x,
             &labels,
             n_classes,
@@ -175,21 +291,55 @@ pub fn ml_driven_observed(
             cfg.verify_splits,
             &mut rng,
         );
-        on_round(rounds, measured.len(), final_accuracy);
+        // The prior races the trained model: score it on every measured
+        // label (an honest holdout — the prior saw none of them) and
+        // stop on whichever clears the threshold first.
+        let prior_accuracy = opts.prior.map(|p| p.accuracy(&x, &labels));
+        let prior_wins = prior_accuracy.is_some_and(|pa| pa >= holdout);
+        final_accuracy = match prior_accuracy {
+            Some(pa) if prior_wins => pa,
+            _ => holdout,
+        };
+        let report = MlRound {
+            round: rounds,
+            measured: measured.len(),
+            accuracy: final_accuracy,
+            predicted: n - cursor,
+            oob_accuracy: forest.oob_accuracy(),
+            ordering: opts.ordering,
+        };
+        on_round(&report, &forest);
+        model = Some(forest);
         if final_accuracy >= cfg.accuracy_threshold {
             reached = true;
+            used_prior = prior_wins && opts.prior.is_some();
             break;
+        }
+        // Entropy ordering: rank the pending tail by the fresh forest's
+        // vote entropy, most uncertain first. The sort is stable (ties
+        // keep the shuffled order) and consumes no loop RNG, so it only
+        // permutes *which* points later rounds measure — never the
+        // per-point seeds or the verify splits.
+        if opts.ordering == MlOrdering::Entropy && cursor < n {
+            let f = model.as_ref().unwrap();
+            let mut tail: Vec<(usize, f64)> = order[cursor..]
+                .iter()
+                .map(|&i| (i, f.vote_entropy(&features[i])))
+                .collect();
+            tail.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for (slot, (i, _)) in order[cursor..].iter_mut().zip(tail) {
+                *slot = i;
+            }
         }
     }
 
-    // Final model on everything measured; predict the rest.
-    let x: Vec<Vec<f64>> = measured.iter().map(|&i| features[i].clone()).collect();
-    let model = if x.is_empty() {
-        None
+    // Predict the rest with whichever model won the stopping race.
+    let predictor = if used_prior {
+        opts.prior
     } else {
-        Some(RandomForest::fit(&x, &labels, n_classes, &cfg.forest))
+        model.as_ref()
     };
-    let predicted: Vec<(usize, usize)> = match &model {
+    let predicted: Vec<(usize, usize)> = match predictor {
         Some(m) => order[cursor..]
             .iter()
             .map(|&i| (i, m.predict(&features[i])))
@@ -209,6 +359,7 @@ pub fn ml_driven_observed(
         reached_threshold: reached,
         final_accuracy,
         tests_saved,
+        used_prior,
     }
 }
 
@@ -309,5 +460,169 @@ mod tests {
         assert_eq!(out.measured.len(), 0);
         assert_eq!(out.tests_saved, 0.0);
         assert!(!out.reached_threshold);
+    }
+
+    #[test]
+    fn cold_active_matches_batch_trajectory() {
+        // With default options the active loop IS the batch loop: same
+        // measured order, same predictions, same accuracy trail.
+        let (x, y) = synthetic(120);
+        let cfg = MlConfig {
+            accuracy_threshold: 0.8,
+            ..Default::default()
+        };
+        let mut trail_a = Vec::new();
+        let a = ml_driven_observed(
+            &x,
+            MlTarget::RateLevels(2),
+            |i| y[i],
+            &cfg,
+            |r, m, acc| trail_a.push((r, m, acc.to_bits())),
+        );
+        let mut trail_b = Vec::new();
+        let b = ml_driven_active(
+            &x,
+            MlTarget::RateLevels(2),
+            |i| y[i],
+            &cfg,
+            ActiveOptions::default(),
+            |r, _| trail_b.push((r.round, r.measured, r.accuracy.to_bits())),
+        );
+        assert_eq!(a.measured, b.measured);
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.final_accuracy.to_bits(), b.final_accuracy.to_bits());
+        assert_eq!(trail_a, trail_b);
+        assert!(!b.used_prior);
+    }
+
+    #[test]
+    fn warm_start_good_prior_measures_fewer() {
+        let (x, y) = synthetic(200);
+        let cfg = MlConfig {
+            accuracy_threshold: 0.8,
+            ..Default::default()
+        };
+        let prior = RandomForest::fit(&x, &y, 2, &cfg.forest);
+        let cold = ml_driven(&x, MlTarget::RateLevels(2), |i| y[i], &cfg);
+        let warm = ml_driven_active(
+            &x,
+            MlTarget::RateLevels(2),
+            |i| y[i],
+            &cfg,
+            ActiveOptions {
+                prior: Some(&prior),
+                ordering: MlOrdering::Entropy,
+            },
+            |_, _| {},
+        );
+        assert!(warm.reached_threshold);
+        assert!(warm.used_prior);
+        assert!(
+            warm.measured.len() < cold.measured.len(),
+            "warm measured {} >= cold {}",
+            warm.measured.len(),
+            cold.measured.len()
+        );
+        // The prior's predictions on the skipped tail are mostly right.
+        let correct = warm.predicted.iter().filter(|(i, l)| *l == y[*i]).count();
+        assert!(correct as f64 / warm.predicted.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn warm_start_bad_prior_is_outraced_by_training() {
+        // A prior fit on inverted labels scores ~0 on the measured set;
+        // the trained model must win the stopping race and predict.
+        let (x, y) = synthetic(200);
+        let inverted: Vec<usize> = y.iter().map(|&l| 1 - l).collect();
+        let cfg = MlConfig {
+            accuracy_threshold: 0.8,
+            ..Default::default()
+        };
+        let prior = RandomForest::fit(&x, &inverted, 2, &cfg.forest);
+        let warm = ml_driven_active(
+            &x,
+            MlTarget::RateLevels(2),
+            |i| y[i],
+            &cfg,
+            ActiveOptions {
+                prior: Some(&prior),
+                ordering: MlOrdering::Scan,
+            },
+            |_, _| {},
+        );
+        assert!(!warm.used_prior);
+        assert!(warm.reached_threshold, "accuracy {}", warm.final_accuracy);
+        let correct = warm.predicted.iter().filter(|(i, l)| *l == y[*i]).count();
+        assert!(correct as f64 / warm.predicted.len().max(1) as f64 > 0.8);
+    }
+
+    #[test]
+    fn entropy_ordering_is_deterministic_and_exhaustive_on_noise() {
+        // Unlearnable labels: both orderings must degenerate to measuring
+        // everything, covering the same point set, and the entropy run
+        // must be reproducible.
+        let n = 60;
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 3) as f64]).collect();
+        let cfg = MlConfig {
+            accuracy_threshold: 0.95,
+            ..Default::default()
+        };
+        let run = || {
+            ml_driven_active(
+                &x,
+                MlTarget::RateLevels(2),
+                |i| (i * 7919 + 13) % 2,
+                &cfg,
+                ActiveOptions {
+                    prior: None,
+                    ordering: MlOrdering::Entropy,
+                },
+                |_, _| {},
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.measured, b.measured);
+        assert!(!a.reached_threshold);
+        assert_eq!(a.measured.len(), n);
+        let mut seen: Vec<usize> = a.measured.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_hook_reports_convergence_fields() {
+        let (x, y) = synthetic(100);
+        let cfg = MlConfig {
+            accuracy_threshold: 0.8,
+            ..Default::default()
+        };
+        let mut rounds = Vec::new();
+        let out = ml_driven_active(
+            &x,
+            MlTarget::RateLevels(2),
+            |i| y[i],
+            &cfg,
+            ActiveOptions::default(),
+            |r, forest| {
+                assert_eq!(r.oob_accuracy, forest.oob_accuracy());
+                rounds.push((r.round, r.measured, r.predicted, r.ordering));
+            },
+        );
+        assert_eq!(rounds.len(), out.rounds);
+        for (i, (round, measured, predicted, ordering)) in rounds.iter().enumerate() {
+            assert_eq!(*round, i + 1);
+            assert_eq!(measured + predicted, x.len());
+            assert_eq!(*ordering, MlOrdering::Scan);
+        }
+    }
+
+    #[test]
+    fn ordering_tokens_round_trip() {
+        for o in [MlOrdering::Scan, MlOrdering::Entropy] {
+            assert_eq!(MlOrdering::from_token(o.token()), Some(o));
+        }
+        assert_eq!(MlOrdering::from_token("best"), None);
     }
 }

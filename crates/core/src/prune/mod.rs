@@ -5,5 +5,8 @@ pub mod ml;
 pub mod semantic;
 
 pub use context::{context_prune, ContextPrune};
-pub use ml::{ml_driven, ml_driven_observed, MlConfig, MlOutcome, MlTarget};
+pub use ml::{
+    ml_driven, ml_driven_active, ml_driven_observed, ActiveOptions, MlConfig, MlOrdering,
+    MlOutcome, MlRound, MlTarget,
+};
 pub use semantic::{semantic_prune, SemanticPrune};

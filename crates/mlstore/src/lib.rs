@@ -1,0 +1,34 @@
+//! # fastfit-mlstore — the sensitivity model registry
+//!
+//! The ML-driven campaign (`fastfit::prune::ml`) trains a random forest
+//! that predicts a workload's fault sensitivity from static injection
+//! point features. That model is worth keeping: a forest trained on one
+//! campaign can *warm-start* the next (same workload re-measured under a
+//! different channel, or a sibling NPB kernel), letting the feedback
+//! loop stop after a single verification batch instead of re-learning
+//! from scratch.
+//!
+//! This crate stores those forests durably:
+//!
+//! - [`model`] — a versioned on-disk format (v1): the full tree arenas,
+//!   the feature schema they were fit over, and the campaign provenance
+//!   (workload, fault channel, transport, target). Decoding a v1 model
+//!   reproduces bit-identical predictions.
+//! - [`registry`] — a content-addressed, crash-tolerant registry:
+//!   `objects/<id>.json` written atomically (tmp + rename), an
+//!   append-only `index.jsonl` whose torn tail is repaired on open
+//!   exactly like the trial journal. The model ID is the SHA-256 of the
+//!   canonical encoding, so identical models dedupe and a corrupted
+//!   object is detectable on read.
+//!
+//! Warm-start resolution ([`ModelRegistry::resolve_auto`]) picks the
+//! newest registered model whose feature schema and prediction target
+//! match the campaign about to run — the deterministic "use whatever I
+//! learned last" policy the serve layer's `"warm_start": "auto"` maps
+//! to.
+
+pub mod model;
+pub mod registry;
+
+pub use model::{schema_hash, StoredModel, MODEL_FORMAT};
+pub use registry::{ModelEntry, ModelRegistry, INDEX_FILE, MODELS_DIR, OBJECTS_DIR};

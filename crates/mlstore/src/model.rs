@@ -1,0 +1,406 @@
+//! The versioned on-disk model format.
+//!
+//! A stored model is one canonical JSON document: sorted keys
+//! (`fastfit_store::json::Json` objects are BTree-backed), no
+//! insignificant whitespace, f64s encoded losslessly. The SHA-256 of
+//! that encoding is the model's identity, so format changes must bump
+//! [`MODEL_FORMAT`] — decoding refuses versions it does not know rather
+//! than guessing.
+//!
+//! v1 layout:
+//!
+//! ```json
+//! {
+//!   "channel": "param",
+//!   "features": ["kind", "param", ...],
+//!   "format": 1,
+//!   "n_classes": 3,
+//!   "n_features": 12,
+//!   "oob": 0.71,
+//!   "schema": "<sha256 of the feature-name list>",
+//!   "target": "rate_levels:3",
+//!   "transport": "plain",
+//!   "trees": [{"imp": [...], "nodes": [...]}, ...],
+//!   "workload": "is"
+//! }
+//! ```
+//!
+//! Tree nodes are the arena export of `randomforest::NodeSpec`: leaves
+//! `{"c": class, "n": [counts]}`, splits
+//! `{"f": feature, "l": left, "r": right, "x": threshold}`.
+
+use fastfit_store::id::sha256_hex;
+use fastfit_store::json::Json;
+use fastfit_store::StoreError;
+use randomforest::{DecisionTree, NodeSpec, RandomForest};
+
+/// Current on-disk format version.
+pub const MODEL_FORMAT: u64 = 1;
+
+/// Hash of a feature-name list — the schema identity two campaigns must
+/// share for a model trained on one to be meaningful on the other.
+pub fn schema_hash<S: AsRef<str>>(features: &[S]) -> String {
+    let joined = features
+        .iter()
+        .map(|s| s.as_ref())
+        .collect::<Vec<_>>()
+        .join("\n");
+    sha256_hex(joined.as_bytes())
+}
+
+/// A trained sensitivity model plus the provenance needed to decide
+/// whether it transfers to another campaign.
+#[derive(Debug, Clone)]
+pub struct StoredModel {
+    /// Workload the model was trained on (display name).
+    pub workload: String,
+    /// Fault channel token of the training campaign.
+    pub channel: String,
+    /// Transport token (`plain` | `resilient`).
+    pub transport: String,
+    /// Prediction target token (`error_type` | `rate_levels:k`).
+    pub target: String,
+    /// Feature names, in extractor order.
+    pub features: Vec<String>,
+    /// The forest itself.
+    pub forest: RandomForest,
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+fn node_to_json(n: &NodeSpec) -> Json {
+    match n {
+        NodeSpec::Leaf { class, counts } => Json::obj([
+            ("c", Json::U64(*class as u64)),
+            (
+                "n",
+                Json::Arr(counts.iter().map(|&c| Json::U64(c as u64)).collect()),
+            ),
+        ]),
+        NodeSpec::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => Json::obj([
+            ("f", Json::U64(*feature as u64)),
+            ("l", Json::U64(*left as u64)),
+            ("r", Json::U64(*right as u64)),
+            ("x", Json::F64(*threshold)),
+        ]),
+    }
+}
+
+fn node_from_json(v: &Json) -> Result<NodeSpec, StoreError> {
+    let u = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .map(|x| x as usize)
+            .ok_or_else(|| corrupt(format!("tree node missing {:?}", k)))
+    };
+    if v.get("f").is_some() {
+        Ok(NodeSpec::Split {
+            feature: u("f")?,
+            left: u("l")?,
+            right: u("r")?,
+            threshold: v
+                .get("x")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| corrupt("split node missing threshold"))?,
+        })
+    } else {
+        let counts = v
+            .get("n")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("leaf node missing counts"))?
+            .iter()
+            .map(|c| c.as_u64().map(|x| x as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| corrupt("leaf counts not integers"))?;
+        Ok(NodeSpec::Leaf {
+            class: u("c")?,
+            counts,
+        })
+    }
+}
+
+fn tree_to_json(t: &DecisionTree) -> Json {
+    Json::obj([
+        (
+            "imp",
+            Json::Arr(t.importances().iter().map(|&x| Json::F64(x)).collect()),
+        ),
+        (
+            "nodes",
+            Json::Arr(t.export_nodes().iter().map(node_to_json).collect()),
+        ),
+    ])
+}
+
+fn tree_from_json(
+    v: &Json,
+    n_features: usize,
+    n_classes: usize,
+) -> Result<DecisionTree, StoreError> {
+    let importance = v
+        .get("imp")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt("tree missing importances"))?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| corrupt("tree importances not numbers"))?;
+    let nodes = v
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt("tree missing nodes"))?
+        .iter()
+        .map(node_from_json)
+        .collect::<Result<Vec<NodeSpec>, StoreError>>()?;
+    DecisionTree::from_nodes(nodes, n_features, n_classes, importance).map_err(corrupt)
+}
+
+impl StoredModel {
+    /// The feature schema hash ([`schema_hash`] over `features`).
+    pub fn schema(&self) -> String {
+        schema_hash(&self.features)
+    }
+
+    /// Canonical JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("channel".into(), Json::Str(self.channel.clone()));
+        m.insert(
+            "features".into(),
+            Json::Arr(self.features.iter().map(|f| Json::Str(f.clone())).collect()),
+        );
+        m.insert("format".into(), Json::U64(MODEL_FORMAT));
+        m.insert(
+            "n_classes".into(),
+            Json::U64(self.forest.n_classes() as u64),
+        );
+        m.insert(
+            "n_features".into(),
+            Json::U64(self.forest.n_features() as u64),
+        );
+        m.insert(
+            "oob".into(),
+            self.forest
+                .oob_accuracy()
+                .map(Json::F64)
+                .unwrap_or(Json::Null),
+        );
+        m.insert("schema".into(), Json::Str(self.schema()));
+        m.insert("target".into(), Json::Str(self.target.clone()));
+        m.insert("transport".into(), Json::Str(self.transport.clone()));
+        m.insert(
+            "trees".into(),
+            Json::Arr(self.forest.trees().iter().map(tree_to_json).collect()),
+        );
+        m.insert("workload".into(), Json::Str(self.workload.clone()));
+        Json::Obj(m)
+    }
+
+    /// Canonical encoding — the bytes the model ID is the SHA-256 of.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Content-addressed model ID.
+    pub fn id(&self) -> String {
+        sha256_hex(self.encode().as_bytes())
+    }
+
+    /// Decode a v1 document. Rejects unknown format versions and any
+    /// structural inconsistency (tree shapes, feature counts, schema
+    /// hash drift) rather than constructing a forest that would predict
+    /// garbage.
+    pub fn from_json(v: &Json) -> Result<StoredModel, StoreError> {
+        let format = v
+            .get("format")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("model missing format"))?;
+        if format != MODEL_FORMAT {
+            return Err(StoreError::Mismatch(format!(
+                "model format {} is not supported (this build reads v{})",
+                format, MODEL_FORMAT
+            )));
+        }
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| corrupt(format!("model missing {:?}", k)))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .map(|x| x as usize)
+                .ok_or_else(|| corrupt(format!("model missing {:?}", k)))
+        };
+        let features = v
+            .get("features")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("model missing features"))?
+            .iter()
+            .map(|f| f.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()
+            .ok_or_else(|| corrupt("model features not strings"))?;
+        let n_features = u("n_features")?;
+        let n_classes = u("n_classes")?;
+        if features.len() != n_features {
+            return Err(corrupt(format!(
+                "model lists {} feature names for {} features",
+                features.len(),
+                n_features
+            )));
+        }
+        if s("schema")? != schema_hash(&features) {
+            return Err(corrupt("model schema hash does not match its features"));
+        }
+        let trees = v
+            .get("trees")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("model missing trees"))?
+            .iter()
+            .map(|t| tree_from_json(t, n_features, n_classes))
+            .collect::<Result<Vec<DecisionTree>, StoreError>>()?;
+        let oob = v.get("oob").and_then(Json::as_f64);
+        let forest =
+            RandomForest::from_parts(trees, n_classes, n_features, oob).map_err(corrupt)?;
+        Ok(StoredModel {
+            workload: s("workload")?,
+            channel: s("channel")?,
+            transport: s("transport")?,
+            target: s("target")?,
+            features,
+            forest,
+        })
+    }
+
+    /// Parse from the canonical encoding.
+    pub fn decode(text: &str) -> Result<StoredModel, StoreError> {
+        StoredModel::from_json(&Json::parse(text).map_err(StoreError::Json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randomforest::ForestParams;
+
+    pub(crate) fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Deterministic, mildly noisy two-feature blobs.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let wob = ((i * 2654435761) % 97) as f64 / 97.0;
+            let cls = i % 3;
+            x.push(vec![cls as f64 + 0.4 * wob, (2 - cls) as f64 - 0.3 * wob]);
+            y.push(cls);
+        }
+        (x, y)
+    }
+
+    pub(crate) fn sample_model() -> StoredModel {
+        let (x, y) = training_set(120);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            3,
+            &ForestParams {
+                n_trees: 7,
+                seed: 0x0DE1,
+                ..Default::default()
+            },
+        );
+        StoredModel {
+            workload: "unit".into(),
+            channel: "param".into(),
+            transport: "plain".into(),
+            target: "rate_levels:3".into(),
+            features: vec!["a".into(), "b".into()],
+            forest,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let m = sample_model();
+        let doc = m.encode();
+        let back = StoredModel::decode(&doc).unwrap();
+        // The decoded model re-encodes to the same bytes (same ID) and
+        // predicts identically everywhere on a grid.
+        assert_eq!(back.encode(), doc);
+        assert_eq!(back.id(), m.id());
+        for i in 0..60 {
+            let row = vec![(i % 10) as f64 * 0.33, (i / 10) as f64 * 0.47];
+            assert_eq!(m.forest.predict(&row), back.forest.predict(&row), "{row:?}");
+            assert_eq!(
+                m.forest.predict_proba(&row),
+                back.forest.predict_proba(&row)
+            );
+        }
+        assert_eq!(back.forest.oob_accuracy(), m.forest.oob_accuracy());
+    }
+
+    #[test]
+    fn unknown_format_is_refused() {
+        let m = sample_model();
+        let mut v = m.to_json();
+        if let Json::Obj(map) = &mut v {
+            map.insert("format".into(), Json::U64(99));
+        }
+        match StoredModel::from_json(&v) {
+            Err(StoreError::Mismatch(msg)) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn tampered_documents_are_refused() {
+        let m = sample_model();
+        // Schema hash no longer matching the feature list.
+        let mut v = m.to_json();
+        if let Json::Obj(map) = &mut v {
+            map.insert("schema".into(), Json::Str("0".repeat(64)));
+        }
+        assert!(matches!(
+            StoredModel::from_json(&v),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Feature-name count disagreeing with n_features.
+        let mut v = m.to_json();
+        if let Json::Obj(map) = &mut v {
+            map.insert("features".into(), Json::Arr(vec![Json::Str("a".into())]));
+        }
+        assert!(matches!(
+            StoredModel::from_json(&v),
+            Err(StoreError::Corrupt(_))
+        ));
+        // A tree node pointing at a malformed child index.
+        let mut v = m.to_json();
+        if let Json::Obj(map) = &mut v {
+            let trees = map.get_mut("trees").unwrap();
+            if let Json::Arr(ts) = trees {
+                if let Json::Obj(t0) = &mut ts[0] {
+                    t0.insert("nodes".into(), Json::Arr(vec![]));
+                }
+            }
+        }
+        assert!(matches!(
+            StoredModel::from_json(&v),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn schema_hash_is_order_sensitive() {
+        let a = schema_hash(&["kind", "param"]);
+        assert_eq!(a, schema_hash(&["kind", "param"]));
+        assert_ne!(a, schema_hash(&["param", "kind"]));
+        assert_ne!(a, schema_hash(&["kind"]));
+    }
+}

@@ -1,0 +1,452 @@
+//! The crash-tolerant model registry.
+//!
+//! ```text
+//! <root>/index.jsonl        append-only index (one entry per model)
+//! <root>/objects/<id>.json  canonical model documents (tmp + rename)
+//! ```
+//!
+//! Durability follows the trial journal's discipline. An object is
+//! written to a temp file and renamed into place, so a reader never
+//! sees a partial document. The index is appended after the object
+//! lands and fsynced; a crash between the two leaves an unindexed
+//! object (harmless — re-registering dedupes by ID). A crash *during*
+//! the index append leaves a torn final line, which
+//! [`ModelRegistry::open`] truncates away exactly like
+//! `repair_journal`; corruption anywhere else is refused loudly.
+
+use crate::model::StoredModel;
+use fastfit_store::id::sha256_hex;
+use fastfit_store::json::Json;
+use fastfit_store::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Index file name inside the registry root.
+pub const INDEX_FILE: &str = "index.jsonl";
+/// Object directory name inside the registry root.
+pub const OBJECTS_DIR: &str = "objects";
+/// Conventional registry root inside a campaign store root (the serve
+/// layer and CLI both put the registry at `<store root>/models/`).
+pub const MODELS_DIR: &str = "models";
+
+/// One index entry: everything warm-start resolution needs without
+/// loading the (much larger) model document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEntry {
+    /// Content-addressed model ID.
+    pub id: String,
+    /// Training workload.
+    pub workload: String,
+    /// Feature schema hash.
+    pub schema: String,
+    /// Fault channel token.
+    pub channel: String,
+    /// Transport token.
+    pub transport: String,
+    /// Prediction target token.
+    pub target: String,
+    /// Feature count.
+    pub n_features: usize,
+    /// Class count.
+    pub n_classes: usize,
+    /// Out-of-bag accuracy of the stored forest.
+    pub oob: Option<f64>,
+}
+
+impl ModelEntry {
+    /// Encode as one index line (canonical object; sorted keys).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("channel", Json::Str(self.channel.clone())),
+            ("id", Json::Str(self.id.clone())),
+            ("n_classes", Json::U64(self.n_classes as u64)),
+            ("n_features", Json::U64(self.n_features as u64)),
+            ("oob", self.oob.map(Json::F64).unwrap_or(Json::Null)),
+            ("schema", Json::Str(self.schema.clone())),
+            ("target", Json::Str(self.target.clone())),
+            ("transport", Json::Str(self.transport.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+        ])
+    }
+
+    /// Decode one index line.
+    pub fn from_json(v: &Json) -> Result<ModelEntry, StoreError> {
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::Corrupt(format!("index entry missing {:?}", k)))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .map(|x| x as usize)
+                .ok_or_else(|| StoreError::Corrupt(format!("index entry missing {:?}", k)))
+        };
+        Ok(ModelEntry {
+            id: s("id")?,
+            workload: s("workload")?,
+            schema: s("schema")?,
+            channel: s("channel")?,
+            transport: s("transport")?,
+            target: s("target")?,
+            n_features: u("n_features")?,
+            n_classes: u("n_classes")?,
+            oob: v.get("oob").and_then(Json::as_f64),
+        })
+    }
+
+    fn for_model(model: &StoredModel, id: String) -> ModelEntry {
+        ModelEntry {
+            id,
+            workload: model.workload.clone(),
+            schema: model.schema(),
+            channel: model.channel.clone(),
+            transport: model.transport.clone(),
+            target: model.target.clone(),
+            n_features: model.forest.n_features(),
+            n_classes: model.forest.n_classes(),
+            oob: model.forest.oob_accuracy(),
+        }
+    }
+}
+
+/// Directory-backed model registry.
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+fn valid_id(id: &str) -> bool {
+    id.len() == 64 && id.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl ModelRegistry {
+    /// Open (creating if needed) a registry at `root`, repairing a torn
+    /// index tail left by a crash mid-append.
+    pub fn open(root: &Path) -> Result<ModelRegistry, StoreError> {
+        std::fs::create_dir_all(root.join(OBJECTS_DIR)).map_err(StoreError::Io)?;
+        let reg = ModelRegistry {
+            root: root.to_path_buf(),
+        };
+        let index = reg.index_path();
+        if index.exists() {
+            let (_, truncated, valid_len) = read_index(&index)?;
+            if truncated {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&index)
+                    .map_err(StoreError::Io)?;
+                f.set_len(valid_len).map_err(StoreError::Io)?;
+                f.sync_data().map_err(StoreError::Io)?;
+            }
+        }
+        Ok(reg)
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join(INDEX_FILE)
+    }
+
+    fn object_path(&self, id: &str) -> PathBuf {
+        self.root.join(OBJECTS_DIR).join(format!("{id}.json"))
+    }
+
+    /// All registered models, in registration order (oldest first). A
+    /// torn tail (concurrent writer mid-append) is ignored, not
+    /// repaired — only `open` mutates the index for that.
+    pub fn list(&self) -> Result<Vec<ModelEntry>, StoreError> {
+        let index = self.index_path();
+        if !index.exists() {
+            return Ok(Vec::new());
+        }
+        Ok(read_index(&index)?.0)
+    }
+
+    /// Register a model: write its object atomically, then append an
+    /// index entry. Content-addressed, so registering the same model
+    /// twice is a no-op returning the same ID — each ML round can
+    /// persist its forest without growing the index when training has
+    /// converged.
+    pub fn put(&self, model: &StoredModel) -> Result<String, StoreError> {
+        let doc = model.encode();
+        let id = sha256_hex(doc.as_bytes());
+        let object = self.object_path(&id);
+        if !object.exists() {
+            let tmp = self
+                .root
+                .join(OBJECTS_DIR)
+                .join(format!(".{}.json.tmp", &id[..16]));
+            {
+                let mut f = File::create(&tmp).map_err(StoreError::Io)?;
+                f.write_all(doc.as_bytes())
+                    .and_then(|_| f.write_all(b"\n"))
+                    .and_then(|_| f.sync_data())
+                    .map_err(StoreError::Io)?;
+            }
+            std::fs::rename(&tmp, &object).map_err(StoreError::Io)?;
+        }
+        if !self.list()?.iter().any(|e| e.id == id) {
+            let line = ModelEntry::for_model(model, id.clone()).to_json().encode();
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.index_path())
+                .map_err(StoreError::Io)?;
+            f.write_all(line.as_bytes())
+                .and_then(|_| f.write_all(b"\n"))
+                .and_then(|_| f.sync_data())
+                .map_err(StoreError::Io)?;
+        }
+        Ok(id)
+    }
+
+    /// Load a model by ID, verifying the document hashes back to it.
+    pub fn get(&self, id: &str) -> Result<StoredModel, StoreError> {
+        if !valid_id(id) {
+            return Err(StoreError::Mismatch(format!(
+                "{:?} is not a model ID (64 hex digits)",
+                id
+            )));
+        }
+        let mut text = String::new();
+        File::open(self.object_path(id))
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(StoreError::Io)?;
+        let doc = text.trim_end_matches('\n');
+        if sha256_hex(doc.as_bytes()) != id {
+            return Err(StoreError::Corrupt(format!(
+                "model object {} does not hash to its ID",
+                &id[..16]
+            )));
+        }
+        StoredModel::decode(doc)
+    }
+
+    /// The index entry for `id`, if registered.
+    pub fn entry(&self, id: &str) -> Result<Option<ModelEntry>, StoreError> {
+        Ok(self.list()?.into_iter().find(|e| e.id == id))
+    }
+
+    /// Resolve `"auto"` warm-start: the *newest* (latest-registered)
+    /// model whose feature schema and prediction target match the
+    /// campaign about to run. Deterministic given the index contents —
+    /// no clocks involved, registration order is the recency order.
+    pub fn resolve_auto(
+        &self,
+        schema: &str,
+        target: &str,
+    ) -> Result<Option<ModelEntry>, StoreError> {
+        Ok(self
+            .list()?
+            .into_iter()
+            .rev()
+            .find(|e| e.schema == schema && e.target == target))
+    }
+}
+
+/// Read the index: entries, whether the final line was torn, and the
+/// byte length of the valid prefix. Mirrors the journal reader: only
+/// the last non-empty line may be damaged.
+fn read_index(path: &Path) -> Result<(Vec<ModelEntry>, bool, u64), StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StoreError::Io)?;
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let blank = |l: &[u8]| l.iter().all(|b| b.is_ascii_whitespace());
+    let last_nonempty = lines.iter().rposition(|l| !blank(l));
+    let mut entries = Vec::new();
+    let mut truncated = false;
+    let mut offset = 0u64;
+    let mut valid_len = 0u64;
+    for (i, raw) in lines.iter().enumerate() {
+        let line_len = raw.len() as u64 + u64::from(i + 1 < lines.len());
+        if blank(raw) {
+            offset += line_len;
+            valid_len = valid_len.max(offset);
+            continue;
+        }
+        let entry = std::str::from_utf8(raw)
+            .map_err(|e| StoreError::Corrupt(format!("not UTF-8: {}", e)))
+            .and_then(|line| Json::parse(line.trim()).map_err(StoreError::Json))
+            .and_then(|v| ModelEntry::from_json(&v));
+        match entry {
+            Ok(e) => {
+                offset += line_len;
+                valid_len = valid_len.max(offset);
+                entries.push(e);
+            }
+            Err(e) if Some(i) == last_nonempty => {
+                let _ = e; // crash mid-append: drop the torn tail
+                truncated = true;
+                break;
+            }
+            Err(e) => {
+                return Err(StoreError::Corrupt(format!(
+                    "model index line {} unreadable: {}",
+                    i + 1,
+                    e
+                )));
+            }
+        }
+    }
+    Ok((entries, truncated, valid_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randomforest::{ForestParams, RandomForest};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fastfit-mlstore-{}-{}-{:?}",
+            tag,
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn model(workload: &str, seed: u64) -> StoredModel {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            let cls = i % 3;
+            x.push(vec![cls as f64, (i % 7) as f64 * 0.1]);
+            y.push(cls);
+        }
+        StoredModel {
+            workload: workload.into(),
+            channel: "param".into(),
+            transport: "plain".into(),
+            target: "rate_levels:3".into(),
+            features: vec!["a".into(), "b".into()],
+            forest: RandomForest::fit(
+                &x,
+                &y,
+                3,
+                &ForestParams {
+                    n_trees: 5,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedupe() {
+        let dir = scratch("putget");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let m = model("is", 1);
+        let id = reg.put(&m).unwrap();
+        assert_eq!(id, m.id());
+        // Idempotent: same model, same ID, index unchanged.
+        assert_eq!(reg.put(&m).unwrap(), id);
+        assert_eq!(reg.list().unwrap().len(), 1);
+        let back = reg.get(&id).unwrap();
+        assert_eq!(back.encode(), m.encode());
+        assert_eq!(back.workload, "is");
+        // Entry carries the provenance without loading the object.
+        let e = reg.entry(&id).unwrap().unwrap();
+        assert_eq!(e.schema, m.schema());
+        assert_eq!(e.target, "rate_levels:3");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_and_missing_ids_are_refused() {
+        let dir = scratch("badid");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(matches!(
+            reg.get("../../etc/passwd"),
+            Err(StoreError::Mismatch(_))
+        ));
+        assert!(matches!(reg.get(&"a".repeat(64)), Err(StoreError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_object_is_detected() {
+        let dir = scratch("tamper");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let id = reg.put(&model("is", 2)).unwrap();
+        let path = dir.join(OBJECTS_DIR).join(format!("{id}.json"));
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"workload\":\"is\"", "\"workload\":\"ft\"");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(reg.get(&id), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_index_tail_is_repaired_on_open() {
+        let dir = scratch("torn");
+        let (id1, id2);
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            id1 = reg.put(&model("is", 3)).unwrap();
+            id2 = reg.put(&model("ft", 4)).unwrap();
+        }
+        // Crash mid-append: chop the index mid-line.
+        let index = dir.join(INDEX_FILE);
+        let bytes = std::fs::read(&index).unwrap();
+        std::fs::write(&index, &bytes[..bytes.len() - 9]).unwrap();
+        // Reopen repairs: the torn entry is gone, the first survives,
+        // and appends land on a fresh line.
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let entries = reg.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].id, id1);
+        let id2_again = reg.put(&model("ft", 4)).unwrap();
+        assert_eq!(id2_again, id2, "object survived; re-put reindexes it");
+        assert_eq!(reg.list().unwrap().len(), 2);
+        // Mid-file corruption is never forgiven.
+        let mut lines: Vec<String> = std::fs::read_to_string(&index)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines[0] = "{\"id\":oops".into();
+        std::fs::write(&index, lines.join("\n") + "\n").unwrap();
+        assert!(matches!(reg.list(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resolve_auto_is_newest_compatible_and_deterministic() {
+        let dir = scratch("auto");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let a = model("is", 5);
+        let b = model("ft", 6);
+        let schema = a.schema();
+        reg.put(&a).unwrap();
+        let id_b = reg.put(&b).unwrap();
+        // Newest matching wins: b registered after a.
+        let hit = reg.resolve_auto(&schema, "rate_levels:3").unwrap().unwrap();
+        assert_eq!(hit.id, id_b);
+        // Stable across repeated resolutions and reopens.
+        let reg2 = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(
+            reg2.resolve_auto(&schema, "rate_levels:3")
+                .unwrap()
+                .unwrap(),
+            hit
+        );
+        // No match on a different target or schema.
+        assert!(reg.resolve_auto(&schema, "error_type").unwrap().is_none());
+        assert!(reg
+            .resolve_auto(&"0".repeat(64), "rate_levels:3")
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

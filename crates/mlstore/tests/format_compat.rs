@@ -1,0 +1,128 @@
+//! Back-compatibility against a committed v1 model document.
+//!
+//! `tests/fixtures/model_v1.json` is a registry document minted when the
+//! format was introduced, together with an evaluation grid and the
+//! predictions the forest made on it at mint time. Every future version
+//! of the crate must keep loading that document and predicting the same
+//! labels bit for bit — warm-started campaigns replay their journals on
+//! the strength of exactly this guarantee. When a new format version is
+//! minted, add a new fixture; never regenerate this one over a behaviour
+//! change.
+
+use fastfit_mlstore::StoredModel;
+use fastfit_store::json::Json;
+use randomforest::{ForestParams, RandomForest};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.json")
+}
+
+/// The evaluation grid frozen into the fixture: covers all three classes
+/// and both features, including points far from the training blobs.
+fn eval_grid() -> Vec<Vec<f64>> {
+    (0..60)
+        .map(|i| vec![(i % 10) as f64 * 0.33, (i / 10) as f64 * 0.47])
+        .collect()
+}
+
+/// The model the fixture was minted from: deterministic three-class
+/// blobs, a 7-tree forest with a pinned seed.
+fn train_v1_model() -> StoredModel {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..120 {
+        let wob = ((i * 2654435761usize) % 97) as f64 / 97.0;
+        let cls = i % 3;
+        x.push(vec![cls as f64 + 0.4 * wob, (2 - cls) as f64 - 0.3 * wob]);
+        y.push(cls);
+    }
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        3,
+        &ForestParams {
+            n_trees: 7,
+            seed: 0x0DE1,
+            ..Default::default()
+        },
+    );
+    StoredModel {
+        workload: "unit".into(),
+        channel: "param".into(),
+        transport: "plain".into(),
+        target: "rate_levels:3".into(),
+        features: vec!["a".into(), "b".into()],
+        forest,
+    }
+}
+
+#[test]
+fn committed_v1_document_loads_and_predicts_identically() {
+    let text = std::fs::read_to_string(fixture_path()).expect(
+        "missing tests/fixtures/model_v1.json — regenerate once with \
+         `cargo test -p fastfit-mlstore -- --ignored regenerate_v1_fixture`",
+    );
+    let v = Json::parse(&text).expect("fixture parses");
+    let model_doc = v.get("model").expect("fixture has a model");
+    let model = StoredModel::from_json(model_doc).expect("v1 document still loads");
+
+    // The committed document is canonical: re-encoding the loaded model
+    // reproduces it byte for byte, so its registry ID is stable across
+    // releases.
+    assert_eq!(model.encode(), model_doc.encode());
+
+    // Bit-identical predictions on the frozen evaluation grid.
+    let eval: Vec<Vec<f64>> = v
+        .get("eval")
+        .and_then(Json::as_arr)
+        .expect("fixture has eval rows")
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .expect("eval row is an array")
+                .iter()
+                .map(|x| x.as_f64().expect("eval value is numeric"))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<usize> = v
+        .get("expected")
+        .and_then(Json::as_arr)
+        .expect("fixture has expected labels")
+        .iter()
+        .map(|x| x.as_u64().expect("label is an integer") as usize)
+        .collect();
+    assert_eq!(eval.len(), expected.len());
+    assert!(!eval.is_empty());
+    for (row, want) in eval.iter().zip(&expected) {
+        assert_eq!(model.forest.predict(row), *want, "row {row:?}");
+    }
+}
+
+#[test]
+#[ignore = "mints the committed fixture; run once per new format version, never over a behaviour change"]
+fn regenerate_v1_fixture() {
+    let model = train_v1_model();
+    let eval = eval_grid();
+    let expected: Vec<usize> = eval.iter().map(|r| model.forest.predict(r)).collect();
+    let doc = Json::obj([
+        (
+            "eval",
+            Json::Arr(
+                eval.iter()
+                    .map(|r| Json::Arr(r.iter().map(|&x| Json::F64(x)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "expected",
+            Json::Arr(expected.iter().map(|&p| Json::U64(p as u64)).collect()),
+        ),
+        ("model", model.to_json()),
+    ]);
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, doc.encode() + "\n").unwrap();
+    println!("wrote {}", path.display());
+}

@@ -120,6 +120,63 @@ impl RandomForest {
         self.oob_accuracy
     }
 
+    /// Number of classes the forest predicts.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features the forest was fit on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Rebuild a forest from deserialized trees. Every tree must agree
+    /// with the stated feature/class dimensions — a forest mixing
+    /// differently-shaped trees would index rows out of bounds.
+    pub fn from_parts(
+        trees: Vec<DecisionTree>,
+        n_classes: usize,
+        n_features: usize,
+        oob_accuracy: Option<f64>,
+    ) -> Result<Self, String> {
+        if trees.is_empty() {
+            return Err("forest has no trees".into());
+        }
+        if n_classes == 0 {
+            return Err("forest has zero classes".into());
+        }
+        for (i, t) in trees.iter().enumerate() {
+            if t.n_features() != n_features || t.n_classes() != n_classes {
+                return Err(format!(
+                    "tree {} is shaped {}x{}, forest is {}x{}",
+                    i,
+                    t.n_features(),
+                    t.n_classes(),
+                    n_features,
+                    n_classes
+                ));
+            }
+        }
+        Ok(RandomForest {
+            trees,
+            n_classes,
+            n_features,
+            oob_accuracy,
+        })
+    }
+
+    /// Shannon entropy (nats) of the vote distribution for one row: 0
+    /// when every tree agrees, `ln(n_classes)` at maximal disagreement.
+    /// The active-learning loop measures high-entropy points first —
+    /// they are the ones the forest is least sure about.
+    pub fn vote_entropy(&self, row: &[f64]) -> f64 {
+        self.predict_proba(row)
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+
     /// Majority-vote prediction for one row.
     pub fn predict(&self, row: &[f64]) -> usize {
         let mut votes = vec![0usize; self.n_classes];
@@ -250,6 +307,54 @@ mod tests {
         let b = RandomForest::fit(&x, &y, 2, &p);
         for row in &x {
             assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trip_predicts_identically() {
+        let (x, y) = blobs(120);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        let back = RandomForest::from_parts(
+            f.trees().to_vec(),
+            f.n_classes(),
+            f.n_features(),
+            f.oob_accuracy(),
+        )
+        .unwrap();
+        for row in &x {
+            assert_eq!(f.predict(row), back.predict(row));
+            assert_eq!(f.predict_proba(row), back.predict_proba(row));
+        }
+        assert_eq!(f.oob_accuracy(), back.oob_accuracy());
+    }
+
+    #[test]
+    fn from_parts_rejects_shape_mismatch() {
+        let (x, y) = blobs(60);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        assert!(RandomForest::from_parts(vec![], 2, 2, None).is_err());
+        assert!(RandomForest::from_parts(f.trees().to_vec(), 3, 2, None).is_err());
+        assert!(RandomForest::from_parts(f.trees().to_vec(), 2, 5, None).is_err());
+    }
+
+    #[test]
+    fn vote_entropy_orders_certainty() {
+        let (x, y) = blobs(200);
+        let f = RandomForest::fit(&x, &y, 2, &ForestParams::default());
+        // Deep inside a blob every tree agrees; on the decision boundary
+        // the votes split and the entropy rises.
+        let confident = f.vote_entropy(&x[0]);
+        let boundary = f.vote_entropy(&[0.5, 0.5]);
+        assert!(confident >= 0.0 && boundary <= 2.0_f64.ln() + 1e-9);
+        assert!(
+            boundary >= confident,
+            "boundary {} < confident {}",
+            boundary,
+            confident
+        );
+        // Unanimous votes give exactly zero entropy.
+        if f.predict_proba(&x[0]).contains(&1.0) {
+            assert_eq!(confident, 0.0);
         }
     }
 

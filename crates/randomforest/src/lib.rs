@@ -42,4 +42,4 @@ pub use stats::{
     correlation_eq1, correlation_literal, gaussian_fit, histogram, mean, pearson, stddev,
     GaussianFit,
 };
-pub use tree::{DecisionTree, TreeParams};
+pub use tree::{DecisionTree, NodeSpec, TreeParams};

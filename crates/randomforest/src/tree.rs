@@ -49,6 +49,23 @@ enum Node {
     },
 }
 
+/// A node in exported (serializable) form: the public mirror of the
+/// private arena node. Produced by [`DecisionTree::export_nodes`] and
+/// consumed by [`DecisionTree::from_nodes`]; the model registry's
+/// on-disk format is built on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeSpec {
+    /// Terminal node: majority class plus the class histogram.
+    Leaf { class: usize, counts: Vec<usize> },
+    /// Internal node: `row[feature] <= threshold` goes left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
 /// A trained CART classifier.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
@@ -268,6 +285,134 @@ impl DecisionTree {
         &self.importance
     }
 
+    /// Number of features the tree was fit on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes the tree was fit on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The node arena in serializable form, root at index 0. Together
+    /// with [`DecisionTree::from_nodes`] this is the tree's on-disk
+    /// representation seam: `from_nodes(export_nodes())` rebuilds a tree
+    /// with bit-identical predictions.
+    pub fn export_nodes(&self) -> Vec<NodeSpec> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { class, counts } => NodeSpec::Leaf {
+                    class: *class,
+                    counts: counts.clone(),
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => NodeSpec::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from an exported node arena. Every structural
+    /// invariant the grower guarantees is re-checked here, because the
+    /// arena may come from an untrusted file: child indices must point
+    /// forward (so prediction provably terminates), features and classes
+    /// must be in range, and leaf histograms must have one bin per class.
+    pub fn from_nodes(
+        nodes: Vec<NodeSpec>,
+        n_features: usize,
+        n_classes: usize,
+        importance: Vec<f64>,
+    ) -> Result<Self, String> {
+        if nodes.is_empty() {
+            return Err("tree has no nodes".into());
+        }
+        if importance.len() != n_features {
+            return Err(format!(
+                "importance has {} entries for {} features",
+                importance.len(),
+                n_features
+            ));
+        }
+        for (at, n) in nodes.iter().enumerate() {
+            match n {
+                NodeSpec::Leaf { class, counts } => {
+                    if *class >= n_classes {
+                        return Err(format!("leaf {} has class {} >= {}", at, class, n_classes));
+                    }
+                    if counts.len() != n_classes {
+                        return Err(format!(
+                            "leaf {} has {} count bins for {} classes",
+                            at,
+                            counts.len(),
+                            n_classes
+                        ));
+                    }
+                }
+                NodeSpec::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if *feature >= n_features {
+                        return Err(format!(
+                            "split {} tests feature {} >= {}",
+                            at, feature, n_features
+                        ));
+                    }
+                    if !threshold.is_finite() {
+                        return Err(format!("split {} has non-finite threshold", at));
+                    }
+                    // Forward-only children make the arena a DAG rooted
+                    // at 0: prediction cannot loop.
+                    if *left <= at || *right <= at || *left >= nodes.len() || *right >= nodes.len()
+                    {
+                        return Err(format!(
+                            "split {} has out-of-order children ({}, {}) in {} nodes",
+                            at,
+                            left,
+                            right,
+                            nodes.len()
+                        ));
+                    }
+                }
+            }
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                NodeSpec::Leaf { class, counts } => Node::Leaf { class, counts },
+                NodeSpec::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect();
+        Ok(DecisionTree {
+            nodes,
+            n_features,
+            n_classes,
+            importance,
+        })
+    }
+
     /// Render the tree as indented text (the paper's Figure 4 analog).
     /// `feature_names[f]` labels splits; `class_names[c]` labels leaves.
     pub fn render(&self, feature_names: &[&str], class_names: &[&str]) -> String {
@@ -398,6 +543,75 @@ mod tests {
         let s = t.render(&["nDiffStack"], &["low", "high"]);
         assert!(s.contains("nDiffStack"));
         assert!(s.contains("low") && s.contains("high"));
+    }
+
+    #[test]
+    fn export_import_round_trip_predicts_identically() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| (i / 20) % 3).collect();
+        let t = DecisionTree::fit(&x, &y, 3, &TreeParams::default(), &mut rng());
+        let back = DecisionTree::from_nodes(
+            t.export_nodes(),
+            t.n_features(),
+            t.n_classes(),
+            t.importances().to_vec(),
+        )
+        .unwrap();
+        for row in &x {
+            assert_eq!(t.predict(row), back.predict(row));
+        }
+        assert_eq!(t.importances(), back.importances());
+        assert_eq!(t.size(), back.size());
+    }
+
+    #[test]
+    fn from_nodes_rejects_malformed_arenas() {
+        // Empty arena.
+        assert!(DecisionTree::from_nodes(vec![], 1, 2, vec![0.0]).is_err());
+        // Backward child edge (would loop forever in predict).
+        let cyclic = vec![
+            NodeSpec::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: 0,
+                right: 1,
+            },
+            NodeSpec::Leaf {
+                class: 0,
+                counts: vec![1, 0],
+            },
+        ];
+        assert!(DecisionTree::from_nodes(cyclic, 1, 2, vec![0.0]).is_err());
+        // Feature index out of range.
+        let bad_feature = vec![
+            NodeSpec::Split {
+                feature: 3,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            NodeSpec::Leaf {
+                class: 0,
+                counts: vec![1, 0],
+            },
+            NodeSpec::Leaf {
+                class: 1,
+                counts: vec![0, 1],
+            },
+        ];
+        assert!(DecisionTree::from_nodes(bad_feature, 1, 2, vec![0.0]).is_err());
+        // Leaf histogram with the wrong number of bins.
+        let bad_counts = vec![NodeSpec::Leaf {
+            class: 0,
+            counts: vec![1],
+        }];
+        assert!(DecisionTree::from_nodes(bad_counts, 1, 2, vec![0.0]).is_err());
+        // Importance vector length must match the feature count.
+        let leaf = vec![NodeSpec::Leaf {
+            class: 0,
+            counts: vec![1, 0],
+        }];
+        assert!(DecisionTree::from_nodes(leaf, 2, 2, vec![0.0]).is_err());
     }
 
     #[test]

@@ -37,13 +37,16 @@ use crate::spec::CampaignSpec;
 use crate::workload::{resolve_config, resolve_ml, resolve_workload, validate_spec};
 use fastfit::observe::{CampaignObserver, CampaignPhase, NullObserver, ProgressEvent};
 use fastfit::prelude::{
-    ml_driven_observed, points_csv, Campaign, CancelToken, InjectionPoint, Levels, MlConfig,
-    MlTarget, PointResult, TrialDisposition,
+    ml_driven_active, points_csv, ActiveOptions, Campaign, CancelToken, InjectionPoint, Levels,
+    MlConfig, MlOrdering, MlTarget, PointResult, TrialDisposition, FEATURE_NAMES,
 };
+use fastfit_mlstore::{schema_hash, ModelRegistry, StoredModel, MODELS_DIR};
 use fastfit_scenario::{filter_by_cost, ConcreteScenario, Grammar};
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
-use fastfit_store::{campaign_meta, CampaignState, CampaignStore, StoreError};
+use fastfit_store::{
+    campaign_meta_ml, ml_target_token, CampaignState, CampaignStore, MlIdentity, StoreError,
+};
 use simmpi::arena::ArenaPool;
 use simmpi::sched::Engine;
 use std::collections::HashMap;
@@ -214,6 +217,39 @@ impl Daemon {
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The daemon's model registry (`<root>/models/`), shared by ML
+    /// campaign warm starts and the `/models` routes.
+    pub(crate) fn model_registry(&self) -> Result<ModelRegistry, StoreError> {
+        ModelRegistry::open(&self.cfg.root.join(MODELS_DIR))
+    }
+
+    /// Handle `GET /models`.
+    fn models_list(&self) -> (u16, Json) {
+        match self.model_registry().and_then(|r| r.list()) {
+            Ok(entries) => (
+                200,
+                Json::obj([(
+                    "models",
+                    Json::Arr(entries.iter().map(|e| e.to_json()).collect()),
+                )]),
+            ),
+            Err(e) => (500, err_json(&format!("model registry error: {e}"))),
+        }
+    }
+
+    /// Handle `GET /models/{id}`: the canonical model document.
+    fn model_get(&self, id: &str) -> Result<String, (u16, Json)> {
+        let registry = self
+            .model_registry()
+            .map_err(|e| (500, err_json(&format!("model registry error: {e}"))))?;
+        match registry.get(id) {
+            Ok(model) => Ok(model.encode() + "\n"),
+            Err(StoreError::Mismatch(msg)) => Err((400, err_json(&msg))),
+            Err(StoreError::Io(_)) => Err((404, err_json("no such model"))),
+            Err(e) => Err((500, err_json(&format!("model registry error: {e}")))),
+        }
     }
 
     pub(crate) fn pool_for(&self, ranks: usize) -> Arc<ArenaPool> {
@@ -714,11 +750,62 @@ impl Daemon {
         campaign.set_cancel_token(token);
         let dir = self.campaign_dir(id);
         let ml = resolve_ml(spec);
-        let (points, ml_ref): (Vec<InjectionPoint>, _) = match &ml {
-            Some((target, ml_cfg)) => (campaign.invocation_points(), Some((*target, ml_cfg))),
-            None => (campaign.points().to_vec(), None),
+        let points: Vec<InjectionPoint> = match &ml {
+            Some(_) => campaign.invocation_points(),
+            None => campaign.points().to_vec(),
         };
-        let meta = campaign_meta(&campaign, &points, ml_ref);
+        // Resolve warm-start *before* the store opens: the resolved model
+        // ID joins the campaign identity, so `auto` must pin down to a
+        // concrete model here — a resume re-resolves to the same model
+        // (the registry is append-only) or is refused by the ID check.
+        let mut prior: Option<StoredModel> = None;
+        if let (Some((target, _)), Some(w)) = (&ml, &spec.warm_start) {
+            let registry = self.model_registry().map_err(store_err)?;
+            let schema = schema_hash(&FEATURE_NAMES);
+            let target_token = ml_target_token(*target);
+            let model_id = if w == "auto" {
+                registry
+                    .resolve_auto(&schema, &target_token)
+                    .map_err(store_err)?
+                    .map(|e| e.id)
+                    .ok_or_else(|| {
+                        RunError::Fatal(
+                            "warm_start \"auto\": no compatible model registered".into(),
+                        )
+                    })?
+            } else {
+                w.clone()
+            };
+            let model = registry
+                .get(&model_id)
+                .map_err(|e| RunError::Fatal(format!("warm_start model: {e}")))?;
+            if model.schema() != schema || model.target != target_token {
+                return Err(RunError::Fatal(format!(
+                    "warm_start model {} has target {} over another schema; campaign needs {}",
+                    &model_id[..16],
+                    model.target,
+                    target_token
+                )));
+            }
+            prior = Some(model);
+        }
+        // Warm campaigns rank pending points by vote entropy; cold ML
+        // campaigns keep the historic scan order (and their IDs).
+        let ordering = if prior.is_some() {
+            MlOrdering::Entropy
+        } else {
+            MlOrdering::Scan
+        };
+        let meta = campaign_meta_ml(
+            &campaign,
+            &points,
+            ml.as_ref().map(|(target, ml_cfg)| MlIdentity {
+                target: *target,
+                config: ml_cfg,
+                warm: prior.as_ref().map(StoredModel::id),
+                ordering,
+            }),
+        );
         let store = CampaignStore::open(&dir, meta).map_err(store_err)?;
         // The profile phase ran during prepare (the store's identity
         // needs the pruned points); backfill its timing.
@@ -733,7 +820,39 @@ impl Daemon {
         let results = match &ml {
             None => campaign.run_all_observed(&observer).results,
             Some((target, ml_cfg)) => {
-                run_ml_observed(&campaign, &points, *target, ml_cfg, &observer)
+                let registry = self.model_registry().map_err(store_err)?;
+                let opts = ActiveOptions {
+                    prior: prior.as_ref().map(|m| &m.forest),
+                    ordering,
+                };
+                let target_token = ml_target_token(*target);
+                run_ml_observed(
+                    &campaign,
+                    &points,
+                    *target,
+                    ml_cfg,
+                    opts,
+                    &observer,
+                    &mut |forest| {
+                        // Persist the round's forest; a registry failure
+                        // costs the model, never the campaign.
+                        let m = StoredModel {
+                            workload: campaign.workload.name.clone(),
+                            channel: campaign.cfg.fault_channel.token().to_string(),
+                            transport: if campaign.cfg.resilient {
+                                "resilient".into()
+                            } else {
+                                "plain".into()
+                            },
+                            target: target_token.clone(),
+                            features: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+                            forest: forest.clone(),
+                        };
+                        if let Err(e) = registry.put(&m) {
+                            eprintln!("fastfit-served: model registration failed: {e}");
+                        }
+                    },
+                )
             }
         };
         if campaign.cancel_token().is_cancelled() {
@@ -794,7 +913,9 @@ fn run_ml_observed(
     points: &[InjectionPoint],
     target: MlTarget,
     ml_cfg: &MlConfig,
+    opts: ActiveOptions<'_>,
     observer: &dyn CampaignObserver,
+    on_model: &mut dyn FnMut(&randomforest::RandomForest),
 ) -> Vec<PointResult> {
     let features: Vec<Vec<f64>> = points
         .iter()
@@ -808,7 +929,7 @@ fn run_ml_observed(
     });
     let cancel = campaign.cancel_token();
     let mut measured = Vec::new();
-    let _ = ml_driven_observed(
+    let _ = ml_driven_active(
         &features,
         target,
         |i| {
@@ -828,12 +949,17 @@ fn run_ml_observed(
             label
         },
         ml_cfg,
-        |round, n_measured, accuracy| {
+        opts,
+        |round, forest| {
             observer.on_event(&ProgressEvent::LearnRound {
-                round,
-                measured: n_measured,
-                accuracy,
+                round: round.round,
+                measured: round.measured,
+                accuracy: round.accuracy,
+                predicted: round.predicted,
+                oob_accuracy: round.oob_accuracy,
+                ordering: round.ordering.token(),
             });
+            on_model(forest);
         },
     );
     observer.on_event(&ProgressEvent::PhaseFinished {
@@ -1160,6 +1286,16 @@ fn handle(daemon: &Daemon, req: &Request, stream: &mut std::net::TcpStream) {
             let text = daemon.metrics_text();
             let _ = write_response(stream, 200, "text/plain", text.as_bytes());
         }
+        ("GET", ["models"]) => {
+            let (status, body) = daemon.models_list();
+            respond_json(stream, status, body);
+        }
+        ("GET", ["models", id]) => match daemon.model_get(id) {
+            Ok(text) => {
+                let _ = write_response(stream, 200, "application/json", text.as_bytes());
+            }
+            Err((status, body)) => respond_json(stream, status, body),
+        },
         ("POST", ["fleet", "workers"]) => {
             let (status, body) = daemon.fleet_register(&req.body);
             respond_json(stream, status, body);
@@ -1180,7 +1316,11 @@ fn handle(daemon: &Daemon, req: &Request, stream: &mut std::net::TcpStream) {
             let (status, body) = daemon.fleet_status_json();
             respond_json(stream, status, body);
         }
-        (_, ["campaigns", ..]) | (_, ["metrics"]) | (_, ["scenarios", ..]) | (_, ["fleet", ..]) => {
+        (_, ["campaigns", ..])
+        | (_, ["metrics"])
+        | (_, ["models", ..])
+        | (_, ["scenarios", ..])
+        | (_, ["fleet", ..]) => {
             respond_json(stream, 405, err_json("method not allowed"));
         }
         _ => respond_json(stream, 404, err_json("no such endpoint")),

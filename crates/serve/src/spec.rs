@@ -49,6 +49,12 @@ pub struct CampaignSpec {
     /// timeline pins the campaign's fault channel to the timeline's
     /// primary channel.
     pub timeline: Option<String>,
+    /// Warm-start the ML loop from a registered sensitivity model:
+    /// a 64-hex model ID, or `"auto"` to use the newest registered
+    /// model whose feature schema and target match. Requires
+    /// `ml_threshold`. Warm campaigns order pending points by vote
+    /// entropy.
+    pub warm_start: Option<String>,
 }
 
 impl CampaignSpec {
@@ -67,6 +73,7 @@ impl CampaignSpec {
             colls: None,
             ml_threshold: None,
             timeline: None,
+            warm_start: None,
         }
     }
 
@@ -116,6 +123,9 @@ impl CampaignSpec {
         if let Some(t) = &self.timeline {
             m.insert("timeline".into(), Json::Str(t.clone()));
         }
+        if let Some(w) = &self.warm_start {
+            m.insert("warm_start".into(), Json::Str(w.clone()));
+        }
         Json::Obj(m)
     }
 
@@ -126,7 +136,7 @@ impl CampaignSpec {
         let Json::Obj(m) = v else {
             return Err("campaign spec must be a JSON object".into());
         };
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 13] = [
             "workload",
             "ranks",
             "trials",
@@ -139,6 +149,7 @@ impl CampaignSpec {
             "colls",
             "ml_threshold",
             "timeline",
+            "warm_start",
         ];
         for key in m.keys() {
             if !KNOWN.contains(&key.as_str()) {
@@ -218,6 +229,11 @@ impl CampaignSpec {
             Some(Some(tok)) => Some(tok.to_string()),
             Some(None) => return Err("\"timeline\" must be a string token".into()),
         };
+        let warm_start = match v.get("warm_start").map(|w| w.as_str()) {
+            None => None,
+            Some(Some(tok)) => Some(tok.to_string()),
+            Some(None) => return Err("\"warm_start\" must be a model ID or \"auto\"".into()),
+        };
         Ok(CampaignSpec {
             workload,
             ranks: usize_field("ranks")?,
@@ -231,6 +247,7 @@ impl CampaignSpec {
             colls,
             ml_threshold,
             timeline,
+            warm_start,
         })
     }
 }
@@ -263,6 +280,7 @@ mod tests {
             colls: Some(vec![CollKind::Allreduce, CollKind::Bcast]),
             ml_threshold: Some(0.65),
             timeline: None,
+            warm_start: Some("auto".into()),
         };
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -310,6 +328,20 @@ mod tests {
             let v = Json::parse(body).unwrap();
             assert!(CampaignSpec::from_json(&v).is_err(), "{body}");
         }
+    }
+
+    #[test]
+    fn warm_start_token_roundtrips() {
+        let spec = CampaignSpec {
+            ml_threshold: Some(0.6),
+            warm_start: Some("auto".into()),
+            ..CampaignSpec::new("FT")
+        };
+        let enc = spec.to_json().encode();
+        assert!(enc.contains("\"warm_start\":\"auto\""), "{enc}");
+        assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
+        let bad = Json::parse("{\"workload\":\"IS\",\"warm_start\":3}").unwrap();
+        assert!(CampaignSpec::from_json(&bad).is_err());
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub fn validate_spec(spec: &CampaignSpec) -> Result<(), String> {
             return Err(format!("ml_threshold must be in [0, 1], got {t}"));
         }
     }
+    if let Some(w) = &spec.warm_start {
+        if spec.ml_threshold.is_none() {
+            return Err("warm_start requires ml_threshold (it warms the ML loop)".into());
+        }
+        let is_id = w.len() == 64 && w.bytes().all(|b| b.is_ascii_hexdigit());
+        if w != "auto" && !is_id {
+            return Err(format!(
+                "warm_start must be \"auto\" or a 64-hex model ID, got {w:?}"
+            ));
+        }
+    }
     if let Some(tok) = &spec.timeline {
         let timeline = FaultTimeline::parse(tok)?;
         // A non-single timeline owns the channel: an explicit
@@ -164,6 +175,23 @@ mod tests {
         assert!(validate_spec(&s).is_err());
         let mut s = CampaignSpec::new("IS");
         s.ml_threshold = Some(1.5);
+        assert!(validate_spec(&s).is_err());
+    }
+
+    #[test]
+    fn warm_start_specs_validate() {
+        // warm_start without ml_threshold is meaningless.
+        let mut s = CampaignSpec::new("IS");
+        s.warm_start = Some("auto".into());
+        assert!(validate_spec(&s).unwrap_err().contains("ml_threshold"));
+        s.ml_threshold = Some(0.65);
+        assert!(validate_spec(&s).is_ok());
+        // A 64-hex ID is fine; anything else is a 400.
+        s.warm_start = Some("b".repeat(64));
+        assert!(validate_spec(&s).is_ok());
+        s.warm_start = Some("latest".into());
+        assert!(validate_spec(&s).unwrap_err().contains("warm_start"));
+        s.warm_start = Some("z".repeat(64));
         assert!(validate_spec(&s).is_err());
     }
 

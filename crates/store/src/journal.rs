@@ -55,6 +55,28 @@ pub struct MlMeta {
     /// fingerprint: resuming under a different ML configuration would
     /// follow a different measurement trajectory, so it must be refused.
     pub config_digest: String,
+    /// Registry ID of the warm-start prior (always the *resolved* model
+    /// ID, never `auto`). The prior changes when the loop stops, so it is
+    /// part of the campaign identity: a resume with a different (or
+    /// absent) prior is refused by the campaign-ID check. Encoded only
+    /// when present so cold campaigns keep their IDs.
+    pub warm: Option<String>,
+    /// Pending-point ordering token (`entropy`). Encoded only when
+    /// non-default (`scan`), for the same identity-stability reason.
+    pub order: Option<String>,
+}
+
+impl MlMeta {
+    /// A cold, scan-ordered loop — the shape every pre-warm-start journal
+    /// decodes to.
+    pub fn cold(target: String, config_digest: String) -> Self {
+        MlMeta {
+            target,
+            config_digest,
+            warm: None,
+            order: None,
+        }
+    }
 }
 
 /// Identity of a campaign: everything that determines which trials will
@@ -122,13 +144,20 @@ impl CampaignMeta {
             ),
         ];
         if let Some(ml) = &self.ml {
-            pairs.push((
-                "ml",
-                Json::obj([
-                    ("target", Json::Str(ml.target.clone())),
-                    ("config_digest", Json::Str(ml.config_digest.clone())),
-                ]),
-            ));
+            let mut ml_pairs = vec![
+                ("target", Json::Str(ml.target.clone())),
+                ("config_digest", Json::Str(ml.config_digest.clone())),
+            ];
+            // Warm-start provenance and non-default ordering join the
+            // identity only when set, so cold scan-ordered campaigns
+            // (every pre-existing ML journal) keep their IDs.
+            if let Some(warm) = &ml.warm {
+                ml_pairs.push(("warm", Json::Str(warm.clone())));
+            }
+            if let Some(order) = &ml.order {
+                ml_pairs.push(("order", Json::Str(order.clone())));
+            }
+            pairs.push(("ml", Json::obj(ml_pairs)));
         }
         // New-in-format-2.1 keys encode only when non-default, so the
         // canonical encoding (and therefore the campaign ID) of every
@@ -191,6 +220,8 @@ impl CampaignMeta {
                     .and_then(Json::as_str)
                     .ok_or_else(|| StoreError::Corrupt("ml.config_digest missing".into()))?
                     .to_string(),
+                warm: m.get("warm").and_then(Json::as_str).map(str::to_string),
+                order: m.get("order").and_then(Json::as_str).map(str::to_string),
             }),
         };
         let point_keys = field("point_keys")?
@@ -306,6 +337,11 @@ impl TrialRecord {
 }
 
 /// One journal record.
+//
+// The Meta variant dwarfs the others, but exactly one Meta record exists
+// per journal (record 0) — boxing it would tax every construction and
+// match site to shrink a value that is never held in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
     /// First record of every journal: identity + full metadata.
@@ -331,8 +367,15 @@ pub enum Record {
         round: usize,
         /// Points measured so far.
         measured: usize,
-        /// Held-out accuracy after the round.
+        /// Stopping accuracy after the round.
         accuracy: f64,
+        /// Points still unmeasured after the round. Encoded only when
+        /// non-zero so pre-existing round records keep their bytes.
+        predicted: usize,
+        /// Out-of-bag accuracy of the round's forest (encoded when known).
+        oob_accuracy: Option<f64>,
+        /// Ordering token (`entropy`); `None` means the default scan.
+        ordering: Option<String>,
     },
 }
 
@@ -400,12 +443,29 @@ impl Record {
                 round,
                 measured,
                 accuracy,
-            } => Json::obj([
-                ("t", Json::Str("round".into())),
-                ("round", Json::U64(*round as u64)),
-                ("measured", Json::U64(*measured as u64)),
-                ("acc", Json::F64(*accuracy)),
-            ]),
+                predicted,
+                oob_accuracy,
+                ordering,
+            } => {
+                let mut pairs = vec![
+                    ("t", Json::Str("round".into())),
+                    ("round", Json::U64(*round as u64)),
+                    ("measured", Json::U64(*measured as u64)),
+                    ("acc", Json::F64(*accuracy)),
+                ];
+                // Convergence telemetry, encoded only when carrying
+                // information so PR-1-era round records keep their bytes.
+                if *predicted > 0 {
+                    pairs.push(("pred", Json::U64(*predicted as u64)));
+                }
+                if let Some(oob) = oob_accuracy {
+                    pairs.push(("oob", Json::F64(*oob)));
+                }
+                if let Some(ord) = ordering {
+                    pairs.push(("ord", Json::Str(ord.clone())));
+                }
+                Json::obj(pairs)
+            }
         };
         v.encode()
     }
@@ -539,6 +599,11 @@ impl Record {
                         .get("acc")
                         .and_then(Json::as_f64)
                         .ok_or_else(|| StoreError::Corrupt("round missing acc".into()))?,
+                    // Absent in PR-1-era journals: zero pending, unknown
+                    // OOB, default scan ordering.
+                    predicted: v.get("pred").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    oob_accuracy: v.get("oob").and_then(Json::as_f64),
+                    ordering: v.get("ord").and_then(Json::as_str).map(str::to_string),
                 }))
             }
             _ => Ok(None),
@@ -621,6 +686,7 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, StoreError> {
                 round,
                 measured,
                 accuracy,
+                ..
             }) => out.rounds.push((round, measured, accuracy)),
             None => {} // unknown record type: skip
         }
@@ -708,10 +774,7 @@ mod tests {
             trials_per_point: 6,
             params: "data".into(),
             campaign_seed: 0xFA57,
-            ml: Some(MlMeta {
-                target: "rate_levels:3".into(),
-                config_digest: "d".repeat(64),
-            }),
+            ml: Some(MlMeta::cold("rate_levels:3".into(), "d".repeat(64))),
             fault_channel: FaultChannel::Param,
             resilient: false,
             colls: None,
@@ -802,6 +865,17 @@ mod tests {
                 round: 2,
                 measured: 18,
                 accuracy: 0.75,
+                predicted: 0,
+                oob_accuracy: None,
+                ordering: None,
+            },
+            Record::Round {
+                round: 3,
+                measured: 24,
+                accuracy: 0.8,
+                predicted: 40,
+                oob_accuracy: Some(0.7),
+                ordering: Some("entropy".into()),
             },
         ];
         for r in &records {
@@ -809,6 +883,47 @@ mod tests {
             assert!(!line.contains('\n'));
             assert_eq!(Record::decode(&line).unwrap().as_ref(), Some(r));
         }
+    }
+
+    #[test]
+    fn round_record_encodings_are_back_compatible() {
+        // A PR-1-era round record (no pred/oob/ord keys) must decode to
+        // the defaults, and a default-shaped round must still encode to
+        // exactly those bytes.
+        let old = r#"{"acc":0.75,"measured":18,"round":2,"t":"round"}"#;
+        let decoded = Record::decode(old).unwrap().unwrap();
+        assert_eq!(
+            decoded,
+            Record::Round {
+                round: 2,
+                measured: 18,
+                accuracy: 0.75,
+                predicted: 0,
+                oob_accuracy: None,
+                ordering: None,
+            }
+        );
+        assert_eq!(decoded.encode(), old);
+    }
+
+    #[test]
+    fn warm_ml_meta_changes_id_but_cold_encoding_is_unchanged() {
+        // Cold ML meta must keep its pre-warm-start canonical bytes (and
+        // therefore its campaign ID); setting warm/order must change the
+        // identity.
+        let cold = meta();
+        let enc = cold.to_json().encode();
+        assert!(enc.contains(r#""ml":{"config_digest":"#));
+        assert!(!enc.contains("warm") && !enc.contains("order"));
+        let mut warm = meta();
+        if let Some(ml) = &mut warm.ml {
+            ml.warm = Some("a".repeat(64));
+            ml.order = Some("entropy".into());
+        }
+        assert_ne!(warm.campaign_id(), cold.campaign_id());
+        let back = CampaignMeta::from_json(&warm.to_json()).unwrap();
+        assert_eq!(back, warm);
+        assert_eq!(back.campaign_id(), warm.campaign_id());
     }
 
     #[test]

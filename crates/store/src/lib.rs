@@ -41,8 +41,10 @@ pub use segment::{
     journal_content_sha, load_segments, merge_segments, read_segment, write_segment, Segment,
     SEGMENTS_DIR,
 };
-pub use store::{campaign_meta, ml_target_token, read_store_meta, CampaignStore};
-pub use telemetry::{CampaignState, StatusSnapshot, Telemetry};
+pub use store::{
+    campaign_meta, campaign_meta_ml, ml_target_token, read_store_meta, CampaignStore, MlIdentity,
+};
+pub use telemetry::{CampaignState, MlRoundStat, StatusSnapshot, Telemetry};
 
 /// Errors from the store.
 #[derive(Debug)]

@@ -23,7 +23,7 @@ use crate::journal::{
 use crate::telemetry::{CampaignState, StatusSnapshot, Telemetry};
 use crate::StoreError;
 use fastfit::observe::{point_key, CampaignObserver, ProgressEvent};
-use fastfit::prelude::{Campaign, MlConfig, MlTarget, TrialDisposition};
+use fastfit::prelude::{Campaign, MlConfig, MlOrdering, MlTarget, TrialDisposition};
 use fastfit::space::InjectionPoint;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -253,13 +253,27 @@ impl CampaignObserver for CampaignStore {
                 round,
                 measured,
                 accuracy,
+                predicted,
+                oob_accuracy,
+                ordering,
             } => {
-                self.telemetry.learn_round(*round, *accuracy);
+                self.telemetry.learn_round(
+                    *round,
+                    *accuracy,
+                    *measured,
+                    *predicted,
+                    *oob_accuracy,
+                    ordering,
+                );
                 self.journal_append(&Record::Round {
                     round: *round,
                     measured: *measured,
                     accuracy: *accuracy,
+                    predicted: *predicted,
+                    oob_accuracy: *oob_accuracy,
+                    ordering: (*ordering != "scan").then(|| ordering.to_string()),
                 });
+                self.flush_status(true);
             }
         }
     }
@@ -284,6 +298,38 @@ pub fn campaign_meta(
     points: &[InjectionPoint],
     ml: Option<(MlTarget, &MlConfig)>,
 ) -> CampaignMeta {
+    campaign_meta_ml(
+        campaign,
+        points,
+        ml.map(|(target, config)| MlIdentity {
+            target,
+            config,
+            warm: None,
+            ordering: MlOrdering::Scan,
+        }),
+    )
+}
+
+/// Everything about the ML loop that shapes the measurement trajectory —
+/// and is therefore part of the campaign identity.
+pub struct MlIdentity<'a> {
+    /// Prediction target.
+    pub target: MlTarget,
+    /// Loop configuration.
+    pub config: &'a MlConfig,
+    /// Resolved registry ID of the warm-start prior (never `auto`).
+    pub warm: Option<String>,
+    /// Pending-point ordering.
+    pub ordering: MlOrdering,
+}
+
+/// As [`campaign_meta`], with warm-start provenance and ordering in the
+/// ML identity.
+pub fn campaign_meta_ml(
+    campaign: &Campaign,
+    points: &[InjectionPoint],
+    ml: Option<MlIdentity<'_>>,
+) -> CampaignMeta {
     CampaignMeta {
         workload: campaign.workload.name.clone(),
         nranks: campaign.workload.nranks,
@@ -302,11 +348,15 @@ pub fn campaign_meta(
             names.dedup();
             names
         }),
-        ml: ml.map(|(target, cfg)| MlMeta {
-            target: ml_target_token(target),
+        ml: ml.map(|m| MlMeta {
+            target: ml_target_token(m.target),
             // The debug encoding covers every MlConfig field; hashing it
             // keeps the metadata schema stable as fields are added.
-            config_digest: crate::id::sha256_hex(format!("{:?}", cfg).as_bytes()),
+            config_digest: crate::id::sha256_hex(format!("{:?}", m.config).as_bytes()),
+            warm: m.warm,
+            // Scan is the historic default: encoding it only when set
+            // keeps every pre-ordering campaign ID unchanged.
+            order: (m.ordering != MlOrdering::Scan).then(|| m.ordering.token().to_string()),
         }),
         point_keys: points.iter().map(point_key).collect(),
         timeline: campaign.cfg.timeline.clone(),

@@ -11,6 +11,7 @@ use crate::StoreError;
 use fastfit::prelude::{CampaignPhase, FaultChannel, ALL_FAULT_CHANNELS, ALL_RESPONSES};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use fastfit::observe::ALL_PHASES;
@@ -104,6 +105,58 @@ pub struct Telemetry {
     learn_rounds: AtomicU64,
     /// Latest held-out accuracy, stored as `f64::to_bits`.
     learn_accuracy_bits: AtomicU64,
+    /// Full per-round ML convergence history. The ML loop is serial and
+    /// rounds are rare (one per batch), so a mutex off the trial hot
+    /// path is fine.
+    ml_rounds: Mutex<Vec<MlRoundStat>>,
+}
+
+/// One ML feedback round as recorded in `status.json`'s `ml_rounds`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlRoundStat {
+    /// 1-based round number.
+    pub round: u64,
+    /// Points measured so far.
+    pub measured: u64,
+    /// Points still unmeasured after this round.
+    pub predicted: u64,
+    /// Stopping accuracy after this round.
+    pub accuracy: f64,
+    /// Out-of-bag accuracy of the round's forest.
+    pub oob_accuracy: Option<f64>,
+    /// Pending-point ordering in effect (`scan` | `entropy`).
+    pub ordering: String,
+}
+
+impl MlRoundStat {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("round", Json::U64(self.round)),
+            ("measured", Json::U64(self.measured)),
+            ("predicted", Json::U64(self.predicted)),
+            ("accuracy", Json::F64(self.accuracy)),
+            (
+                "oob_accuracy",
+                self.oob_accuracy.map(Json::F64).unwrap_or(Json::Null),
+            ),
+            ("ordering", Json::Str(self.ordering.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<MlRoundStat> {
+        Some(MlRoundStat {
+            round: v.get("round").and_then(Json::as_u64)?,
+            measured: v.get("measured").and_then(Json::as_u64)?,
+            predicted: v.get("predicted").and_then(Json::as_u64).unwrap_or(0),
+            accuracy: v.get("accuracy").and_then(Json::as_f64)?,
+            oob_accuracy: v.get("oob_accuracy").and_then(Json::as_f64),
+            ordering: v
+                .get("ordering")
+                .and_then(Json::as_str)
+                .unwrap_or("scan")
+                .to_string(),
+        })
+    }
 }
 
 impl Default for Telemetry {
@@ -125,6 +178,7 @@ impl Default for Telemetry {
             phase_us: Default::default(),
             learn_rounds: AtomicU64::new(0),
             learn_accuracy_bits: AtomicU64::new(f64::NAN.to_bits()),
+            ml_rounds: Mutex::new(Vec::new()),
         }
     }
 }
@@ -197,11 +251,31 @@ impl Telemetry {
         self.phase_us[idx].store(wall.as_micros() as u64, Ordering::Relaxed);
     }
 
-    /// Record a finished ML round.
-    pub fn learn_round(&self, round: usize, accuracy: f64) {
+    /// Record a finished ML round: the latest accuracy for the headline
+    /// counters, plus a full convergence entry for `ml_rounds`.
+    pub fn learn_round(
+        &self,
+        round: usize,
+        accuracy: f64,
+        measured: usize,
+        predicted: usize,
+        oob_accuracy: Option<f64>,
+        ordering: &str,
+    ) {
         self.learn_rounds.store(round as u64, Ordering::Relaxed);
         self.learn_accuracy_bits
             .store(accuracy.to_bits(), Ordering::Relaxed);
+        self.ml_rounds
+            .lock()
+            .expect("ml_rounds lock poisoned")
+            .push(MlRoundStat {
+                round: round as u64,
+                measured: measured as u64,
+                predicted: predicted as u64,
+                accuracy,
+                oob_accuracy,
+                ordering: ordering.to_string(),
+            });
     }
 
     /// Total trials observed (fresh + replayed).
@@ -282,6 +356,11 @@ impl Telemetry {
             } else {
                 Some(accuracy)
             },
+            ml_rounds: self
+                .ml_rounds
+                .lock()
+                .expect("ml_rounds lock poisoned")
+                .clone(),
             elapsed_secs: elapsed,
             trials_per_sec,
             eta_secs,
@@ -331,6 +410,8 @@ pub struct StatusSnapshot {
     pub learn_rounds: u64,
     /// Latest held-out accuracy.
     pub learn_accuracy: Option<f64>,
+    /// Per-round ML convergence history (empty when not ML-driven).
+    pub ml_rounds: Vec<MlRoundStat>,
     /// Wall seconds since this process started observing.
     pub elapsed_secs: f64,
     /// Fresh-trial throughput.
@@ -382,6 +463,14 @@ impl StatusSnapshot {
             ),
         ]);
         if let Json::Obj(m) = &mut v {
+            // Per-round ML history encodes only when non-empty, so every
+            // non-ML snapshot keeps its old keys byte-for-byte.
+            if !self.ml_rounds.is_empty() {
+                m.insert(
+                    "ml_rounds".to_string(),
+                    Json::Arr(self.ml_rounds.iter().map(MlRoundStat::to_json).collect()),
+                );
+            }
             for ch in ALL_FAULT_CHANNELS {
                 m.insert(
                     channel_hist_key(ch),
@@ -482,6 +571,10 @@ impl StatusSnapshot {
             phase_secs,
             learn_rounds: u("learn_rounds").unwrap_or(0),
             learn_accuracy: v.get("learn_accuracy").and_then(Json::as_f64),
+            ml_rounds: match v.get("ml_rounds") {
+                Some(Json::Arr(items)) => items.iter().filter_map(MlRoundStat::from_json).collect(),
+                _ => Vec::new(),
+            },
             elapsed_secs: f("elapsed_secs")?,
             trials_per_sec: f("trials_per_sec")?,
             eta_secs: v.get("eta_secs").and_then(Json::as_f64),
@@ -596,6 +689,19 @@ impl StatusSnapshot {
                     .map(|a| format!("{:.1}%", 100.0 * a))
                     .unwrap_or_else(|| "?".into())
             ));
+            for r in &self.ml_rounds {
+                out.push_str(&format!(
+                    "  round {:<3} measured {:<5} predicted {:<5} acc {:.1}%{} [{}]\n",
+                    r.round,
+                    r.measured,
+                    r.predicted,
+                    100.0 * r.accuracy,
+                    r.oob_accuracy
+                        .map(|o| format!(" oob {:.1}%", 100.0 * o))
+                        .unwrap_or_default(),
+                    r.ordering
+                ));
+            }
         }
         out
     }
@@ -617,7 +723,8 @@ mod tests {
         t.trial_finished(Some(Response::MpiErr), 0, true, FaultChannel::Param, 0);
         t.point_finished();
         t.phase_finished(CampaignPhase::Profile, Duration::from_millis(1500));
-        t.learn_round(2, 0.7);
+        t.learn_round(1, 0.5, 12, 28, Some(0.55), "scan");
+        t.learn_round(2, 0.7, 18, 22, Some(0.66), "entropy");
         let s = t.snapshot("abc123", "tiny", CampaignState::Running);
         assert_eq!(s.points_done, 1);
         assert_eq!(s.points_total, 10);
@@ -629,7 +736,40 @@ mod tests {
         assert!((s.phase_secs[0].unwrap() - 1.5).abs() < 1e-9);
         assert_eq!(s.learn_rounds, 2);
         assert!((s.learn_accuracy.unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(s.ml_rounds.len(), 2);
+        assert_eq!(s.ml_rounds[1].measured, 18);
+        assert_eq!(s.ml_rounds[1].predicted, 22);
+        assert_eq!(s.ml_rounds[1].ordering, "entropy");
         assert!(s.eta_secs.is_some(), "36 trials remain at nonzero rate");
+    }
+
+    #[test]
+    fn ml_rounds_encode_only_when_present_and_roundtrip() {
+        // Non-ML snapshot: no ml_rounds key at all.
+        let t = Telemetry::new();
+        let s = t.snapshot("id", "w", CampaignState::Running);
+        assert!(!s.to_json().encode().contains("ml_rounds"));
+
+        // ML snapshot: full per-round history survives the roundtrip.
+        t.learn_round(1, 0.5, 12, 28, None, "scan");
+        t.learn_round(2, 0.72, 18, 22, Some(0.61), "entropy");
+        let s = t.snapshot("id", "w", CampaignState::Done);
+        let v = s.to_json();
+        assert!(v.get("ml_rounds").is_some());
+        let back = StatusSnapshot::from_json(&v).unwrap();
+        assert_eq!(back.ml_rounds, s.ml_rounds);
+        assert_eq!(back.ml_rounds[0].oob_accuracy, None);
+        assert_eq!(back.ml_rounds[1].oob_accuracy, Some(0.61));
+        let text = s.render();
+        assert!(text.contains("round 2"), "{text}");
+        assert!(text.contains("[entropy]"), "{text}");
+
+        // Older snapshots without the key still parse to empty history.
+        let mut v2 = s.to_json();
+        if let Json::Obj(m) = &mut v2 {
+            m.remove("ml_rounds");
+        }
+        assert!(StatusSnapshot::from_json(&v2).unwrap().ml_rounds.is_empty());
     }
 
     #[test]

@@ -135,6 +135,16 @@ impl Rng {
                 Some(MlMeta {
                     target: self.string(),
                     config_digest: self.string(),
+                    warm: if self.chance(2) {
+                        Some(self.string())
+                    } else {
+                        None
+                    },
+                    order: if self.chance(2) {
+                        Some("entropy".to_string())
+                    } else {
+                        None
+                    },
                 })
             } else {
                 None
@@ -183,6 +193,17 @@ impl Rng {
                 round: self.below(100) as usize,
                 measured: self.below(1 << 20) as usize,
                 accuracy: self.f64().abs(),
+                predicted: self.below(1 << 20) as usize,
+                oob_accuracy: if self.chance(2) {
+                    Some(self.f64().abs())
+                } else {
+                    None
+                },
+                ordering: if self.chance(2) {
+                    Some("entropy".to_string())
+                } else {
+                    None
+                },
             },
             _ => Record::Trial(self.trial()),
         }

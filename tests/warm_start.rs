@@ -1,0 +1,405 @@
+//! Warm-start guarantees, end to end: a warm-started ML campaign must
+//! journal the *same bytes* as a cold campaign for every point both
+//! runs measured (per-point trial seeds are keyed to the stable
+//! population index, never to measurement order); a warm campaign killed
+//! mid-loop must resume onto its own trajectory; and `auto` model
+//! resolution must be a pure function of the registry contents, so two
+//! submitters racing the same registry warm-start from the same model.
+
+use fastfit::prelude::*;
+use fastfit_mlstore::{schema_hash, ModelRegistry, StoredModel};
+use fastfit_store::journal::JOURNAL_FILE;
+use fastfit_store::json::Json;
+use fastfit_store::{campaign_meta_ml, ml_target_token, CampaignStore, MlIdentity};
+use randomforest::RandomForest;
+use simmpi::ctx::{RankCtx, RankOutput};
+use simmpi::op::ReduceOp;
+use simmpi::runtime::AppFn;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn noisy_app() -> AppFn {
+    Arc::new(|ctx: &mut RankCtx| {
+        use rand::Rng;
+        let mut acc = 0.0f64;
+        for _ in 0..4 {
+            let x: f64 = ctx.rng().gen();
+            acc += ctx.allreduce_one(x * 3.7, ReduceOp::Sum, ctx.world());
+        }
+        let mut out = RankOutput::new();
+        out.push("acc", acc);
+        out
+    })
+}
+
+fn ml_campaign() -> Campaign {
+    let w = Workload::new("noisy", noisy_app(), 0.0, 4);
+    Campaign::prepare(
+        w,
+        CampaignConfig {
+            trials_per_point: 2,
+            ..Default::default()
+        },
+    )
+}
+
+/// Small batches so the loop takes several rounds even on the tiny
+/// population, and a threshold low enough that a decent prior stops it.
+fn ml_cfg() -> MlConfig {
+    MlConfig {
+        accuracy_threshold: 0.6,
+        initial_batch: 6,
+        batch: 3,
+        ..Default::default()
+    }
+}
+
+const TARGET: MlTarget = MlTarget::RateLevels(3);
+
+/// Drive the ML loop against an observer exactly the way `fastfit-cli`
+/// does: same per-point trial seeds (`0xC11 + population index`), same
+/// event stream. Returns the loop outcome.
+fn run_ml_observed(
+    c: &Campaign,
+    observer: &dyn CampaignObserver,
+    prior: Option<&RandomForest>,
+    ordering: MlOrdering,
+    cfg: &MlConfig,
+) -> MlOutcome {
+    let points = c.invocation_points();
+    let features: Vec<Vec<f64>> = points.iter().map(|p| c.extractor.features(p)).collect();
+    observer.on_event(&ProgressEvent::MeasureStarted {
+        points_total: points.len(),
+        trials_per_point: c.cfg.trials_per_point,
+    });
+    ml_driven_active(
+        &features,
+        TARGET,
+        |i| {
+            let pr = c.measure_point_observed(
+                &points[i],
+                c.cfg.trials_per_point,
+                0xC11 + i as u64,
+                observer,
+            );
+            let label = Levels::even(3).of(pr.error_rate());
+            observer.on_event(&ProgressEvent::PointFinished {
+                point: &points[i],
+                result: &pr,
+            });
+            label
+        },
+        cfg,
+        ActiveOptions { prior, ordering },
+        |round, _| {
+            observer.on_event(&ProgressEvent::LearnRound {
+                round: round.round,
+                measured: round.measured,
+                accuracy: round.accuracy,
+                predicted: round.predicted,
+                oob_accuracy: round.oob_accuracy,
+                ordering: round.ordering.token(),
+            });
+        },
+    )
+}
+
+fn ml_meta(
+    c: &Campaign,
+    cfg: &MlConfig,
+    warm: Option<String>,
+    ordering: MlOrdering,
+) -> fastfit_store::journal::CampaignMeta {
+    let points = c.invocation_points();
+    campaign_meta_ml(
+        c,
+        &points,
+        Some(MlIdentity {
+            target: TARGET,
+            config: cfg,
+            warm,
+            ordering,
+        }),
+    )
+}
+
+/// Trial lines of a journal, keyed by (point key, trial index).
+fn trial_lines(dir: &Path) -> HashMap<(String, u64), String> {
+    std::fs::read_to_string(dir.join(JOURNAL_FILE))
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains("\"t\":\"trial\""))
+        .map(|l| {
+            let v = Json::parse(l).unwrap();
+            let k = v.get("k").and_then(Json::as_str).unwrap().to_string();
+            let n = v.get("n").and_then(Json::as_u64).unwrap();
+            ((k, n), l.to_string())
+        })
+        .collect()
+}
+
+/// The durable journal lines: meta + trial records (phase/round records
+/// carry wall-clock seconds and are excluded from byte-identity claims).
+fn durable_journal_lines(dir: &Path) -> Vec<String> {
+    std::fs::read_to_string(dir.join(JOURNAL_FILE))
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("\"t\":\"phase\"") && !l.contains("\"t\":\"round\""))
+        .map(String::from)
+        .collect()
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastfit-warmstart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Wrap a forest as the registry model the campaign under test would
+/// warm-start from.
+fn stored(forest: RandomForest) -> StoredModel {
+    StoredModel {
+        workload: "noisy".into(),
+        channel: "param".into(),
+        transport: "plain".into(),
+        target: ml_target_token(TARGET),
+        features: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        forest,
+    }
+}
+
+/// A warm-started campaign measures a (possibly different, typically
+/// smaller) point set than the cold loop — but for every point *both*
+/// runs measured, the journaled trial records must be byte-identical:
+/// warm starting changes which trials run, never what any trial records.
+#[test]
+fn warm_and_cold_journals_are_byte_identical_on_shared_points() {
+    let dir_cold = scratch("cold");
+    let dir_warm = scratch("warm");
+    let cfg = ml_cfg();
+
+    let c = ml_campaign();
+    let store = CampaignStore::open(&dir_cold, ml_meta(&c, &cfg, None, MlOrdering::Scan)).unwrap();
+    let cold = run_ml_observed(&c, &store, None, MlOrdering::Scan, &cfg);
+    store.finish().unwrap();
+    let model = stored(cold.model.expect("cold loop trained a model"));
+
+    let c = ml_campaign();
+    let store = CampaignStore::open(
+        &dir_warm,
+        ml_meta(&c, &cfg, Some(model.id()), MlOrdering::Entropy),
+    )
+    .unwrap();
+    let warm = run_ml_observed(&c, &store, Some(&model.forest), MlOrdering::Entropy, &cfg);
+    store.finish().unwrap();
+
+    let cold_lines = trial_lines(&dir_cold);
+    let warm_lines = trial_lines(&dir_warm);
+    assert!(!warm_lines.is_empty());
+    let mut shared = 0usize;
+    for (key, line) in &warm_lines {
+        if let Some(cold_line) = cold_lines.get(key) {
+            assert_eq!(line, cold_line, "trial {key:?} must journal identically");
+            shared += 1;
+        }
+    }
+    assert!(
+        shared > 0,
+        "the runs must share at least one measured point"
+    );
+    // And the warm loop is the cheaper one: seeded from the cold model it
+    // stops at (or before) the cold loop's measured count.
+    assert!(warm.measured.len() <= cold.measured.len());
+
+    std::fs::remove_dir_all(&dir_cold).unwrap();
+    std::fs::remove_dir_all(&dir_warm).unwrap();
+}
+
+/// Observer that persists to a store but simulates a crash (panics) after
+/// a fixed budget of fresh — journal-backed — trials.
+struct CrashAfter {
+    store: CampaignStore,
+    fresh_budget: AtomicUsize,
+}
+
+impl CampaignObserver for CrashAfter {
+    fn replay(
+        &self,
+        point: &fastfit::space::InjectionPoint,
+        trial: usize,
+        bit: u64,
+    ) -> Option<TrialDisposition> {
+        self.store.replay(point, trial, bit)
+    }
+
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        self.store.on_event(event);
+        if let ProgressEvent::TrialFinished {
+            replayed: false, ..
+        } = event
+        {
+            if self.fresh_budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+                panic!("simulated crash mid-campaign");
+            }
+        }
+    }
+}
+
+/// A warm-started campaign killed mid-loop and resumed with the same
+/// prior replays to a byte-identical journal — the warm trajectory is as
+/// crash-durable as the cold one.
+#[test]
+fn warm_campaign_killed_and_resumed_replays_identically() {
+    let dir_ref = scratch("kill-ref");
+    let dir_kill = scratch("kill");
+    let cfg = ml_cfg();
+
+    // Train a prior on a plain cold loop (no store needed).
+    let c = ml_campaign();
+    let cold = run_ml_observed(&c, &NullObserver, None, MlOrdering::Scan, &cfg);
+    let model = stored(cold.model.expect("cold loop trained a model"));
+    let meta = ml_meta(&c, &cfg, Some(model.id()), MlOrdering::Entropy);
+
+    // Uninterrupted warm reference.
+    let c_ref = ml_campaign();
+    let store = CampaignStore::open(&dir_ref, meta.clone()).unwrap();
+    run_ml_observed(
+        &c_ref,
+        &store,
+        Some(&model.forest),
+        MlOrdering::Entropy,
+        &cfg,
+    );
+    store.finish().unwrap();
+
+    // Killed after 3 fresh trials, then resumed with the same prior.
+    let crasher = CrashAfter {
+        store: CampaignStore::open(&dir_kill, meta.clone()).unwrap(),
+        fresh_budget: AtomicUsize::new(3),
+    };
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_ml_observed(
+            &ml_campaign(),
+            &crasher,
+            Some(&model.forest),
+            MlOrdering::Entropy,
+            &cfg,
+        )
+    }));
+    assert!(crashed.is_err(), "crash must interrupt the run");
+    let store = CampaignStore::open(&dir_kill, meta).unwrap();
+    assert_eq!(store.replayable_trials(), 3);
+    run_ml_observed(
+        &ml_campaign(),
+        &store,
+        Some(&model.forest),
+        MlOrdering::Entropy,
+        &cfg,
+    );
+    store.finish().unwrap();
+
+    assert_eq!(
+        durable_journal_lines(&dir_ref),
+        durable_journal_lines(&dir_kill),
+        "warm kill/resume must replay to a byte-identical journal"
+    );
+    std::fs::remove_dir_all(&dir_ref).unwrap();
+    std::fs::remove_dir_all(&dir_kill).unwrap();
+}
+
+/// Warm-start provenance is part of the campaign identity: the same
+/// campaign warm-started from a different model (or not at all, or with
+/// a different ordering) is a *different* campaign, so a resume against
+/// the wrong store directory is refused by the campaign-ID check instead
+/// of silently replaying a foreign trajectory.
+#[test]
+fn warm_start_provenance_changes_the_campaign_identity() {
+    let cfg = ml_cfg();
+    let c = ml_campaign();
+    let cold = ml_meta(&c, &cfg, None, MlOrdering::Scan);
+    let warm_a = ml_meta(&c, &cfg, Some("a".repeat(64)), MlOrdering::Entropy);
+    let warm_b = ml_meta(&c, &cfg, Some("b".repeat(64)), MlOrdering::Entropy);
+    let scan_a = ml_meta(&c, &cfg, Some("a".repeat(64)), MlOrdering::Scan);
+    let ids = [
+        cold.campaign_id(),
+        warm_a.campaign_id(),
+        warm_b.campaign_id(),
+        scan_a.campaign_id(),
+    ];
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            assert_ne!(ids[i], ids[j], "identity {i} vs {j}");
+        }
+    }
+
+    let dir = scratch("identity");
+    let store = CampaignStore::open(&dir, warm_a).unwrap();
+    store.finish().unwrap();
+    assert!(
+        CampaignStore::open(&dir, warm_b).is_err(),
+        "a store journaled under one prior must refuse a resume under another"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `auto` resolution is a pure function of the registry contents:
+/// newest schema- and target-compatible entry wins, reopening the
+/// registry changes nothing, and re-registering an already-present model
+/// (idempotent put) does not reorder recency.
+#[test]
+fn auto_resolution_is_deterministic_given_a_fixed_registry() {
+    let dir = scratch("registry");
+    let reg = ModelRegistry::open(&dir).unwrap();
+
+    let c = ml_campaign();
+    let cfg = ml_cfg();
+    let cold = run_ml_observed(&c, &NullObserver, None, MlOrdering::Scan, &cfg);
+    let first = stored(cold.model.expect("trained"));
+    // A second, distinguishable model for the same (schema, target).
+    let warm = run_ml_observed(
+        &c,
+        &NullObserver,
+        Some(&first.forest),
+        MlOrdering::Entropy,
+        &cfg,
+    );
+    let second = stored(warm.model.expect("trained"));
+    // And one with a different target that must never resolve.
+    let mut other = first.clone();
+    other.target = "error_type".into();
+
+    reg.put(&first).unwrap();
+    reg.put(&other).unwrap();
+    reg.put(&second).unwrap();
+
+    let schema = schema_hash(&FEATURE_NAMES);
+    let target = ml_target_token(TARGET);
+    let resolved = reg
+        .resolve_auto(&schema, &target)
+        .unwrap()
+        .expect("a match");
+    assert_eq!(resolved.id, second.id(), "newest compatible entry wins");
+
+    // Idempotent re-put of the older model does not change recency.
+    reg.put(&first).unwrap();
+    let again = reg
+        .resolve_auto(&schema, &target)
+        .unwrap()
+        .expect("a match");
+    assert_eq!(again.id, second.id());
+
+    // A fresh handle over the same directory resolves identically.
+    let reopened = ModelRegistry::open(&dir).unwrap();
+    let from_reopen = reopened
+        .resolve_auto(&schema, &target)
+        .unwrap()
+        .expect("a match");
+    assert_eq!(from_reopen.id, second.id());
+    // And the resolved model round-trips to the exact forest registered.
+    let fetched = reopened.get(&from_reopen.id).unwrap();
+    assert_eq!(fetched.encode(), second.encode());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
