@@ -18,9 +18,21 @@ use crate::model::StoredModel;
 use fastfit_store::id::sha256_hex;
 use fastfit_store::json::Json;
 use fastfit_store::StoreError;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide put serialization and known-ID cache, keyed by registry
+/// root. Concurrent ML campaigns in one daemon share `<root>/models`,
+/// so the lock makes the known-check + index append one atomic step (no
+/// duplicate entries, no interleaved lines), and the cache parses the
+/// index once per handle lifetime instead of once per put.
+fn put_state() -> &'static Mutex<HashMap<PathBuf, HashSet<String>>> {
+    static STATE: OnceLock<Mutex<HashMap<PathBuf, HashSet<String>>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(HashMap::new()))
+}
 
 /// Index file name inside the registry root.
 pub const INDEX_FILE: &str = "index.jsonl";
@@ -141,6 +153,13 @@ impl ModelRegistry {
                 f.sync_data().map_err(StoreError::Io)?;
             }
         }
+        // Repair (or any out-of-band index change) invalidates the
+        // known-ID cache: an entry it remembers may no longer be in the
+        // index, and a later put must re-append it.
+        put_state()
+            .lock()
+            .expect("model registry put lock poisoned")
+            .remove(&reg.root);
         Ok(reg)
     }
 
@@ -177,6 +196,12 @@ impl ModelRegistry {
         let doc = model.encode();
         let id = sha256_hex(doc.as_bytes());
         let object = self.object_path(&id);
+        // One writer per process: the known-check below must stay true
+        // until its append lands, or two rounds registering the same new
+        // model would both index it.
+        let mut state = put_state()
+            .lock()
+            .expect("model registry put lock poisoned");
         if !object.exists() {
             let tmp = self
                 .root
@@ -191,17 +216,26 @@ impl ModelRegistry {
             }
             std::fs::rename(&tmp, &object).map_err(StoreError::Io)?;
         }
-        if !self.list()?.iter().any(|e| e.id == id) {
-            let line = ModelEntry::for_model(model, id.clone()).to_json().encode();
+        if !state.contains_key(&self.root) {
+            let ids: HashSet<String> = self.list()?.into_iter().map(|e| e.id).collect();
+            state.insert(self.root.clone(), ids);
+        }
+        let known = state.get_mut(&self.root).expect("cache seeded above");
+        if !known.contains(&id) {
+            // Entry and newline in ONE buffer and ONE write: a single
+            // append is atomic under O_APPEND, so a writer in another
+            // process can never interleave bytes mid-line.
+            let mut line = ModelEntry::for_model(model, id.clone()).to_json().encode();
+            line.push('\n');
             let mut f = OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(self.index_path())
                 .map_err(StoreError::Io)?;
             f.write_all(line.as_bytes())
-                .and_then(|_| f.write_all(b"\n"))
                 .and_then(|_| f.sync_data())
                 .map_err(StoreError::Io)?;
+            known.insert(id.clone());
         }
         Ok(id)
     }
@@ -261,7 +295,8 @@ fn read_index(path: &Path) -> Result<(Vec<ModelEntry>, bool, u64), StoreError> {
     let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
     let blank = |l: &[u8]| l.iter().all(|b| b.is_ascii_whitespace());
     let last_nonempty = lines.iter().rposition(|l| !blank(l));
-    let mut entries = Vec::new();
+    let mut entries: Vec<ModelEntry> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
     let mut truncated = false;
     let mut offset = 0u64;
     let mut valid_len = 0u64;
@@ -280,7 +315,12 @@ fn read_index(path: &Path) -> Result<(Vec<ModelEntry>, bool, u64), StoreError> {
             Ok(e) => {
                 offset += line_len;
                 valid_len = valid_len.max(offset);
-                entries.push(e);
+                // Writers in different processes can race the known-check
+                // and index the same (identical, content-addressed) model
+                // twice; keep the first registration.
+                if seen.insert(e.id.clone()) {
+                    entries.push(e);
+                }
             }
             Err(e) if Some(i) == last_nonempty => {
                 let _ = e; // crash mid-append: drop the torn tail
@@ -418,6 +458,35 @@ mod tests {
         lines[0] = "{\"id\":oops".into();
         std::fs::write(&index, lines.join("\n") + "\n").unwrap();
         assert!(matches!(reg.list(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_puts_keep_the_index_clean() {
+        let dir = scratch("concurrent");
+        ModelRegistry::open(&dir).unwrap();
+        // Four threads, each with its own handle, racing distinct models
+        // into one registry — the shape of a daemon running concurrent ML
+        // campaigns against `<root>/models`.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dir = &dir;
+                s.spawn(move || {
+                    let reg = ModelRegistry::open(dir).unwrap();
+                    for k in 0..4u64 {
+                        reg.put(&model(&format!("w{t}"), 100 + t * 10 + k)).unwrap();
+                    }
+                });
+            }
+        });
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let entries = reg.list().unwrap();
+        assert_eq!(entries.len(), 16, "every model indexed exactly once");
+        let ids: std::collections::HashSet<&str> = entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids.len(), 16, "no duplicate index entries");
+        for e in &entries {
+            assert_eq!(reg.get(&e.id).unwrap().id(), e.id, "objects intact");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -45,7 +45,8 @@ use fastfit_scenario::{filter_by_cost, ConcreteScenario, Grammar};
 use fastfit_store::json::Json;
 use fastfit_store::telemetry::STATUS_FILE;
 use fastfit_store::{
-    campaign_meta_ml, ml_target_token, CampaignState, CampaignStore, MlIdentity, StoreError,
+    campaign_meta_ml, ml_target_token, read_store_meta, CampaignState, CampaignStore, MlIdentity,
+    StoreError,
 };
 use simmpi::arena::ArenaPool;
 use simmpi::sched::Engine;
@@ -247,7 +248,11 @@ impl Daemon {
         match registry.get(id) {
             Ok(model) => Ok(model.encode() + "\n"),
             Err(StoreError::Mismatch(msg)) => Err((400, err_json(&msg))),
-            Err(StoreError::Io(_)) => Err((404, err_json("no such model"))),
+            // Only an absent object is "no such model"; permission or
+            // disk failures must not masquerade as a 404.
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err((404, err_json("no such model")))
+            }
             Err(e) => Err((500, err_json(&format!("model registry error: {e}")))),
         }
     }
@@ -756,14 +761,28 @@ impl Daemon {
         };
         // Resolve warm-start *before* the store opens: the resolved model
         // ID joins the campaign identity, so `auto` must pin down to a
-        // concrete model here — a resume re-resolves to the same model
-        // (the registry is append-only) or is refused by the ID check.
+        // concrete model here. A restart-recovered campaign must re-seed
+        // from the model its own journal recorded, not from whatever is
+        // newest *now* — the interrupted run's rounds (or a sibling ML
+        // campaign's) may have registered newer schema-compatible forests
+        // in between, and re-resolving would change the campaign ID and
+        // get refused by the store's identity check. Only a first run (no
+        // journal yet) resolves `auto` against the registry.
         let mut prior: Option<StoredModel> = None;
         if let (Some((target, _)), Some(w)) = (&ml, &spec.warm_start) {
             let registry = self.model_registry().map_err(store_err)?;
             let schema = schema_hash(&FEATURE_NAMES);
             let target_token = ml_target_token(*target);
-            let model_id = if w == "auto" {
+            let journaled = if w == "auto" {
+                read_store_meta(&dir)
+                    .ok()
+                    .and_then(|(_, m)| m.ml.and_then(|ml_meta| ml_meta.warm))
+            } else {
+                None
+            };
+            let model_id = if let Some(id) = journaled {
+                id
+            } else if w == "auto" {
                 registry
                     .resolve_auto(&schema, &target_token)
                     .map_err(store_err)?

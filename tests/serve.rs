@@ -6,12 +6,14 @@
 //! campaigns' trial journals.
 
 use fastfit::prelude::*;
+use fastfit_mlstore::{ModelRegistry, StoredModel, MODELS_DIR};
 use fastfit_serve::{
     http_request, resolve_config, resolve_workload, start, CampaignSpec, ServeConfig,
 };
 use fastfit_store::journal::JOURNAL_FILE;
 use fastfit_store::json::Json;
-use fastfit_store::{campaign_meta, CampaignStore};
+use fastfit_store::{campaign_meta, ml_target_token, read_store_meta, CampaignStore};
+use randomforest::{ForestParams, RandomForest};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -308,5 +310,83 @@ fn killed_daemon_resumes_on_restart() {
         "killed + restarted daemon must complete a byte-identical journal"
     );
     std::fs::remove_dir_all(&local).unwrap();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A registry model compatible with the daemon's ML campaigns: the
+/// production feature schema and the `rate_levels:3` target that
+/// `resolve_ml` assigns every spec.
+fn registry_model(workload: &str, seed: u64) -> StoredModel {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..90 {
+        let cls = i % 3;
+        let mut f = vec![0.0; FEATURE_NAMES.len()];
+        f[0] = cls as f64;
+        f[1] = (i % 7) as f64 * 0.1;
+        x.push(f);
+        y.push(cls);
+    }
+    StoredModel {
+        workload: workload.into(),
+        channel: "param".into(),
+        transport: "plain".into(),
+        target: ml_target_token(MlTarget::RateLevels(3)),
+        features: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        forest: RandomForest::fit(
+            &x,
+            &y,
+            3,
+            &ForestParams {
+                n_trees: 5,
+                seed,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+/// An interrupted `warm_start:"auto"` campaign must recover onto the
+/// model its own journal recorded, not re-resolve `auto` against a
+/// registry that has since gained newer schema-compatible models (the
+/// interrupted run's own round forests, or a sibling campaign's).
+/// Re-resolving would change the campaign identity and the store would
+/// refuse the journal, failing the recovery.
+#[test]
+fn restarted_daemon_repins_warm_auto_to_the_journaled_model() {
+    let root = tmp_dir("warm-auto-restart");
+    std::fs::create_dir_all(&root).unwrap();
+    let reg = ModelRegistry::open(&root.join(MODELS_DIR)).unwrap();
+    let id_a = reg.put(&registry_model("is", 7)).unwrap();
+
+    let h = start(serve_cfg(&root)).expect("daemon starts");
+    let addr = h.addr().to_string();
+    let mut spec = param_spec();
+    spec.trials = Some(12);
+    // Unreachable threshold: the loop keeps measuring, so the shutdown
+    // below lands mid-campaign.
+    spec.ml_threshold = Some(0.99);
+    spec.warm_start = Some("auto".into());
+    let id = submit(&addr, &spec);
+    wait_status(&addr, &id, "second fresh trial", |_, v| {
+        v.get("trials_fresh").and_then(Json::as_u64).unwrap_or(0) >= 2
+    });
+    h.shutdown();
+
+    // The registry moves on while the campaign is down: a newer
+    // compatible model lands. Recovery must not re-resolve onto it.
+    reg.put(&registry_model("ft", 8)).unwrap();
+
+    let h = start(serve_cfg(&root)).expect("daemon restarts");
+    let addr = h.addr().to_string();
+    wait_status(&addr, &id, "done after restart", |state, _| state == "done");
+    h.shutdown();
+
+    let (_, meta) = read_store_meta(&root.join("campaigns").join(&id)).unwrap();
+    assert_eq!(
+        meta.ml.and_then(|m| m.warm).as_deref(),
+        Some(id_a.as_str()),
+        "recovered campaign must keep its journaled warm-start prior"
+    );
     std::fs::remove_dir_all(&root).unwrap();
 }
